@@ -1,0 +1,79 @@
+//! Microbenchmark: embedding lookup throughput per compression technique.
+//!
+//! Each technique embeds one batch of 16 sequences × 128 ids (the paper's
+//! input length). MEmCom's extra multiplier read should cost only
+//! marginally more than a plain table lookup, while the one-hot matmul is
+//! orders of magnitude slower — the §5.3 architectural story at
+//! microbenchmark scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memcom_core::{MethodSpec, QrCombiner};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_lookup(c: &mut Criterion) {
+    let vocab = 50_000;
+    let dim = 64;
+    let n_ids = 128 * 16; // 16 sequences of the paper's length
+    let mut rng = StdRng::seed_from_u64(0);
+    let ids: Vec<usize> = (0..n_ids).map(|_| rng.gen_range(0..vocab)).collect();
+
+    let specs: Vec<(&str, MethodSpec)> = vec![
+        ("uncompressed", MethodSpec::Uncompressed),
+        ("memcom", MethodSpec::MemCom { hash_size: vocab / 10, bias: false }),
+        ("memcom_bias", MethodSpec::MemCom { hash_size: vocab / 10, bias: true }),
+        ("naive_hash", MethodSpec::NaiveHash { hash_size: vocab / 10 }),
+        ("double_hash", MethodSpec::DoubleHash { hash_size: vocab / 10 }),
+        (
+            "qr_mult",
+            MethodSpec::QuotientRemainder { hash_size: vocab / 10, combiner: QrCombiner::Multiply },
+        ),
+        ("factorized", MethodSpec::Factorized { hidden: 16 }),
+        ("truncate_rare", MethodSpec::TruncateRare { keep: vocab / 10 }),
+    ];
+
+    let mut group = c.benchmark_group("embedding_lookup");
+    group.throughput(Throughput::Elements(n_ids as u64));
+    for (name, spec) in specs {
+        let emb = spec.build(vocab, dim, &mut rng).expect("spec builds");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &emb, |b, emb| {
+            b.iter(|| emb.lookup(std::hint::black_box(&ids)).expect("lookup succeeds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let vocab = 50_000;
+    let dim = 64;
+    let n_ids = 128 * 4;
+    let mut rng = StdRng::seed_from_u64(1);
+    let ids: Vec<usize> = (0..n_ids).map(|_| rng.gen_range(0..vocab)).collect();
+    let grad = memcom_tensor::Tensor::rand_uniform(&[n_ids, dim], -1.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("embedding_train_step");
+    group.throughput(Throughput::Elements(n_ids as u64));
+    for (name, spec) in [
+        ("uncompressed", MethodSpec::Uncompressed),
+        ("memcom", MethodSpec::MemCom { hash_size: vocab / 10, bias: false }),
+        ("naive_hash", MethodSpec::NaiveHash { hash_size: vocab / 10 }),
+    ] {
+        let mut emb = spec.build(vocab, dim, &mut rng).expect("spec builds");
+        let mut opt = memcom_nn::Sgd::new(0.01);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                emb.forward(std::hint::black_box(&ids)).expect("forward");
+                emb.backward(std::hint::black_box(&grad)).expect("backward");
+                emb.apply_gradients(&mut opt).expect("apply");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lookup, bench_backward
+}
+criterion_main!(benches);

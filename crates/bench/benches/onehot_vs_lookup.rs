@@ -1,0 +1,59 @@
+//! Microbenchmark: full on-device inference, lookup vs one-hot engines.
+//!
+//! Wall-clock companion to Table 3: the same serialized model graph with a
+//! MEmCom front end vs a Weinberger one-hot front end, run through the
+//! mmap-backed interpreter. The one-hot engine's dense `L×m×e` matmul and
+//! whole-kernel reads dominate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memcom_core::{MemCom, MemComConfig, OneHotHashEncoder};
+use memcom_nn::{AveragePool1d, BatchNorm1d, Dense, Relu, Sequential};
+use memcom_ondevice::format::OnDeviceModel;
+use memcom_ondevice::{Dtype, InferenceSession};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn session(vocab: usize, e: usize, m: usize, len: usize, onehot: bool) -> InferenceSession {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut head = Sequential::new();
+    head.push(AveragePool1d::new());
+    head.push(Relu::new());
+    head.push(BatchNorm1d::new(e));
+    head.push(Dense::new(e, 64, &mut rng));
+    let bytes = if onehot {
+        let emb = OneHotHashEncoder::new(vocab, e, m, &mut rng).expect("valid");
+        OnDeviceModel::serialize(&emb, &head, len, Dtype::F32).expect("serializes")
+    } else {
+        let emb = MemCom::new(MemComConfig::new(vocab, e, m), &mut rng).expect("valid");
+        OnDeviceModel::serialize(&emb, &head, len, Dtype::F32).expect("serializes")
+    };
+    InferenceSession::new(OnDeviceModel::parse(bytes).expect("own bytes"))
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let vocab = 20_000;
+    let e = 32;
+    let len = 128;
+    let mut rng = StdRng::seed_from_u64(3);
+    let ids: Vec<usize> = (0..len).map(|_| rng.gen_range(0..vocab)).collect();
+
+    let mut group = c.benchmark_group("ondevice_inference");
+    for m in [1_000usize, 4_000] {
+        let lookup = session(vocab, e, m, len, false);
+        group.bench_with_input(BenchmarkId::new("memcom_lookup", m), &lookup, |b, s| {
+            b.iter(|| s.run(std::hint::black_box(&ids)).expect("runs"));
+        });
+        let onehot = session(vocab, e, m, len, true);
+        group.bench_with_input(BenchmarkId::new("weinberger_onehot", m), &onehot, |b, s| {
+            b.iter(|| s.run(std::hint::black_box(&ids)).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmark: quantize / dequantize throughput per dtype.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memcom_ondevice::{Dtype, QuantizedTable};
+use memcom_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let table = Tensor::rand_uniform(&[4_096, 64], -1.0, 1.0, &mut rng);
+    let elems = table.len() as u64;
+
+    let mut group = c.benchmark_group("quantize");
+    group.throughput(Throughput::Elements(elems));
+    for dtype in [Dtype::F16, Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dtype:?}")),
+            &dtype,
+            |b, &d| {
+                b.iter(|| QuantizedTable::quantize(std::hint::black_box(&table), d).expect("quantizes"));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dequantize_row");
+    group.throughput(Throughput::Elements(64));
+    for dtype in [Dtype::F32, Dtype::F16, Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+        let q = QuantizedTable::quantize(&table, dtype).expect("quantizes");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dtype:?}")),
+            &q,
+            |b, q| {
+                let mut r = 0usize;
+                b.iter(|| {
+                    r = (r + 1) % q.rows;
+                    q.dequantize_row(std::hint::black_box(r))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_quantize
+}
+criterion_main!(benches);

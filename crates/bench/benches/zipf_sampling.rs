@@ -1,0 +1,39 @@
+//! Microbenchmark: Zipf sampling and dataset generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memcom_data::{DatasetSpec, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_sample");
+    group.throughput(Throughput::Elements(1_000));
+    for n in [1_000usize, 100_000, 1_000_000] {
+        let zipf = Zipf::new(n, 1.05).expect("valid support");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &zipf, |b, z| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| z.sample_many(1_000, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut spec = DatasetSpec::movielens().scaled(50);
+    spec.train_samples = 500;
+    spec.eval_samples = 100;
+    c.bench_function("dataset_generate_600_examples", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            spec.generate(std::hint::black_box(seed))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_zipf, bench_generation
+}
+criterion_main!(benches);

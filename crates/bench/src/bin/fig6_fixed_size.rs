@@ -1,0 +1,97 @@
+//! Figure 6 (§A.1): tuning the embedding size under a fixed model size.
+//!
+//! For each dataset the model byte budget is fixed (half the baseline
+//! size; a hard 20 MB for Games/Arcade in the paper) and, for each
+//! candidate "number of embeddings" `m`, the largest embedding size `e`
+//! that fits is found by binary search. Training each (m, e) pair reveals
+//! the tradeoff curve.
+//!
+//! Paper expectation: "for most use cases … the optimal number of
+//! embeddings for MEmCom is roughly 10x lower than its input vocabulary.
+//! Interestingly, this did not hold for the Google Local Reviews use
+//! case", whose flatter popularity favours more embeddings.
+
+use memcom_bench::harness::{banner, scaled_spec, HarnessArgs, ResultWriter};
+use memcom_core::budget::{memcom_model_params, solve_memcom_dim, BYTES_PER_PARAM};
+use memcom_core::MethodSpec;
+use memcom_data::DatasetSpec;
+use memcom_models::trainer::{train, TrainConfig};
+use memcom_models::{ModelConfig, ModelKind, RecModel};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    banner(
+        "Figure 6 — embedding size vs number of embeddings at fixed model size",
+        "§A.1, Figure 6 (budget = half the baseline model; 20 MB for Games/Arcade)",
+        "quality peaks near m = v/10 everywhere except google_local (flatter popularity)",
+    );
+    let datasets = if args.quick {
+        vec![DatasetSpec::movielens()]
+    } else {
+        vec![
+            DatasetSpec::movielens(),
+            DatasetSpec::million_songs(),
+            DatasetSpec::google_local(),
+            DatasetSpec::netflix(),
+            DatasetSpec::arcade(),
+        ]
+    };
+    let mut writer = ResultWriter::new("fig6_fixed_size");
+    writer.header(&[
+        "dataset", "m", "solved_e", "model_params", "budget_params", "accuracy", "ndcg",
+    ]);
+    let reference_e = if args.quick { 16 } else { 32 };
+    for base in datasets {
+        let spec = scaled_spec(&base, &args);
+        let data = spec.generate(args.seed);
+        let v = spec.input_vocab();
+        let out = spec.output_vocab;
+        // Budget: half the uncompressed model (v·e + head), as §A.1 does
+        // for the public datasets.
+        let baseline_params = v * reference_e + reference_e * out + out;
+        let budget_bytes = baseline_params * BYTES_PER_PARAM / 2;
+        let budget_params = budget_bytes / BYTES_PER_PARAM;
+        for divisor in [2usize, 5, 10, 20, 50, 100] {
+            let m = (v / divisor).max(1);
+            let Ok(e) = solve_memcom_dim(budget_bytes, v, m, out, false, 4_096) else {
+                writer.block(&format!("# {}: m={m} does not fit the budget at any e", spec.name));
+                continue;
+            };
+            let params = memcom_model_params(v, e, m, out, false);
+            assert!(params <= budget_params, "solver must respect the budget");
+            let config = ModelConfig {
+                kind: ModelKind::PointwiseRanker,
+                vocab: v,
+                embedding_dim: e,
+                input_len: spec.input_len,
+                n_classes: out,
+                dropout: 0.05,
+                seed: args.seed,
+            };
+            let mut model = RecModel::new(&config, &MethodSpec::MemCom { hash_size: m, bias: false })
+                .expect("model builds");
+            let report = train(
+                &mut model,
+                &data.train,
+                &data.eval,
+                &TrainConfig {
+                    epochs: if args.quick { 1 } else { 4 },
+                    seed: args.seed,
+                    ..TrainConfig::default()
+                },
+            )
+            .expect("training succeeds");
+            writer.row(&[
+                spec.name,
+                &m.to_string(),
+                &e.to_string(),
+                &params.to_string(),
+                &budget_params.to_string(),
+                &format!("{:.4}", report.eval_accuracy),
+                &format!("{:.4}", report.eval_ndcg),
+            ]);
+        }
+    }
+    writer.flush().expect("results directory must be writable");
+    println!("\nwrote results/fig6_fixed_size.tsv");
+}

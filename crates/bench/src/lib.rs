@@ -1,0 +1,12 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every table and figure in the paper's evaluation has a binary under
+//! `src/bin/`; this library carries what they share: CLI scale handling,
+//! per-dataset default scale factors (so the whole suite runs on a laptop
+//! while `--full` restores Table-2 scale), TSV result writing under
+//! `results/`, and the DP-SGD training loop used by the Figure-5 binary.
+
+pub mod dp_train;
+pub mod harness;
+
+pub use harness::{HarnessArgs, ResultWriter};

@@ -1,0 +1,170 @@
+//! Fixed-model-size hyperparameter solving (§A.1 of the paper).
+//!
+//! Appendix A.1 fixes the on-disk model size and asks: for each candidate
+//! "number of embeddings" `m`, what is the largest embedding size `e` that
+//! fits the budget? The paper solves this with "a simple binary search";
+//! this module implements that search generically plus the MEmCom- and
+//! classifier-specific parameter accounting it needs.
+
+use crate::{CoreError, Result};
+
+/// Bytes per FP32 parameter.
+pub const BYTES_PER_PARAM: usize = 4;
+
+/// Finds the largest `e ∈ [1, max_e]` with `params(e) <= budget_params`,
+/// assuming `params` is monotonically non-decreasing in `e` (binary
+/// search, as in §A.1).
+///
+/// Returns `None` when even `e = 1` exceeds the budget.
+pub fn max_embedding_dim_under(
+    budget_params: usize,
+    max_e: usize,
+    params: impl Fn(usize) -> usize,
+) -> Option<usize> {
+    if max_e == 0 || params(1) > budget_params {
+        return None;
+    }
+    let (mut lo, mut hi) = (1usize, max_e);
+    while lo < hi {
+        let mid = lo + (hi - lo + 1) / 2;
+        if params(mid) <= budget_params {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Total parameter count of the paper's classifier/ranker with a MEmCom
+/// embedding stage:
+///
+/// * embedding: `m·e + v` (+`v` with bias),
+/// * head: the output projection `e × out_vocab + out_vocab` (the ranking
+///   variant of Code 1, which drops the intermediate dense layer).
+///
+/// The output layer term is what couples `e` to the output vocabulary —
+/// the paper calls out that the output vocabulary "indirectly affects the
+/// number of parameters in the last layer".
+pub fn memcom_model_params(v: usize, e: usize, m: usize, out_vocab: usize, bias: bool) -> usize {
+    let emb = m * e + v + if bias { v } else { 0 };
+    let head = e * out_vocab + out_vocab;
+    emb + head
+}
+
+/// Solves §A.1 for MEmCom: given a byte budget and a candidate `m`, the
+/// largest embedding size that fits.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] when no embedding size fits (budget
+/// smaller than the fixed `v + out_vocab` cost).
+pub fn solve_memcom_dim(
+    budget_bytes: usize,
+    v: usize,
+    m: usize,
+    out_vocab: usize,
+    bias: bool,
+    max_e: usize,
+) -> Result<usize> {
+    let budget_params = budget_bytes / BYTES_PER_PARAM;
+    max_embedding_dim_under(budget_params, max_e, |e| {
+        memcom_model_params(v, e, m, out_vocab, bias)
+    })
+    .ok_or_else(|| CoreError::BadConfig {
+        context: format!(
+            "budget of {budget_bytes} bytes cannot fit any embedding size at v={v}, m={m}, out={out_vocab}"
+        ),
+    })
+}
+
+/// Compression ratio as the paper computes it: total parameters of the
+/// uncompressed model over total parameters of the compressed model (all
+/// layers counted, not just embeddings).
+///
+/// # Panics
+///
+/// Panics when `compressed_params == 0` — that is an accounting bug.
+pub fn compression_ratio(baseline_params: usize, compressed_params: usize) -> f64 {
+    assert!(compressed_params > 0, "compressed model cannot have zero parameters");
+    baseline_params as f64 / compressed_params as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binary_search_exact_boundary() {
+        // params(e) = 10·e; budget 100 → e = 10.
+        assert_eq!(max_embedding_dim_under(100, 1024, |e| 10 * e), Some(10));
+        assert_eq!(max_embedding_dim_under(99, 1024, |e| 10 * e), Some(9));
+        assert_eq!(max_embedding_dim_under(9, 1024, |e| 10 * e), None);
+        assert_eq!(max_embedding_dim_under(1_000_000, 64, |e| 10 * e), Some(64));
+    }
+
+    #[test]
+    fn memcom_params_formula() {
+        // v=100, e=8, m=10, out=20, no bias: 10·8 + 100 + 8·20 + 20 = 360.
+        assert_eq!(memcom_model_params(100, 8, 10, 20, false), 360);
+        assert_eq!(memcom_model_params(100, 8, 10, 20, true), 460);
+    }
+
+    #[test]
+    fn solver_respects_budget() {
+        let budget = 20_000 * BYTES_PER_PARAM;
+        let e = solve_memcom_dim(budget, 1_000, 100, 50, false, 4096).unwrap();
+        assert!(memcom_model_params(1_000, e, 100, 50, false) <= 20_000);
+        assert!(memcom_model_params(1_000, e + 1, 100, 50, false) > 20_000);
+    }
+
+    #[test]
+    fn solver_error_when_budget_too_small() {
+        // v alone exceeds the budget.
+        assert!(solve_memcom_dim(4, 1_000, 10, 10, false, 64).is_err());
+    }
+
+    #[test]
+    fn larger_m_gets_smaller_e_at_fixed_budget() {
+        // The A.1 tradeoff: more embeddings ⇒ smaller embedding size.
+        let budget = 100_000 * BYTES_PER_PARAM;
+        let e_small_m = solve_memcom_dim(budget, 10_000, 100, 100, false, 4096).unwrap();
+        let e_large_m = solve_memcom_dim(budget, 10_000, 5_000, 100, false, 4096).unwrap();
+        assert!(e_small_m > e_large_m, "{e_small_m} vs {e_large_m}");
+    }
+
+    #[test]
+    fn ratio_accounting() {
+        assert!((compression_ratio(1000, 100) - 10.0).abs() < 1e-12);
+        assert!((compression_ratio(100, 100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parameters")]
+    fn ratio_rejects_zero() {
+        let _ = compression_ratio(10, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solution_is_maximal(budget in 100usize..1_000_000, slope in 1usize..1000) {
+            if let Some(e) = max_embedding_dim_under(budget, 1 << 20, |e| slope * e) {
+                prop_assert!(slope * e <= budget);
+                prop_assert!(slope * (e + 1) > budget);
+            } else {
+                prop_assert!(slope > budget);
+            }
+        }
+
+        #[test]
+        fn prop_memcom_params_monotone_in_e(
+            v in 1usize..10_000, m in 1usize..1_000, out in 1usize..1_000, e in 1usize..512
+        ) {
+            prop_assert!(
+                memcom_model_params(v, e, m, out, false)
+                    < memcom_model_params(v, e + 1, m, out, false)
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Collision-rate analysis (the closed forms quoted in §4 of the paper).
+//!
+//! The paper motivates MEmCom with the collision behaviour of hashing
+//! methods:
+//!
+//! * naive hashing collides at rate `v/m − 1 + (1 − 1/m)^v`,
+//! * double hashing at the much lower `v/m² − 1 + (1 − 1/m²)^v`,
+//! * MEmCom / quotient–remainder / full tables never collide (unique
+//!   representation per id).
+//!
+//! Both closed forms equal `E[collisions] / m`, i.e. expected *excess*
+//! entities per bucket beyond the first. This module provides the formulas
+//! plus empirical counters so property tests can pin them to Monte-Carlo
+//! reality.
+
+use std::collections::HashMap;
+
+/// Expected number of colliding entities (entities minus occupied buckets)
+/// when `v` ids are hashed uniformly into `m` buckets:
+/// `v − m·(1 − (1 − 1/m)^v)`.
+pub fn expected_collisions(v: usize, m: usize) -> f64 {
+    let (vf, mf) = (v as f64, m as f64);
+    vf - mf * (1.0 - (1.0 - 1.0 / mf).powf(vf))
+}
+
+/// The paper's §4 naive-hashing collision rate `v/m − 1 + (1 − 1/m)^v`
+/// (expected collisions per bucket).
+pub fn naive_collision_rate(v: usize, m: usize) -> f64 {
+    let (vf, mf) = (v as f64, m as f64);
+    vf / mf - 1.0 + (1.0 - 1.0 / mf).powf(vf)
+}
+
+/// The paper's §4 double-hashing collision rate
+/// `v/m² − 1 + (1 − 1/m²)^v`: joint bucketing behaves like a single hash
+/// into `m²` cells.
+pub fn double_collision_rate(v: usize, m: usize) -> f64 {
+    naive_collision_rate(v, m * m)
+}
+
+/// Empirically counts colliding entities under an arbitrary bucketing
+/// function (entities whose bucket is shared with at least one other id).
+pub fn count_shared_entities(v: usize, bucket_of: impl Fn(usize) -> usize) -> usize {
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for id in 0..v {
+        *counts.entry(bucket_of(id)).or_insert(0) += 1;
+    }
+    counts.values().filter(|&&c| c > 1).map(|&c| c).sum()
+}
+
+/// Empirical collisions in the paper's sense: `v` minus the number of
+/// occupied buckets.
+pub fn count_collisions(v: usize, bucket_of: impl Fn(usize) -> usize) -> usize {
+    let mut occupied: HashMap<usize, ()> = HashMap::new();
+    for id in 0..v {
+        occupied.insert(bucket_of(id), ());
+    }
+    v - occupied.len()
+}
+
+/// Fraction of entities that do **not** own a unique representation under
+/// `bucket_of` — 0.0 means the method satisfies the paper's "unique
+/// vector" property.
+pub fn non_unique_fraction(v: usize, bucket_of: impl Fn(usize) -> usize) -> f64 {
+    if v == 0 {
+        return 0.0;
+    }
+    count_shared_entities(v, bucket_of) as f64 / v as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::{mod_hash, seeded_hash};
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_rate_is_expected_collisions_per_bucket() {
+        for &(v, m) in &[(1000usize, 100usize), (100_000, 10_000), (500, 499)] {
+            let per_bucket = naive_collision_rate(v, m);
+            let total = expected_collisions(v, m);
+            assert!((per_bucket - total / m as f64).abs() < 1e-9, "v={v} m={m}");
+        }
+    }
+
+    #[test]
+    fn mod_hash_collisions_exact() {
+        // mod m is deterministic: v=100, m=10 → every bucket holds 10 ids,
+        // collisions = v − m = 90.
+        assert_eq!(count_collisions(100, |i| mod_hash(i, 10)), 90);
+        assert_eq!(count_shared_entities(100, |i| mod_hash(i, 10)), 100);
+        assert!((non_unique_fraction(100, |i| mod_hash(i, 10)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_compression_means_no_collisions() {
+        assert_eq!(count_collisions(50, |i| i), 0);
+        assert_eq!(non_unique_fraction(50, |i| i) as i64, 0);
+    }
+
+    #[test]
+    fn double_hash_rate_far_below_naive() {
+        let v = 100_000;
+        let m = 10_000;
+        assert!(double_collision_rate(v, m) < naive_collision_rate(v, m) / 100.0);
+    }
+
+    #[test]
+    fn seeded_hash_matches_theory_monte_carlo() {
+        // Random hashing into m buckets should match the closed form
+        // within a few percent at this scale.
+        let v = 50_000;
+        let m = 5_000;
+        let empirical = count_collisions(v, |i| seeded_hash(i, m, 7)) as f64;
+        let theory = expected_collisions(v, m);
+        let rel = (empirical - theory).abs() / theory;
+        assert!(rel < 0.05, "empirical {empirical} vs theory {theory} (rel {rel})");
+    }
+
+    #[test]
+    fn joint_double_hash_matches_m_squared_theory() {
+        let v = 20_000;
+        let m = 200; // m² = 40_000 joint cells
+        let empirical =
+            count_collisions(v, |i| seeded_hash(i, m, 1) * m + seeded_hash(i, m, 2)) as f64;
+        let theory = expected_collisions(v, m * m);
+        let rel = (empirical - theory).abs() / theory.max(1.0);
+        assert!(rel < 0.15, "empirical {empirical} vs theory {theory}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rate_nonnegative_and_bounded(v in 1usize..100_000, m in 1usize..10_000) {
+            let r = naive_collision_rate(v, m);
+            // Rate per bucket lies in [max(0, v/m − 1), v/m].
+            prop_assert!(r >= -1e-9);
+            prop_assert!(r <= v as f64 / m as f64 + 1e-9);
+        }
+
+        #[test]
+        fn prop_more_buckets_fewer_collisions(v in 100usize..10_000, m in 2usize..500) {
+            prop_assert!(expected_collisions(v, m) + 1e-9 >= expected_collisions(v, m * 2));
+        }
+
+        #[test]
+        fn prop_empirical_counts_consistent(v in 1usize..2_000, m in 1usize..100) {
+            // shared entities ≥ collisions (each collision implies ≥2 sharers).
+            let shared = count_shared_entities(v, |i| mod_hash(i, m));
+            let collisions = count_collisions(v, |i| mod_hash(i, m));
+            prop_assert!(shared >= collisions);
+            prop_assert!(collisions <= v);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The [`EmbeddingCompressor`] trait and sparse-gradient plumbing.
+
+use std::collections::HashMap;
+
+use memcom_nn::{Optimizer, ParamId};
+use memcom_tensor::Tensor;
+
+use crate::{CoreError, Result};
+
+/// A named view of one weight table inside a compressor, used by the
+/// on-device serializer and the quantizer to enumerate storage.
+#[derive(Debug)]
+pub struct NamedTable<'a> {
+    /// Stable table name (unique within one compressor).
+    pub name: &'static str,
+    /// The table contents.
+    pub tensor: &'a Tensor,
+}
+
+/// Mutable variant of [`NamedTable`], used by post-training quantization
+/// to rewrite weights in place.
+#[derive(Debug)]
+pub struct NamedTableMut<'a> {
+    /// Stable table name (matches [`NamedTable::name`]).
+    pub name: &'static str,
+    /// The mutable table contents.
+    pub tensor: &'a mut Tensor,
+}
+
+/// A compressed (or uncompressed) embedding layer: the common interface of
+/// MEmCom and every baseline in the paper's evaluation.
+///
+/// Lifecycle per training step:
+/// 1. [`forward`](EmbeddingCompressor::forward) with the batch's flat id
+///    list (caller reshapes the `[n, e]` output to `[b, L, e]`),
+/// 2. [`backward`](EmbeddingCompressor::backward) with the matching
+///    `[n, e]` gradient,
+/// 3. [`apply_gradients`](EmbeddingCompressor::apply_gradients) with the
+///    shared optimizer — only rows touched in this batch are updated.
+///
+/// [`lookup`](EmbeddingCompressor::lookup) is the immutable inference path.
+pub trait EmbeddingCompressor: Send {
+    /// Embeds `ids`, returning `[ids.len(), output_dim]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IdOutOfVocab`] for ids `>= vocab_size()`.
+    fn lookup(&self, ids: &[usize]) -> Result<Tensor>;
+
+    /// Training-mode lookup: same as [`lookup`](Self::lookup) but caches
+    /// `ids` for the subsequent [`backward`](Self::backward).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`lookup`](Self::lookup).
+    fn forward(&mut self, ids: &[usize]) -> Result<Tensor>;
+
+    /// Accumulates parameter gradients given `∂L/∂output` of shape
+    /// `[ids.len(), output_dim]` from the last `forward`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BackwardBeforeForward`] without a prior
+    /// `forward`, or [`CoreError::BadGradient`] on shape mismatch.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<()>;
+
+    /// Applies and clears accumulated gradients through `opt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer shape errors (which indicate internal bugs).
+    fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()>;
+
+    /// Dimensionality of each produced embedding vector.
+    fn output_dim(&self) -> usize;
+
+    /// Number of distinct input entities supported (`v` in the paper).
+    fn vocab_size(&self) -> usize;
+
+    /// Total trainable scalars in the embedding stage — the quantity the
+    /// paper's compression ratios are computed from.
+    fn param_count(&self) -> usize;
+
+    /// Short technique name used in experiment output (e.g. `"memcom"`).
+    fn method_name(&self) -> &'static str;
+
+    /// Enumerates the weight tables for serialization/quantization.
+    fn tables(&self) -> Vec<NamedTable<'_>>;
+
+    /// Mutable access to the weight tables (post-training quantization
+    /// rewrites weights through this).
+    fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>>;
+
+    /// Upcast for downcasting to the concrete compressor type (used by
+    /// audits and serialization round-trips).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable variant of [`EmbeddingCompressor::as_any`].
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Sparse per-row gradient accumulator shared by every compressor.
+///
+/// Gradients arrive row-by-row during `backward` (one row per looked-up
+/// id); [`RowGrads::drain`] aggregates duplicates and emits the
+/// `(rows, row_grads)` pair that [`Optimizer::step_sparse_rows`] consumes.
+#[derive(Debug)]
+pub struct RowGrads {
+    cols: usize,
+    acc: HashMap<usize, Vec<f32>>,
+}
+
+impl RowGrads {
+    /// Creates an accumulator for rows of width `cols`.
+    pub fn new(cols: usize) -> Self {
+        RowGrads { cols, acc: HashMap::new() }
+    }
+
+    /// Adds `grad` (length `cols`) into the accumulator for `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grad.len() != cols` — compressors control both sides,
+    /// so a mismatch is an internal bug.
+    pub fn add(&mut self, row: usize, grad: &[f32]) {
+        assert_eq!(grad.len(), self.cols, "row gradient width mismatch");
+        let entry = self.acc.entry(row).or_insert_with(|| vec![0.0; self.cols]);
+        for (a, &g) in entry.iter_mut().zip(grad) {
+            *a += g;
+        }
+    }
+
+    /// Adds a scalar gradient for width-1 tables (MEmCom multipliers).
+    pub fn add_scalar(&mut self, row: usize, grad: f32) {
+        self.add(row, &[grad]);
+    }
+
+    /// Whether any gradient has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.acc.is_empty()
+    }
+
+    /// Number of distinct rows with accumulated gradient.
+    pub fn touched_rows(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Drains the accumulator into `(rows, row_grads)` sorted by row id
+    /// (sorting keeps optimizer application deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` covers tensor construction.
+    pub fn drain(&mut self) -> Result<(Vec<usize>, Tensor)> {
+        let mut rows: Vec<usize> = self.acc.keys().copied().collect();
+        rows.sort_unstable();
+        let mut data = Vec::with_capacity(rows.len() * self.cols);
+        for &r in &rows {
+            data.extend_from_slice(&self.acc[&r]);
+        }
+        let grads = Tensor::from_vec(data, &[rows.len(), self.cols])?;
+        self.acc.clear();
+        Ok((rows, grads))
+    }
+
+    /// Applies the drained gradients to `table` through `opt` and clears.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer errors.
+    pub fn apply(
+        &mut self,
+        opt: &mut dyn Optimizer,
+        id: ParamId,
+        table: &mut Tensor,
+    ) -> Result<()> {
+        if self.is_empty() {
+            return Ok(());
+        }
+        let (rows, grads) = self.drain()?;
+        opt.step_sparse_rows(id, table, &rows, &grads).map_err(CoreError::from)
+    }
+}
+
+/// Validates a gradient tensor against the cached id count and width.
+pub(crate) fn check_grad(grad: &Tensor, n_ids: usize, cols: usize) -> Result<()> {
+    if grad.shape().rank() != 2 || grad.shape().dims() != [n_ids, cols] {
+        return Err(CoreError::BadGradient {
+            context: format!("expected [{n_ids}, {cols}], got {}", grad.shape()),
+        });
+    }
+    Ok(())
+}
+
+/// Validates ids against a vocabulary bound.
+pub(crate) fn check_ids(ids: &[usize], vocab: usize) -> Result<()> {
+    if let Some(&bad) = ids.iter().find(|&&i| i >= vocab) {
+        return Err(CoreError::IdOutOfVocab { id: bad, vocab });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcom_nn::Sgd;
+
+    #[test]
+    fn row_grads_aggregate_duplicates() {
+        let mut rg = RowGrads::new(2);
+        rg.add(3, &[1.0, 1.0]);
+        rg.add(1, &[0.5, 0.5]);
+        rg.add(3, &[1.0, -1.0]);
+        assert_eq!(rg.touched_rows(), 2);
+        let (rows, grads) = rg.drain().unwrap();
+        assert_eq!(rows, vec![1, 3]);
+        assert_eq!(grads.row(0).unwrap(), &[0.5, 0.5]);
+        assert_eq!(grads.row(1).unwrap(), &[2.0, 0.0]);
+        assert!(rg.is_empty());
+    }
+
+    #[test]
+    fn row_grads_apply_updates_table() {
+        let mut rg = RowGrads::new(1);
+        rg.add_scalar(0, 2.0);
+        let mut table = Tensor::ones(&[3, 1]);
+        let mut opt = Sgd::new(0.5);
+        rg.apply(&mut opt, ParamId::fresh(), &mut table).unwrap();
+        assert_eq!(table.as_slice(), &[0.0, 1.0, 1.0]);
+        // Applying an empty accumulator is a no-op.
+        rg.apply(&mut opt, ParamId::fresh(), &mut table).unwrap();
+        assert_eq!(table.as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_grads_width_checked() {
+        let mut rg = RowGrads::new(2);
+        rg.add(0, &[1.0]);
+    }
+
+    #[test]
+    fn validators() {
+        assert!(check_ids(&[0, 4], 5).is_ok());
+        assert!(matches!(check_ids(&[5], 5), Err(CoreError::IdOutOfVocab { id: 5, vocab: 5 })));
+        assert!(check_grad(&Tensor::zeros(&[2, 3]), 2, 3).is_ok());
+        assert!(check_grad(&Tensor::zeros(&[2, 3]), 3, 3).is_err());
+        assert!(check_grad(&Tensor::zeros(&[6]), 2, 3).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Double hashing baseline (Zhang et al., RecSys 2020).
+
+use memcom_nn::{Optimizer, ParamId};
+use memcom_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::hashing::seeded_hash;
+use crate::{CoreError, Result};
+
+/// Frequency-based double hashing: two *independent* hash functions index
+/// two `m × e/2` tables and the halves are concatenated. Two entities only
+/// receive identical embeddings when **both** hashes collide, dropping the
+/// collision rate from `O(v/m)` to `O(v/m²)` — but uniqueness is still not
+/// guaranteed, unlike MEmCom.
+#[derive(Debug)]
+pub struct DoubleHashEmbedding {
+    table_a: Tensor,
+    table_b: Tensor,
+    grads_a: RowGrads,
+    grads_b: RowGrads,
+    id_a: ParamId,
+    id_b: ParamId,
+    vocab: usize,
+    dim: usize,
+    half: usize,
+    hash_size: usize,
+    seed_a: u64,
+    seed_b: u64,
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl DoubleHashEmbedding {
+    /// Creates two `hash_size × dim/2` tables. `dim` must be even so the
+    /// concatenated output matches the uncompressed dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for zero sizes, odd `dim`, or
+    /// `hash_size > vocab`.
+    pub fn new<R: Rng + ?Sized>(
+        vocab: usize,
+        dim: usize,
+        hash_size: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if vocab == 0 || dim == 0 || hash_size == 0 {
+            return Err(CoreError::BadConfig {
+                context: format!("double hash needs positive sizes, got v={vocab} e={dim} m={hash_size}"),
+            });
+        }
+        if dim % 2 != 0 {
+            return Err(CoreError::BadConfig {
+                context: format!("double hash requires an even embedding dim, got {dim}"),
+            });
+        }
+        if hash_size > vocab {
+            return Err(CoreError::BadConfig {
+                context: format!("hash size {hash_size} exceeds vocabulary {vocab}"),
+            });
+        }
+        let half = dim / 2;
+        Ok(DoubleHashEmbedding {
+            table_a: init::embedding_uniform(&[hash_size, half], rng),
+            table_b: init::embedding_uniform(&[hash_size, half], rng),
+            grads_a: RowGrads::new(half),
+            grads_b: RowGrads::new(half),
+            id_a: ParamId::fresh(),
+            id_b: ParamId::fresh(),
+            vocab,
+            dim,
+            half,
+            hash_size,
+            seed_a: 0x5EED_A,
+            seed_b: 0x5EED_B,
+            cached_ids: None,
+        })
+    }
+
+    /// The two bucket indices for `id`.
+    pub fn buckets(&self, id: usize) -> (usize, usize) {
+        (
+            seeded_hash(id, self.hash_size, self.seed_a),
+            seeded_hash(id, self.hash_size, self.seed_b),
+        )
+    }
+}
+
+impl EmbeddingCompressor for DoubleHashEmbedding {
+    fn lookup(&self, ids: &[usize]) -> Result<Tensor> {
+        check_ids(ids, self.vocab)?;
+        let mut data = Vec::with_capacity(ids.len() * self.dim);
+        for &id in ids {
+            let (a, b) = self.buckets(id);
+            data.extend_from_slice(self.table_a.row(a)?);
+            data.extend_from_slice(self.table_b.row(b)?);
+        }
+        Ok(Tensor::from_vec(data, &[ids.len(), self.dim])?)
+    }
+
+    fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {
+        let out = self.lookup(ids)?;
+        self.cached_ids = Some(ids.to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
+        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        check_grad(grad_out, ids.len(), self.dim)?;
+        for (k, &id) in ids.iter().enumerate() {
+            let (a, b) = self.buckets(id);
+            let g = grad_out.row(k)?;
+            self.grads_a.add(a, &g[..self.half]);
+            self.grads_b.add(b, &g[self.half..]);
+        }
+        Ok(())
+    }
+
+    fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()> {
+        self.grads_a.apply(opt, self.id_a, &mut self.table_a)?;
+        self.grads_b.apply(opt, self.id_b, &mut self.table_b)
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.hash_size * self.half
+    }
+
+    fn method_name(&self) -> &'static str {
+        "double_hash"
+    }
+
+    fn tables(&self) -> Vec<NamedTable<'_>> {
+        vec![
+            NamedTable { name: "hashed_a", tensor: &self.table_a },
+            NamedTable { name: "hashed_b", tensor: &self.table_b },
+        ]
+    }
+
+    fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
+        vec![
+            NamedTableMut { name: "hashed_a", tensor: &mut self.table_a },
+            NamedTableMut { name: "hashed_b", tensor: &mut self.table_b },
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn make() -> DoubleHashEmbedding {
+        let mut rng = StdRng::seed_from_u64(0);
+        DoubleHashEmbedding::new(1000, 8, 20, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn output_concatenates_halves() {
+        let emb = make();
+        let out = emb.lookup(&[42]).unwrap();
+        let (a, b) = emb.buckets(42);
+        assert_eq!(&out.row(0).unwrap()[..4], emb.table_a.row(a).unwrap());
+        assert_eq!(&out.row(0).unwrap()[4..], emb.table_b.row(b).unwrap());
+    }
+
+    #[test]
+    fn fewer_full_collisions_than_single_hash() {
+        let emb = make();
+        // Count id pairs with identical *joint* buckets vs single-hash.
+        let mut joint = HashSet::new();
+        let mut single = HashSet::new();
+        for id in 0..1000 {
+            joint.insert(emb.buckets(id));
+            single.insert(emb.buckets(id).0);
+        }
+        // Joint space realizes far more distinct codes.
+        assert!(joint.len() > 3 * single.len(), "joint {} vs single {}", joint.len(), single.len());
+    }
+
+    #[test]
+    fn gradients_split_between_tables() {
+        let mut emb = make();
+        let (a, b) = emb.buckets(5);
+        let before_a = emb.table_a.row(a).unwrap().to_vec();
+        let before_b = emb.table_b.row(b).unwrap().to_vec();
+        emb.forward(&[5]).unwrap();
+        let mut g = Tensor::zeros(&[1, 8]);
+        for i in 0..4 {
+            g.as_mut_slice()[i] = 1.0; // gradient only on the first half
+        }
+        emb.backward(&g).unwrap();
+        let mut opt = memcom_nn::Sgd::new(0.1);
+        emb.apply_gradients(&mut opt).unwrap();
+        // Table A moved, table B untouched.
+        assert!(emb
+            .table_a
+            .row(a)
+            .unwrap()
+            .iter()
+            .zip(&before_a)
+            .all(|(x, y)| (x - (y - 0.1)).abs() < 1e-6));
+        assert_eq!(emb.table_b.row(b).unwrap(), &before_b[..]);
+    }
+
+    #[test]
+    fn param_count_and_validation() {
+        assert_eq!(make().param_count(), 2 * 20 * 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(DoubleHashEmbedding::new(100, 7, 10, &mut rng).is_err()); // odd dim
+        assert!(DoubleHashEmbedding::new(10, 8, 11, &mut rng).is_err());
+        assert!(DoubleHashEmbedding::new(0, 8, 1, &mut rng).is_err());
+    }
+}

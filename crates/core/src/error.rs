@@ -1,0 +1,95 @@
+//! Error type for the compressed-embedding crate.
+
+use std::error::Error;
+use std::fmt;
+
+use memcom_nn::NnError;
+use memcom_tensor::TensorError;
+
+/// Errors produced by embedding compressors and their analysis helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying layer/optimizer operation failed.
+    Nn(NnError),
+    /// An id exceeded the configured vocabulary.
+    IdOutOfVocab {
+        /// The offending id.
+        id: usize,
+        /// The vocabulary size.
+        vocab: usize,
+    },
+    /// A configuration value is invalid (zero sizes, hash larger than
+    /// vocab where forbidden, …).
+    BadConfig {
+        /// Human-readable description of the invalid configuration.
+        context: String,
+    },
+    /// `backward` was called without a preceding `forward`.
+    BackwardBeforeForward,
+    /// The gradient tensor passed to `backward` has the wrong shape.
+    BadGradient {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            CoreError::Nn(e) => write!(f, "nn operation failed: {e}"),
+            CoreError::IdOutOfVocab { id, vocab } => {
+                write!(f, "id {id} out of range for vocabulary of size {vocab}")
+            }
+            CoreError::BadConfig { context } => write!(f, "bad configuration: {context}"),
+            CoreError::BackwardBeforeForward => {
+                write!(f, "backward called before forward on embedding compressor")
+            }
+            CoreError::BadGradient { context } => write!(f, "bad gradient: {context}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_chaining() {
+        let e = CoreError::from(TensorError::EmptyTensor);
+        assert!(Error::source(&e).is_some());
+        let e = CoreError::IdOutOfVocab { id: 10, vocab: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

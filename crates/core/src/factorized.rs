@@ -1,0 +1,262 @@
+//! Factorized embedding parameterization (Lan et al., ALBERT).
+
+use memcom_nn::{Optimizer, ParamId};
+use memcom_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::{CoreError, Result};
+
+/// Low-rank factorization `E ≈ A·B` with `A ∈ ℝ^{v×h}`, `B ∈ ℝ^{h×e}`,
+/// `h ≪ e`: each entity keeps a unique low-dimensional code that a shared
+/// projection lifts to the working dimensionality. Satisfies the paper's
+/// unique-vector property but ignores the id frequency distribution — the
+/// §4 analysis of why it underperforms on power-law vocabularies.
+#[derive(Debug)]
+pub struct FactorizedEmbedding {
+    codes: Tensor,      // A: [v, h], trained sparsely
+    projection: Tensor, // B: [h, e], trained densely
+    grads_codes: RowGrads,
+    grad_projection: Tensor,
+    id_codes: ParamId,
+    id_projection: ParamId,
+    vocab: usize,
+    hidden: usize,
+    dim: usize,
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl FactorizedEmbedding {
+    /// Creates the factorization with inner rank `hidden`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for zero sizes or `hidden >= dim`
+    /// (no compression).
+    pub fn new<R: Rng + ?Sized>(
+        vocab: usize,
+        dim: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if vocab == 0 || dim == 0 || hidden == 0 {
+            return Err(CoreError::BadConfig {
+                context: format!("factorized embedding needs positive sizes, got v={vocab} e={dim} h={hidden}"),
+            });
+        }
+        if hidden >= dim {
+            return Err(CoreError::BadConfig {
+                context: format!("hidden size {hidden} must be smaller than embedding dim {dim}"),
+            });
+        }
+        Ok(FactorizedEmbedding {
+            codes: init::embedding_uniform(&[vocab, hidden], rng),
+            projection: init::glorot_uniform(hidden, dim, rng),
+            grads_codes: RowGrads::new(hidden),
+            grad_projection: Tensor::zeros(&[hidden, dim]),
+            id_codes: ParamId::fresh(),
+            id_projection: ParamId::fresh(),
+            vocab,
+            hidden,
+            dim,
+            cached_ids: None,
+        })
+    }
+
+    /// The inner (hidden) rank `h`.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+}
+
+impl EmbeddingCompressor for FactorizedEmbedding {
+    fn lookup(&self, ids: &[usize]) -> Result<Tensor> {
+        check_ids(ids, self.vocab)?;
+        let proj = self.projection.as_slice();
+        let mut data = vec![0f32; ids.len() * self.dim];
+        for (k, &id) in ids.iter().enumerate() {
+            let code = self.codes.row(id)?;
+            let out = &mut data[k * self.dim..(k + 1) * self.dim];
+            for (h, &c) in code.iter().enumerate() {
+                if c == 0.0 {
+                    continue;
+                }
+                let b_row = &proj[h * self.dim..(h + 1) * self.dim];
+                for (o, &b) in out.iter_mut().zip(b_row) {
+                    *o += c * b;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(data, &[ids.len(), self.dim])?)
+    }
+
+    fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {
+        let out = self.lookup(ids)?;
+        self.cached_ids = Some(ids.to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
+        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        check_grad(grad_out, ids.len(), self.dim)?;
+        let proj = self.projection.as_slice();
+        let gp = self.grad_projection.as_mut_slice();
+        for (k, &id) in ids.iter().enumerate() {
+            let g = grad_out.row(k)?;
+            let code = self.codes.row(id)?;
+            // dA[id] = g · Bᵀ
+            let mut dcode = vec![0f32; self.hidden];
+            for h in 0..self.hidden {
+                let b_row = &proj[h * self.dim..(h + 1) * self.dim];
+                dcode[h] = g.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
+            }
+            self.grads_codes.add(id, &dcode);
+            // dB += A[id]ᵀ ⊗ g
+            for (h, &c) in code.iter().enumerate() {
+                if c == 0.0 {
+                    continue;
+                }
+                let row = &mut gp[h * self.dim..(h + 1) * self.dim];
+                for (o, &gi) in row.iter_mut().zip(g) {
+                    *o += c * gi;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()> {
+        self.grads_codes.apply(opt, self.id_codes, &mut self.codes)?;
+        opt.step_dense(self.id_projection, &mut self.projection, &self.grad_projection)?;
+        self.grad_projection.map_inplace(|_| 0.0);
+        Ok(())
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    fn param_count(&self) -> usize {
+        self.vocab * self.hidden + self.hidden * self.dim
+    }
+
+    fn method_name(&self) -> &'static str {
+        "factorized"
+    }
+
+    fn tables(&self) -> Vec<NamedTable<'_>> {
+        vec![
+            NamedTable { name: "codes", tensor: &self.codes },
+            NamedTable { name: "projection", tensor: &self.projection },
+        ]
+    }
+
+    fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
+        vec![
+            NamedTableMut { name: "codes", tensor: &mut self.codes },
+            NamedTableMut { name: "projection", tensor: &mut self.projection },
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make() -> FactorizedEmbedding {
+        let mut rng = StdRng::seed_from_u64(0);
+        FactorizedEmbedding::new(50, 8, 3, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn lookup_is_code_times_projection() {
+        let emb = make();
+        let out = emb.lookup(&[11]).unwrap();
+        let code = emb.codes.row(11).unwrap();
+        for d in 0..8 {
+            let want: f32 = (0..3).map(|h| code[h] * emb.projection.at(&[h, d]).unwrap()).sum();
+            assert!((out.row(0).unwrap()[d] - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn unique_embedding_per_entity() {
+        let emb = make();
+        let ids: Vec<usize> = (0..50).collect();
+        let out = emb.lookup(&ids).unwrap();
+        for i in 0..50 {
+            for j in (i + 1)..50 {
+                assert_ne!(out.row(i).unwrap(), out.row(j).unwrap(), "ids {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut emb = make();
+        let ids = [11usize, 30];
+        emb.forward(&ids).unwrap();
+        let w = Tensor::rand_uniform(&[2, 8], -1.0, 1.0, &mut StdRng::seed_from_u64(9));
+        emb.backward(&w).unwrap();
+        let (rows, gcodes) = emb.grads_codes.drain().unwrap();
+        let gproj = emb.grad_projection.clone();
+
+        let loss = |e: &FactorizedEmbedding| e.lookup(&ids).unwrap().mul(&w).unwrap().sum();
+        let eps = 1e-3f32;
+        // Code gradient spot checks.
+        for (ri, &r) in rows.iter().enumerate() {
+            for h in 0..3 {
+                let mut pert = make();
+                pert.codes = emb.codes.clone();
+                pert.projection = emb.projection.clone();
+                pert.codes.row_mut(r).unwrap()[h] += eps;
+                let lp = loss(&pert);
+                pert.codes.row_mut(r).unwrap()[h] -= 2.0 * eps;
+                let lm = loss(&pert);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!((numeric - gcodes.row(ri).unwrap()[h]).abs() < 1e-2);
+            }
+        }
+        // Projection gradient spot check.
+        for (h, d) in [(0, 0), (1, 3), (2, 7)] {
+            let mut pert = make();
+            pert.codes = emb.codes.clone();
+            pert.projection = emb.projection.clone();
+            let idx = h * 8 + d;
+            pert.projection.as_mut_slice()[idx] += eps;
+            let lp = loss(&pert);
+            pert.projection.as_mut_slice()[idx] -= 2.0 * eps;
+            let lm = loss(&pert);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gproj.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn param_count_formula() {
+        assert_eq!(make().param_count(), 50 * 3 + 3 * 8);
+        assert_eq!(make().method_name(), "factorized");
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(FactorizedEmbedding::new(10, 8, 8, &mut rng).is_err()); // h >= e
+        assert!(FactorizedEmbedding::new(10, 8, 0, &mut rng).is_err());
+        assert!(make().lookup(&[50]).is_err());
+    }
+}

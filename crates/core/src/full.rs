@@ -1,0 +1,212 @@
+//! The uncompressed baseline: one embedding row per entity.
+
+use memcom_nn::{Optimizer, ParamId};
+use memcom_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::{CoreError, Result};
+
+/// The classic `v × e` embedding table — the paper's uncompressed baseline
+/// against which every compression ratio and accuracy loss is measured.
+#[derive(Debug)]
+pub struct FullEmbedding {
+    table: Tensor,
+    grads: RowGrads,
+    param_id: ParamId,
+    vocab: usize,
+    dim: usize,
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl FullEmbedding {
+    /// Creates a `vocab × dim` table with Keras-style uniform init.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when `vocab` or `dim` is zero.
+    pub fn new<R: Rng + ?Sized>(vocab: usize, dim: usize, rng: &mut R) -> Result<Self> {
+        if vocab == 0 || dim == 0 {
+            return Err(CoreError::BadConfig {
+                context: format!("full embedding needs positive sizes, got {vocab}×{dim}"),
+            });
+        }
+        Ok(FullEmbedding {
+            table: init::embedding_uniform(&[vocab, dim], rng),
+            grads: RowGrads::new(dim),
+            param_id: ParamId::fresh(),
+            vocab,
+            dim,
+            cached_ids: None,
+        })
+    }
+
+    /// Direct access to the table (tests, serialization).
+    pub fn table(&self) -> &Tensor {
+        &self.table
+    }
+
+    /// Replaces the table contents (deserialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] on shape mismatch.
+    pub fn set_table(&mut self, table: Tensor) -> Result<()> {
+        if table.shape().dims() != [self.vocab, self.dim] {
+            return Err(CoreError::BadConfig {
+                context: format!(
+                    "table shape {} does not match [{}, {}]",
+                    table.shape(),
+                    self.vocab,
+                    self.dim
+                ),
+            });
+        }
+        self.table = table;
+        Ok(())
+    }
+}
+
+impl EmbeddingCompressor for FullEmbedding {
+    fn lookup(&self, ids: &[usize]) -> Result<Tensor> {
+        check_ids(ids, self.vocab)?;
+        let mut data = Vec::with_capacity(ids.len() * self.dim);
+        for &id in ids {
+            data.extend_from_slice(self.table.row(id)?);
+        }
+        Ok(Tensor::from_vec(data, &[ids.len(), self.dim])?)
+    }
+
+    fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {
+        let out = self.lookup(ids)?;
+        self.cached_ids = Some(ids.to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
+        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        check_grad(grad_out, ids.len(), self.dim)?;
+        for (k, &id) in ids.iter().enumerate() {
+            self.grads.add(id, grad_out.row(k)?);
+        }
+        Ok(())
+    }
+
+    fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()> {
+        self.grads.apply(opt, self.param_id, &mut self.table)
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    fn param_count(&self) -> usize {
+        self.vocab * self.dim
+    }
+
+    fn method_name(&self) -> &'static str {
+        "uncompressed"
+    }
+
+    fn tables(&self) -> Vec<NamedTable<'_>> {
+        vec![NamedTable { name: "embedding", tensor: &self.table }]
+    }
+
+    fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
+        vec![
+            NamedTableMut { name: "embedding", tensor: &mut self.table },
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcom_nn::Sgd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make() -> FullEmbedding {
+        let mut rng = StdRng::seed_from_u64(0);
+        FullEmbedding::new(10, 4, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn lookup_returns_table_rows() {
+        let emb = make();
+        let out = emb.lookup(&[2, 7, 2]).unwrap();
+        assert_eq!(out.shape().dims(), &[3, 4]);
+        assert_eq!(out.row(0).unwrap(), emb.table().row(2).unwrap());
+        assert_eq!(out.row(1).unwrap(), emb.table().row(7).unwrap());
+        assert_eq!(out.row(0).unwrap(), out.row(2).unwrap());
+    }
+
+    #[test]
+    fn rejects_out_of_vocab() {
+        let emb = make();
+        assert!(matches!(emb.lookup(&[10]), Err(CoreError::IdOutOfVocab { .. })));
+    }
+
+    #[test]
+    fn backward_accumulates_per_id() {
+        let mut emb = make();
+        let before = emb.table().row(3).unwrap().to_vec();
+        emb.forward(&[3, 3]).unwrap();
+        let g = Tensor::ones(&[2, 4]);
+        emb.backward(&g).unwrap();
+        let mut opt = Sgd::new(0.1);
+        emb.apply_gradients(&mut opt).unwrap();
+        // Row 3 saw the gradient twice: moved by -0.1 * 2.
+        for (b, a) in before.iter().zip(emb.table().row(3).unwrap()) {
+            assert!((a - (b - 0.2)).abs() < 1e-6);
+        }
+        // Untouched rows unchanged.
+        let emb2 = make();
+        assert_eq!(emb.table().row(0).unwrap(), emb2.table().row(0).unwrap());
+    }
+
+    #[test]
+    fn backward_without_forward_fails() {
+        let mut emb = make();
+        assert!(matches!(emb.backward(&Tensor::zeros(&[1, 4])), Err(CoreError::BackwardBeforeForward)));
+    }
+
+    #[test]
+    fn backward_validates_grad_shape() {
+        let mut emb = make();
+        emb.forward(&[1]).unwrap();
+        assert!(emb.backward(&Tensor::zeros(&[2, 4])).is_err());
+    }
+
+    #[test]
+    fn metadata() {
+        let emb = make();
+        assert_eq!(emb.param_count(), 40);
+        assert_eq!(emb.output_dim(), 4);
+        assert_eq!(emb.vocab_size(), 10);
+        assert_eq!(emb.method_name(), "uncompressed");
+        assert_eq!(emb.tables().len(), 1);
+        assert!(FullEmbedding::new(0, 4, &mut StdRng::seed_from_u64(0)).is_err());
+    }
+
+    #[test]
+    fn set_table_round_trip() {
+        let mut emb = make();
+        let t = Tensor::ones(&[10, 4]);
+        emb.set_table(t.clone()).unwrap();
+        assert_eq!(emb.table(), &t);
+        assert!(emb.set_table(Tensor::ones(&[9, 4])).is_err());
+    }
+}

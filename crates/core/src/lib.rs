@@ -1,0 +1,75 @@
+//! # memcom-core — compressed embedding layers
+//!
+//! The paper's contribution (MEmCom, Algorithms 2–3) and every baseline it
+//! is compared against in the MLSys 2022 evaluation:
+//!
+//! | Type | Paper reference |
+//! |---|---|
+//! | [`FullEmbedding`] | uncompressed baseline |
+//! | [`MemCom`] (bias / no-bias) | Algorithms 2 & 3 (**our approach**) |
+//! | [`NaiveHashEmbedding`] | "naive hashing" (`i mod m`) |
+//! | [`DoubleHashEmbedding`] | Zhang et al., RecSys 2020 |
+//! | [`QuotientRemainder`] | Shi et al., 2019 (⊙ and concat variants) |
+//! | [`FactorizedEmbedding`] | factorized embedding parameterization (ALBERT) |
+//! | [`ReducedDimEmbedding`] | "reduce embedding dim" |
+//! | [`TruncateRareEmbedding`] | "truncate rare" |
+//! | [`OneHotHashEncoder`] | Weinberger feature hashing (Table 3 baseline) |
+//!
+//! All implementations share the [`EmbeddingCompressor`] trait: an id-batch
+//! lookup in `forward`, a sparse gradient path in `backward`, and optimizer
+//! application that touches only the rows used in the batch.
+//!
+//! Supporting analysis lives alongside: closed-form collision rates from §4
+//! ([`collision`]), the fixed-model-size budget solver from §A.1
+//! ([`budget`]), and the embedding-uniqueness audit from §A.4
+//! ([`uniqueness`]).
+//!
+//! # Example
+//!
+//! ```
+//! use memcom_core::{EmbeddingCompressor, MemCom, MemComConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), memcom_core::CoreError> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! // 100K-entity vocabulary → 10K shared rows + 100K multipliers.
+//! let layer = MemCom::new(MemComConfig::new(100_000, 64, 10_000), &mut rng)?;
+//! assert_eq!(layer.param_count(), 10_000 * 64 + 100_000);
+//! let out = layer.lookup(&[0, 12_345, 99_999])?;
+//! assert_eq!(out.shape().dims(), &[3, 64]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod budget;
+pub mod collision;
+pub mod compressor;
+pub mod double_hash;
+pub mod error;
+pub mod factorized;
+pub mod full;
+pub mod hashing;
+pub mod memcom;
+pub mod naive_hash;
+pub mod one_hot_hash;
+pub mod quotient_remainder;
+pub mod reduced_dim;
+pub mod spec;
+pub mod truncate_rare;
+pub mod uniqueness;
+
+pub use compressor::{EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+pub use double_hash::DoubleHashEmbedding;
+pub use error::CoreError;
+pub use factorized::FactorizedEmbedding;
+pub use full::FullEmbedding;
+pub use memcom::{MemCom, MemComConfig};
+pub use naive_hash::NaiveHashEmbedding;
+pub use one_hot_hash::OneHotHashEncoder;
+pub use quotient_remainder::{QrCombiner, QuotientRemainder};
+pub use reduced_dim::ReducedDimEmbedding;
+pub use spec::MethodSpec;
+pub use truncate_rare::TruncateRareEmbedding;
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

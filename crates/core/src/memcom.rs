@@ -1,0 +1,512 @@
+//! MEmCom — Multi-Embedding Compression (Algorithms 2 and 3 of the paper).
+//!
+//! The embedding for entity `i` is assembled "on the fly" from two jointly
+//! trained tables:
+//!
+//! ```text
+//! no-bias (Alg. 2):  E(i) = U[i mod m] ⊙ V[i]
+//! bias    (Alg. 3):  E(i) = U[i mod m] ⊙ V[i] + W[i]
+//! ```
+//!
+//! where `U ∈ ℝ^{m×e}` is a hashed table shared by `⌈v/m⌉` entities per
+//! row, and `V, W ∈ ℝ^{v×1}` hold one scalar per entity that is broadcast
+//! across the `e` dimensions. Because `(U, V)` are trained jointly the
+//! model learns `v` distinct functions `f_i = V[i]·U[i mod m]` — a unique
+//! embedding per entity at `O(m·e + v)` storage instead of `O(v·e)`.
+
+use memcom_nn::{Optimizer, ParamId};
+use memcom_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::hashing::mod_hash;
+use crate::{CoreError, Result};
+
+/// Configuration for a [`MemCom`] layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemComConfig {
+    /// Vocabulary size `v`. Ids are assumed frequency-sorted (the paper
+    /// assigns id 1 to the most frequent entity; id 0 is padding).
+    pub vocab: usize,
+    /// Embedding dimensionality `e`.
+    pub dim: usize,
+    /// Hashed-table row count `m` (the "number of embeddings").
+    pub hash_size: usize,
+    /// Whether to add the per-entity bias table `W` (Algorithm 3).
+    pub bias: bool,
+    /// Uniform jitter applied around the multiplier init of 1.0, breaking
+    /// symmetry between entities sharing a `U` row from step 0.
+    pub multiplier_jitter: f32,
+}
+
+impl MemComConfig {
+    /// No-bias MEmCom (Algorithm 2) with the default multiplier jitter.
+    pub fn new(vocab: usize, dim: usize, hash_size: usize) -> Self {
+        MemComConfig { vocab, dim, hash_size, bias: false, multiplier_jitter: 0.01 }
+    }
+
+    /// Bias-variant MEmCom (Algorithm 3).
+    pub fn with_bias(vocab: usize, dim: usize, hash_size: usize) -> Self {
+        MemComConfig { bias: true, ..Self::new(vocab, dim, hash_size) }
+    }
+}
+
+/// The MEmCom compressed embedding layer (the paper's contribution).
+///
+/// # Example
+///
+/// ```
+/// use memcom_core::{EmbeddingCompressor, MemCom, MemComConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), memcom_core::CoreError> {
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let layer = MemCom::new(MemComConfig::with_bias(1_000, 32, 100), &mut rng)?;
+/// // ids 5 and 105 share U[5] but have distinct multipliers/biases.
+/// let out = layer.lookup(&[5, 105])?;
+/// assert_ne!(out.row(0)?, out.row(1)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MemCom {
+    config: MemComConfig,
+    /// `U ∈ ℝ^{m×e}`: hashed shared table.
+    shared: Tensor,
+    /// `V ∈ ℝ^{v×1}`: per-entity multiplier.
+    multiplier: Tensor,
+    /// `W ∈ ℝ^{v×1}`: per-entity bias (present iff `config.bias`).
+    bias: Option<Tensor>,
+    shared_grads: RowGrads,
+    multiplier_grads: RowGrads,
+    bias_grads: RowGrads,
+    shared_id: ParamId,
+    multiplier_id: ParamId,
+    bias_id: ParamId,
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl MemCom {
+    /// Builds the layer from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for zero sizes or
+    /// `hash_size > vocab` (which would waste rows rather than compress).
+    pub fn new<R: Rng + ?Sized>(config: MemComConfig, rng: &mut R) -> Result<Self> {
+        if config.vocab == 0 || config.dim == 0 || config.hash_size == 0 {
+            return Err(CoreError::BadConfig {
+                context: format!(
+                    "memcom needs positive sizes, got v={} e={} m={}",
+                    config.vocab, config.dim, config.hash_size
+                ),
+            });
+        }
+        if config.hash_size > config.vocab {
+            return Err(CoreError::BadConfig {
+                context: format!(
+                    "hash size {} exceeds vocabulary {} — no compression",
+                    config.hash_size, config.vocab
+                ),
+            });
+        }
+        let shared = init::embedding_uniform(&[config.hash_size, config.dim], rng);
+        let multiplier = init::multiplier_ones(config.vocab, config.multiplier_jitter, rng);
+        let bias = config.bias.then(|| Tensor::zeros(&[config.vocab, 1]));
+        Ok(MemCom {
+            shared_grads: RowGrads::new(config.dim),
+            multiplier_grads: RowGrads::new(1),
+            bias_grads: RowGrads::new(1),
+            shared_id: ParamId::fresh(),
+            multiplier_id: ParamId::fresh(),
+            bias_id: ParamId::fresh(),
+            cached_ids: None,
+            shared,
+            multiplier,
+            bias,
+            config,
+        })
+    }
+
+    /// The layer's configuration.
+    pub fn config(&self) -> &MemComConfig {
+        &self.config
+    }
+
+    /// Borrows the shared hashed table `U`.
+    pub fn shared_table(&self) -> &Tensor {
+        &self.shared
+    }
+
+    /// Borrows the multiplier table `V`.
+    pub fn multiplier_table(&self) -> &Tensor {
+        &self.multiplier
+    }
+
+    /// Borrows the bias table `W` when configured.
+    pub fn bias_table(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
+    }
+
+    /// The hash bucket for entity `i` (`i mod m`, Algorithm 2 line 2).
+    pub fn bucket(&self, id: usize) -> usize {
+        mod_hash(id, self.config.hash_size)
+    }
+
+    /// Restores table contents (deserialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when any shape mismatches or a bias
+    /// is supplied for a no-bias layer (and vice versa).
+    pub fn set_tables(
+        &mut self,
+        shared: Tensor,
+        multiplier: Tensor,
+        bias: Option<Tensor>,
+    ) -> Result<()> {
+        if shared.shape().dims() != [self.config.hash_size, self.config.dim] {
+            return Err(CoreError::BadConfig {
+                context: format!("shared table shape {} invalid", shared.shape()),
+            });
+        }
+        if multiplier.shape().dims() != [self.config.vocab, 1] {
+            return Err(CoreError::BadConfig {
+                context: format!("multiplier table shape {} invalid", multiplier.shape()),
+            });
+        }
+        match (&bias, self.config.bias) {
+            (Some(b), true) => {
+                if b.shape().dims() != [self.config.vocab, 1] {
+                    return Err(CoreError::BadConfig {
+                        context: format!("bias table shape {} invalid", b.shape()),
+                    });
+                }
+            }
+            (None, false) => {}
+            _ => {
+                return Err(CoreError::BadConfig {
+                    context: "bias presence does not match configuration".into(),
+                })
+            }
+        }
+        self.shared = shared;
+        self.multiplier = multiplier;
+        self.bias = bias;
+        Ok(())
+    }
+}
+
+impl EmbeddingCompressor for MemCom {
+    fn lookup(&self, ids: &[usize]) -> Result<Tensor> {
+        check_ids(ids, self.config.vocab)?;
+        let e = self.config.dim;
+        let mut data = Vec::with_capacity(ids.len() * e);
+        for &id in ids {
+            let j = self.bucket(id);
+            let u = self.shared.row(j)?;
+            let v = self.multiplier.as_slice()[id];
+            match &self.bias {
+                Some(w) => {
+                    let b = w.as_slice()[id];
+                    data.extend(u.iter().map(|&x| x * v + b));
+                }
+                None => data.extend(u.iter().map(|&x| x * v)),
+            }
+        }
+        Ok(Tensor::from_vec(data, &[ids.len(), e])?)
+    }
+
+    fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {
+        let out = self.lookup(ids)?;
+        self.cached_ids = Some(ids.to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
+        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        let e = self.config.dim;
+        check_grad(grad_out, ids.len(), e)?;
+        for (k, &id) in ids.iter().enumerate() {
+            let j = self.bucket(id);
+            let g = grad_out.row(k)?;
+            let u = self.shared.row(j)?;
+            let v = self.multiplier.as_slice()[id];
+            // ∂L/∂U[j] = g · V[i]  (broadcast multiply back through ⊙)
+            let du: Vec<f32> = g.iter().map(|&x| x * v).collect();
+            self.shared_grads.add(j, &du);
+            // ∂L/∂V[i] = ⟨g, U[j]⟩  (the broadcast sums over e)
+            let dv: f32 = g.iter().zip(u).map(|(&a, &b)| a * b).sum();
+            self.multiplier_grads.add_scalar(id, dv);
+            // ∂L/∂W[i] = Σ_e g
+            if self.bias.is_some() {
+                self.bias_grads.add_scalar(id, g.iter().sum());
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()> {
+        self.shared_grads.apply(opt, self.shared_id, &mut self.shared)?;
+        self.multiplier_grads.apply(opt, self.multiplier_id, &mut self.multiplier)?;
+        if let Some(bias) = self.bias.as_mut() {
+            self.bias_grads.apply(opt, self.bias_id, bias)?;
+        }
+        Ok(())
+    }
+
+    fn output_dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.config.vocab
+    }
+
+    fn param_count(&self) -> usize {
+        let base = self.config.hash_size * self.config.dim + self.config.vocab;
+        if self.config.bias {
+            base + self.config.vocab
+        } else {
+            base
+        }
+    }
+
+    fn method_name(&self) -> &'static str {
+        if self.config.bias {
+            "memcom"
+        } else {
+            "memcom_nobias"
+        }
+    }
+
+    fn tables(&self) -> Vec<NamedTable<'_>> {
+        let mut v = vec![
+            NamedTable { name: "shared", tensor: &self.shared },
+            NamedTable { name: "multiplier", tensor: &self.multiplier },
+        ];
+        if let Some(b) = &self.bias {
+            v.push(NamedTable { name: "bias", tensor: b });
+        }
+        v
+    }
+
+    fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
+        let mut v = vec![
+            NamedTableMut { name: "shared", tensor: &mut self.shared },
+            NamedTableMut { name: "multiplier", tensor: &mut self.multiplier },
+        ];
+        if let Some(b) = self.bias.as_mut() {
+            v.push(NamedTableMut { name: "bias", tensor: b });
+        }
+        v
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcom_nn::Sgd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make(bias: bool) -> MemCom {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = if bias {
+            MemComConfig::with_bias(50, 4, 10)
+        } else {
+            MemComConfig::new(50, 4, 10)
+        };
+        MemCom::new(cfg, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn lookup_composes_multiplier() {
+        let layer = make(false);
+        let out = layer.lookup(&[7]).unwrap();
+        let u = layer.shared_table().row(7 % 10).unwrap();
+        let v = layer.multiplier_table().as_slice()[7];
+        for (o, &ui) in out.row(0).unwrap().iter().zip(u) {
+            assert!((o - ui * v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lookup_with_bias_adds_offset() {
+        let mut layer = make(true);
+        // Force a visible bias.
+        let mut bias = Tensor::zeros(&[50, 1]);
+        bias.as_mut_slice()[7] = 0.5;
+        let shared = layer.shared_table().clone();
+        let mult = layer.multiplier_table().clone();
+        layer.set_tables(shared.clone(), mult.clone(), Some(bias)).unwrap();
+        let out = layer.lookup(&[7]).unwrap();
+        let u = shared.row(7 % 10).unwrap();
+        let v = mult.as_slice()[7];
+        for (o, &ui) in out.row(0).unwrap().iter().zip(u) {
+            assert!((o - (ui * v + 0.5)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn same_bucket_entities_differ() {
+        // ids 3 and 13 share U[3]; the jittered multipliers must separate
+        // them (the uniqueness property of §A.4 at initialization).
+        let layer = make(false);
+        let out = layer.lookup(&[3, 13]).unwrap();
+        assert_ne!(out.row(0).unwrap(), out.row(1).unwrap());
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        assert_eq!(make(false).param_count(), 10 * 4 + 50);
+        assert_eq!(make(true).param_count(), 10 * 4 + 50 + 50);
+        assert_eq!(make(false).method_name(), "memcom_nobias");
+        assert_eq!(make(true).method_name(), "memcom");
+        assert_eq!(make(true).tables().len(), 3);
+        assert_eq!(make(false).tables().len(), 2);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(MemCom::new(MemComConfig::new(0, 4, 1), &mut rng).is_err());
+        assert!(MemCom::new(MemComConfig::new(10, 0, 1), &mut rng).is_err());
+        assert!(MemCom::new(MemComConfig::new(10, 4, 0), &mut rng).is_err());
+        // hash size larger than vocab is not compression.
+        assert!(MemCom::new(MemComConfig::new(10, 4, 11), &mut rng).is_err());
+        // equal is allowed (degenerates to full table + multipliers).
+        assert!(MemCom::new(MemComConfig::new(10, 4, 10), &mut rng).is_ok());
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut layer = make(true);
+        let ids = [3usize, 13, 9];
+        let out = layer.forward(&ids).unwrap();
+        // Loss = weighted sum of outputs.
+        let w = Tensor::rand_uniform(out.shape().dims(), -1.0, 1.0, &mut StdRng::seed_from_u64(5));
+        layer.backward(&w).unwrap();
+
+        // Collect analytic grads before application.
+        let (rows_u, gu) = layer.shared_grads.drain().unwrap();
+        let (rows_v, gv) = layer.multiplier_grads.drain().unwrap();
+        let (rows_w, gw) = layer.bias_grads.drain().unwrap();
+
+        let eps = 1e-3f32;
+        let loss = |l: &MemCom| -> f32 {
+            l.lookup(&ids).unwrap().mul(&w).unwrap().sum()
+        };
+
+        // Check one U element per touched row.
+        for (ri, &r) in rows_u.iter().enumerate() {
+            let mut pert = make(true);
+            copy_tables(&layer, &mut pert);
+            pert.shared.row_mut(r).unwrap()[0] += eps;
+            let lp = loss(&pert);
+            pert.shared.row_mut(r).unwrap()[0] -= 2.0 * eps;
+            let lm = loss(&pert);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = gu.row(ri).unwrap()[0];
+            assert!((numeric - analytic).abs() < 1e-2, "U[{r}]: {numeric} vs {analytic}");
+        }
+        // Check every V and W scalar.
+        for (ri, &r) in rows_v.iter().enumerate() {
+            let mut pert = make(true);
+            copy_tables(&layer, &mut pert);
+            pert.multiplier.as_mut_slice()[r] += eps;
+            let lp = loss(&pert);
+            pert.multiplier.as_mut_slice()[r] -= 2.0 * eps;
+            let lm = loss(&pert);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = gv.row(ri).unwrap()[0];
+            assert!((numeric - analytic).abs() < 1e-2, "V[{r}]: {numeric} vs {analytic}");
+        }
+        for (ri, &r) in rows_w.iter().enumerate() {
+            let mut pert = make(true);
+            copy_tables(&layer, &mut pert);
+            pert.bias.as_mut().unwrap().as_mut_slice()[r] += eps;
+            let lp = loss(&pert);
+            pert.bias.as_mut().unwrap().as_mut_slice()[r] -= 2.0 * eps;
+            let lm = loss(&pert);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = gw.row(ri).unwrap()[0];
+            assert!((numeric - analytic).abs() < 1e-2, "W[{r}]: {numeric} vs {analytic}");
+        }
+    }
+
+    fn copy_tables(src: &MemCom, dst: &mut MemCom) {
+        dst.set_tables(
+            src.shared.clone(),
+            src.multiplier.clone(),
+            src.bias.clone(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn training_separates_shared_entities() {
+        // Two entities share a bucket; pushing their embeddings toward
+        // opposite targets must drive their multipliers apart — the
+        // mechanism behind the paper's §A.4 uniqueness result.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = MemCom::new(MemComConfig::new(20, 4, 10), &mut rng).unwrap();
+        let mut opt = Sgd::new(0.5);
+        for _ in 0..100 {
+            let out = layer.forward(&[3, 13]).unwrap();
+            // dL/dout = out - target, targets +1 vector vs -1 vector.
+            let mut grad = out.clone();
+            for (i, g) in grad.as_mut_slice().iter_mut().enumerate() {
+                let target = if i < 4 { 1.0 } else { -1.0 };
+                *g -= target;
+            }
+            grad.map_inplace(|x| x * 0.25);
+            layer.backward(&grad).unwrap();
+            layer.apply_gradients(&mut opt).unwrap();
+        }
+        let v3 = layer.multiplier_table().as_slice()[3];
+        let v13 = layer.multiplier_table().as_slice()[13];
+        assert!(
+            (v3 - v13).abs() > 0.1,
+            "multipliers failed to separate: {v3} vs {v13}"
+        );
+        let out = layer.lookup(&[3, 13]).unwrap();
+        // The two learned embeddings point in opposite directions.
+        let dot: f32 = out.row(0).unwrap().iter().zip(out.row(1).unwrap()).map(|(a, b)| a * b).sum();
+        assert!(dot < 0.0, "embeddings did not separate, dot = {dot}");
+    }
+
+    #[test]
+    fn backward_without_forward_fails() {
+        let mut layer = make(false);
+        assert!(matches!(
+            layer.backward(&Tensor::zeros(&[1, 4])),
+            Err(CoreError::BackwardBeforeForward)
+        ));
+    }
+
+    #[test]
+    fn set_tables_validation() {
+        let mut layer = make(false);
+        assert!(layer
+            .set_tables(Tensor::zeros(&[10, 4]), Tensor::zeros(&[50, 1]), Some(Tensor::zeros(&[50, 1])))
+            .is_err()); // bias on no-bias layer
+        assert!(layer
+            .set_tables(Tensor::zeros(&[9, 4]), Tensor::zeros(&[50, 1]), None)
+            .is_err());
+        assert!(layer
+            .set_tables(Tensor::zeros(&[10, 4]), Tensor::zeros(&[50, 2]), None)
+            .is_err());
+        assert!(layer
+            .set_tables(Tensor::zeros(&[10, 4]), Tensor::zeros(&[50, 1]), None)
+            .is_ok());
+    }
+}

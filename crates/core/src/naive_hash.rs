@@ -1,0 +1,189 @@
+//! Naive hashing baseline: `i mod m` with no disambiguation.
+
+use memcom_nn::{Optimizer, ParamId};
+use memcom_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::hashing::mod_hash;
+use crate::{CoreError, Result};
+
+/// The "naive hashing" baseline of §5: entities are bucketed by `i mod m`
+/// into an `m × e` table, so `⌈v/m⌉` entities *share* (are
+/// indistinguishable in) each embedding — the collision problem MEmCom's
+/// multipliers exist to fix.
+#[derive(Debug)]
+pub struct NaiveHashEmbedding {
+    table: Tensor,
+    grads: RowGrads,
+    param_id: ParamId,
+    vocab: usize,
+    dim: usize,
+    hash_size: usize,
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl NaiveHashEmbedding {
+    /// Creates an `m × e` hashed table for a `vocab`-entity id space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for zero sizes or
+    /// `hash_size > vocab`.
+    pub fn new<R: Rng + ?Sized>(
+        vocab: usize,
+        dim: usize,
+        hash_size: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if vocab == 0 || dim == 0 || hash_size == 0 {
+            return Err(CoreError::BadConfig {
+                context: format!("naive hash needs positive sizes, got v={vocab} e={dim} m={hash_size}"),
+            });
+        }
+        if hash_size > vocab {
+            return Err(CoreError::BadConfig {
+                context: format!("hash size {hash_size} exceeds vocabulary {vocab}"),
+            });
+        }
+        Ok(NaiveHashEmbedding {
+            table: init::embedding_uniform(&[hash_size, dim], rng),
+            grads: RowGrads::new(dim),
+            param_id: ParamId::fresh(),
+            vocab,
+            dim,
+            hash_size,
+            cached_ids: None,
+        })
+    }
+
+    /// The bucket for `id`.
+    pub fn bucket(&self, id: usize) -> usize {
+        mod_hash(id, self.hash_size)
+    }
+
+    /// Borrows the hashed table.
+    pub fn table(&self) -> &Tensor {
+        &self.table
+    }
+}
+
+impl EmbeddingCompressor for NaiveHashEmbedding {
+    fn lookup(&self, ids: &[usize]) -> Result<Tensor> {
+        check_ids(ids, self.vocab)?;
+        let mut data = Vec::with_capacity(ids.len() * self.dim);
+        for &id in ids {
+            data.extend_from_slice(self.table.row(self.bucket(id))?);
+        }
+        Ok(Tensor::from_vec(data, &[ids.len(), self.dim])?)
+    }
+
+    fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {
+        let out = self.lookup(ids)?;
+        self.cached_ids = Some(ids.to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
+        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        check_grad(grad_out, ids.len(), self.dim)?;
+        for (k, &id) in ids.iter().enumerate() {
+            self.grads.add(self.bucket(id), grad_out.row(k)?);
+        }
+        Ok(())
+    }
+
+    fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()> {
+        self.grads.apply(opt, self.param_id, &mut self.table)
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    fn param_count(&self) -> usize {
+        self.hash_size * self.dim
+    }
+
+    fn method_name(&self) -> &'static str {
+        "naive_hash"
+    }
+
+    fn tables(&self) -> Vec<NamedTable<'_>> {
+        vec![NamedTable { name: "hashed", tensor: &self.table }]
+    }
+
+    fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
+        vec![
+            NamedTableMut { name: "hashed", tensor: &mut self.table },
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make() -> NaiveHashEmbedding {
+        let mut rng = StdRng::seed_from_u64(0);
+        NaiveHashEmbedding::new(100, 4, 10, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn colliding_ids_share_embeddings() {
+        let emb = make();
+        let out = emb.lookup(&[7, 17, 97]).unwrap();
+        // 7, 17, 97 ≡ 7 mod 10 → identical rows (the failure mode MEmCom fixes).
+        assert_eq!(out.row(0).unwrap(), out.row(1).unwrap());
+        assert_eq!(out.row(0).unwrap(), out.row(2).unwrap());
+    }
+
+    #[test]
+    fn distinct_buckets_differ() {
+        let emb = make();
+        let out = emb.lookup(&[3, 4]).unwrap();
+        assert_ne!(out.row(0).unwrap(), out.row(1).unwrap());
+    }
+
+    #[test]
+    fn gradient_lands_on_shared_row() {
+        let mut emb = make();
+        let before = emb.table().row(7).unwrap().to_vec();
+        emb.forward(&[7, 17]).unwrap();
+        emb.backward(&Tensor::ones(&[2, 4])).unwrap();
+        let mut opt = memcom_nn::Sgd::new(0.1);
+        emb.apply_gradients(&mut opt).unwrap();
+        // Both grads summed into row 7: Δ = −0.1·2.
+        for (b, a) in before.iter().zip(emb.table().row(7).unwrap()) {
+            assert!((a - (b - 0.2)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn param_count_is_hashed_table_only() {
+        assert_eq!(make().param_count(), 40);
+        assert_eq!(make().method_name(), "naive_hash");
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(NaiveHashEmbedding::new(10, 4, 11, &mut rng).is_err());
+        assert!(NaiveHashEmbedding::new(10, 0, 5, &mut rng).is_err());
+        assert!(matches!(make().lookup(&[100]), Err(CoreError::IdOutOfVocab { .. })));
+    }
+}

@@ -1,0 +1,318 @@
+//! Quotient–remainder trick (Shi et al., 2019; Algorithm 1 of the paper).
+
+use memcom_nn::{Optimizer, ParamId};
+use memcom_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::{CoreError, Result};
+
+/// How the remainder and quotient embeddings are composed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QrCombiner {
+    /// Elementwise multiplication `U[i mod m] ⊙ V[i \ m]` — Algorithm 1 as
+    /// published.
+    Multiply,
+    /// Concatenation of two `e/2` halves — the variant the paper also
+    /// benchmarks ("one where the compositional operator is concatenation").
+    Concat,
+}
+
+/// Quotient–remainder compositional embedding: the id is decomposed as
+/// `i = q·m + r`, the remainder indexes `U ∈ ℝ^{m×e'}`, the quotient
+/// indexes `V ∈ ℝ^{⌈v/m⌉×e'}`, and the two are combined. The pair `(q, r)`
+/// is unique per id, so every entity gets a distinct (but *constrained*)
+/// embedding function.
+#[derive(Debug)]
+pub struct QuotientRemainder {
+    remainder_table: Tensor,
+    quotient_table: Tensor,
+    grads_rem: RowGrads,
+    grads_quo: RowGrads,
+    id_rem: ParamId,
+    id_quo: ParamId,
+    combiner: QrCombiner,
+    vocab: usize,
+    dim: usize,
+    part_dim: usize,
+    m: usize,
+    quotient_rows: usize,
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl QuotientRemainder {
+    /// Creates the two tables for vocabulary `vocab`, output dim `dim`, and
+    /// remainder-table size `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for zero sizes, `m > vocab`, or an
+    /// odd `dim` with [`QrCombiner::Concat`].
+    pub fn new<R: Rng + ?Sized>(
+        vocab: usize,
+        dim: usize,
+        m: usize,
+        combiner: QrCombiner,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if vocab == 0 || dim == 0 || m == 0 {
+            return Err(CoreError::BadConfig {
+                context: format!("quotient-remainder needs positive sizes, got v={vocab} e={dim} m={m}"),
+            });
+        }
+        if m > vocab {
+            return Err(CoreError::BadConfig {
+                context: format!("remainder size {m} exceeds vocabulary {vocab}"),
+            });
+        }
+        let part_dim = match combiner {
+            QrCombiner::Multiply => dim,
+            QrCombiner::Concat => {
+                if dim % 2 != 0 {
+                    return Err(CoreError::BadConfig {
+                        context: format!("concat combiner requires even dim, got {dim}"),
+                    });
+                }
+                dim / 2
+            }
+        };
+        let quotient_rows = vocab.div_ceil(m);
+        Ok(QuotientRemainder {
+            remainder_table: init::embedding_uniform(&[m, part_dim], rng),
+            // Multiplicative composition wants the quotient side near 1 so
+            // the product starts at embedding scale (ALBERT-style init
+            // would start products at ~1e-3, stalling training).
+            quotient_table: match combiner {
+                QrCombiner::Multiply => {
+                    let mut t = Tensor::rand_uniform(&[quotient_rows, part_dim], -0.05, 0.05, rng);
+                    t.map_inplace(|x| 1.0 + x);
+                    t
+                }
+                QrCombiner::Concat => init::embedding_uniform(&[quotient_rows, part_dim], rng),
+            },
+            grads_rem: RowGrads::new(part_dim),
+            grads_quo: RowGrads::new(part_dim),
+            id_rem: ParamId::fresh(),
+            id_quo: ParamId::fresh(),
+            combiner,
+            vocab,
+            dim,
+            part_dim,
+            m,
+            quotient_rows,
+            cached_ids: None,
+        })
+    }
+
+    /// Decomposes an id into `(quotient, remainder)`.
+    pub fn decompose(&self, id: usize) -> (usize, usize) {
+        (id / self.m, id % self.m)
+    }
+
+    /// The configured combiner.
+    pub fn combiner(&self) -> QrCombiner {
+        self.combiner
+    }
+}
+
+impl EmbeddingCompressor for QuotientRemainder {
+    fn lookup(&self, ids: &[usize]) -> Result<Tensor> {
+        check_ids(ids, self.vocab)?;
+        let mut data = Vec::with_capacity(ids.len() * self.dim);
+        for &id in ids {
+            let (q, r) = self.decompose(id);
+            let rem = self.remainder_table.row(r)?;
+            let quo = self.quotient_table.row(q)?;
+            match self.combiner {
+                QrCombiner::Multiply => {
+                    data.extend(rem.iter().zip(quo).map(|(&a, &b)| a * b));
+                }
+                QrCombiner::Concat => {
+                    data.extend_from_slice(rem);
+                    data.extend_from_slice(quo);
+                }
+            }
+        }
+        Ok(Tensor::from_vec(data, &[ids.len(), self.dim])?)
+    }
+
+    fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {
+        let out = self.lookup(ids)?;
+        self.cached_ids = Some(ids.to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
+        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        check_grad(grad_out, ids.len(), self.dim)?;
+        for (k, &id) in ids.iter().enumerate() {
+            let (q, r) = self.decompose(id);
+            let g = grad_out.row(k)?;
+            match self.combiner {
+                QrCombiner::Multiply => {
+                    let rem = self.remainder_table.row(r)?;
+                    let quo = self.quotient_table.row(q)?;
+                    // d/dU = g ⊙ V, d/dV = g ⊙ U (product rule per element).
+                    let du: Vec<f32> = g.iter().zip(quo).map(|(&a, &b)| a * b).collect();
+                    let dv: Vec<f32> = g.iter().zip(rem).map(|(&a, &b)| a * b).collect();
+                    self.grads_rem.add(r, &du);
+                    self.grads_quo.add(q, &dv);
+                }
+                QrCombiner::Concat => {
+                    self.grads_rem.add(r, &g[..self.part_dim]);
+                    self.grads_quo.add(q, &g[self.part_dim..]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()> {
+        self.grads_rem.apply(opt, self.id_rem, &mut self.remainder_table)?;
+        self.grads_quo.apply(opt, self.id_quo, &mut self.quotient_table)
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    fn param_count(&self) -> usize {
+        (self.m + self.quotient_rows) * self.part_dim
+    }
+
+    fn method_name(&self) -> &'static str {
+        match self.combiner {
+            QrCombiner::Multiply => "qr_mult",
+            QrCombiner::Concat => "qr_concat",
+        }
+    }
+
+    fn tables(&self) -> Vec<NamedTable<'_>> {
+        vec![
+            NamedTable { name: "remainder", tensor: &self.remainder_table },
+            NamedTable { name: "quotient", tensor: &self.quotient_table },
+        ]
+    }
+
+    fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
+        vec![
+            NamedTableMut { name: "remainder", tensor: &mut self.remainder_table },
+            NamedTableMut { name: "quotient", tensor: &mut self.quotient_table },
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn make(combiner: QrCombiner) -> QuotientRemainder {
+        let mut rng = StdRng::seed_from_u64(0);
+        QuotientRemainder::new(100, 8, 10, combiner, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn decomposition_unique_per_id() {
+        let qr = make(QrCombiner::Multiply);
+        let codes: HashSet<(usize, usize)> = (0..100).map(|i| qr.decompose(i)).collect();
+        assert_eq!(codes.len(), 100); // every id gets a unique (q, r) pair
+    }
+
+    #[test]
+    fn multiply_composition_matches_tables() {
+        let qr = make(QrCombiner::Multiply);
+        let out = qr.lookup(&[37]).unwrap();
+        let (q, r) = qr.decompose(37);
+        let rem = qr.remainder_table.row(r).unwrap();
+        let quo = qr.quotient_table.row(q).unwrap();
+        for ((o, &a), &b) in out.row(0).unwrap().iter().zip(rem).zip(quo) {
+            assert!((o - a * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn concat_composition_matches_tables() {
+        let qr = make(QrCombiner::Concat);
+        let out = qr.lookup(&[37]).unwrap();
+        let (q, r) = qr.decompose(37);
+        assert_eq!(&out.row(0).unwrap()[..4], qr.remainder_table.row(r).unwrap());
+        assert_eq!(&out.row(0).unwrap()[4..], qr.quotient_table.row(q).unwrap());
+    }
+
+    #[test]
+    fn all_ids_have_distinct_embeddings() {
+        // Property 1 of §4: QR supports a unique vector per category.
+        let qr = make(QrCombiner::Multiply);
+        let ids: Vec<usize> = (0..100).collect();
+        let out = qr.lookup(&ids).unwrap();
+        let mut seen: Vec<Vec<u32>> = Vec::new();
+        for i in 0..100 {
+            let bits: Vec<u32> = out.row(i).unwrap().iter().map(|f| f.to_bits()).collect();
+            assert!(!seen.contains(&bits), "id {i} duplicated an embedding");
+            seen.push(bits);
+        }
+    }
+
+    #[test]
+    fn multiply_gradients_product_rule() {
+        let mut qr = make(QrCombiner::Multiply);
+        let ids = [37usize];
+        qr.forward(&ids).unwrap();
+        let g = Tensor::ones(&[1, 8]);
+        let (q, r) = qr.decompose(37);
+        let rem_before = qr.remainder_table.row(r).unwrap().to_vec();
+        let quo_before = qr.quotient_table.row(q).unwrap().to_vec();
+        qr.backward(&g).unwrap();
+        let mut opt = memcom_nn::Sgd::new(1.0);
+        qr.apply_gradients(&mut opt).unwrap();
+        for i in 0..8 {
+            let want_rem = rem_before[i] - quo_before[i];
+            let want_quo = quo_before[i] - rem_before[i];
+            assert!((qr.remainder_table.row(r).unwrap()[i] - want_rem).abs() < 1e-6);
+            assert!((qr.quotient_table.row(q).unwrap()[i] - want_quo).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn param_counts() {
+        // m=10 rows + ceil(100/10)=10 rows, dims 8 (mult) vs 4 (concat).
+        assert_eq!(make(QrCombiner::Multiply).param_count(), 20 * 8);
+        assert_eq!(make(QrCombiner::Concat).param_count(), 20 * 4);
+        assert_eq!(make(QrCombiner::Multiply).method_name(), "qr_mult");
+        assert_eq!(make(QrCombiner::Concat).method_name(), "qr_concat");
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(QuotientRemainder::new(10, 7, 2, QrCombiner::Concat, &mut rng).is_err());
+        assert!(QuotientRemainder::new(10, 8, 11, QrCombiner::Multiply, &mut rng).is_err());
+        assert!(QuotientRemainder::new(0, 8, 1, QrCombiner::Multiply, &mut rng).is_err());
+        let qr = make(QrCombiner::Multiply);
+        assert!(qr.lookup(&[100]).is_err());
+    }
+
+    #[test]
+    fn uneven_vocab_rounds_quotient_rows_up() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let qr = QuotientRemainder::new(101, 8, 10, QrCombiner::Multiply, &mut rng).unwrap();
+        // id 100 → q=10 requires an 11th quotient row.
+        assert!(qr.lookup(&[100]).is_ok());
+        assert_eq!(qr.param_count(), (10 + 11) * 8);
+    }
+}

@@ -1,0 +1,140 @@
+//! "Reduce embedding dim" baseline: a full table with a smaller `e`.
+
+use memcom_nn::Optimizer;
+use rand::Rng;
+
+use crate::compressor::{EmbeddingCompressor, NamedTable, NamedTableMut};
+use crate::full::FullEmbedding;
+use crate::{CoreError, Result};
+
+/// The simplest compression: keep one row per entity but shrink the row.
+///
+/// The surrounding network adapts to the smaller [`output_dim`]
+/// (`EmbeddingCompressor::output_dim`), exactly as the paper's "reduce
+/// embedding dim" sweep progressively halves the dimension (256 → 128 → …
+/// → 4). Implemented as a thin semantic wrapper over [`FullEmbedding`] so
+/// experiment reports can distinguish the *technique* from the
+/// uncompressed baseline it structurally resembles.
+#[derive(Debug)]
+pub struct ReducedDimEmbedding {
+    inner: FullEmbedding,
+    reference_dim: usize,
+}
+
+impl ReducedDimEmbedding {
+    /// Creates a `vocab × reduced_dim` table; `reference_dim` is the
+    /// uncompressed model's dimension the reduction is measured against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when `reduced_dim` is zero or not
+    /// actually smaller than `reference_dim`.
+    pub fn new<R: Rng + ?Sized>(
+        vocab: usize,
+        reduced_dim: usize,
+        reference_dim: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if reduced_dim >= reference_dim {
+            return Err(CoreError::BadConfig {
+                context: format!(
+                    "reduced dim {reduced_dim} must be smaller than the reference dim {reference_dim}"
+                ),
+            });
+        }
+        Ok(ReducedDimEmbedding {
+            inner: FullEmbedding::new(vocab, reduced_dim, rng)?,
+            reference_dim,
+        })
+    }
+
+    /// The uncompressed dimension this reduction is measured against.
+    pub fn reference_dim(&self) -> usize {
+        self.reference_dim
+    }
+}
+
+impl EmbeddingCompressor for ReducedDimEmbedding {
+    fn lookup(&self, ids: &[usize]) -> Result<memcom_tensor::Tensor> {
+        self.inner.lookup(ids)
+    }
+
+    fn forward(&mut self, ids: &[usize]) -> Result<memcom_tensor::Tensor> {
+        self.inner.forward(ids)
+    }
+
+    fn backward(&mut self, grad_out: &memcom_tensor::Tensor) -> Result<()> {
+        self.inner.backward(grad_out)
+    }
+
+    fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()> {
+        self.inner.apply_gradients(opt)
+    }
+
+    fn output_dim(&self) -> usize {
+        self.inner.output_dim()
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.inner.vocab_size()
+    }
+
+    fn param_count(&self) -> usize {
+        self.inner.param_count()
+    }
+
+    fn method_name(&self) -> &'static str {
+        "reduce_dim"
+    }
+
+    fn tables(&self) -> Vec<NamedTable<'_>> {
+        self.inner.tables()
+    }
+
+    fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
+        self.inner.tables_mut()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn behaves_like_a_smaller_full_table() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let emb = ReducedDimEmbedding::new(20, 4, 16, &mut rng).unwrap();
+        assert_eq!(emb.output_dim(), 4);
+        assert_eq!(emb.param_count(), 80);
+        assert_eq!(emb.reference_dim(), 16);
+        assert_eq!(emb.method_name(), "reduce_dim");
+        let out = emb.lookup(&[0, 19]).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 4]);
+        assert_ne!(out.row(0).unwrap(), out.row(1).unwrap());
+    }
+
+    #[test]
+    fn rejects_non_reduction() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(ReducedDimEmbedding::new(20, 16, 16, &mut rng).is_err());
+        assert!(ReducedDimEmbedding::new(20, 0, 16, &mut rng).is_err());
+    }
+
+    #[test]
+    fn compression_factor_vs_reference() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let emb = ReducedDimEmbedding::new(100, 8, 64, &mut rng).unwrap();
+        let reference_params = 100 * 64;
+        assert_eq!(reference_params / emb.param_count(), 8);
+    }
+}

@@ -1,0 +1,191 @@
+//! "Truncate rare" baseline: drop unpopular entities entirely.
+
+use memcom_nn::{Optimizer, ParamId};
+use memcom_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::{CoreError, Result};
+
+/// Keeps embeddings only for the `keep` most frequent entities; every rarer
+/// id maps to a single shared out-of-vocabulary row. Because ids are
+/// frequency-sorted (id order = popularity order), "keep the first `keep`
+/// ids" is exactly the paper's "drop the less popular apps".
+///
+/// The paper found this "dumb" baseline surprisingly competitive on the
+/// Arcade dataset — and MEmCom still beat it by 2x.
+#[derive(Debug)]
+pub struct TruncateRareEmbedding {
+    /// Rows 0..keep are per-entity; row `keep` is the shared OOV row.
+    table: Tensor,
+    grads: RowGrads,
+    param_id: ParamId,
+    vocab: usize,
+    dim: usize,
+    keep: usize,
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl TruncateRareEmbedding {
+    /// Creates a table keeping the `keep` most frequent entities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for zero sizes or `keep >= vocab`.
+    pub fn new<R: Rng + ?Sized>(
+        vocab: usize,
+        dim: usize,
+        keep: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if vocab == 0 || dim == 0 || keep == 0 {
+            return Err(CoreError::BadConfig {
+                context: format!("truncate-rare needs positive sizes, got v={vocab} e={dim} keep={keep}"),
+            });
+        }
+        if keep >= vocab {
+            return Err(CoreError::BadConfig {
+                context: format!("keep {keep} must be smaller than vocabulary {vocab}"),
+            });
+        }
+        Ok(TruncateRareEmbedding {
+            table: init::embedding_uniform(&[keep + 1, dim], rng),
+            grads: RowGrads::new(dim),
+            param_id: ParamId::fresh(),
+            vocab,
+            dim,
+            keep,
+            cached_ids: None,
+        })
+    }
+
+    /// Maps an entity id to its table row (`keep` = the OOV row).
+    pub fn row_for(&self, id: usize) -> usize {
+        if id < self.keep {
+            id
+        } else {
+            self.keep
+        }
+    }
+
+    /// Number of retained entities.
+    pub fn kept(&self) -> usize {
+        self.keep
+    }
+}
+
+impl EmbeddingCompressor for TruncateRareEmbedding {
+    fn lookup(&self, ids: &[usize]) -> Result<Tensor> {
+        check_ids(ids, self.vocab)?;
+        let mut data = Vec::with_capacity(ids.len() * self.dim);
+        for &id in ids {
+            data.extend_from_slice(self.table.row(self.row_for(id))?);
+        }
+        Ok(Tensor::from_vec(data, &[ids.len(), self.dim])?)
+    }
+
+    fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {
+        let out = self.lookup(ids)?;
+        self.cached_ids = Some(ids.to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
+        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        check_grad(grad_out, ids.len(), self.dim)?;
+        for (k, &id) in ids.iter().enumerate() {
+            self.grads.add(self.row_for(id), grad_out.row(k)?);
+        }
+        Ok(())
+    }
+
+    fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()> {
+        self.grads.apply(opt, self.param_id, &mut self.table)
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    fn param_count(&self) -> usize {
+        (self.keep + 1) * self.dim
+    }
+
+    fn method_name(&self) -> &'static str {
+        "truncate_rare"
+    }
+
+    fn tables(&self) -> Vec<NamedTable<'_>> {
+        vec![NamedTable { name: "kept", tensor: &self.table }]
+    }
+
+    fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
+        vec![
+            NamedTableMut { name: "kept", tensor: &mut self.table },
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make() -> TruncateRareEmbedding {
+        let mut rng = StdRng::seed_from_u64(0);
+        TruncateRareEmbedding::new(100, 4, 10, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn popular_ids_keep_identity() {
+        let emb = make();
+        let out = emb.lookup(&[3, 7]).unwrap();
+        assert_ne!(out.row(0).unwrap(), out.row(1).unwrap());
+        assert_eq!(out.row(0).unwrap(), emb.table.row(3).unwrap());
+    }
+
+    #[test]
+    fn rare_ids_collapse_to_oov() {
+        let emb = make();
+        let out = emb.lookup(&[10, 55, 99]).unwrap();
+        assert_eq!(out.row(0).unwrap(), out.row(1).unwrap());
+        assert_eq!(out.row(1).unwrap(), out.row(2).unwrap());
+        assert_eq!(out.row(0).unwrap(), emb.table.row(10).unwrap()); // OOV row index = keep
+    }
+
+    #[test]
+    fn oov_row_receives_all_rare_gradients() {
+        let mut emb = make();
+        let before = emb.table.row(10).unwrap().to_vec();
+        emb.forward(&[50, 60, 70]).unwrap();
+        emb.backward(&Tensor::ones(&[3, 4])).unwrap();
+        let mut opt = memcom_nn::Sgd::new(0.1);
+        emb.apply_gradients(&mut opt).unwrap();
+        for (b, a) in before.iter().zip(emb.table.row(10).unwrap()) {
+            assert!((a - (b - 0.3)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn metadata_and_validation() {
+        assert_eq!(make().param_count(), 11 * 4);
+        assert_eq!(make().kept(), 10);
+        assert_eq!(make().method_name(), "truncate_rare");
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(TruncateRareEmbedding::new(10, 4, 10, &mut rng).is_err());
+        assert!(TruncateRareEmbedding::new(10, 4, 0, &mut rng).is_err());
+    }
+}

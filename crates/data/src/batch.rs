@@ -1,0 +1,168 @@
+//! Example containers and batching.
+
+use crate::vocab::VocabLayout;
+
+/// One classification / pointwise-ranking example: a fixed-length id
+/// sequence (padded with id 0, least-recent items dropped — §5.1) and an
+/// output-vocabulary label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Example {
+    /// Input ids, exactly `input_len` long.
+    pub input_ids: Vec<usize>,
+    /// Label in `[0, output_vocab)`.
+    pub label: usize,
+}
+
+/// One pairwise (RankNet) example: the shared user features plus a
+/// preferred and a non-preferred output item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairExample {
+    /// Input ids, exactly `input_len` long.
+    pub input_ids: Vec<usize>,
+    /// Output item ranked higher (the observed interaction).
+    pub preferred: usize,
+    /// Output item ranked lower (a sampled negative).
+    pub other: usize,
+}
+
+/// A generated train/eval split plus the vocabulary layout it uses.
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    /// Training examples.
+    pub train: Vec<Example>,
+    /// Evaluation examples.
+    pub eval: Vec<Example>,
+    /// The id layout shared by all examples.
+    pub vocab: VocabLayout,
+}
+
+/// Iterator over contiguous mini-batches of examples, yielding the flat id
+/// buffer (`batch · input_len` ids) and the label slice the training loop
+/// needs. The final partial batch is yielded too.
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    examples: &'a [Example],
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates a batch iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size == 0` — a configuration bug.
+    pub fn new(examples: &'a [Example], batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchIter { examples, batch_size, cursor: 0 }
+    }
+}
+
+/// One mini-batch: flattened ids plus per-example labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// `len = examples_in_batch · input_len`, row-major by example.
+    pub flat_ids: Vec<usize>,
+    /// `len = examples_in_batch`.
+    pub labels: Vec<usize>,
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.examples.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.examples.len());
+        let slice = &self.examples[self.cursor..end];
+        self.cursor = end;
+        let mut flat_ids = Vec::with_capacity(slice.len() * slice[0].input_ids.len());
+        let mut labels = Vec::with_capacity(slice.len());
+        for ex in slice {
+            flat_ids.extend_from_slice(&ex.input_ids);
+            labels.push(ex.label);
+        }
+        Some(Batch { flat_ids, labels })
+    }
+}
+
+/// Pads or truncates a history to exactly `len` ids: keeps the **most
+/// recent** `len` entries (drop least-recent, §5.1) and left-pads with the
+/// padding id when shorter.
+pub fn fix_length(history: &[usize], len: usize) -> Vec<usize> {
+    let mut out = vec![VocabLayout::padding_id(); len];
+    let take = history.len().min(len);
+    let src = &history[history.len() - take..];
+    out[len - take..].copy_from_slice(src);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ex(label: usize) -> Example {
+        Example { input_ids: vec![label; 4], label }
+    }
+
+    #[test]
+    fn batches_cover_all_examples() {
+        let examples: Vec<Example> = (0..10).map(ex).collect();
+        let batches: Vec<Batch> = BatchIter::new(&examples, 4).collect();
+        assert_eq!(batches.len(), 3); // 4 + 4 + 2
+        assert_eq!(batches[0].labels, vec![0, 1, 2, 3]);
+        assert_eq!(batches[2].labels, vec![8, 9]);
+        assert_eq!(batches[0].flat_ids.len(), 16);
+        assert_eq!(batches[2].flat_ids.len(), 8);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_partial_batch() {
+        let examples: Vec<Example> = (0..8).map(ex).collect();
+        let batches: Vec<Batch> = BatchIter::new(&examples, 4).collect();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.labels.len() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let examples: Vec<Example> = vec![ex(0)];
+        let _ = BatchIter::new(&examples, 0);
+    }
+
+    #[test]
+    fn fix_length_pads_left_keeps_recent() {
+        // Short history: left-padded with 0.
+        assert_eq!(fix_length(&[5, 6], 4), vec![0, 0, 5, 6]);
+        // Long history: least-recent (leading) entries dropped.
+        assert_eq!(fix_length(&[1, 2, 3, 4, 5], 3), vec![3, 4, 5]);
+        // Exact fit.
+        assert_eq!(fix_length(&[7, 8], 2), vec![7, 8]);
+        // Empty history.
+        assert_eq!(fix_length(&[], 3), vec![0, 0, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fix_length_always_exact(history in proptest::collection::vec(1usize..100, 0..300), len in 1usize..200) {
+            let fixed = fix_length(&history, len);
+            prop_assert_eq!(fixed.len(), len);
+            // The suffix of the history is preserved in order.
+            let take = history.len().min(len);
+            prop_assert_eq!(&fixed[len - take..], &history[history.len() - take..]);
+        }
+
+        #[test]
+        fn prop_batches_partition(n in 1usize..50, bs in 1usize..20) {
+            let examples: Vec<Example> = (0..n).map(ex).collect();
+            let batches: Vec<Batch> = BatchIter::new(&examples, bs).collect();
+            let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+            prop_assert_eq!(total, n);
+            let labels: Vec<usize> = batches.iter().flat_map(|b| b.labels.clone()).collect();
+            prop_assert_eq!(labels, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

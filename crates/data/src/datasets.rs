@@ -1,0 +1,340 @@
+//! Dataset specifications mirroring Table 2 of the paper.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::batch::{GeneratedData, PairExample};
+use crate::generator::{ClusterModel, ClusterModelConfig};
+use crate::Result;
+
+/// Which experiment family a dataset is used for (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// §5.1 classification (Newsgroup, Games, Arcade).
+    Classification,
+    /// §5.2 pointwise ranking (MovieLens, Million Songs, Google Local,
+    /// Netflix).
+    PointwiseRanking,
+    /// §5.2 pairwise RankNet ranking (Arcade).
+    PairwiseRanking,
+}
+
+/// A dataset stand-in: Table 2's scale parameters plus the generative
+/// knobs of the latent-cluster model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name as used in the paper's figures.
+    pub name: &'static str,
+    /// Number of training examples.
+    pub train_samples: usize,
+    /// Number of evaluation examples.
+    pub eval_samples: usize,
+    /// Country ids in the shared vocabulary (Games/Arcade use these).
+    pub countries: usize,
+    /// Item ids in the shared vocabulary (input vocab = countries+items+1).
+    pub items: usize,
+    /// Output vocabulary size.
+    pub output_vocab: usize,
+    /// Fixed input length (128 throughout the paper).
+    pub input_len: usize,
+    /// Zipf exponent of popularity (Google Local is notably flatter).
+    pub zipf_exponent: f64,
+    /// Latent clusters in the generative model.
+    pub clusters: usize,
+    /// Cluster-escape probability.
+    pub noise: f64,
+    /// The experiment family this dataset appears in.
+    pub task: Task,
+}
+
+impl DatasetSpec {
+    /// 20 Newsgroups (§5.1): 11.3K/7.5K samples, 105K input vocab, 20
+    /// classes.
+    pub fn newsgroup() -> Self {
+        DatasetSpec {
+            name: "newsgroup",
+            train_samples: 11_300,
+            eval_samples: 7_500,
+            countries: 0,
+            items: 104_999,
+            output_vocab: 20,
+            input_len: 128,
+            zipf_exponent: 1.05,
+            clusters: 20,
+            noise: 0.2,
+            task: Task::Classification,
+        }
+    }
+
+    /// MovieLens ratings (§5.2): 655K/72.8K, 10K input, 5K output.
+    pub fn movielens() -> Self {
+        DatasetSpec {
+            name: "movielens",
+            train_samples: 655_000,
+            eval_samples: 72_800,
+            countries: 0,
+            items: 9_999,
+            output_vocab: 5_000,
+            input_len: 128,
+            zipf_exponent: 1.05,
+            clusters: 25,
+            noise: 0.25,
+            task: Task::PointwiseRanking,
+        }
+    }
+
+    /// Million Songs (§5.2): 4.5M/500K, 50K input, 20K output.
+    pub fn million_songs() -> Self {
+        DatasetSpec {
+            name: "million_songs",
+            train_samples: 4_500_000,
+            eval_samples: 500_000,
+            countries: 0,
+            items: 49_999,
+            output_vocab: 20_000,
+            input_len: 128,
+            zipf_exponent: 1.05,
+            clusters: 25,
+            noise: 0.25,
+            task: Task::PointwiseRanking,
+        }
+    }
+
+    /// Google Local Reviews (§5.2): 246K/27K, 200K input, 20K output. The
+    /// paper observes its popularity is unusually even (geographical
+    /// spread), so the Zipf exponent is markedly lower.
+    pub fn google_local() -> Self {
+        DatasetSpec {
+            name: "google_local",
+            train_samples: 246_000,
+            eval_samples: 27_000,
+            countries: 0,
+            items: 199_999,
+            output_vocab: 20_000,
+            input_len: 128,
+            zipf_exponent: 0.6,
+            clusters: 25,
+            noise: 0.25,
+            task: Task::PointwiseRanking,
+        }
+    }
+
+    /// Netflix ratings (§5.2): 2.1M/235K, 17K input, 16K output.
+    pub fn netflix() -> Self {
+        DatasetSpec {
+            name: "netflix",
+            train_samples: 2_100_000,
+            eval_samples: 235_000,
+            countries: 0,
+            items: 16_999,
+            output_vocab: 16_000,
+            input_len: 128,
+            zipf_exponent: 1.05,
+            clusters: 25,
+            noise: 0.25,
+            task: Task::PointwiseRanking,
+        }
+    }
+
+    /// Games (§5.1, proprietary stand-in): 78M/65K, 480K input vocab
+    /// (shared with countries), 119K output.
+    pub fn games() -> Self {
+        DatasetSpec {
+            name: "games",
+            train_samples: 78_000_000,
+            eval_samples: 65_000,
+            countries: 50,
+            items: 479_949,
+            output_vocab: 119_000,
+            input_len: 128,
+            zipf_exponent: 1.05,
+            clusters: 30,
+            noise: 0.25,
+            task: Task::Classification,
+        }
+    }
+
+    /// Arcade (§5.1/§5.2, proprietary stand-in): 7.5M/65K, 300K input
+    /// vocab, 145 output classes.
+    pub fn arcade() -> Self {
+        DatasetSpec {
+            name: "arcade",
+            train_samples: 7_500_000,
+            eval_samples: 65_000,
+            countries: 50,
+            items: 299_949,
+            output_vocab: 145,
+            input_len: 128,
+            zipf_exponent: 1.05,
+            clusters: 20,
+            noise: 0.2,
+            task: Task::Classification,
+        }
+    }
+
+    /// All seven Table-2 datasets.
+    pub fn all() -> Vec<DatasetSpec> {
+        vec![
+            Self::newsgroup(),
+            Self::movielens(),
+            Self::million_songs(),
+            Self::google_local(),
+            Self::netflix(),
+            Self::games(),
+            Self::arcade(),
+        ]
+    }
+
+    /// Total input vocabulary size (`countries + items + 1`, §5.1).
+    pub fn input_vocab(&self) -> usize {
+        self.countries + self.items + 1
+    }
+
+    /// Proportionally shrinks the dataset by `factor` (≥1) while keeping
+    /// the distributional shape: sample counts and vocabularies divide by
+    /// `factor`, floors keep every component viable, and `input_len`,
+    /// exponents, clusters, and noise are untouched.
+    pub fn scaled(&self, factor: usize) -> DatasetSpec {
+        let factor = factor.max(1);
+        let scale = |x: usize, min: usize| (x / factor).max(min);
+        DatasetSpec {
+            train_samples: scale(self.train_samples, 200),
+            eval_samples: scale(self.eval_samples, 100),
+            items: scale(self.items, self.clusters.max(64)),
+            output_vocab: scale(self.output_vocab, self.clusters.max(8).min(self.output_vocab)),
+            countries: if self.countries == 0 { 0 } else { scale(self.countries, 4) },
+            ..self.clone()
+        }
+    }
+
+    fn model(&self) -> Result<ClusterModel> {
+        ClusterModel::new(ClusterModelConfig {
+            countries: self.countries,
+            items: self.items,
+            output_vocab: self.output_vocab,
+            clusters: self.clusters,
+            input_len: self.input_len,
+            zipf_exponent: self.zipf_exponent,
+            noise: self.noise,
+            min_history: (self.input_len / 32).max(2),
+            generic_head_fraction: 0.05,
+            head_prob: 0.35,
+        })
+    }
+
+    /// Generates the train/eval split deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is internally inconsistent; the built-in specs
+    /// and their scaled variants are always consistent.
+    pub fn generate(&self, seed: u64) -> GeneratedData {
+        self.try_generate(seed).expect("built-in dataset specs are consistent")
+    }
+
+    /// Fallible variant of [`generate`](Self::generate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DataError::BadSpec`] for inconsistent custom specs.
+    pub fn try_generate(&self, seed: u64) -> Result<GeneratedData> {
+        let model = self.model()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train = model.examples(self.train_samples, &mut rng);
+        let eval = model.examples(self.eval_samples, &mut rng);
+        Ok(GeneratedData { train, eval, vocab: model.vocab().clone() })
+    }
+
+    /// Generates pairwise (RankNet) train/eval examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DataError::BadSpec`] for inconsistent custom specs.
+    pub fn try_generate_pairs(
+        &self,
+        seed: u64,
+    ) -> Result<(Vec<PairExample>, Vec<PairExample>)> {
+        let model = self.model()?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9A12);
+        let train = model.pair_examples(self.train_samples, &mut rng);
+        let eval = model.pair_examples(self.eval_samples, &mut rng);
+        Ok((train, eval))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_numbers_preserved() {
+        // Spot-check the headline Table 2 entries.
+        let ng = DatasetSpec::newsgroup();
+        assert_eq!(ng.input_vocab(), 105_000);
+        assert_eq!(ng.output_vocab, 20);
+        let games = DatasetSpec::games();
+        assert_eq!(games.input_vocab(), 480_000);
+        assert_eq!(games.output_vocab, 119_000);
+        let arcade = DatasetSpec::arcade();
+        assert_eq!(arcade.input_vocab(), 300_000);
+        assert_eq!(arcade.output_vocab, 145);
+        assert_eq!(DatasetSpec::all().len(), 7);
+        for spec in DatasetSpec::all() {
+            assert_eq!(spec.input_len, 128);
+        }
+    }
+
+    #[test]
+    fn scaled_preserves_shape() {
+        let spec = DatasetSpec::movielens().scaled(100);
+        assert_eq!(spec.name, "movielens");
+        assert_eq!(spec.input_len, 128);
+        assert_eq!(spec.zipf_exponent, DatasetSpec::movielens().zipf_exponent);
+        assert!(spec.train_samples >= 200);
+        assert!(spec.items >= spec.clusters);
+        assert!(spec.output_vocab >= 8);
+        // scaled(1) is identity.
+        assert_eq!(DatasetSpec::netflix().scaled(1), DatasetSpec::netflix());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_split_sized() {
+        let spec = DatasetSpec::newsgroup().scaled(50);
+        let a = spec.generate(7);
+        let b = spec.generate(7);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.eval, b.eval);
+        assert_eq!(a.train.len(), spec.train_samples);
+        assert_eq!(a.eval.len(), spec.eval_samples);
+        assert_eq!(a.vocab.size(), spec.input_vocab());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = DatasetSpec::movielens().scaled(500);
+        assert_ne!(spec.generate(1).train, spec.generate(2).train);
+    }
+
+    #[test]
+    fn pair_generation_works() {
+        let spec = DatasetSpec::arcade().scaled(1000);
+        let (train, eval) = spec.try_generate_pairs(3).unwrap();
+        assert_eq!(train.len(), spec.train_samples);
+        assert_eq!(eval.len(), spec.eval_samples);
+        assert!(train.iter().all(|p| p.preferred != p.other));
+    }
+
+    #[test]
+    fn google_local_is_flatter() {
+        assert!(DatasetSpec::google_local().zipf_exponent < DatasetSpec::movielens().zipf_exponent);
+    }
+
+    #[test]
+    fn games_and_arcade_share_country_layout() {
+        for spec in [DatasetSpec::games(), DatasetSpec::arcade()] {
+            assert!(spec.countries > 0, "{} should carry countries", spec.name);
+            let scaled = spec.scaled(1000);
+            assert!(scaled.countries >= 4);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for dataset generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dataset specification and generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A dataset specification is internally inconsistent.
+    BadSpec {
+        /// Human-readable description of the inconsistency.
+        context: String,
+    },
+    /// A sampler was configured with an empty support.
+    EmptySupport,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::BadSpec { context } => write!(f, "bad dataset spec: {context}"),
+            DataError::EmptySupport => write!(f, "sampler support must be non-empty"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!DataError::EmptySupport.to_string().is_empty());
+        assert!(DataError::BadSpec { context: "x".into() }.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,454 @@
+//! Latent-cluster session generator.
+//!
+//! The generative model that stands in for the paper's recommendation
+//! datasets. Users belong to latent taste clusters; items and output
+//! classes are partitioned across clusters by a deterministic hash; a
+//! user's history is drawn (mostly) from their cluster's items under a
+//! Zipf popularity law, and the label is drawn from their cluster's output
+//! classes. A model can therefore only predict well if its embeddings
+//! separate items by cluster — which is exactly the capability embedding
+//! compression degrades, making accuracy/nDCG sweeps meaningful.
+//!
+//! Items are hash-assigned (not round-robin) to clusters so that hash-based
+//! compressors' collision sets straddle clusters; a round-robin assignment
+//! would accidentally align `i mod m` collisions with cluster structure and
+//! flatter the naive-hashing baseline.
+
+use rand::Rng;
+
+use crate::batch::{fix_length, Example, PairExample};
+use crate::vocab::VocabLayout;
+use crate::zipf::Zipf;
+use crate::{DataError, Result};
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Configuration of the latent-cluster model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterModelConfig {
+    /// Number of country ids in the shared vocabulary (0 to disable).
+    pub countries: usize,
+    /// Number of item ids in the shared vocabulary.
+    pub items: usize,
+    /// Output vocabulary size (labels).
+    pub output_vocab: usize,
+    /// Number of latent clusters. Clamped to `output_vocab`.
+    pub clusters: usize,
+    /// Fixed input length (the paper uses 128).
+    pub input_len: usize,
+    /// Zipf exponent of item popularity (≈1 for app/movie data; the paper
+    /// notes Google Local Reviews is "more even", i.e. a lower exponent).
+    pub zipf_exponent: f64,
+    /// Probability that a history item / label escapes its cluster.
+    pub noise: f64,
+    /// Minimum number of (non-padding) history items per example.
+    pub min_history: usize,
+    /// Fraction of the most popular items that are cluster-agnostic: the
+    /// "everyone has the top apps" head. Cluster identity lives in the
+    /// tail — the part of the vocabulary compression techniques squeeze.
+    pub generic_head_fraction: f64,
+    /// Probability that a history item is drawn from the generic head.
+    pub head_prob: f64,
+}
+
+/// The latent-cluster generative model.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    config: ClusterModelConfig,
+    vocab: VocabLayout,
+    /// Per-cluster item popularity ranks (ascending global rank).
+    cluster_items: Vec<Vec<usize>>,
+    /// Per-cluster output classes.
+    cluster_outputs: Vec<Vec<usize>>,
+    /// Zipf over within-cluster item ranks, one per cluster.
+    item_zipfs: Vec<Zipf>,
+    /// Zipf over within-cluster output ranks, one per cluster.
+    output_zipfs: Vec<Zipf>,
+    /// Global item-popularity Zipf (noise draws).
+    global_item_zipf: Zipf,
+    /// Global output-popularity Zipf (noise labels).
+    global_output_zipf: Zipf,
+    /// Zipf over the generic head ranks `[0, head_len)`.
+    head_zipf: Zipf,
+    /// Number of generic head items.
+    head_len: usize,
+}
+
+impl ClusterModel {
+    /// Builds the model and its cluster partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadSpec`] for inconsistent configurations
+    /// (zero items/outputs/clusters, history longer than the input, or a
+    /// noise probability outside `[0, 1]`).
+    pub fn new(config: ClusterModelConfig) -> Result<Self> {
+        if config.items == 0 || config.output_vocab == 0 {
+            return Err(DataError::BadSpec { context: "items and output vocab must be positive".into() });
+        }
+        if config.clusters == 0 {
+            return Err(DataError::BadSpec { context: "need at least one cluster".into() });
+        }
+        if config.input_len == 0 || config.min_history >= config.input_len {
+            return Err(DataError::BadSpec {
+                context: format!(
+                    "min history {} must be below input length {}",
+                    config.min_history, config.input_len
+                ),
+            });
+        }
+        if !(0.0..=1.0).contains(&config.noise) {
+            return Err(DataError::BadSpec {
+                context: format!("noise must be a probability, got {}", config.noise),
+            });
+        }
+        if !(0.0..1.0).contains(&config.generic_head_fraction) || !(0.0..=1.0).contains(&config.head_prob) {
+            return Err(DataError::BadSpec {
+                context: "generic head fraction must be in [0,1) and head prob in [0,1]".into(),
+            });
+        }
+        let k = config.clusters.min(config.output_vocab).min(config.items);
+        let config = ClusterModelConfig { clusters: k, ..config };
+        let vocab = VocabLayout::new(config.countries, config.items)?;
+
+        // The most popular `head_len` items are cluster-agnostic; only the
+        // tail is hash-partitioned across clusters.
+        let head_len = ((config.items as f64 * config.generic_head_fraction) as usize)
+            .min(config.items.saturating_sub(k))
+            .max(if config.head_prob > 0.0 { 1 } else { 0 });
+        let mut cluster_items: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for rank in head_len..config.items {
+            cluster_items[(splitmix64(rank as u64) % k as u64) as usize].push(rank);
+        }
+        let mut cluster_outputs: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for class in 0..config.output_vocab {
+            cluster_outputs[(splitmix64(class as u64 ^ 0xC1A5_5E5) % k as u64) as usize].push(class);
+        }
+        // Hash partitions can leave a cluster empty at tiny sizes; steal
+        // from the largest cluster to guarantee non-emptiness.
+        rebalance(&mut cluster_items)?;
+        rebalance(&mut cluster_outputs)?;
+
+        let item_zipfs = cluster_items
+            .iter()
+            .map(|items| Zipf::new(items.len(), config.zipf_exponent))
+            .collect::<Result<Vec<_>>>()?;
+        let output_zipfs = cluster_outputs
+            .iter()
+            .map(|outs| Zipf::new(outs.len(), config.zipf_exponent))
+            .collect::<Result<Vec<_>>>()?;
+        let global_item_zipf = Zipf::new(config.items, config.zipf_exponent)?;
+        let global_output_zipf = Zipf::new(config.output_vocab, config.zipf_exponent)?;
+        let head_zipf = Zipf::new(head_len.max(1), config.zipf_exponent)?;
+        Ok(ClusterModel {
+            config,
+            vocab,
+            cluster_items,
+            cluster_outputs,
+            item_zipfs,
+            output_zipfs,
+            global_item_zipf,
+            global_output_zipf,
+            head_zipf,
+            head_len,
+        })
+    }
+
+    /// The effective configuration (clusters may have been clamped).
+    pub fn config(&self) -> &ClusterModelConfig {
+        &self.config
+    }
+
+    /// The id layout in use.
+    pub fn vocab(&self) -> &VocabLayout {
+        &self.vocab
+    }
+
+    /// The cluster an item rank is assigned to (test/debug introspection).
+    pub fn item_cluster(&self, rank: usize) -> Option<usize> {
+        self.cluster_items.iter().position(|items| items.binary_search(&rank).is_ok())
+    }
+
+    /// Draws one item id for cluster `k`: a generic head item with
+    /// probability `head_prob`, a globally-popular noise item with
+    /// probability `noise`, otherwise a cluster-tail item.
+    fn sample_item<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> usize {
+        let roll: f64 = rng.gen();
+        let rank = if self.head_len > 0 && roll < self.config.head_prob {
+            self.head_zipf.sample(rng)
+        } else if roll < self.config.head_prob + self.config.noise {
+            self.global_item_zipf.sample(rng)
+        } else {
+            let within = self.item_zipfs[k].sample(rng);
+            self.cluster_items[k][within]
+        };
+        self.vocab.item_id(rank).expect("rank sampled within bounds")
+    }
+
+    /// Number of cluster-agnostic head items.
+    pub fn head_len(&self) -> usize {
+        self.head_len
+    }
+
+    /// Draws one output label for cluster `k`.
+    fn sample_label<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> usize {
+        if rng.gen::<f64>() < self.config.noise {
+            self.global_output_zipf.sample(rng)
+        } else {
+            let within = self.output_zipfs[k].sample(rng);
+            self.cluster_outputs[k][within]
+        }
+    }
+
+    /// Generates one classification / pointwise-ranking example.
+    pub fn example<R: Rng + ?Sized>(&self, rng: &mut R) -> Example {
+        let k = rng.gen_range(0..self.config.clusters);
+        let mut history = Vec::with_capacity(self.config.input_len);
+        // §5.1: the user's country accompanies the item history. The
+        // country correlates with the cluster, giving the model a second
+        // (weaker) cluster signal.
+        if self.config.countries > 0 {
+            let country_rank = k % self.config.countries;
+            history.push(self.vocab.country_id(country_rank).expect("rank in bounds"));
+        }
+        let max_items = self.config.input_len - history.len();
+        // Session lengths are log-uniform between the minimum and the input
+        // length: real interaction histories are heavy-tailed short, and
+        // short sessions are what make per-item identity (the thing hash
+        // collisions destroy) matter through the average-pooling stage.
+        let n_items = {
+            let lo = self.config.min_history.max(1) as f64;
+            let hi = max_items.max(self.config.min_history) as f64;
+            let u: f64 = rng.gen();
+            (lo * (hi / lo).powf(u)).round() as usize
+        }
+        .clamp(self.config.min_history, max_items);
+        for _ in 0..n_items {
+            history.push(self.sample_item(k, rng));
+        }
+        Example {
+            input_ids: fix_length(&history, self.config.input_len),
+            label: self.sample_label(k, rng),
+        }
+    }
+
+    /// Generates one pairwise (RankNet) example: the preferred item is the
+    /// cluster-consistent label, the other is a popularity-sampled
+    /// distractor from a different class.
+    pub fn pair_example<R: Rng + ?Sized>(&self, rng: &mut R) -> PairExample {
+        let ex = self.example(rng);
+        let mut other = self.global_output_zipf.sample(rng);
+        // Resample (bounded) until the negative differs from the positive.
+        for _ in 0..16 {
+            if other != ex.label {
+                break;
+            }
+            other = self.global_output_zipf.sample(rng);
+        }
+        if other == ex.label {
+            other = (ex.label + 1) % self.config.output_vocab;
+        }
+        PairExample { input_ids: ex.input_ids, preferred: ex.label, other }
+    }
+
+    /// Generates `n` examples.
+    pub fn examples<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Example> {
+        (0..n).map(|_| self.example(rng)).collect()
+    }
+
+    /// Generates `n` pairwise examples.
+    pub fn pair_examples<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<PairExample> {
+        (0..n).map(|_| self.pair_example(rng)).collect()
+    }
+}
+
+/// Moves entries from the largest bucket into empty ones so every cluster
+/// owns at least one element.
+fn rebalance(buckets: &mut [Vec<usize>]) -> Result<()> {
+    loop {
+        let Some(empty) = buckets.iter().position(Vec::is_empty) else {
+            return Ok(());
+        };
+        let largest = buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.len())
+            .map(|(i, _)| i)
+            .expect("non-empty bucket list");
+        if buckets[largest].len() <= 1 {
+            return Err(DataError::BadSpec {
+                context: "not enough elements to populate every cluster".into(),
+            });
+        }
+        let moved = buckets[largest].pop().expect("largest bucket non-empty");
+        buckets[empty].push(moved);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> ClusterModelConfig {
+        ClusterModelConfig {
+            countries: 4,
+            items: 200,
+            output_vocab: 40,
+            clusters: 8,
+            input_len: 16,
+            zipf_exponent: 1.05,
+            noise: 0.2,
+            min_history: 4,
+            generic_head_fraction: 0.05,
+            head_prob: 0.35,
+        }
+    }
+
+    #[test]
+    fn partitions_cover_everything_nonempty() {
+        let model = ClusterModel::new(config()).unwrap();
+        let total_items: usize = model.cluster_items.iter().map(Vec::len).sum();
+        assert_eq!(total_items, 200 - model.head_len());
+        assert_eq!(model.head_len(), 10); // 5% of 200
+        assert!(model.cluster_items.iter().all(|c| !c.is_empty()));
+        let total_outputs: usize = model.cluster_outputs.iter().map(Vec::len).sum();
+        assert_eq!(total_outputs, 40);
+        assert!(model.cluster_outputs.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn examples_are_well_formed() {
+        let model = ClusterModel::new(config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for ex in model.examples(200, &mut rng) {
+            assert_eq!(ex.input_ids.len(), 16);
+            assert!(ex.label < 40);
+            for &id in &ex.input_ids {
+                assert!(id < model.vocab().size(), "id {id} out of vocab");
+            }
+            // At least min_history non-padding entries.
+            let nonpad = ex.input_ids.iter().filter(|&&i| i != 0).count();
+            assert!(nonpad >= 4);
+        }
+    }
+
+    #[test]
+    fn histories_concentrate_in_one_cluster() {
+        let model = ClusterModel::new(config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut majorities = 0usize;
+        let trials = 100;
+        for _ in 0..trials {
+            let ex = model.example(&mut rng);
+            let mut counts = vec![0usize; model.config().clusters];
+            for &id in &ex.input_ids {
+                if let Some(rank) = model.vocab().item_rank(id) {
+                    if let Some(k) = model.item_cluster(rank) {
+                        counts[k] += 1;
+                    }
+                }
+            }
+            let total: usize = counts.iter().sum();
+            let max = counts.iter().max().copied().unwrap_or(0);
+            if total > 0 && max * 2 > total {
+                majorities += 1;
+            }
+        }
+        // With noise 0.2 the dominant cluster should hold a majority of
+        // items in nearly every session.
+        assert!(majorities > trials * 8 / 10, "only {majorities}/{trials} sessions clustered");
+    }
+
+    #[test]
+    fn labels_correlate_with_history_cluster() {
+        let model = ClusterModel::new(config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut consistent = 0usize;
+        let trials = 300;
+        for _ in 0..trials {
+            let ex = model.example(&mut rng);
+            // Infer dominant history cluster.
+            let mut counts = vec![0usize; model.config().clusters];
+            for &id in &ex.input_ids {
+                if let Some(rank) = model.vocab().item_rank(id) {
+                    if let Some(k) = model.item_cluster(rank) {
+                        counts[k] += 1;
+                    }
+                }
+            }
+            let k_hist = counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(k, _)| k).unwrap();
+            if model.cluster_outputs[k_hist].contains(&ex.label) {
+                consistent += 1;
+            }
+        }
+        // Labels come from the session cluster ~(1-noise) of the time;
+        // allow slack for cluster-inference mistakes.
+        assert!(
+            consistent > trials * 6 / 10,
+            "labels uncorrelated with history: {consistent}/{trials}"
+        );
+    }
+
+    #[test]
+    fn pair_examples_have_distinct_items() {
+        let model = ClusterModel::new(config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for pair in model.pair_examples(200, &mut rng) {
+            assert_ne!(pair.preferred, pair.other);
+            assert!(pair.preferred < 40 && pair.other < 40);
+        }
+    }
+
+    #[test]
+    fn popularity_is_power_law() {
+        let model = ClusterModel::new(config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0usize; 200];
+        for ex in model.examples(500, &mut rng) {
+            for &id in &ex.input_ids {
+                if let Some(rank) = model.vocab().item_rank(id) {
+                    counts[rank] += 1;
+                }
+            }
+        }
+        let head: usize = counts[..20].iter().sum();
+        let tail: usize = counts[100..].iter().sum();
+        assert!(head > tail * 2, "head {head} vs tail {tail} — not power law");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = ClusterModel::new(config()).unwrap();
+        let a = model.examples(10, &mut StdRng::seed_from_u64(9));
+        let b = model.examples(10, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ClusterModel::new(ClusterModelConfig { items: 0, ..config() }).is_err());
+        assert!(ClusterModel::new(ClusterModelConfig { output_vocab: 0, ..config() }).is_err());
+        assert!(ClusterModel::new(ClusterModelConfig { clusters: 0, ..config() }).is_err());
+        assert!(ClusterModel::new(ClusterModelConfig { noise: 1.5, ..config() }).is_err());
+        assert!(ClusterModel::new(ClusterModelConfig { min_history: 16, ..config() }).is_err());
+        // Clusters clamp to output vocab rather than failing.
+        let m = ClusterModel::new(ClusterModelConfig { clusters: 1000, ..config() }).unwrap();
+        assert_eq!(m.config().clusters, 40);
+    }
+
+    #[test]
+    fn no_countries_config_works() {
+        let model =
+            ClusterModel::new(ClusterModelConfig { countries: 0, ..config() }).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ex = model.example(&mut rng);
+        assert!(ex.input_ids.iter().all(|&id| !model.vocab().is_country(id)));
+    }
+}

@@ -1,0 +1,159 @@
+//! The shared id layout of §5.1.
+//!
+//! The paper maps a shared vocabulary for countries and apps: "if there are
+//! n countries and m apps, then the vocabulary is of size n + m + 1. The
+//! countries are mapped to ids 1 to n and the apps are mapped to ids n + 1
+//! to n + m. The id 0 is reserved for padding" — with frequency-based
+//! mapping (most downloaded app = id n + 1, most common country = id 1).
+
+use crate::{DataError, Result};
+
+/// Frequency-sorted shared vocabulary layout (padding + countries + items).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VocabLayout {
+    countries: usize,
+    items: usize,
+}
+
+impl VocabLayout {
+    /// Creates a layout with `countries` country ids and `items` item ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadSpec`] when `items == 0`.
+    pub fn new(countries: usize, items: usize) -> Result<Self> {
+        if items == 0 {
+            return Err(DataError::BadSpec { context: "vocabulary needs at least one item".into() });
+        }
+        Ok(VocabLayout { countries, items })
+    }
+
+    /// The padding id (always 0).
+    pub const fn padding_id() -> usize {
+        0
+    }
+
+    /// Total vocabulary size `n + m + 1`.
+    pub fn size(&self) -> usize {
+        self.countries + self.items + 1
+    }
+
+    /// Number of country ids.
+    pub fn countries(&self) -> usize {
+        self.countries
+    }
+
+    /// Number of item ids.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Id of the country with popularity rank `rank` (0 = most common).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadSpec`] when `rank >= countries`.
+    pub fn country_id(&self, rank: usize) -> Result<usize> {
+        if rank >= self.countries {
+            return Err(DataError::BadSpec {
+                context: format!("country rank {rank} out of range for {} countries", self.countries),
+            });
+        }
+        Ok(1 + rank)
+    }
+
+    /// Id of the item with popularity rank `rank` (0 = most downloaded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadSpec`] when `rank >= items`.
+    pub fn item_id(&self, rank: usize) -> Result<usize> {
+        if rank >= self.items {
+            return Err(DataError::BadSpec {
+                context: format!("item rank {rank} out of range for {} items", self.items),
+            });
+        }
+        Ok(1 + self.countries + rank)
+    }
+
+    /// Inverse of [`item_id`](Self::item_id): the popularity rank of an
+    /// item id, or `None` for padding/country ids.
+    pub fn item_rank(&self, id: usize) -> Option<usize> {
+        let first = 1 + self.countries;
+        if id >= first && id < first + self.items {
+            Some(id - first)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `id` denotes a country.
+    pub fn is_country(&self, id: usize) -> bool {
+        (1..=self.countries).contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn layout_matches_paper_example() {
+        // n countries, m apps → vocab n + m + 1; country ranks at 1..=n.
+        let v = VocabLayout::new(3, 10).unwrap();
+        assert_eq!(v.size(), 14);
+        assert_eq!(VocabLayout::padding_id(), 0);
+        assert_eq!(v.country_id(0).unwrap(), 1);
+        assert_eq!(v.country_id(2).unwrap(), 3);
+        assert_eq!(v.item_id(0).unwrap(), 4); // most downloaded app = n + 1
+        assert_eq!(v.item_id(9).unwrap(), 13);
+    }
+
+    #[test]
+    fn rank_round_trip() {
+        let v = VocabLayout::new(5, 100).unwrap();
+        for rank in [0, 1, 50, 99] {
+            assert_eq!(v.item_rank(v.item_id(rank).unwrap()), Some(rank));
+        }
+        assert_eq!(v.item_rank(0), None);
+        assert_eq!(v.item_rank(3), None); // a country id
+        assert_eq!(v.item_rank(v.size()), None);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let v = VocabLayout::new(2, 5).unwrap();
+        assert!(v.country_id(2).is_err());
+        assert!(v.item_id(5).is_err());
+        assert!(VocabLayout::new(2, 0).is_err());
+        assert!(VocabLayout::new(0, 5).is_ok()); // countries are optional
+    }
+
+    #[test]
+    fn is_country_classification() {
+        let v = VocabLayout::new(2, 5).unwrap();
+        assert!(!v.is_country(0));
+        assert!(v.is_country(1));
+        assert!(v.is_country(2));
+        assert!(!v.is_country(3));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ids_partition_vocab(countries in 0usize..20, items in 1usize..200) {
+            let v = VocabLayout::new(countries, items).unwrap();
+            // Every id in [0, size) is exactly one of padding/country/item.
+            for id in 0..v.size() {
+                let padding = id == VocabLayout::padding_id();
+                let country = v.is_country(id);
+                let item = v.item_rank(id).is_some();
+                prop_assert_eq!(
+                    [padding, country, item].iter().filter(|&&b| b).count(),
+                    1,
+                    "id {} classified wrongly", id
+                );
+            }
+        }
+    }
+}

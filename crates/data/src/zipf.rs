@@ -1,0 +1,194 @@
+//! Zipf (power-law) sampling over ranked supports.
+//!
+//! §4 of the paper: "commonly used categories, such as words, movies, and
+//! apps, are typically power law distributed". Every item draw in the
+//! synthetic datasets flows through this sampler, so the generated
+//! popularity profiles match the assumption the techniques are judged
+//! under.
+
+use rand::Rng;
+
+use crate::{DataError, Result};
+
+/// A Zipf distribution over ranks `0..n`: `P(rank = r) ∝ 1/(r+1)^s`.
+///
+/// Sampling uses a precomputed CDF with binary search — `O(n)` memory,
+/// `O(log n)` per draw, fully deterministic given the caller's RNG.
+///
+/// # Example
+///
+/// ```
+/// use memcom_data::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), memcom_data::DataError> {
+/// let zipf = Zipf::new(1000, 1.1)?;
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 1000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `s > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptySupport`] when `n == 0` and
+    /// [`DataError::BadSpec`] for non-positive or non-finite exponents.
+    pub fn new(n: usize, exponent: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(DataError::EmptySupport);
+        }
+        if !(exponent > 0.0) || !exponent.is_finite() {
+            return Err(DataError::BadSpec {
+                context: format!("zipf exponent must be positive and finite, got {exponent}"),
+            });
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0f64;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Ok(Zipf { cdf, exponent })
+    }
+
+    /// Number of ranks in the support.
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The configured exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability mass of rank `r` (0 outside the support).
+    pub fn pmf(&self, r: usize) -> f64 {
+        match r {
+            0 => self.cdf[0],
+            r if r < self.cdf.len() => self.cdf[r] - self.cdf[r - 1],
+            _ => 0.0,
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Draws `k` ranks into a fresh vector.
+    pub fn sample_many<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<usize> {
+        (0..k).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn head_dominates_tail() {
+        let z = Zipf::new(1000, 1.0).unwrap();
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(999));
+        // Harmonic: P(0)/P(9) = 10.
+        assert!((z.pmf(0) / z.pmf(9) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(50, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..10 {
+            let emp = counts[r] as f64 / n as f64;
+            let want = z.pmf(r);
+            assert!(
+                (emp - want).abs() < 0.01 + want * 0.05,
+                "rank {r}: empirical {emp} vs pmf {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let flat = Zipf::new(100, 0.5).unwrap();
+        let steep = Zipf::new(100, 2.0).unwrap();
+        assert!(steep.pmf(0) > flat.pmf(0));
+        assert!(steep.pmf(99) < flat.pmf(99));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(Zipf::new(0, 1.0), Err(DataError::EmptySupport)));
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(500, 1.3).unwrap();
+        let a = z.sample_many(100, &mut StdRng::seed_from_u64(3));
+        let b = z.sample_many(100, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_rank_support() {
+        let z = Zipf::new(1, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.pmf(0), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_samples_in_support(n in 1usize..2000, s in 0.2f64..3.0, seed in 0u64..50) {
+            let z = Zipf::new(n, s).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn prop_pmf_monotone_decreasing(n in 2usize..500, s in 0.2f64..3.0) {
+            let z = Zipf::new(n, s).unwrap();
+            for r in 0..n - 1 {
+                prop_assert!(z.pmf(r) >= z.pmf(r + 1) - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Error type for the differential-privacy crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the accountant and the DP-SGD optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// A privacy parameter is out of its valid range.
+    BadParameter {
+        /// Which parameter and why.
+        context: String,
+    },
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::BadParameter { context } => write!(f, "bad privacy parameter: {context}"),
+        }
+    }
+}
+
+impl Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(DpError::BadParameter { context: "sigma".into() }.to_string().contains("sigma"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Differentially-private training (§A.3 / Figure 5).
+//!
+//! The paper simulates private federated learning with the Rényi
+//! Differential Privacy framework (Mironov 2017) through TensorFlow
+//! Privacy: global-norm clipping, Gaussian noise scaled by a *noise
+//! multiplier*, and `δ = 1/N`. This crate reimplements that stack:
+//!
+//! * [`rdp`] — the subsampled-Gaussian RDP accountant (integer orders,
+//!   Mironov et al. 2019 binomial form) with the classic RDP → (ε, δ)
+//!   conversion.
+//! * [`dpsgd`] — a DP-SGD [`memcom_nn::Optimizer`] that collects
+//!   per-example gradients, clips them to a global L2 bound, accumulates a
+//!   lot, adds Gaussian noise, and applies the averaged noisy update.
+
+pub mod dpsgd;
+pub mod error;
+pub mod rdp;
+
+pub use dpsgd::{DpSgd, DpSgdConfig};
+pub use error::DpError;
+pub use rdp::{compute_epsilon, RdpAccountant};
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, DpError>;

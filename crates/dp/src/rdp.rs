@@ -1,0 +1,249 @@
+//! Rényi-DP accounting for the subsampled Gaussian mechanism.
+//!
+//! For the (unsubsampled) Gaussian mechanism with noise multiplier `σ`,
+//! the Rényi divergence at order `α` is exactly `α / (2σ²)`. With Poisson
+//! subsampling at rate `q`, the integer-order RDP of the sampled Gaussian
+//! mechanism (Mironov, Talwar & Zhang 2019, Eq. for integer α) is
+//!
+//! ```text
+//! ε(α) = 1/(α−1) · ln Σ_{k=0}^{α} C(α,k)(1−q)^{α−k} q^k · e^{(k²−k)/(2σ²)}
+//! ```
+//!
+//! RDP composes additively over steps; the classic conversion
+//! `ε = min_α [ T·ε(α) + ln(1/δ)/(α−1) ]` produces the reported (ε, δ).
+
+use crate::{DpError, Result};
+
+/// Default integer RDP orders (2..=256, the TF-Privacy-style grid).
+pub fn default_orders() -> Vec<u32> {
+    let mut orders: Vec<u32> = (2..=64).collect();
+    orders.extend([80, 96, 128, 160, 192, 256]);
+    orders
+}
+
+/// RDP of one subsampled-Gaussian step at integer order `alpha`.
+///
+/// # Errors
+///
+/// Returns [`DpError::BadParameter`] for `sigma <= 0`, `q ∉ [0, 1]`, or
+/// `alpha < 2`.
+pub fn rdp_step(q: f64, sigma: f64, alpha: u32) -> Result<f64> {
+    if sigma <= 0.0 || !sigma.is_finite() {
+        return Err(DpError::BadParameter { context: format!("sigma must be positive, got {sigma}") });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(DpError::BadParameter { context: format!("q must be a probability, got {q}") });
+    }
+    if alpha < 2 {
+        return Err(DpError::BadParameter { context: format!("alpha must be >= 2, got {alpha}") });
+    }
+    if q == 0.0 {
+        return Ok(0.0);
+    }
+    if (q - 1.0).abs() < f64::EPSILON {
+        // No subsampling: plain Gaussian mechanism.
+        return Ok(alpha as f64 / (2.0 * sigma * sigma));
+    }
+    // log-sum-exp over the binomial expansion.
+    let a = alpha as f64;
+    let mut log_terms = Vec::with_capacity(alpha as usize + 1);
+    for k in 0..=alpha {
+        let kf = k as f64;
+        let log_binom = ln_binomial(alpha, k);
+        let log_term = log_binom
+            + (a - kf) * (1.0 - q).ln()
+            + kf * q.ln()
+            + (kf * kf - kf) / (2.0 * sigma * sigma);
+        log_terms.push(log_term);
+    }
+    let max = log_terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = log_terms.iter().map(|&t| (t - max).exp()).sum();
+    let log_mgf = max + sum.ln();
+    Ok((log_mgf / (a - 1.0)).max(0.0))
+}
+
+fn ln_binomial(n: u32, k: u32) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+fn ln_factorial(n: u32) -> f64 {
+    (2..=n as u64).map(|i| (i as f64).ln()).sum()
+}
+
+/// Tracks cumulative RDP over training steps at a grid of orders.
+#[derive(Debug, Clone)]
+pub struct RdpAccountant {
+    orders: Vec<u32>,
+    rdp: Vec<f64>,
+}
+
+impl Default for RdpAccountant {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RdpAccountant {
+    /// An accountant over [`default_orders`].
+    pub fn new() -> Self {
+        let orders = default_orders();
+        let rdp = vec![0.0; orders.len()];
+        RdpAccountant { orders, rdp }
+    }
+
+    /// Accumulates `steps` subsampled-Gaussian steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation from [`rdp_step`].
+    pub fn add_steps(&mut self, steps: u64, q: f64, sigma: f64) -> Result<()> {
+        for (i, &alpha) in self.orders.iter().enumerate() {
+            self.rdp[i] += steps as f64 * rdp_step(q, sigma, alpha)?;
+        }
+        Ok(())
+    }
+
+    /// Converts accumulated RDP to an (ε, δ) guarantee:
+    /// `ε = min_α [ RDP(α) + ln(1/δ)/(α−1) ]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::BadParameter`] for `delta ∉ (0, 1)`.
+    pub fn epsilon(&self, delta: f64) -> Result<f64> {
+        if !(0.0..1.0).contains(&delta) || delta == 0.0 {
+            return Err(DpError::BadParameter { context: format!("delta must be in (0,1), got {delta}") });
+        }
+        let log_inv_delta = (1.0 / delta).ln();
+        let eps = self
+            .orders
+            .iter()
+            .zip(&self.rdp)
+            .map(|(&alpha, &rdp)| rdp + log_inv_delta / (alpha as f64 - 1.0))
+            .fold(f64::INFINITY, f64::min);
+        Ok(eps)
+    }
+}
+
+/// One-shot helper: ε for `steps` DP-SGD steps at sampling rate `q`,
+/// noise multiplier `sigma`, and failure probability `delta`.
+///
+/// # Errors
+///
+/// Propagates parameter validation.
+pub fn compute_epsilon(steps: u64, q: f64, sigma: f64, delta: f64) -> Result<f64> {
+    let mut acct = RdpAccountant::new();
+    acct.add_steps(steps, q, sigma)?;
+    acct.epsilon(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gaussian_mechanism_exact_at_q1() {
+        // q = 1 reduces to α/(2σ²).
+        for alpha in [2u32, 5, 32] {
+            for sigma in [0.5f64, 1.0, 4.0] {
+                let got = rdp_step(1.0, sigma, alpha).unwrap();
+                let want = alpha as f64 / (2.0 * sigma * sigma);
+                assert!((got - want).abs() < 1e-12, "α={alpha} σ={sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn q1_epsilon_matches_closed_form() {
+        // ε = min_α [T·α/(2σ²) + ln(1/δ)/(α−1)] over the order grid.
+        let (steps, sigma, delta) = (100u64, 2.0f64, 1e-5f64);
+        let got = compute_epsilon(steps, 1.0, sigma, delta).unwrap();
+        let want = default_orders()
+            .iter()
+            .map(|&a| {
+                steps as f64 * a as f64 / (2.0 * sigma * sigma)
+                    + (1.0 / delta).ln() / (a as f64 - 1.0)
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_sampling_rate_is_free() {
+        assert_eq!(compute_epsilon(1_000_000, 0.0, 1.0, 1e-5).unwrap(), {
+            // Only the conversion term survives, minimized at the largest order.
+            let max_order = *default_orders().last().unwrap() as f64;
+            (1e5f64).ln() / (max_order - 1.0)
+        });
+    }
+
+    #[test]
+    fn subsampling_amplifies_privacy() {
+        // Same σ and steps: smaller q ⇒ smaller ε.
+        let e_full = compute_epsilon(1000, 1.0, 1.0, 1e-5).unwrap();
+        let e_sub = compute_epsilon(1000, 0.01, 1.0, 1e-5).unwrap();
+        assert!(e_sub < e_full / 10.0, "{e_sub} vs {e_full}");
+    }
+
+    #[test]
+    fn epsilon_monotone_in_noise() {
+        let eps: Vec<f64> = [0.5, 1.0, 2.0, 4.0]
+            .iter()
+            .map(|&s| compute_epsilon(500, 0.02, s, 1e-5).unwrap())
+            .collect();
+        for w in eps.windows(2) {
+            assert!(w[1] < w[0], "{eps:?}");
+        }
+    }
+
+    #[test]
+    fn epsilon_monotone_in_steps() {
+        let e1 = compute_epsilon(100, 0.02, 1.0, 1e-5).unwrap();
+        let e2 = compute_epsilon(1000, 0.02, 1.0, 1e-5).unwrap();
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn mnist_tutorial_ballpark() {
+        // The classic TF-Privacy MNIST setting: N=60000, batch 256,
+        // σ=1.1, 60 epochs, δ=1e-5 → ε ≈ 3.2 (classic conversion).
+        let q = 256.0 / 60_000.0;
+        let steps = (60_000.0 / 256.0 * 60.0) as u64;
+        let eps = compute_epsilon(steps, q, 1.1, 1e-5).unwrap();
+        assert!((2.0..5.0).contains(&eps), "ε = {eps} outside the published ballpark");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(rdp_step(0.5, 0.0, 2).is_err());
+        assert!(rdp_step(0.5, -1.0, 2).is_err());
+        assert!(rdp_step(1.5, 1.0, 2).is_err());
+        assert!(rdp_step(0.5, 1.0, 1).is_err());
+        assert!(RdpAccountant::new().epsilon(0.0).is_err());
+        assert!(RdpAccountant::new().epsilon(1.0).is_err());
+    }
+
+    #[test]
+    fn accountant_accumulates_additively() {
+        let mut a = RdpAccountant::new();
+        a.add_steps(10, 0.1, 1.0).unwrap();
+        a.add_steps(10, 0.1, 1.0).unwrap();
+        let mut b = RdpAccountant::new();
+        b.add_steps(20, 0.1, 1.0).unwrap();
+        assert!((a.epsilon(1e-5).unwrap() - b.epsilon(1e-5).unwrap()).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rdp_nonnegative(q in 0.0f64..1.0, sigma in 0.3f64..8.0, alpha in 2u32..40) {
+            prop_assert!(rdp_step(q, sigma, alpha).unwrap() >= 0.0);
+        }
+
+        #[test]
+        fn prop_rdp_increasing_in_q(sigma in 0.5f64..4.0, alpha in 2u32..20) {
+            let lo = rdp_step(0.01, sigma, alpha).unwrap();
+            let hi = rdp_step(0.5, sigma, alpha).unwrap();
+            prop_assert!(hi >= lo);
+        }
+    }
+}

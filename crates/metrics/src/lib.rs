@@ -1,0 +1,257 @@
+//! Evaluation metrics: accuracy, top-k accuracy, and nDCG.
+//!
+//! The paper's two experiment families report percentage **accuracy loss**
+//! (classification, Figure 1) and percentage **nDCG loss** (ranking,
+//! Figures 2–3) relative to the uncompressed baseline; this crate provides
+//! those metrics plus the relative-loss helper every figure shares.
+//!
+//! # Example
+//!
+//! ```
+//! use memcom_metrics::{accuracy, relative_loss_pct};
+//!
+//! let acc = accuracy(&[0, 1, 2], &[0, 1, 1]);
+//! assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+//! // A compressed model at 0.60 vs a baseline at 0.64 lost 6.25%.
+//! assert!((relative_loss_pct(0.64, 0.60) - 6.25).abs() < 1e-4);
+//! ```
+
+/// Fraction of predictions equal to their label.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or are empty — a harness bug,
+/// not a data condition.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    assert!(!labels.is_empty(), "accuracy over an empty set is undefined");
+    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    hits as f64 / labels.len() as f64
+}
+
+/// Fraction of examples whose label appears in the top-`k` scored classes.
+///
+/// `scores` is row-major `[n_examples, n_classes]`.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions, `k == 0`, or empty input.
+pub fn top_k_accuracy(scores: &[f32], n_classes: usize, labels: &[usize], k: usize) -> f64 {
+    assert!(k > 0, "top-k needs k >= 1");
+    assert!(n_classes > 0 && !labels.is_empty(), "empty inputs");
+    assert_eq!(scores.len(), labels.len() * n_classes, "score matrix shape mismatch");
+    let mut hits = 0usize;
+    for (row, &label) in labels.iter().enumerate() {
+        let row_scores = &scores[row * n_classes..(row + 1) * n_classes];
+        let label_score = row_scores[label];
+        // Rank = number of classes scoring strictly higher (ties favour
+        // the label, matching Keras's in_top_k).
+        let higher = row_scores.iter().filter(|&&s| s > label_score).count();
+        if higher < k {
+            hits += 1;
+        }
+    }
+    hits as f64 / labels.len() as f64
+}
+
+/// The rank (0-based) of `label` under `scores`, counting strictly higher
+/// scores (ties resolve in the label's favour).
+pub fn rank_of(scores: &[f32], label: usize) -> usize {
+    let target = scores[label];
+    scores.iter().filter(|&&s| s > target).count()
+}
+
+/// DCG of a ranked relevance list: `Σ relevanceᵢ / log₂(i + 2)`.
+pub fn dcg(relevances_in_rank_order: &[f64]) -> f64 {
+    relevances_in_rank_order
+        .iter()
+        .enumerate()
+        .map(|(i, &rel)| rel / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// nDCG for graded relevances: DCG of the given ordering divided by the
+/// DCG of the ideal (descending-relevance) ordering. Returns 1.0 when
+/// every relevance is zero (both DCGs vanish).
+pub fn ndcg(relevances_in_rank_order: &[f64]) -> f64 {
+    let actual = dcg(relevances_in_rank_order);
+    let mut ideal_order = relevances_in_rank_order.to_vec();
+    ideal_order.sort_by(|a, b| b.partial_cmp(a).expect("relevances must not be NaN"));
+    let ideal = dcg(&ideal_order);
+    if ideal == 0.0 {
+        1.0
+    } else {
+        actual / ideal
+    }
+}
+
+/// nDCG of a single-relevant-item ranking, the setting of the paper's
+/// §5.2 evaluation (the held-out next interaction is the one relevant
+/// item): `1 / log₂(rank + 2)`, which is 1.0 at rank 0.
+pub fn single_relevant_ndcg(rank: usize) -> f64 {
+    1.0 / ((rank + 2) as f64).log2()
+}
+
+/// Mean single-relevant nDCG over a batch of score rows.
+///
+/// `scores` is row-major `[n_examples, n_classes]`; `labels[i]` is the
+/// relevant class of example `i`.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions or empty input.
+pub fn mean_ndcg(scores: &[f32], n_classes: usize, labels: &[usize]) -> f64 {
+    assert!(n_classes > 0 && !labels.is_empty(), "empty inputs");
+    assert_eq!(scores.len(), labels.len() * n_classes, "score matrix shape mismatch");
+    let total: f64 = labels
+        .iter()
+        .enumerate()
+        .map(|(row, &label)| {
+            let row_scores = &scores[row * n_classes..(row + 1) * n_classes];
+            single_relevant_ndcg(rank_of(row_scores, label))
+        })
+        .sum();
+    total / labels.len() as f64
+}
+
+/// Percentage loss of `value` relative to `baseline` — the y-axis of
+/// Figures 1–3 ("percentage loss in accuracy/nDCG compared to the
+/// uncompressed model"). Negative results mean the compressed model won.
+pub fn relative_loss_pct(baseline: f64, value: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - value) / baseline * 100.0
+    }
+}
+
+/// Pairwise ranking accuracy: fraction of pairs where the preferred item
+/// outscored the other (ties count as failures). Used to monitor RankNet
+/// training.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or are empty.
+pub fn pairwise_accuracy(preferred_scores: &[f32], other_scores: &[f32]) -> f64 {
+    assert_eq!(preferred_scores.len(), other_scores.len(), "pair length mismatch");
+    assert!(!preferred_scores.is_empty(), "empty pair set");
+    let wins = preferred_scores.iter().zip(other_scores).filter(|(p, o)| p > o).count();
+    wins as f64 / preferred_scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[0, 0, 0], &[1, 2, 3]), 0.0);
+        assert!((accuracy(&[1, 0], &[1, 1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_checked() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn top_k_behaviour() {
+        // Scores: example 0 ranks classes [2, 1, 0]; label 0 is rank 2.
+        let scores = [0.1f32, 0.5, 0.9];
+        assert_eq!(top_k_accuracy(&scores, 3, &[0], 1), 0.0);
+        assert_eq!(top_k_accuracy(&scores, 3, &[0], 3), 1.0);
+        assert_eq!(top_k_accuracy(&scores, 3, &[2], 1), 1.0);
+    }
+
+    #[test]
+    fn top_k_tie_favours_label() {
+        let scores = [0.5f32, 0.5];
+        assert_eq!(top_k_accuracy(&scores, 2, &[1], 1), 1.0);
+    }
+
+    #[test]
+    fn rank_of_counts_strictly_higher() {
+        assert_eq!(rank_of(&[0.9, 0.5, 0.1], 0), 0);
+        assert_eq!(rank_of(&[0.9, 0.5, 0.1], 2), 2);
+        assert_eq!(rank_of(&[0.5, 0.5], 1), 0);
+    }
+
+    #[test]
+    fn dcg_hand_computed() {
+        // rel [3, 2, 0]: 3/log2(2) + 2/log2(3) + 0 = 3 + 2/1.58496.
+        let got = dcg(&[3.0, 2.0, 0.0]);
+        assert!((got - (3.0 + 2.0 / 3f64.log2())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ndcg_perfect_and_worst() {
+        assert!((ndcg(&[3.0, 2.0, 1.0]) - 1.0).abs() < 1e-12);
+        let worst = ndcg(&[1.0, 2.0, 3.0]);
+        assert!(worst < 1.0 && worst > 0.0);
+        assert_eq!(ndcg(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn single_relevant_matches_general() {
+        // Single relevant item at rank r ⇒ relevance vector with one 1.
+        for rank in 0..5 {
+            let mut rel = vec![0.0; 6];
+            rel[rank] = 1.0;
+            assert!((ndcg(&rel) - single_relevant_ndcg(rank)).abs() < 1e-12);
+        }
+        assert_eq!(single_relevant_ndcg(0), 1.0);
+    }
+
+    #[test]
+    fn mean_ndcg_over_batch() {
+        // Two examples: label ranked 0 (ndcg 1.0) and ranked 1 (1/log2(3)).
+        let scores = [0.9f32, 0.1, 0.4, 0.6];
+        let got = mean_ndcg(&scores, 2, &[0, 0]);
+        let want = (1.0 + 1.0 / 3f64.log2()) / 2.0;
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_loss_signs() {
+        assert!((relative_loss_pct(0.8, 0.4) - 50.0).abs() < 1e-12);
+        assert!(relative_loss_pct(0.5, 0.6) < 0.0); // compressed model won
+        assert_eq!(relative_loss_pct(0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn pairwise_accuracy_counts_wins() {
+        assert_eq!(pairwise_accuracy(&[1.0, 2.0], &[0.0, 3.0]), 0.5);
+        assert_eq!(pairwise_accuracy(&[1.0], &[1.0]), 0.0); // tie = failure
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ndcg_in_unit_interval(rels in proptest::collection::vec(0.0f64..10.0, 1..20)) {
+            let v = ndcg(&rels);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+
+        #[test]
+        fn prop_ndcg_ideal_ordering_is_max(rels in proptest::collection::vec(0.0f64..10.0, 1..15)) {
+            let mut ideal = rels.clone();
+            ideal.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            prop_assert!(ndcg(&ideal) >= ndcg(&rels) - 1e-12);
+        }
+
+        #[test]
+        fn prop_single_relevant_decreasing(rank in 0usize..100) {
+            prop_assert!(single_relevant_ndcg(rank) > single_relevant_ndcg(rank + 1));
+        }
+
+        #[test]
+        fn prop_accuracy_bounds(n in 1usize..50, seed in 0u64..100) {
+            let preds: Vec<usize> = (0..n).map(|i| ((i as u64 * seed) % 5) as usize).collect();
+            let labels: Vec<usize> = (0..n).map(|i| (i % 5) as usize).collect();
+            let a = accuracy(&preds, &labels);
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+}

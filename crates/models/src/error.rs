@@ -1,0 +1,94 @@
+//! Error type for model construction and training.
+
+use std::error::Error;
+use std::fmt;
+
+use memcom_core::CoreError;
+use memcom_data::DataError;
+use memcom_nn::NnError;
+use memcom_tensor::TensorError;
+
+/// Errors produced while building, training, or evaluating models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying layer/optimizer operation failed.
+    Nn(NnError),
+    /// An embedding compressor operation failed.
+    Core(CoreError),
+    /// Dataset generation failed.
+    Data(DataError),
+    /// A model or training configuration is invalid.
+    BadConfig {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            ModelError::Nn(e) => write!(f, "nn operation failed: {e}"),
+            ModelError::Core(e) => write!(f, "embedding operation failed: {e}"),
+            ModelError::Data(e) => write!(f, "data generation failed: {e}"),
+            ModelError::BadConfig { context } => write!(f, "bad model config: {context}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Tensor(e) => Some(e),
+            ModelError::Nn(e) => Some(e),
+            ModelError::Core(e) => Some(e),
+            ModelError::Data(e) => Some(e),
+            ModelError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<TensorError> for ModelError {
+    fn from(e: TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+impl From<NnError> for ModelError {
+    fn from(e: NnError) -> Self {
+        ModelError::Nn(e)
+    }
+}
+
+impl From<CoreError> for ModelError {
+    fn from(e: CoreError) -> Self {
+        ModelError::Core(e)
+    }
+}
+
+impl From<DataError> for ModelError {
+    fn from(e: DataError) -> Self {
+        ModelError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        assert!(Error::source(&ModelError::from(TensorError::EmptyTensor)).is_some());
+        assert!(Error::source(&ModelError::from(DataError::EmptySupport)).is_some());
+        assert!(Error::source(&ModelError::BadConfig { context: "x".into() }).is_none());
+        assert!(ModelError::BadConfig { context: "bad lr".into() }.to_string().contains("bad lr"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,30 @@
+//! The paper's models, training loop, and compression sweeps.
+//!
+//! Three networks, all built around an interchangeable
+//! [`EmbeddingCompressor`](memcom_core::EmbeddingCompressor):
+//!
+//! * [`network::RecModel`] with [`network::ModelKind::Classifier`] — the
+//!   Code-1 embedding-based fully connected feed-forward network of §5.1.
+//! * [`network::RecModel`] with [`network::ModelKind::PointwiseRanker`] —
+//!   the §5.2 variant ("removing the Dense layer following the Average
+//!   Pooling").
+//! * [`ranknet::RankNet`] — the §5.2 pairwise siamese network for Arcade.
+//!
+//! [`sweep`] runs the compression-vs-quality grids behind Figures 1–3:
+//! train the uncompressed baseline, train every compressed configuration,
+//! and report `(compression ratio, % quality loss)` pairs.
+
+pub mod error;
+pub mod network;
+pub mod ranknet;
+pub mod sweep;
+pub mod trainer;
+
+pub use error::ModelError;
+pub use network::{ModelConfig, ModelKind, RecModel};
+pub use ranknet::RankNet;
+pub use sweep::{SweepConfig, SweepPoint, SweepResult};
+pub use trainer::{TrainConfig, TrainReport};
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

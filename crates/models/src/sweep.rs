@@ -1,0 +1,372 @@
+//! Compression-vs-quality sweeps (the engine behind Figures 1–3).
+//!
+//! A sweep trains the uncompressed baseline once, then trains one model
+//! per [`MethodSpec`] grid point (in parallel across worker threads) and
+//! reports each point as `(compression ratio, % quality loss)` — exactly
+//! the axes of the paper's figures. Ratios are whole-model, "for
+//! consistency across the datasets, we measure the number of parameters of
+//! all the layers and not just the embedding layers".
+
+use memcom_core::{budget::compression_ratio, MethodSpec, QrCombiner};
+use memcom_data::{DatasetSpec, GeneratedData};
+use memcom_metrics::relative_loss_pct;
+
+use crate::network::{ModelConfig, ModelKind, RecModel};
+use crate::ranknet::RankNet;
+use crate::trainer::{train, TrainConfig};
+use crate::{ModelError, Result};
+
+/// One trained grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Technique label (figure legend).
+    pub label: String,
+    /// Total model parameters.
+    pub params: usize,
+    /// Whole-model compression ratio vs the uncompressed baseline.
+    pub compression_ratio: f64,
+    /// Eval accuracy (classification) of this point.
+    pub accuracy: f64,
+    /// Eval nDCG of this point.
+    pub ndcg: f64,
+    /// % accuracy loss vs baseline (Figure 1 y-axis).
+    pub accuracy_loss_pct: f64,
+    /// % nDCG loss vs baseline (Figures 2–3 y-axis).
+    pub ndcg_loss_pct: f64,
+}
+
+/// A full sweep: baseline plus all compressed points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// The uncompressed reference point.
+    pub baseline: SweepPoint,
+    /// All compressed grid points, in input order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// Renders the sweep as an aligned text table (experiment binaries
+    /// print this directly).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>8} {:>9} {:>9} {:>10} {:>10}\n",
+            "method", "params", "ratio", "acc", "ndcg", "acc_loss%", "ndcg_loss%"
+        ));
+        let row = |p: &SweepPoint| {
+            format!(
+                "{:<28} {:>12} {:>8.2} {:>9.4} {:>9.4} {:>10.2} {:>10.2}\n",
+                p.label, p.params, p.compression_ratio, p.accuracy, p.ndcg,
+                p.accuracy_loss_pct, p.ndcg_loss_pct
+            )
+        };
+        out.push_str(&row(&self.baseline));
+        for p in &self.points {
+            out.push_str(&row(p));
+        }
+        out
+    }
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Network variant (classifier for Figure 1, pointwise for Figure 2).
+    pub kind: ModelKind,
+    /// Reference embedding dimension.
+    pub embedding_dim: usize,
+    /// Training hyperparameters shared by every point.
+    pub train: TrainConfig,
+    /// Worker threads (1 = sequential).
+    pub workers: usize,
+    /// Independent training runs per grid point (different init seeds);
+    /// quality numbers are averaged to suppress run-to-run variance.
+    pub replicates: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            kind: ModelKind::Classifier,
+            embedding_dim: 32,
+            train: TrainConfig::default(),
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            replicates: 1,
+        }
+    }
+}
+
+/// The paper's hash-size grid scaled to a vocabulary: the §5 sweep uses
+/// `m ∈ {100K, 50K, 25K, 10K, 5K, 1K}` against 100K+ vocabularies, i.e.
+/// roughly `v/{1, 2, 4, 10, 20, 100}`; this helper reproduces those
+/// fractions for any (scaled) vocabulary.
+pub fn hash_size_grid(vocab: usize) -> Vec<usize> {
+    [2usize, 4, 10, 20, 100]
+        .iter()
+        .map(|d| (vocab / d).max(1))
+        .filter(|&m| m < vocab)
+        .collect()
+}
+
+/// The full §5 method grid for one dataset: every technique at every
+/// applicable hyperparameter, mirroring the figure legends.
+pub fn paper_method_grid(vocab: usize, embedding_dim: usize) -> Vec<MethodSpec> {
+    let mut specs = Vec::new();
+    for m in hash_size_grid(vocab) {
+        specs.push(MethodSpec::MemCom { hash_size: m, bias: true });
+        specs.push(MethodSpec::MemCom { hash_size: m, bias: false });
+        specs.push(MethodSpec::NaiveHash { hash_size: m });
+        specs.push(MethodSpec::DoubleHash { hash_size: m });
+        specs.push(MethodSpec::QuotientRemainder { hash_size: m, combiner: QrCombiner::Multiply });
+        specs.push(MethodSpec::QuotientRemainder { hash_size: m, combiner: QrCombiner::Concat });
+        specs.push(MethodSpec::TruncateRare { keep: m });
+    }
+    // "reduce embedding dim": e/2, e/4, … down to 4 (paper: 128…4 from 256).
+    let mut dim = embedding_dim / 2;
+    while dim >= 4 {
+        specs.push(MethodSpec::ReduceDim { dim });
+        dim /= 2;
+    }
+    // "factorized embedding": hidden from e/2 downward by 2.
+    let mut hidden = embedding_dim / 2;
+    while hidden >= 2 {
+        specs.push(MethodSpec::Factorized { hidden });
+        hidden /= 2;
+    }
+    specs
+}
+
+/// Trains one (dataset, spec) point and returns its quality numbers.
+fn run_point(
+    data: &GeneratedData,
+    dataset: &DatasetSpec,
+    config: &SweepConfig,
+    spec: &MethodSpec,
+) -> Result<(String, usize, f64, f64)> {
+    let replicates = config.replicates.max(1);
+    let mut params = 0usize;
+    let mut acc_sum = 0f64;
+    let mut ndcg_sum = 0f64;
+    for r in 0..replicates {
+        let seed = config.train.seed.wrapping_add(r as u64 * 7919);
+        let model_config = ModelConfig {
+            kind: config.kind,
+            vocab: dataset.input_vocab(),
+            embedding_dim: config.embedding_dim,
+            input_len: dataset.input_len,
+            n_classes: dataset.output_vocab,
+            dropout: 0.05,
+            seed,
+        };
+        let mut model = RecModel::new(&model_config, spec)?;
+        let train_config = TrainConfig { seed, ..config.train.clone() };
+        let report = train(&mut model, &data.train, &data.eval, &train_config)?;
+        params = model.param_count();
+        acc_sum += report.eval_accuracy;
+        ndcg_sum += report.eval_ndcg;
+    }
+    Ok((
+        spec.label(),
+        params,
+        acc_sum / replicates as f64,
+        ndcg_sum / replicates as f64,
+    ))
+}
+
+/// Runs a full sweep: baseline plus `specs`, parallel across
+/// `config.workers` threads.
+///
+/// # Errors
+///
+/// Fails if any individual training run fails (the first error wins).
+pub fn run_sweep(
+    dataset: &DatasetSpec,
+    data: &GeneratedData,
+    specs: &[MethodSpec],
+    config: &SweepConfig,
+) -> Result<SweepResult> {
+    // Baseline first: its quality anchors every loss percentage.
+    let (base_label, base_params, base_acc, base_ndcg) =
+        run_point(data, dataset, config, &MethodSpec::Uncompressed)?;
+    let baseline = SweepPoint {
+        label: base_label,
+        params: base_params,
+        compression_ratio: 1.0,
+        accuracy: base_acc,
+        ndcg: base_ndcg,
+        accuracy_loss_pct: 0.0,
+        ndcg_loss_pct: 0.0,
+    };
+
+    // Parallel grid: a shared atomic cursor feeds worker threads.
+    let results: Vec<Option<Result<(String, usize, f64, f64)>>> =
+        std::sync::Mutex::new(vec![None; specs.len()]).into_inner().expect("fresh mutex");
+    let results = std::sync::Mutex::new(results);
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let workers = config.workers.max(1).min(specs.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let outcome = run_point(data, dataset, config, &specs[i]);
+                results.lock().expect("no poisoned workers").get_mut(i).map(|slot| *slot = Some(outcome));
+            });
+        }
+    })
+    .map_err(|_| ModelError::BadConfig { context: "sweep worker panicked".into() })?;
+
+    let mut points = Vec::with_capacity(specs.len());
+    for slot in results.into_inner().expect("workers joined") {
+        let (label, params, accuracy, ndcg) =
+            slot.expect("cursor covered every index")?;
+        points.push(SweepPoint {
+            compression_ratio: compression_ratio(base_params, params),
+            accuracy_loss_pct: relative_loss_pct(base_acc, accuracy),
+            ndcg_loss_pct: relative_loss_pct(base_ndcg, ndcg),
+            label,
+            params,
+            accuracy,
+            ndcg,
+        });
+    }
+    Ok(SweepResult { dataset: dataset.name, baseline, points })
+}
+
+/// Runs a pairwise (Figure 3) sweep with the RankNet model.
+///
+/// # Errors
+///
+/// Fails if any training run fails.
+pub fn run_pairwise_sweep(
+    dataset: &DatasetSpec,
+    specs: &[MethodSpec],
+    config: &SweepConfig,
+    seed: u64,
+) -> Result<SweepResult> {
+    let (train_pairs, eval_pairs) = dataset.try_generate_pairs(seed)?;
+    let model_config = ModelConfig {
+        kind: ModelKind::PointwiseRanker,
+        vocab: dataset.input_vocab(),
+        embedding_dim: config.embedding_dim,
+        input_len: dataset.input_len,
+        n_classes: dataset.output_vocab,
+        dropout: 0.05,
+        seed: config.train.seed,
+    };
+    let run_one = |spec: &MethodSpec| -> Result<(String, usize, f64, f64)> {
+        let mut net = RankNet::new(&model_config, spec)?;
+        let report = net.train(&train_pairs, &eval_pairs, &config.train)?;
+        Ok((spec.label(), net.param_count(), report.pair_accuracy, report.eval_ndcg))
+    };
+    let (base_label, base_params, base_acc, base_ndcg) = run_one(&MethodSpec::Uncompressed)?;
+    let baseline = SweepPoint {
+        label: base_label,
+        params: base_params,
+        compression_ratio: 1.0,
+        accuracy: base_acc,
+        ndcg: base_ndcg,
+        accuracy_loss_pct: 0.0,
+        ndcg_loss_pct: 0.0,
+    };
+    let mut points = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let (label, params, accuracy, ndcg) = run_one(spec)?;
+        points.push(SweepPoint {
+            compression_ratio: compression_ratio(base_params, params),
+            accuracy_loss_pct: relative_loss_pct(base_acc, accuracy),
+            ndcg_loss_pct: relative_loss_pct(base_ndcg, ndcg),
+            label,
+            params,
+            accuracy,
+            ndcg,
+        });
+    }
+    Ok(SweepResult { dataset: dataset.name, baseline, points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> DatasetSpec {
+        let mut spec = DatasetSpec::newsgroup().scaled(1_000_000);
+        spec.train_samples = 300;
+        spec.eval_samples = 100;
+        spec.input_len = 12;
+        spec
+    }
+
+    #[test]
+    fn grid_fractions_follow_paper() {
+        let grid = hash_size_grid(100_000);
+        assert_eq!(grid, vec![50_000, 25_000, 10_000, 5_000, 1_000]);
+        // Tiny vocabularies keep at least one valid point.
+        assert!(!hash_size_grid(8).is_empty());
+        assert!(hash_size_grid(8).iter().all(|&m| m >= 1 && m < 8));
+    }
+
+    #[test]
+    fn paper_grid_contains_every_family() {
+        let specs = paper_method_grid(1_000, 32);
+        let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
+        for family in
+            ["memcom(", "memcom_nobias(", "naive_hash", "double_hash", "qr_mult", "qr_concat", "truncate_rare", "reduce_dim", "factorized"]
+        {
+            assert!(
+                labels.iter().any(|l| l.starts_with(family)),
+                "family {family} missing from grid"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_produces_consistent_ratios() {
+        let dataset = tiny_dataset();
+        let data = dataset.generate(21);
+        let specs = vec![
+            MethodSpec::MemCom { hash_size: dataset.input_vocab() / 10, bias: true },
+            MethodSpec::NaiveHash { hash_size: dataset.input_vocab() / 10 },
+        ];
+        let config = SweepConfig {
+            embedding_dim: 8,
+            train: TrainConfig { epochs: 1, batch_size: 64, ..TrainConfig::default() },
+            workers: 2,
+            replicates: 2,
+            ..SweepConfig::default()
+        };
+        let result = run_sweep(&dataset, &data, &specs, &config).unwrap();
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.baseline.compression_ratio, 1.0);
+        for p in &result.points {
+            assert!(p.compression_ratio > 1.0, "{} ratio {}", p.label, p.compression_ratio);
+            assert!(p.params < result.baseline.params);
+        }
+        // MEmCom keeps v extra multiplier params → slightly lower ratio
+        // than naive hashing at the same m.
+        assert!(result.points[0].compression_ratio < result.points[1].compression_ratio);
+        let table = result.to_table();
+        assert!(table.contains("memcom"));
+        assert!(table.contains("naive_hash"));
+    }
+
+    #[test]
+    fn pairwise_sweep_runs() {
+        let mut dataset = tiny_dataset();
+        dataset.train_samples = 200;
+        let specs = vec![MethodSpec::NaiveHash { hash_size: dataset.input_vocab() / 10 }];
+        let config = SweepConfig {
+            embedding_dim: 8,
+            train: TrainConfig { epochs: 1, batch_size: 64, ..TrainConfig::default() },
+            workers: 1,
+            ..SweepConfig::default()
+        };
+        let result = run_pairwise_sweep(&dataset, &specs, &config, 3).unwrap();
+        assert_eq!(result.points.len(), 1);
+        assert!(result.points[0].compression_ratio > 1.0);
+    }
+}

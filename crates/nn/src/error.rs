@@ -1,0 +1,77 @@
+//! Error type for the neural-network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use memcom_tensor::TensorError;
+
+/// Errors produced by layers, losses, and optimizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// `backward` was called before `forward` (no cached activations).
+    BackwardBeforeForward {
+        /// Layer that was misused.
+        layer: String,
+    },
+    /// The input shape is invalid for this layer.
+    BadInput {
+        /// Human-readable description of the constraint that was violated.
+        context: String,
+    },
+    /// Labels or targets are inconsistent with the predictions.
+    BadTarget {
+        /// Human-readable description of the inconsistency.
+        context: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::BadInput { context } => write!(f, "bad layer input: {context}"),
+            NnError::BadTarget { context } => write!(f, "bad loss target: {context}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(TensorError::EmptyTensor);
+        assert!(e.to_string().contains("tensor"));
+        assert!(Error::source(&e).is_some());
+        let e2 = NnError::BackwardBeforeForward { layer: "dense".into() };
+        assert!(e2.to_string().contains("dense"));
+        assert!(Error::source(&e2).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

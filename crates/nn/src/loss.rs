@@ -1,0 +1,251 @@
+//! Loss functions: softmax cross-entropy and the RankNet pairwise loss.
+
+use memcom_tensor::{ops, Tensor};
+
+use crate::{NnError, Result};
+
+/// A scalar loss together with the gradient of that loss with respect to
+/// the predictions that produced it.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// `∂loss/∂predictions`, same shape as the predictions.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy over `[batch, classes]` logits with integer
+/// labels, averaged over the batch.
+///
+/// Combining softmax and negative log-likelihood in one step gives the
+/// numerically exact gradient `softmax(logits) − one_hot(label)` scaled by
+/// `1/batch`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTarget`] when the label count differs from the
+/// batch size or any label is out of range, and propagates shape errors for
+/// non-rank-2 logits.
+///
+/// # Example
+///
+/// ```
+/// use memcom_nn::softmax_cross_entropy;
+/// use memcom_tensor::Tensor;
+///
+/// # fn main() -> Result<(), memcom_nn::NnError> {
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0], &[2, 2])?;
+/// let out = softmax_cross_entropy(&logits, &[0, 1])?;
+/// assert!(out.loss < 0.2); // confident and correct
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::BadInput {
+            context: format!("cross entropy expects rank-2 logits, got {}", logits.shape()),
+        });
+    }
+    let (b, c) = (logits.shape().dims()[0], logits.shape().dims()[1]);
+    if labels.len() != b {
+        return Err(NnError::BadTarget {
+            context: format!("{} labels for a batch of {}", labels.len(), b),
+        });
+    }
+    if b == 0 {
+        return Err(NnError::BadTarget { context: "empty batch".into() });
+    }
+    for &l in labels {
+        if l >= c {
+            return Err(NnError::BadTarget { context: format!("label {l} out of range for {c} classes") });
+        }
+    }
+    let log_probs = ops::log_softmax_rows(logits)?;
+    let mut loss = 0f32;
+    for (row, &label) in labels.iter().enumerate() {
+        loss -= log_probs.at(&[row, label])?;
+    }
+    loss /= b as f32;
+
+    let mut grad = log_probs.map(f32::exp); // softmax
+    let scale = 1.0 / b as f32;
+    {
+        let g = grad.as_mut_slice();
+        for (row, &label) in labels.iter().enumerate() {
+            g[row * c + label] -= 1.0;
+        }
+        for v in g.iter_mut() {
+            *v *= scale;
+        }
+    }
+    Ok(LossOutput { loss, grad })
+}
+
+/// RankNet pairwise loss (Burges et al., 2005) for score pairs in which the
+/// first item is preferred.
+///
+/// For each pair `(s⁺, s⁻)` the loss is `log(1 + exp(−(s⁺ − s⁻)))`,
+/// averaged over pairs. Returns the loss plus gradients with respect to the
+/// positive and negative score vectors.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTarget`] when the two score vectors differ in
+/// length or are empty.
+pub fn ranknet_loss(scores_pos: &Tensor, scores_neg: &Tensor) -> Result<(f32, Tensor, Tensor)> {
+    if scores_pos.shape() != scores_neg.shape() || scores_pos.shape().rank() != 1 {
+        return Err(NnError::BadTarget {
+            context: format!(
+                "ranknet expects equal rank-1 score vectors, got {} and {}",
+                scores_pos.shape(),
+                scores_neg.shape()
+            ),
+        });
+    }
+    let n = scores_pos.len();
+    if n == 0 {
+        return Err(NnError::BadTarget { context: "empty pair batch".into() });
+    }
+    let mut loss = 0f32;
+    let mut grad_pos = vec![0f32; n];
+    let mut grad_neg = vec![0f32; n];
+    let inv_n = 1.0 / n as f32;
+    for i in 0..n {
+        let diff = scores_pos.as_slice()[i] - scores_neg.as_slice()[i];
+        // Stable softplus(−diff).
+        loss += if diff > 0.0 { (-diff).exp().ln_1p() } else { (diff.exp().ln_1p()) - diff };
+        // d/d diff softplus(−diff) = −sigmoid(−diff).
+        let sg = if diff >= 0.0 {
+            let e = (-diff).exp();
+            e / (1.0 + e)
+        } else {
+            1.0 / (1.0 + diff.exp())
+        };
+        grad_pos[i] = -sg * inv_n;
+        grad_neg[i] = sg * inv_n;
+    }
+    loss *= inv_n;
+    Ok((
+        loss,
+        Tensor::from_vec(grad_pos, &[n])?,
+        Tensor::from_vec(grad_neg, &[n])?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        // Uniform logits over C classes → loss = ln C.
+        let logits = Tensor::zeros(&[4, 8]);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((out.loss - (8f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_structure() {
+        let logits = Tensor::from_vec(vec![5.0, 0.0], &[1, 2]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0]).unwrap();
+        // Gradient rows sum to zero (softmax minus one-hot).
+        let s: f32 = out.grad.as_slice().iter().sum();
+        assert!(s.abs() < 1e-6);
+        // Correct-class gradient is negative.
+        assert!(out.grad.as_slice()[0] < 0.0);
+        assert!(out.grad.as_slice()[1] > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_matches_finite_difference() {
+        let base = Tensor::from_vec(vec![0.2, -0.3, 0.7, 0.1, 0.9, -0.5], &[2, 3]).unwrap();
+        let labels = [2usize, 0usize];
+        let out = softmax_cross_entropy(&base, &labels).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = base.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let lp = softmax_cross_entropy(&plus, &labels).unwrap().loss;
+            let lm = softmax_cross_entropy(&minus, &labels).unwrap().loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = out.grad.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "elem {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_targets() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[0, 3]), &[]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[3]), &[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn ranknet_correct_order_has_low_loss() {
+        let pos = Tensor::from_vec(vec![5.0, 4.0], &[2]).unwrap();
+        let neg = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let (loss, gp, gn) = ranknet_loss(&pos, &neg).unwrap();
+        assert!(loss < 0.05);
+        // Gradients push scores apart (pos up, neg down) but are tiny here.
+        assert!(gp.as_slice().iter().all(|&g| g <= 0.0));
+        assert!(gn.as_slice().iter().all(|&g| g >= 0.0));
+    }
+
+    #[test]
+    fn ranknet_tied_scores_loss_ln2() {
+        let s = Tensor::zeros(&[3]);
+        let (loss, gp, _gn) = ranknet_loss(&s, &s).unwrap();
+        assert!((loss - (2f32).ln()).abs() < 1e-6);
+        // At a tie the gradient magnitude is sigmoid(0)/n = 0.5/3.
+        assert!(gp.as_slice().iter().all(|&g| (g + 0.5 / 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn ranknet_matches_finite_difference() {
+        let pos = Tensor::from_vec(vec![0.3, -0.8, 1.2], &[3]).unwrap();
+        let neg = Tensor::from_vec(vec![0.5, -1.0, 0.2], &[3]).unwrap();
+        let (_, gp, gn) = ranknet_loss(&pos, &neg).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut p = pos.clone();
+            p.as_mut_slice()[i] += eps;
+            let (lp, _, _) = ranknet_loss(&p, &neg).unwrap();
+            p.as_mut_slice()[i] -= 2.0 * eps;
+            let (lm, _, _) = ranknet_loss(&p, &neg).unwrap();
+            assert!(((lp - lm) / (2.0 * eps) - gp.as_slice()[i]).abs() < 1e-3);
+
+            let mut q = neg.clone();
+            q.as_mut_slice()[i] += eps;
+            let (lp2, _, _) = ranknet_loss(&pos, &q).unwrap();
+            q.as_mut_slice()[i] -= 2.0 * eps;
+            let (lm2, _, _) = ranknet_loss(&pos, &q).unwrap();
+            assert!(((lp2 - lm2) / (2.0 * eps) - gn.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ranknet_extreme_scores_stable() {
+        let pos = Tensor::from_vec(vec![1000.0, -1000.0], &[2]).unwrap();
+        let neg = Tensor::from_vec(vec![-1000.0, 1000.0], &[2]).unwrap();
+        let (loss, gp, gn) = ranknet_loss(&pos, &neg).unwrap();
+        assert!(loss.is_finite());
+        assert!(gp.as_slice().iter().all(|g| g.is_finite()));
+        assert!(gn.as_slice().iter().all(|g| g.is_finite()));
+        // Pair 2 is maximally wrong → loss ≈ 2000/2.
+        assert!((loss - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ranknet_validates_shapes() {
+        assert!(ranknet_loss(&Tensor::zeros(&[2]), &Tensor::zeros(&[3])).is_err());
+        assert!(ranknet_loss(&Tensor::zeros(&[0]), &Tensor::zeros(&[0])).is_err());
+        assert!(ranknet_loss(&Tensor::zeros(&[2, 1]), &Tensor::zeros(&[2, 1])).is_err());
+    }
+}

@@ -1,0 +1,460 @@
+//! The on-device inference engines.
+//!
+//! [`InferenceSession`] executes a parsed [`OnDeviceModel`] over the
+//! simulated mmap, counting the work that the compute-unit models convert
+//! into Table-3 milliseconds and megabytes. Two embedding front ends:
+//!
+//! * **lookup** (full / naive-hash / MEmCom / truncate-rare): reads only
+//!   the embedding rows the query touches — `O(L)` row faults;
+//! * **one-hot** (Weinberger): materializes the `L × m` one-hot
+//!   activation and performs the dense matmul against the entire kernel —
+//!   the whole table faults in and `L·m·e` MACs are paid.
+//!
+//! The numerical result of both front ends is whatever their weights
+//! dictate; what differs — and what §5.3 measures — is the cost profile.
+
+use std::time::Instant;
+
+use memcom_core::hashing::seeded_hash;
+use memcom_core::one_hot_hash::ONE_HOT_SEED;
+
+use crate::compute::{ComputeUnit, WorkCounts};
+use crate::format::{EmbeddingKind, HeadOp, OnDeviceModel, TableMeta};
+use crate::mmap_sim::MmapSim;
+use crate::quant::decode_row;
+use crate::{OnDeviceError, Result};
+
+/// Work and memory observed during one inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Counted work (flops, cold/warm bytes, activations).
+    pub work: WorkCounts,
+    /// Model file pages resident after the run.
+    pub resident_model_bytes: usize,
+    /// Host wall-clock time of the simulated run (for Criterion benches;
+    /// not the Table-3 number).
+    pub wall_nanos: u128,
+}
+
+impl RunStats {
+    /// Simulated inference time on `unit`, in milliseconds.
+    pub fn time_ms(&self, unit: ComputeUnit) -> f64 {
+        unit.profile().time_ms(&self.work)
+    }
+
+    /// Simulated runtime memory footprint on `unit`, in bytes.
+    pub fn footprint_bytes(&self, unit: ComputeUnit) -> usize {
+        unit.profile().footprint_bytes(self.resident_model_bytes, &self.work)
+    }
+
+    /// Footprint in megabytes (Table 3's unit).
+    pub fn footprint_mb(&self, unit: ComputeUnit) -> f64 {
+        self.footprint_bytes(unit) as f64 / 1_048_576.0
+    }
+}
+
+/// A loaded model ready for repeated inference over simulated mmap.
+#[derive(Debug)]
+pub struct InferenceSession {
+    meta: OnDeviceModel,
+    mmap: MmapSim,
+}
+
+impl InferenceSession {
+    /// Loads a parsed model into a session (the model's bytes become the
+    /// mapped file).
+    pub fn new(mut model: OnDeviceModel) -> Self {
+        let bytes = std::mem::take(&mut model.bytes);
+        InferenceSession { meta: model, mmap: MmapSim::new(bytes) }
+    }
+
+    /// Loads with a custom page size (ablation: footprint sensitivity).
+    pub fn with_page_size(mut model: OnDeviceModel, page_size: usize) -> Self {
+        let bytes = std::mem::take(&mut model.bytes);
+        InferenceSession { meta: model, mmap: MmapSim::with_page_size(bytes, page_size) }
+    }
+
+    /// The parsed manifest.
+    pub fn model(&self) -> &OnDeviceModel {
+        &self.meta
+    }
+
+    /// The underlying simulated mapping.
+    pub fn mmap(&self) -> &MmapSim {
+        &self.mmap
+    }
+
+    /// Evicts all pages (cold-start state).
+    pub fn reset(&self) {
+        self.mmap.reset();
+    }
+
+    /// Runs one batch-1 inference over `ids` (must be `input_len` long).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnDeviceError::BadInput`] on length/vocabulary mismatch
+    /// and propagates mapping errors.
+    pub fn run(&self, ids: &[usize]) -> Result<(Vec<f32>, RunStats)> {
+        let start = Instant::now();
+        if ids.len() != self.meta.input_len {
+            return Err(OnDeviceError::BadInput {
+                context: format!("expected {} ids, got {}", self.meta.input_len, ids.len()),
+            });
+        }
+        if let Some(&bad) = ids.iter().find(|&&i| i >= self.meta.vocab) {
+            return Err(OnDeviceError::BadInput {
+                context: format!("id {bad} out of vocabulary {}", self.meta.vocab),
+            });
+        }
+        let cold_before = self.mmap.cold_read_bytes();
+        let total_before = self.mmap.total_read_bytes();
+        let mut work = WorkCounts::default();
+
+        // Embedding front end → [L, e] activation.
+        let l = self.meta.input_len;
+        let e = self.meta.emb_dim;
+        let mut act = self.embed(ids, &mut work)?;
+        let mut act_dims = (l, e);
+        track_activation(&mut work, act.len());
+
+        // Head ops.
+        for op in &self.meta.head_ops {
+            match op {
+                HeadOp::AveragePool => {
+                    let (rows, cols) = act_dims;
+                    let mut pooled = vec![0f32; cols];
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            pooled[c] += act[r * cols + c];
+                        }
+                    }
+                    let inv = 1.0 / rows as f32;
+                    for p in &mut pooled {
+                        *p *= inv;
+                    }
+                    work.flops += (rows * cols + cols) as u64;
+                    act = pooled;
+                    act_dims = (1, cols);
+                    track_activation(&mut work, act.len());
+                }
+                HeadOp::Relu => {
+                    for x in &mut act {
+                        *x = x.max(0.0);
+                    }
+                    work.flops += act.len() as u64;
+                }
+                HeadOp::BatchNorm { dim, tables, eps } => {
+                    if act.len() != *dim {
+                        return Err(OnDeviceError::BadFormat {
+                            context: format!("batch norm dim {dim} vs activation {}", act.len()),
+                        });
+                    }
+                    let gamma = self.read_row(&tables[0], 0)?;
+                    let beta = self.read_row(&tables[1], 0)?;
+                    let mean = self.read_row(&tables[2], 0)?;
+                    let var = self.read_row(&tables[3], 0)?;
+                    for i in 0..*dim {
+                        act[i] = gamma[i] * (act[i] - mean[i]) / (var[i] + eps).sqrt() + beta[i];
+                    }
+                    work.flops += 5 * *dim as u64;
+                }
+                HeadOp::Dense { in_dim, out_dim, weight, bias } => {
+                    if act.len() != *in_dim {
+                        return Err(OnDeviceError::BadFormat {
+                            context: format!("dense in {in_dim} vs activation {}", act.len()),
+                        });
+                    }
+                    let mut out = self.read_row(bias, 0)?;
+                    debug_assert_eq!(out.len(), *out_dim);
+                    for (i, &xi) in act.iter().enumerate() {
+                        let w_row = self.read_row(weight, i)?;
+                        for (o, &w) in out.iter_mut().zip(&w_row) {
+                            *o += xi * w;
+                        }
+                    }
+                    work.flops += (2 * in_dim * out_dim) as u64;
+                    act = out;
+                    act_dims = (1, *out_dim);
+                    track_activation(&mut work, act.len());
+                }
+            }
+        }
+
+        work.cold_bytes = self.mmap.cold_read_bytes() - cold_before;
+        work.warm_bytes =
+            (self.mmap.total_read_bytes() - total_before).saturating_sub(work.cold_bytes);
+        let stats = RunStats {
+            work,
+            resident_model_bytes: self.mmap.resident_bytes(),
+            wall_nanos: start.elapsed().as_nanos(),
+        };
+        Ok((act, stats))
+    }
+
+    /// Runs the embedding front end, returning the `[L, e]` activation.
+    fn embed(&self, ids: &[usize], work: &mut WorkCounts) -> Result<Vec<f32>> {
+        let l = ids.len();
+        let e = self.meta.emb_dim;
+        let m = self.meta.hash_size;
+        match self.meta.embedding_kind {
+            EmbeddingKind::Full
+            | EmbeddingKind::NaiveHash
+            | EmbeddingKind::TruncateRare => {
+                let table = &self.meta.emb_tables[0];
+                let mut act = Vec::with_capacity(l * e);
+                for &id in ids {
+                    let row = match self.meta.embedding_kind {
+                        EmbeddingKind::Full => id,
+                        EmbeddingKind::NaiveHash => id % m,
+                        EmbeddingKind::TruncateRare => id.min(table.rows - 1),
+                        _ => unreachable!(),
+                    };
+                    act.extend(self.read_row(table, row)?);
+                }
+                Ok(act)
+            }
+            EmbeddingKind::MemCom | EmbeddingKind::MemComBias => {
+                let shared = &self.meta.emb_tables[0];
+                let mult = &self.meta.emb_tables[1];
+                let bias = self.meta.emb_tables.get(2);
+                let mut act = Vec::with_capacity(l * e);
+                for &id in ids {
+                    let u = self.read_row(shared, id % m)?;
+                    let v = self.read_row(mult, id)?[0];
+                    match bias {
+                        Some(b) => {
+                            let w = self.read_row(b, id)?[0];
+                            act.extend(u.iter().map(|&x| x * v + w));
+                            work.flops += 2 * e as u64;
+                        }
+                        None => {
+                            act.extend(u.iter().map(|&x| x * v));
+                            work.flops += e as u64;
+                        }
+                    }
+                }
+                Ok(act)
+            }
+            EmbeddingKind::OneHotHash => {
+                let kernel = &self.meta.emb_tables[0];
+                // Materialize the L × m one-hot activation — the §5.3
+                // memory hog ("relies on the one-hot encoded
+                // representation").
+                let mut one_hot = vec![0f32; l * m];
+                for (pos, &id) in ids.iter().enumerate() {
+                    one_hot[pos * m + seeded_hash(id, m, ONE_HOT_SEED)] = 1.0;
+                }
+                track_activation(work, one_hot.len());
+                // Dense [L, m] × [m, e] matmul: every kernel row is read
+                // and L·m·e MACs are charged. The inner arithmetic skips
+                // zero coefficients (the result is identical) but the
+                // counted cost is the dense cost the delegate pays.
+                let mut act = vec![0f32; l * e];
+                for r in 0..m {
+                    let k_row = self.read_row(kernel, r)?;
+                    for pos in 0..l {
+                        let coeff = one_hot[pos * m + r];
+                        if coeff != 0.0 {
+                            let out = &mut act[pos * e..(pos + 1) * e];
+                            for (o, &kv) in out.iter_mut().zip(&k_row) {
+                                *o += coeff * kv;
+                            }
+                        }
+                    }
+                }
+                work.flops += (2 * l * m * e) as u64;
+                Ok(act)
+            }
+        }
+    }
+
+    /// Reads and dequantizes one table row through the mmap.
+    fn read_row(&self, table: &TableMeta, r: usize) -> Result<Vec<f32>> {
+        let (offset, len) = table.row_range(r);
+        let bytes = self.mmap.read(offset, len)?;
+        Ok(decode_row(bytes, table.dtype, table.scale, table.cols))
+    }
+}
+
+fn track_activation(work: &mut WorkCounts, elems: usize) {
+    // Peak activation model: the largest single buffer alive (sequential
+    // executors free the previous op's input once consumed).
+    work.activation_bytes = work.activation_bytes.max((elems * 4) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::OnDeviceModel;
+    use crate::quant::Dtype;
+    use memcom_core::{
+        EmbeddingCompressor, MemCom, MemComConfig, MethodSpec, OneHotHashEncoder,
+    };
+    use memcom_nn::{AveragePool1d, BatchNorm1d, Dense, Relu, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn head(e: usize, classes: usize) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut h = Sequential::new();
+        h.push(AveragePool1d::new());
+        h.push(Relu::new());
+        h.push(BatchNorm1d::new(e));
+        h.push(Dense::new(e, classes, &mut rng));
+        h
+    }
+
+    fn session_for(emb: &dyn EmbeddingCompressor, input_len: usize, classes: usize) -> InferenceSession {
+        let bytes =
+            OnDeviceModel::serialize(emb, &head(emb.output_dim(), classes), input_len, Dtype::F32)
+                .unwrap();
+        InferenceSession::new(OnDeviceModel::parse(bytes).unwrap())
+    }
+
+    /// Reference: run the same embedding + head in the training stack.
+    fn reference_logits(
+        emb: &mut dyn EmbeddingCompressor,
+        input_len: usize,
+        classes: usize,
+        ids: &[usize],
+    ) -> Vec<f32> {
+        use memcom_nn::{Layer, Mode};
+        let mut h = head(emb.output_dim(), classes);
+        let flat = emb.lookup(ids).unwrap();
+        let seq = flat.reshape(&[1, input_len, emb.output_dim()]).unwrap();
+        h.forward(&seq, Mode::Eval).unwrap().into_vec()
+    }
+
+    #[test]
+    fn memcom_session_matches_training_stack() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut emb = MemCom::new(MemComConfig::with_bias(200, 8, 20), &mut rng).unwrap();
+        let ids: Vec<usize> = (0..6).map(|i| i * 31 % 200).collect();
+        let want = reference_logits(&mut emb, 6, 4, &ids);
+        let session = session_for(&emb, 6, 4);
+        let (got, stats) = session.run(&ids).unwrap();
+        assert_eq!(got.len(), 4);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert!(stats.work.flops > 0);
+        assert!(stats.resident_model_bytes > 0);
+    }
+
+    #[test]
+    fn onehot_session_matches_training_stack() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut emb = OneHotHashEncoder::new(200, 8, 16, &mut rng).unwrap();
+        let ids: Vec<usize> = (0..6).map(|i| i * 17 % 200).collect();
+        let want = reference_logits(&mut emb, 6, 4, &ids);
+        let session = session_for(&emb, 6, 4);
+        let (got, _) = session.run(&ids).unwrap();
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lookup_touches_less_than_onehot() {
+        // Same vocab/e/m: MEmCom's resident bytes ≪ Weinberger's.
+        let mut rng = StdRng::seed_from_u64(2);
+        let vocab = 5_000;
+        let m = 1_000;
+        let e = 32;
+        let memcom = MemCom::new(MemComConfig::new(vocab, e, m), &mut rng).unwrap();
+        let onehot = OneHotHashEncoder::new(vocab, e, m, &mut rng).unwrap();
+        let ids: Vec<usize> = (0..16).map(|i| i * 13 % vocab).collect();
+
+        let s_memcom = session_for(&memcom, 16, 4);
+        let (_, stats_memcom) = s_memcom.run(&ids).unwrap();
+        let s_onehot = session_for(&onehot, 16, 4);
+        let (_, stats_onehot) = s_onehot.run(&ids).unwrap();
+
+        // The one-hot engine reads the entire kernel (m·e·4 ≈ 128 KB);
+        // MEmCom touches only queried rows. Hmm the multiplier table rows
+        // are scattered but tiny.
+        assert!(
+            stats_onehot.resident_model_bytes > stats_memcom.resident_model_bytes,
+            "onehot {} vs memcom {}",
+            stats_onehot.resident_model_bytes,
+            stats_memcom.resident_model_bytes
+        );
+        // And its activations dwarf the lookup path (L·m one-hot).
+        assert!(stats_onehot.work.activation_bytes >= (16 * m * 4) as u64);
+        assert!(stats_onehot.work.activation_bytes > 8 * stats_memcom.work.activation_bytes);
+        // Dense matmul flops dominate.
+        assert!(stats_onehot.work.flops > 50 * stats_memcom.work.flops);
+        // Which shows up as simulated time on every unit.
+        for unit in ComputeUnit::all() {
+            assert!(
+                stats_onehot.time_ms(unit) > stats_memcom.time_ms(unit),
+                "{unit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_runs_have_no_cold_bytes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let emb = MemCom::new(MemComConfig::new(100, 8, 10), &mut rng).unwrap();
+        let session = session_for(&emb, 4, 3);
+        let ids = [1usize, 2, 3, 4];
+        let (_, first) = session.run(&ids).unwrap();
+        assert!(first.work.cold_bytes > 0);
+        let (_, second) = session.run(&ids).unwrap();
+        assert_eq!(second.work.cold_bytes, 0, "second run must be fully warm");
+        assert!(second.work.warm_bytes > 0);
+        assert!(second.time_ms(ComputeUnit::CoreMlAll) < first.time_ms(ComputeUnit::CoreMlAll));
+        session.reset();
+        let (_, third) = session.run(&ids).unwrap();
+        assert!(third.work.cold_bytes > 0, "reset must re-cool the pages");
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let emb = MemCom::new(MemComConfig::new(100, 8, 10), &mut rng).unwrap();
+        let session = session_for(&emb, 4, 3);
+        assert!(session.run(&[1, 2, 3]).is_err()); // wrong length
+        assert!(session.run(&[1, 2, 3, 100]).is_err()); // out of vocab
+    }
+
+    #[test]
+    fn all_serializable_kinds_execute() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let specs = [
+            MethodSpec::Uncompressed,
+            MethodSpec::NaiveHash { hash_size: 10 },
+            MethodSpec::MemCom { hash_size: 10, bias: false },
+            MethodSpec::MemCom { hash_size: 10, bias: true },
+            MethodSpec::TruncateRare { keep: 20 },
+            MethodSpec::WeinbergerOneHot { hash_size: 10 },
+        ];
+        for spec in specs {
+            let emb = spec.build(100, 8, &mut rng).unwrap();
+            let session = session_for(emb.as_ref(), 4, 3);
+            let (logits, stats) = session.run(&[5, 50, 99, 0]).unwrap();
+            assert_eq!(logits.len(), 3, "{spec:?}");
+            assert!(logits.iter().all(|x| x.is_finite()), "{spec:?}");
+            assert!(stats.footprint_mb(ComputeUnit::TfLiteCpu) > 0.0);
+        }
+    }
+
+    #[test]
+    fn quantized_model_runs_close_to_f32() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let emb = MemCom::new(MemComConfig::new(100, 8, 10), &mut rng).unwrap();
+        let h = head(8, 3);
+        let ids = [1usize, 2, 3, 4];
+        let f32_bytes = OnDeviceModel::serialize(&emb, &h, 4, Dtype::F32).unwrap();
+        let f16_bytes = OnDeviceModel::serialize(&emb, &h, 4, Dtype::F16).unwrap();
+        let s32 = InferenceSession::new(OnDeviceModel::parse(f32_bytes).unwrap());
+        let s16 = InferenceSession::new(OnDeviceModel::parse(f16_bytes).unwrap());
+        let (a, _) = s32.run(&ids).unwrap();
+        let (b, _) = s16.run(&ids).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+}

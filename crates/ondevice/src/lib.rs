@@ -1,0 +1,42 @@
+//! On-device inference simulator.
+//!
+//! Stands in for the paper's §5.3 hardware setup (CoreML on an iPhone 12
+//! Pro, TensorFlow Lite on a Pixel 2) with a faithful *architectural*
+//! model of what those runtimes do with an embedding model:
+//!
+//! * [`format`] — a flat binary model format (the "on-disk model" whose
+//!   size the paper's compression ratios govern).
+//! * [`mmap_sim`] — a page-granular lazy-residency simulation of
+//!   memory-mapped model loading ("CoreML and TF-Lite implement the lookup
+//!   operator in the embedding layer using mmap", §5.3).
+//! * [`engine`] — two inference engines over the mapped bytes: the
+//!   **lookup engine** (MEmCom-style: touches only the embedding rows a
+//!   query needs) and the **one-hot engine** (Weinberger-style: builds the
+//!   `L × m` one-hot activation and multiplies against the whole kernel).
+//! * [`compute`] — per-compute-unit latency models (CoreML `all` /
+//!   `cpuOnly` / `cpuAndGPU`, TF-Lite CPU) translating counted work into
+//!   Table-3-style milliseconds.
+//! * [`quant`] — post-training linear quantization (FP16/INT8/INT4/INT2)
+//!   for the Figure-4 precision sweep.
+//!
+//! Absolute milliseconds are simulator units calibrated to Table 3's
+//! magnitudes; the reproduced *shape* is what matters — who wins on which
+//! compute unit and by roughly what factor, and the memory-footprint gap
+//! between lookup- and one-hot-based embedding front ends.
+
+pub mod compute;
+pub mod engine;
+pub mod error;
+pub mod format;
+pub mod mmap_sim;
+pub mod quant;
+
+pub use compute::ComputeUnit;
+pub use engine::{InferenceSession, RunStats};
+pub use error::OnDeviceError;
+pub use format::{OnDeviceModel, MAGIC};
+pub use mmap_sim::MmapSim;
+pub use quant::{Dtype, QuantizedTable};
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, OnDeviceError>;

@@ -1,0 +1,243 @@
+//! Simulated memory-mapped model files.
+//!
+//! §5.3: "on-device frameworks such as CoreML and TensorFlow-Lite use
+//! memory-mapped IO (via mmap) rather than loading the entire embedding
+//! table into the memory". This module models that behaviour at page
+//! granularity: reads fault pages in lazily, and the **resident set** —
+//! the pages an inference actually touched — is the memory footprint that
+//! Table 3 contrasts between MEmCom's row lookups and Weinberger's
+//! whole-kernel matmul.
+
+use std::collections::HashSet;
+
+use parking_lot::Mutex;
+
+use crate::{OnDeviceError, Result};
+
+/// Default page size (16 KiB — the page size of Apple Silicon / modern
+/// Android kernels).
+pub const DEFAULT_PAGE_SIZE: usize = 16 * 1024;
+
+/// A byte buffer behaving like a lazily-paged, memory-mapped file.
+#[derive(Debug)]
+pub struct MmapSim {
+    data: Vec<u8>,
+    page_size: usize,
+    state: Mutex<PageState>,
+}
+
+#[derive(Debug, Default)]
+struct PageState {
+    resident: HashSet<usize>,
+    faults: u64,
+    total_read_bytes: u64,
+    cold_read_bytes: u64,
+}
+
+impl MmapSim {
+    /// Maps `data` with the default page size.
+    pub fn new(data: Vec<u8>) -> Self {
+        Self::with_page_size(data, DEFAULT_PAGE_SIZE)
+    }
+
+    /// Maps `data` with a custom page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `page_size == 0` — a configuration bug.
+    pub fn with_page_size(data: Vec<u8>, page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        MmapSim { data, page_size, state: Mutex::new(PageState::default()) }
+    }
+
+    /// File size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The configured page size.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Reads `len` bytes at `offset`, faulting in the covering pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnDeviceError::OutOfBounds`] for reads past the end.
+    pub fn read(&self, offset: usize, len: usize) -> Result<&[u8]> {
+        let end = offset.checked_add(len).ok_or(OnDeviceError::OutOfBounds {
+            offset,
+            len,
+            size: self.data.len(),
+        })?;
+        if end > self.data.len() {
+            return Err(OnDeviceError::OutOfBounds { offset, len, size: self.data.len() });
+        }
+        if len > 0 {
+            let first = offset / self.page_size;
+            let last = (end - 1) / self.page_size;
+            let mut st = self.state.lock();
+            st.total_read_bytes += len as u64;
+            for page in first..=last {
+                if st.resident.insert(page) {
+                    st.faults += 1;
+                    // A fault pulls the whole page from storage.
+                    let page_start = page * self.page_size;
+                    let page_len = self.page_size.min(self.data.len() - page_start);
+                    st.cold_read_bytes += page_len as u64;
+                }
+            }
+        }
+        Ok(&self.data[offset..end])
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.state.lock().resident.len()
+    }
+
+    /// Bytes of resident pages (the file's contribution to the runtime
+    /// memory footprint).
+    pub fn resident_bytes(&self) -> usize {
+        let st = self.state.lock();
+        st.resident
+            .iter()
+            .map(|&p| self.page_size.min(self.data.len().saturating_sub(p * self.page_size)))
+            .sum()
+    }
+
+    /// Page faults so far.
+    pub fn faults(&self) -> u64 {
+        self.state.lock().faults
+    }
+
+    /// Total bytes returned by reads (hot + cold).
+    pub fn total_read_bytes(&self) -> u64 {
+        self.state.lock().total_read_bytes
+    }
+
+    /// Bytes pulled from "storage" by first-touch faults.
+    pub fn cold_read_bytes(&self) -> u64 {
+        self.state.lock().cold_read_bytes
+    }
+
+    /// Evicts every page and clears counters (models a fresh process, the
+    /// state Table 3's averaged runs begin from).
+    pub fn reset(&self) {
+        *self.state.lock() = PageState::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mapped(n: usize, page: usize) -> MmapSim {
+        MmapSim::with_page_size((0..n).map(|i| (i % 251) as u8).collect(), page)
+    }
+
+    #[test]
+    fn read_returns_correct_bytes() {
+        let m = mapped(100, 16);
+        assert_eq!(m.read(0, 4).unwrap(), &[0, 1, 2, 3]);
+        assert_eq!(m.read(98, 2).unwrap(), &[98, 99]);
+        assert_eq!(m.read(0, 0).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let m = mapped(100, 16);
+        assert!(m.read(99, 2).is_err());
+        assert!(m.read(100, 1).is_err());
+        assert!(m.read(usize::MAX, 2).is_err());
+        assert!(m.read(100, 0).is_ok()); // zero-length read at the end is fine
+    }
+
+    #[test]
+    fn residency_tracks_touched_pages_only() {
+        let m = mapped(160, 16); // 10 pages
+        m.read(0, 1).unwrap();
+        assert_eq!(m.resident_pages(), 1);
+        m.read(15, 2).unwrap(); // spans pages 0 and 1
+        assert_eq!(m.resident_pages(), 2);
+        m.read(0, 8).unwrap(); // warm
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.faults(), 2);
+        assert_eq!(m.resident_bytes(), 32);
+    }
+
+    #[test]
+    fn cold_vs_total_read_accounting() {
+        let m = mapped(64, 16);
+        m.read(0, 4).unwrap();
+        assert_eq!(m.cold_read_bytes(), 16); // one full page faulted
+        assert_eq!(m.total_read_bytes(), 4);
+        m.read(0, 4).unwrap(); // warm read
+        assert_eq!(m.cold_read_bytes(), 16);
+        assert_eq!(m.total_read_bytes(), 8);
+    }
+
+    #[test]
+    fn last_partial_page_counted_correctly() {
+        let m = mapped(20, 16); // pages: 16 + 4 bytes
+        m.read(16, 4).unwrap();
+        assert_eq!(m.resident_bytes(), 4);
+        m.read(0, 20).unwrap();
+        assert_eq!(m.resident_bytes(), 20);
+    }
+
+    #[test]
+    fn reset_evicts_everything() {
+        let m = mapped(64, 16);
+        m.read(0, 64).unwrap();
+        assert!(m.resident_pages() > 0);
+        m.reset();
+        assert_eq!(m.resident_pages(), 0);
+        assert_eq!(m.faults(), 0);
+        assert_eq!(m.total_read_bytes(), 0);
+    }
+
+    #[test]
+    fn full_scan_touches_whole_file() {
+        let m = mapped(1000, 64);
+        m.read(0, 1000).unwrap();
+        assert_eq!(m.resident_bytes(), 1000);
+        assert_eq!(m.resident_pages(), 16); // ceil(1000/64)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_residency_monotone(
+            reads in proptest::collection::vec((0usize..256, 0usize..64), 1..30)
+        ) {
+            let m = mapped(256, 32);
+            let mut last = 0usize;
+            for (off, len) in reads {
+                let len = len.min(256 - off.min(256));
+                if m.read(off.min(255), len.min(256 - off.min(255))).is_ok() {
+                    let now = m.resident_pages();
+                    prop_assert!(now >= last);
+                    last = now;
+                }
+            }
+            // Resident never exceeds the file's page count.
+            prop_assert!(m.resident_pages() <= 8);
+        }
+
+        #[test]
+        fn prop_cold_bytes_bounded_by_file(reads in proptest::collection::vec(0usize..200, 1..50)) {
+            let m = mapped(200, 16);
+            for off in reads {
+                let _ = m.read(off, (200 - off).min(10));
+            }
+            prop_assert!(m.cold_read_bytes() <= 200);
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Post-training linear quantization (§A.2 / Figure 4).
+//!
+//! The paper quantizes trained MEmCom models with CoreML's `linear` mode
+//! and sweeps 32 → 16 → 8 → 4 → 2 bits. This module implements the same
+//! scheme: symmetric per-tensor linear quantization for integer widths and
+//! IEEE-754 half precision for 16 bits.
+
+use memcom_tensor::Tensor;
+
+use crate::{OnDeviceError, Result};
+
+/// Storage type of a serialized table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// 32-bit IEEE float (no quantization).
+    F32,
+    /// 16-bit IEEE half.
+    F16,
+    /// Symmetric linear 8-bit integer.
+    Int8,
+    /// Symmetric linear 4-bit integer (two values per byte).
+    Int4,
+    /// Symmetric linear 2-bit integer (four values per byte).
+    Int2,
+}
+
+impl Dtype {
+    /// Bits per stored element.
+    pub fn bits(self) -> usize {
+        match self {
+            Dtype::F32 => 32,
+            Dtype::F16 => 16,
+            Dtype::Int8 => 8,
+            Dtype::Int4 => 4,
+            Dtype::Int2 => 2,
+        }
+    }
+
+    /// Bytes needed to store `n` elements (rows are byte-padded
+    /// independently, so use [`Dtype::row_bytes`] for tables).
+    pub fn payload_bytes(self, n: usize) -> usize {
+        (n * self.bits()).div_ceil(8)
+    }
+
+    /// Bytes per row of `cols` elements (each row starts byte-aligned).
+    pub fn row_bytes(self, cols: usize) -> usize {
+        (cols * self.bits()).div_ceil(8)
+    }
+
+    /// Wire tag for the format.
+    pub fn tag(self) -> u8 {
+        match self {
+            Dtype::F32 => 0,
+            Dtype::F16 => 1,
+            Dtype::Int8 => 2,
+            Dtype::Int4 => 3,
+            Dtype::Int2 => 4,
+        }
+    }
+
+    /// Parses a wire tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnDeviceError::BadFormat`] for unknown tags.
+    pub fn from_tag(tag: u8) -> Result<Self> {
+        Ok(match tag {
+            0 => Dtype::F32,
+            1 => Dtype::F16,
+            2 => Dtype::Int8,
+            3 => Dtype::Int4,
+            4 => Dtype::Int2,
+            _ => return Err(OnDeviceError::BadFormat { context: format!("unknown dtype tag {tag}") }),
+        })
+    }
+
+    /// The dtype the paper's Figure 4 uses for a given bit width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnDeviceError::Unsupported`] for widths outside
+    /// {32, 16, 8, 4, 2}.
+    pub fn for_bits(bits: usize) -> Result<Self> {
+        Ok(match bits {
+            32 => Dtype::F32,
+            16 => Dtype::F16,
+            8 => Dtype::Int8,
+            4 => Dtype::Int4,
+            2 => Dtype::Int2,
+            _ => {
+                return Err(OnDeviceError::Unsupported {
+                    context: format!("no {bits}-bit quantization mode"),
+                })
+            }
+        })
+    }
+}
+
+/// Converts an `f32` to IEEE-754 half-precision bits (round-to-nearest).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x007F_FFFF;
+    if exp == 0xFF {
+        // Inf / NaN.
+        return sign | 0x7C00 | if frac != 0 { 0x0200 } else { 0 };
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow → inf
+    }
+    if unbiased >= -14 {
+        // Normal half.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let half_frac = (frac >> 13) as u16;
+        // Round to nearest even on the dropped bits.
+        let round = (frac >> 12) & 1;
+        let mut out = sign | half_exp | half_frac;
+        if round == 1 {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    if unbiased >= -24 {
+        // Subnormal half: frac_half = mantissa24 · 2^(unbiased+1).
+        let shift = (-unbiased - 1) as u32; // 14..=23
+        let mantissa24 = frac | 0x0080_0000;
+        let mantissa = mantissa24 >> shift;
+        let round = (mantissa24 >> (shift - 1)) & 1;
+        let mut out = sign | mantissa as u16;
+        if round == 1 {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    sign // underflow → signed zero
+}
+
+/// Converts IEEE-754 half-precision bits back to `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let frac = (h & 0x03FF) as u32;
+    let bits = match (exp, frac) {
+        (0, 0) => sign,
+        (0, f) => {
+            // Subnormal: value = f · 2⁻²⁴. Normalize f into 1.m form; k
+            // left-shifts put the implicit bit at 0x400, giving
+            // value = (1 + m/1024) · 2^(−14−k), i.e. exp32 = 113 − k.
+            let mut k = 0i32;
+            let mut f = f;
+            while f & 0x0400 == 0 {
+                f <<= 1;
+                k += 1;
+            }
+            let exp32 = (113 - k) as u32;
+            sign | (exp32 << 23) | ((f & 0x03FF) << 13)
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, f) => sign | 0x7F80_0000 | (f << 13),
+        (e, f) => sign | ((e + 127 - 15) << 23) | (f << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// A quantized table: payload bytes plus the affine metadata needed to
+/// reconstruct approximate `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTable {
+    /// Storage type.
+    pub dtype: Dtype,
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Linear scale (integer dtypes; 1.0 for float dtypes).
+    pub scale: f32,
+    /// Packed payload (rows are byte-aligned).
+    pub data: Vec<u8>,
+}
+
+impl QuantizedTable {
+    /// Quantizes a rank-2 tensor (rank-1 tensors are treated as one row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnDeviceError::Unsupported`] for tensors of rank > 2.
+    pub fn quantize(t: &Tensor, dtype: Dtype) -> Result<Self> {
+        let (rows, cols) = match t.shape().rank() {
+            1 => (1, t.len()),
+            2 => (t.shape().dims()[0], t.shape().dims()[1]),
+            r => {
+                return Err(OnDeviceError::Unsupported {
+                    context: format!("cannot serialize rank-{r} tensor"),
+                })
+            }
+        };
+        let src = t.as_slice();
+        let row_bytes = dtype.row_bytes(cols);
+        let mut data = vec![0u8; rows * row_bytes];
+        let scale = match dtype {
+            Dtype::F32 | Dtype::F16 => 1.0,
+            _ => {
+                let max_abs = src.iter().fold(0f32, |m, &x| m.max(x.abs()));
+                let qmax = ((1usize << (dtype.bits() - 1)) - 1) as f32;
+                if max_abs == 0.0 {
+                    1.0
+                } else {
+                    max_abs / qmax
+                }
+            }
+        };
+        for r in 0..rows {
+            let row = &src[r * cols..(r + 1) * cols];
+            let out = &mut data[r * row_bytes..(r + 1) * row_bytes];
+            encode_row(row, dtype, scale, out);
+        }
+        Ok(QuantizedTable { dtype, rows, cols, scale, data })
+    }
+
+    /// Reconstructs the full tensor.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for tables built by [`QuantizedTable::quantize`].
+    pub fn dequantize(&self) -> Result<Tensor> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            out.extend(self.dequantize_row(r));
+        }
+        Ok(Tensor::from_vec(out, &[self.rows, self.cols])?)
+    }
+
+    /// Reconstructs one row (the engine's hot path: touches only that
+    /// row's bytes).
+    pub fn dequantize_row(&self, r: usize) -> Vec<f32> {
+        let row_bytes = self.dtype.row_bytes(self.cols);
+        decode_row(&self.data[r * row_bytes..(r + 1) * row_bytes], self.dtype, self.scale, self.cols)
+    }
+
+    /// Worst-case absolute reconstruction error of linear quantization
+    /// (half a quantization step; 0 for floats, which have relative error).
+    pub fn max_abs_error_bound(&self) -> f32 {
+        match self.dtype {
+            Dtype::F32 => 0.0,
+            Dtype::F16 => f32::EPSILON, // placeholder: f16 error is relative
+            _ => self.scale * 0.5,
+        }
+    }
+}
+
+/// Encodes one row of f32s into the packed representation.
+pub(crate) fn encode_row(row: &[f32], dtype: Dtype, scale: f32, out: &mut [u8]) {
+    match dtype {
+        Dtype::F32 => {
+            for (i, &x) in row.iter().enumerate() {
+                out[i * 4..(i + 1) * 4].copy_from_slice(&x.to_le_bytes());
+            }
+        }
+        Dtype::F16 => {
+            for (i, &x) in row.iter().enumerate() {
+                out[i * 2..(i + 1) * 2].copy_from_slice(&f32_to_f16_bits(x).to_le_bytes());
+            }
+        }
+        Dtype::Int8 => {
+            for (i, &x) in row.iter().enumerate() {
+                out[i] = quantize_value(x, scale, 8) as u8;
+            }
+        }
+        Dtype::Int4 => {
+            for (i, &x) in row.iter().enumerate() {
+                let q = (quantize_value(x, scale, 4) as u8) & 0x0F;
+                if i % 2 == 0 {
+                    out[i / 2] |= q;
+                } else {
+                    out[i / 2] |= q << 4;
+                }
+            }
+        }
+        Dtype::Int2 => {
+            for (i, &x) in row.iter().enumerate() {
+                let q = (quantize_value(x, scale, 2) as u8) & 0x03;
+                out[i / 4] |= q << ((i % 4) * 2);
+            }
+        }
+    }
+}
+
+/// Decodes one packed row back to f32s.
+pub(crate) fn decode_row(bytes: &[u8], dtype: Dtype, scale: f32, cols: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(cols);
+    match dtype {
+        Dtype::F32 => {
+            for i in 0..cols {
+                out.push(f32::from_le_bytes(bytes[i * 4..(i + 1) * 4].try_into().expect("4 bytes")));
+            }
+        }
+        Dtype::F16 => {
+            for i in 0..cols {
+                let h = u16::from_le_bytes(bytes[i * 2..(i + 1) * 2].try_into().expect("2 bytes"));
+                out.push(f16_bits_to_f32(h));
+            }
+        }
+        Dtype::Int8 => {
+            for i in 0..cols {
+                out.push((bytes[i] as i8) as f32 * scale);
+            }
+        }
+        Dtype::Int4 => {
+            for i in 0..cols {
+                let nib = if i % 2 == 0 { bytes[i / 2] & 0x0F } else { bytes[i / 2] >> 4 };
+                out.push(sign_extend(nib, 4) as f32 * scale);
+            }
+        }
+        Dtype::Int2 => {
+            for i in 0..cols {
+                let q = (bytes[i / 4] >> ((i % 4) * 2)) & 0x03;
+                out.push(sign_extend(q, 2) as f32 * scale);
+            }
+        }
+    }
+    out
+}
+
+fn quantize_value(x: f32, scale: f32, bits: usize) -> i8 {
+    let qmax = ((1usize << (bits - 1)) - 1) as f32;
+    (x / scale).round().clamp(-qmax, qmax) as i8
+}
+
+fn sign_extend(raw: u8, bits: usize) -> i8 {
+    let shift = 8 - bits;
+    ((raw << shift) as i8) >> shift
+}
+
+/// Quantize-then-dequantize a tensor in place — the "simulated
+/// quantization" used to measure Figure 4's accuracy impact without going
+/// through a file.
+///
+/// # Errors
+///
+/// Propagates [`QuantizedTable::quantize`] failures.
+pub fn simulate_quantization(t: &mut Tensor, dtype: Dtype) -> Result<()> {
+    if dtype == Dtype::F32 {
+        return Ok(());
+    }
+    let dims = t.shape().dims().to_vec();
+    let q = QuantizedTable::quantize(t, dtype)?;
+    let deq = q.dequantize()?;
+    *t = deq.reshape(&dims)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn f16_round_trip_exact_values() {
+        for x in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0] {
+            assert_eq!(f16_bits_to_f32(f32_to_f16_bits(x)), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn f16_special_values() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        // Overflow saturates to infinity.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e20)), f32::INFINITY);
+        // Tiny values flush toward zero.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e-20)), 0.0);
+    }
+
+    #[test]
+    fn f16_subnormals_survive() {
+        let x = 6e-5f32; // near the subnormal boundary (min normal ≈ 6.1e-5)
+        let rt = f16_bits_to_f32(f32_to_f16_bits(x));
+        assert!((rt - x).abs() / x < 0.01, "{x} -> {rt}");
+        let sub = 1e-6f32; // deep subnormal
+        let rt = f16_bits_to_f32(f32_to_f16_bits(sub));
+        assert!((rt - sub).abs() < 1e-7, "{sub} -> {rt}");
+    }
+
+    #[test]
+    fn dtype_sizing() {
+        assert_eq!(Dtype::F32.row_bytes(3), 12);
+        assert_eq!(Dtype::F16.row_bytes(3), 6);
+        assert_eq!(Dtype::Int8.row_bytes(3), 3);
+        assert_eq!(Dtype::Int4.row_bytes(3), 2);
+        assert_eq!(Dtype::Int2.row_bytes(3), 1);
+        assert_eq!(Dtype::Int2.row_bytes(5), 2);
+        for d in [Dtype::F32, Dtype::F16, Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+            assert_eq!(Dtype::from_tag(d.tag()).unwrap(), d);
+        }
+        assert!(Dtype::from_tag(9).is_err());
+        assert_eq!(Dtype::for_bits(8).unwrap(), Dtype::Int8);
+        assert!(Dtype::for_bits(3).is_err());
+    }
+
+    #[test]
+    fn int8_round_trip_error_bounded() {
+        let data: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) / 10.0).collect();
+        let t = Tensor::from_vec(data.clone(), &[10, 10]).unwrap();
+        let q = QuantizedTable::quantize(&t, Dtype::Int8).unwrap();
+        let deq = q.dequantize().unwrap();
+        let bound = q.max_abs_error_bound() + 1e-6;
+        for (a, b) in data.iter().zip(deq.as_slice()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn lower_precision_is_lossier() {
+        let data: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let t = Tensor::from_vec(data.clone(), &[16, 16]).unwrap();
+        let err = |d: Dtype| {
+            let q = QuantizedTable::quantize(&t, d).unwrap();
+            let deq = q.dequantize().unwrap();
+            data.iter().zip(deq.as_slice()).map(|(a, b)| (a - b).abs()).fold(0f32, f32::max)
+        };
+        let (e16, e8, e4, e2) = (err(Dtype::F16), err(Dtype::Int8), err(Dtype::Int4), err(Dtype::Int2));
+        assert!(e16 < e8, "f16 {e16} vs int8 {e8}");
+        assert!(e8 < e4, "int8 {e8} vs int4 {e4}");
+        assert!(e4 < e2, "int4 {e4} vs int2 {e2}");
+    }
+
+    #[test]
+    fn row_access_matches_full_dequantize() {
+        let data: Vec<f32> = (0..60).map(|i| (i as f32) * 0.1 - 3.0).collect();
+        let t = Tensor::from_vec(data, &[12, 5]).unwrap();
+        for dtype in [Dtype::F32, Dtype::F16, Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+            let q = QuantizedTable::quantize(&t, dtype).unwrap();
+            let full = q.dequantize().unwrap();
+            for r in 0..12 {
+                assert_eq!(q.dequantize_row(r), full.row(r).unwrap(), "{dtype:?} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_cleanly() {
+        let t = Tensor::zeros(&[4, 4]);
+        for dtype in [Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+            let q = QuantizedTable::quantize(&t, dtype).unwrap();
+            assert!(q.dequantize().unwrap().as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn rank1_treated_as_single_row() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
+        let q = QuantizedTable::quantize(&t, Dtype::F32).unwrap();
+        assert_eq!((q.rows, q.cols), (1, 3));
+        assert!(QuantizedTable::quantize(&Tensor::zeros(&[2, 2, 2]), Dtype::F32).is_err());
+    }
+
+    #[test]
+    fn simulate_quantization_in_place() {
+        let mut t = Tensor::from_vec(vec![0.11, -0.52, 0.93, 0.04], &[2, 2]).unwrap();
+        let orig = t.clone();
+        simulate_quantization(&mut t, Dtype::F32).unwrap();
+        assert_eq!(t, orig); // f32 is identity
+        simulate_quantization(&mut t, Dtype::Int2).unwrap();
+        assert_ne!(t, orig);
+        assert_eq!(t.shape(), orig.shape());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_f16_round_trip_relative_error(x in -60000.0f32..60000.0) {
+            let rt = f16_bits_to_f32(f32_to_f16_bits(x));
+            let denom = x.abs().max(1e-3);
+            prop_assert!((rt - x).abs() / denom < 1e-3, "{} -> {}", x, rt);
+        }
+
+        #[test]
+        fn prop_int_quant_error_bounded(
+            vals in proptest::collection::vec(-10.0f32..10.0, 4..64),
+            bits in prop_oneof![Just(8usize), Just(4), Just(2)]
+        ) {
+            let n = vals.len();
+            let t = Tensor::from_vec(vals.clone(), &[1, n]).unwrap();
+            let q = QuantizedTable::quantize(&t, Dtype::for_bits(bits).unwrap()).unwrap();
+            let deq = q.dequantize().unwrap();
+            let bound = q.scale * 0.5 + 1e-5;
+            for (a, b) in vals.iter().zip(deq.as_slice()) {
+                prop_assert!((a - b).abs() <= bound, "{} vs {} bound {}", a, b, bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! NumPy-style shape broadcasting.
+//!
+//! MEmCom's defining operation (Algorithm 2/3 of the paper) multiplies a
+//! `b×L×e` hashed-embedding tensor by a `b×L×1` multiplier tensor, relying
+//! on broadcasting to expand the trailing 1. This module implements the
+//! general broadcasting contract so the layer code — and the tests — can
+//! exercise exactly the semantics TensorFlow/PyTorch/NumPy define:
+//!
+//! 1. Shapes are aligned at their *trailing* dimensions.
+//! 2. Missing leading dimensions are treated as extent 1.
+//! 3. Two extents are compatible when equal or when either is 1.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::Result;
+
+/// Computes the broadcast shape of two shapes.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BroadcastIncompatible`] when any aligned pair of
+/// extents differs and neither is 1.
+///
+/// # Example
+///
+/// ```
+/// use memcom_tensor::{broadcast::broadcast_shape, Shape};
+///
+/// let out = broadcast_shape(&Shape::new(&[4, 1, 3]), &Shape::new(&[2, 3])).unwrap();
+/// assert_eq!(out, Shape::new(&[4, 2, 3]));
+/// ```
+pub fn broadcast_shape(lhs: &Shape, rhs: &Shape) -> Result<Shape> {
+    let rank = lhs.rank().max(rhs.rank());
+    let mut dims = vec![0usize; rank];
+    for i in 0..rank {
+        let l = extent_from_end(lhs, i, rank);
+        let r = extent_from_end(rhs, i, rank);
+        dims[i] = match (l, r) {
+            (a, b) if a == b => a,
+            (1, b) => b,
+            (a, 1) => a,
+            _ => {
+                return Err(TensorError::BroadcastIncompatible {
+                    lhs: lhs.dims().to_vec(),
+                    rhs: rhs.dims().to_vec(),
+                })
+            }
+        };
+    }
+    Ok(Shape::from(dims))
+}
+
+/// Extent of output axis `axis` (0-based in the *output* rank), treating
+/// missing leading axes as 1.
+fn extent_from_end(shape: &Shape, axis: usize, out_rank: usize) -> usize {
+    let offset = out_rank - shape.rank();
+    if axis < offset {
+        1
+    } else {
+        shape.dims()[axis - offset]
+    }
+}
+
+/// Strides (in elements) used to read `shape` as if it had been broadcast
+/// to `out`. Broadcast dimensions get stride 0 so repeated reads return the
+/// same element.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BroadcastIncompatible`] when `shape` cannot
+/// broadcast to `out`.
+pub fn broadcast_strides(shape: &Shape, out: &Shape) -> Result<Vec<usize>> {
+    let out_rank = out.rank();
+    if shape.rank() > out_rank {
+        return Err(TensorError::BroadcastIncompatible {
+            lhs: shape.dims().to_vec(),
+            rhs: out.dims().to_vec(),
+        });
+    }
+    let own = shape.strides();
+    let offset = out_rank - shape.rank();
+    let mut strides = vec![0usize; out_rank];
+    for axis in 0..out_rank {
+        if axis < offset {
+            strides[axis] = 0;
+        } else {
+            let extent = shape.dims()[axis - offset];
+            let out_extent = out.dims()[axis];
+            if extent == out_extent {
+                strides[axis] = own[axis - offset];
+            } else if extent == 1 {
+                strides[axis] = 0;
+            } else {
+                return Err(TensorError::BroadcastIncompatible {
+                    lhs: shape.dims().to_vec(),
+                    rhs: out.dims().to_vec(),
+                });
+            }
+        }
+    }
+    Ok(strides)
+}
+
+/// Applies a binary function elementwise over two broadcast-compatible
+/// buffers, writing into a freshly allocated output buffer.
+///
+/// This is the single code path used by all broadcasted binary tensor
+/// operations, so its correctness (covered by the property tests below)
+/// carries the whole crate.
+///
+/// # Errors
+///
+/// Propagates broadcast-incompatibility errors from shape resolution.
+pub fn binary_op(
+    lhs: &[f32],
+    lhs_shape: &Shape,
+    rhs: &[f32],
+    rhs_shape: &Shape,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<(Vec<f32>, Shape)> {
+    let out_shape = broadcast_shape(lhs_shape, rhs_shape)?;
+    let volume = out_shape.volume();
+    let mut out = vec![0f32; volume];
+
+    // Fast path: identical shapes — plain zip, no index arithmetic.
+    if lhs_shape == rhs_shape {
+        for ((o, &a), &b) in out.iter_mut().zip(lhs.iter()).zip(rhs.iter()) {
+            *o = f(a, b);
+        }
+        return Ok((out, out_shape));
+    }
+
+    // Fast path: rhs broadcasts along the innermost axis only (the MEmCom
+    // multiplier pattern `[.., e] * [.., 1]`).
+    if lhs_shape.dims() == out_shape.dims()
+        && rhs_shape.rank() == out_shape.rank()
+        && rhs_shape.dims()[..out_shape.rank() - 1] == out_shape.dims()[..out_shape.rank() - 1]
+        && rhs_shape.dims()[out_shape.rank() - 1] == 1
+        && out_shape.rank() >= 1
+    {
+        let inner = out_shape.dims()[out_shape.rank() - 1];
+        for (row, chunk) in out.chunks_mut(inner).enumerate() {
+            let b = rhs[row];
+            for (o, &a) in chunk.iter_mut().zip(&lhs[row * inner..(row + 1) * inner]) {
+                *o = f(a, b);
+            }
+        }
+        return Ok((out, out_shape));
+    }
+
+    // General path: stride-0 reads for broadcast dimensions.
+    let ls = broadcast_strides(lhs_shape, &out_shape)?;
+    let rs = broadcast_strides(rhs_shape, &out_shape)?;
+    let out_dims = out_shape.dims().to_vec();
+    let rank = out_dims.len();
+    let mut idx = vec![0usize; rank];
+    let mut l_off = 0usize;
+    let mut r_off = 0usize;
+    for o in out.iter_mut() {
+        *o = f(lhs[l_off], rhs[r_off]);
+        // Odometer-increment the multi-index, updating offsets incrementally.
+        for axis in (0..rank).rev() {
+            idx[axis] += 1;
+            l_off += ls[axis];
+            r_off += rs[axis];
+            if idx[axis] < out_dims[axis] {
+                break;
+            }
+            l_off -= ls[axis] * out_dims[axis];
+            r_off -= rs[axis] * out_dims[axis];
+            idx[axis] = 0;
+        }
+    }
+    Ok((out, out_shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(dims: &[usize]) -> Shape {
+        Shape::new(dims)
+    }
+
+    #[test]
+    fn broadcast_shape_basic_rules() {
+        assert_eq!(broadcast_shape(&s(&[2, 3]), &s(&[2, 3])).unwrap(), s(&[2, 3]));
+        assert_eq!(broadcast_shape(&s(&[2, 1]), &s(&[2, 3])).unwrap(), s(&[2, 3]));
+        assert_eq!(broadcast_shape(&s(&[3]), &s(&[2, 3])).unwrap(), s(&[2, 3]));
+        assert_eq!(broadcast_shape(&s(&[4, 1, 3]), &s(&[2, 3])).unwrap(), s(&[4, 2, 3]));
+        assert_eq!(broadcast_shape(&Shape::scalar(), &s(&[5])).unwrap(), s(&[5]));
+    }
+
+    #[test]
+    fn broadcast_shape_incompatible() {
+        assert!(broadcast_shape(&s(&[2, 3]), &s(&[2, 4])).is_err());
+        assert!(broadcast_shape(&s(&[3, 2]), &s(&[2, 3])).is_err());
+    }
+
+    #[test]
+    fn memcom_multiplier_pattern() {
+        // [2, 2, 3] * [2, 2, 1]: the paper's U-row times scalar multiplier.
+        let u = vec![1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12.];
+        let v = vec![2., 10., 100., 0.5];
+        let (out, shape) = binary_op(&u, &s(&[2, 2, 3]), &v, &s(&[2, 2, 1]), |a, b| a * b).unwrap();
+        assert_eq!(shape, s(&[2, 2, 3]));
+        assert_eq!(
+            out,
+            vec![2., 4., 6., 40., 50., 60., 700., 800., 900., 5., 5.5, 6.]
+        );
+    }
+
+    #[test]
+    fn general_path_matches_reference() {
+        // [2, 1, 2] + [3, 1] -> [2, 3, 2], checked against a hand expansion.
+        let a = vec![0., 1., 10., 11.];
+        let b = vec![100., 200., 300.];
+        let (out, shape) = binary_op(&a, &s(&[2, 1, 2]), &b, &s(&[3, 1]), |x, y| x + y).unwrap();
+        assert_eq!(shape, s(&[2, 3, 2]));
+        assert_eq!(
+            out,
+            vec![100., 101., 200., 201., 300., 301., 110., 111., 210., 211., 310., 311.]
+        );
+    }
+
+    /// Reference implementation: materialize both operands fully.
+    fn reference_binary(
+        lhs: &[f32],
+        lhs_shape: &Shape,
+        rhs: &[f32],
+        rhs_shape: &Shape,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Option<Vec<f32>> {
+        let out_shape = broadcast_shape(lhs_shape, rhs_shape).ok()?;
+        let mut out = Vec::with_capacity(out_shape.volume());
+        for flat in 0..out_shape.volume() {
+            let idx = out_shape.multi_index(flat).unwrap();
+            let read = |buf: &[f32], shape: &Shape| {
+                let offset = out_shape.rank() - shape.rank();
+                let own: Vec<usize> = idx[offset..]
+                    .iter()
+                    .zip(shape.dims())
+                    .map(|(&i, &d)| if d == 1 { 0 } else { i })
+                    .collect();
+                buf[shape.flat_index(&own).unwrap()]
+            };
+            out.push(f(read(lhs, lhs_shape), read(rhs, rhs_shape)));
+        }
+        Some(out)
+    }
+
+    fn arb_broadcast_pair() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+        proptest::collection::vec(1usize..4, 1..4).prop_flat_map(|out_dims| {
+            let make_operand = {
+                let out_dims = out_dims.clone();
+                move || {
+                    let out_dims = out_dims.clone();
+                    (0..=out_dims.len()).prop_flat_map(move |rank_drop| {
+                        let kept: Vec<usize> = out_dims[rank_drop..].to_vec();
+                        proptest::collection::vec(proptest::bool::ANY, kept.len()).prop_map(
+                            move |mask| {
+                                kept.iter()
+                                    .zip(mask)
+                                    .map(|(&d, squash)| if squash { 1 } else { d })
+                                    .collect::<Vec<usize>>()
+                            },
+                        )
+                    })
+                }
+            };
+            (make_operand(), make_operand())
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_binary_matches_reference((ld, rd) in arb_broadcast_pair()) {
+            let lhs_shape = Shape::from(ld);
+            let rhs_shape = Shape::from(rd);
+            let lhs: Vec<f32> = (0..lhs_shape.volume()).map(|i| i as f32 + 0.5).collect();
+            let rhs: Vec<f32> = (0..rhs_shape.volume()).map(|i| (i as f32) * 2.0 - 3.0).collect();
+            let got = binary_op(&lhs, &lhs_shape, &rhs, &rhs_shape, |a, b| a * b + 1.0);
+            let want = reference_binary(&lhs, &lhs_shape, &rhs, &rhs_shape, |a, b| a * b + 1.0);
+            match (got, want) {
+                (Ok((out, _)), Some(expect)) => prop_assert_eq!(out, expect),
+                (Err(_), None) => {}
+                (g, w) => prop_assert!(false, "mismatch: got {:?}, want {:?}", g.is_ok(), w.is_some()),
+            }
+        }
+
+        #[test]
+        fn prop_broadcast_commutative((ld, rd) in arb_broadcast_pair()) {
+            let l = Shape::from(ld);
+            let r = Shape::from(rd);
+            let ab = broadcast_shape(&l, &r);
+            let ba = broadcast_shape(&r, &l);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn prop_broadcast_idempotent(dims in proptest::collection::vec(1usize..5, 0..4)) {
+            let shp = Shape::from(dims);
+            prop_assert_eq!(broadcast_shape(&shp, &shp).unwrap(), shp);
+        }
+    }
+}

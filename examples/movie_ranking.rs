@@ -1,0 +1,49 @@
+//! Pointwise movie ranking with a compression sweep (MovieLens scenario).
+//!
+//! ```text
+//! cargo run --release --example movie_ranking
+//! ```
+//!
+//! The §5.2 workload: rank the output catalogue by softmax score for each
+//! user and measure nDCG of the held-out next interaction. Sweeps MEmCom
+//! against naive hashing and the quotient-remainder trick at three
+//! compression levels and prints the Figure-2-style table.
+
+use memcom::core::{MethodSpec, QrCombiner};
+use memcom::data::DatasetSpec;
+use memcom::models::sweep::{run_sweep, SweepConfig};
+use memcom::models::trainer::TrainConfig;
+use memcom::models::ModelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec = DatasetSpec::movielens().scaled(8);
+    spec.train_samples = 2_500;
+    spec.eval_samples = 700;
+    let data = spec.generate(4);
+    println!(
+        "movielens stand-in: vocab {}, {} output movies, {} train users",
+        spec.input_vocab(),
+        spec.output_vocab,
+        data.train.len()
+    );
+
+    let v = spec.input_vocab();
+    let mut specs = Vec::new();
+    for divisor in [4usize, 16, 64] {
+        let m = (v / divisor).max(1);
+        specs.push(MethodSpec::MemCom { hash_size: m, bias: false });
+        specs.push(MethodSpec::NaiveHash { hash_size: m });
+        specs.push(MethodSpec::QuotientRemainder { hash_size: m, combiner: QrCombiner::Multiply });
+    }
+    let config = SweepConfig {
+        kind: ModelKind::PointwiseRanker,
+        embedding_dim: 32,
+        train: TrainConfig { epochs: 4, ..TrainConfig::default() },
+        ..SweepConfig::default()
+    };
+    let result = run_sweep(&spec, &data, &specs, &config)?;
+    println!("\n{}", result.to_table());
+    println!("paper (Figure 2a): MEmCom holds ≈4% nDCG loss at 16x input-embedding");
+    println!("compression while hashing baselines degrade much faster.");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! On-device deployment pipeline: serialize → quantize → mmap → measure.
+//!
+//! ```text
+//! cargo run --release --example ondevice_deploy
+//! ```
+//!
+//! Walks the full §5.3/§A.2 deployment story for one trained model:
+//! on-disk size at each precision, the page-level memory behaviour of the
+//! simulated mmap, and the Table-3-style cost comparison between MEmCom's
+//! lookup front end and Weinberger's one-hot front end.
+
+use memcom::core::{MemCom, MemComConfig, OneHotHashEncoder};
+use memcom::nn::{AveragePool1d, BatchNorm1d, Dense, Relu, Sequential};
+use memcom::ondevice::format::OnDeviceModel;
+use memcom::ondevice::{ComputeUnit, Dtype, InferenceSession};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vocab = 100_000; // Table-3 scale vocabulary
+    let e = 64;
+    let m = 10_000; // the paper's fixed hash size
+    let input_len = 128;
+    let classes = 500;
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let memcom = MemCom::new(MemComConfig::new(vocab, e, m), &mut rng)?;
+    let onehot = OneHotHashEncoder::new(vocab, e, m, &mut rng)?;
+    let mut head = Sequential::new();
+    head.push(AveragePool1d::new());
+    head.push(Relu::new());
+    head.push(BatchNorm1d::new(e));
+    head.push(Dense::new(e, classes, &mut rng));
+
+    // 1. On-disk size per precision (§A.2's motivation).
+    println!("on-disk model size (memcom front end):");
+    for bits in [32usize, 16, 8, 4, 2] {
+        let dtype = Dtype::for_bits(bits)?;
+        let bytes = OnDeviceModel::serialize(&memcom, &head, input_len, dtype)?;
+        println!("  {bits:>2}-bit: {:>8.2} MB", bytes.len() as f64 / 1_048_576.0);
+    }
+
+    // 2. mmap paging behaviour: one query touches a sliver of the file.
+    let bytes = OnDeviceModel::serialize(&memcom, &head, input_len, Dtype::F32)?;
+    let file_mb = bytes.len() as f64 / 1_048_576.0;
+    let session = InferenceSession::new(OnDeviceModel::parse(bytes)?);
+    let ids: Vec<usize> = (0..input_len).map(|_| rng.gen_range(0..vocab)).collect();
+    let (_, stats) = session.run(&ids)?;
+    println!(
+        "\nafter one query: {:.2} MB of the {:.2} MB file resident ({} page faults)",
+        stats.resident_model_bytes as f64 / 1_048_576.0,
+        file_mb,
+        session.mmap().faults()
+    );
+
+    // 3. Table-3-style comparison at FP32.
+    let onehot_bytes = OnDeviceModel::serialize(&onehot, &head, input_len, Dtype::F32)?;
+    let onehot_session = InferenceSession::new(OnDeviceModel::parse(onehot_bytes)?);
+    let (_, onehot_stats) = onehot_session.run(&ids)?;
+    println!("\nper-query cost (batch 1, FP32), memcom vs weinberger:");
+    println!("{:<18} {:>12} {:>12} {:>10} {:>10}", "unit", "memcom_ms", "weinb_ms", "memcom_MB", "weinb_MB");
+    for unit in ComputeUnit::all() {
+        println!(
+            "{:<18} {:>12.3} {:>12.3} {:>10.2} {:>10.2}",
+            unit.label(),
+            stats.time_ms(unit),
+            onehot_stats.time_ms(unit),
+            stats.footprint_mb(unit),
+            onehot_stats.footprint_mb(unit),
+        );
+    }
+    println!("\npaper (Table 3): lookup front ends stay sub-millisecond and few-MB;");
+    println!("the one-hot front end pays the whole kernel plus an L×m activation,");
+    println!("catastrophically so on TF-Lite's CPU path (~31 ms, ~30 MB).");
+    Ok(())
+}

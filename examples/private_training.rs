@@ -1,0 +1,64 @@
+//! Differentially-private on-device training (§A.3 scenario).
+//!
+//! ```text
+//! cargo run --release --example private_training
+//! ```
+//!
+//! Simulates the paper's private-federated-learning appendix: a compressed
+//! MEmCom ranker is trained with DP-SGD (per-example clipping + Gaussian
+//! noise) at several noise multipliers, with the Rényi accountant
+//! reporting the (ε, δ = 1/N) guarantee each run buys.
+
+use memcom::core::MethodSpec;
+use memcom::data::DatasetSpec;
+use memcom::dp::rdp::compute_epsilon;
+use memcom::models::{ModelConfig, ModelKind, RecModel};
+use memcom_bench::dp_train::{dp_train, DpTrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec = DatasetSpec::arcade().scaled(400);
+    spec.train_samples = 800;
+    spec.eval_samples = 300;
+    spec.input_len = 32; // shorter contexts keep per-example DP passes fast
+    let data = spec.generate(9);
+    println!(
+        "arcade stand-in: {} train users, δ = 1/{} (the paper's choice)",
+        data.train.len(),
+        data.train.len()
+    );
+
+    let config = ModelConfig {
+        kind: ModelKind::PointwiseRanker,
+        vocab: spec.input_vocab(),
+        embedding_dim: 16,
+        input_len: spec.input_len,
+        n_classes: spec.output_vocab,
+        dropout: 0.0,
+        seed: 1,
+    };
+    println!("\n{:<8} {:>10} {:>10} {:>10}", "sigma", "epsilon", "accuracy", "ndcg");
+    for sigma in [0.5f32, 1.0, 2.0, 4.0] {
+        let mut model = RecModel::new(
+            &config,
+            &MethodSpec::MemCom { hash_size: spec.input_vocab() / 10, bias: false },
+        )?;
+        let report = dp_train(
+            &mut model,
+            &data.train,
+            &data.eval,
+            &DpTrainConfig { epochs: 2, lot_size: 40, noise_multiplier: sigma, ..DpTrainConfig::default() },
+        )?;
+        println!(
+            "{sigma:<8.1} {:>10.3} {:>10.4} {:>10.4}",
+            report.epsilon, report.eval_accuracy, report.eval_ndcg
+        );
+    }
+
+    // The accountant alone, for planning: what would 10 epochs cost?
+    let q = 40.0 / data.train.len() as f64;
+    let steps = (data.train.len() as f64 / 40.0 * 10.0) as u64;
+    let eps = compute_epsilon(steps, q, 1.0, 1.0 / data.train.len() as f64)?;
+    println!("\nplanning: 10 epochs at sigma=1.0 would spend epsilon = {eps:.2}");
+    println!("paper (Figure 5): MEmCom's nDCG degrades the least as sigma grows.");
+    Ok(())
+}

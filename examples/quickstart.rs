@@ -1,0 +1,71 @@
+//! Quickstart: compress an embedding table with MEmCom and verify the
+//! accuracy cost against the uncompressed baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Trains the paper's Code-1 classifier twice on a synthetic power-law
+//! recommendation dataset — once with a full `v×e` embedding table and
+//! once with MEmCom at 10x fewer shared rows — then prints the parameter
+//! counts, compression ratio, and accuracy of both.
+
+use memcom::core::budget::compression_ratio;
+use memcom::core::MethodSpec;
+use memcom::data::DatasetSpec;
+use memcom::models::trainer::{train, TrainConfig};
+use memcom::models::{ModelConfig, ModelKind, RecModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An Arcade-shaped synthetic dataset, scaled to run in seconds.
+    let mut spec = DatasetSpec::arcade().scaled(100);
+    spec.train_samples = 3_000;
+    spec.eval_samples = 800;
+    let data = spec.generate(42);
+    println!(
+        "dataset: {} (vocab {}, {} classes, {} train examples)",
+        spec.name,
+        spec.input_vocab(),
+        spec.output_vocab,
+        data.train.len()
+    );
+
+    let config = ModelConfig {
+        kind: ModelKind::Classifier,
+        vocab: spec.input_vocab(),
+        embedding_dim: 32,
+        input_len: spec.input_len,
+        n_classes: spec.output_vocab,
+        dropout: 0.05,
+        seed: 7,
+    };
+    let train_config = TrainConfig { epochs: 6, ..TrainConfig::default() };
+
+    // Uncompressed baseline.
+    let mut baseline = RecModel::new(&config, &MethodSpec::Uncompressed)?;
+    let base_report = train(&mut baseline, &data.train, &data.eval, &train_config)?;
+    let base_params = baseline.param_count();
+    println!(
+        "\nuncompressed: {} params, accuracy {:.4}, ndcg {:.4}",
+        base_params, base_report.eval_accuracy, base_report.eval_ndcg
+    );
+
+    // MEmCom (Algorithm 2): 10x fewer shared rows + one multiplier per id.
+    let memcom_spec = MethodSpec::MemCom { hash_size: spec.input_vocab() / 10, bias: false };
+    let mut compressed = RecModel::new(&config, &memcom_spec)?;
+    let memcom_report = train(&mut compressed, &data.train, &data.eval, &train_config)?;
+    let memcom_params = compressed.param_count();
+    println!(
+        "memcom:       {} params, accuracy {:.4}, ndcg {:.4}",
+        memcom_params, memcom_report.eval_accuracy, memcom_report.eval_ndcg
+    );
+
+    let ratio = compression_ratio(base_params, memcom_params);
+    let loss =
+        (base_report.eval_accuracy - memcom_report.eval_accuracy) / base_report.eval_accuracy;
+    println!("\ncompression ratio: {ratio:.1}x (whole model)");
+    println!("relative accuracy loss: {:.1}%", loss * 100.0);
+    println!("\npaper's claim: a few percent quality loss at ~4-40x compression — the");
+    println!("shared rows carry the geometry, the per-entity multipliers keep ids distinct.");
+    Ok(())
+}
