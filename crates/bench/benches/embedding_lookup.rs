@@ -20,16 +20,44 @@ fn bench_lookup(c: &mut Criterion) {
 
     let specs: Vec<(&str, MethodSpec)> = vec![
         ("uncompressed", MethodSpec::Uncompressed),
-        ("memcom", MethodSpec::MemCom { hash_size: vocab / 10, bias: false }),
-        ("memcom_bias", MethodSpec::MemCom { hash_size: vocab / 10, bias: true }),
-        ("naive_hash", MethodSpec::NaiveHash { hash_size: vocab / 10 }),
-        ("double_hash", MethodSpec::DoubleHash { hash_size: vocab / 10 }),
+        (
+            "memcom",
+            MethodSpec::MemCom {
+                hash_size: vocab / 10,
+                bias: false,
+            },
+        ),
+        (
+            "memcom_bias",
+            MethodSpec::MemCom {
+                hash_size: vocab / 10,
+                bias: true,
+            },
+        ),
+        (
+            "naive_hash",
+            MethodSpec::NaiveHash {
+                hash_size: vocab / 10,
+            },
+        ),
+        (
+            "double_hash",
+            MethodSpec::DoubleHash {
+                hash_size: vocab / 10,
+            },
+        ),
         (
             "qr_mult",
-            MethodSpec::QuotientRemainder { hash_size: vocab / 10, combiner: QrCombiner::Multiply },
+            MethodSpec::QuotientRemainder {
+                hash_size: vocab / 10,
+                combiner: QrCombiner::Multiply,
+            },
         ),
         ("factorized", MethodSpec::Factorized { hidden: 16 }),
-        ("truncate_rare", MethodSpec::TruncateRare { keep: vocab / 10 }),
+        (
+            "truncate_rare",
+            MethodSpec::TruncateRare { keep: vocab / 10 },
+        ),
     ];
 
     let mut group = c.benchmark_group("embedding_lookup");
@@ -37,7 +65,10 @@ fn bench_lookup(c: &mut Criterion) {
     for (name, spec) in specs {
         let emb = spec.build(vocab, dim, &mut rng).expect("spec builds");
         group.bench_with_input(BenchmarkId::from_parameter(name), &emb, |b, emb| {
-            b.iter(|| emb.lookup(std::hint::black_box(&ids)).expect("lookup succeeds"));
+            b.iter(|| {
+                emb.lookup(std::hint::black_box(&ids))
+                    .expect("lookup succeeds")
+            });
         });
     }
     group.finish();
@@ -55,8 +86,19 @@ fn bench_backward(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n_ids as u64));
     for (name, spec) in [
         ("uncompressed", MethodSpec::Uncompressed),
-        ("memcom", MethodSpec::MemCom { hash_size: vocab / 10, bias: false }),
-        ("naive_hash", MethodSpec::NaiveHash { hash_size: vocab / 10 }),
+        (
+            "memcom",
+            MethodSpec::MemCom {
+                hash_size: vocab / 10,
+                bias: false,
+            },
+        ),
+        (
+            "naive_hash",
+            MethodSpec::NaiveHash {
+                hash_size: vocab / 10,
+            },
+        ),
     ] {
         let mut emb = spec.build(vocab, dim, &mut rng).expect("spec builds");
         let mut opt = memcom_nn::Sgd::new(0.01);

@@ -18,7 +18,9 @@ fn bench_quantize(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{dtype:?}")),
             &dtype,
             |b, &d| {
-                b.iter(|| QuantizedTable::quantize(std::hint::black_box(&table), d).expect("quantizes"));
+                b.iter(|| {
+                    QuantizedTable::quantize(std::hint::black_box(&table), d).expect("quantizes")
+                });
             },
         );
     }
@@ -26,7 +28,13 @@ fn bench_quantize(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("dequantize_row");
     group.throughput(Throughput::Elements(64));
-    for dtype in [Dtype::F32, Dtype::F16, Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+    for dtype in [
+        Dtype::F32,
+        Dtype::F16,
+        Dtype::Int8,
+        Dtype::Int4,
+        Dtype::Int2,
+    ] {
         let q = QuantizedTable::quantize(&table, dtype).expect("quantizes");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{dtype:?}")),

@@ -1,0 +1,129 @@
+//! Serving-throughput microbenchmark: shard-count scaling.
+//!
+//! Measures the sharded, micro-batching server end to end under Zipf
+//! traffic at 1/2/4/8 shards, for MEmCom and the uncompressed baseline,
+//! plus the raw (unbatched) `ShardedStore` path for reference. The
+//! expected shape: throughput grows with shard count until worker threads
+//! outnumber the machine's useful parallelism (on a single-core runner
+//! extra shards only add scheduling overhead, so the curve inverts), and
+//! MEmCom serves from a far smaller store at comparable speed.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memcom_core::MethodSpec;
+use memcom_data::Zipf;
+use memcom_serve::{EmbedServer, ServeConfig, ShardedStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const VOCAB: usize = 20_000;
+const DIM: usize = 32;
+const BATCH: usize = 256;
+
+fn zipf_ids(n: usize, seed: u64) -> Vec<usize> {
+    let zipf = Zipf::new(VOCAB, 1.1).expect("valid zipf");
+    let mut rng = StdRng::seed_from_u64(seed);
+    zipf.sample_many(n, &mut rng)
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let spec = MethodSpec::MemCom {
+        hash_size: VOCAB / 10,
+        bias: false,
+    };
+    let emb = spec.build(VOCAB, DIM, &mut rng).expect("memcom builds");
+    let ids = zipf_ids(BATCH, 7);
+
+    let mut group = c.benchmark_group("serve_shard_scaling");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for n_shards in [1usize, 2, 4, 8] {
+        let config = ServeConfig {
+            n_shards,
+            max_batch: 64,
+            max_wait: Duration::from_micros(100),
+            ..ServeConfig::default()
+        };
+        let server = EmbedServer::start(emb.as_ref(), config).expect("server starts");
+        let handle = server.handle();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_shards),
+            &handle,
+            |b, handle| {
+                b.iter(|| {
+                    handle
+                        .get_many(std::hint::black_box(&ids))
+                        .expect("batch served")
+                });
+            },
+        );
+        drop(server);
+    }
+    group.finish();
+}
+
+fn bench_method_comparison(c: &mut Criterion) {
+    let ids = zipf_ids(BATCH, 11);
+    let mut group = c.benchmark_group("serve_method");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for (name, spec) in [
+        (
+            "memcom",
+            MethodSpec::MemCom {
+                hash_size: VOCAB / 10,
+                bias: false,
+            },
+        ),
+        ("uncompressed", MethodSpec::Uncompressed),
+    ] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let emb = spec.build(VOCAB, DIM, &mut rng).expect("spec builds");
+        let server =
+            EmbedServer::start(emb.as_ref(), ServeConfig::with_shards(4)).expect("server starts");
+        let handle = server.handle();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &handle, |b, handle| {
+            b.iter(|| {
+                handle
+                    .get_many(std::hint::black_box(&ids))
+                    .expect("batch served")
+            });
+        });
+        drop(server);
+    }
+    group.finish();
+}
+
+fn bench_store_direct(c: &mut Criterion) {
+    // The store without queues/batching: the per-lookup floor the
+    // serving layers add latency on top of.
+    let mut rng = StdRng::seed_from_u64(5);
+    let spec = MethodSpec::MemCom {
+        hash_size: VOCAB / 10,
+        bias: false,
+    };
+    let emb = spec.build(VOCAB, DIM, &mut rng).expect("memcom builds");
+    let ids = zipf_ids(BATCH, 13);
+
+    let mut group = c.benchmark_group("store_direct");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for (name, cache_rows) in [("cached", 4096usize), ("uncached", 0)] {
+        let store =
+            ShardedStore::build(emb.as_ref(), 4, cache_rows, 16 * 1024).expect("store builds");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &store, |b, store| {
+            b.iter(|| {
+                for &id in &ids {
+                    std::hint::black_box(store.get(std::hint::black_box(id)).expect("row"));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12);
+    targets = bench_shard_scaling, bench_method_comparison, bench_store_direct
+}
+criterion_main!(benches);

@@ -37,15 +37,25 @@ fn main() {
         dropout: 0.05,
         seed: args.seed,
     };
-    let mut model = RecModel::new(&config, &MethodSpec::MemCom { hash_size: m, bias: false })
-        .expect("model builds");
+    let mut model = RecModel::new(
+        &config,
+        &MethodSpec::MemCom {
+            hash_size: m,
+            bias: false,
+        },
+    )
+    .expect("model builds");
     let input_emb_ratio = (v * e) as f64 / (m * e + v) as f64;
     println!("input-embedding compression ratio: {input_emb_ratio:.1}x (paper: 40x)");
     train(
         &mut model,
         &data.train,
         &data.eval,
-        &TrainConfig { epochs: if args.quick { 1 } else { 4 }, seed: args.seed, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: if args.quick { 1 } else { 4 },
+            seed: args.seed,
+            ..TrainConfig::default()
+        },
     )
     .expect("training succeeds");
 
@@ -56,7 +66,12 @@ fn main() {
         .expect("model was built with a MemCom embedding");
     let report = audit(memcom);
     let mut writer = ResultWriter::new("a4_uniqueness");
-    writer.header(&["shared_pairs", "distinct_pairs", "distinct_fraction_pct", "threshold"]);
+    writer.header(&[
+        "shared_pairs",
+        "distinct_pairs",
+        "distinct_fraction_pct",
+        "threshold",
+    ]);
     writer.row(&[
         &report.shared_pairs.to_string(),
         &report.distinct_pairs.to_string(),

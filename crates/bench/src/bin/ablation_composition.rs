@@ -26,8 +26,14 @@ fn main() {
     for divisor in [10usize, 50] {
         let m = (v / divisor).max(1);
         specs.push(MethodSpec::NaiveHash { hash_size: m }); // no composition
-        specs.push(MethodSpec::MemCom { hash_size: m, bias: false }); // Alg. 2
-        specs.push(MethodSpec::MemCom { hash_size: m, bias: true }); // Alg. 3
+        specs.push(MethodSpec::MemCom {
+            hash_size: m,
+            bias: false,
+        }); // Alg. 2
+        specs.push(MethodSpec::MemCom {
+            hash_size: m,
+            bias: true,
+        }); // Alg. 3
     }
     let config = SweepConfig {
         kind: ModelKind::Classifier,
@@ -41,7 +47,12 @@ fn main() {
     };
     let result = run_sweep(&spec, &data, &specs, &config).expect("sweep completes");
     let mut writer = ResultWriter::new("ablation_composition");
-    writer.header(&["method", "compression_ratio", "accuracy", "accuracy_loss_pct"]);
+    writer.header(&[
+        "method",
+        "compression_ratio",
+        "accuracy",
+        "accuracy_loss_pct",
+    ]);
     for point in std::iter::once(&result.baseline).chain(&result.points) {
         writer.row(&[
             &point.label,

@@ -61,9 +61,14 @@ fn main() {
                 dropout: 0.05,
                 seed: args.seed,
             };
-            let mut model =
-                RecModel::new(&config, &MethodSpec::MemCom { hash_size: m, bias: false })
-                    .expect("model builds");
+            let mut model = RecModel::new(
+                &config,
+                &MethodSpec::MemCom {
+                    hash_size: m,
+                    bias: false,
+                },
+            )
+            .expect("model builds");
             let report = train(
                 &mut model,
                 train_set,

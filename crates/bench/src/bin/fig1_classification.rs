@@ -24,9 +24,18 @@ fn main() {
     );
     let mut writer = ResultWriter::new("fig1_classification");
     writer.header(&[
-        "dataset", "method", "params", "compression_ratio", "accuracy", "accuracy_loss_pct",
+        "dataset",
+        "method",
+        "params",
+        "compression_ratio",
+        "accuracy",
+        "accuracy_loss_pct",
     ]);
-    for base in [DatasetSpec::newsgroup(), DatasetSpec::games(), DatasetSpec::arcade()] {
+    for base in [
+        DatasetSpec::newsgroup(),
+        DatasetSpec::games(),
+        DatasetSpec::arcade(),
+    ] {
         let spec = scaled_spec(&base, &args);
         eprintln!(
             "[fig1] {}: vocab={} out={} train={} (scaled from Table 2)",

@@ -23,7 +23,14 @@ fn main() {
         "memcom holds a few-percent nDCG loss where hashing baselines degrade steeply",
     );
     let mut writer = ResultWriter::new("fig2_pointwise");
-    writer.header(&["dataset", "method", "params", "compression_ratio", "ndcg", "ndcg_loss_pct"]);
+    writer.header(&[
+        "dataset",
+        "method",
+        "params",
+        "compression_ratio",
+        "ndcg",
+        "ndcg_loss_pct",
+    ]);
     for base in [
         DatasetSpec::movielens(),
         DatasetSpec::million_songs(),

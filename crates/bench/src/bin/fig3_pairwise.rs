@@ -27,11 +27,20 @@ fn main() {
     );
     let mut specs = Vec::new();
     for m in hash_size_grid(spec.input_vocab()) {
-        specs.push(MethodSpec::MemCom { hash_size: m, bias: true });
-        specs.push(MethodSpec::MemCom { hash_size: m, bias: false });
+        specs.push(MethodSpec::MemCom {
+            hash_size: m,
+            bias: true,
+        });
+        specs.push(MethodSpec::MemCom {
+            hash_size: m,
+            bias: false,
+        });
         specs.push(MethodSpec::NaiveHash { hash_size: m });
         specs.push(MethodSpec::DoubleHash { hash_size: m });
-        specs.push(MethodSpec::QuotientRemainder { hash_size: m, combiner: QrCombiner::Multiply });
+        specs.push(MethodSpec::QuotientRemainder {
+            hash_size: m,
+            combiner: QrCombiner::Multiply,
+        });
         specs.push(MethodSpec::TruncateRare { keep: m });
     }
     let config = SweepConfig {
@@ -45,10 +54,16 @@ fn main() {
         replicates: if args.quick { 1 } else { 2 },
         ..SweepConfig::default()
     };
-    let result = run_pairwise_sweep(&spec, &specs, &config, args.seed).expect("sweep must complete");
+    let result =
+        run_pairwise_sweep(&spec, &specs, &config, args.seed).expect("sweep must complete");
     let mut writer = ResultWriter::new("fig3_pairwise");
     writer.header(&[
-        "method", "params", "compression_ratio", "pair_accuracy", "ndcg", "ndcg_loss_pct",
+        "method",
+        "params",
+        "compression_ratio",
+        "pair_accuracy",
+        "ndcg",
+        "ndcg_loss_pct",
     ]);
     for point in std::iter::once(&result.baseline).chain(&result.points) {
         writer.row(&[
@@ -65,7 +80,12 @@ fn main() {
         .points
         .iter()
         .filter(|p| p.label.starts_with("memcom("))
-        .zip(result.points.iter().filter(|p| p.label.starts_with("memcom_nobias(")))
+        .zip(
+            result
+                .points
+                .iter()
+                .filter(|p| p.label.starts_with("memcom_nobias(")),
+        )
         .map(|(a, b)| (a.ndcg_loss_pct, b.ndcg_loss_pct))
         .collect();
     for (bias_loss, nobias_loss) in overlap {

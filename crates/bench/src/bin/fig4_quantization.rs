@@ -51,13 +51,23 @@ fn main() {
             dropout: 0.05,
             seed: args.seed,
         };
-        let mut model = RecModel::new(&config, &MethodSpec::MemCom { hash_size: m, bias: false })
-            .expect("valid model");
+        let mut model = RecModel::new(
+            &config,
+            &MethodSpec::MemCom {
+                hash_size: m,
+                bias: false,
+            },
+        )
+        .expect("valid model");
         train(
             &mut model,
             &data.train,
             &data.eval,
-            &TrainConfig { epochs: if args.quick { 1 } else { 4 }, seed: args.seed, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: if args.quick { 1 } else { 4 },
+                seed: args.seed,
+                ..TrainConfig::default()
+            },
         )
         .expect("training succeeds");
 

@@ -46,25 +46,56 @@ fn main() {
         &mut baseline,
         &data.train,
         &data.eval,
-        &TrainConfig { epochs: 3, seed: args.seed, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 3,
+            seed: args.seed,
+            ..TrainConfig::default()
+        },
     )
     .expect("baseline training");
     let base_ndcg = report.eval_ndcg;
 
     let mut writer = ResultWriter::new("fig5_privacy");
-    writer.header(&["method", "noise_multiplier", "epsilon", "ndcg", "ndcg_loss_pct_vs_noiseless"]);
-    writer.row(&["uncompressed_no_noise", "0.0", "inf", &format!("{base_ndcg:.4}"), "0.00"]);
+    writer.header(&[
+        "method",
+        "noise_multiplier",
+        "epsilon",
+        "ndcg",
+        "ndcg_loss_pct_vs_noiseless",
+    ]);
+    writer.row(&[
+        "uncompressed_no_noise",
+        "0.0",
+        "inf",
+        &format!("{base_ndcg:.4}"),
+        "0.00",
+    ]);
 
     // §A.3 sets hyperparameters so compressed models share one size; we
     // use m = v/10 for the hashed methods and the matching reduced dim.
     let m = (vocab / 10).max(1);
     let methods: Vec<(&str, MethodSpec)> = vec![
         ("uncompressed", MethodSpec::Uncompressed),
-        ("memcom", MethodSpec::MemCom { hash_size: m, bias: false }),
+        (
+            "memcom",
+            MethodSpec::MemCom {
+                hash_size: m,
+                bias: false,
+            },
+        ),
         ("naive_hash", MethodSpec::NaiveHash { hash_size: m }),
-        ("reduce_dim", MethodSpec::ReduceDim { dim: (e / 2).max(2) }),
+        (
+            "reduce_dim",
+            MethodSpec::ReduceDim {
+                dim: (e / 2).max(2),
+            },
+        ),
     ];
-    let noises: &[f32] = if args.quick { &[1.0] } else { &[0.5, 1.0, 2.0, 4.0] };
+    let noises: &[f32] = if args.quick {
+        &[1.0]
+    } else {
+        &[0.5, 1.0, 2.0, 4.0]
+    };
     for &noise in noises {
         for (name, spec_m) in &methods {
             let mut model = RecModel::new(&config_for(e), spec_m).expect("model builds");

@@ -38,7 +38,13 @@ fn main() {
     };
     let mut writer = ResultWriter::new("fig6_fixed_size");
     writer.header(&[
-        "dataset", "m", "solved_e", "model_params", "budget_params", "accuracy", "ndcg",
+        "dataset",
+        "m",
+        "solved_e",
+        "model_params",
+        "budget_params",
+        "accuracy",
+        "ndcg",
     ]);
     let reference_e = if args.quick { 16 } else { 32 };
     for base in datasets {
@@ -54,7 +60,10 @@ fn main() {
         for divisor in [2usize, 5, 10, 20, 50, 100] {
             let m = (v / divisor).max(1);
             let Ok(e) = solve_memcom_dim(budget_bytes, v, m, out, false, 4_096) else {
-                writer.block(&format!("# {}: m={m} does not fit the budget at any e", spec.name));
+                writer.block(&format!(
+                    "# {}: m={m} does not fit the budget at any e",
+                    spec.name
+                ));
                 continue;
             };
             let params = memcom_model_params(v, e, m, out, false);
@@ -68,8 +77,14 @@ fn main() {
                 dropout: 0.05,
                 seed: args.seed,
             };
-            let mut model = RecModel::new(&config, &MethodSpec::MemCom { hash_size: m, bias: false })
-                .expect("model builds");
+            let mut model = RecModel::new(
+                &config,
+                &MethodSpec::MemCom {
+                    hash_size: m,
+                    bias: false,
+                },
+            )
+            .expect("model builds");
             let report = train(
                 &mut model,
                 &data.train,

@@ -19,7 +19,12 @@ fn main() {
         "memcom/QR/low-rank are collision-free; naive ≫ double hashing collision rates",
     );
     let mut writer = ResultWriter::new("properties_table");
-    writer.header(&["technique", "unique_vector", "simple_operator", "power_law_suited"]);
+    writer.header(&[
+        "technique",
+        "unique_vector",
+        "simple_operator",
+        "power_law_suited",
+    ]);
     writer.row(&["low_rank_approximation", "yes", "n/a", "no"]);
     writer.row(&["quotient_remainder", "yes", "no", "yes"]);
     writer.row(&["naive_hashing", "no", "n/a", "yes"]);

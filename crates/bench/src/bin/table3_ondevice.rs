@@ -56,15 +56,18 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(args.seed);
         // Table 3 measures runtime, not accuracy, so freshly initialized
         // weights are equivalent to trained ones.
-        let memcom = MemCom::new(MemComConfig::new(vocab, e, m), &mut rng)
-            .expect("valid memcom config");
-        let onehot =
-            OneHotHashEncoder::new(vocab, e, m, &mut rng).expect("valid one-hot config");
+        let memcom =
+            MemCom::new(MemComConfig::new(vocab, e, m), &mut rng).expect("valid memcom config");
+        let onehot = OneHotHashEncoder::new(vocab, e, m, &mut rng).expect("valid one-hot config");
         let h = head(e, classes, &mut rng);
 
         let mut ids_rng = StdRng::seed_from_u64(args.seed ^ 1);
         let queries: Vec<Vec<usize>> = (0..runs)
-            .map(|_| (0..spec.input_len).map(|_| ids_rng.gen_range(0..vocab)).collect())
+            .map(|_| {
+                (0..spec.input_len)
+                    .map(|_| ids_rng.gen_range(0..vocab))
+                    .collect()
+            })
             .collect();
 
         for (label, bytes) in [

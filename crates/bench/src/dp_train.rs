@@ -96,12 +96,22 @@ pub fn dp_train(
     let q = (config.lot_size as f64 / train_set.len() as f64).min(1.0);
     let delta = 1.0 / train_set.len() as f64;
     let epsilon = if config.noise_multiplier > 0.0 {
-        compute_epsilon(opt.applied_steps(), q, config.noise_multiplier as f64, delta)
-            .unwrap_or(f64::INFINITY)
+        compute_epsilon(
+            opt.applied_steps(),
+            q,
+            config.noise_multiplier as f64,
+            delta,
+        )
+        .unwrap_or(f64::INFINITY)
     } else {
         f64::INFINITY
     };
-    Ok(DpTrainReport { eval_accuracy, eval_ndcg, epsilon, steps: opt.applied_steps() })
+    Ok(DpTrainReport {
+        eval_accuracy,
+        eval_ndcg,
+        epsilon,
+        steps: opt.applied_steps(),
+    })
 }
 
 #[cfg(test)]
@@ -130,8 +140,14 @@ mod tests {
             dropout: 0.0,
             seed: 5,
         };
-        RecModel::new(&config, &MethodSpec::MemCom { hash_size: spec.input_vocab() / 4, bias: false })
-            .unwrap()
+        RecModel::new(
+            &config,
+            &MethodSpec::MemCom {
+                hash_size: spec.input_vocab() / 4,
+                bias: false,
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -142,7 +158,11 @@ mod tests {
             &mut model,
             &train_set,
             &eval_set,
-            &DpTrainConfig { epochs: 1, lot_size: 30, ..DpTrainConfig::default() },
+            &DpTrainConfig {
+                epochs: 1,
+                lot_size: 30,
+                ..DpTrainConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(report.steps, 5); // 150 / 30 lots
@@ -172,7 +192,10 @@ mod tests {
         };
         let loose = eps_of(0.8);
         let tight = eps_of(3.0);
-        assert!(tight < loose, "ε(σ=3) = {tight} should beat ε(σ=0.8) = {loose}");
+        assert!(
+            tight < loose,
+            "ε(σ=3) = {tight} should beat ε(σ=0.8) = {loose}"
+        );
     }
 
     #[test]
@@ -183,7 +206,11 @@ mod tests {
             &mut model,
             &train_set,
             &eval_set,
-            &DpTrainConfig { epochs: 1, noise_multiplier: 0.0, ..DpTrainConfig::default() },
+            &DpTrainConfig {
+                epochs: 1,
+                noise_multiplier: 0.0,
+                ..DpTrainConfig::default()
+            },
         )
         .unwrap();
         assert!(report.epsilon.is_infinite());

@@ -22,7 +22,12 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { full: false, scale: None, quick: false, seed: 42 }
+        HarnessArgs {
+            full: false,
+            scale: None,
+            quick: false,
+            seed: 42,
+        }
     }
 }
 
@@ -80,8 +85,11 @@ pub fn scaled_spec(spec: &DatasetSpec, args: &HarnessArgs) -> DatasetSpec {
     }
     let factor = args.scale.unwrap_or_else(|| default_scale(spec.name));
     let mut scaled = spec.scaled(factor);
-    let (train_cap, eval_cap, len) =
-        if args.quick { (400, 150, 16) } else { (4_000, 1_000, spec.input_len) };
+    let (train_cap, eval_cap, len) = if args.quick {
+        (400, 150, 16)
+    } else {
+        (4_000, 1_000, spec.input_len)
+    };
     scaled.train_samples = scaled.train_samples.min(train_cap);
     scaled.eval_samples = scaled.eval_samples.min(eval_cap);
     scaled.input_len = len;
@@ -98,7 +106,10 @@ pub struct ResultWriter {
 impl ResultWriter {
     /// Creates a writer for experiment `name`.
     pub fn new(name: &str) -> Self {
-        ResultWriter { path: PathBuf::from(format!("results/{name}.tsv")), lines: Vec::new() }
+        ResultWriter {
+            path: PathBuf::from(format!("results/{name}.tsv")),
+            lines: Vec::new(),
+        }
     }
 
     /// Adds a header row.
@@ -172,7 +183,10 @@ mod tests {
     #[test]
     fn scaled_spec_respects_full() {
         let spec = DatasetSpec::movielens();
-        let args = HarnessArgs { full: true, ..HarnessArgs::default() };
+        let args = HarnessArgs {
+            full: true,
+            ..HarnessArgs::default()
+        };
         assert_eq!(scaled_spec(&spec, &args), spec);
     }
 
@@ -183,7 +197,13 @@ mod tests {
         assert!(scaled.train_samples <= 4_000);
         assert!(scaled.eval_samples <= 1_000);
         assert_eq!(scaled.input_len, 128);
-        let quick = scaled_spec(&spec, &HarnessArgs { quick: true, ..HarnessArgs::default() });
+        let quick = scaled_spec(
+            &spec,
+            &HarnessArgs {
+                quick: true,
+                ..HarnessArgs::default()
+            },
+        );
         assert!(quick.train_samples <= 400);
         assert_eq!(quick.input_len, 16);
     }

@@ -26,7 +26,7 @@ pub fn max_embedding_dim_under(
     }
     let (mut lo, mut hi) = (1usize, max_e);
     while lo < hi {
-        let mid = lo + (hi - lo + 1) / 2;
+        let mid = lo + (hi - lo).div_ceil(2);
         if params(mid) <= budget_params {
             lo = mid;
         } else {
@@ -86,7 +86,10 @@ pub fn solve_memcom_dim(
 ///
 /// Panics when `compressed_params == 0` — that is an accounting bug.
 pub fn compression_ratio(baseline_params: usize, compressed_params: usize) -> f64 {
-    assert!(compressed_params > 0, "compressed model cannot have zero parameters");
+    assert!(
+        compressed_params > 0,
+        "compressed model cannot have zero parameters"
+    );
     baseline_params as f64 / compressed_params as f64
 }
 

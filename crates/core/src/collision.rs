@@ -44,7 +44,7 @@ pub fn count_shared_entities(v: usize, bucket_of: impl Fn(usize) -> usize) -> us
     for id in 0..v {
         *counts.entry(bucket_of(id)).or_insert(0) += 1;
     }
-    counts.values().filter(|&&c| c > 1).map(|&c| c).sum()
+    counts.values().filter(|&&c| c > 1).copied().sum()
 }
 
 /// Empirical collisions in the paper's sense: `v` minus the number of
@@ -113,7 +113,10 @@ mod tests {
         let empirical = count_collisions(v, |i| seeded_hash(i, m, 7)) as f64;
         let theory = expected_collisions(v, m);
         let rel = (empirical - theory).abs() / theory;
-        assert!(rel < 0.05, "empirical {empirical} vs theory {theory} (rel {rel})");
+        assert!(
+            rel < 0.05,
+            "empirical {empirical} vs theory {theory} (rel {rel})"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub struct NamedTableMut<'a> {
 ///    shared optimizer — only rows touched in this batch are updated.
 ///
 /// [`lookup`](EmbeddingCompressor::lookup) is the immutable inference path.
-pub trait EmbeddingCompressor: Send {
+/// It takes `&self` and implementations hold no interior mutability, so a
+/// trained compressor can be shared across threads — `Sync` is part of the
+/// trait's contract so concurrent read paths (serving-side comparisons,
+/// multi-threaded evaluation) can borrow one without wrappers.
+pub trait EmbeddingCompressor: Send + Sync {
     /// Embeds `ids`, returning `[ids.len(), output_dim]`.
     ///
     /// # Errors
@@ -113,7 +117,10 @@ pub struct RowGrads {
 impl RowGrads {
     /// Creates an accumulator for rows of width `cols`.
     pub fn new(cols: usize) -> Self {
-        RowGrads { cols, acc: HashMap::new() }
+        RowGrads {
+            cols,
+            acc: HashMap::new(),
+        }
     }
 
     /// Adds `grad` (length `cols`) into the accumulator for `row`.
@@ -178,7 +185,8 @@ impl RowGrads {
             return Ok(());
         }
         let (rows, grads) = self.drain()?;
-        opt.step_sparse_rows(id, table, &rows, &grads).map_err(CoreError::from)
+        opt.step_sparse_rows(id, table, &rows, &grads)
+            .map_err(CoreError::from)
     }
 }
 
@@ -242,7 +250,10 @@ mod tests {
     #[test]
     fn validators() {
         assert!(check_ids(&[0, 4], 5).is_ok());
-        assert!(matches!(check_ids(&[5], 5), Err(CoreError::IdOutOfVocab { id: 5, vocab: 5 })));
+        assert!(matches!(
+            check_ids(&[5], 5),
+            Err(CoreError::IdOutOfVocab { id: 5, vocab: 5 })
+        ));
         assert!(check_grad(&Tensor::zeros(&[2, 3]), 2, 3).is_ok());
         assert!(check_grad(&Tensor::zeros(&[2, 3]), 3, 3).is_err());
         assert!(check_grad(&Tensor::zeros(&[6]), 2, 3).is_err());

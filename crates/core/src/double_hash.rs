@@ -4,7 +4,9 @@ use memcom_nn::{Optimizer, ParamId};
 use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
-use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::compressor::{
+    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+};
 use crate::hashing::seeded_hash;
 use crate::{CoreError, Result};
 
@@ -46,10 +48,12 @@ impl DoubleHashEmbedding {
     ) -> Result<Self> {
         if vocab == 0 || dim == 0 || hash_size == 0 {
             return Err(CoreError::BadConfig {
-                context: format!("double hash needs positive sizes, got v={vocab} e={dim} m={hash_size}"),
+                context: format!(
+                    "double hash needs positive sizes, got v={vocab} e={dim} m={hash_size}"
+                ),
             });
         }
-        if dim % 2 != 0 {
+        if !dim.is_multiple_of(2) {
             return Err(CoreError::BadConfig {
                 context: format!("double hash requires an even embedding dim, got {dim}"),
             });
@@ -71,8 +75,8 @@ impl DoubleHashEmbedding {
             dim,
             half,
             hash_size,
-            seed_a: 0x5EED_A,
-            seed_b: 0x5EED_B,
+            seed_a: 0x5EEDA,
+            seed_b: 0x5EEDB,
             cached_ids: None,
         })
     }
@@ -105,7 +109,10 @@ impl EmbeddingCompressor for DoubleHashEmbedding {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
-        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        let ids = self
+            .cached_ids
+            .take()
+            .ok_or(CoreError::BackwardBeforeForward)?;
         check_grad(grad_out, ids.len(), self.dim)?;
         for (k, &id) in ids.iter().enumerate() {
             let (a, b) = self.buckets(id);
@@ -139,15 +146,27 @@ impl EmbeddingCompressor for DoubleHashEmbedding {
 
     fn tables(&self) -> Vec<NamedTable<'_>> {
         vec![
-            NamedTable { name: "hashed_a", tensor: &self.table_a },
-            NamedTable { name: "hashed_b", tensor: &self.table_b },
+            NamedTable {
+                name: "hashed_a",
+                tensor: &self.table_a,
+            },
+            NamedTable {
+                name: "hashed_b",
+                tensor: &self.table_b,
+            },
         ]
     }
 
     fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
         vec![
-            NamedTableMut { name: "hashed_a", tensor: &mut self.table_a },
-            NamedTableMut { name: "hashed_b", tensor: &mut self.table_b },
+            NamedTableMut {
+                name: "hashed_a",
+                tensor: &mut self.table_a,
+            },
+            NamedTableMut {
+                name: "hashed_b",
+                tensor: &mut self.table_b,
+            },
         ]
     }
 
@@ -192,7 +211,12 @@ mod tests {
             single.insert(emb.buckets(id).0);
         }
         // Joint space realizes far more distinct codes.
-        assert!(joint.len() > 3 * single.len(), "joint {} vs single {}", joint.len(), single.len());
+        assert!(
+            joint.len() > 3 * single.len(),
+            "joint {} vs single {}",
+            joint.len(),
+            single.len()
+        );
     }
 
     #[test]

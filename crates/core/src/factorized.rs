@@ -4,7 +4,9 @@ use memcom_nn::{Optimizer, ParamId};
 use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
-use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::compressor::{
+    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+};
 use crate::{CoreError, Result};
 
 /// Low-rank factorization `E ≈ A·B` with `A ∈ ℝ^{v×h}`, `B ∈ ℝ^{h×e}`,
@@ -41,7 +43,9 @@ impl FactorizedEmbedding {
     ) -> Result<Self> {
         if vocab == 0 || dim == 0 || hidden == 0 {
             return Err(CoreError::BadConfig {
-                context: format!("factorized embedding needs positive sizes, got v={vocab} e={dim} h={hidden}"),
+                context: format!(
+                    "factorized embedding needs positive sizes, got v={vocab} e={dim} h={hidden}"
+                ),
             });
         }
         if hidden >= dim {
@@ -97,7 +101,10 @@ impl EmbeddingCompressor for FactorizedEmbedding {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
-        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        let ids = self
+            .cached_ids
+            .take()
+            .ok_or(CoreError::BackwardBeforeForward)?;
         check_grad(grad_out, ids.len(), self.dim)?;
         let proj = self.projection.as_slice();
         let gp = self.grad_projection.as_mut_slice();
@@ -126,8 +133,13 @@ impl EmbeddingCompressor for FactorizedEmbedding {
     }
 
     fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()> {
-        self.grads_codes.apply(opt, self.id_codes, &mut self.codes)?;
-        opt.step_dense(self.id_projection, &mut self.projection, &self.grad_projection)?;
+        self.grads_codes
+            .apply(opt, self.id_codes, &mut self.codes)?;
+        opt.step_dense(
+            self.id_projection,
+            &mut self.projection,
+            &self.grad_projection,
+        )?;
         self.grad_projection.map_inplace(|_| 0.0);
         Ok(())
     }
@@ -150,15 +162,27 @@ impl EmbeddingCompressor for FactorizedEmbedding {
 
     fn tables(&self) -> Vec<NamedTable<'_>> {
         vec![
-            NamedTable { name: "codes", tensor: &self.codes },
-            NamedTable { name: "projection", tensor: &self.projection },
+            NamedTable {
+                name: "codes",
+                tensor: &self.codes,
+            },
+            NamedTable {
+                name: "projection",
+                tensor: &self.projection,
+            },
         ]
     }
 
     fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
         vec![
-            NamedTableMut { name: "codes", tensor: &mut self.codes },
-            NamedTableMut { name: "projection", tensor: &mut self.projection },
+            NamedTableMut {
+                name: "codes",
+                tensor: &mut self.codes,
+            },
+            NamedTableMut {
+                name: "projection",
+                tensor: &mut self.projection,
+            },
         ]
     }
 
@@ -188,7 +212,9 @@ mod tests {
         let out = emb.lookup(&[11]).unwrap();
         let code = emb.codes.row(11).unwrap();
         for d in 0..8 {
-            let want: f32 = (0..3).map(|h| code[h] * emb.projection.at(&[h, d]).unwrap()).sum();
+            let want: f32 = (0..3)
+                .map(|h| code[h] * emb.projection.at(&[h, d]).unwrap())
+                .sum();
             assert!((out.row(0).unwrap()[d] - want).abs() < 1e-6);
         }
     }
@@ -200,7 +226,11 @@ mod tests {
         let out = emb.lookup(&ids).unwrap();
         for i in 0..50 {
             for j in (i + 1)..50 {
-                assert_ne!(out.row(i).unwrap(), out.row(j).unwrap(), "ids {i} and {j} collided");
+                assert_ne!(
+                    out.row(i).unwrap(),
+                    out.row(j).unwrap(),
+                    "ids {i} and {j} collided"
+                );
             }
         }
     }

@@ -4,7 +4,9 @@ use memcom_nn::{Optimizer, ParamId};
 use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
-use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::compressor::{
+    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+};
 use crate::{CoreError, Result};
 
 /// The classic `v × e` embedding table — the paper's uncompressed baseline
@@ -84,7 +86,10 @@ impl EmbeddingCompressor for FullEmbedding {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
-        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        let ids = self
+            .cached_ids
+            .take()
+            .ok_or(CoreError::BackwardBeforeForward)?;
         check_grad(grad_out, ids.len(), self.dim)?;
         for (k, &id) in ids.iter().enumerate() {
             self.grads.add(id, grad_out.row(k)?);
@@ -113,13 +118,17 @@ impl EmbeddingCompressor for FullEmbedding {
     }
 
     fn tables(&self) -> Vec<NamedTable<'_>> {
-        vec![NamedTable { name: "embedding", tensor: &self.table }]
+        vec![NamedTable {
+            name: "embedding",
+            tensor: &self.table,
+        }]
     }
 
     fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
-        vec![
-            NamedTableMut { name: "embedding", tensor: &mut self.table },
-        ]
+        vec![NamedTableMut {
+            name: "embedding",
+            tensor: &mut self.table,
+        }]
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -156,7 +165,10 @@ mod tests {
     #[test]
     fn rejects_out_of_vocab() {
         let emb = make();
-        assert!(matches!(emb.lookup(&[10]), Err(CoreError::IdOutOfVocab { .. })));
+        assert!(matches!(
+            emb.lookup(&[10]),
+            Err(CoreError::IdOutOfVocab { .. })
+        ));
     }
 
     #[test]
@@ -180,7 +192,10 @@ mod tests {
     #[test]
     fn backward_without_forward_fails() {
         let mut emb = make();
-        assert!(matches!(emb.backward(&Tensor::zeros(&[1, 4])), Err(CoreError::BackwardBeforeForward)));
+        assert!(matches!(
+            emb.backward(&Tensor::zeros(&[1, 4])),
+            Err(CoreError::BackwardBeforeForward)
+        ));
     }
 
     #[test]

@@ -18,7 +18,9 @@ use memcom_nn::{Optimizer, ParamId};
 use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
-use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::compressor::{
+    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+};
 use crate::hashing::mod_hash;
 use crate::{CoreError, Result};
 
@@ -42,12 +44,21 @@ pub struct MemComConfig {
 impl MemComConfig {
     /// No-bias MEmCom (Algorithm 2) with the default multiplier jitter.
     pub fn new(vocab: usize, dim: usize, hash_size: usize) -> Self {
-        MemComConfig { vocab, dim, hash_size, bias: false, multiplier_jitter: 0.01 }
+        MemComConfig {
+            vocab,
+            dim,
+            hash_size,
+            bias: false,
+            multiplier_jitter: 0.01,
+        }
     }
 
     /// Bias-variant MEmCom (Algorithm 3).
     pub fn with_bias(vocab: usize, dim: usize, hash_size: usize) -> Self {
-        MemComConfig { bias: true, ..Self::new(vocab, dim, hash_size) }
+        MemComConfig {
+            bias: true,
+            ..Self::new(vocab, dim, hash_size)
+        }
     }
 }
 
@@ -224,7 +235,10 @@ impl EmbeddingCompressor for MemCom {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
-        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        let ids = self
+            .cached_ids
+            .take()
+            .ok_or(CoreError::BackwardBeforeForward)?;
         let e = self.config.dim;
         check_grad(grad_out, ids.len(), e)?;
         for (k, &id) in ids.iter().enumerate() {
@@ -247,8 +261,10 @@ impl EmbeddingCompressor for MemCom {
     }
 
     fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()> {
-        self.shared_grads.apply(opt, self.shared_id, &mut self.shared)?;
-        self.multiplier_grads.apply(opt, self.multiplier_id, &mut self.multiplier)?;
+        self.shared_grads
+            .apply(opt, self.shared_id, &mut self.shared)?;
+        self.multiplier_grads
+            .apply(opt, self.multiplier_id, &mut self.multiplier)?;
         if let Some(bias) = self.bias.as_mut() {
             self.bias_grads.apply(opt, self.bias_id, bias)?;
         }
@@ -282,22 +298,40 @@ impl EmbeddingCompressor for MemCom {
 
     fn tables(&self) -> Vec<NamedTable<'_>> {
         let mut v = vec![
-            NamedTable { name: "shared", tensor: &self.shared },
-            NamedTable { name: "multiplier", tensor: &self.multiplier },
+            NamedTable {
+                name: "shared",
+                tensor: &self.shared,
+            },
+            NamedTable {
+                name: "multiplier",
+                tensor: &self.multiplier,
+            },
         ];
         if let Some(b) = &self.bias {
-            v.push(NamedTable { name: "bias", tensor: b });
+            v.push(NamedTable {
+                name: "bias",
+                tensor: b,
+            });
         }
         v
     }
 
     fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
         let mut v = vec![
-            NamedTableMut { name: "shared", tensor: &mut self.shared },
-            NamedTableMut { name: "multiplier", tensor: &mut self.multiplier },
+            NamedTableMut {
+                name: "shared",
+                tensor: &mut self.shared,
+            },
+            NamedTableMut {
+                name: "multiplier",
+                tensor: &mut self.multiplier,
+            },
         ];
         if let Some(b) = self.bias.as_mut() {
-            v.push(NamedTableMut { name: "bias", tensor: b });
+            v.push(NamedTableMut {
+                name: "bias",
+                tensor: b,
+            });
         }
         v
     }
@@ -332,7 +366,7 @@ mod tests {
     fn lookup_composes_multiplier() {
         let layer = make(false);
         let out = layer.lookup(&[7]).unwrap();
-        let u = layer.shared_table().row(7 % 10).unwrap();
+        let u = layer.shared_table().row(7).unwrap();
         let v = layer.multiplier_table().as_slice()[7];
         for (o, &ui) in out.row(0).unwrap().iter().zip(u) {
             assert!((o - ui * v).abs() < 1e-6);
@@ -347,9 +381,11 @@ mod tests {
         bias.as_mut_slice()[7] = 0.5;
         let shared = layer.shared_table().clone();
         let mult = layer.multiplier_table().clone();
-        layer.set_tables(shared.clone(), mult.clone(), Some(bias)).unwrap();
+        layer
+            .set_tables(shared.clone(), mult.clone(), Some(bias))
+            .unwrap();
         let out = layer.lookup(&[7]).unwrap();
-        let u = shared.row(7 % 10).unwrap();
+        let u = shared.row(7).unwrap();
         let v = mult.as_slice()[7];
         for (o, &ui) in out.row(0).unwrap().iter().zip(u) {
             assert!((o - (ui * v + 0.5)).abs() < 1e-6);
@@ -402,9 +438,7 @@ mod tests {
         let (rows_w, gw) = layer.bias_grads.drain().unwrap();
 
         let eps = 1e-3f32;
-        let loss = |l: &MemCom| -> f32 {
-            l.lookup(&ids).unwrap().mul(&w).unwrap().sum()
-        };
+        let loss = |l: &MemCom| -> f32 { l.lookup(&ids).unwrap().mul(&w).unwrap().sum() };
 
         // Check one U element per touched row.
         for (ri, &r) in rows_u.iter().enumerate() {
@@ -416,7 +450,10 @@ mod tests {
             let lm = loss(&pert);
             let numeric = (lp - lm) / (2.0 * eps);
             let analytic = gu.row(ri).unwrap()[0];
-            assert!((numeric - analytic).abs() < 1e-2, "U[{r}]: {numeric} vs {analytic}");
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "U[{r}]: {numeric} vs {analytic}"
+            );
         }
         // Check every V and W scalar.
         for (ri, &r) in rows_v.iter().enumerate() {
@@ -428,7 +465,10 @@ mod tests {
             let lm = loss(&pert);
             let numeric = (lp - lm) / (2.0 * eps);
             let analytic = gv.row(ri).unwrap()[0];
-            assert!((numeric - analytic).abs() < 1e-2, "V[{r}]: {numeric} vs {analytic}");
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "V[{r}]: {numeric} vs {analytic}"
+            );
         }
         for (ri, &r) in rows_w.iter().enumerate() {
             let mut pert = make(true);
@@ -439,17 +479,16 @@ mod tests {
             let lm = loss(&pert);
             let numeric = (lp - lm) / (2.0 * eps);
             let analytic = gw.row(ri).unwrap()[0];
-            assert!((numeric - analytic).abs() < 1e-2, "W[{r}]: {numeric} vs {analytic}");
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "W[{r}]: {numeric} vs {analytic}"
+            );
         }
     }
 
     fn copy_tables(src: &MemCom, dst: &mut MemCom) {
-        dst.set_tables(
-            src.shared.clone(),
-            src.multiplier.clone(),
-            src.bias.clone(),
-        )
-        .unwrap();
+        dst.set_tables(src.shared.clone(), src.multiplier.clone(), src.bias.clone())
+            .unwrap();
     }
 
     #[test]
@@ -480,7 +519,13 @@ mod tests {
         );
         let out = layer.lookup(&[3, 13]).unwrap();
         // The two learned embeddings point in opposite directions.
-        let dot: f32 = out.row(0).unwrap().iter().zip(out.row(1).unwrap()).map(|(a, b)| a * b).sum();
+        let dot: f32 = out
+            .row(0)
+            .unwrap()
+            .iter()
+            .zip(out.row(1).unwrap())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!(dot < 0.0, "embeddings did not separate, dot = {dot}");
     }
 
@@ -497,7 +542,11 @@ mod tests {
     fn set_tables_validation() {
         let mut layer = make(false);
         assert!(layer
-            .set_tables(Tensor::zeros(&[10, 4]), Tensor::zeros(&[50, 1]), Some(Tensor::zeros(&[50, 1])))
+            .set_tables(
+                Tensor::zeros(&[10, 4]),
+                Tensor::zeros(&[50, 1]),
+                Some(Tensor::zeros(&[50, 1]))
+            )
             .is_err()); // bias on no-bias layer
         assert!(layer
             .set_tables(Tensor::zeros(&[9, 4]), Tensor::zeros(&[50, 1]), None)

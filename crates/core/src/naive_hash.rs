@@ -4,7 +4,9 @@ use memcom_nn::{Optimizer, ParamId};
 use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
-use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::compressor::{
+    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+};
 use crate::hashing::mod_hash;
 use crate::{CoreError, Result};
 
@@ -38,7 +40,9 @@ impl NaiveHashEmbedding {
     ) -> Result<Self> {
         if vocab == 0 || dim == 0 || hash_size == 0 {
             return Err(CoreError::BadConfig {
-                context: format!("naive hash needs positive sizes, got v={vocab} e={dim} m={hash_size}"),
+                context: format!(
+                    "naive hash needs positive sizes, got v={vocab} e={dim} m={hash_size}"
+                ),
             });
         }
         if hash_size > vocab {
@@ -85,7 +89,10 @@ impl EmbeddingCompressor for NaiveHashEmbedding {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
-        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        let ids = self
+            .cached_ids
+            .take()
+            .ok_or(CoreError::BackwardBeforeForward)?;
         check_grad(grad_out, ids.len(), self.dim)?;
         for (k, &id) in ids.iter().enumerate() {
             self.grads.add(self.bucket(id), grad_out.row(k)?);
@@ -114,13 +121,17 @@ impl EmbeddingCompressor for NaiveHashEmbedding {
     }
 
     fn tables(&self) -> Vec<NamedTable<'_>> {
-        vec![NamedTable { name: "hashed", tensor: &self.table }]
+        vec![NamedTable {
+            name: "hashed",
+            tensor: &self.table,
+        }]
     }
 
     fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
-        vec![
-            NamedTableMut { name: "hashed", tensor: &mut self.table },
-        ]
+        vec![NamedTableMut {
+            name: "hashed",
+            tensor: &mut self.table,
+        }]
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -184,6 +195,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(NaiveHashEmbedding::new(10, 4, 11, &mut rng).is_err());
         assert!(NaiveHashEmbedding::new(10, 0, 5, &mut rng).is_err());
-        assert!(matches!(make().lookup(&[100]), Err(CoreError::IdOutOfVocab { .. })));
+        assert!(matches!(
+            make().lookup(&[100]),
+            Err(CoreError::IdOutOfVocab { .. })
+        ));
     }
 }

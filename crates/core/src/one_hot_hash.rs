@@ -50,7 +50,9 @@ impl OneHotHashEncoder {
     ) -> Result<Self> {
         if vocab == 0 || dim == 0 || hash_size == 0 {
             return Err(CoreError::BadConfig {
-                context: format!("one-hot hashing needs positive sizes, got v={vocab} e={dim} m={hash_size}"),
+                context: format!(
+                    "one-hot hashing needs positive sizes, got v={vocab} e={dim} m={hash_size}"
+                ),
             });
         }
         Ok(OneHotHashEncoder {
@@ -93,7 +95,10 @@ impl EmbeddingCompressor for OneHotHashEncoder {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
-        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        let ids = self
+            .cached_ids
+            .take()
+            .ok_or(CoreError::BackwardBeforeForward)?;
         check_grad(grad_out, ids.len(), self.dim)?;
         // dK = one_hotᵀ · dy, accumulated densely (the kernel is dense).
         let one_hot = self.encode_one_hot(&ids)?;
@@ -125,13 +130,17 @@ impl EmbeddingCompressor for OneHotHashEncoder {
     }
 
     fn tables(&self) -> Vec<NamedTable<'_>> {
-        vec![NamedTable { name: "kernel", tensor: &self.kernel }]
+        vec![NamedTable {
+            name: "kernel",
+            tensor: &self.kernel,
+        }]
     }
 
     fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
-        vec![
-            NamedTableMut { name: "kernel", tensor: &mut self.kernel },
-        ]
+        vec![NamedTableMut {
+            name: "kernel",
+            tensor: &mut self.kernel,
+        }]
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

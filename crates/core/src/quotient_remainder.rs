@@ -4,7 +4,9 @@ use memcom_nn::{Optimizer, ParamId};
 use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
-use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::compressor::{
+    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+};
 use crate::{CoreError, Result};
 
 /// How the remainder and quotient embeddings are composed.
@@ -57,7 +59,9 @@ impl QuotientRemainder {
     ) -> Result<Self> {
         if vocab == 0 || dim == 0 || m == 0 {
             return Err(CoreError::BadConfig {
-                context: format!("quotient-remainder needs positive sizes, got v={vocab} e={dim} m={m}"),
+                context: format!(
+                    "quotient-remainder needs positive sizes, got v={vocab} e={dim} m={m}"
+                ),
             });
         }
         if m > vocab {
@@ -68,7 +72,7 @@ impl QuotientRemainder {
         let part_dim = match combiner {
             QrCombiner::Multiply => dim,
             QrCombiner::Concat => {
-                if dim % 2 != 0 {
+                if !dim.is_multiple_of(2) {
                     return Err(CoreError::BadConfig {
                         context: format!("concat combiner requires even dim, got {dim}"),
                     });
@@ -143,7 +147,10 @@ impl EmbeddingCompressor for QuotientRemainder {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
-        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        let ids = self
+            .cached_ids
+            .take()
+            .ok_or(CoreError::BackwardBeforeForward)?;
         check_grad(grad_out, ids.len(), self.dim)?;
         for (k, &id) in ids.iter().enumerate() {
             let (q, r) = self.decompose(id);
@@ -168,8 +175,10 @@ impl EmbeddingCompressor for QuotientRemainder {
     }
 
     fn apply_gradients(&mut self, opt: &mut dyn Optimizer) -> Result<()> {
-        self.grads_rem.apply(opt, self.id_rem, &mut self.remainder_table)?;
-        self.grads_quo.apply(opt, self.id_quo, &mut self.quotient_table)
+        self.grads_rem
+            .apply(opt, self.id_rem, &mut self.remainder_table)?;
+        self.grads_quo
+            .apply(opt, self.id_quo, &mut self.quotient_table)
     }
 
     fn output_dim(&self) -> usize {
@@ -193,15 +202,27 @@ impl EmbeddingCompressor for QuotientRemainder {
 
     fn tables(&self) -> Vec<NamedTable<'_>> {
         vec![
-            NamedTable { name: "remainder", tensor: &self.remainder_table },
-            NamedTable { name: "quotient", tensor: &self.quotient_table },
+            NamedTable {
+                name: "remainder",
+                tensor: &self.remainder_table,
+            },
+            NamedTable {
+                name: "quotient",
+                tensor: &self.quotient_table,
+            },
         ]
     }
 
     fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
         vec![
-            NamedTableMut { name: "remainder", tensor: &mut self.remainder_table },
-            NamedTableMut { name: "quotient", tensor: &mut self.quotient_table },
+            NamedTableMut {
+                name: "remainder",
+                tensor: &mut self.remainder_table,
+            },
+            NamedTableMut {
+                name: "quotient",
+                tensor: &mut self.quotient_table,
+            },
         ]
     }
 
@@ -250,7 +271,10 @@ mod tests {
         let qr = make(QrCombiner::Concat);
         let out = qr.lookup(&[37]).unwrap();
         let (q, r) = qr.decompose(37);
-        assert_eq!(&out.row(0).unwrap()[..4], qr.remainder_table.row(r).unwrap());
+        assert_eq!(
+            &out.row(0).unwrap()[..4],
+            qr.remainder_table.row(r).unwrap()
+        );
         assert_eq!(&out.row(0).unwrap()[4..], qr.quotient_table.row(q).unwrap());
     }
 

@@ -98,9 +98,12 @@ impl MethodSpec {
             MethodSpec::DoubleHash { hash_size } => {
                 Box::new(DoubleHashEmbedding::new(vocab, dim, hash_size, rng)?)
             }
-            MethodSpec::QuotientRemainder { hash_size, combiner } => {
-                Box::new(QuotientRemainder::new(vocab, dim, hash_size, combiner, rng)?)
-            }
+            MethodSpec::QuotientRemainder {
+                hash_size,
+                combiner,
+            } => Box::new(QuotientRemainder::new(
+                vocab, dim, hash_size, combiner, rng,
+            )?),
             MethodSpec::Factorized { hidden } => {
                 Box::new(FactorizedEmbedding::new(vocab, dim, hidden, rng)?)
             }
@@ -120,16 +123,28 @@ impl MethodSpec {
     pub fn label(&self) -> String {
         match self {
             MethodSpec::Uncompressed => "uncompressed".into(),
-            MethodSpec::MemCom { hash_size, bias: true } => format!("memcom(m={hash_size})"),
-            MethodSpec::MemCom { hash_size, bias: false } => {
+            MethodSpec::MemCom {
+                hash_size,
+                bias: true,
+            } => format!("memcom(m={hash_size})"),
+            MethodSpec::MemCom {
+                hash_size,
+                bias: false,
+            } => {
                 format!("memcom_nobias(m={hash_size})")
             }
             MethodSpec::NaiveHash { hash_size } => format!("naive_hash(m={hash_size})"),
             MethodSpec::DoubleHash { hash_size } => format!("double_hash(m={hash_size})"),
-            MethodSpec::QuotientRemainder { hash_size, combiner: QrCombiner::Multiply } => {
+            MethodSpec::QuotientRemainder {
+                hash_size,
+                combiner: QrCombiner::Multiply,
+            } => {
                 format!("qr_mult(m={hash_size})")
             }
-            MethodSpec::QuotientRemainder { hash_size, combiner: QrCombiner::Concat } => {
+            MethodSpec::QuotientRemainder {
+                hash_size,
+                combiner: QrCombiner::Concat,
+            } => {
                 format!("qr_concat(m={hash_size})")
             }
             MethodSpec::Factorized { hidden } => format!("factorized(h={hidden})"),
@@ -149,12 +164,24 @@ mod tests {
     fn all_specs() -> Vec<MethodSpec> {
         vec![
             MethodSpec::Uncompressed,
-            MethodSpec::MemCom { hash_size: 10, bias: true },
-            MethodSpec::MemCom { hash_size: 10, bias: false },
+            MethodSpec::MemCom {
+                hash_size: 10,
+                bias: true,
+            },
+            MethodSpec::MemCom {
+                hash_size: 10,
+                bias: false,
+            },
             MethodSpec::NaiveHash { hash_size: 10 },
             MethodSpec::DoubleHash { hash_size: 10 },
-            MethodSpec::QuotientRemainder { hash_size: 10, combiner: QrCombiner::Multiply },
-            MethodSpec::QuotientRemainder { hash_size: 10, combiner: QrCombiner::Concat },
+            MethodSpec::QuotientRemainder {
+                hash_size: 10,
+                combiner: QrCombiner::Multiply,
+            },
+            MethodSpec::QuotientRemainder {
+                hash_size: 10,
+                combiner: QrCombiner::Concat,
+            },
             MethodSpec::Factorized { hidden: 4 },
             MethodSpec::ReduceDim { dim: 8 },
             MethodSpec::TruncateRare { keep: 20 },
@@ -199,9 +226,14 @@ mod tests {
     #[test]
     fn bad_hyperparameters_propagate_errors() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(MethodSpec::MemCom { hash_size: 1000, bias: false }
+        assert!(MethodSpec::MemCom {
+            hash_size: 1000,
+            bias: false
+        }
+        .build(100, 16, &mut rng)
+        .is_err());
+        assert!(MethodSpec::Factorized { hidden: 16 }
             .build(100, 16, &mut rng)
             .is_err());
-        assert!(MethodSpec::Factorized { hidden: 16 }.build(100, 16, &mut rng).is_err());
     }
 }

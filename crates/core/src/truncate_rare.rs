@@ -4,7 +4,9 @@ use memcom_nn::{Optimizer, ParamId};
 use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
-use crate::compressor::{check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads};
+use crate::compressor::{
+    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+};
 use crate::{CoreError, Result};
 
 /// Keeps embeddings only for the `keep` most frequent entities; every rarer
@@ -40,7 +42,9 @@ impl TruncateRareEmbedding {
     ) -> Result<Self> {
         if vocab == 0 || dim == 0 || keep == 0 {
             return Err(CoreError::BadConfig {
-                context: format!("truncate-rare needs positive sizes, got v={vocab} e={dim} keep={keep}"),
+                context: format!(
+                    "truncate-rare needs positive sizes, got v={vocab} e={dim} keep={keep}"
+                ),
             });
         }
         if keep >= vocab {
@@ -91,7 +95,10 @@ impl EmbeddingCompressor for TruncateRareEmbedding {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<()> {
-        let ids = self.cached_ids.take().ok_or(CoreError::BackwardBeforeForward)?;
+        let ids = self
+            .cached_ids
+            .take()
+            .ok_or(CoreError::BackwardBeforeForward)?;
         check_grad(grad_out, ids.len(), self.dim)?;
         for (k, &id) in ids.iter().enumerate() {
             self.grads.add(self.row_for(id), grad_out.row(k)?);
@@ -120,13 +127,17 @@ impl EmbeddingCompressor for TruncateRareEmbedding {
     }
 
     fn tables(&self) -> Vec<NamedTable<'_>> {
-        vec![NamedTable { name: "kept", tensor: &self.table }]
+        vec![NamedTable {
+            name: "kept",
+            tensor: &self.table,
+        }]
     }
 
     fn tables_mut(&mut self) -> Vec<NamedTableMut<'_>> {
-        vec![
-            NamedTableMut { name: "kept", tensor: &mut self.table },
-        ]
+        vec![NamedTableMut {
+            name: "kept",
+            tensor: &mut self.table,
+        }]
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

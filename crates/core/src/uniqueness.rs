@@ -58,8 +58,8 @@ pub fn audit(layer: &MemCom) -> UniquenessReport {
 pub fn audit_with_threshold(layer: &MemCom, threshold: f32) -> UniquenessReport {
     let mults = layer.multiplier_table().as_slice();
     let mut buckets: HashMap<usize, Vec<f32>> = HashMap::new();
-    for id in 0..layer.config().vocab {
-        buckets.entry(layer.bucket(id)).or_default().push(mults[id]);
+    for (id, &mult) in mults.iter().enumerate().take(layer.config().vocab) {
+        buckets.entry(layer.bucket(id)).or_default().push(mult);
     }
     let mut shared_pairs = 0usize;
     let mut distinct_pairs = 0usize;
@@ -73,7 +73,11 @@ pub fn audit_with_threshold(layer: &MemCom, threshold: f32) -> UniquenessReport 
             }
         }
     }
-    UniquenessReport { shared_pairs, distinct_pairs, threshold }
+    UniquenessReport {
+        shared_pairs,
+        distinct_pairs,
+        threshold,
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +103,10 @@ mod tests {
     #[test]
     fn zero_jitter_init_is_fully_degenerate() {
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = MemComConfig { multiplier_jitter: 0.0, ..MemComConfig::new(100, 4, 10) };
+        let cfg = MemComConfig {
+            multiplier_jitter: 0.0,
+            ..MemComConfig::new(100, 4, 10)
+        };
         let layer = MemCom::new(cfg, &mut rng).unwrap();
         let report = audit(&layer);
         assert_eq!(report.distinct_pairs, 0);
@@ -112,7 +119,10 @@ mod tests {
         // targets, and confirm the audit detects the divergence — the §A.4
         // mechanism end-to-end.
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = MemComConfig { multiplier_jitter: 0.0, ..MemComConfig::new(40, 4, 8) };
+        let cfg = MemComConfig {
+            multiplier_jitter: 0.0,
+            ..MemComConfig::new(40, 4, 8)
+        };
         let mut layer = MemCom::new(cfg, &mut rng).unwrap();
         let mut opt = Sgd::new(0.3);
         let ids: Vec<usize> = (0..40).collect();
@@ -132,7 +142,11 @@ mod tests {
 
     #[test]
     fn report_display_and_empty_case() {
-        let report = UniquenessReport { shared_pairs: 0, distinct_pairs: 0, threshold: 1e-5 };
+        let report = UniquenessReport {
+            shared_pairs: 0,
+            distinct_pairs: 0,
+            threshold: 1e-5,
+        };
         assert_eq!(report.distinct_fraction(), 1.0);
         assert!(report.to_string().contains('%'));
     }

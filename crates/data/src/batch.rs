@@ -54,7 +54,11 @@ impl<'a> BatchIter<'a> {
     /// Panics when `batch_size == 0` — a configuration bug.
     pub fn new(examples: &'a [Example], batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        BatchIter { examples, batch_size, cursor: 0 }
+        BatchIter {
+            examples,
+            batch_size,
+            cursor: 0,
+        }
     }
 }
 
@@ -104,7 +108,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn ex(label: usize) -> Example {
-        Example { input_ids: vec![label; 4], label }
+        Example {
+            input_ids: vec![label; 4],
+            label,
+        }
     }
 
     #[test]

@@ -201,8 +201,15 @@ impl DatasetSpec {
             train_samples: scale(self.train_samples, 200),
             eval_samples: scale(self.eval_samples, 100),
             items: scale(self.items, self.clusters.max(64)),
-            output_vocab: scale(self.output_vocab, self.clusters.max(8).min(self.output_vocab)),
-            countries: if self.countries == 0 { 0 } else { scale(self.countries, 4) },
+            output_vocab: scale(
+                self.output_vocab,
+                self.clusters.max(8).min(self.output_vocab),
+            ),
+            countries: if self.countries == 0 {
+                0
+            } else {
+                scale(self.countries, 4)
+            },
             ..self.clone()
         }
     }
@@ -229,7 +236,8 @@ impl DatasetSpec {
     /// Panics if the spec is internally inconsistent; the built-in specs
     /// and their scaled variants are always consistent.
     pub fn generate(&self, seed: u64) -> GeneratedData {
-        self.try_generate(seed).expect("built-in dataset specs are consistent")
+        self.try_generate(seed)
+            .expect("built-in dataset specs are consistent")
     }
 
     /// Fallible variant of [`generate`](Self::generate).
@@ -242,7 +250,11 @@ impl DatasetSpec {
         let mut rng = StdRng::seed_from_u64(seed);
         let train = model.examples(self.train_samples, &mut rng);
         let eval = model.examples(self.eval_samples, &mut rng);
-        Ok(GeneratedData { train, eval, vocab: model.vocab().clone() })
+        Ok(GeneratedData {
+            train,
+            eval,
+            vocab: model.vocab().clone(),
+        })
     }
 
     /// Generates pairwise (RankNet) train/eval examples.
@@ -250,10 +262,7 @@ impl DatasetSpec {
     /// # Errors
     ///
     /// Returns [`crate::DataError::BadSpec`] for inconsistent custom specs.
-    pub fn try_generate_pairs(
-        &self,
-        seed: u64,
-    ) -> Result<(Vec<PairExample>, Vec<PairExample>)> {
+    pub fn try_generate_pairs(&self, seed: u64) -> Result<(Vec<PairExample>, Vec<PairExample>)> {
         let model = self.model()?;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9A12);
         let train = model.pair_examples(self.train_samples, &mut rng);

@@ -33,6 +33,10 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!DataError::EmptySupport.to_string().is_empty());
-        assert!(DataError::BadSpec { context: "x".into() }.to_string().contains('x'));
+        assert!(DataError::BadSpec {
+            context: "x".into()
+        }
+        .to_string()
+        .contains('x'));
     }
 }

@@ -89,10 +89,14 @@ impl ClusterModel {
     /// noise probability outside `[0, 1]`).
     pub fn new(config: ClusterModelConfig) -> Result<Self> {
         if config.items == 0 || config.output_vocab == 0 {
-            return Err(DataError::BadSpec { context: "items and output vocab must be positive".into() });
+            return Err(DataError::BadSpec {
+                context: "items and output vocab must be positive".into(),
+            });
         }
         if config.clusters == 0 {
-            return Err(DataError::BadSpec { context: "need at least one cluster".into() });
+            return Err(DataError::BadSpec {
+                context: "need at least one cluster".into(),
+            });
         }
         if config.input_len == 0 || config.min_history >= config.input_len {
             return Err(DataError::BadSpec {
@@ -107,13 +111,18 @@ impl ClusterModel {
                 context: format!("noise must be a probability, got {}", config.noise),
             });
         }
-        if !(0.0..1.0).contains(&config.generic_head_fraction) || !(0.0..=1.0).contains(&config.head_prob) {
+        if !(0.0..1.0).contains(&config.generic_head_fraction)
+            || !(0.0..=1.0).contains(&config.head_prob)
+        {
             return Err(DataError::BadSpec {
                 context: "generic head fraction must be in [0,1) and head prob in [0,1]".into(),
             });
         }
         let k = config.clusters.min(config.output_vocab).min(config.items);
-        let config = ClusterModelConfig { clusters: k, ..config };
+        let config = ClusterModelConfig {
+            clusters: k,
+            ..config
+        };
         let vocab = VocabLayout::new(config.countries, config.items)?;
 
         // The most popular `head_len` items are cluster-agnostic; only the
@@ -127,7 +136,7 @@ impl ClusterModel {
         }
         let mut cluster_outputs: Vec<Vec<usize>> = vec![Vec::new(); k];
         for class in 0..config.output_vocab {
-            cluster_outputs[(splitmix64(class as u64 ^ 0xC1A5_5E5) % k as u64) as usize].push(class);
+            cluster_outputs[(splitmix64(class as u64 ^ 0xC1A55E5) % k as u64) as usize].push(class);
         }
         // Hash partitions can leave a cluster empty at tiny sizes; steal
         // from the largest cluster to guarantee non-emptiness.
@@ -171,7 +180,9 @@ impl ClusterModel {
 
     /// The cluster an item rank is assigned to (test/debug introspection).
     pub fn item_cluster(&self, rank: usize) -> Option<usize> {
-        self.cluster_items.iter().position(|items| items.binary_search(&rank).is_ok())
+        self.cluster_items
+            .iter()
+            .position(|items| items.binary_search(&rank).is_ok())
     }
 
     /// Draws one item id for cluster `k`: a generic head item with
@@ -187,7 +198,9 @@ impl ClusterModel {
             let within = self.item_zipfs[k].sample(rng);
             self.cluster_items[k][within]
         };
-        self.vocab.item_id(rank).expect("rank sampled within bounds")
+        self.vocab
+            .item_id(rank)
+            .expect("rank sampled within bounds")
     }
 
     /// Number of cluster-agnostic head items.
@@ -253,7 +266,11 @@ impl ClusterModel {
         if other == ex.label {
             other = (ex.label + 1) % self.config.output_vocab;
         }
-        PairExample { input_ids: ex.input_ids, preferred: ex.label, other }
+        PairExample {
+            input_ids: ex.input_ids,
+            preferred: ex.label,
+            other,
+        }
     }
 
     /// Generates `n` examples.
@@ -363,7 +380,10 @@ mod tests {
         }
         // With noise 0.2 the dominant cluster should hold a majority of
         // items in nearly every session.
-        assert!(majorities > trials * 8 / 10, "only {majorities}/{trials} sessions clustered");
+        assert!(
+            majorities > trials * 8 / 10,
+            "only {majorities}/{trials} sessions clustered"
+        );
     }
 
     #[test]
@@ -383,7 +403,12 @@ mod tests {
                     }
                 }
             }
-            let k_hist = counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(k, _)| k).unwrap();
+            let k_hist = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(k, _)| k)
+                .unwrap();
             if model.cluster_outputs[k_hist].contains(&ex.label) {
                 consistent += 1;
             }
@@ -420,7 +445,10 @@ mod tests {
         }
         let head: usize = counts[..20].iter().sum();
         let tail: usize = counts[100..].iter().sum();
-        assert!(head > tail * 2, "head {head} vs tail {tail} — not power law");
+        assert!(
+            head > tail * 2,
+            "head {head} vs tail {tail} — not power law"
+        );
     }
 
     #[test]
@@ -433,20 +461,47 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(ClusterModel::new(ClusterModelConfig { items: 0, ..config() }).is_err());
-        assert!(ClusterModel::new(ClusterModelConfig { output_vocab: 0, ..config() }).is_err());
-        assert!(ClusterModel::new(ClusterModelConfig { clusters: 0, ..config() }).is_err());
-        assert!(ClusterModel::new(ClusterModelConfig { noise: 1.5, ..config() }).is_err());
-        assert!(ClusterModel::new(ClusterModelConfig { min_history: 16, ..config() }).is_err());
+        assert!(ClusterModel::new(ClusterModelConfig {
+            items: 0,
+            ..config()
+        })
+        .is_err());
+        assert!(ClusterModel::new(ClusterModelConfig {
+            output_vocab: 0,
+            ..config()
+        })
+        .is_err());
+        assert!(ClusterModel::new(ClusterModelConfig {
+            clusters: 0,
+            ..config()
+        })
+        .is_err());
+        assert!(ClusterModel::new(ClusterModelConfig {
+            noise: 1.5,
+            ..config()
+        })
+        .is_err());
+        assert!(ClusterModel::new(ClusterModelConfig {
+            min_history: 16,
+            ..config()
+        })
+        .is_err());
         // Clusters clamp to output vocab rather than failing.
-        let m = ClusterModel::new(ClusterModelConfig { clusters: 1000, ..config() }).unwrap();
+        let m = ClusterModel::new(ClusterModelConfig {
+            clusters: 1000,
+            ..config()
+        })
+        .unwrap();
         assert_eq!(m.config().clusters, 40);
     }
 
     #[test]
     fn no_countries_config_works() {
-        let model =
-            ClusterModel::new(ClusterModelConfig { countries: 0, ..config() }).unwrap();
+        let model = ClusterModel::new(ClusterModelConfig {
+            countries: 0,
+            ..config()
+        })
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let ex = model.example(&mut rng);
         assert!(ex.input_ids.iter().all(|&id| !model.vocab().is_country(id)));

@@ -23,7 +23,9 @@ impl VocabLayout {
     /// Returns [`DataError::BadSpec`] when `items == 0`.
     pub fn new(countries: usize, items: usize) -> Result<Self> {
         if items == 0 {
-            return Err(DataError::BadSpec { context: "vocabulary needs at least one item".into() });
+            return Err(DataError::BadSpec {
+                context: "vocabulary needs at least one item".into(),
+            });
         }
         Ok(VocabLayout { countries, items })
     }
@@ -56,7 +58,10 @@ impl VocabLayout {
     pub fn country_id(&self, rank: usize) -> Result<usize> {
         if rank >= self.countries {
             return Err(DataError::BadSpec {
-                context: format!("country rank {rank} out of range for {} countries", self.countries),
+                context: format!(
+                    "country rank {rank} out of range for {} countries",
+                    self.countries
+                ),
             });
         }
         Ok(1 + rank)

@@ -46,7 +46,7 @@ impl Zipf {
         if n == 0 {
             return Err(DataError::EmptySupport);
         }
-        if !(exponent > 0.0) || !exponent.is_finite() {
+        if !exponent.is_finite() || exponent <= 0.0 {
             return Err(DataError::BadSpec {
                 context: format!("zipf exponent must be positive and finite, got {exponent}"),
             });
@@ -130,8 +130,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..10 {
-            let emp = counts[r] as f64 / n as f64;
+        for (r, &count) in counts.iter().enumerate().take(10) {
+            let emp = count as f64 / n as f64;
             let want = z.pmf(r);
             assert!(
                 (emp - want).abs() < 0.01 + want * 0.05,

@@ -38,7 +38,12 @@ pub struct DpSgdConfig {
 
 impl Default for DpSgdConfig {
     fn default() -> Self {
-        DpSgdConfig { clip_norm: 1.0, noise_multiplier: 1.0, lr: 0.1, seed: 0 }
+        DpSgdConfig {
+            clip_norm: 1.0,
+            noise_multiplier: 1.0,
+            lr: 0.1,
+            seed: 0,
+        }
     }
 }
 
@@ -92,7 +97,11 @@ impl DpSgd {
     pub fn end_example(&mut self) {
         let sq_norm: f32 = self.example.values().map(Tensor::sq_norm).sum();
         let norm = sq_norm.sqrt();
-        let scale = if norm > self.config.clip_norm { self.config.clip_norm / norm } else { 1.0 };
+        let scale = if norm > self.config.clip_norm {
+            self.config.clip_norm / norm
+        } else {
+            1.0
+        };
         for (id, grad) in self.example.drain() {
             let entry = self
                 .lot
@@ -139,7 +148,10 @@ impl DpSgd {
     }
 
     fn collect_dense(&mut self, id: ParamId, dims: &[usize], add: impl Fn(&mut Tensor)) {
-        let entry = self.example.entry(id).or_insert_with(|| Tensor::zeros(dims));
+        let entry = self
+            .example
+            .entry(id)
+            .or_insert_with(|| Tensor::zeros(dims));
         add(entry);
     }
 }
@@ -203,7 +215,10 @@ impl Optimizer for DpSgd {
                     });
                 }
                 // Densify: DP noise must cover the whole table.
-                let entry = self.example.entry(id).or_insert_with(|| Tensor::zeros(&dims));
+                let entry = self
+                    .example
+                    .entry(id)
+                    .or_insert_with(|| Tensor::zeros(&dims));
                 let buf = entry.as_mut_slice();
                 for (k, &r) in rows.iter().enumerate() {
                     for c in 0..cols {
@@ -248,7 +263,12 @@ mod tests {
         let pid = id();
         let mut w = Tensor::zeros(&[2]);
         // Example gradient of norm 10 → clipped to norm 1.
-        opt.step_dense(pid, &mut w, &Tensor::from_vec(vec![6.0, 8.0], &[2]).unwrap()).unwrap();
+        opt.step_dense(
+            pid,
+            &mut w,
+            &Tensor::from_vec(vec![6.0, 8.0], &[2]).unwrap(),
+        )
+        .unwrap();
         opt.end_example();
         opt.begin_apply();
         opt.step_dense(pid, &mut w, &Tensor::zeros(&[2])).unwrap();
@@ -268,7 +288,8 @@ mod tests {
         });
         let pid = id();
         let mut w = Tensor::zeros(&[1]);
-        opt.step_dense(pid, &mut w, &Tensor::from_vec(vec![0.5], &[1]).unwrap()).unwrap();
+        opt.step_dense(pid, &mut w, &Tensor::from_vec(vec![0.5], &[1]).unwrap())
+            .unwrap();
         opt.end_example();
         opt.begin_apply();
         opt.step_dense(pid, &mut w, &Tensor::zeros(&[1])).unwrap();
@@ -286,7 +307,8 @@ mod tests {
         let pid = id();
         let mut w = Tensor::zeros(&[1]);
         for g in [1.0f32, 3.0] {
-            opt.step_dense(pid, &mut w, &Tensor::from_vec(vec![g], &[1]).unwrap()).unwrap();
+            opt.step_dense(pid, &mut w, &Tensor::from_vec(vec![g], &[1]).unwrap())
+                .unwrap();
             opt.end_example();
         }
         assert_eq!(opt.lot_examples(), 2);
@@ -316,12 +338,19 @@ mod tests {
             &Tensor::from_vec(vec![3.0, 4.0], &[1, 2]).unwrap(),
         )
         .unwrap();
-        opt.step_dense(dense_id, &mut w, &Tensor::zeros(&[1])).unwrap();
+        opt.step_dense(dense_id, &mut w, &Tensor::zeros(&[1]))
+            .unwrap();
         opt.end_example();
         opt.begin_apply();
-        opt.step_sparse_rows(table_id, &mut table, &[0], &Tensor::zeros(&[1, 2]).reshape(&[1, 2]).unwrap())
+        opt.step_sparse_rows(
+            table_id,
+            &mut table,
+            &[0],
+            &Tensor::zeros(&[1, 2]).reshape(&[1, 2]).unwrap(),
+        )
+        .unwrap();
+        opt.step_dense(dense_id, &mut w, &Tensor::zeros(&[1]))
             .unwrap();
-        opt.step_dense(dense_id, &mut w, &Tensor::zeros(&[1])).unwrap();
         // Row 1 got the update even though the apply pass touched row 0.
         assert!((table.row(1).unwrap()[0] + 3.0).abs() < 1e-6);
         assert!((table.row(1).unwrap()[1] + 4.0).abs() < 1e-6);

@@ -29,6 +29,10 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        assert!(DpError::BadParameter { context: "sigma".into() }.to_string().contains("sigma"));
+        assert!(DpError::BadParameter {
+            context: "sigma".into()
+        }
+        .to_string()
+        .contains("sigma"));
     }
 }

@@ -29,13 +29,19 @@ pub fn default_orders() -> Vec<u32> {
 /// `alpha < 2`.
 pub fn rdp_step(q: f64, sigma: f64, alpha: u32) -> Result<f64> {
     if sigma <= 0.0 || !sigma.is_finite() {
-        return Err(DpError::BadParameter { context: format!("sigma must be positive, got {sigma}") });
+        return Err(DpError::BadParameter {
+            context: format!("sigma must be positive, got {sigma}"),
+        });
     }
     if !(0.0..=1.0).contains(&q) {
-        return Err(DpError::BadParameter { context: format!("q must be a probability, got {q}") });
+        return Err(DpError::BadParameter {
+            context: format!("q must be a probability, got {q}"),
+        });
     }
     if alpha < 2 {
-        return Err(DpError::BadParameter { context: format!("alpha must be >= 2, got {alpha}") });
+        return Err(DpError::BadParameter {
+            context: format!("alpha must be >= 2, got {alpha}"),
+        });
     }
     if q == 0.0 {
         return Ok(0.0);
@@ -111,7 +117,9 @@ impl RdpAccountant {
     /// Returns [`DpError::BadParameter`] for `delta ∉ (0, 1)`.
     pub fn epsilon(&self, delta: f64) -> Result<f64> {
         if !(0.0..1.0).contains(&delta) || delta == 0.0 {
-            return Err(DpError::BadParameter { context: format!("delta must be in (0,1), got {delta}") });
+            return Err(DpError::BadParameter {
+                context: format!("delta must be in (0,1), got {delta}"),
+            });
         }
         let log_inv_delta = (1.0 / delta).ln();
         let eps = self
@@ -210,7 +218,10 @@ mod tests {
         let q = 256.0 / 60_000.0;
         let steps = (60_000.0 / 256.0 * 60.0) as u64;
         let eps = compute_epsilon(steps, q, 1.1, 1e-5).unwrap();
-        assert!((2.0..5.0).contains(&eps), "ε = {eps} outside the published ballpark");
+        assert!(
+            (2.0..5.0).contains(&eps),
+            "ε = {eps} outside the published ballpark"
+        );
     }
 
     #[test]

@@ -23,9 +23,20 @@
 /// Panics when the slices differ in length or are empty — a harness bug,
 /// not a data condition.
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
-    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
-    assert!(!labels.is_empty(), "accuracy over an empty set is undefined");
-    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "prediction/label length mismatch"
+    );
+    assert!(
+        !labels.is_empty(),
+        "accuracy over an empty set is undefined"
+    );
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     hits as f64 / labels.len() as f64
 }
 
@@ -39,7 +50,11 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
 pub fn top_k_accuracy(scores: &[f32], n_classes: usize, labels: &[usize], k: usize) -> f64 {
     assert!(k > 0, "top-k needs k >= 1");
     assert!(n_classes > 0 && !labels.is_empty(), "empty inputs");
-    assert_eq!(scores.len(), labels.len() * n_classes, "score matrix shape mismatch");
+    assert_eq!(
+        scores.len(),
+        labels.len() * n_classes,
+        "score matrix shape mismatch"
+    );
     let mut hits = 0usize;
     for (row, &label) in labels.iter().enumerate() {
         let row_scores = &scores[row * n_classes..(row + 1) * n_classes];
@@ -102,7 +117,11 @@ pub fn single_relevant_ndcg(rank: usize) -> f64 {
 /// Panics on inconsistent dimensions or empty input.
 pub fn mean_ndcg(scores: &[f32], n_classes: usize, labels: &[usize]) -> f64 {
     assert!(n_classes > 0 && !labels.is_empty(), "empty inputs");
-    assert_eq!(scores.len(), labels.len() * n_classes, "score matrix shape mismatch");
+    assert_eq!(
+        scores.len(),
+        labels.len() * n_classes,
+        "score matrix shape mismatch"
+    );
     let total: f64 = labels
         .iter()
         .enumerate()
@@ -133,9 +152,17 @@ pub fn relative_loss_pct(baseline: f64, value: f64) -> f64 {
 ///
 /// Panics when the slices differ in length or are empty.
 pub fn pairwise_accuracy(preferred_scores: &[f32], other_scores: &[f32]) -> f64 {
-    assert_eq!(preferred_scores.len(), other_scores.len(), "pair length mismatch");
+    assert_eq!(
+        preferred_scores.len(),
+        other_scores.len(),
+        "pair length mismatch"
+    );
     assert!(!preferred_scores.is_empty(), "empty pair set");
-    let wins = preferred_scores.iter().zip(other_scores).filter(|(p, o)| p > o).count();
+    let wins = preferred_scores
+        .iter()
+        .zip(other_scores)
+        .filter(|(p, o)| p > o)
+        .count();
     wins as f64 / preferred_scores.len() as f64
 }
 
@@ -249,7 +276,7 @@ mod tests {
         #[test]
         fn prop_accuracy_bounds(n in 1usize..50, seed in 0u64..100) {
             let preds: Vec<usize> = (0..n).map(|i| ((i as u64 * seed) % 5) as usize).collect();
-            let labels: Vec<usize> = (0..n).map(|i| (i % 5) as usize).collect();
+            let labels: Vec<usize> = (0..n).map(|i| i % 5).collect();
             let a = accuracy(&preds, &labels);
             prop_assert!((0.0..=1.0).contains(&a));
         }

@@ -82,8 +82,15 @@ mod tests {
     fn conversions_and_sources() {
         assert!(Error::source(&ModelError::from(TensorError::EmptyTensor)).is_some());
         assert!(Error::source(&ModelError::from(DataError::EmptySupport)).is_some());
-        assert!(Error::source(&ModelError::BadConfig { context: "x".into() }).is_none());
-        assert!(ModelError::BadConfig { context: "bad lr".into() }.to_string().contains("bad lr"));
+        assert!(Error::source(&ModelError::BadConfig {
+            context: "x".into()
+        })
+        .is_none());
+        assert!(ModelError::BadConfig {
+            context: "bad lr".into()
+        }
+        .to_string()
+        .contains("bad lr"));
     }
 
     #[test]

@@ -44,7 +44,12 @@ pub struct ModelConfig {
 
 impl ModelConfig {
     /// A classifier configuration with library defaults.
-    pub fn classifier(vocab: usize, embedding_dim: usize, input_len: usize, n_classes: usize) -> Self {
+    pub fn classifier(
+        vocab: usize,
+        embedding_dim: usize,
+        input_len: usize,
+        n_classes: usize,
+    ) -> Self {
         ModelConfig {
             kind: ModelKind::Classifier,
             vocab,
@@ -57,8 +62,16 @@ impl ModelConfig {
     }
 
     /// A pointwise-ranker configuration with library defaults.
-    pub fn pointwise(vocab: usize, embedding_dim: usize, input_len: usize, n_classes: usize) -> Self {
-        ModelConfig { kind: ModelKind::PointwiseRanker, ..Self::classifier(vocab, embedding_dim, input_len, n_classes) }
+    pub fn pointwise(
+        vocab: usize,
+        embedding_dim: usize,
+        input_len: usize,
+        n_classes: usize,
+    ) -> Self {
+        ModelConfig {
+            kind: ModelKind::PointwiseRanker,
+            ..Self::classifier(vocab, embedding_dim, input_len, n_classes)
+        }
     }
 }
 
@@ -133,7 +146,11 @@ impl RecModel {
                 head.push(Dense::new(e_out, config.n_classes, &mut rng));
             }
         }
-        Ok(RecModel { embedding, head, config: config.clone() })
+        Ok(RecModel {
+            embedding,
+            head,
+            config: config.clone(),
+        })
     }
 
     /// The model configuration.
@@ -173,7 +190,11 @@ impl RecModel {
         let l = self.config.input_len;
         if flat_ids.len() != batch * l {
             return Err(ModelError::BadConfig {
-                context: format!("expected {} ids for batch {batch}, got {}", batch * l, flat_ids.len()),
+                context: format!(
+                    "expected {} ids for batch {batch}, got {}",
+                    batch * l,
+                    flat_ids.len()
+                ),
             });
         }
         let flat = self.embedding.forward(flat_ids)?; // [b·L, e]
@@ -230,12 +251,16 @@ mod tests {
     use memcom_nn::Adam;
 
     fn config(kind: ModelKind) -> ModelConfig {
-        ModelConfig { kind, ..ModelConfig::classifier(500, 16, 8, 12) }
+        ModelConfig {
+            kind,
+            ..ModelConfig::classifier(500, 16, 8, 12)
+        }
     }
 
     #[test]
     fn classifier_shapes() {
-        let mut model = RecModel::new(&config(ModelKind::Classifier), &MethodSpec::Uncompressed).unwrap();
+        let mut model =
+            RecModel::new(&config(ModelKind::Classifier), &MethodSpec::Uncompressed).unwrap();
         let ids = vec![3usize; 3 * 8];
         let logits = model.infer(&ids, 3).unwrap();
         assert_eq!(logits.shape().dims(), &[3, 12]);
@@ -245,16 +270,23 @@ mod tests {
 
     #[test]
     fn pointwise_drops_hidden_dense() {
-        let mut model =
-            RecModel::new(&config(ModelKind::PointwiseRanker), &MethodSpec::Uncompressed).unwrap();
+        let mut model = RecModel::new(
+            &config(ModelKind::PointwiseRanker),
+            &MethodSpec::Uncompressed,
+        )
+        .unwrap();
         assert_eq!(model.head().len(), 5);
-        let logits = model.infer(&vec![1usize; 8], 1).unwrap();
+        let logits = model.infer(&[1usize; 8], 1).unwrap();
         assert_eq!(logits.shape().dims(), &[1, 12]);
     }
 
     #[test]
     fn param_count_sums_embedding_and_head() {
-        let mut model = RecModel::new(&config(ModelKind::PointwiseRanker), &MethodSpec::Uncompressed).unwrap();
+        let mut model = RecModel::new(
+            &config(ModelKind::PointwiseRanker),
+            &MethodSpec::Uncompressed,
+        )
+        .unwrap();
         let emb = 500 * 16;
         // head: bn(16)*2 + dense 16*12+12
         let head = 32 + 16 * 12 + 12;
@@ -263,19 +295,26 @@ mod tests {
 
     #[test]
     fn reduce_dim_adapts_head() {
-        let mut model =
-            RecModel::new(&config(ModelKind::Classifier), &MethodSpec::ReduceDim { dim: 4 }).unwrap();
-        let logits = model.infer(&vec![0usize; 8], 1).unwrap();
+        let mut model = RecModel::new(
+            &config(ModelKind::Classifier),
+            &MethodSpec::ReduceDim { dim: 4 },
+        )
+        .unwrap();
+        let logits = model.infer(&[0usize; 8], 1).unwrap();
         assert_eq!(logits.shape().dims(), &[1, 12]);
         assert!(model.param_count() < 500 * 16);
     }
 
     #[test]
     fn bad_inputs_rejected() {
-        let mut model = RecModel::new(&config(ModelKind::Classifier), &MethodSpec::Uncompressed).unwrap();
-        assert!(model.infer(&vec![0usize; 7], 1).is_err()); // wrong length
-        assert!(model.infer(&vec![500usize; 8], 1).is_err()); // out of vocab
-        let bad = ModelConfig { n_classes: 0, ..config(ModelKind::Classifier) };
+        let mut model =
+            RecModel::new(&config(ModelKind::Classifier), &MethodSpec::Uncompressed).unwrap();
+        assert!(model.infer(&[0usize; 7], 1).is_err()); // wrong length
+        assert!(model.infer(&[500usize; 8], 1).is_err()); // out of vocab
+        let bad = ModelConfig {
+            n_classes: 0,
+            ..config(ModelKind::Classifier)
+        };
         assert!(RecModel::new(&bad, &MethodSpec::Uncompressed).is_err());
     }
 
@@ -283,7 +322,10 @@ mod tests {
     fn one_training_step_reduces_loss_on_fixed_batch() {
         let mut model = RecModel::new(
             &config(ModelKind::Classifier),
-            &MethodSpec::MemCom { hash_size: 50, bias: true },
+            &MethodSpec::MemCom {
+                hash_size: 50,
+                bias: true,
+            },
         )
         .unwrap();
         let mut opt = Adam::new(5e-3);

@@ -9,7 +9,7 @@
 //! logits.
 
 use memcom_core::MethodSpec;
-use memcom_data::{PairExample};
+use memcom_data::PairExample;
 use memcom_metrics::{pairwise_accuracy, rank_of, single_relevant_ndcg};
 use memcom_nn::{ranknet_loss, Mode, Optimizer};
 use memcom_tensor::Tensor;
@@ -47,8 +47,13 @@ impl RankNet {
     ///
     /// Propagates model-construction failures.
     pub fn new(config: &ModelConfig, spec: &MethodSpec) -> Result<Self> {
-        let config = ModelConfig { kind: ModelKind::PointwiseRanker, ..config.clone() };
-        Ok(RankNet { shared: RecModel::new(&config, spec)? })
+        let config = ModelConfig {
+            kind: ModelKind::PointwiseRanker,
+            ..config.clone()
+        };
+        Ok(RankNet {
+            shared: RecModel::new(&config, spec)?,
+        })
     }
 
     /// The shared tower (for parameter accounting and serialization).
@@ -69,7 +74,9 @@ impl RankNet {
     /// Propagates forward/backward failures; rejects empty batches.
     pub fn train_step(&mut self, pairs: &[PairExample], opt: &mut dyn Optimizer) -> Result<f32> {
         if pairs.is_empty() {
-            return Err(ModelError::BadConfig { context: "empty pair batch".into() });
+            return Err(ModelError::BadConfig {
+                context: "empty pair batch".into(),
+            });
         }
         let b = pairs.len();
         let l = self.shared.config().input_len;
@@ -86,10 +93,8 @@ impl RankNet {
             pos.push(logits.as_slice()[row * n_classes + p.preferred]);
             neg.push(logits.as_slice()[row * n_classes + p.other]);
         }
-        let (loss, grad_pos, grad_neg) = ranknet_loss(
-            &Tensor::from_vec(pos, &[b])?,
-            &Tensor::from_vec(neg, &[b])?,
-        )?;
+        let (loss, grad_pos, grad_neg) =
+            ranknet_loss(&Tensor::from_vec(pos, &[b])?, &Tensor::from_vec(neg, &[b])?)?;
         // Scatter pair gradients back into the logit matrix.
         let mut grad_logits = Tensor::zeros(&[b, n_classes]);
         {
@@ -130,12 +135,20 @@ impl RankNet {
                 total += self.train_step(&batch, opt.as_mut())? as f64;
                 steps += 1;
             }
-            epoch_losses.push(if steps == 0 { 0.0 } else { (total / steps as f64) as f32 });
+            epoch_losses.push(if steps == 0 {
+                0.0
+            } else {
+                (total / steps as f64) as f32
+            });
             let (acc, ndcg) = self.evaluate(eval_pairs, config.batch_size)?;
             best_pair_accuracy = best_pair_accuracy.max(acc);
             best_ndcg = best_ndcg.max(ndcg);
         }
-        Ok(RankNetReport { epoch_losses, pair_accuracy: best_pair_accuracy, eval_ndcg: best_ndcg })
+        Ok(RankNetReport {
+            epoch_losses,
+            pair_accuracy: best_pair_accuracy,
+            eval_ndcg: best_ndcg,
+        })
     }
 
     /// Evaluates pairwise accuracy and preferred-item nDCG.
@@ -143,13 +156,11 @@ impl RankNet {
     /// # Errors
     ///
     /// Propagates forward failures; rejects empty eval sets.
-    pub fn evaluate(
-        &mut self,
-        pairs: &[PairExample],
-        batch_size: usize,
-    ) -> Result<(f64, f64)> {
+    pub fn evaluate(&mut self, pairs: &[PairExample], batch_size: usize) -> Result<(f64, f64)> {
         if pairs.is_empty() {
-            return Err(ModelError::BadConfig { context: "empty eval pair set".into() });
+            return Err(ModelError::BadConfig {
+                context: "empty eval pair set".into(),
+            });
         }
         let l = self.shared.config().input_len;
         let n_classes = self.shared.config().n_classes;
@@ -170,7 +181,10 @@ impl RankNet {
                 ndcg_sum += single_relevant_ndcg(rank_of(row_slice, p.preferred));
             }
         }
-        Ok((pairwise_accuracy(&pos_scores, &neg_scores), ndcg_sum / pairs.len() as f64))
+        Ok((
+            pairwise_accuracy(&pos_scores, &neg_scores),
+            ndcg_sum / pairs.len() as f64,
+        ))
     }
 }
 
@@ -205,7 +219,12 @@ mod tests {
             .train(
                 &train_pairs,
                 &eval_pairs,
-                &TrainConfig { epochs: 5, batch_size: 32, lr: 3e-3, ..TrainConfig::default() },
+                &TrainConfig {
+                    epochs: 5,
+                    batch_size: 32,
+                    lr: 3e-3,
+                    ..TrainConfig::default()
+                },
             )
             .unwrap();
         assert!(

@@ -58,8 +58,13 @@ impl SweepResult {
         let row = |p: &SweepPoint| {
             format!(
                 "{:<28} {:>12} {:>8.2} {:>9.4} {:>9.4} {:>10.2} {:>10.2}\n",
-                p.label, p.params, p.compression_ratio, p.accuracy, p.ndcg,
-                p.accuracy_loss_pct, p.ndcg_loss_pct
+                p.label,
+                p.params,
+                p.compression_ratio,
+                p.accuracy,
+                p.ndcg,
+                p.accuracy_loss_pct,
+                p.ndcg_loss_pct
             )
         };
         out.push_str(&row(&self.baseline));
@@ -92,7 +97,9 @@ impl Default for SweepConfig {
             kind: ModelKind::Classifier,
             embedding_dim: 32,
             train: TrainConfig::default(),
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             replicates: 1,
         }
     }
@@ -115,12 +122,24 @@ pub fn hash_size_grid(vocab: usize) -> Vec<usize> {
 pub fn paper_method_grid(vocab: usize, embedding_dim: usize) -> Vec<MethodSpec> {
     let mut specs = Vec::new();
     for m in hash_size_grid(vocab) {
-        specs.push(MethodSpec::MemCom { hash_size: m, bias: true });
-        specs.push(MethodSpec::MemCom { hash_size: m, bias: false });
+        specs.push(MethodSpec::MemCom {
+            hash_size: m,
+            bias: true,
+        });
+        specs.push(MethodSpec::MemCom {
+            hash_size: m,
+            bias: false,
+        });
         specs.push(MethodSpec::NaiveHash { hash_size: m });
         specs.push(MethodSpec::DoubleHash { hash_size: m });
-        specs.push(MethodSpec::QuotientRemainder { hash_size: m, combiner: QrCombiner::Multiply });
-        specs.push(MethodSpec::QuotientRemainder { hash_size: m, combiner: QrCombiner::Concat });
+        specs.push(MethodSpec::QuotientRemainder {
+            hash_size: m,
+            combiner: QrCombiner::Multiply,
+        });
+        specs.push(MethodSpec::QuotientRemainder {
+            hash_size: m,
+            combiner: QrCombiner::Concat,
+        });
         specs.push(MethodSpec::TruncateRare { keep: m });
     }
     // "reduce embedding dim": e/2, e/4, … down to 4 (paper: 128…4 from 256).
@@ -139,6 +158,9 @@ pub fn paper_method_grid(vocab: usize, embedding_dim: usize) -> Vec<MethodSpec> 
 }
 
 /// Trains one (dataset, spec) point and returns its quality numbers.
+/// Label, parameter count, accuracy, and nDCG of one trained point.
+type PointOutcome = Result<(String, usize, f64, f64)>;
+
 fn run_point(
     data: &GeneratedData,
     dataset: &DatasetSpec,
@@ -161,7 +183,10 @@ fn run_point(
             seed,
         };
         let mut model = RecModel::new(&model_config, spec)?;
-        let train_config = TrainConfig { seed, ..config.train.clone() };
+        let train_config = TrainConfig {
+            seed,
+            ..config.train.clone()
+        };
         let report = train(&mut model, &data.train, &data.eval, &train_config)?;
         params = model.param_count();
         acc_sum += report.eval_accuracy;
@@ -201,29 +226,40 @@ pub fn run_sweep(
     };
 
     // Parallel grid: a shared atomic cursor feeds worker threads.
-    let results: Vec<Option<Result<(String, usize, f64, f64)>>> =
-        std::sync::Mutex::new(vec![None; specs.len()]).into_inner().expect("fresh mutex");
-    let results = std::sync::Mutex::new(results);
+    let results: std::sync::Mutex<Vec<Option<PointOutcome>>> =
+        std::sync::Mutex::new(vec![None; specs.len()]);
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let workers = config.workers.max(1).min(specs.len().max(1));
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let outcome = run_point(data, dataset, config, &specs[i]);
-                results.lock().expect("no poisoned workers").get_mut(i).map(|slot| *slot = Some(outcome));
-            });
-        }
-    })
-    .map_err(|_| ModelError::BadConfig { context: "sweep worker panicked".into() })?;
+    let worker_panicked = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let outcome = run_point(data, dataset, config, &specs[i]);
+                    if let Some(slot) = results.lock().expect("no poisoned workers").get_mut(i) {
+                        *slot = Some(outcome);
+                    }
+                })
+            })
+            .collect();
+        // Join every worker before deciding: short-circuiting would
+        // leave later panicked threads unjoined and make the scope
+        // re-panic instead of letting us return an error.
+        let joined: Vec<bool> = handles.into_iter().map(|h| h.join().is_err()).collect();
+        joined.contains(&true)
+    });
+    if worker_panicked {
+        return Err(ModelError::BadConfig {
+            context: "sweep worker panicked".into(),
+        });
+    }
 
     let mut points = Vec::with_capacity(specs.len());
     for slot in results.into_inner().expect("workers joined") {
-        let (label, params, accuracy, ndcg) =
-            slot.expect("cursor covered every index")?;
+        let (label, params, accuracy, ndcg) = slot.expect("cursor covered every index")?;
         points.push(SweepPoint {
             compression_ratio: compression_ratio(base_params, params),
             accuracy_loss_pct: relative_loss_pct(base_acc, accuracy),
@@ -234,7 +270,11 @@ pub fn run_sweep(
             ndcg,
         });
     }
-    Ok(SweepResult { dataset: dataset.name, baseline, points })
+    Ok(SweepResult {
+        dataset: dataset.name,
+        baseline,
+        points,
+    })
 }
 
 /// Runs a pairwise (Figure 3) sweep with the RankNet model.
@@ -261,7 +301,12 @@ pub fn run_pairwise_sweep(
     let run_one = |spec: &MethodSpec| -> Result<(String, usize, f64, f64)> {
         let mut net = RankNet::new(&model_config, spec)?;
         let report = net.train(&train_pairs, &eval_pairs, &config.train)?;
-        Ok((spec.label(), net.param_count(), report.pair_accuracy, report.eval_ndcg))
+        Ok((
+            spec.label(),
+            net.param_count(),
+            report.pair_accuracy,
+            report.eval_ndcg,
+        ))
     };
     let (base_label, base_params, base_acc, base_ndcg) = run_one(&MethodSpec::Uncompressed)?;
     let baseline = SweepPoint {
@@ -286,7 +331,11 @@ pub fn run_pairwise_sweep(
             ndcg,
         });
     }
-    Ok(SweepResult { dataset: dataset.name, baseline, points })
+    Ok(SweepResult {
+        dataset: dataset.name,
+        baseline,
+        points,
+    })
 }
 
 #[cfg(test)]
@@ -307,16 +356,24 @@ mod tests {
         assert_eq!(grid, vec![50_000, 25_000, 10_000, 5_000, 1_000]);
         // Tiny vocabularies keep at least one valid point.
         assert!(!hash_size_grid(8).is_empty());
-        assert!(hash_size_grid(8).iter().all(|&m| m >= 1 && m < 8));
+        assert!(hash_size_grid(8).iter().all(|&m| (1..8).contains(&m)));
     }
 
     #[test]
     fn paper_grid_contains_every_family() {
         let specs = paper_method_grid(1_000, 32);
         let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
-        for family in
-            ["memcom(", "memcom_nobias(", "naive_hash", "double_hash", "qr_mult", "qr_concat", "truncate_rare", "reduce_dim", "factorized"]
-        {
+        for family in [
+            "memcom(",
+            "memcom_nobias(",
+            "naive_hash",
+            "double_hash",
+            "qr_mult",
+            "qr_concat",
+            "truncate_rare",
+            "reduce_dim",
+            "factorized",
+        ] {
             assert!(
                 labels.iter().any(|l| l.starts_with(family)),
                 "family {family} missing from grid"
@@ -329,12 +386,21 @@ mod tests {
         let dataset = tiny_dataset();
         let data = dataset.generate(21);
         let specs = vec![
-            MethodSpec::MemCom { hash_size: dataset.input_vocab() / 10, bias: true },
-            MethodSpec::NaiveHash { hash_size: dataset.input_vocab() / 10 },
+            MethodSpec::MemCom {
+                hash_size: dataset.input_vocab() / 10,
+                bias: true,
+            },
+            MethodSpec::NaiveHash {
+                hash_size: dataset.input_vocab() / 10,
+            },
         ];
         let config = SweepConfig {
             embedding_dim: 8,
-            train: TrainConfig { epochs: 1, batch_size: 64, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 1,
+                batch_size: 64,
+                ..TrainConfig::default()
+            },
             workers: 2,
             replicates: 2,
             ..SweepConfig::default()
@@ -343,7 +409,12 @@ mod tests {
         assert_eq!(result.points.len(), 2);
         assert_eq!(result.baseline.compression_ratio, 1.0);
         for p in &result.points {
-            assert!(p.compression_ratio > 1.0, "{} ratio {}", p.label, p.compression_ratio);
+            assert!(
+                p.compression_ratio > 1.0,
+                "{} ratio {}",
+                p.label,
+                p.compression_ratio
+            );
             assert!(p.params < result.baseline.params);
         }
         // MEmCom keeps v extra multiplier params → slightly lower ratio
@@ -358,10 +429,16 @@ mod tests {
     fn pairwise_sweep_runs() {
         let mut dataset = tiny_dataset();
         dataset.train_samples = 200;
-        let specs = vec![MethodSpec::NaiveHash { hash_size: dataset.input_vocab() / 10 }];
+        let specs = vec![MethodSpec::NaiveHash {
+            hash_size: dataset.input_vocab() / 10,
+        }];
         let config = SweepConfig {
             embedding_dim: 8,
-            train: TrainConfig { epochs: 1, batch_size: 64, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 1,
+                batch_size: 64,
+                ..TrainConfig::default()
+            },
             workers: 1,
             ..SweepConfig::default()
         };

@@ -37,7 +37,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 3, batch_size: 64, lr: 2e-3, optimizer: OptimizerKind::Adam, seed: 17 }
+        TrainConfig {
+            epochs: 3,
+            batch_size: 64,
+            lr: 2e-3,
+            optimizer: OptimizerKind::Adam,
+            seed: 17,
+        }
     }
 }
 
@@ -104,7 +110,11 @@ pub fn train(
             total += out.loss as f64;
             batches += 1;
         }
-        epoch_losses.push(if batches == 0 { 0.0 } else { (total / batches as f64) as f32 });
+        epoch_losses.push(if batches == 0 {
+            0.0
+        } else {
+            (total / batches as f64) as f32
+        });
         let (acc, ndcg) = evaluate(model, eval_set, config.batch_size)?;
         best_accuracy = best_accuracy.max(acc);
         best_ndcg = best_ndcg.max(ndcg);
@@ -150,7 +160,10 @@ pub fn evaluate(
         }
         labels.extend_from_slice(&batch.labels);
     }
-    Ok((accuracy(&predictions, &labels), ndcg_sum / eval_set.len() as f64))
+    Ok((
+        accuracy(&predictions, &labels),
+        ndcg_sum / eval_set.len() as f64,
+    ))
 }
 
 #[cfg(test)]
@@ -186,7 +199,12 @@ mod tests {
             &mut model,
             &data.train,
             &data.eval,
-            &TrainConfig { epochs: 6, batch_size: 32, lr: 3e-3, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 6,
+                batch_size: 32,
+                lr: 3e-3,
+                ..TrainConfig::default()
+            },
         )
         .unwrap();
         let chance = 1.0 / spec.output_vocab as f64;

@@ -79,7 +79,12 @@ impl BatchNorm1d {
 
     /// Borrow `(gamma, beta, running_mean, running_var)` for serialization.
     pub fn state(&self) -> (&Tensor, &Tensor, &Tensor, &Tensor) {
-        (&self.gamma, &self.beta, &self.running_mean, &self.running_var)
+        (
+            &self.gamma,
+            &self.beta,
+            &self.running_mean,
+            &self.running_var,
+        )
     }
 
     /// Restores `(gamma, beta, running_mean, running_var)`.
@@ -141,8 +146,11 @@ impl Layer for BatchNorm1d {
                 let mean = ops::mean_axis(input, 0)?;
                 let centered = input.sub(&mean)?;
                 let var = ops::mean_axis(&centered.mul(&centered)?, 0)?;
-                let inv_std: Vec<f32> =
-                    var.as_slice().iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+                let inv_std: Vec<f32> = var
+                    .as_slice()
+                    .iter()
+                    .map(|&v| 1.0 / (v + self.eps).sqrt())
+                    .collect();
                 let inv_std_t = Tensor::from_vec(inv_std.clone(), &[d])?;
                 let x_hat = centered.mul(&inv_std_t)?;
                 let out = x_hat.mul(&self.gamma)?.add(&self.beta)?;
@@ -153,7 +161,11 @@ impl Layer for BatchNorm1d {
                 let new_var = self.running_var.scale(m).add(&var.scale(1.0 - m))?;
                 self.running_mean = new_mean;
                 self.running_var = new_var;
-                self.cache = Some(BnCache { x_hat, inv_std, batch: b });
+                self.cache = Some(BnCache {
+                    x_hat,
+                    inv_std,
+                    batch: b,
+                });
                 Ok(out)
             }
             Mode::Eval => {
@@ -174,8 +186,14 @@ impl Layer for BatchNorm1d {
         let cache = self
             .cache
             .take()
-            .ok_or_else(|| NnError::BackwardBeforeForward { layer: "batchnorm".into() })?;
-        let BnCache { x_hat, inv_std, batch } = cache;
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: "batchnorm".into(),
+            })?;
+        let BnCache {
+            x_hat,
+            inv_std,
+            batch,
+        } = cache;
         let d = self.features();
         // Parameter gradients.
         let dgamma = ops::sum_axis(&grad_out.mul(&x_hat)?, 0)?;
@@ -235,7 +253,10 @@ mod tests {
         let mean = ops::mean_axis(&y, 0).unwrap();
         assert!(mean.as_slice().iter().all(|&m| m.abs() < 1e-5));
         let var = ops::mean_axis(&y.mul(&y).unwrap(), 0).unwrap();
-        assert!(var.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-3), "{var:?}");
+        assert!(
+            var.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-3),
+            "{var:?}"
+        );
     }
 
     #[test]
@@ -244,7 +265,9 @@ mod tests {
         let x = Tensor::from_vec(vec![0., 2.], &[2, 1]).unwrap();
         bn.forward(&x, Mode::Train).unwrap();
         // Running mean = 1, var = 1. Eval of x=1 → 0.
-        let y = bn.forward(&Tensor::from_vec(vec![1.], &[1, 1]).unwrap(), Mode::Eval).unwrap();
+        let y = bn
+            .forward(&Tensor::from_vec(vec![1.], &[1, 1]).unwrap(), Mode::Eval)
+            .unwrap();
         assert!(y.as_slice()[0].abs() < 1e-3);
     }
 
@@ -270,11 +293,17 @@ mod tests {
         let b = Tensor::from_vec(vec![-1., 1.], &[2]).unwrap();
         let m = Tensor::from_vec(vec![0.5, 0.5], &[2]).unwrap();
         let v = Tensor::from_vec(vec![4., 4.], &[2]).unwrap();
-        bn.set_state(g.clone(), b.clone(), m.clone(), v.clone()).unwrap();
+        bn.set_state(g.clone(), b.clone(), m.clone(), v.clone())
+            .unwrap();
         let (g2, b2, m2, v2) = bn.state();
         assert_eq!((&g, &b, &m, &v), (g2, b2, m2, v2));
         assert!(bn
-            .set_state(Tensor::zeros(&[3]), Tensor::zeros(&[2]), Tensor::zeros(&[2]), Tensor::zeros(&[2]))
+            .set_state(
+                Tensor::zeros(&[3]),
+                Tensor::zeros(&[2]),
+                Tensor::zeros(&[2]),
+                Tensor::zeros(&[2])
+            )
             .is_err());
     }
 

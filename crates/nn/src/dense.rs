@@ -100,7 +100,9 @@ impl Layer for Dense {
         let input = self
             .cached_input
             .take()
-            .ok_or_else(|| NnError::BackwardBeforeForward { layer: "dense".into() })?;
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: "dense".into(),
+            })?;
         // dW += xᵀ·dy ; db += Σ_batch dy ; dx = dy·Wᵀ
         let dw = ops::matmul(&input.transpose()?, grad_out)?;
         self.grad_weight.axpy(1.0, &dw)?;
@@ -167,7 +169,9 @@ mod tests {
     fn set_weights_validates_shape() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut layer = Dense::new(3, 2, &mut rng);
-        assert!(layer.set_weights(Tensor::zeros(&[2, 2]), Tensor::zeros(&[2])).is_err());
+        assert!(layer
+            .set_weights(Tensor::zeros(&[2, 2]), Tensor::zeros(&[2]))
+            .is_err());
     }
 
     #[test]

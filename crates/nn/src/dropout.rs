@@ -26,8 +26,15 @@ impl Dropout {
     /// Panics if `rate` is outside `[0, 1)` — a configuration bug, not a
     /// runtime condition.
     pub fn new(rate: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1), got {rate}");
-        Dropout { rate, rng: StdRng::seed_from_u64(seed), mask: None }
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0, 1), got {rate}"
+        );
+        Dropout {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
     }
 
     /// The configured drop probability.
@@ -67,7 +74,9 @@ impl Layer for Dropout {
         let mask = self
             .mask
             .take()
-            .ok_or_else(|| NnError::BackwardBeforeForward { layer: "dropout".into() })?;
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: "dropout".into(),
+            })?;
         Ok(grad_out.mul(&mask)?)
     }
 
@@ -108,7 +117,10 @@ mod tests {
         assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
         // Survivors are exactly scaled.
         let keep_scale = 1.0 / 0.7;
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - keep_scale).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - keep_scale).abs() < 1e-6));
     }
 
     #[test]
@@ -135,7 +147,10 @@ mod tests {
         let x = Tensor::ones(&[64]);
         let mut a = Dropout::new(0.4, 9);
         let mut b = Dropout::new(0.4, 9);
-        assert_eq!(a.forward(&x, Mode::Train).unwrap(), b.forward(&x, Mode::Train).unwrap());
+        assert_eq!(
+            a.forward(&x, Mode::Train).unwrap(),
+            b.forward(&x, Mode::Train).unwrap()
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ mod tests {
         let e = NnError::from(TensorError::EmptyTensor);
         assert!(e.to_string().contains("tensor"));
         assert!(Error::source(&e).is_some());
-        let e2 = NnError::BackwardBeforeForward { layer: "dense".into() };
+        let e2 = NnError::BackwardBeforeForward {
+            layer: "dense".into(),
+        };
         assert!(e2.to_string().contains("dense"));
         assert!(Error::source(&e2).is_none());
     }

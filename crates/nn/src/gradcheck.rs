@@ -92,7 +92,12 @@ pub fn check_layer<R: Rng + ?Sized>(
         let numeric = (lp - lm) / (2.0 * EPS);
         let analytic = dx.as_slice()[i];
         if !close(analytic, numeric, tol) {
-            return Err(GradCheckFailure { what: "input".into(), index: i, analytic, numeric });
+            return Err(GradCheckFailure {
+                what: "input".into(),
+                index: i,
+                analytic,
+                numeric,
+            });
         }
     }
 
@@ -103,9 +108,8 @@ pub fn check_layer<R: Rng + ?Sized>(
     let mut analytic_grads: Vec<Tensor> = Vec::new();
     layer.visit_params(&mut |_, _, g| analytic_grads.push(g.clone()));
 
-    let n_params = analytic_grads.len();
-    for p in 0..n_params {
-        let n_elems = analytic_grads[p].len();
+    for (p, param_grads) in analytic_grads.iter().enumerate() {
+        let n_elems = param_grads.len();
         for i in 0..n_elems {
             perturb_param(&mut layer, p, i, EPS);
             let lp = run(&mut layer, &x, &w).expect("forward p+");
@@ -113,7 +117,7 @@ pub fn check_layer<R: Rng + ?Sized>(
             let lm = run(&mut layer, &x, &w).expect("forward p-");
             perturb_param(&mut layer, p, i, EPS); // restore
             let numeric = (lp - lm) / (2.0 * EPS);
-            let analytic = analytic_grads[p].as_slice()[i];
+            let analytic = param_grads.as_slice()[i];
             if !close(analytic, numeric, tol) {
                 return Err(GradCheckFailure {
                     what: format!("param #{p}"),

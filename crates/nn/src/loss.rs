@@ -43,7 +43,10 @@ pub struct LossOutput {
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
     if logits.shape().rank() != 2 {
         return Err(NnError::BadInput {
-            context: format!("cross entropy expects rank-2 logits, got {}", logits.shape()),
+            context: format!(
+                "cross entropy expects rank-2 logits, got {}",
+                logits.shape()
+            ),
         });
     }
     let (b, c) = (logits.shape().dims()[0], logits.shape().dims()[1]);
@@ -53,11 +56,15 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOu
         });
     }
     if b == 0 {
-        return Err(NnError::BadTarget { context: "empty batch".into() });
+        return Err(NnError::BadTarget {
+            context: "empty batch".into(),
+        });
     }
     for &l in labels {
         if l >= c {
-            return Err(NnError::BadTarget { context: format!("label {l} out of range for {c} classes") });
+            return Err(NnError::BadTarget {
+                context: format!("label {l} out of range for {c} classes"),
+            });
         }
     }
     let log_probs = ops::log_softmax_rows(logits)?;
@@ -104,7 +111,9 @@ pub fn ranknet_loss(scores_pos: &Tensor, scores_neg: &Tensor) -> Result<(f32, Te
     }
     let n = scores_pos.len();
     if n == 0 {
-        return Err(NnError::BadTarget { context: "empty pair batch".into() });
+        return Err(NnError::BadTarget {
+            context: "empty pair batch".into(),
+        });
     }
     let mut loss = 0f32;
     let mut grad_pos = vec![0f32; n];
@@ -113,7 +122,11 @@ pub fn ranknet_loss(scores_pos: &Tensor, scores_neg: &Tensor) -> Result<(f32, Te
     for i in 0..n {
         let diff = scores_pos.as_slice()[i] - scores_neg.as_slice()[i];
         // Stable softplus(−diff).
-        loss += if diff > 0.0 { (-diff).exp().ln_1p() } else { (diff.exp().ln_1p()) - diff };
+        loss += if diff > 0.0 {
+            (-diff).exp().ln_1p()
+        } else {
+            (diff.exp().ln_1p()) - diff
+        };
         // d/d diff softplus(−diff) = −sigmoid(−diff).
         let sg = if diff >= 0.0 {
             let e = (-diff).exp();

@@ -50,7 +50,11 @@ pub trait Optimizer {
 fn check_dense(value: &Tensor, grad: &Tensor) -> Result<()> {
     if value.shape() != grad.shape() {
         return Err(NnError::BadInput {
-            context: format!("optimizer shapes differ: {} vs {}", value.shape(), grad.shape()),
+            context: format!(
+                "optimizer shapes differ: {} vs {}",
+                value.shape(),
+                grad.shape()
+            ),
         });
     }
     Ok(())
@@ -75,7 +79,9 @@ fn check_sparse(value: &Tensor, rows: &[usize], row_grads: &Tensor) -> Result<(u
         });
     }
     if let Some(&bad) = rows.iter().find(|&&r| r >= v) {
-        return Err(NnError::BadInput { context: format!("row {bad} out of range for {v} rows") });
+        return Err(NnError::BadInput {
+            context: format!("row {bad} out of range for {v} rows"),
+        });
     }
     Ok((v, cols))
 }
@@ -95,12 +101,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// SGD with classical momentum `μ` (`v ← μv − lr·g`, `w ← w + v`).
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
     }
 }
 
@@ -171,13 +185,21 @@ struct AdamState {
 impl Adam {
     /// Adam with the standard defaults `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, state: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            state: HashMap::new(),
+        }
     }
 
     fn state_for(&mut self, id: ParamId, dims: &[usize]) -> &mut AdamState {
-        self.state
-            .entry(id)
-            .or_insert_with(|| AdamState { m: Tensor::zeros(dims), v: Tensor::zeros(dims), t: 0 })
+        self.state.entry(id).or_insert_with(|| AdamState {
+            m: Tensor::zeros(dims),
+            v: Tensor::zeros(dims),
+            t: 0,
+        })
     }
 }
 
@@ -256,7 +278,11 @@ pub struct Adagrad {
 impl Adagrad {
     /// Adagrad with accumulator floor `ε = 1e-10`.
     pub fn new(lr: f32) -> Self {
-        Adagrad { lr, eps: 1e-10, accum: HashMap::new() }
+        Adagrad {
+            lr,
+            eps: 1e-10,
+            accum: HashMap::new(),
+        }
     }
 }
 
@@ -362,7 +388,8 @@ mod tests {
         let mut table = Tensor::ones(&[4, 2]);
         let rows = [1usize, 3usize];
         let grads = Tensor::from_vec(vec![1.0, 1.0, 0.5, 0.5], &[2, 2]).unwrap();
-        opt.step_sparse_rows(ParamId::fresh(), &mut table, &rows, &grads).unwrap();
+        opt.step_sparse_rows(ParamId::fresh(), &mut table, &rows, &grads)
+            .unwrap();
         assert_eq!(table.row(0).unwrap(), &[1.0, 1.0]);
         assert_eq!(table.row(1).unwrap(), &[0.0, 0.0]);
         assert_eq!(table.row(2).unwrap(), &[1.0, 1.0]);
@@ -393,7 +420,9 @@ mod tests {
     fn dense_shape_mismatch_rejected() {
         let mut opt = Adagrad::new(0.1);
         let mut w = Tensor::ones(&[2]);
-        assert!(opt.step_dense(ParamId::fresh(), &mut w, &Tensor::ones(&[3])).is_err());
+        assert!(opt
+            .step_dense(ParamId::fresh(), &mut w, &Tensor::ones(&[3]))
+            .is_err());
     }
 
     #[test]
@@ -408,7 +437,9 @@ mod tests {
         let id_b = ParamId::fresh();
         for _ in 0..5 {
             opt_a.step_dense(id_a, &mut dense_w, &grad_rows).unwrap();
-            opt_b.step_sparse_rows(id_b, &mut sparse_w, &[0, 1], &grad_rows).unwrap();
+            opt_b
+                .step_sparse_rows(id_b, &mut sparse_w, &[0, 1], &grad_rows)
+                .unwrap();
         }
         assert!(dense_w.allclose(&sparse_w, 1e-6));
     }

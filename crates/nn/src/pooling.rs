@@ -26,13 +26,18 @@ impl Layer for AveragePool1d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         if input.shape().rank() != 3 {
             return Err(NnError::BadInput {
-                context: format!("average pool expects [batch, len, emb], got {}", input.shape()),
+                context: format!(
+                    "average pool expects [batch, len, emb], got {}",
+                    input.shape()
+                ),
             });
         }
         let dims = input.shape().dims();
         let (b, l, e) = (dims[0], dims[1], dims[2]);
         if l == 0 {
-            return Err(NnError::BadInput { context: "cannot pool a zero-length sequence".into() });
+            return Err(NnError::BadInput {
+                context: "cannot pool a zero-length sequence".into(),
+            });
         }
         self.cached_dims = Some((b, l, e));
         Ok(ops::mean_axis(input, 1)?)
@@ -42,7 +47,9 @@ impl Layer for AveragePool1d {
         let (b, l, e) = self
             .cached_dims
             .take()
-            .ok_or_else(|| NnError::BackwardBeforeForward { layer: "average_pool1d".into() })?;
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: "average_pool1d".into(),
+            })?;
         if grad_out.shape().dims() != [b, e] {
             return Err(NnError::BadInput {
                 context: format!("pool backward expects [{b}, {e}], got {}", grad_out.shape()),
@@ -112,9 +119,13 @@ mod tests {
     fn shape_validation() {
         let mut layer = AveragePool1d::new();
         assert!(layer.forward(&Tensor::zeros(&[2, 3]), Mode::Eval).is_err());
-        assert!(layer.forward(&Tensor::zeros(&[2, 0, 3]), Mode::Eval).is_err());
+        assert!(layer
+            .forward(&Tensor::zeros(&[2, 0, 3]), Mode::Eval)
+            .is_err());
         assert!(layer.backward(&Tensor::zeros(&[2, 3])).is_err());
-        layer.forward(&Tensor::zeros(&[1, 2, 3]), Mode::Eval).unwrap();
+        layer
+            .forward(&Tensor::zeros(&[1, 2, 3]), Mode::Eval)
+            .unwrap();
         assert!(layer.backward(&Tensor::zeros(&[9, 9])).is_err());
     }
 

@@ -28,7 +28,9 @@ impl Layer for Relu {
         let mask = self
             .mask
             .take()
-            .ok_or_else(|| NnError::BackwardBeforeForward { layer: "relu".into() })?;
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: "relu".into(),
+            })?;
         Ok(grad_out.mul(&mask)?)
     }
 
@@ -60,7 +62,10 @@ mod tests {
     fn forward_clamps_negatives() {
         let mut layer = Relu::new();
         let x = Tensor::from_vec(vec![-2., 0., 3.], &[3]).unwrap();
-        assert_eq!(layer.forward(&x, Mode::Eval).unwrap().as_slice(), &[0., 0., 3.]);
+        assert_eq!(
+            layer.forward(&x, Mode::Eval).unwrap().as_slice(),
+            &[0., 0., 3.]
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
-        f.debug_struct("Sequential").field("layers", &names).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .finish()
     }
 }
 
@@ -131,7 +133,9 @@ mod tests {
     fn forward_chains_layers() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut net = Sequential::new();
-        net.push(Dense::new(3, 4, &mut rng)).push(Relu::new()).push(Dense::new(4, 2, &mut rng));
+        net.push(Dense::new(3, 4, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(4, 2, &mut rng));
         assert_eq!(net.len(), 3);
         let y = net.forward(&Tensor::ones(&[2, 3]), Mode::Eval).unwrap();
         assert_eq!(y.shape().dims(), &[2, 2]);
@@ -151,7 +155,8 @@ mod tests {
     fn params_aggregate_across_layers() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut net = Sequential::new();
-        net.push(Dense::new(3, 4, &mut rng)).push(Dense::new(4, 2, &mut rng));
+        net.push(Dense::new(3, 4, &mut rng))
+            .push(Dense::new(4, 2, &mut rng));
         assert_eq!(Layer::param_count(&mut net), (3 * 4 + 4) + (4 * 2 + 2));
         net.zero_grad();
         let mut count = 0;

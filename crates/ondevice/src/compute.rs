@@ -148,7 +148,15 @@ mod tests {
     #[test]
     fn labels_match_table3_columns() {
         let labels: Vec<&str> = ComputeUnit::all().iter().map(|u| u.label()).collect();
-        assert_eq!(labels, vec!["coreml_all", "coreml_cpuOnly", "coreml_cpuAndGPU", "tflite_cpu"]);
+        assert_eq!(
+            labels,
+            vec![
+                "coreml_all",
+                "coreml_cpuOnly",
+                "coreml_cpuAndGPU",
+                "tflite_cpu"
+            ]
+        );
     }
 
     #[test]
@@ -192,20 +200,40 @@ mod tests {
     #[test]
     fn footprint_composition() {
         let p = ComputeUnit::CoreMlAll.profile();
-        let work = WorkCounts { activation_bytes: 1_000, ..WorkCounts::default() };
-        assert_eq!(p.footprint_bytes(10_000, &work), p.runtime_base_bytes + 11_000);
+        let work = WorkCounts {
+            activation_bytes: 1_000,
+            ..WorkCounts::default()
+        };
+        assert_eq!(
+            p.footprint_bytes(10_000, &work),
+            p.runtime_base_bytes + 11_000
+        );
     }
 
     #[test]
     fn time_monotone_in_every_dimension() {
         let p = ComputeUnit::CoreMlCpuOnly.profile();
-        let base = WorkCounts { flops: 100, cold_bytes: 100, warm_bytes: 100, activation_bytes: 100 };
+        let base = WorkCounts {
+            flops: 100,
+            cold_bytes: 100,
+            warm_bytes: 100,
+            activation_bytes: 100,
+        };
         let t0 = p.time_ms(&base);
         for bump in [
             WorkCounts { flops: 200, ..base },
-            WorkCounts { cold_bytes: 200, ..base },
-            WorkCounts { warm_bytes: 200, ..base },
-            WorkCounts { activation_bytes: 200, ..base },
+            WorkCounts {
+                cold_bytes: 200,
+                ..base
+            },
+            WorkCounts {
+                warm_bytes: 200,
+                ..base
+            },
+            WorkCounts {
+                activation_bytes: 200,
+                ..base
+            },
         ] {
             assert!(p.time_ms(&bump) > t0);
         }

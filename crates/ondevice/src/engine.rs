@@ -44,7 +44,8 @@ impl RunStats {
 
     /// Simulated runtime memory footprint on `unit`, in bytes.
     pub fn footprint_bytes(&self, unit: ComputeUnit) -> usize {
-        unit.profile().footprint_bytes(self.resident_model_bytes, &self.work)
+        unit.profile()
+            .footprint_bytes(self.resident_model_bytes, &self.work)
     }
 
     /// Footprint in megabytes (Table 3's unit).
@@ -54,6 +55,15 @@ impl RunStats {
 }
 
 /// A loaded model ready for repeated inference over simulated mmap.
+///
+/// `run` takes `&self` and the underlying [`MmapSim`] is thread-safe, so
+/// one session can serve concurrent inferences from many worker threads
+/// (the `memcom-serve` crate builds its per-shard stores on the same
+/// thread-safe `MmapSim` machinery). Results are always correct under
+/// concurrency; per-run byte *attribution* in [`RunStats`] is exact only
+/// for non-overlapping runs — overlapping runs may observe each other's
+/// page faults in their cold/warm deltas, and a concurrent `reset`
+/// clamps the deltas to zero rather than corrupting them.
 #[derive(Debug)]
 pub struct InferenceSession {
     meta: OnDeviceModel,
@@ -65,13 +75,19 @@ impl InferenceSession {
     /// mapped file).
     pub fn new(mut model: OnDeviceModel) -> Self {
         let bytes = std::mem::take(&mut model.bytes);
-        InferenceSession { meta: model, mmap: MmapSim::new(bytes) }
+        InferenceSession {
+            meta: model,
+            mmap: MmapSim::new(bytes),
+        }
     }
 
     /// Loads with a custom page size (ablation: footprint sensitivity).
     pub fn with_page_size(mut model: OnDeviceModel, page_size: usize) -> Self {
         let bytes = std::mem::take(&mut model.bytes);
-        InferenceSession { meta: model, mmap: MmapSim::with_page_size(bytes, page_size) }
+        InferenceSession {
+            meta: model,
+            mmap: MmapSim::with_page_size(bytes, page_size),
+        }
     }
 
     /// The parsed manifest.
@@ -159,7 +175,12 @@ impl InferenceSession {
                     }
                     work.flops += 5 * *dim as u64;
                 }
-                HeadOp::Dense { in_dim, out_dim, weight, bias } => {
+                HeadOp::Dense {
+                    in_dim,
+                    out_dim,
+                    weight,
+                    bias,
+                } => {
                     if act.len() != *in_dim {
                         return Err(OnDeviceError::BadFormat {
                             context: format!("dense in {in_dim} vs activation {}", act.len()),
@@ -181,9 +202,15 @@ impl InferenceSession {
             }
         }
 
-        work.cold_bytes = self.mmap.cold_read_bytes() - cold_before;
-        work.warm_bytes =
-            (self.mmap.total_read_bytes() - total_before).saturating_sub(work.cold_bytes);
+        // Saturating: a concurrent `reset` can rewind the shared counters
+        // below the snapshot taken at the top of this run; clamping to 0
+        // keeps the stats sane instead of wrapping.
+        work.cold_bytes = self.mmap.cold_read_bytes().saturating_sub(cold_before);
+        work.warm_bytes = self
+            .mmap
+            .total_read_bytes()
+            .saturating_sub(total_before)
+            .saturating_sub(work.cold_bytes);
         let stats = RunStats {
             work,
             resident_model_bytes: self.mmap.resident_bytes(),
@@ -198,9 +225,7 @@ impl InferenceSession {
         let e = self.meta.emb_dim;
         let m = self.meta.hash_size;
         match self.meta.embedding_kind {
-            EmbeddingKind::Full
-            | EmbeddingKind::NaiveHash
-            | EmbeddingKind::TruncateRare => {
+            EmbeddingKind::Full | EmbeddingKind::NaiveHash | EmbeddingKind::TruncateRare => {
                 let table = &self.meta.emb_tables[0];
                 let mut act = Vec::with_capacity(l * e);
                 for &id in ids {
@@ -288,9 +313,7 @@ mod tests {
     use super::*;
     use crate::format::OnDeviceModel;
     use crate::quant::Dtype;
-    use memcom_core::{
-        EmbeddingCompressor, MemCom, MemComConfig, MethodSpec, OneHotHashEncoder,
-    };
+    use memcom_core::{EmbeddingCompressor, MemCom, MemComConfig, MethodSpec, OneHotHashEncoder};
     use memcom_nn::{AveragePool1d, BatchNorm1d, Dense, Relu, Sequential};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -305,7 +328,11 @@ mod tests {
         h
     }
 
-    fn session_for(emb: &dyn EmbeddingCompressor, input_len: usize, classes: usize) -> InferenceSession {
+    fn session_for(
+        emb: &dyn EmbeddingCompressor,
+        input_len: usize,
+        classes: usize,
+    ) -> InferenceSession {
         let bytes =
             OnDeviceModel::serialize(emb, &head(emb.output_dim(), classes), input_len, Dtype::F32)
                 .unwrap();
@@ -412,6 +439,43 @@ mod tests {
     }
 
     #[test]
+    fn session_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InferenceSession>();
+    }
+
+    #[test]
+    fn concurrent_runs_match_serial_results() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let emb = MemCom::new(MemComConfig::with_bias(500, 16, 50), &mut rng).unwrap();
+        let session = session_for(&emb, 8, 5);
+
+        // Serial reference: one logit vector per distinct query.
+        let queries: Vec<Vec<usize>> = (0..16)
+            .map(|q| (0..8).map(|i| (q * 61 + i * 13) % 500).collect())
+            .collect();
+        let expected: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|ids| session.run(ids).unwrap().0)
+            .collect();
+
+        // 8 worker threads replay the same queries against the shared
+        // session; every result must be bit-identical to the serial run.
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let (session, queries, expected) = (&session, &queries, &expected);
+                s.spawn(move || {
+                    for (q, ids) in queries.iter().enumerate().skip(t % 4) {
+                        let (logits, stats) = session.run(ids).unwrap();
+                        assert_eq!(logits, expected[q], "thread {t} query {q}");
+                        assert!(stats.work.flops > 0);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
     fn input_validation() {
         let mut rng = StdRng::seed_from_u64(4);
         let emb = MemCom::new(MemComConfig::new(100, 8, 10), &mut rng).unwrap();
@@ -426,8 +490,14 @@ mod tests {
         let specs = [
             MethodSpec::Uncompressed,
             MethodSpec::NaiveHash { hash_size: 10 },
-            MethodSpec::MemCom { hash_size: 10, bias: false },
-            MethodSpec::MemCom { hash_size: 10, bias: true },
+            MethodSpec::MemCom {
+                hash_size: 10,
+                bias: false,
+            },
+            MethodSpec::MemCom {
+                hash_size: 10,
+                bias: true,
+            },
             MethodSpec::TruncateRare { keep: 20 },
             MethodSpec::WeinbergerOneHot { hash_size: 10 },
         ];

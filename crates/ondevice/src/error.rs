@@ -43,7 +43,10 @@ impl fmt::Display for OnDeviceError {
             OnDeviceError::BadFormat { context } => write!(f, "bad model file: {context}"),
             OnDeviceError::Unsupported { context } => write!(f, "unsupported model: {context}"),
             OnDeviceError::OutOfBounds { offset, len, size } => {
-                write!(f, "read of {len} bytes at {offset} exceeds file of {size} bytes")
+                write!(
+                    f,
+                    "read of {len} bytes at {offset} exceeds file of {size} bytes"
+                )
             }
             OnDeviceError::BadInput { context } => write!(f, "bad inference input: {context}"),
         }
@@ -72,10 +75,20 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            OnDeviceError::BadFormat { context: "magic".into() },
-            OnDeviceError::Unsupported { context: "qr".into() },
-            OnDeviceError::OutOfBounds { offset: 1, len: 2, size: 3 },
-            OnDeviceError::BadInput { context: "len".into() },
+            OnDeviceError::BadFormat {
+                context: "magic".into(),
+            },
+            OnDeviceError::Unsupported {
+                context: "qr".into(),
+            },
+            OnDeviceError::OutOfBounds {
+                offset: 1,
+                len: 2,
+                size: 3,
+            },
+            OnDeviceError::BadInput {
+                context: "len".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

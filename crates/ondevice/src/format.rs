@@ -65,7 +65,9 @@ impl EmbeddingKind {
             4 => EmbeddingKind::OneHotHash,
             5 => EmbeddingKind::TruncateRare,
             _ => {
-                return Err(OnDeviceError::BadFormat { context: format!("unknown embedding kind {tag}") })
+                return Err(OnDeviceError::BadFormat {
+                    context: format!("unknown embedding kind {tag}"),
+                })
             }
         })
     }
@@ -218,13 +220,19 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn f32(&mut self) -> Result<f32> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn table_meta(&mut self) -> Result<TableMeta> {
         let dtype = Dtype::from_tag(self.u8()?)?;
@@ -234,7 +242,14 @@ impl<'a> Reader<'a> {
         let payload_len = rows * dtype.row_bytes(cols);
         let payload_offset = self.pos;
         self.take(payload_len)?;
-        Ok(TableMeta { dtype, rows, cols, scale, payload_offset, payload_len })
+        Ok(TableMeta {
+            dtype,
+            rows,
+            cols,
+            scale,
+            payload_offset,
+            payload_len,
+        })
     }
 }
 
@@ -261,7 +276,9 @@ impl OnDeviceModel {
         let hash_size = tables
             .first()
             .map(|t| t.tensor.shape().dims()[0])
-            .ok_or_else(|| OnDeviceError::Unsupported { context: "embedding has no tables".into() })?;
+            .ok_or_else(|| OnDeviceError::Unsupported {
+                context: "embedding has no tables".into(),
+            })?;
 
         let mut w = Writer { buf: Vec::new() };
         w.buf.extend_from_slice(&MAGIC);
@@ -307,7 +324,10 @@ impl OnDeviceModel {
                     }
                 }
                 "dense" => {
-                    let dense = layer.as_any().downcast_ref::<Dense>().expect("name implies type");
+                    let dense = layer
+                        .as_any()
+                        .downcast_ref::<Dense>()
+                        .expect("name implies type");
                     w.u8(3);
                     w.u32(dense.in_dim() as u32);
                     w.u32(dense.out_dim() as u32);
@@ -330,13 +350,20 @@ impl OnDeviceModel {
     ///
     /// Returns [`OnDeviceError::BadFormat`] for malformed input.
     pub fn parse(bytes: Vec<u8>) -> Result<Self> {
-        let mut r = Reader { buf: &bytes, pos: 0 };
+        let mut r = Reader {
+            buf: &bytes,
+            pos: 0,
+        };
         if r.take(4)? != MAGIC {
-            return Err(OnDeviceError::BadFormat { context: "bad magic".into() });
+            return Err(OnDeviceError::BadFormat {
+                context: "bad magic".into(),
+            });
         }
         let version = r.u32()?;
         if version != VERSION {
-            return Err(OnDeviceError::BadFormat { context: format!("unsupported version {version}") });
+            return Err(OnDeviceError::BadFormat {
+                context: format!("unsupported version {version}"),
+            });
         }
         let embedding_kind = EmbeddingKind::from_tag(r.u8()?)?;
         let input_len = r.u32()? as usize;
@@ -366,10 +393,17 @@ impl OnDeviceModel {
                     let out_dim = r.u32()? as usize;
                     let weight = r.table_meta()?;
                     let bias = r.table_meta()?;
-                    HeadOp::Dense { in_dim, out_dim, weight, bias }
+                    HeadOp::Dense {
+                        in_dim,
+                        out_dim,
+                        weight,
+                        bias,
+                    }
                 }
                 other => {
-                    return Err(OnDeviceError::BadFormat { context: format!("unknown op {other}") })
+                    return Err(OnDeviceError::BadFormat {
+                        context: format!("unknown op {other}"),
+                    })
                 }
             });
         }
@@ -445,7 +479,14 @@ mod tests {
         // Dropout skipped: pool, relu, bn, dense.
         assert_eq!(model.head_ops.len(), 4);
         assert!(matches!(model.head_ops[0], HeadOp::AveragePool));
-        assert!(matches!(model.head_ops[3], HeadOp::Dense { in_dim: 8, out_dim: 5, .. }));
+        assert!(matches!(
+            model.head_ops[3],
+            HeadOp::Dense {
+                in_dim: 8,
+                out_dim: 5,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -466,10 +507,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let emb = FullEmbedding::new(1000, 32, &mut rng).unwrap();
         let head = tiny_head(32, 5);
-        let f32_size = OnDeviceModel::serialize(&emb, &head, 8, Dtype::F32).unwrap().len();
-        let int8_size = OnDeviceModel::serialize(&emb, &head, 8, Dtype::Int8).unwrap().len();
+        let f32_size = OnDeviceModel::serialize(&emb, &head, 8, Dtype::F32)
+            .unwrap()
+            .len();
+        let int8_size = OnDeviceModel::serialize(&emb, &head, 8, Dtype::Int8)
+            .unwrap()
+            .len();
         // Embedding dominates; int8 ≈ 1/4 the f32 payload.
-        assert!((int8_size as f64) < (f32_size as f64) * 0.35, "{int8_size} vs {f32_size}");
+        assert!(
+            (int8_size as f64) < (f32_size as f64) * 0.35,
+            "{int8_size} vs {f32_size}"
+        );
     }
 
     #[test]

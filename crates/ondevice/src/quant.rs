@@ -70,7 +70,11 @@ impl Dtype {
             2 => Dtype::Int8,
             3 => Dtype::Int4,
             4 => Dtype::Int2,
-            _ => return Err(OnDeviceError::BadFormat { context: format!("unknown dtype tag {tag}") }),
+            _ => {
+                return Err(OnDeviceError::BadFormat {
+                    context: format!("unknown dtype tag {tag}"),
+                })
+            }
         })
     }
 
@@ -216,7 +220,13 @@ impl QuantizedTable {
             let out = &mut data[r * row_bytes..(r + 1) * row_bytes];
             encode_row(row, dtype, scale, out);
         }
-        Ok(QuantizedTable { dtype, rows, cols, scale, data })
+        Ok(QuantizedTable {
+            dtype,
+            rows,
+            cols,
+            scale,
+            data,
+        })
     }
 
     /// Reconstructs the full tensor.
@@ -236,7 +246,12 @@ impl QuantizedTable {
     /// row's bytes).
     pub fn dequantize_row(&self, r: usize) -> Vec<f32> {
         let row_bytes = self.dtype.row_bytes(self.cols);
-        decode_row(&self.data[r * row_bytes..(r + 1) * row_bytes], self.dtype, self.scale, self.cols)
+        decode_row(
+            &self.data[r * row_bytes..(r + 1) * row_bytes],
+            self.dtype,
+            self.scale,
+            self.cols,
+        )
     }
 
     /// Worst-case absolute reconstruction error of linear quantization
@@ -293,7 +308,9 @@ pub(crate) fn decode_row(bytes: &[u8], dtype: Dtype, scale: f32, cols: usize) ->
     match dtype {
         Dtype::F32 => {
             for i in 0..cols {
-                out.push(f32::from_le_bytes(bytes[i * 4..(i + 1) * 4].try_into().expect("4 bytes")));
+                out.push(f32::from_le_bytes(
+                    bytes[i * 4..(i + 1) * 4].try_into().expect("4 bytes"),
+                ));
             }
         }
         Dtype::F16 => {
@@ -303,13 +320,17 @@ pub(crate) fn decode_row(bytes: &[u8], dtype: Dtype, scale: f32, cols: usize) ->
             }
         }
         Dtype::Int8 => {
-            for i in 0..cols {
-                out.push((bytes[i] as i8) as f32 * scale);
+            for &b in bytes.iter().take(cols) {
+                out.push((b as i8) as f32 * scale);
             }
         }
         Dtype::Int4 => {
             for i in 0..cols {
-                let nib = if i % 2 == 0 { bytes[i / 2] & 0x0F } else { bytes[i / 2] >> 4 };
+                let nib = if i % 2 == 0 {
+                    bytes[i / 2] & 0x0F
+                } else {
+                    bytes[i / 2] >> 4
+                };
                 out.push(sign_extend(nib, 4) as f32 * scale);
             }
         }
@@ -365,8 +386,14 @@ mod tests {
 
     #[test]
     fn f16_special_values() {
-        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)), f32::INFINITY);
-        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)),
+            f32::INFINITY
+        );
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
         assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
         // Overflow saturates to infinity.
         assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e20)), f32::INFINITY);
@@ -392,7 +419,13 @@ mod tests {
         assert_eq!(Dtype::Int4.row_bytes(3), 2);
         assert_eq!(Dtype::Int2.row_bytes(3), 1);
         assert_eq!(Dtype::Int2.row_bytes(5), 2);
-        for d in [Dtype::F32, Dtype::F16, Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+        for d in [
+            Dtype::F32,
+            Dtype::F16,
+            Dtype::Int8,
+            Dtype::Int4,
+            Dtype::Int2,
+        ] {
             assert_eq!(Dtype::from_tag(d.tag()).unwrap(), d);
         }
         assert!(Dtype::from_tag(9).is_err());
@@ -419,9 +452,17 @@ mod tests {
         let err = |d: Dtype| {
             let q = QuantizedTable::quantize(&t, d).unwrap();
             let deq = q.dequantize().unwrap();
-            data.iter().zip(deq.as_slice()).map(|(a, b)| (a - b).abs()).fold(0f32, f32::max)
+            data.iter()
+                .zip(deq.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0f32, f32::max)
         };
-        let (e16, e8, e4, e2) = (err(Dtype::F16), err(Dtype::Int8), err(Dtype::Int4), err(Dtype::Int2));
+        let (e16, e8, e4, e2) = (
+            err(Dtype::F16),
+            err(Dtype::Int8),
+            err(Dtype::Int4),
+            err(Dtype::Int2),
+        );
         assert!(e16 < e8, "f16 {e16} vs int8 {e8}");
         assert!(e8 < e4, "int8 {e8} vs int4 {e4}");
         assert!(e4 < e2, "int4 {e4} vs int2 {e2}");
@@ -431,11 +472,21 @@ mod tests {
     fn row_access_matches_full_dequantize() {
         let data: Vec<f32> = (0..60).map(|i| (i as f32) * 0.1 - 3.0).collect();
         let t = Tensor::from_vec(data, &[12, 5]).unwrap();
-        for dtype in [Dtype::F32, Dtype::F16, Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+        for dtype in [
+            Dtype::F32,
+            Dtype::F16,
+            Dtype::Int8,
+            Dtype::Int4,
+            Dtype::Int2,
+        ] {
             let q = QuantizedTable::quantize(&t, dtype).unwrap();
             let full = q.dequantize().unwrap();
             for r in 0..12 {
-                assert_eq!(q.dequantize_row(r), full.row(r).unwrap(), "{dtype:?} row {r}");
+                assert_eq!(
+                    q.dequantize_row(r),
+                    full.row(r).unwrap(),
+                    "{dtype:?} row {r}"
+                );
             }
         }
     }

@@ -1,0 +1,290 @@
+//! Micro-batching request queues.
+//!
+//! Each shard owns one bounded queue and one worker. The worker blocks
+//! for the first request, then holds the batch open until either
+//! `max_batch` requests have coalesced or `max_wait` has elapsed since
+//! the batch opened — the classic throughput/latency micro-batching
+//! trade-off, made observable through [`FlushReason`] counters.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::{Result, ServeError};
+
+/// Why a worker closed a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The batch reached `max_batch` requests.
+    Full,
+    /// `max_wait` elapsed before the batch filled.
+    Timeout,
+    /// The server is shutting down; remaining requests are drained.
+    Drain,
+}
+
+/// A single-consumer response cell the requester blocks on.
+#[derive(Debug)]
+pub struct ResponseSlot {
+    state: Mutex<Option<Result<Vec<f32>>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    /// Creates an unfilled slot.
+    pub fn new() -> Self {
+        ResponseSlot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Publishes the outcome, waking the waiting requester. The first
+    /// write wins: a later fill (e.g. the worker's panic-recovery path
+    /// blanketing a batch with errors) cannot clobber a real answer.
+    pub fn fill(&self, outcome: Result<Vec<f32>>) {
+        let mut state = self.state.lock();
+        if state.is_none() {
+            *state = Some(outcome);
+            self.ready.notify_all();
+        }
+    }
+
+    /// Blocks until the outcome arrives and takes it.
+    pub fn wait(&self) -> Result<Vec<f32>> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(outcome) = state.take() {
+                return outcome;
+            }
+            self.ready.wait(&mut state);
+        }
+    }
+}
+
+impl Default for ResponseSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One queued lookup.
+#[derive(Debug)]
+pub struct Request {
+    /// The entity id to embed.
+    pub id: usize,
+    /// Where the worker publishes the row.
+    pub slot: Arc<ResponseSlot>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    queue: VecDeque<Request>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue with batch-oriented consumption.
+#[derive(Debug)]
+pub struct ShardQueue {
+    state: Mutex<QueueState>,
+    /// Wakes the worker when requests arrive or the queue closes.
+    ready: Condvar,
+    /// Wakes blocked producers when capacity frees up.
+    space: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    /// Creates a queue holding at most `capacity` pending requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0` — rejected earlier by config
+    /// validation.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        ShardQueue {
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues a request, blocking while the queue is full
+    /// (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] once the queue is closed.
+    pub fn push(&self, request: Request) -> Result<()> {
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() < self.capacity {
+                break;
+            }
+            self.space.wait(&mut state);
+        }
+        state.queue.push_back(request);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops the next micro-batch: blocks for the first request, then
+    /// coalesces up to `max_batch` requests over at most `max_wait`.
+    /// Returns `None` when the queue is closed *and* fully drained —
+    /// the worker's exit signal.
+    pub fn pop_batch(
+        &self,
+        max_batch: usize,
+        max_wait: Duration,
+    ) -> Option<(Vec<Request>, FlushReason)> {
+        let mut state = self.state.lock();
+        // Phase 1: wait for the batch-opening request.
+        loop {
+            if !state.queue.is_empty() {
+                break;
+            }
+            if state.closed {
+                return None;
+            }
+            self.ready.wait(&mut state);
+        }
+        // Phase 2: hold the batch open until full, timed out, or closed.
+        let deadline = Instant::now() + max_wait;
+        while state.queue.len() < max_batch && !state.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            self.ready.wait_for(&mut state, deadline - now);
+        }
+        let take = state.queue.len().min(max_batch);
+        let batch: Vec<Request> = state.queue.drain(..take).collect();
+        let reason = if batch.len() == max_batch {
+            FlushReason::Full
+        } else if state.closed {
+            FlushReason::Drain
+        } else {
+            FlushReason::Timeout
+        };
+        drop(state);
+        self.space.notify_all();
+        Some((batch, reason))
+    }
+
+    /// Closes the queue: producers start failing, the worker drains what
+    /// remains and exits.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Pending request count (diagnostics).
+    pub fn depth(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: usize) -> (Request, Arc<ResponseSlot>) {
+        let slot = Arc::new(ResponseSlot::new());
+        (
+            Request {
+                id,
+                slot: Arc::clone(&slot),
+            },
+            slot,
+        )
+    }
+
+    #[test]
+    fn batch_flushes_when_full() {
+        let q = ShardQueue::new(16);
+        for id in 0..5 {
+            q.push(request(id).0).unwrap();
+        }
+        let (batch, reason) = q.pop_batch(4, Duration::from_secs(10)).unwrap();
+        assert_eq!(batch.len(), 4, "full batch without waiting out the clock");
+        assert_eq!(reason, FlushReason::Full);
+        assert_eq!(q.depth(), 1);
+        let (rest, reason) = q.pop_batch(4, Duration::from_millis(1)).unwrap();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(reason, FlushReason::Timeout);
+    }
+
+    #[test]
+    fn batch_flushes_on_timeout() {
+        let q = ShardQueue::new(16);
+        q.push(request(7).0).unwrap();
+        let t0 = Instant::now();
+        let (batch, reason) = q.pop_batch(64, Duration::from_millis(30)).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(reason, FlushReason::Timeout);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "waited out max_wait"
+        );
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = ShardQueue::new(16);
+        q.push(request(1).0).unwrap();
+        q.push(request(2).0).unwrap();
+        q.close();
+        assert!(matches!(
+            q.push(request(3).0),
+            Err(ServeError::ShuttingDown)
+        ));
+        let (batch, reason) = q.pop_batch(64, Duration::from_secs(10)).unwrap();
+        assert_eq!(batch.len(), 2, "queued work survives close");
+        assert_eq!(reason, FlushReason::Drain);
+        assert!(
+            q.pop_batch(64, Duration::from_secs(10)).is_none(),
+            "then the worker exits"
+        );
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let q = Arc::new(ShardQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.push(request(9).0).unwrap();
+        });
+        // Worker parked on an empty queue gets woken by the push.
+        let (batch, _) = q.pop_batch(1, Duration::from_secs(5)).unwrap();
+        assert_eq!(batch[0].id, 9);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn fill_is_first_write_wins() {
+        let slot = ResponseSlot::new();
+        slot.fill(Ok(vec![1.0]));
+        // The panic-recovery blanket must not clobber a real answer.
+        slot.fill(Err(ServeError::WorkerLost));
+        assert_eq!(slot.wait().unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn response_slot_round_trip() {
+        let slot = Arc::new(ResponseSlot::new());
+        let slot2 = Arc::clone(&slot);
+        let filler = std::thread::spawn(move || slot2.fill(Ok(vec![1.0, 2.0])));
+        assert_eq!(slot.wait().unwrap(), vec![1.0, 2.0]);
+        filler.join().unwrap();
+    }
+}

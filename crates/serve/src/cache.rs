@@ -1,0 +1,226 @@
+//! Hot-row LRU cache.
+//!
+//! Power-law traffic (§4 of the paper) concentrates most lookups on a few
+//! popular ids; a small per-shard LRU in front of the paged store turns
+//! those into pure in-memory hits that touch neither the mmap nor its
+//! locks. Implemented as a slab-backed doubly-linked list + index map —
+//! O(1) `get`/`insert`, no external dependencies.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: usize,
+    value: Vec<f32>,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used cache from row id to row values.
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<usize, usize>,
+    slab: Vec<Entry>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` rows (`0` disables it).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of rows.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most-recently used on a hit.
+    pub fn get(&mut self, key: usize) -> Option<&Vec<f32>> {
+        let &slot = self.map.get(&key)?;
+        self.detach(slot);
+        self.attach_front(slot);
+        Some(&self.slab[slot].value)
+    }
+
+    /// Inserts (or refreshes) `key`, returning the evicted `(key, value)`
+    /// when the insert pushed out the least-recently-used row.
+    pub fn insert(&mut self, key: usize, value: Vec<f32>) -> Option<(usize, Vec<f32>)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return None;
+        }
+        if self.map.len() < self.capacity {
+            let slot = self.slab.len();
+            self.slab.push(Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, slot);
+            self.attach_front(slot);
+            return None;
+        }
+        // Full: recycle the tail slot in place.
+        let victim = self.tail;
+        self.detach(victim);
+        let old_key = self.slab[victim].key;
+        self.map.remove(&old_key);
+        let old_value = std::mem::replace(&mut self.slab[victim].value, value);
+        self.slab[victim].key = key;
+        self.map.insert(key, victim);
+        self.attach_front(victim);
+        Some((old_key, old_value))
+    }
+
+    /// Keys from most- to least-recently used (test/debug helper).
+    pub fn keys_mru_order(&self) -> Vec<usize> {
+        let mut keys = Vec::with_capacity(self.map.len());
+        let mut cursor = self.head;
+        while cursor != NIL {
+            keys.push(self.slab[cursor].key);
+            cursor = self.slab[cursor].next;
+        }
+        keys
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        match prev {
+            NIL => {
+                if self.head == slot {
+                    self.head = next;
+                }
+            }
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => {
+                if self.tail == slot {
+                    self.tail = prev;
+                }
+            }
+            n => self.slab[n].prev = prev,
+        }
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+impl std::fmt::Debug for LruCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(x: f32) -> Vec<f32> {
+        vec![x, x + 0.5]
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        assert!(c.insert(1, row(1.0)).is_none());
+        assert!(c.insert(2, row(2.0)).is_none());
+        assert!(c.insert(3, row(3.0)).is_none());
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(c.get(1), Some(&row(1.0)));
+        let evicted = c.insert(4, row(4.0));
+        assert_eq!(evicted, Some((2, row(2.0))));
+        assert_eq!(c.keys_mru_order(), vec![4, 1, 3]);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(10, row(1.0));
+        c.insert(20, row(2.0));
+        assert_eq!(c.keys_mru_order(), vec![20, 10]);
+        c.get(10);
+        assert_eq!(c.keys_mru_order(), vec![10, 20]);
+        assert_eq!(c.insert(30, row(3.0)).map(|(k, _)| k), Some(20));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(1, row(1.0));
+        c.insert(2, row(2.0));
+        assert!(c.insert(1, row(9.0)).is_none());
+        assert_eq!(c.get(1), Some(&row(9.0)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        assert!(c.insert(1, row(1.0)).is_none());
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_slot_cache() {
+        let mut c = LruCache::new(1);
+        c.insert(1, row(1.0));
+        assert_eq!(c.insert(2, row(2.0)), Some((1, row(1.0))));
+        assert_eq!(c.keys_mru_order(), vec![2]);
+        assert_eq!(c.get(2), Some(&row(2.0)));
+    }
+
+    #[test]
+    fn stays_within_capacity_under_churn() {
+        let mut c = LruCache::new(16);
+        for i in 0..1000 {
+            c.insert(i % 37, row(i as f32));
+            assert!(c.len() <= 16);
+            let keys = c.keys_mru_order();
+            assert_eq!(keys.len(), c.len(), "list and map stay in sync");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Serving configuration.
+
+use std::time::Duration;
+
+use crate::{Result, ServeError};
+
+/// Tuning knobs for [`crate::EmbedServer`].
+///
+/// Defaults are sized for the workloads in this repository's examples and
+/// benches: 4 shards, micro-batches of up to 32 coalesced over at most
+/// 200 µs, a 4 096-deep bounded queue per shard, and a 1 024-row hot
+/// cache per shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Number of shards (one worker thread and one queue per shard).
+    pub n_shards: usize,
+    /// Largest batch a worker coalesces before hitting the store.
+    pub max_batch: usize,
+    /// Longest a worker waits for a batch to fill before flushing early.
+    pub max_wait: Duration,
+    /// Bounded depth of each shard's request queue (producers block when
+    /// full — natural backpressure under overload).
+    pub queue_depth: usize,
+    /// Hot-row LRU capacity per shard, in rows. `0` disables caching.
+    pub cache_capacity: usize,
+    /// Page size for each shard's simulated mmap.
+    pub page_size: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            n_shards: 4,
+            max_batch: 32,
+            max_wait: Duration::from_micros(200),
+            queue_depth: 4096,
+            cache_capacity: 1024,
+            page_size: memcom_ondevice::mmap_sim::DEFAULT_PAGE_SIZE,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with `n_shards` shards and defaults elsewhere.
+    pub fn with_shards(n_shards: usize) -> Self {
+        ServeConfig {
+            n_shards,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for zero shard count, batch
+    /// size, queue depth, or page size, or when `max_batch` exceeds
+    /// `queue_depth` (a batch could then never fill).
+    pub fn validate(&self) -> Result<()> {
+        let reject = |context: &str| {
+            Err(ServeError::BadConfig {
+                context: context.to_string(),
+            })
+        };
+        if self.n_shards == 0 {
+            return reject("n_shards must be >= 1");
+        }
+        if self.max_batch == 0 {
+            return reject("max_batch must be >= 1");
+        }
+        if self.queue_depth == 0 {
+            return reject("queue_depth must be >= 1");
+        }
+        if self.max_batch > self.queue_depth {
+            return reject("max_batch must not exceed queue_depth");
+        }
+        if self.page_size == 0 {
+            return reject("page_size must be >= 1");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ServeConfig::default().validate().is_ok());
+        assert_eq!(ServeConfig::with_shards(8).n_shards, 8);
+    }
+
+    #[test]
+    fn rejects_degenerate_knobs() {
+        for broken in [
+            ServeConfig {
+                n_shards: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_depth: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_batch: 64,
+                queue_depth: 32,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                page_size: 0,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(broken.validate().is_err(), "{broken:?} should be rejected");
+        }
+    }
+}

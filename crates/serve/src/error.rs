@@ -1,0 +1,70 @@
+//! Error type for the serving engine.
+
+use std::error::Error;
+use std::fmt;
+
+use memcom_core::CoreError;
+use memcom_ondevice::OnDeviceError;
+
+/// Everything that can go wrong while building or querying a server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Invalid serving configuration.
+    BadConfig {
+        /// What was wrong.
+        context: String,
+    },
+    /// Requested id is outside the served vocabulary.
+    IdOutOfVocab {
+        /// The offending id.
+        id: usize,
+        /// The vocabulary bound.
+        vocab: usize,
+    },
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// A serving worker disappeared without answering (a bug, not a load
+    /// condition).
+    WorkerLost,
+    /// Error from the compression layer during store construction.
+    Core(CoreError),
+    /// Error from the simulated mmap / on-device layer.
+    OnDevice(OnDeviceError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadConfig { context } => write!(f, "bad serving config: {context}"),
+            ServeError::IdOutOfVocab { id, vocab } => {
+                write!(f, "id {id} out of served vocabulary {vocab}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::WorkerLost => write!(f, "serving worker dropped a request"),
+            ServeError::Core(e) => write!(f, "core error: {e}"),
+            ServeError::OnDevice(e) => write!(f, "on-device error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            ServeError::OnDevice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<OnDeviceError> for ServeError {
+    fn from(e: OnDeviceError) -> Self {
+        ServeError::OnDevice(e)
+    }
+}

@@ -1,0 +1,248 @@
+//! Geometric latency histogram.
+//!
+//! Fixed memory, O(1) record, mergeable across load-generator threads,
+//! and quantile queries with bucket-interpolation — the usual
+//! serving-benchmark shape (cf. HdrHistogram), kept dependency-free.
+
+/// Smallest resolvable latency (one bucket below this floor).
+const FLOOR_NANOS: f64 = 50.0;
+/// Geometric bucket growth factor (~26 buckets per decade).
+const GROWTH: f64 = 1.09;
+/// Bucket count: covers `50ns × 1.09^280 ≈ 25 min`. Observations beyond
+/// that collapse into the top bucket, so quantiles saturate there — an
+/// open-loop run backlogged past ~25 min of queueing delay reports a
+/// clamped tail rather than the true one.
+const BUCKETS: usize = 280;
+
+/// A mergeable histogram of nanosecond latencies.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_nanos: u128,
+    min_nanos: u64,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+        }
+    }
+
+    fn bucket_of(nanos: u64) -> usize {
+        if (nanos as f64) <= FLOOR_NANOS {
+            return 0;
+        }
+        let idx = ((nanos as f64 / FLOOR_NANOS).ln() / GROWTH.ln()).ceil() as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Upper latency bound of a bucket.
+    fn bucket_upper(idx: usize) -> u64 {
+        (FLOOR_NANOS * GROWTH.powi(idx as i32)).round() as u64
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket_of(nanos)] += 1;
+        self.total += 1;
+        self.sum_nanos += nanos as u128;
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_nanos += other.sum_nanos;
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency in nanoseconds (`0` when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile (e.g. `0.99`) in nanoseconds, clamped to the
+    /// observed min/max so bucket granularity never reports a latency
+    /// outside the actual range. Returns `0` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_upper(idx).clamp(self.min_nanos, self.max_nanos);
+            }
+        }
+        self.max_nanos
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency in nanoseconds.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Largest observation (`0` when empty).
+    pub fn max_nanos(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max_nanos
+        }
+    }
+}
+
+/// Formats nanoseconds as a human latency (`1.25 ms`, `840 µs`, …).
+pub fn fmt_nanos(nanos: u64) -> String {
+    let ns = nanos as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean_nanos(), 0.0);
+        assert_eq!(h.max_nanos(), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 90 fast observations at ~1µs, 10 slow at ~1ms.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50();
+        assert!((500..=2_000).contains(&p50), "p50 {p50} should be near 1µs");
+        let p99 = h.p99();
+        assert!(
+            (500_000..=1_100_000).contains(&p99),
+            "p99 {p99} should be near 1ms"
+        );
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_growth_factor() {
+        let mut h = LatencyHistogram::new();
+        for nanos in [777u64, 77_777, 7_777_777] {
+            h.record(nanos);
+        }
+        for (q, exact) in [(0.33, 777u64), (0.66, 77_777), (1.0, 7_777_777)] {
+            let got = h.quantile(q) as f64;
+            assert!(
+                got >= exact as f64 * 0.9 && got <= exact as f64 * 1.1,
+                "quantile {q}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_minute_scale_tails() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000);
+        let twenty_minutes = 20 * 60 * 1_000_000_000u64;
+        h.record(twenty_minutes);
+        assert_eq!(h.max_nanos(), twenty_minutes);
+        // The tail bucket resolves 20 min to within the growth factor
+        // (clamped to the observed max) rather than saturating early.
+        assert!(
+            h.quantile(1.0) >= twenty_minutes / 2,
+            "got {}",
+            h.quantile(1.0)
+        );
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let nanos = 100 + i * 97;
+            if i % 2 == 0 {
+                a.record(nanos);
+            } else {
+                b.record(nanos);
+            }
+            combined.record(nanos);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.p50(), combined.p50());
+        assert_eq!(a.p99(), combined.p99());
+        assert_eq!(a.max_nanos(), combined.max_nanos());
+        assert!((a.mean_nanos() - combined.mean_nanos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_nanos(850), "850 ns");
+        assert_eq!(fmt_nanos(1_500), "1.5 µs");
+        assert_eq!(fmt_nanos(2_250_000), "2.25 ms");
+        assert_eq!(fmt_nanos(3_000_000_000), "3.00 s");
+    }
+}

@@ -1,0 +1,63 @@
+//! # memcom-serve — a sharded, micro-batching embedding-serving engine
+//!
+//! The paper compresses embedding tables so recommendation models fit
+//! on-device; this crate takes the next step toward the repository's
+//! north star and *serves* those tables under concurrent lookup traffic.
+//!
+//! Pipeline, per request: a [`ServeHandle`] routes the id to its shard's
+//! bounded queue (`shard = id % N`); the shard's worker coalesces
+//! concurrent requests into a micro-batch (flushing on `max_batch` or
+//! `max_wait`, see [`batcher`]); the batch hits the [`ShardedStore`] —
+//! hot rows answer from a per-shard LRU ([`cache`]), cold rows fault
+//! through the shard's private [`memcom_ondevice::MmapSim`] — and each
+//! requester is woken with its row.
+//!
+//! Sharding exploits the structure of MEmCom itself: the *small shared
+//! table* is replicated per shard while the *large per-entity tables*
+//! (multipliers, biases) are partitioned, so shards stay compressed and
+//! never contend on a common lock. Costs plug into the on-device
+//! compute-unit model: [`ShardedStore::run_stats`] returns the same
+//! [`memcom_ondevice::RunStats`] the single-inference engines report.
+//!
+//! ```
+//! use memcom_core::{MemCom, MemComConfig};
+//! use memcom_serve::{EmbedServer, LoadGenConfig, ServeConfig, run_load};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let emb = MemCom::new(MemComConfig::new(10_000, 32, 1_000), &mut rng)?;
+//! let server = EmbedServer::start(&emb, ServeConfig::with_shards(4))?;
+//!
+//! // Direct lookups from any number of threads…
+//! let handle = server.handle();
+//! let row = handle.get(123)?;
+//! assert_eq!(row.len(), 32);
+//!
+//! // …or a measured Zipf load run.
+//! let config = LoadGenConfig { clients: 2, requests_per_client: 200, ..Default::default() };
+//! let report = run_load(&handle, &config)?;
+//! assert_eq!(report.requests, 400);
+//! println!("{:.0} QPS, p99 {} ns", report.qps(), report.histogram.p99());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod batcher;
+pub mod cache;
+pub mod config;
+pub mod error;
+pub mod histogram;
+pub mod loadgen;
+pub mod server;
+pub mod store;
+
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use histogram::{fmt_nanos, LatencyHistogram};
+pub use loadgen::{run_load, LoadGenConfig, LoadMode, LoadReport};
+pub use server::{EmbedServer, ServeHandle, ServeStats};
+pub use store::{CacheStats, ShardedStore};
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

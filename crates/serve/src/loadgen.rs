@@ -1,0 +1,302 @@
+//! Zipf-driven load generation.
+//!
+//! Replays the paper's traffic assumption — power-law id popularity over
+//! a frequency-sorted vocabulary (§4, §5.1) — against a running server,
+//! in either of the two canonical load-testing disciplines:
+//!
+//! * **Closed loop** — each client issues its next request as soon as
+//!   the previous one completes. Measures the system's saturated
+//!   throughput; latency excludes queueing you didn't create.
+//! * **Open loop** — requests fire on a fixed schedule regardless of
+//!   completion, and latency is measured from the *scheduled* send time,
+//!   so queueing delay under overload is charged to the system
+//!   (avoiding coordinated omission).
+
+use std::time::{Duration, Instant};
+
+use memcom_data::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::histogram::LatencyHistogram;
+use crate::server::ServeHandle;
+use crate::{Result, ServeError};
+
+/// Arrival discipline for the generated load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Issue-on-completion (saturation throughput).
+    Closed,
+    /// Fixed aggregate arrival rate in requests/second.
+    Open {
+        /// Target aggregate arrival rate across all clients.
+        target_qps: f64,
+    },
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGenConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Ids embedded per request (`1` = point lookups; the paper's
+    /// session inputs are 128-id requests that fan out across shards).
+    pub ids_per_request: usize,
+    /// Zipf exponent of the id popularity distribution.
+    pub zipf_exponent: f64,
+    /// Arrival discipline.
+    pub mode: LoadMode,
+    /// Base RNG seed (client `i` uses `seed + i`).
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            clients: 4,
+            requests_per_client: 1_000,
+            ids_per_request: 1,
+            zipf_exponent: 1.1,
+            mode: LoadMode::Closed,
+            seed: 42,
+        }
+    }
+}
+
+/// What a load run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Completed requests.
+    pub requests: u64,
+    /// Ids embedded per request.
+    pub ids_per_request: usize,
+    /// Wall-clock span of the run.
+    pub elapsed: Duration,
+    /// Per-request latency distribution.
+    pub histogram: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Achieved requests per second.
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+
+    /// Achieved single-id lookups per second.
+    pub fn lookups_per_sec(&self) -> f64 {
+        self.qps() * self.ids_per_request as f64
+    }
+}
+
+/// Runs Zipf traffic against `handle` and collects latency + throughput.
+///
+/// # Errors
+///
+/// Returns [`ServeError::BadConfig`] for a zero client/request count or a
+/// non-positive Zipf exponent, and propagates the first request failure
+/// from any client.
+pub fn run_load(handle: &ServeHandle, config: &LoadGenConfig) -> Result<LoadReport> {
+    if config.clients == 0 || config.requests_per_client == 0 || config.ids_per_request == 0 {
+        return Err(ServeError::BadConfig {
+            context: "load generation needs >= 1 client, request, and id per request".into(),
+        });
+    }
+    let zipf =
+        Zipf::new(handle.vocab(), config.zipf_exponent).map_err(|e| ServeError::BadConfig {
+            context: format!("zipf construction failed: {e}"),
+        })?;
+
+    let started = Instant::now();
+    let outcomes: Vec<Result<LatencyHistogram>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.clients)
+            .map(|client_idx| {
+                let zipf = &zipf;
+                scope.spawn(move || client_loop(handle, zipf, config, client_idx, started))
+            })
+            .collect();
+        workers
+            .into_iter()
+            // A panic here is a bug in the load generator itself, not a
+            // serving failure — propagate it rather than mislabel it.
+            .map(|w| w.join().expect("load-generator client panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut histogram = LatencyHistogram::new();
+    for outcome in outcomes {
+        histogram.merge(&outcome?);
+    }
+    Ok(LoadReport {
+        requests: histogram.count(),
+        ids_per_request: config.ids_per_request,
+        elapsed,
+        histogram,
+    })
+}
+
+fn client_loop(
+    handle: &ServeHandle,
+    zipf: &Zipf,
+    config: &LoadGenConfig,
+    client_idx: usize,
+    started: Instant,
+) -> Result<LatencyHistogram> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client_idx as u64));
+    let mut histogram = LatencyHistogram::new();
+    // Open loop: clients interleave on a shared schedule of
+    // `1/target_qps` ticks, client `i` owning ticks `i, i+C, i+2C, …`.
+    let tick = match config.mode {
+        LoadMode::Closed => Duration::ZERO,
+        LoadMode::Open { target_qps } => {
+            if !target_qps.is_finite() || target_qps <= 0.0 {
+                return Err(ServeError::BadConfig {
+                    context: format!("open-loop target_qps must be positive, got {target_qps}"),
+                });
+            }
+            Duration::from_secs_f64(1.0 / target_qps)
+        }
+    };
+
+    for k in 0..config.requests_per_client {
+        let ids = zipf.sample_many(config.ids_per_request, &mut rng);
+        let t0 = match config.mode {
+            LoadMode::Closed => Instant::now(),
+            LoadMode::Open { .. } => {
+                // u32 Duration multiplication would wrap on long soaks;
+                // scale in f64 seconds instead.
+                let index = (client_idx + k * config.clients) as f64;
+                let scheduled = started + Duration::from_secs_f64(tick.as_secs_f64() * index);
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                // Latency counts from the scheduled arrival, charging
+                // queueing delay to the server, not the sleeping client.
+                scheduled
+            }
+        };
+        if let [id] = ids.as_slice() {
+            handle.get(*id)?;
+        } else {
+            handle.get_many(&ids)?;
+        }
+        histogram.record(t0.elapsed().as_nanos() as u64);
+    }
+    Ok(histogram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EmbedServer, ServeConfig};
+    use memcom_core::{MemCom, MemComConfig};
+
+    fn test_server() -> EmbedServer {
+        let mut rng = StdRng::seed_from_u64(9);
+        let emb = MemCom::new(MemComConfig::new(1_000, 8, 100), &mut rng).unwrap();
+        let config = ServeConfig {
+            n_shards: 4,
+            max_batch: 16,
+            max_wait: Duration::from_micros(100),
+            ..ServeConfig::default()
+        };
+        EmbedServer::start(&emb, config).unwrap()
+    }
+
+    #[test]
+    fn closed_loop_completes_all_requests() {
+        let server = test_server();
+        let config = LoadGenConfig {
+            clients: 4,
+            requests_per_client: 200,
+            ..LoadGenConfig::default()
+        };
+        let report = run_load(&server.handle(), &config).unwrap();
+        assert_eq!(report.requests, 800);
+        assert!(report.qps() > 0.0);
+        assert!(report.histogram.p50() > 0);
+        assert!(report.histogram.p99() >= report.histogram.p50());
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 800);
+    }
+
+    #[test]
+    fn open_loop_paces_arrivals() {
+        let server = test_server();
+        let config = LoadGenConfig {
+            clients: 2,
+            requests_per_client: 50,
+            mode: LoadMode::Open {
+                target_qps: 2_000.0,
+            },
+            ..LoadGenConfig::default()
+        };
+        let report = run_load(&server.handle(), &config).unwrap();
+        assert_eq!(report.requests, 100);
+        // 100 requests at 2 kQPS should take ≈ 50 ms of schedule.
+        assert!(
+            report.elapsed >= Duration::from_millis(40),
+            "{:?}",
+            report.elapsed
+        );
+        // Achieved rate must not exceed the offered rate (plus slack).
+        assert!(report.qps() <= 2_600.0, "qps {}", report.qps());
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let server = test_server();
+        let handle = server.handle();
+        for config in [
+            LoadGenConfig {
+                clients: 0,
+                ..LoadGenConfig::default()
+            },
+            LoadGenConfig {
+                requests_per_client: 0,
+                ..LoadGenConfig::default()
+            },
+            LoadGenConfig {
+                ids_per_request: 0,
+                ..LoadGenConfig::default()
+            },
+            LoadGenConfig {
+                zipf_exponent: 0.0,
+                ..LoadGenConfig::default()
+            },
+            LoadGenConfig {
+                mode: LoadMode::Open { target_qps: 0.0 },
+                ..LoadGenConfig::default()
+            },
+        ] {
+            assert!(run_load(&handle, &config).is_err(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_traffic_skews_toward_popular_heads() {
+        let server = test_server();
+        let config = LoadGenConfig {
+            clients: 2,
+            requests_per_client: 500,
+            zipf_exponent: 1.5,
+            ..LoadGenConfig::default()
+        };
+        run_load(&server.handle(), &config).unwrap();
+        let stats = server.stats();
+        // Skewed traffic over a 1024-row/shard cache: most lookups hit.
+        assert!(
+            stats.cache.hit_rate() > 0.5,
+            "zipf(1.5) should cache well, got {}",
+            stats.cache.hit_rate()
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! The serving engine: shard workers + client handles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use memcom_ondevice::engine::RunStats;
+
+use crate::batcher::{FlushReason, Request, ResponseSlot, ShardQueue};
+use crate::store::{CacheStats, ShardedStore};
+use crate::{Result, ServeConfig, ServeError};
+
+#[derive(Debug, Default)]
+struct BatchCounters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    flushes_full: AtomicU64,
+    flushes_timeout: AtomicU64,
+    flushes_drain: AtomicU64,
+    max_batch_observed: AtomicU64,
+}
+
+#[derive(Debug)]
+struct ServerInner {
+    store: ShardedStore,
+    queues: Vec<ShardQueue>,
+    counters: BatchCounters,
+}
+
+/// Aggregated serving statistics (see [`EmbedServer::stats`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeStats {
+    /// Requests answered through batches.
+    pub requests: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Batches flushed because they reached `max_batch`.
+    pub flushes_full: u64,
+    /// Batches flushed because `max_wait` elapsed.
+    pub flushes_timeout: u64,
+    /// Batches flushed while draining at shutdown.
+    pub flushes_drain: u64,
+    /// Largest batch observed.
+    pub max_batch_observed: usize,
+    /// Hot-row cache effectiveness.
+    pub cache: CacheStats,
+    /// Counted work + resident footprint in the on-device cost model's
+    /// terms.
+    pub run_stats: RunStats,
+}
+
+impl ServeStats {
+    /// Mean requests per batch (`0` before any traffic).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A sharded, micro-batching embedding server.
+///
+/// One worker thread per shard pops coalesced batches from its queue and
+/// answers through each request's [`ResponseSlot`]. Construction spawns
+/// the workers; [`shutdown`](EmbedServer::shutdown) (or drop) closes the
+/// queues, drains in-flight work, and joins them.
+#[derive(Debug)]
+pub struct EmbedServer {
+    inner: Arc<ServerInner>,
+    workers: Vec<JoinHandle<()>>,
+    config: ServeConfig,
+}
+
+impl EmbedServer {
+    /// Builds a store from `emb` with `config` and starts serving.
+    ///
+    /// `config.n_shards` decides both the store partitioning and the
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for invalid configs and
+    /// propagates store-construction failures.
+    pub fn start(emb: &dyn memcom_core::EmbeddingCompressor, config: ServeConfig) -> Result<Self> {
+        // start_with_store validates the config; no need to do it twice.
+        let store = ShardedStore::build(
+            emb,
+            config.n_shards,
+            config.cache_capacity,
+            config.page_size,
+        )?;
+        Self::start_with_store(store, config)
+    }
+
+    /// Starts serving an already-built store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] when the config is invalid or
+    /// its shard count disagrees with the store's.
+    pub fn start_with_store(store: ShardedStore, config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        if store.n_shards() != config.n_shards {
+            return Err(ServeError::BadConfig {
+                context: format!(
+                    "store has {} shards but config asks for {}",
+                    store.n_shards(),
+                    config.n_shards
+                ),
+            });
+        }
+        let queues = (0..config.n_shards)
+            .map(|_| ShardQueue::new(config.queue_depth))
+            .collect();
+        let inner = Arc::new(ServerInner {
+            store,
+            queues,
+            counters: BatchCounters::default(),
+        });
+        let workers = (0..config.n_shards)
+            .map(|shard_idx| {
+                let inner = Arc::clone(&inner);
+                let (max_batch, max_wait) = (config.max_batch, config.max_wait);
+                std::thread::Builder::new()
+                    .name(format!("memcom-serve-{shard_idx}"))
+                    .spawn(move || worker_loop(&inner, shard_idx, max_batch, max_wait))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Ok(EmbedServer {
+            inner,
+            workers,
+            config,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The underlying sharded store (for footprint/cost inspection).
+    pub fn store(&self) -> &ShardedStore {
+        &self.inner.store
+    }
+
+    /// A cloneable client handle. Handles stay valid across shutdown —
+    /// requests after shutdown fail with [`ServeError::ShuttingDown`].
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Current aggregated statistics.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.inner.counters;
+        ServeStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            flushes_full: c.flushes_full.load(Ordering::Relaxed),
+            flushes_timeout: c.flushes_timeout.load(Ordering::Relaxed),
+            flushes_drain: c.flushes_drain.load(Ordering::Relaxed),
+            max_batch_observed: c.max_batch_observed.load(Ordering::Relaxed) as usize,
+            cache: self.inner.store.cache_stats(),
+            run_stats: self.inner.store.run_stats(),
+        }
+    }
+
+    /// Stops accepting requests, drains queued work, joins the workers,
+    /// and returns the final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        for queue in &self.inner.queues {
+            queue.close();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for EmbedServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(
+    inner: &ServerInner,
+    shard_idx: usize,
+    max_batch: usize,
+    max_wait: std::time::Duration,
+) {
+    let queue = &inner.queues[shard_idx];
+    while let Some((batch, reason)) = queue.pop_batch(max_batch, max_wait) {
+        // A panic while serving must not strand blocked requesters: keep
+        // the slots, answer `WorkerLost` to any left unfilled (fill is
+        // first-write-wins), and keep the worker alive for later batches.
+        let slots: Vec<Arc<ResponseSlot>> = batch.iter().map(|r| Arc::clone(&r.slot)).collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_batch(inner, shard_idx, batch, reason);
+        }));
+        if outcome.is_err() {
+            for slot in &slots {
+                slot.fill(Err(ServeError::WorkerLost));
+            }
+        }
+    }
+}
+
+fn serve_batch(inner: &ServerInner, shard_idx: usize, batch: Vec<Request>, reason: FlushReason) {
+    let c = &inner.counters;
+    c.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    c.batches.fetch_add(1, Ordering::Relaxed);
+    match reason {
+        FlushReason::Full => c.flushes_full.fetch_add(1, Ordering::Relaxed),
+        FlushReason::Timeout => c.flushes_timeout.fetch_add(1, Ordering::Relaxed),
+        FlushReason::Drain => c.flushes_drain.fetch_add(1, Ordering::Relaxed),
+    };
+    c.max_batch_observed
+        .fetch_max(batch.len() as u64, Ordering::Relaxed);
+
+    let ids: Vec<usize> = batch.iter().map(|r| r.id).collect();
+    match inner.store.get_shard_batch(shard_idx, &ids) {
+        Ok(rows) => {
+            for (request, row) in batch.into_iter().zip(rows) {
+                request.slot.fill(Ok(row));
+            }
+        }
+        Err(_) => {
+            // A bad id poisons only its own batch; answer every
+            // requester individually so none hangs.
+            for request in batch {
+                request.slot.fill(inner.store.get(request.id));
+            }
+        }
+    }
+}
+
+/// A cheap, cloneable, thread-safe client to an [`EmbedServer`].
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    inner: Arc<ServerInner>,
+}
+
+impl ServeHandle {
+    /// Looks up one embedding row, blocking until the answer arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::IdOutOfVocab`] for bad ids and
+    /// [`ServeError::ShuttingDown`] after shutdown.
+    pub fn get(&self, id: usize) -> Result<Vec<f32>> {
+        self.inner.store.check_id(id)?;
+        let slot = Arc::new(ResponseSlot::new());
+        let shard = self.inner.store.shard_of(id);
+        self.inner.queues[shard].push(Request {
+            id,
+            slot: Arc::clone(&slot),
+        })?;
+        slot.wait()
+    }
+
+    /// Looks up many ids, pipelining across shards before blocking.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`get`](Self::get); the first failure wins.
+    pub fn get_many(&self, ids: &[usize]) -> Result<Vec<Vec<f32>>> {
+        let mut slots = Vec::with_capacity(ids.len());
+        for &id in ids {
+            self.inner.store.check_id(id)?;
+            let slot = Arc::new(ResponseSlot::new());
+            let shard = self.inner.store.shard_of(id);
+            self.inner.queues[shard].push(Request {
+                id,
+                slot: Arc::clone(&slot),
+            })?;
+            slots.push(slot);
+        }
+        slots.into_iter().map(|slot| slot.wait()).collect()
+    }
+
+    /// Served vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.inner.store.vocab()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.inner.store.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcom_core::{EmbeddingCompressor, MemCom, MemComConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    fn server(n_shards: usize, max_batch: usize, max_wait_ms: u64) -> (MemCom, EmbedServer) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let emb = MemCom::new(MemComConfig::new(200, 8, 20), &mut rng).unwrap();
+        let config = ServeConfig {
+            n_shards,
+            max_batch,
+            max_wait: Duration::from_millis(max_wait_ms),
+            ..ServeConfig::default()
+        };
+        let server = EmbedServer::start(&emb, config).unwrap();
+        (emb, server)
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let (emb, server) = server(4, 8, 2);
+        let handle = server.handle();
+        let got = handle.get(17).unwrap();
+        assert_eq!(got.as_slice(), emb.lookup(&[17]).unwrap().as_slice());
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn get_many_spans_shards() {
+        let (emb, server) = server(4, 8, 2);
+        let handle = server.handle();
+        let ids: Vec<usize> = (0..32).map(|i| (i * 13) % 200).collect();
+        let rows = handle.get_many(&ids).unwrap();
+        for (&id, row) in ids.iter().zip(&rows) {
+            assert_eq!(
+                row.as_slice(),
+                emb.lookup(&[id]).unwrap().as_slice(),
+                "id {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_id_fails_fast_without_hanging() {
+        let (_, server) = server(2, 4, 2);
+        let handle = server.handle();
+        assert!(matches!(
+            handle.get(5_000),
+            Err(ServeError::IdOutOfVocab {
+                id: 5_000,
+                vocab: 200
+            })
+        ));
+        // The server still works afterwards.
+        assert!(handle.get(3).is_ok());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests() {
+        let (_, server) = server(2, 4, 2);
+        let handle = server.handle();
+        handle.get(1).unwrap();
+        let stats = server.shutdown();
+        assert!(stats.requests >= 1);
+        assert!(matches!(handle.get(2), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn shard_count_must_match_config() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let emb = MemCom::new(MemComConfig::new(50, 4, 10), &mut rng).unwrap();
+        let store = ShardedStore::build(&emb, 2, 8, 4096).unwrap();
+        let config = ServeConfig::with_shards(4);
+        assert!(matches!(
+            EmbedServer::start_with_store(store, config),
+            Err(ServeError::BadConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,547 @@
+//! The sharded row store.
+//!
+//! Partitions a trained embedding model's per-entity state across N
+//! shards, each backed by its own [`MmapSim`] (its own page-residency
+//! tracking, so shards never contend on a shared lock) and fronted by its
+//! own hot-row LRU.
+//!
+//! Two layouts, chosen automatically at build time:
+//!
+//! * **MemCom** — the shard replicates the *small shared table* (`m × e`,
+//!   the whole point of the compression is that this is tiny) and
+//!   partitions the *large per-entity tables* (multipliers, optional
+//!   biases) round-robin. A lookup reads one shared row + one or two
+//!   scalars and reconstructs the embedding exactly as the on-device
+//!   engine does.
+//! * **Rows** — any other compressor is materialized through its
+//!   `lookup` path into dense per-shard row files. Correct for every
+//!   technique, at uncompressed storage cost — which is precisely the
+//!   serving-memory trade-off the paper's Table 3 contrasts.
+//!
+//! Ids are routed `shard = id % n_shards`, `slot = id / n_shards`:
+//! contiguous popular ids (the paper frequency-sorts ids, §5.1) spread
+//! across all shards, so Zipf-skewed traffic load-balances naturally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use memcom_core::hashing::mod_hash;
+use memcom_core::EmbeddingCompressor;
+use memcom_core::MemCom;
+use memcom_ondevice::compute::WorkCounts;
+use memcom_ondevice::engine::RunStats;
+use memcom_ondevice::mmap_sim::MmapSim;
+use parking_lot::Mutex;
+
+use crate::cache::LruCache;
+use crate::{Result, ServeError};
+
+/// Aggregate cache-effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the hot-row cache.
+    pub hits: u64,
+    /// Lookups that had to touch the backing store.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (`0` before any traffic).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Layout {
+    /// Materialized rows: slot `s` holds the full row of id `s*n + shard`.
+    Rows,
+    /// Replicated shared table + partitioned multipliers (and biases).
+    MemCom {
+        /// Shared-table rows (the paper's `m`).
+        m: usize,
+        /// Whether a per-entity bias table follows the multipliers.
+        bias: bool,
+    },
+}
+
+struct Shard {
+    mmap: MmapSim,
+    layout: Layout,
+    /// Rows owned by this shard (its slot count).
+    slots: usize,
+    cache: Mutex<LruCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    flops: AtomicU64,
+}
+
+impl Shard {
+    /// Reads the embedding row for global `id` at local `slot`, bypassing
+    /// the cache.
+    fn read_row(&self, id: usize, slot: usize, dim: usize) -> Result<Vec<f32>> {
+        debug_assert!(slot < self.slots, "slot routed to wrong shard");
+        match self.layout {
+            Layout::Rows => {
+                let offset = slot * dim * 4;
+                let bytes = self.mmap.read(offset, dim * 4)?;
+                Ok(decode_f32_row(bytes))
+            }
+            Layout::MemCom { m, bias } => {
+                let shared_row = mod_hash(id, m);
+                let u = decode_f32_row(self.mmap.read(shared_row * dim * 4, dim * 4)?);
+                let mult_base = m * dim * 4;
+                let v = decode_f32(self.mmap.read(mult_base + slot * 4, 4)?);
+                let row = if bias {
+                    let bias_base = mult_base + self.slots * 4;
+                    let w = decode_f32(self.mmap.read(bias_base + slot * 4, 4)?);
+                    self.flops.fetch_add(2 * dim as u64, Ordering::Relaxed);
+                    u.iter().map(|&x| x * v + w).collect()
+                } else {
+                    self.flops.fetch_add(dim as u64, Ordering::Relaxed);
+                    u.iter().map(|&x| x * v).collect()
+                };
+                Ok(row)
+            }
+        }
+    }
+
+    /// Serves a batch of ids owned by this shard: one cache-lock
+    /// acquisition for the hit scan, store reads only for misses, one
+    /// more for the fills — the lock-amortization micro-batching buys.
+    fn get_many(&self, ids: &[usize], n_shards: usize, dim: usize) -> Result<Vec<Vec<f32>>> {
+        let mut out: Vec<Option<Vec<f32>>> = vec![None; ids.len()];
+        let mut missing: Vec<(usize, usize)> = Vec::new(); // (position, id)
+        {
+            let mut cache = self.cache.lock();
+            for (pos, &id) in ids.iter().enumerate() {
+                match cache.get(id) {
+                    Some(row) => out[pos] = Some(row.clone()),
+                    None => missing.push((pos, id)),
+                }
+            }
+        }
+        let mut hits = (ids.len() - missing.len()) as u64;
+
+        if !missing.is_empty() {
+            // Ascending-id order keeps reads page-local within the batch
+            // and groups duplicates, so a burst of requests for one cold
+            // id (the batcher's bread and butter) pays one store read.
+            missing.sort_unstable_by_key(|&(_, id)| id);
+            let mut first_of_id: Option<(usize, usize)> = None; // (id, pos)
+            let mut dup_hits = 0u64;
+            for &(pos, id) in &missing {
+                match first_of_id {
+                    Some((seen_id, seen_pos)) if seen_id == id => {
+                        out[pos] = out[seen_pos].clone();
+                        dup_hits += 1;
+                    }
+                    _ => {
+                        out[pos] = Some(self.read_row(id, id / n_shards, dim)?);
+                        first_of_id = Some((id, pos));
+                    }
+                }
+            }
+            let mut cache = self.cache.lock();
+            let mut last_inserted = None;
+            for &(pos, id) in &missing {
+                if last_inserted != Some(id) {
+                    let row = out[pos].as_ref().expect("filled above");
+                    cache.insert(id, row.clone());
+                    last_inserted = Some(id);
+                }
+            }
+            // Duplicates served from the batch count as hits: they never
+            // touched the store.
+            hits += dup_hits;
+            self.misses
+                .fetch_add(missing.len() as u64 - dup_hits, Ordering::Relaxed);
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        Ok(out
+            .into_iter()
+            .map(|row| row.expect("every position filled"))
+            .collect())
+    }
+}
+
+/// A sharded, cached, mmap-backed read-only row store built from any
+/// [`EmbeddingCompressor`].
+///
+/// Thread-safety note: lookups are always *correct* under arbitrary
+/// concurrency, but the cache hit/miss and byte counters are exact only
+/// with one accessor per shard (the [`crate::EmbedServer`] discipline —
+/// one worker per shard). Concurrent direct calls into the same shard
+/// can both miss on the same cold id between the hit scan and the fill,
+/// double-reading the row and counting two misses where the serving
+/// path would count one.
+pub struct ShardedStore {
+    shards: Vec<Shard>,
+    vocab: usize,
+    dim: usize,
+    method: &'static str,
+}
+
+impl ShardedStore {
+    /// Builds a store with `n_shards` shards from a trained compressor,
+    /// using the given per-shard cache capacity and simulated page size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for a zero shard count or an
+    /// empty model, and propagates compressor errors from
+    /// materialization.
+    pub fn build(
+        emb: &dyn EmbeddingCompressor,
+        n_shards: usize,
+        cache_capacity: usize,
+        page_size: usize,
+    ) -> Result<Self> {
+        if n_shards == 0 {
+            return Err(ServeError::BadConfig {
+                context: "n_shards must be >= 1".into(),
+            });
+        }
+        let vocab = emb.vocab_size();
+        let dim = emb.output_dim();
+        if vocab == 0 || dim == 0 {
+            return Err(ServeError::BadConfig {
+                context: format!("degenerate model: vocab {vocab}, dim {dim}"),
+            });
+        }
+
+        let memcom = emb.as_any().downcast_ref::<MemCom>();
+        // The replicated shared-table prefix is identical for every
+        // shard; encode it once and memcpy it per shard.
+        let shared_bytes = memcom.map(|mc| encode_f32s(mc.shared_table().as_slice()));
+        let mut shards = Vec::with_capacity(n_shards);
+        for shard_idx in 0..n_shards {
+            // Ids owned by this shard: shard_idx, shard_idx + n, ...
+            let slots = if shard_idx < vocab {
+                (vocab - shard_idx).div_ceil(n_shards)
+            } else {
+                0
+            };
+            let (bytes, layout) = match memcom {
+                Some(mc) => {
+                    let m = mc.shared_table().shape().dims()[0];
+                    let mut bytes = shared_bytes.clone().expect("encoded for memcom");
+                    let mult = mc.multiplier_table().as_slice();
+                    for slot in 0..slots {
+                        bytes.extend_from_slice(&mult[shard_idx + slot * n_shards].to_le_bytes());
+                    }
+                    let bias = mc.bias_table().map(|b| b.as_slice());
+                    if let Some(b) = bias {
+                        for slot in 0..slots {
+                            bytes.extend_from_slice(&b[shard_idx + slot * n_shards].to_le_bytes());
+                        }
+                    }
+                    (
+                        bytes,
+                        Layout::MemCom {
+                            m,
+                            bias: bias.is_some(),
+                        },
+                    )
+                }
+                None => {
+                    let ids: Vec<usize> =
+                        (0..slots).map(|slot| shard_idx + slot * n_shards).collect();
+                    let rows = emb.lookup(&ids)?;
+                    (encode_f32s(rows.as_slice()), Layout::Rows)
+                }
+            };
+            shards.push(Shard {
+                mmap: MmapSim::with_page_size(bytes, page_size),
+                layout,
+                slots,
+                cache: Mutex::new(LruCache::new(cache_capacity)),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                flops: AtomicU64::new(0),
+            });
+        }
+        Ok(ShardedStore {
+            shards,
+            vocab,
+            dim,
+            method: emb.method_name(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Served vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Compression technique backing the store (e.g. `"memcom"`).
+    pub fn method(&self) -> &'static str {
+        self.method
+    }
+
+    /// The shard owning `id`.
+    pub fn shard_of(&self, id: usize) -> usize {
+        id % self.shards.len()
+    }
+
+    /// Total bytes held by all shard stores (on-"disk" model size).
+    pub fn stored_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.mmap.len()).sum()
+    }
+
+    /// Validates an id against the served vocabulary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::IdOutOfVocab`] when out of range.
+    pub fn check_id(&self, id: usize) -> Result<()> {
+        if id >= self.vocab {
+            return Err(ServeError::IdOutOfVocab {
+                id,
+                vocab: self.vocab,
+            });
+        }
+        Ok(())
+    }
+
+    /// Looks up a single id through its shard's cache and store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::IdOutOfVocab`] for ids past the vocabulary.
+    pub fn get(&self, id: usize) -> Result<Vec<f32>> {
+        self.check_id(id)?;
+        let shard = &self.shards[self.shard_of(id)];
+        Ok(shard
+            .get_many(&[id], self.shards.len(), self.dim)?
+            .remove(0))
+    }
+
+    /// Serves a batch of ids that all route to `shard_idx` (the
+    /// micro-batcher's path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::IdOutOfVocab`] on any out-of-range id and
+    /// [`ServeError::BadConfig`] when an id routes to a different shard
+    /// (an internal routing bug).
+    pub fn get_shard_batch(&self, shard_idx: usize, ids: &[usize]) -> Result<Vec<Vec<f32>>> {
+        for &id in ids {
+            self.check_id(id)?;
+            if self.shard_of(id) != shard_idx {
+                return Err(ServeError::BadConfig {
+                    context: format!("id {id} routed to shard {shard_idx}"),
+                });
+            }
+        }
+        self.shards[shard_idx].get_many(ids, self.shards.len(), self.dim)
+    }
+
+    /// Aggregate cache counters across shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    /// Counted work since construction, in the on-device cost model's
+    /// terms: store reads split into cold (first page touch) and warm
+    /// bytes, plus reconstruction flops for compressed layouts. Cache
+    /// hits contribute *nothing* here — that is the cache's saving, and
+    /// it shows directly in [`RunStats::time_ms`] comparisons.
+    pub fn work(&self) -> WorkCounts {
+        let mut work = WorkCounts::default();
+        for shard in &self.shards {
+            let cold = shard.mmap.cold_read_bytes();
+            work.cold_bytes += cold;
+            work.warm_bytes += shard.mmap.total_read_bytes().saturating_sub(cold);
+            work.flops += shard.flops.load(Ordering::Relaxed);
+        }
+        work.activation_bytes = (self.dim * 4) as u64;
+        work
+    }
+
+    /// Snapshot of counted work + resident footprint as a [`RunStats`],
+    /// so serving cost plugs into the same per-compute-unit model as
+    /// single-inference runs (Table 3's units).
+    pub fn run_stats(&self) -> RunStats {
+        RunStats {
+            work: self.work(),
+            resident_model_bytes: self.shards.iter().map(|s| s.mmap.resident_bytes()).sum(),
+            wall_nanos: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("method", &self.method)
+            .field("vocab", &self.vocab)
+            .field("dim", &self.dim)
+            .field("n_shards", &self.shards.len())
+            .field("stored_bytes", &self.stored_bytes())
+            .finish()
+    }
+}
+
+fn encode_f32s(values: &[f32]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+fn decode_f32_row(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
+}
+
+fn decode_f32(bytes: &[u8]) -> f32 {
+    f32::from_le_bytes(bytes.try_into().expect("4-byte scalar"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcom_core::{FullEmbedding, MemComConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn memcom(vocab: usize, dim: usize, m: usize, bias: bool) -> MemCom {
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = if bias {
+            MemComConfig::with_bias(vocab, dim, m)
+        } else {
+            MemComConfig::new(vocab, dim, m)
+        };
+        MemCom::new(config, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn memcom_store_matches_lookup_exactly() {
+        for bias in [false, true] {
+            let emb = memcom(257, 8, 31, bias); // deliberately non-divisible
+            let store = ShardedStore::build(&emb, 4, 16, 256).unwrap();
+            for id in 0..257 {
+                let want = emb.lookup(&[id]).unwrap();
+                let got = store.get(id).unwrap();
+                assert_eq!(got.as_slice(), want.as_slice(), "id {id} bias {bias}");
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_store_matches_lookup_exactly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let emb = FullEmbedding::new(100, 6, &mut rng).unwrap();
+        let store = ShardedStore::build(&emb, 3, 8, 128).unwrap();
+        assert_eq!(store.method(), "uncompressed");
+        for id in 0..100 {
+            let want = emb.lookup(&[id]).unwrap();
+            assert_eq!(
+                store.get(id).unwrap().as_slice(),
+                want.as_slice(),
+                "id {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn memcom_store_is_smaller_than_materialized() {
+        let emb = memcom(5_000, 32, 500, false);
+        let compressed = ShardedStore::build(&emb, 4, 0, 4096).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let full = FullEmbedding::new(5_000, 32, &mut rng).unwrap();
+        let dense = ShardedStore::build(&full, 4, 0, 4096).unwrap();
+        // 4 shards × replicated shared table + scalars ≪ dense rows.
+        assert!(compressed.stored_bytes() * 2 < dense.stored_bytes());
+    }
+
+    #[test]
+    fn cache_hits_skip_store_reads() {
+        let emb = memcom(64, 4, 8, false);
+        let store = ShardedStore::build(&emb, 2, 32, 64).unwrap();
+        store.get(5).unwrap();
+        let after_first = store.work();
+        store.get(5).unwrap();
+        let after_second = store.work();
+        assert_eq!(
+            after_first.warm_bytes + after_first.cold_bytes,
+            after_second.warm_bytes + after_second.cold_bytes,
+            "second (cached) read must not touch the store"
+        );
+        let cache = store.cache_stats();
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        assert!((store.cache_stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_routing_and_validation() {
+        let emb = memcom(40, 4, 8, false);
+        let store = ShardedStore::build(&emb, 4, 8, 64).unwrap();
+        // Shard 1 owns 1, 5, 9, ...
+        let rows = store.get_shard_batch(1, &[1, 5, 9, 5]).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[1], rows[3], "duplicate ids in a batch get equal rows");
+        // The duplicate is served from the batch: one store read, counted
+        // as a hit rather than a second miss.
+        let cache = store.cache_stats();
+        assert_eq!((cache.hits, cache.misses), (1, 3), "dedup within the batch");
+        assert!(matches!(
+            store.get_shard_batch(0, &[1]),
+            Err(ServeError::BadConfig { .. })
+        ));
+        assert!(matches!(
+            store.get(40),
+            Err(ServeError::IdOutOfVocab { id: 40, vocab: 40 })
+        ));
+    }
+
+    #[test]
+    fn run_stats_plug_into_cost_model() {
+        use memcom_ondevice::ComputeUnit;
+        let emb = memcom(128, 8, 16, true);
+        let store = ShardedStore::build(&emb, 2, 0, 128).unwrap();
+        for id in 0..64 {
+            store.get(id).unwrap();
+        }
+        let stats = store.run_stats();
+        assert!(stats.work.flops >= 64 * 16, "2e flops per bias lookup");
+        assert!(stats.work.cold_bytes > 0);
+        assert!(stats.resident_model_bytes > 0);
+        for unit in ComputeUnit::all() {
+            assert!(stats.time_ms(unit) > 0.0);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_vocab_still_works() {
+        let emb = memcom(3, 4, 2, false);
+        let store = ShardedStore::build(&emb, 8, 4, 64).unwrap();
+        for id in 0..3 {
+            let want = emb.lookup(&[id]).unwrap();
+            assert_eq!(store.get(id).unwrap().as_slice(), want.as_slice());
+        }
+    }
+}

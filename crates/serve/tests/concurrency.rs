@@ -1,0 +1,233 @@
+//! Concurrency correctness: batched parallel serving must be
+//! indistinguishable from serial replay, and both flush triggers must
+//! fire when — and only when — their condition holds.
+
+use std::time::{Duration, Instant};
+
+use memcom_core::{EmbeddingCompressor, MemCom, MemComConfig, MethodSpec};
+use memcom_serve::{EmbedServer, ServeConfig, ServeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn memcom(vocab: usize, dim: usize, m: usize) -> MemCom {
+    let mut rng = StdRng::seed_from_u64(1234);
+    MemCom::new(MemComConfig::with_bias(vocab, dim, m), &mut rng).unwrap()
+}
+
+/// N threads × M requests through the batched server give results
+/// identical to serial replay through the compressor's lookup path.
+#[test]
+fn concurrent_batched_results_match_serial_replay() {
+    let vocab = 2_000;
+    let emb = memcom(vocab, 16, 200);
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig {
+            n_shards: 4,
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+
+    let threads = 8;
+    let requests_per_thread = 250;
+    // Pre-generate each thread's id stream so the serial replay sees the
+    // exact same requests.
+    let streams: Vec<Vec<usize>> = (0..threads)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(t as u64);
+            (0..requests_per_thread)
+                .map(|_| rng.gen_range(0..vocab))
+                .collect()
+        })
+        .collect();
+
+    let results: Vec<Vec<Vec<f32>>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    stream
+                        .iter()
+                        .map(|&id| handle.get(id).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    // Serial replay: same ids through the untouched training-side path.
+    for (stream, thread_results) in streams.iter().zip(&results) {
+        for (&id, got) in stream.iter().zip(thread_results) {
+            let want = emb.lookup(&[id]).unwrap();
+            assert_eq!(got.as_slice(), want.as_slice(), "id {id}");
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, (threads * requests_per_thread) as u64);
+    assert!(
+        stats.batches < stats.requests,
+        "micro-batching must coalesce"
+    );
+    assert!(
+        stats.max_batch_observed > 1,
+        "some batch should exceed one request"
+    );
+}
+
+/// Every serializable technique (not just MEmCom) serves correctly.
+#[test]
+fn every_method_serves_exact_rows() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let specs = [
+        MethodSpec::Uncompressed,
+        MethodSpec::NaiveHash { hash_size: 32 },
+        MethodSpec::MemCom {
+            hash_size: 32,
+            bias: false,
+        },
+        MethodSpec::TruncateRare { keep: 64 },
+    ];
+    for spec in specs {
+        let emb = spec.build(300, 8, &mut rng).unwrap();
+        let server = EmbedServer::start(emb.as_ref(), ServeConfig::with_shards(4)).unwrap();
+        let handle = server.handle();
+        for id in (0..300).step_by(7) {
+            let want = emb.lookup(&[id]).unwrap();
+            assert_eq!(
+                handle.get(id).unwrap().as_slice(),
+                want.as_slice(),
+                "{spec:?} id {id}"
+            );
+        }
+    }
+}
+
+/// A burst of exactly `max_batch` concurrent requests to one shard
+/// flushes as a full batch, long before `max_wait` expires.
+#[test]
+fn flush_triggers_on_max_batch() {
+    let emb = memcom(400, 8, 40);
+    let max_batch = 4;
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig {
+            n_shards: 1, // single shard: the whole burst coalesces
+            max_batch,
+            max_wait: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..max_batch {
+            let handle = handle.clone();
+            scope.spawn(move || handle.get(i * 3).unwrap());
+        }
+    });
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "a full batch must flush without waiting out max_wait (took {elapsed:?})"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, max_batch as u64);
+    assert_eq!(stats.flushes_full, 1, "exactly one full flush");
+    assert_eq!(stats.flushes_timeout, 0, "the 30s timer never fired");
+    assert_eq!(stats.max_batch_observed, max_batch);
+}
+
+/// A lone request in a huge-batch config flushes when `max_wait`
+/// elapses — not sooner, not never.
+#[test]
+fn flush_triggers_on_max_wait() {
+    let emb = memcom(400, 8, 40);
+    let max_wait = Duration::from_millis(40);
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig {
+            n_shards: 1,
+            max_batch: 1_024, // can never fill from one request
+            max_wait,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+
+    let t0 = Instant::now();
+    handle.get(11).unwrap();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(35),
+        "lone request must wait out max_wait (took {elapsed:?})"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "…but must complete soon after (took {elapsed:?})"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.flushes_timeout, 1, "exactly one timeout flush");
+    assert_eq!(stats.flushes_full, 0);
+}
+
+/// Shutdown drains queued requests (none hang, none are lost) and then
+/// rejects new traffic.
+#[test]
+fn shutdown_drains_inflight_work() {
+    let emb = memcom(500, 8, 50);
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig {
+            n_shards: 2,
+            max_batch: 64,
+            max_wait: Duration::from_millis(200),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+
+    let (stats, outcomes) = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..6)
+            .map(|i| {
+                let handle = handle.clone();
+                scope.spawn(move || handle.get(i * 11))
+            })
+            .collect();
+        // Give the clients a moment to enqueue, then pull the plug while
+        // their batches are still open. A heavily loaded scheduler may
+        // deschedule a client past the shutdown — then its push is
+        // *rejected*, which is also a valid outcome; what must never
+        // happen is a request that was accepted but never answered.
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = server.shutdown();
+        let outcomes: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        (stats, outcomes)
+    });
+    let mut served = 0u64;
+    for outcome in outcomes {
+        match outcome {
+            Ok(row) => {
+                assert_eq!(row.len(), 8);
+                served += 1;
+            }
+            Err(ServeError::ShuttingDown) => {} // raced the close; rejected cleanly
+            Err(other) => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert_eq!(
+        stats.requests, served,
+        "every accepted request was served exactly once"
+    );
+    assert!(matches!(handle.get(1), Err(ServeError::ShuttingDown)));
+}

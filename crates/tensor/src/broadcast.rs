@@ -32,10 +32,10 @@ use crate::Result;
 pub fn broadcast_shape(lhs: &Shape, rhs: &Shape) -> Result<Shape> {
     let rank = lhs.rank().max(rhs.rank());
     let mut dims = vec![0usize; rank];
-    for i in 0..rank {
+    for (i, dim) in dims.iter_mut().enumerate() {
         let l = extent_from_end(lhs, i, rank);
         let r = extent_from_end(rhs, i, rank);
-        dims[i] = match (l, r) {
+        *dim = match (l, r) {
             (a, b) if a == b => a,
             (1, b) => b,
             (a, 1) => a,
@@ -185,11 +185,23 @@ mod tests {
 
     #[test]
     fn broadcast_shape_basic_rules() {
-        assert_eq!(broadcast_shape(&s(&[2, 3]), &s(&[2, 3])).unwrap(), s(&[2, 3]));
-        assert_eq!(broadcast_shape(&s(&[2, 1]), &s(&[2, 3])).unwrap(), s(&[2, 3]));
+        assert_eq!(
+            broadcast_shape(&s(&[2, 3]), &s(&[2, 3])).unwrap(),
+            s(&[2, 3])
+        );
+        assert_eq!(
+            broadcast_shape(&s(&[2, 1]), &s(&[2, 3])).unwrap(),
+            s(&[2, 3])
+        );
         assert_eq!(broadcast_shape(&s(&[3]), &s(&[2, 3])).unwrap(), s(&[2, 3]));
-        assert_eq!(broadcast_shape(&s(&[4, 1, 3]), &s(&[2, 3])).unwrap(), s(&[4, 2, 3]));
-        assert_eq!(broadcast_shape(&Shape::scalar(), &s(&[5])).unwrap(), s(&[5]));
+        assert_eq!(
+            broadcast_shape(&s(&[4, 1, 3]), &s(&[2, 3])).unwrap(),
+            s(&[4, 2, 3])
+        );
+        assert_eq!(
+            broadcast_shape(&Shape::scalar(), &s(&[5])).unwrap(),
+            s(&[5])
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} is out of range for rank {rank}")
             }
             TensorError::IndexOutOfBounds { index, extent } => {
-                write!(f, "index {index} out of bounds for dimension of extent {extent}")
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension of extent {extent}"
+                )
             }
             TensorError::EmptyTensor => write!(f, "operation requires a non-empty tensor"),
         }
@@ -77,11 +80,22 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs = [
-            TensorError::LengthMismatch { data_len: 3, expected: 4 },
-            TensorError::BroadcastIncompatible { lhs: vec![2], rhs: vec![3] },
-            TensorError::ShapeMismatch { context: "inner dims".into() },
+            TensorError::LengthMismatch {
+                data_len: 3,
+                expected: 4,
+            },
+            TensorError::BroadcastIncompatible {
+                lhs: vec![2],
+                rhs: vec![3],
+            },
+            TensorError::ShapeMismatch {
+                context: "inner dims".into(),
+            },
             TensorError::InvalidAxis { axis: 5, rank: 2 },
-            TensorError::IndexOutOfBounds { index: 9, extent: 3 },
+            TensorError::IndexOutOfBounds {
+                index: 9,
+                extent: 3,
+            },
             TensorError::EmptyTensor,
         ];
         for e in errs {

@@ -36,7 +36,11 @@ const TILE: usize = 32;
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if a.shape().rank() != 2 || b.shape().rank() != 2 {
         return Err(TensorError::ShapeMismatch {
-            context: format!("matmul requires rank-2 operands, got {} and {}", a.shape(), b.shape()),
+            context: format!(
+                "matmul requires rank-2 operands, got {} and {}",
+                a.shape(),
+                b.shape()
+            ),
         });
     }
     let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
@@ -79,7 +83,11 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     if a.shape().rank() != 2 || x.shape().rank() != 1 {
         return Err(TensorError::ShapeMismatch {
-            context: format!("matvec requires [m,k]×[k], got {} and {}", a.shape(), x.shape()),
+            context: format!(
+                "matvec requires [m,k]×[k], got {} and {}",
+                a.shape(),
+                x.shape()
+            ),
         });
     }
     let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
@@ -92,7 +100,11 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     let xv = x.as_slice();
     let mut out = vec![0f32; m];
     for i in 0..m {
-        out[i] = av[i * k..(i + 1) * k].iter().zip(xv).map(|(&p, &q)| p * q).sum();
+        out[i] = av[i * k..(i + 1) * k]
+            .iter()
+            .zip(xv)
+            .map(|(&p, &q)| p * q)
+            .sum();
     }
     Tensor::from_vec(out, &[m])
 }
@@ -146,7 +158,7 @@ fn reduce_axis(t: &Tensor, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) 
             }
         }
     }
-    Ok(Tensor::from_vec(out, out_shape.dims())?)
+    Tensor::from_vec(out, out_shape.dims())
 }
 
 /// Rectified linear unit, elementwise.
@@ -390,7 +402,9 @@ mod tests {
         // naive reference
         for i in 0..m {
             for j in 0..n {
-                let want: f32 = (0..k).map(|kk| a_data[i * k + kk] * b_data[kk * n + j]).sum();
+                let want: f32 = (0..k)
+                    .map(|kk| a_data[i * k + kk] * b_data[kk * n + j])
+                    .sum();
                 let got = c.as_slice()[i * n + j];
                 assert!((want - got).abs() < 1e-3, "({i},{j}): {want} vs {got}");
             }

@@ -25,7 +25,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a slice of dimension extents.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Creates the rank-0 (scalar) shape.
@@ -57,7 +59,10 @@ impl Shape {
         self.dims
             .get(axis)
             .copied()
-            .ok_or(TensorError::InvalidAxis { axis, rank: self.rank() })
+            .ok_or(TensorError::InvalidAxis {
+                axis,
+                rank: self.rank(),
+            })
     }
 
     /// Row-major strides (in elements) for this shape.
@@ -106,7 +111,10 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if `flat >= volume`.
     pub fn multi_index(&self, flat: usize) -> Result<Vec<usize>> {
         if flat >= self.volume() {
-            return Err(TensorError::IndexOutOfBounds { index: flat, extent: self.volume() });
+            return Err(TensorError::IndexOutOfBounds {
+                index: flat,
+                extent: self.volume(),
+            });
         }
         let mut rem = flat;
         let mut out = vec![0usize; self.rank()];
@@ -126,7 +134,10 @@ impl Shape {
     /// Returns [`TensorError::InvalidAxis`] if `axis >= rank`.
     pub fn without_axis(&self, axis: usize) -> Result<Shape> {
         if axis >= self.rank() {
-            return Err(TensorError::InvalidAxis { axis, rank: self.rank() });
+            return Err(TensorError::InvalidAxis {
+                axis,
+                rank: self.rank(),
+            });
         }
         let mut dims = self.dims.clone();
         dims.remove(axis);
@@ -194,9 +205,15 @@ mod tests {
         let s = Shape::new(&[2, 3]);
         assert_eq!(
             s.flat_index(&[2, 0]),
-            Err(TensorError::IndexOutOfBounds { index: 2, extent: 2 })
+            Err(TensorError::IndexOutOfBounds {
+                index: 2,
+                extent: 2
+            })
         );
-        assert!(matches!(s.flat_index(&[0]), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            s.flat_index(&[0]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
         assert!(s.multi_index(6).is_err());
     }
 

@@ -52,13 +52,19 @@ impl Tensor {
 
     /// Creates a rank-0 tensor holding one value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::scalar() }
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
     }
 
     /// Creates a tensor filled with zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.volume()], shape }
+        Tensor {
+            data: vec![0.0; shape.volume()],
+            shape,
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -69,13 +75,18 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.volume()], shape }
+        Tensor {
+            data: vec![value; shape.volume()],
+            shape,
+        }
     }
 
     /// Creates a tensor with values drawn uniformly from `[low, high)`.
     pub fn rand_uniform<R: Rng + ?Sized>(dims: &[usize], low: f32, high: f32, rng: &mut R) -> Self {
         let shape = Shape::new(dims);
-        let data = (0..shape.volume()).map(|_| rng.gen_range(low..high)).collect();
+        let data = (0..shape.volume())
+            .map(|_| rng.gen_range(low..high))
+            .collect();
         Tensor { data, shape }
     }
 
@@ -162,7 +173,10 @@ impl Tensor {
                 expected: shape.volume(),
             });
         }
-        Ok(Tensor { data: self.data.clone(), shape })
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
     }
 
     /// Borrows row `row` of a rank-2 tensor.
@@ -174,12 +188,18 @@ impl Tensor {
     pub fn row(&self, row: usize) -> Result<&[f32]> {
         if self.shape.rank() != 2 {
             return Err(TensorError::ShapeMismatch {
-                context: format!("row() requires rank 2, tensor has rank {}", self.shape.rank()),
+                context: format!(
+                    "row() requires rank 2, tensor has rank {}",
+                    self.shape.rank()
+                ),
             });
         }
         let (rows, cols) = (self.shape.dims()[0], self.shape.dims()[1]);
         if row >= rows {
-            return Err(TensorError::IndexOutOfBounds { index: row, extent: rows });
+            return Err(TensorError::IndexOutOfBounds {
+                index: row,
+                extent: rows,
+            });
         }
         Ok(&self.data[row * cols..(row + 1) * cols])
     }
@@ -192,19 +212,28 @@ impl Tensor {
     pub fn row_mut(&mut self, row: usize) -> Result<&mut [f32]> {
         if self.shape.rank() != 2 {
             return Err(TensorError::ShapeMismatch {
-                context: format!("row_mut() requires rank 2, tensor has rank {}", self.shape.rank()),
+                context: format!(
+                    "row_mut() requires rank 2, tensor has rank {}",
+                    self.shape.rank()
+                ),
             });
         }
         let (rows, cols) = (self.shape.dims()[0], self.shape.dims()[1]);
         if row >= rows {
-            return Err(TensorError::IndexOutOfBounds { index: row, extent: rows });
+            return Err(TensorError::IndexOutOfBounds {
+                index: row,
+                extent: rows,
+            });
         }
         Ok(&mut self.data[row * cols..(row + 1) * cols])
     }
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -279,7 +308,10 @@ impl Tensor {
     pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) -> Result<()> {
         if self.shape != rhs.shape {
             return Err(TensorError::ShapeMismatch {
-                context: format!("axpy requires equal shapes, got {} vs {}", self.shape, rhs.shape),
+                context: format!(
+                    "axpy requires equal shapes, got {} vs {}",
+                    self.shape, rhs.shape
+                ),
             });
         }
         for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
@@ -313,7 +345,9 @@ impl Tensor {
         self.data
             .iter()
             .copied()
-            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |m| m.max(x))))
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |m| m.max(x)))
+            })
             .ok_or(TensorError::EmptyTensor)
     }
 
@@ -363,7 +397,10 @@ impl Tensor {
                 data[j * r + i] = self.data[i * c + j];
             }
         }
-        Ok(Tensor { data, shape: Shape::new(&[c, r]) })
+        Ok(Tensor {
+            data,
+            shape: Shape::new(&[c, r]),
+        })
     }
 
     /// Returns `true` when every element differs from `other`'s by at most

@@ -39,7 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     // ~20x input-embedding compression: v/32 shared rows + per-app scalar.
     let m = spec.input_vocab() / 32;
-    let mut model = RecModel::new(&config, &MethodSpec::MemCom { hash_size: m, bias: true })?;
+    let mut model = RecModel::new(
+        &config,
+        &MethodSpec::MemCom {
+            hash_size: m,
+            bias: true,
+        },
+    )?;
     let report = train(&mut model, &data.train, &data.eval, &TrainConfig::default())?;
     println!(
         "trained memcom(m={m}): accuracy {:.4}, ndcg {:.4}",
@@ -47,7 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Ship it: serialize → parse → run through the mmap-backed engine.
-    let bytes = OnDeviceModel::serialize(model.embedding(), model.head(), spec.input_len, Dtype::F32)?;
+    let bytes =
+        OnDeviceModel::serialize(model.embedding(), model.head(), spec.input_len, Dtype::F32)?;
     println!("\non-disk model: {} KB", bytes.len() / 1024);
     let session = InferenceSession::new(OnDeviceModel::parse(bytes)?);
 
@@ -67,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
         .map(|(i, _)| i)
         .expect("non-empty");
-    println!("recommended next app class: {top} (true label {})", user.label);
+    println!(
+        "recommended next app class: {top} (true label {})",
+        user.label
+    );
 
     println!("\nper-query cost on simulated devices:");
     for unit in ComputeUnit::all() {

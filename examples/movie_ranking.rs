@@ -31,14 +31,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut specs = Vec::new();
     for divisor in [4usize, 16, 64] {
         let m = (v / divisor).max(1);
-        specs.push(MethodSpec::MemCom { hash_size: m, bias: false });
+        specs.push(MethodSpec::MemCom {
+            hash_size: m,
+            bias: false,
+        });
         specs.push(MethodSpec::NaiveHash { hash_size: m });
-        specs.push(MethodSpec::QuotientRemainder { hash_size: m, combiner: QrCombiner::Multiply });
+        specs.push(MethodSpec::QuotientRemainder {
+            hash_size: m,
+            combiner: QrCombiner::Multiply,
+        });
     }
     let config = SweepConfig {
         kind: ModelKind::PointwiseRanker,
         embedding_dim: 32,
-        train: TrainConfig { epochs: 4, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        },
         ..SweepConfig::default()
     };
     let result = run_sweep(&spec, &data, &specs, &config)?;

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bits in [32usize, 16, 8, 4, 2] {
         let dtype = Dtype::for_bits(bits)?;
         let bytes = OnDeviceModel::serialize(&memcom, &head, input_len, dtype)?;
-        println!("  {bits:>2}-bit: {:>8.2} MB", bytes.len() as f64 / 1_048_576.0);
+        println!(
+            "  {bits:>2}-bit: {:>8.2} MB",
+            bytes.len() as f64 / 1_048_576.0
+        );
     }
 
     // 2. mmap paging behaviour: one query touches a sliver of the file.
@@ -58,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let onehot_session = InferenceSession::new(OnDeviceModel::parse(onehot_bytes)?);
     let (_, onehot_stats) = onehot_session.run(&ids)?;
     println!("\nper-query cost (batch 1, FP32), memcom vs weinberger:");
-    println!("{:<18} {:>12} {:>12} {:>10} {:>10}", "unit", "memcom_ms", "weinb_ms", "memcom_MB", "weinb_MB");
+    println!(
+        "{:<18} {:>12} {:>12} {:>10} {:>10}",
+        "unit", "memcom_ms", "weinb_ms", "memcom_MB", "weinb_MB"
+    );
     for unit in ComputeUnit::all() {
         println!(
             "{:<18} {:>12.3} {:>12.3} {:>10.2} {:>10.2}",

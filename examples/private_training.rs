@@ -36,17 +36,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dropout: 0.0,
         seed: 1,
     };
-    println!("\n{:<8} {:>10} {:>10} {:>10}", "sigma", "epsilon", "accuracy", "ndcg");
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>10}",
+        "sigma", "epsilon", "accuracy", "ndcg"
+    );
     for sigma in [0.5f32, 1.0, 2.0, 4.0] {
         let mut model = RecModel::new(
             &config,
-            &MethodSpec::MemCom { hash_size: spec.input_vocab() / 10, bias: false },
+            &MethodSpec::MemCom {
+                hash_size: spec.input_vocab() / 10,
+                bias: false,
+            },
         )?;
         let report = dp_train(
             &mut model,
             &data.train,
             &data.eval,
-            &DpTrainConfig { epochs: 2, lot_size: 40, noise_multiplier: sigma, ..DpTrainConfig::default() },
+            &DpTrainConfig {
+                epochs: 2,
+                lot_size: 40,
+                noise_multiplier: sigma,
+                ..DpTrainConfig::default()
+            },
         )?;
         println!(
             "{sigma:<8.1} {:>10.3} {:>10.4} {:>10.4}",

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dropout: 0.05,
         seed: 7,
     };
-    let train_config = TrainConfig { epochs: 6, ..TrainConfig::default() };
+    let train_config = TrainConfig {
+        epochs: 6,
+        ..TrainConfig::default()
+    };
 
     // Uncompressed baseline.
     let mut baseline = RecModel::new(&config, &MethodSpec::Uncompressed)?;
@@ -51,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // MEmCom (Algorithm 2): 10x fewer shared rows + one multiplier per id.
-    let memcom_spec = MethodSpec::MemCom { hash_size: spec.input_vocab() / 10, bias: false };
+    let memcom_spec = MethodSpec::MemCom {
+        hash_size: spec.input_vocab() / 10,
+        bias: false,
+    };
     let mut compressed = RecModel::new(&config, &memcom_spec)?;
     let memcom_report = train(&mut compressed, &data.train, &data.eval, &train_config)?;
     let memcom_params = compressed.param_count();

@@ -1,0 +1,120 @@
+//! Serve compressed embeddings under concurrent Zipf traffic.
+//!
+//! Spins up the sharded, micro-batching embedding server on (a) MEmCom
+//! and (b) the uncompressed baseline, drives both with closed-loop
+//! power-law lookup traffic from multiple client threads, and prints a
+//! QPS / latency / cache table, plus a shard-scaling sweep for MEmCom.
+//!
+//! Run with: `cargo run --release --example serve_load`
+
+use std::time::Duration;
+
+use memcom::core::MethodSpec;
+use memcom::serve::{fmt_nanos, run_load, EmbedServer, LoadGenConfig, LoadMode, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const VOCAB: usize = 50_000;
+const DIM: usize = 32;
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 200;
+/// The paper's fixed session length (§5.1): each request embeds one
+/// 128-id session, fanning out across shards.
+const IDS_PER_REQUEST: usize = 128;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== memcom-serve: Zipf load over {VOCAB}-entity vocabulary (dim {DIM}) ===\n");
+
+    // --- Method comparison at 4 shards --------------------------------
+    let load = LoadGenConfig {
+        clients: CLIENTS,
+        requests_per_client: REQUESTS_PER_CLIENT,
+        ids_per_request: IDS_PER_REQUEST,
+        zipf_exponent: 1.1,
+        mode: LoadMode::Closed,
+        seed: 42,
+    };
+    let serve_config = |n_shards: usize| ServeConfig {
+        n_shards,
+        max_batch: 64,
+        max_wait: Duration::from_micros(50),
+        ..ServeConfig::default()
+    };
+    println!(
+        "{} clients x {} closed-loop requests x {} ids each, 4 shards, \
+         max_batch 64 / max_wait 50us\n",
+        load.clients, load.requests_per_client, load.ids_per_request
+    );
+    println!(
+        "{:<14} {:>9} {:>8} {:>11} {:>9} {:>9} {:>9} {:>7} {:>7}",
+        "method", "store", "req/s", "lookups/s", "p50", "p95", "p99", "hit%", "batch"
+    );
+    for spec in [
+        MethodSpec::MemCom {
+            hash_size: VOCAB / 10,
+            bias: false,
+        },
+        MethodSpec::MemCom {
+            hash_size: VOCAB / 10,
+            bias: true,
+        },
+        MethodSpec::Uncompressed,
+    ] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let emb = spec.build(VOCAB, DIM, &mut rng)?;
+        let server = EmbedServer::start(emb.as_ref(), serve_config(4))?;
+        let report = run_load(&server.handle(), &load)?;
+        let stored_mb = server.store().stored_bytes() as f64 / 1_048_576.0;
+        let stats = server.shutdown();
+        println!(
+            "{:<14} {:>7.2}MB {:>8.0} {:>11.0} {:>9} {:>9} {:>9} {:>6.1}% {:>7.1}",
+            emb.method_name(),
+            stored_mb,
+            report.qps(),
+            report.lookups_per_sec(),
+            fmt_nanos(report.histogram.p50()),
+            fmt_nanos(report.histogram.p95()),
+            fmt_nanos(report.histogram.p99()),
+            100.0 * stats.cache.hit_rate(),
+            stats.mean_batch(),
+        );
+    }
+
+    // --- Shard scaling for MEmCom -------------------------------------
+    println!("\nMEmCom shard scaling (same load):\n");
+    println!(
+        "{:<7} {:>8} {:>11} {:>9} {:>9} {:>9} {:>10} {:>11}",
+        "shards", "req/s", "lookups/s", "p50", "p95", "p99", "batches", "full/timeo"
+    );
+    for n_shards in [1usize, 2, 4, 8] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let emb = MethodSpec::MemCom {
+            hash_size: VOCAB / 10,
+            bias: false,
+        }
+        .build(VOCAB, DIM, &mut rng)?;
+        let server = EmbedServer::start(emb.as_ref(), serve_config(n_shards))?;
+        let report = run_load(&server.handle(), &load)?;
+        let stats = server.shutdown();
+        println!(
+            "{:<7} {:>8.0} {:>11.0} {:>9} {:>9} {:>9} {:>10} {:>5}/{:<5}",
+            n_shards,
+            report.qps(),
+            report.lookups_per_sec(),
+            fmt_nanos(report.histogram.p50()),
+            fmt_nanos(report.histogram.p95()),
+            fmt_nanos(report.histogram.p99()),
+            stats.batches,
+            stats.flushes_full,
+            stats.flushes_timeout,
+        );
+    }
+
+    println!(
+        "\nHot rows answer from each shard's LRU; cold rows fault through the shard's\n\
+         simulated mmap. MEmCom partitions its per-entity tables and replicates only\n\
+         the small shared table, so it serves from a smaller store at comparable QPS —\n\
+         the paper's on-device story carried over to a serving tier."
+    );
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding uniformly random booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Uniformly random booleans (mirrors `proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool_raw()
+    }
+}

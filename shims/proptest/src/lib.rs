@@ -1,0 +1,79 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset of proptest's API its tests use: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`, [`strategy::Strategy`] with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`], [`bool::ANY`], [`strategy::Just`], and
+//! [`prop_oneof!`].
+//!
+//! Semantics differ from upstream in one deliberate way: failing cases are
+//! **not shrunk** — each test runs [`CASES`] deterministic random cases
+//! (seeded from the test's name) and fails with a plain assertion message.
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Number of sampled cases per property test.
+pub const CASES: usize = 64;
+
+/// Runs each contained `#[test] fn name(pattern in strategy, ...) { .. }`
+/// body over [`CASES`] sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( #[test] $(#[$meta:meta])* fn $name:ident( $($params:tt)* ) $body:block )+) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __proptest_case in 0..$crate::CASES {
+                    let _ = __proptest_case;
+                    $crate::__prop_bind!(__proptest_rng; $($params)*);
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Internal: binds `pattern in strategy` pairs to sampled values.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_bind {
+    ($rng:ident; ) => {};
+    ($rng:ident; $pat:pat_param in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident; $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__prop_bind!($rng; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Uniformly picks one of several same-typed strategies per sample.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strategy),+])
+    };
+}

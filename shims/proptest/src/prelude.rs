@@ -1,0 +1,4 @@
+//! One-import surface for property tests (mirrors `proptest::prelude`).
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

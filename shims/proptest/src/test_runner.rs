@@ -1,0 +1,39 @@
+//! Deterministic RNG for property tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SampleUniform, SeedableRng};
+
+/// The RNG threaded through every strategy sample.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds deterministically from a test name (FNV-1a), so each property
+    /// test sees the same case sequence on every run and machine.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Uniform draw from a range.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `bool`.
+    pub fn gen_bool_raw(&mut self) -> bool {
+        self.inner.gen()
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`ondevice`] — model serialization, mmap simulator, inference engines,
 //!   post-training quantization.
 //! * [`dp`] — DP-SGD and the Rényi-DP accountant.
+//! * [`serve`] — sharded, micro-batching embedding-serving engine with
+//!   hot-row caching and Zipf load generation.
 //!
 //! # Quickstart
 //!
@@ -38,4 +40,5 @@ pub use memcom_metrics as metrics;
 pub use memcom_models as models;
 pub use memcom_nn as nn;
 pub use memcom_ondevice as ondevice;
+pub use memcom_serve as serve;
 pub use memcom_tensor as tensor;

@@ -36,24 +36,46 @@ fn memcom_beats_naive_hashing_at_matched_hash_size() {
     let spec = tiny_spec();
     let data = spec.generate(77);
     let m = spec.input_vocab() / 16; // aggressive compression
-    let train_config = TrainConfig { epochs: 8, batch_size: 32, ..TrainConfig::default() };
+    let train_config = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
 
     let run = |method: &MethodSpec, seed: u64| {
-        let config = ModelConfig { seed, ..model_config(&spec, ModelKind::Classifier) };
+        let config = ModelConfig {
+            seed,
+            ..model_config(&spec, ModelKind::Classifier)
+        };
         let mut model = RecModel::new(&config, method).expect("model builds");
-        let cfg = TrainConfig { seed, ..train_config.clone() };
-        train(&mut model, &data.train, &data.eval, &cfg).expect("training succeeds").eval_ndcg
+        let cfg = TrainConfig {
+            seed,
+            ..train_config.clone()
+        };
+        train(&mut model, &data.train, &data.eval, &cfg)
+            .expect("training succeeds")
+            .eval_ndcg
     };
 
     // Average two seeds to damp training noise.
     let memcom: f64 = [1u64, 2]
         .iter()
-        .map(|&s| run(&MethodSpec::MemCom { hash_size: m, bias: false }, s))
+        .map(|&s| {
+            run(
+                &MethodSpec::MemCom {
+                    hash_size: m,
+                    bias: false,
+                },
+                s,
+            )
+        })
         .sum::<f64>()
         / 2.0;
-    let naive: f64 =
-        [1u64, 2].iter().map(|&s| run(&MethodSpec::NaiveHash { hash_size: m }, s)).sum::<f64>()
-            / 2.0;
+    let naive: f64 = [1u64, 2]
+        .iter()
+        .map(|&s| run(&MethodSpec::NaiveHash { hash_size: m }, s))
+        .sum::<f64>()
+        / 2.0;
     assert!(
         memcom > naive - 0.01,
         "memcom ndcg {memcom:.4} should not lose to naive hashing {naive:.4}"
@@ -69,14 +91,20 @@ fn serialized_model_matches_training_stack_everywhere() {
     let config = model_config(&spec, ModelKind::PointwiseRanker);
     let mut model = RecModel::new(
         &config,
-        &MethodSpec::MemCom { hash_size: spec.input_vocab() / 8, bias: true },
+        &MethodSpec::MemCom {
+            hash_size: spec.input_vocab() / 8,
+            bias: true,
+        },
     )
     .expect("model builds");
     train(
         &mut model,
         &data.train,
         &data.eval,
-        &TrainConfig { epochs: 1, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        },
     )
     .expect("training succeeds");
 
@@ -102,14 +130,20 @@ fn quantization_degrades_gracefully_not_catastrophically_at_8_bits() {
     let config = model_config(&spec, ModelKind::Classifier);
     let mut model = RecModel::new(
         &config,
-        &MethodSpec::MemCom { hash_size: spec.input_vocab() / 8, bias: false },
+        &MethodSpec::MemCom {
+            hash_size: spec.input_vocab() / 8,
+            bias: false,
+        },
     )
     .expect("model builds");
     train(
         &mut model,
         &data.train,
         &data.eval,
-        &TrainConfig { epochs: 2, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        },
     )
     .expect("training succeeds");
 
@@ -125,7 +159,10 @@ fn quantization_degrades_gracefully_not_catastrophically_at_8_bits() {
     let int8_logits = logits_at(Dtype::Int8);
     let int2_logits = logits_at(Dtype::Int2);
     let err = |a: &[f32], b: &[f32]| {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0f32, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0f32, f32::max)
     };
     let e8 = err(&f32_logits, &int8_logits);
     let e2 = err(&f32_logits, &int2_logits);
@@ -139,9 +176,14 @@ fn memcom_model_files_are_smaller_on_disk() {
     let spec = tiny_spec();
     let config = model_config(&spec, ModelKind::PointwiseRanker);
     let full = RecModel::new(&config, &MethodSpec::Uncompressed).expect("builds");
-    let compressed =
-        RecModel::new(&config, &MethodSpec::MemCom { hash_size: spec.input_vocab() / 16, bias: false })
-            .expect("builds");
+    let compressed = RecModel::new(
+        &config,
+        &MethodSpec::MemCom {
+            hash_size: spec.input_vocab() / 16,
+            bias: false,
+        },
+    )
+    .expect("builds");
     let size = |m: &RecModel| {
         OnDeviceModel::serialize(m.embedding(), m.head(), spec.input_len, Dtype::F32)
             .expect("serializes")
@@ -185,7 +227,10 @@ fn lookup_engine_touches_fraction_of_file_onehot_touches_all() {
     // session leaves most embedding pages cold; the one-hot session has
     // effectively the whole kernel resident.
     let m = 10_000;
-    let memcom = runtime_scale_stats(&MethodSpec::MemCom { hash_size: m, bias: false });
+    let memcom = runtime_scale_stats(&MethodSpec::MemCom {
+        hash_size: m,
+        bias: false,
+    });
     let onehot = runtime_scale_stats(&MethodSpec::WeinbergerOneHot { hash_size: m });
     // One-hot faults in its whole 10000×128×4 ≈ 5 MB kernel; MEmCom
     // touches ≤ 64 shared rows (+ scattered multiplier pages).
@@ -206,7 +251,10 @@ fn lookup_engine_touches_fraction_of_file_onehot_touches_all() {
 fn table3_orderings_hold_on_all_units() {
     // MEmCom beats Weinberger on simulated time and footprint everywhere.
     let m = 10_000;
-    let memcom = runtime_scale_stats(&MethodSpec::MemCom { hash_size: m, bias: false });
+    let memcom = runtime_scale_stats(&MethodSpec::MemCom {
+        hash_size: m,
+        bias: false,
+    });
     let onehot = runtime_scale_stats(&MethodSpec::WeinbergerOneHot { hash_size: m });
     for unit in ComputeUnit::all() {
         assert!(
@@ -230,14 +278,20 @@ fn uniqueness_audit_passes_on_trained_integration_model() {
     let config = model_config(&spec, ModelKind::Classifier);
     let mut model = RecModel::new(
         &config,
-        &MethodSpec::MemCom { hash_size: spec.input_vocab() / 16, bias: false },
+        &MethodSpec::MemCom {
+            hash_size: spec.input_vocab() / 16,
+            bias: false,
+        },
     )
     .expect("model builds");
     train(
         &mut model,
         &data.train,
         &data.eval,
-        &TrainConfig { epochs: 2, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        },
     )
     .expect("training succeeds");
     let memcom = model

@@ -33,7 +33,10 @@ fn dp_trained_model_still_learns_at_low_noise() {
     };
     let mut model = RecModel::new(
         &config,
-        &MethodSpec::MemCom { hash_size: spec.input_vocab() / 4, bias: false },
+        &MethodSpec::MemCom {
+            hash_size: spec.input_vocab() / 4,
+            bias: false,
+        },
     )
     .expect("builds");
     let report = dp_train(
@@ -79,14 +82,22 @@ fn privacy_accounting_composes_with_training_duration() {
             &mut model,
             &data.train,
             &data.eval,
-            &DpTrainConfig { epochs, lot_size: 50, noise_multiplier: 1.0, ..DpTrainConfig::default() },
+            &DpTrainConfig {
+                epochs,
+                lot_size: 50,
+                noise_multiplier: 1.0,
+                ..DpTrainConfig::default()
+            },
         )
         .expect("dp training succeeds")
         .epsilon
     };
     let one = eps_for_epochs(1);
     let three = eps_for_epochs(3);
-    assert!(three > one, "epsilon must grow with training: {one} vs {three}");
+    assert!(
+        three > one,
+        "epsilon must grow with training: {one} vs {three}"
+    );
 }
 
 #[test]
@@ -108,7 +119,12 @@ fn accountant_matches_direct_computation() {
         &mut model,
         &data.train,
         &data.eval,
-        &DpTrainConfig { epochs: 2, lot_size: 50, noise_multiplier: 1.5, ..DpTrainConfig::default() },
+        &DpTrainConfig {
+            epochs: 2,
+            lot_size: 50,
+            noise_multiplier: 1.5,
+            ..DpTrainConfig::default()
+        },
     )
     .expect("dp training succeeds");
     let n = data.train.len() as f64;
