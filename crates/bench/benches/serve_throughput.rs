@@ -13,7 +13,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use memcom_core::MethodSpec;
 use memcom_data::Zipf;
-use memcom_serve::{EmbedServer, ServeConfig, ShardedStore};
+use memcom_serve::{EmbedBatch, EmbedServer, ServeConfig, ShardedStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -94,6 +94,43 @@ fn bench_method_comparison(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_api(c: &mut Criterion) {
+    // The allocating batch path (`get_many`: one `Vec` per row) against
+    // the slab path (`get_batch_into`: one reusable flat buffer, no
+    // per-row heap allocation) — the PR's zero-copy redesign, measured.
+    let mut rng = StdRng::seed_from_u64(9);
+    let spec = MethodSpec::MemCom {
+        hash_size: VOCAB / 10,
+        bias: false,
+    };
+    let emb = spec.build(VOCAB, DIM, &mut rng).expect("memcom builds");
+    let ids = zipf_ids(BATCH, 17);
+    let server =
+        EmbedServer::start(emb.as_ref(), ServeConfig::with_shards(4)).expect("server starts");
+    let handle = server.handle();
+
+    let mut group = c.benchmark_group("serve_batch_api");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("get_many", |b| {
+        b.iter(|| {
+            handle
+                .get_many(std::hint::black_box(&ids))
+                .expect("batch served")
+        });
+    });
+    group.bench_function("get_batch_into", |b| {
+        let mut batch = EmbedBatch::new();
+        b.iter(|| {
+            handle
+                .get_batch_into(std::hint::black_box(&ids), &mut batch)
+                .expect("batch served");
+            std::hint::black_box(batch.data().len())
+        });
+    });
+    group.finish();
+    drop(server);
+}
+
 fn bench_store_direct(c: &mut Criterion) {
     // The store without queues/batching: the per-lookup floor the
     // serving layers add latency on top of.
@@ -124,6 +161,6 @@ fn bench_store_direct(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(12);
-    targets = bench_shard_scaling, bench_method_comparison, bench_store_direct
+    targets = bench_shard_scaling, bench_method_comparison, bench_batch_api, bench_store_direct
 }
 criterion_main!(benches);

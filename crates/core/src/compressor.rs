@@ -51,6 +51,27 @@ pub trait EmbeddingCompressor: Send + Sync {
     /// Returns [`CoreError::IdOutOfVocab`] for ids `>= vocab_size()`.
     fn lookup(&self, ids: &[usize]) -> Result<Tensor>;
 
+    /// Writes the embedding row for one `id` into `out` without
+    /// allocating. `out.len()` must equal
+    /// [`output_dim`](Self::output_dim).
+    ///
+    /// This is the serving-side hot path: batch slabs reuse one flat
+    /// buffer across calls, so per-row `Vec` construction would dominate
+    /// the lookup itself. The default implementation delegates to the
+    /// allocating [`lookup`](Self::lookup) path; every technique in this
+    /// crate overrides it with a direct write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IdOutOfVocab`] for `id >= vocab_size()` and
+    /// [`CoreError::BadConfig`] when `out` has the wrong length.
+    fn embed_into(&self, id: usize, out: &mut [f32]) -> Result<()> {
+        check_out(out.len(), self.output_dim())?;
+        let row = self.lookup(std::slice::from_ref(&id))?;
+        out.copy_from_slice(row.as_slice());
+        Ok(())
+    }
+
     /// Training-mode lookup: same as [`lookup`](Self::lookup) but caches
     /// `ids` for the subsequent [`backward`](Self::backward).
     ///
@@ -204,6 +225,16 @@ pub(crate) fn check_grad(grad: &Tensor, n_ids: usize, cols: usize) -> Result<()>
 pub(crate) fn check_ids(ids: &[usize], vocab: usize) -> Result<()> {
     if let Some(&bad) = ids.iter().find(|&&i| i >= vocab) {
         return Err(CoreError::IdOutOfVocab { id: bad, vocab });
+    }
+    Ok(())
+}
+
+/// Validates an `embed_into` output buffer against the embedding dim.
+pub(crate) fn check_out(out_len: usize, dim: usize) -> Result<()> {
+    if out_len != dim {
+        return Err(CoreError::BadConfig {
+            context: format!("embed_into buffer holds {out_len} values, need {dim}"),
+        });
     }
     Ok(())
 }

@@ -5,7 +5,7 @@ use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
 use crate::compressor::{
-    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+    check_grad, check_ids, check_out, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
 };
 use crate::hashing::seeded_hash;
 use crate::{CoreError, Result};
@@ -100,6 +100,15 @@ impl EmbeddingCompressor for DoubleHashEmbedding {
             data.extend_from_slice(self.table_b.row(b)?);
         }
         Ok(Tensor::from_vec(data, &[ids.len(), self.dim])?)
+    }
+
+    fn embed_into(&self, id: usize, out: &mut [f32]) -> Result<()> {
+        check_ids(std::slice::from_ref(&id), self.vocab)?;
+        check_out(out.len(), self.dim)?;
+        let (a, b) = self.buckets(id);
+        out[..self.half].copy_from_slice(self.table_a.row(a)?);
+        out[self.half..].copy_from_slice(self.table_b.row(b)?);
+        Ok(())
     }
 
     fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {

@@ -5,7 +5,7 @@ use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
 use crate::compressor::{
-    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+    check_grad, check_ids, check_out, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
 };
 use crate::{CoreError, Result};
 
@@ -92,6 +92,24 @@ impl EmbeddingCompressor for FactorizedEmbedding {
             }
         }
         Ok(Tensor::from_vec(data, &[ids.len(), self.dim])?)
+    }
+
+    fn embed_into(&self, id: usize, out: &mut [f32]) -> Result<()> {
+        check_ids(std::slice::from_ref(&id), self.vocab)?;
+        check_out(out.len(), self.dim)?;
+        out.fill(0.0);
+        let proj = self.projection.as_slice();
+        let code = self.codes.row(id)?;
+        for (h, &c) in code.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            let b_row = &proj[h * self.dim..(h + 1) * self.dim];
+            for (o, &b) in out.iter_mut().zip(b_row) {
+                *o += c * b;
+            }
+        }
+        Ok(())
     }
 
     fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {

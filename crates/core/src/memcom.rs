@@ -19,7 +19,7 @@ use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
 use crate::compressor::{
-    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+    check_grad, check_ids, check_out, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
 };
 use crate::hashing::mod_hash;
 use crate::{CoreError, Result};
@@ -226,6 +226,27 @@ impl EmbeddingCompressor for MemCom {
             }
         }
         Ok(Tensor::from_vec(data, &[ids.len(), e])?)
+    }
+
+    fn embed_into(&self, id: usize, out: &mut [f32]) -> Result<()> {
+        check_ids(std::slice::from_ref(&id), self.config.vocab)?;
+        check_out(out.len(), self.config.dim)?;
+        let u = self.shared.row(self.bucket(id))?;
+        let v = self.multiplier.as_slice()[id];
+        match &self.bias {
+            Some(w) => {
+                let b = w.as_slice()[id];
+                for (o, &x) in out.iter_mut().zip(u) {
+                    *o = x * v + b;
+                }
+            }
+            None => {
+                for (o, &x) in out.iter_mut().zip(u) {
+                    *o = x * v;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {

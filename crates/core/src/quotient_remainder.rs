@@ -5,7 +5,7 @@ use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
 use crate::compressor::{
-    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+    check_grad, check_ids, check_out, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
 };
 use crate::{CoreError, Result};
 
@@ -138,6 +138,26 @@ impl EmbeddingCompressor for QuotientRemainder {
             }
         }
         Ok(Tensor::from_vec(data, &[ids.len(), self.dim])?)
+    }
+
+    fn embed_into(&self, id: usize, out: &mut [f32]) -> Result<()> {
+        check_ids(std::slice::from_ref(&id), self.vocab)?;
+        check_out(out.len(), self.dim)?;
+        let (q, r) = self.decompose(id);
+        let rem = self.remainder_table.row(r)?;
+        let quo = self.quotient_table.row(q)?;
+        match self.combiner {
+            QrCombiner::Multiply => {
+                for (o, (&a, &b)) in out.iter_mut().zip(rem.iter().zip(quo)) {
+                    *o = a * b;
+                }
+            }
+            QrCombiner::Concat => {
+                out[..self.part_dim].copy_from_slice(rem);
+                out[self.part_dim..].copy_from_slice(quo);
+            }
+        }
+        Ok(())
     }
 
     fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {

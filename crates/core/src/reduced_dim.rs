@@ -9,8 +9,8 @@ use crate::{CoreError, Result};
 
 /// The simplest compression: keep one row per entity but shrink the row.
 ///
-/// The surrounding network adapts to the smaller [`output_dim`]
-/// (`EmbeddingCompressor::output_dim`), exactly as the paper's "reduce
+/// The surrounding network adapts to the smaller
+/// [`output_dim`](EmbeddingCompressor::output_dim), exactly as the paper's "reduce
 /// embedding dim" sweep progressively halves the dimension (256 → 128 → …
 /// → 4). Implemented as a thin semantic wrapper over [`FullEmbedding`] so
 /// experiment reports can distinguish the *technique* from the
@@ -57,6 +57,10 @@ impl ReducedDimEmbedding {
 impl EmbeddingCompressor for ReducedDimEmbedding {
     fn lookup(&self, ids: &[usize]) -> Result<memcom_tensor::Tensor> {
         self.inner.lookup(ids)
+    }
+
+    fn embed_into(&self, id: usize, out: &mut [f32]) -> Result<()> {
+        self.inner.embed_into(id, out)
     }
 
     fn forward(&mut self, ids: &[usize]) -> Result<memcom_tensor::Tensor> {

@@ -204,6 +204,42 @@ mod tests {
     }
 
     #[test]
+    fn embed_into_matches_lookup_for_every_spec() {
+        use crate::CoreError;
+        let mut rng = StdRng::seed_from_u64(17);
+        for spec in all_specs() {
+            let emb = spec.build(100, 16, &mut rng).unwrap();
+            let mut out = vec![0.0f32; emb.output_dim()];
+            for id in [0usize, 1, 49, 99] {
+                emb.embed_into(id, &mut out).unwrap();
+                let want = emb.lookup(&[id]).unwrap();
+                assert_eq!(out.as_slice(), want.as_slice(), "{spec:?} id {id}");
+            }
+            // Buffer poisoning between calls must not leak into results
+            // (catches additive implementations that skip the reset).
+            out.fill(f32::NAN);
+            emb.embed_into(7, &mut out).unwrap();
+            assert_eq!(
+                out.as_slice(),
+                emb.lookup(&[7]).unwrap().as_slice(),
+                "{spec:?} poisoned buffer"
+            );
+            assert!(matches!(
+                emb.embed_into(100, &mut out),
+                Err(CoreError::IdOutOfVocab {
+                    id: 100,
+                    vocab: 100
+                })
+            ));
+            let mut short = vec![0.0f32; emb.output_dim() - 1];
+            assert!(matches!(
+                emb.embed_into(0, &mut short),
+                Err(CoreError::BadConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
     fn labels_are_distinct_and_informative() {
         let labels: Vec<String> = all_specs().iter().map(|s| s.label()).collect();
         let unique: std::collections::HashSet<&String> = labels.iter().collect();

@@ -5,7 +5,7 @@ use memcom_tensor::{init, Tensor};
 use rand::Rng;
 
 use crate::compressor::{
-    check_grad, check_ids, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
+    check_grad, check_ids, check_out, EmbeddingCompressor, NamedTable, NamedTableMut, RowGrads,
 };
 use crate::{CoreError, Result};
 
@@ -86,6 +86,13 @@ impl EmbeddingCompressor for TruncateRareEmbedding {
             data.extend_from_slice(self.table.row(self.row_for(id))?);
         }
         Ok(Tensor::from_vec(data, &[ids.len(), self.dim])?)
+    }
+
+    fn embed_into(&self, id: usize, out: &mut [f32]) -> Result<()> {
+        check_ids(std::slice::from_ref(&id), self.vocab)?;
+        check_out(out.len(), self.dim)?;
+        out.copy_from_slice(self.table.row(self.row_for(id))?);
+        Ok(())
     }
 
     fn forward(&mut self, ids: &[usize]) -> Result<Tensor> {

@@ -4,7 +4,7 @@
 //! Pro, TensorFlow Lite on a Pixel 2) with a faithful *architectural*
 //! model of what those runtimes do with an embedding model:
 //!
-//! * [`format`] — a flat binary model format (the "on-disk model" whose
+//! * [`format`](mod@format) — a flat binary model format (the "on-disk model" whose
 //!   size the paper's compression ratios govern).
 //! * [`mmap_sim`] — a page-granular lazy-residency simulation of
 //!   memory-mapped model loading ("CoreML and TF-Lite implement the lookup

@@ -1,0 +1,168 @@
+//! Caller-owned, reusable batch-lookup buffers.
+//!
+//! [`EmbedBatch`] is the response slab for the zero-copy batch API
+//! ([`crate::RouterHandle::get_batch_into`]): one flat `Vec<f32>` holds
+//! all rows, and every auxiliary buffer the call needs — per-shard id
+//! lists, per-shard output slabs, position maps — lives here too and is
+//! recycled call over call. After a warm-up call at a given batch shape,
+//! lookups perform **no per-row heap allocation**: the only steady-state
+//! allocation on the whole path is one response-slot `Arc` per shard
+//! touched.
+
+use std::sync::Arc;
+
+use crate::batcher::SlabSlot;
+
+/// A reusable batch of embedding rows, filled by
+/// [`crate::RouterHandle::get_batch_into`].
+///
+/// ```
+/// use memcom_core::{MemCom, MemComConfig};
+/// use memcom_serve::{EmbedBatch, EmbedServer, ServeConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let emb = MemCom::new(MemComConfig::new(1_000, 16, 100), &mut rng)?;
+/// let server = EmbedServer::start(&emb, ServeConfig::with_shards(2))?;
+/// let handle = server.handle();
+///
+/// let mut batch = EmbedBatch::new();
+/// for _ in 0..3 {
+///     // The same buffer is reused across calls — no per-row allocation.
+///     handle.get_batch_into(&[1, 2, 3, 500], &mut batch)?;
+///     assert_eq!(batch.len(), 4);
+///     assert_eq!(batch.row(3).len(), 16);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct EmbedBatch {
+    /// The ids of the current batch, in request order.
+    pub(crate) ids: Vec<usize>,
+    /// Row-major rows: row `k` at `data[k*dim .. (k+1)*dim]`.
+    pub(crate) data: Vec<f32>,
+    /// Row width of the current batch.
+    pub(crate) dim: usize,
+    /// Per-shard positions into the caller's id order (scratch).
+    pub(crate) shard_pos: Vec<Vec<usize>>,
+    /// Pool of `(ids, out)` buffers round-tripped through shard workers.
+    pub(crate) pool: Vec<(Vec<usize>, Vec<f32>)>,
+    /// In-flight shard slots (scratch, empty between calls).
+    pub(crate) pending: Vec<(usize, Arc<SlabSlot>)>,
+}
+
+impl EmbedBatch {
+    /// Creates an empty batch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows in the last filled batch.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Row width of the last filled batch (`0` before any fill).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The ids of the last filled batch, in request order.
+    pub fn ids(&self) -> &[usize] {
+        &self.ids
+    }
+
+    /// All rows as one flat row-major slice (`len() * dim()` values).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The `k`-th row (same order as [`ids`](Self::ids)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= len()`.
+    pub fn row(&self, k: usize) -> &[f32] {
+        &self.data[k * self.dim..(k + 1) * self.dim]
+    }
+
+    /// Iterates the rows in request order.
+    pub fn rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.dim.max(1))
+    }
+
+    /// Resets for a new fill: records the ids, sizes the data slab, and
+    /// prepares `n_shards` position lists — all reusing prior capacity.
+    pub(crate) fn begin(&mut self, ids: &[usize], dim: usize, n_shards: usize) {
+        self.ids.clear();
+        self.ids.extend_from_slice(ids);
+        self.dim = dim;
+        self.data.clear();
+        self.data.resize(ids.len() * dim, 0.0);
+        if self.shard_pos.len() < n_shards {
+            self.shard_pos.resize_with(n_shards, Vec::new);
+        }
+        for pos in &mut self.shard_pos {
+            pos.clear();
+        }
+        debug_assert!(self.pending.is_empty(), "pending cleared between calls");
+    }
+
+    /// Takes a pooled `(ids, out)` buffer pair (or a fresh one).
+    pub(crate) fn take_buffers(&mut self) -> (Vec<usize>, Vec<f32>) {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer pair to the pool for the next call.
+    pub(crate) fn recycle_buffers(&mut self, ids: Vec<usize>, out: Vec<f32>) {
+        self.pool.push((ids, out));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_on_fresh_batch() {
+        let batch = EmbedBatch::new();
+        assert_eq!(batch.len(), 0);
+        assert!(batch.is_empty());
+        assert_eq!(batch.dim(), 0);
+        assert!(batch.ids().is_empty());
+        assert!(batch.data().is_empty());
+        assert_eq!(batch.rows().count(), 0);
+    }
+
+    #[test]
+    fn begin_sizes_and_resets() {
+        let mut batch = EmbedBatch::new();
+        batch.begin(&[5, 9, 1], 4, 2);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.data().len(), 12);
+        assert_eq!(batch.shard_pos.len(), 2);
+        // Shrinking reuses capacity and clears stale rows.
+        batch.data[0] = 7.0;
+        batch.begin(&[2], 4, 2);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn buffer_pool_round_trip() {
+        let mut batch = EmbedBatch::new();
+        let (ids, out) = batch.take_buffers();
+        assert!(ids.is_empty() && out.is_empty());
+        batch.recycle_buffers(vec![1, 2], vec![0.5; 8]);
+        let (ids, out) = batch.take_buffers();
+        assert!(ids.capacity() >= 2);
+        assert_eq!(out.len(), 8);
+    }
+}

@@ -1,13 +1,18 @@
-//! Micro-batching request queues.
+//! Micro-batching request queues and response cells.
 //!
 //! Each shard owns one bounded queue and one worker. The worker blocks
 //! for the first request, then holds the batch open until either
 //! `max_batch` requests have coalesced or `max_wait` has elapsed since
 //! the batch opened — the classic throughput/latency micro-batching
 //! trade-off, made observable through [`FlushReason`] counters.
+//!
+//! Two response cells cover the two request shapes the router enqueues
+//! (see [`crate::router`]): a [`ResponseSlot`] carries one owned row
+//! back to a single-id requester, and a [`SlabSlot`] round-trips the
+//! caller's id/output buffers for the zero-copy batch path, so the
+//! buffers can be pooled and reused across calls.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -70,25 +75,94 @@ impl Default for ResponseSlot {
     }
 }
 
-/// One queued lookup.
+/// What a [`SlabSlot`] carries back: the request's id list and output
+/// slab (returned so the caller can recycle both buffers) plus the
+/// serving outcome. On a worker-lost blanket the buffers come back
+/// empty — they were consumed by the panicking batch.
 #[derive(Debug)]
-pub struct Request {
-    /// The entity id to embed.
-    pub id: usize,
-    /// Where the worker publishes the row.
-    pub slot: Arc<ResponseSlot>,
+pub struct SlabOutcome {
+    /// The ids the request asked for, handed back for reuse.
+    pub ids: Vec<usize>,
+    /// The output slab, `ids.len() * dim` values row-major on success.
+    pub out: Vec<f32>,
+    /// Whether the slab was filled.
+    pub result: Result<()>,
 }
 
-#[derive(Debug, Default)]
-struct QueueState {
-    queue: VecDeque<Request>,
+/// Response cell for the slab (batch) path: round-trips the caller's
+/// buffers so the steady state allocates nothing per row.
+#[derive(Debug)]
+pub struct SlabSlot {
+    state: Mutex<Option<SlabOutcome>>,
+    ready: Condvar,
+}
+
+impl SlabSlot {
+    /// Creates an unfilled slot.
+    pub fn new() -> Self {
+        SlabSlot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Publishes the outcome (first write wins, as for [`ResponseSlot`]).
+    pub fn fill(&self, outcome: SlabOutcome) {
+        let mut state = self.state.lock();
+        if state.is_none() {
+            *state = Some(outcome);
+            self.ready.notify_all();
+        }
+    }
+
+    /// Fails the request without buffers (panic-recovery blanket).
+    pub fn fail(&self, error: ServeError) {
+        self.fill(SlabOutcome {
+            ids: Vec::new(),
+            out: Vec::new(),
+            result: Err(error),
+        });
+    }
+
+    /// Blocks until the outcome arrives and takes it.
+    pub fn wait(&self) -> SlabOutcome {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(outcome) = state.take() {
+                return outcome;
+            }
+            self.ready.wait(&mut state);
+        }
+    }
+}
+
+impl Default for SlabSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    queue: VecDeque<T>,
     closed: bool,
 }
 
-/// A bounded MPSC queue with batch-oriented consumption.
+impl<T> Default for QueueState<T> {
+    fn default() -> Self {
+        QueueState {
+            queue: VecDeque::new(),
+            closed: false,
+        }
+    }
+}
+
+/// A bounded MPSC queue with batch-oriented consumption, generic over
+/// the queued request type (the router enqueues [`crate::router`]'s
+/// `Request`; tests use plain values).
 #[derive(Debug)]
-pub struct ShardQueue {
-    state: Mutex<QueueState>,
+pub struct ShardQueue<T> {
+    state: Mutex<QueueState<T>>,
     /// Wakes the worker when requests arrive or the queue closes.
     ready: Condvar,
     /// Wakes blocked producers when capacity frees up.
@@ -96,7 +170,7 @@ pub struct ShardQueue {
     capacity: usize,
 }
 
-impl ShardQueue {
+impl<T> ShardQueue<T> {
     /// Creates a queue holding at most `capacity` pending requests.
     ///
     /// # Panics
@@ -119,7 +193,7 @@ impl ShardQueue {
     /// # Errors
     ///
     /// Returns [`ServeError::ShuttingDown`] once the queue is closed.
-    pub fn push(&self, request: Request) -> Result<()> {
+    pub fn push(&self, request: T) -> Result<()> {
         let mut state = self.state.lock();
         loop {
             if state.closed {
@@ -140,11 +214,7 @@ impl ShardQueue {
     /// coalesces up to `max_batch` requests over at most `max_wait`.
     /// Returns `None` when the queue is closed *and* fully drained —
     /// the worker's exit signal.
-    pub fn pop_batch(
-        &self,
-        max_batch: usize,
-        max_wait: Duration,
-    ) -> Option<(Vec<Request>, FlushReason)> {
+    pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Option<(Vec<T>, FlushReason)> {
         let mut state = self.state.lock();
         // Phase 1: wait for the batch-opening request.
         loop {
@@ -166,7 +236,7 @@ impl ShardQueue {
             self.ready.wait_for(&mut state, deadline - now);
         }
         let take = state.queue.len().min(max_batch);
-        let batch: Vec<Request> = state.queue.drain(..take).collect();
+        let batch: Vec<T> = state.queue.drain(..take).collect();
         let reason = if batch.len() == max_batch {
             FlushReason::Full
         } else if state.closed {
@@ -196,23 +266,13 @@ impl ShardQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn request(id: usize) -> (Request, Arc<ResponseSlot>) {
-        let slot = Arc::new(ResponseSlot::new());
-        (
-            Request {
-                id,
-                slot: Arc::clone(&slot),
-            },
-            slot,
-        )
-    }
+    use std::sync::Arc;
 
     #[test]
     fn batch_flushes_when_full() {
         let q = ShardQueue::new(16);
-        for id in 0..5 {
-            q.push(request(id).0).unwrap();
+        for id in 0..5usize {
+            q.push(id).unwrap();
         }
         let (batch, reason) = q.pop_batch(4, Duration::from_secs(10)).unwrap();
         assert_eq!(batch.len(), 4, "full batch without waiting out the clock");
@@ -226,7 +286,7 @@ mod tests {
     #[test]
     fn batch_flushes_on_timeout() {
         let q = ShardQueue::new(16);
-        q.push(request(7).0).unwrap();
+        q.push(7usize).unwrap();
         let t0 = Instant::now();
         let (batch, reason) = q.pop_batch(64, Duration::from_millis(30)).unwrap();
         assert_eq!(batch.len(), 1);
@@ -240,13 +300,10 @@ mod tests {
     #[test]
     fn close_drains_then_signals_exit() {
         let q = ShardQueue::new(16);
-        q.push(request(1).0).unwrap();
-        q.push(request(2).0).unwrap();
+        q.push(1usize).unwrap();
+        q.push(2).unwrap();
         q.close();
-        assert!(matches!(
-            q.push(request(3).0),
-            Err(ServeError::ShuttingDown)
-        ));
+        assert!(matches!(q.push(3), Err(ServeError::ShuttingDown)));
         let (batch, reason) = q.pop_batch(64, Duration::from_secs(10)).unwrap();
         assert_eq!(batch.len(), 2, "queued work survives close");
         assert_eq!(reason, FlushReason::Drain);
@@ -262,11 +319,11 @@ mod tests {
         let q2 = Arc::clone(&q);
         let producer = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(10));
-            q2.push(request(9).0).unwrap();
+            q2.push(9usize).unwrap();
         });
         // Worker parked on an empty queue gets woken by the push.
         let (batch, _) = q.pop_batch(1, Duration::from_secs(5)).unwrap();
-        assert_eq!(batch[0].id, 9);
+        assert_eq!(batch[0], 9);
         producer.join().unwrap();
     }
 
@@ -286,5 +343,31 @@ mod tests {
         let filler = std::thread::spawn(move || slot2.fill(Ok(vec![1.0, 2.0])));
         assert_eq!(slot.wait().unwrap(), vec![1.0, 2.0]);
         filler.join().unwrap();
+    }
+
+    #[test]
+    fn slab_slot_round_trips_buffers() {
+        let slot = Arc::new(SlabSlot::new());
+        let slot2 = Arc::clone(&slot);
+        let filler = std::thread::spawn(move || {
+            slot2.fill(SlabOutcome {
+                ids: vec![3, 9],
+                out: vec![1.0, 2.0, 3.0, 4.0],
+                result: Ok(()),
+            });
+        });
+        let outcome = slot.wait();
+        filler.join().unwrap();
+        assert_eq!(outcome.ids, vec![3, 9]);
+        assert_eq!(outcome.out, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(outcome.result.is_ok());
+        // First write wins here too.
+        slot.fail(ServeError::WorkerLost);
+        slot.fill(SlabOutcome {
+            ids: Vec::new(),
+            out: Vec::new(),
+            result: Ok(()),
+        });
+        assert!(slot.wait().result.is_err());
     }
 }

@@ -54,24 +54,26 @@ impl LruCache {
     }
 
     /// Looks up `key`, marking it most-recently used on a hit.
-    pub fn get(&mut self, key: usize) -> Option<&Vec<f32>> {
+    pub fn get(&mut self, key: usize) -> Option<&[f32]> {
         let &slot = self.map.get(&key)?;
         self.detach(slot);
         self.attach_front(slot);
         Some(&self.slab[slot].value)
     }
 
-    /// Inserts (or refreshes) `key`, returning the evicted `(key, value)`
-    /// when the insert pushed out the least-recently-used row.
+    /// Inserts (or refreshes) `key`, taking ownership of `value` without
+    /// copying. Returns the evicted `(key, value)` when the insert pushed
+    /// out the least-recently-used row; a refresh hands back the
+    /// *previous* value for `key` so the caller can recycle its storage.
     pub fn insert(&mut self, key: usize, value: Vec<f32>) -> Option<(usize, Vec<f32>)> {
         if self.capacity == 0 {
             return None;
         }
         if let Some(&slot) = self.map.get(&key) {
-            self.slab[slot].value = value;
+            let old = std::mem::replace(&mut self.slab[slot].value, value);
             self.detach(slot);
             self.attach_front(slot);
-            return None;
+            return Some((key, old));
         }
         if self.map.len() < self.capacity {
             let slot = self.slab.len();
@@ -95,6 +97,47 @@ impl LruCache {
         self.map.insert(key, victim);
         self.attach_front(victim);
         Some((old_key, old_value))
+    }
+
+    /// Inserts (or refreshes) `key` by copying `row` into recycled
+    /// storage: a refresh rewrites the existing entry's buffer and a
+    /// full-cache insert rewrites the evicted victim's buffer, so at
+    /// steady state (cache at capacity, stable row width) this performs
+    /// **no heap allocation** — the serving hot path's fill.
+    pub fn insert_from(&mut self, key: usize, row: &[f32]) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            let value = &mut self.slab[slot].value;
+            value.clear();
+            value.extend_from_slice(row);
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        if self.map.len() < self.capacity {
+            let slot = self.slab.len();
+            self.slab.push(Entry {
+                key,
+                value: row.to_vec(),
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, slot);
+            self.attach_front(slot);
+            return;
+        }
+        let victim = self.tail;
+        self.detach(victim);
+        let old_key = self.slab[victim].key;
+        self.map.remove(&old_key);
+        let value = &mut self.slab[victim].value;
+        value.clear();
+        value.extend_from_slice(row);
+        self.slab[victim].key = key;
+        self.map.insert(key, victim);
+        self.attach_front(victim);
     }
 
     /// Keys from most- to least-recently used (test/debug helper).
@@ -167,7 +210,7 @@ mod tests {
         assert!(c.insert(2, row(2.0)).is_none());
         assert!(c.insert(3, row(3.0)).is_none());
         // Touch 1 so 2 becomes the LRU victim.
-        assert_eq!(c.get(1), Some(&row(1.0)));
+        assert_eq!(c.get(1), Some(row(1.0).as_slice()));
         let evicted = c.insert(4, row(4.0));
         assert_eq!(evicted, Some((2, row(2.0))));
         assert_eq!(c.keys_mru_order(), vec![4, 1, 3]);
@@ -187,20 +230,39 @@ mod tests {
     }
 
     #[test]
-    fn reinsert_updates_value_without_eviction() {
+    fn reinsert_updates_value_and_returns_old_storage() {
         let mut c = LruCache::new(2);
         c.insert(1, row(1.0));
         c.insert(2, row(2.0));
-        assert!(c.insert(1, row(9.0)).is_none());
-        assert_eq!(c.get(1), Some(&row(9.0)));
+        // A refresh hands the displaced value back for recycling.
+        assert_eq!(c.insert(1, row(9.0)), Some((1, row(1.0))));
+        assert_eq!(c.get(1), Some(row(9.0).as_slice()));
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_from_recycles_storage_in_place() {
+        let mut c = LruCache::new(2);
+        c.insert_from(1, &row(1.0));
+        c.insert_from(2, &row(2.0));
+        // Refresh: same entry, new contents, no length change.
+        c.insert_from(1, &row(9.0));
+        assert_eq!(c.get(1), Some(row(9.0).as_slice()));
+        assert_eq!(c.len(), 2);
+        // At capacity: the LRU victim's buffer is rewritten for the new key.
+        c.insert_from(3, &row(3.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none(), "2 was the LRU victim");
+        assert_eq!(c.get(3), Some(row(3.0).as_slice()));
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = LruCache::new(0);
         assert!(c.insert(1, row(1.0)).is_none());
+        c.insert_from(2, &row(2.0));
         assert!(c.get(1).is_none());
+        assert!(c.get(2).is_none());
         assert!(c.is_empty());
     }
 
@@ -210,14 +272,18 @@ mod tests {
         c.insert(1, row(1.0));
         assert_eq!(c.insert(2, row(2.0)), Some((1, row(1.0))));
         assert_eq!(c.keys_mru_order(), vec![2]);
-        assert_eq!(c.get(2), Some(&row(2.0)));
+        assert_eq!(c.get(2), Some(row(2.0).as_slice()));
     }
 
     #[test]
     fn stays_within_capacity_under_churn() {
         let mut c = LruCache::new(16);
         for i in 0..1000 {
-            c.insert(i % 37, row(i as f32));
+            if i % 2 == 0 {
+                c.insert(i % 37, row(i as f32));
+            } else {
+                c.insert_from(i % 37, &row(i as f32));
+            }
             assert!(c.len() <= 16);
             let keys = c.keys_mru_order();
             assert_eq!(keys.len(), c.len(), "list and map stay in sync");

@@ -21,6 +21,17 @@ pub enum ServeError {
         /// The vocabulary bound.
         vocab: usize,
     },
+    /// No model with this name is registered on the router (or it was
+    /// deregistered).
+    ModelNotFound {
+        /// The requested model name.
+        name: String,
+    },
+    /// A model with this name is already registered on the router.
+    ModelExists {
+        /// The conflicting model name.
+        name: String,
+    },
     /// The server is shutting down and no longer accepts requests.
     ShuttingDown,
     /// A serving worker disappeared without answering (a bug, not a load
@@ -38,6 +49,10 @@ impl fmt::Display for ServeError {
             ServeError::BadConfig { context } => write!(f, "bad serving config: {context}"),
             ServeError::IdOutOfVocab { id, vocab } => {
                 write!(f, "id {id} out of served vocabulary {vocab}")
+            }
+            ServeError::ModelNotFound { name } => write!(f, "no model named {name:?} is serving"),
+            ServeError::ModelExists { name } => {
+                write!(f, "a model named {name:?} is already serving")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::WorkerLost => write!(f, "serving worker dropped a request"),

@@ -1,16 +1,41 @@
-//! # memcom-serve — a sharded, micro-batching embedding-serving engine
+//! # memcom-serve — a sharded, micro-batching, multi-model embedding-serving engine
 //!
 //! The paper compresses embedding tables so recommendation models fit
 //! on-device; this crate takes the next step toward the repository's
-//! north star and *serves* those tables under concurrent lookup traffic.
+//! north star and *serves* those tables under concurrent lookup traffic,
+//! for any number of named models behind one router.
 //!
-//! Pipeline, per request: a [`ServeHandle`] routes the id to its shard's
-//! bounded queue (`shard = id % N`); the shard's worker coalesces
-//! concurrent requests into a micro-batch (flushing on `max_batch` or
-//! `max_wait`, see [`batcher`]); the batch hits the [`ShardedStore`] —
-//! hot rows answer from a per-shard LRU ([`cache`]), cold rows fault
-//! through the shard's private [`memcom_ondevice::MmapSim`] — and each
-//! requester is woken with its row.
+//! ## The layers
+//!
+//! Bottom-up, each module is one layer of the engine:
+//!
+//! * [`store`] — **storage**: [`ShardedStore`] partitions a trained
+//!   model's per-entity state across N shards, each with its own
+//!   simulated mmap ([`memcom_ondevice::MmapSim`]) and hot-row LRU
+//!   ([`cache`]). Its slab API ([`ShardedStore::lookup_batch`]) writes
+//!   rows straight into a caller-owned flat buffer — no per-row
+//!   allocation.
+//! * [`batcher`] — **queueing**: bounded per-shard [`batcher::ShardQueue`]s
+//!   coalesce concurrent requests into micro-batches (flushing on
+//!   `max_batch`/`max_wait`), answered through [`batcher::ResponseSlot`]
+//!   (one owned row) or [`batcher::SlabSlot`] (round-tripped batch
+//!   buffers).
+//! * [`router`] — **routing**: the [`Router`] owns the shard workers and
+//!   a registry of named models. Requests capture their model's current
+//!   store `Arc` at enqueue time, so [`Router::swap`] refreshes a table
+//!   atomically while in-flight lookups finish on the old snapshot, and
+//!   one worker set serves every model. Per-model stats via
+//!   [`Router::stats`].
+//! * [`batch`] — **client buffers**: [`EmbedBatch`], the reusable
+//!   response slab for the zero-copy batch API
+//!   ([`RouterHandle::get_batch_into`]).
+//! * [`server`] — **single-model facade**: [`EmbedServer`]/[`ServeHandle`],
+//!   the PR-1 API kept source-compatible as a thin wrapper over one
+//!   router model ([`DEFAULT_MODEL`]).
+//! * [`loadgen`] — **measurement**: open/closed-loop Zipf traffic
+//!   ([`run_load`]) and mixed multi-model traffic ([`run_mixed_load`])
+//!   with per-model QPS/latency reporting; [`histogram`] holds the
+//!   mergeable latency histogram.
 //!
 //! Sharding exploits the structure of MEmCom itself: the *small shared
 //! table* is replicated per shard while the *large per-entity tables*
@@ -21,7 +46,7 @@
 //!
 //! ```
 //! use memcom_core::{MemCom, MemComConfig};
-//! use memcom_serve::{EmbedServer, LoadGenConfig, ServeConfig, run_load};
+//! use memcom_serve::{EmbedBatch, EmbedServer, LoadGenConfig, ServeConfig, run_load};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,6 +59,11 @@
 //! let row = handle.get(123)?;
 //! assert_eq!(row.len(), 32);
 //!
+//! // …zero-copy batches into a reusable slab…
+//! let mut batch = EmbedBatch::new();
+//! handle.get_batch_into(&[1, 2, 3], &mut batch)?;
+//! assert_eq!(batch.row(0).len(), 32);
+//!
 //! // …or a measured Zipf load run.
 //! let config = LoadGenConfig { clients: 2, requests_per_client: 200, ..Default::default() };
 //! let report = run_load(&handle, &config)?;
@@ -43,20 +73,26 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod batcher;
 pub mod cache;
 pub mod config;
 pub mod error;
 pub mod histogram;
 pub mod loadgen;
+pub mod router;
 pub mod server;
 pub mod store;
 
+pub use batch::EmbedBatch;
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use histogram::{fmt_nanos, LatencyHistogram};
-pub use loadgen::{run_load, LoadGenConfig, LoadMode, LoadReport};
-pub use server::{EmbedServer, ServeHandle, ServeStats};
+pub use loadgen::{
+    run_load, run_mixed_load, LoadGenConfig, LoadMode, LoadReport, ModelLoadReport, ModelMix,
+};
+pub use router::{Router, RouterHandle, ServeStats, DEFAULT_MODEL};
+pub use server::{EmbedServer, ServeHandle};
 pub use store::{CacheStats, ShardedStore};
 
 /// Convenience alias for results returned throughout this crate.

@@ -11,14 +11,24 @@
 //!   completion, and latency is measured from the *scheduled* send time,
 //!   so queueing delay under overload is charged to the system
 //!   (avoiding coordinated omission).
+//!
+//! Two entry points: [`run_load`] drives one model through a
+//! [`ServeHandle`], and [`run_mixed_load`] drives several models of a
+//! [`Router`] at once, each request sampling its target model from a
+//! per-model weight vector — the multi-model analogue of production
+//! traffic where per-country or A/B table variants share one serving
+//! tier. Both report per-model throughput and latency in
+//! [`LoadReport::per_model`].
 
 use std::time::{Duration, Instant};
 
 use memcom_data::Zipf;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
+use crate::batch::EmbedBatch;
 use crate::histogram::LatencyHistogram;
+use crate::router::{Router, RouterHandle};
 use crate::server::ServeHandle;
 use crate::{Result, ServeError};
 
@@ -65,6 +75,52 @@ impl Default for LoadGenConfig {
     }
 }
 
+/// One model's share of a mixed load run (see [`run_mixed_load`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMix {
+    /// Registered model name on the router.
+    pub model: String,
+    /// Relative traffic weight (any positive scale; normalized
+    /// internally).
+    pub weight: f64,
+}
+
+impl ModelMix {
+    /// Convenience constructor.
+    pub fn new(model: impl Into<String>, weight: f64) -> Self {
+        ModelMix {
+            model: model.into(),
+            weight,
+        }
+    }
+}
+
+/// Per-model slice of a load run.
+#[derive(Debug, Clone)]
+pub struct ModelLoadReport {
+    /// The model name.
+    pub model: String,
+    /// Requests routed to this model.
+    pub requests: u64,
+    /// Wall-clock span of the whole run (shared across models).
+    pub elapsed: Duration,
+    /// This model's per-request latency distribution (p50/p95/p99 in
+    /// nanoseconds via [`LatencyHistogram`]).
+    pub histogram: LatencyHistogram,
+}
+
+impl ModelLoadReport {
+    /// Achieved requests per second for this model.
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+}
+
 /// What a load run observed.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -74,8 +130,11 @@ pub struct LoadReport {
     pub ids_per_request: usize,
     /// Wall-clock span of the run.
     pub elapsed: Duration,
-    /// Per-request latency distribution.
+    /// Per-request latency distribution across all models.
     pub histogram: LatencyHistogram,
+    /// Per-model breakdown (one entry per mixed model; a single entry
+    /// for [`run_load`]).
+    pub per_model: Vec<ModelLoadReport>,
 }
 
 impl LoadReport {
@@ -95,6 +154,58 @@ impl LoadReport {
     }
 }
 
+fn check_common(config: &LoadGenConfig) -> Result<()> {
+    if config.clients == 0 || config.requests_per_client == 0 || config.ids_per_request == 0 {
+        return Err(ServeError::BadConfig {
+            context: "load generation needs >= 1 client, request, and id per request".into(),
+        });
+    }
+    Ok(())
+}
+
+fn arrival_tick(mode: LoadMode, clients: usize) -> Result<Duration> {
+    match mode {
+        LoadMode::Closed => Ok(Duration::ZERO),
+        LoadMode::Open { target_qps } => {
+            if !target_qps.is_finite() || target_qps <= 0.0 {
+                return Err(ServeError::BadConfig {
+                    context: format!("open-loop target_qps must be positive, got {target_qps}"),
+                });
+            }
+            let _ = clients; // clients interleave on the aggregate schedule
+            Ok(Duration::from_secs_f64(1.0 / target_qps))
+        }
+    }
+}
+
+/// When request `k` of `client_idx` starts, under the configured
+/// discipline. Open loop sleeps until the scheduled arrival and measures
+/// from it, charging queueing delay to the server, not the sleeping
+/// client.
+fn request_start(
+    mode: LoadMode,
+    tick: Duration,
+    started: Instant,
+    client_idx: usize,
+    clients: usize,
+    k: usize,
+) -> Instant {
+    match mode {
+        LoadMode::Closed => Instant::now(),
+        LoadMode::Open { .. } => {
+            // u32 Duration multiplication would wrap on long soaks;
+            // scale in f64 seconds instead.
+            let index = (client_idx + k * clients) as f64;
+            let scheduled = started + Duration::from_secs_f64(tick.as_secs_f64() * index);
+            let now = Instant::now();
+            if scheduled > now {
+                std::thread::sleep(scheduled - now);
+            }
+            scheduled
+        }
+    }
+}
+
 /// Runs Zipf traffic against `handle` and collects latency + throughput.
 ///
 /// # Errors
@@ -103,22 +214,19 @@ impl LoadReport {
 /// non-positive Zipf exponent, and propagates the first request failure
 /// from any client.
 pub fn run_load(handle: &ServeHandle, config: &LoadGenConfig) -> Result<LoadReport> {
-    if config.clients == 0 || config.requests_per_client == 0 || config.ids_per_request == 0 {
-        return Err(ServeError::BadConfig {
-            context: "load generation needs >= 1 client, request, and id per request".into(),
-        });
-    }
+    check_common(config)?;
     let zipf =
         Zipf::new(handle.vocab(), config.zipf_exponent).map_err(|e| ServeError::BadConfig {
             context: format!("zipf construction failed: {e}"),
         })?;
+    let tick = arrival_tick(config.mode, config.clients)?;
 
     let started = Instant::now();
     let outcomes: Vec<Result<LatencyHistogram>> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..config.clients)
             .map(|client_idx| {
                 let zipf = &zipf;
-                scope.spawn(move || client_loop(handle, zipf, config, client_idx, started))
+                scope.spawn(move || client_loop(handle, zipf, config, tick, client_idx, started))
             })
             .collect();
         workers
@@ -138,6 +246,12 @@ pub fn run_load(handle: &ServeHandle, config: &LoadGenConfig) -> Result<LoadRepo
         requests: histogram.count(),
         ids_per_request: config.ids_per_request,
         elapsed,
+        per_model: vec![ModelLoadReport {
+            model: handle.model_name().to_string(),
+            requests: histogram.count(),
+            elapsed,
+            histogram: histogram.clone(),
+        }],
         histogram,
     })
 }
@@ -146,43 +260,15 @@ fn client_loop(
     handle: &ServeHandle,
     zipf: &Zipf,
     config: &LoadGenConfig,
+    tick: Duration,
     client_idx: usize,
     started: Instant,
 ) -> Result<LatencyHistogram> {
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client_idx as u64));
     let mut histogram = LatencyHistogram::new();
-    // Open loop: clients interleave on a shared schedule of
-    // `1/target_qps` ticks, client `i` owning ticks `i, i+C, i+2C, …`.
-    let tick = match config.mode {
-        LoadMode::Closed => Duration::ZERO,
-        LoadMode::Open { target_qps } => {
-            if !target_qps.is_finite() || target_qps <= 0.0 {
-                return Err(ServeError::BadConfig {
-                    context: format!("open-loop target_qps must be positive, got {target_qps}"),
-                });
-            }
-            Duration::from_secs_f64(1.0 / target_qps)
-        }
-    };
-
     for k in 0..config.requests_per_client {
         let ids = zipf.sample_many(config.ids_per_request, &mut rng);
-        let t0 = match config.mode {
-            LoadMode::Closed => Instant::now(),
-            LoadMode::Open { .. } => {
-                // u32 Duration multiplication would wrap on long soaks;
-                // scale in f64 seconds instead.
-                let index = (client_idx + k * config.clients) as f64;
-                let scheduled = started + Duration::from_secs_f64(tick.as_secs_f64() * index);
-                let now = Instant::now();
-                if scheduled > now {
-                    std::thread::sleep(scheduled - now);
-                }
-                // Latency counts from the scheduled arrival, charging
-                // queueing delay to the server, not the sleeping client.
-                scheduled
-            }
-        };
+        let t0 = request_start(config.mode, tick, started, client_idx, config.clients, k);
         if let [id] = ids.as_slice() {
             handle.get(*id)?;
         } else {
@@ -193,10 +279,154 @@ fn client_loop(
     Ok(histogram)
 }
 
+/// Runs mixed multi-model Zipf traffic against a [`Router`]: each
+/// request picks its target model from `mix`'s weight vector, samples
+/// that model's Zipf id distribution, and goes through the model's
+/// handle — single-id requests via `get`, larger requests via the
+/// zero-copy [`RouterHandle::get_batch_into`] slab path with one
+/// reusable [`EmbedBatch`] per client. The report carries a per-model
+/// QPS/latency breakdown in [`LoadReport::per_model`] (ordered as
+/// `mix`).
+///
+/// # Errors
+///
+/// Returns [`ServeError::BadConfig`] for degenerate configs, an empty
+/// mix, or non-positive weights; [`ServeError::ModelNotFound`] for
+/// unregistered mix entries; and propagates the first request failure
+/// from any client.
+pub fn run_mixed_load(
+    router: &Router,
+    mix: &[ModelMix],
+    config: &LoadGenConfig,
+) -> Result<LoadReport> {
+    check_common(config)?;
+    if mix.is_empty() {
+        return Err(ServeError::BadConfig {
+            context: "mixed load needs >= 1 model in the mix".into(),
+        });
+    }
+    let mut cumulative = Vec::with_capacity(mix.len());
+    let mut total_weight = 0.0f64;
+    for share in mix {
+        if !share.weight.is_finite() || share.weight <= 0.0 {
+            return Err(ServeError::BadConfig {
+                context: format!(
+                    "model {:?} has non-positive weight {}",
+                    share.model, share.weight
+                ),
+            });
+        }
+        total_weight += share.weight;
+        cumulative.push(total_weight);
+    }
+    let handles: Vec<RouterHandle> = mix
+        .iter()
+        .map(|share| router.handle(&share.model))
+        .collect::<Result<_>>()?;
+    let zipfs: Vec<Zipf> = handles
+        .iter()
+        .map(|h| {
+            Zipf::new(h.vocab(), config.zipf_exponent).map_err(|e| ServeError::BadConfig {
+                context: format!("zipf construction failed: {e}"),
+            })
+        })
+        .collect::<Result<_>>()?;
+    let tick = arrival_tick(config.mode, config.clients)?;
+
+    let started = Instant::now();
+    let outcomes: Vec<Result<Vec<LatencyHistogram>>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.clients)
+            .map(|client_idx| {
+                let (handles, zipfs, cumulative) = (&handles, &zipfs, &cumulative);
+                scope.spawn(move || {
+                    mixed_client_loop(
+                        handles,
+                        zipfs,
+                        cumulative,
+                        total_weight,
+                        config,
+                        tick,
+                        client_idx,
+                        started,
+                    )
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("load-generator client panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut per_model_hists: Vec<LatencyHistogram> =
+        (0..mix.len()).map(|_| LatencyHistogram::new()).collect();
+    for outcome in outcomes {
+        for (merged, client_hist) in per_model_hists.iter_mut().zip(outcome?) {
+            merged.merge(&client_hist);
+        }
+    }
+    let mut histogram = LatencyHistogram::new();
+    for h in &per_model_hists {
+        histogram.merge(h);
+    }
+    let per_model = mix
+        .iter()
+        .zip(per_model_hists)
+        .map(|(share, h)| ModelLoadReport {
+            model: share.model.clone(),
+            requests: h.count(),
+            elapsed,
+            histogram: h,
+        })
+        .collect();
+    Ok(LoadReport {
+        requests: histogram.count(),
+        ids_per_request: config.ids_per_request,
+        elapsed,
+        histogram,
+        per_model,
+    })
+}
+
+#[allow(clippy::too_many_arguments)] // internal fan-out helper
+fn mixed_client_loop(
+    handles: &[RouterHandle],
+    zipfs: &[Zipf],
+    cumulative: &[f64],
+    total_weight: f64,
+    config: &LoadGenConfig,
+    tick: Duration,
+    client_idx: usize,
+    started: Instant,
+) -> Result<Vec<LatencyHistogram>> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client_idx as u64));
+    let mut histograms: Vec<LatencyHistogram> = (0..handles.len())
+        .map(|_| LatencyHistogram::new())
+        .collect();
+    let mut batch = EmbedBatch::new();
+    for k in 0..config.requests_per_client {
+        let draw = rng.gen::<f64>() * total_weight;
+        let model_idx = cumulative
+            .iter()
+            .position(|&c| draw < c)
+            .unwrap_or(handles.len() - 1);
+        let ids = zipfs[model_idx].sample_many(config.ids_per_request, &mut rng);
+        let t0 = request_start(config.mode, tick, started, client_idx, config.clients, k);
+        if let [id] = ids.as_slice() {
+            handles[model_idx].get(*id)?;
+        } else {
+            handles[model_idx].get_batch_into(&ids, &mut batch)?;
+        }
+        histograms[model_idx].record(t0.elapsed().as_nanos() as u64);
+    }
+    Ok(histograms)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{EmbedServer, ServeConfig};
+    use crate::{EmbedServer, Router, ServeConfig};
     use memcom_core::{MemCom, MemComConfig};
 
     fn test_server() -> EmbedServer {
@@ -224,6 +454,8 @@ mod tests {
         assert!(report.qps() > 0.0);
         assert!(report.histogram.p50() > 0);
         assert!(report.histogram.p99() >= report.histogram.p50());
+        assert_eq!(report.per_model.len(), 1);
+        assert_eq!(report.per_model[0].requests, 800);
         let stats = server.shutdown();
         assert_eq!(stats.requests, 800);
     }
@@ -298,5 +530,78 @@ mod tests {
             "zipf(1.5) should cache well, got {}",
             stats.cache.hit_rate()
         );
+    }
+
+    fn two_model_router() -> Router {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = MemCom::new(MemComConfig::new(1_000, 8, 100), &mut rng).unwrap();
+        let b = MemCom::new(MemComConfig::new(500, 8, 50), &mut rng).unwrap();
+        let router = Router::start(ServeConfig {
+            n_shards: 2,
+            max_batch: 16,
+            max_wait: Duration::from_micros(100),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        router.register("a", &a).unwrap();
+        router.register("b", &b).unwrap();
+        router
+    }
+
+    #[test]
+    fn mixed_load_reports_per_model() {
+        let router = two_model_router();
+        let mix = [ModelMix::new("a", 3.0), ModelMix::new("b", 1.0)];
+        let config = LoadGenConfig {
+            clients: 2,
+            requests_per_client: 400,
+            ids_per_request: 4,
+            ..LoadGenConfig::default()
+        };
+        let report = run_mixed_load(&router, &mix, &config).unwrap();
+        assert_eq!(report.requests, 800);
+        assert_eq!(report.per_model.len(), 2);
+        let (a, b) = (&report.per_model[0], &report.per_model[1]);
+        assert_eq!(a.model, "a");
+        assert_eq!(b.model, "b");
+        assert_eq!(a.requests + b.requests, 800);
+        // 3:1 weights: a should clearly dominate (allowing sampling noise).
+        assert!(
+            a.requests > 2 * b.requests,
+            "expected ~3:1 split, got {}:{}",
+            a.requests,
+            b.requests
+        );
+        assert!(a.qps() > 0.0 && b.qps() > 0.0);
+        assert!(a.histogram.p99() >= a.histogram.p50());
+        // Server-side per-model accounting saw the same totals (in rows).
+        let stats_a = router.stats("a").unwrap();
+        let stats_b = router.stats("b").unwrap();
+        assert_eq!(
+            stats_a.requests + stats_b.requests,
+            800 * config.ids_per_request as u64
+        );
+    }
+
+    #[test]
+    fn mixed_load_rejects_bad_mixes() {
+        let router = two_model_router();
+        let config = LoadGenConfig {
+            clients: 1,
+            requests_per_client: 10,
+            ..LoadGenConfig::default()
+        };
+        assert!(matches!(
+            run_mixed_load(&router, &[], &config),
+            Err(ServeError::BadConfig { .. })
+        ));
+        assert!(matches!(
+            run_mixed_load(&router, &[ModelMix::new("a", 0.0)], &config),
+            Err(ServeError::BadConfig { .. })
+        ));
+        assert!(matches!(
+            run_mixed_load(&router, &[ModelMix::new("nope", 1.0)], &config),
+            Err(ServeError::ModelNotFound { .. })
+        ));
     }
 }

@@ -1,0 +1,881 @@
+//! Multi-model routing: one set of shard workers, many named models.
+//!
+//! The [`Router`] owns the serving machinery — per-shard bounded queues
+//! and worker threads — while a registry maps model names to
+//! [`ShardedStore`] snapshots. Registering a model costs nothing at the
+//! worker level: every request captures an `Arc` of its model's current
+//! store at enqueue time, so workers are stateless dispatchers and a
+//! [`swap`](Router::swap) is a single atomic `Arc` flip. In-flight
+//! requests finish against the snapshot they were routed to; the next
+//! request sees the new table — online refresh without stopping traffic.
+//!
+//! Two request shapes flow through the queues:
+//!
+//! * **One** — a single id answered with an owned row through a
+//!   [`ResponseSlot`] (the legacy [`crate::ServeHandle::get`] path).
+//! * **Slab** — a per-shard id list answered by writing rows into a
+//!   caller-provided flat buffer that round-trips through a
+//!   [`SlabSlot`], so the batch path ([`RouterHandle::get_batch_into`])
+//!   performs no per-row heap allocation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use memcom_ondevice::engine::RunStats;
+use parking_lot::RwLock;
+
+use crate::batcher::{FlushReason, ResponseSlot, ShardQueue, SlabOutcome, SlabSlot};
+use crate::store::{CacheStats, ShardedStore};
+use crate::{EmbedBatch, Result, ServeConfig, ServeError};
+
+/// The model name [`crate::EmbedServer`] registers its single model
+/// under.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// Per-model request counter (rows served through the queues).
+#[derive(Debug, Default)]
+pub(crate) struct ModelCounters {
+    pub(crate) requests: AtomicU64,
+}
+
+/// Router-global batching counters.
+#[derive(Debug, Default)]
+struct BatchCounters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    flushes_full: AtomicU64,
+    flushes_timeout: AtomicU64,
+    flushes_drain: AtomicU64,
+    max_batch_observed: AtomicU64,
+}
+
+/// Aggregated serving statistics for one model (see [`Router::stats`]).
+///
+/// `requests` counts rows served for *this* model; the batching counters
+/// (`batches`, `flushes_*`, `max_batch_observed`) are router-wide since
+/// shard workers batch across models; `cache`/`run_stats` describe the
+/// model's *current* store snapshot (they restart from zero after a
+/// [`Router::swap`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeStats {
+    /// Rows served for this model through batches.
+    pub requests: u64,
+    /// Batches executed across the router.
+    pub batches: u64,
+    /// Batches flushed because they reached `max_batch`.
+    pub flushes_full: u64,
+    /// Batches flushed because `max_wait` elapsed.
+    pub flushes_timeout: u64,
+    /// Batches flushed while draining at shutdown.
+    pub flushes_drain: u64,
+    /// Largest batch observed, in rows.
+    pub max_batch_observed: usize,
+    /// Hot-row cache effectiveness of the current store snapshot.
+    pub cache: CacheStats,
+    /// Counted work + resident footprint of the current store snapshot,
+    /// in the on-device cost model's terms.
+    pub run_stats: RunStats,
+}
+
+impl ServeStats {
+    /// Mean rows per batch (`0` before any traffic).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One registered model: a swappable store snapshot plus counters that
+/// survive snapshot swaps.
+#[derive(Debug)]
+struct ModelEntry {
+    name: String,
+    store: RwLock<Arc<ShardedStore>>,
+    counters: Arc<ModelCounters>,
+    /// Set by [`Router::deregister`]; handles then fail fast instead of
+    /// serving a model the operator retired.
+    retired: AtomicBool,
+}
+
+impl ModelEntry {
+    fn snapshot(&self) -> Arc<ShardedStore> {
+        Arc::clone(&self.store.read())
+    }
+}
+
+/// A single-id request: one row back through a [`ResponseSlot`].
+#[derive(Debug)]
+pub(crate) struct OneRequest {
+    pub(crate) id: usize,
+    pub(crate) store: Arc<ShardedStore>,
+    pub(crate) counters: Arc<ModelCounters>,
+    pub(crate) slot: Arc<ResponseSlot>,
+}
+
+/// A slab request: `ids` all route to one shard, rows land in `out`
+/// (`ids.len() * dim` values), and both buffers round-trip through the
+/// [`SlabSlot`] for reuse.
+#[derive(Debug)]
+pub(crate) struct SlabRequest {
+    pub(crate) ids: Vec<usize>,
+    pub(crate) out: Vec<f32>,
+    pub(crate) store: Arc<ShardedStore>,
+    pub(crate) counters: Arc<ModelCounters>,
+    pub(crate) slot: Arc<SlabSlot>,
+}
+
+/// What shard queues carry.
+#[derive(Debug)]
+pub(crate) enum Request {
+    One(OneRequest),
+    Slab(SlabRequest),
+}
+
+impl Request {
+    fn rows(&self) -> usize {
+        match self {
+            Request::One(_) => 1,
+            Request::Slab(s) => s.ids.len(),
+        }
+    }
+
+    fn slot_ref(&self) -> SlotRef {
+        match self {
+            Request::One(r) => SlotRef::One(Arc::clone(&r.slot)),
+            Request::Slab(s) => SlotRef::Slab(Arc::clone(&s.slot)),
+        }
+    }
+}
+
+/// A cheap handle to either slot kind, kept aside so a panicking batch
+/// can be blanketed with errors without keeping the requests alive.
+enum SlotRef {
+    One(Arc<ResponseSlot>),
+    Slab(Arc<SlabSlot>),
+}
+
+impl SlotRef {
+    fn fail(&self, error: ServeError) {
+        match self {
+            SlotRef::One(slot) => slot.fill(Err(error)),
+            SlotRef::Slab(slot) => slot.fail(error),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RouterInner {
+    queues: Vec<ShardQueue<Request>>,
+    batch: BatchCounters,
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    config: ServeConfig,
+}
+
+impl RouterInner {
+    fn entry(&self, model: &str) -> Result<Arc<ModelEntry>> {
+        self.models
+            .read()
+            .get(model)
+            .map(Arc::clone)
+            .ok_or_else(|| ServeError::ModelNotFound {
+                name: model.to_string(),
+            })
+    }
+
+    fn stats_for(&self, entry: &ModelEntry) -> ServeStats {
+        let b = &self.batch;
+        let store = entry.snapshot();
+        ServeStats {
+            requests: entry.counters.requests.load(Ordering::Relaxed),
+            batches: b.batches.load(Ordering::Relaxed),
+            flushes_full: b.flushes_full.load(Ordering::Relaxed),
+            flushes_timeout: b.flushes_timeout.load(Ordering::Relaxed),
+            flushes_drain: b.flushes_drain.load(Ordering::Relaxed),
+            max_batch_observed: b.max_batch_observed.load(Ordering::Relaxed) as usize,
+            cache: store.cache_stats(),
+            run_stats: store.run_stats(),
+        }
+    }
+
+    fn check_store(&self, store: &ShardedStore) -> Result<()> {
+        if store.n_shards() != self.config.n_shards {
+            return Err(ServeError::BadConfig {
+                context: format!(
+                    "store has {} shards but router runs {}",
+                    store.n_shards(),
+                    self.config.n_shards
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A multi-model embedding router: shared shard workers serving any
+/// number of named, atomically swappable model snapshots.
+///
+/// ```
+/// use memcom_core::{MemCom, MemComConfig};
+/// use memcom_serve::{Router, ServeConfig, ShardedStore};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let us = MemCom::new(MemComConfig::new(10_000, 32, 1_000), &mut rng)?;
+/// let de = MemCom::new(MemComConfig::new(5_000, 32, 500), &mut rng)?;
+///
+/// let router = Router::start(ServeConfig::with_shards(2))?;
+/// router.register("country/us", &us)?;
+/// router.register("country/de", &de)?;
+///
+/// let row = router.handle("country/us")?.get(123)?;
+/// assert_eq!(row.len(), 32);
+///
+/// // Online table refresh: an atomic snapshot swap, no restart.
+/// let retrained = MemCom::new(MemComConfig::new(5_000, 32, 500), &mut rng)?;
+/// let store = ShardedStore::build(&retrained, 2, 1024, 16 * 1024)?;
+/// let _old = router.swap("country/de", store)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Router {
+    inner: Arc<RouterInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Validates `config` and starts the shard workers (no models yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for invalid configs — this is
+    /// unconditional, callers cannot skip validation.
+    pub fn start(config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        let queues = (0..config.n_shards)
+            .map(|_| ShardQueue::new(config.queue_depth))
+            .collect();
+        let inner = Arc::new(RouterInner {
+            queues,
+            batch: BatchCounters::default(),
+            models: RwLock::new(HashMap::new()),
+            config,
+        });
+        let workers = (0..inner.config.n_shards)
+            .map(|shard_idx| {
+                let inner = Arc::clone(&inner);
+                let (max_batch, max_wait) = (inner.config.max_batch, inner.config.max_wait);
+                std::thread::Builder::new()
+                    .name(format!("memcom-serve-{shard_idx}"))
+                    .spawn(move || worker_loop(&inner, shard_idx, max_batch, max_wait))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Ok(Router { inner, workers })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.config
+    }
+
+    /// Builds a store from `emb` (using the router's config for shard
+    /// count, cache capacity and page size) and registers it as `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelExists`] for duplicate names and
+    /// propagates store-construction failures.
+    pub fn register(&self, name: &str, emb: &dyn memcom_core::EmbeddingCompressor) -> Result<()> {
+        let config = &self.inner.config;
+        let store = ShardedStore::build(
+            emb,
+            config.n_shards,
+            config.cache_capacity,
+            config.page_size,
+        )?;
+        self.register_store(name, store)
+    }
+
+    /// Registers an already-built store as `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelExists`] for duplicate names and
+    /// [`ServeError::BadConfig`] when the store's shard count disagrees
+    /// with the router's.
+    pub fn register_store(&self, name: &str, store: ShardedStore) -> Result<()> {
+        self.inner.check_store(&store)?;
+        let mut models = self.inner.models.write();
+        if models.contains_key(name) {
+            return Err(ServeError::ModelExists {
+                name: name.to_string(),
+            });
+        }
+        models.insert(
+            name.to_string(),
+            Arc::new(ModelEntry {
+                name: name.to_string(),
+                store: RwLock::new(Arc::new(store)),
+                counters: Arc::new(ModelCounters::default()),
+                retired: AtomicBool::new(false),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Atomically swaps `name`'s store snapshot (`Arc` flip), returning
+    /// the previous snapshot. Requests already enqueued finish against
+    /// the old snapshot — which stays fully readable through the returned
+    /// `Arc` — while every subsequent request reads the new one; traffic
+    /// never stops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelNotFound`] for unknown names and
+    /// [`ServeError::BadConfig`] on a shard-count mismatch.
+    pub fn swap(&self, name: &str, new_store: ShardedStore) -> Result<Arc<ShardedStore>> {
+        self.inner.check_store(&new_store)?;
+        let entry = self.inner.entry(name)?;
+        let mut slot = entry.store.write();
+        Ok(std::mem::replace(&mut *slot, Arc::new(new_store)))
+    }
+
+    /// Removes `name` from the registry. Existing handles fail fast with
+    /// [`ServeError::ModelNotFound`]; requests already in flight still
+    /// complete against their captured snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelNotFound`] for unknown names.
+    pub fn deregister(&self, name: &str) -> Result<()> {
+        let entry =
+            self.inner
+                .models
+                .write()
+                .remove(name)
+                .ok_or_else(|| ServeError::ModelNotFound {
+                    name: name.to_string(),
+                })?;
+        entry.retired.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Registered model names, sorted.
+    pub fn model_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.models.read().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// A cloneable client handle bound to `name`. Handles stay valid
+    /// across shutdown and swaps; after [`deregister`](Self::deregister)
+    /// lookups fail with [`ServeError::ModelNotFound`], while the
+    /// metadata accessors ([`RouterHandle::vocab`]/[`RouterHandle::dim`]/
+    /// [`RouterHandle::snapshot`]/[`RouterHandle::stats`]) keep
+    /// reporting the final snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelNotFound`] for unknown names.
+    pub fn handle(&self, name: &str) -> Result<RouterHandle> {
+        let model = self.inner.entry(name)?;
+        Ok(RouterHandle {
+            inner: Arc::clone(&self.inner),
+            model,
+        })
+    }
+
+    /// The current store snapshot of `name` (footprint/cost inspection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelNotFound`] for unknown names.
+    pub fn snapshot(&self, name: &str) -> Result<Arc<ShardedStore>> {
+        Ok(self.inner.entry(name)?.snapshot())
+    }
+
+    /// Current statistics for `name` (see [`ServeStats`] for which
+    /// fields are per-model vs router-wide).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelNotFound`] for unknown names.
+    pub fn stats(&self, name: &str) -> Result<ServeStats> {
+        let entry = self.inner.entry(name)?;
+        Ok(self.inner.stats_for(&entry))
+    }
+
+    /// Stops accepting requests, drains every queue (in-flight requests
+    /// of **all** models are answered, none dropped or misrouted), joins
+    /// the workers, and returns final per-model statistics sorted by
+    /// name.
+    pub fn shutdown(mut self) -> Vec<(String, ServeStats)> {
+        self.shutdown_in_place();
+        let entries: Vec<Arc<ModelEntry>> = self.inner.models.read().values().cloned().collect();
+        let mut stats: Vec<(String, ServeStats)> = entries
+            .iter()
+            .map(|e| (e.name.clone(), self.inner.stats_for(e)))
+            .collect();
+        stats.sort_by(|a, b| a.0.cmp(&b.0));
+        stats
+    }
+
+    fn shutdown_in_place(&mut self) {
+        for queue in &self.inner.queues {
+            queue.close();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// A cheap, cloneable, thread-safe client bound to one model of a
+/// [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterHandle {
+    inner: Arc<RouterInner>,
+    model: Arc<ModelEntry>,
+}
+
+impl RouterHandle {
+    /// The model this handle routes to.
+    pub fn model_name(&self) -> &str {
+        &self.model.name
+    }
+
+    /// The model's current store snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelNotFound`] once the model is
+    /// deregistered.
+    pub fn store(&self) -> Result<Arc<ShardedStore>> {
+        if self.model.retired.load(Ordering::Acquire) {
+            return Err(ServeError::ModelNotFound {
+                name: self.model.name.clone(),
+            });
+        }
+        Ok(self.model.snapshot())
+    }
+
+    /// The model's current store snapshot regardless of registration
+    /// state — deregistration fails *lookups*, but footprint and cost
+    /// inspection stay available on the final snapshot.
+    pub fn snapshot(&self) -> Arc<ShardedStore> {
+        self.model.snapshot()
+    }
+
+    /// Current statistics for this handle's model (available even after
+    /// deregistration; see [`ServeStats`] for per-model vs router-wide
+    /// fields).
+    pub fn stats(&self) -> ServeStats {
+        self.inner.stats_for(&self.model)
+    }
+
+    /// Served vocabulary size of the current snapshot (still answers
+    /// after deregistration, from the final snapshot).
+    pub fn vocab(&self) -> usize {
+        self.model.snapshot().vocab()
+    }
+
+    /// Embedding dimensionality of the current snapshot (still answers
+    /// after deregistration, from the final snapshot).
+    pub fn dim(&self) -> usize {
+        self.model.snapshot().dim()
+    }
+
+    /// Looks up one embedding row, blocking until the answer arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::IdOutOfVocab`] for bad ids,
+    /// [`ServeError::ModelNotFound`] after deregistration, and
+    /// [`ServeError::ShuttingDown`] after shutdown.
+    pub fn get(&self, id: usize) -> Result<Vec<f32>> {
+        let store = self.store()?;
+        store.check_id(id)?;
+        let slot = Arc::new(ResponseSlot::new());
+        let shard = store.shard_of(id);
+        self.inner.queues[shard].push(Request::One(OneRequest {
+            id,
+            store,
+            counters: Arc::clone(&self.model.counters),
+            slot: Arc::clone(&slot),
+        }))?;
+        slot.wait()
+    }
+
+    /// Looks up many ids, pipelining one slab request per shard before
+    /// blocking, and returns owned per-row vectors.
+    ///
+    /// For the allocation-free variant feed a reusable [`EmbedBatch`] to
+    /// [`get_batch_into`](Self::get_batch_into).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`get`](Self::get); the first failure wins.
+    pub fn get_many(&self, ids: &[usize]) -> Result<Vec<Vec<f32>>> {
+        let store = self.store()?;
+        for &id in ids {
+            store.check_id(id)?;
+        }
+        let dim = store.dim();
+        let n_shards = store.n_shards();
+        let mut shard_ids: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        let mut shard_pos: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        for (pos, &id) in ids.iter().enumerate() {
+            let s = store.shard_of(id);
+            shard_ids[s].push(id);
+            shard_pos[s].push(pos);
+        }
+        let mut pending: Vec<(usize, Arc<SlabSlot>)> = Vec::new();
+        let mut first_err = None;
+        for (s, slab_ids) in shard_ids.iter_mut().enumerate() {
+            if slab_ids.is_empty() {
+                continue;
+            }
+            let out = vec![0f32; slab_ids.len() * dim];
+            let slot = Arc::new(SlabSlot::new());
+            let request = Request::Slab(SlabRequest {
+                ids: std::mem::take(slab_ids),
+                out,
+                store: Arc::clone(&store),
+                counters: Arc::clone(&self.model.counters),
+                slot: Arc::clone(&slot),
+            });
+            if let Err(e) = self.inner.queues[s].push(request) {
+                first_err = Some(e);
+                break;
+            }
+            pending.push((s, slot));
+        }
+        let mut rows: Vec<Vec<f32>> = vec![Vec::new(); ids.len()];
+        for (s, slot) in pending {
+            let outcome = slot.wait();
+            match outcome.result {
+                Ok(()) => {
+                    for (j, &pos) in shard_pos[s].iter().enumerate() {
+                        rows[pos] = outcome.out[j * dim..(j + 1) * dim].to_vec();
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(rows),
+        }
+    }
+
+    /// Looks up many ids into the caller-owned, reusable `batch` slab —
+    /// the zero-copy batch path. On success `batch` holds the rows in
+    /// request order; at a steady batch shape the call performs **no
+    /// per-row heap allocation** end to end (one response-slot `Arc` per
+    /// shard touched is the only steady-state allocation).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`get`](Self::get); on error the batch's
+    /// contents are unspecified but the buffer stays reusable.
+    pub fn get_batch_into(&self, ids: &[usize], batch: &mut EmbedBatch) -> Result<()> {
+        let store = self.store()?;
+        for &id in ids {
+            store.check_id(id)?;
+        }
+        let dim = store.dim();
+        let n_shards = store.n_shards();
+        batch.begin(ids, dim, n_shards);
+        for (pos, &id) in ids.iter().enumerate() {
+            batch.shard_pos[store.shard_of(id)].push(pos);
+        }
+        let mut first_err = None;
+        for s in 0..n_shards {
+            if batch.shard_pos[s].is_empty() {
+                continue;
+            }
+            let (mut slab_ids, mut out) = batch.take_buffers();
+            slab_ids.clear();
+            slab_ids.extend(batch.shard_pos[s].iter().map(|&pos| ids[pos]));
+            out.clear();
+            out.resize(slab_ids.len() * dim, 0.0);
+            let slot = Arc::new(SlabSlot::new());
+            let request = Request::Slab(SlabRequest {
+                ids: slab_ids,
+                out,
+                store: Arc::clone(&store),
+                counters: Arc::clone(&self.model.counters),
+                slot: Arc::clone(&slot),
+            });
+            if let Err(e) = self.inner.queues[s].push(request) {
+                first_err = Some(e);
+                break;
+            }
+            batch.pending.push((s, slot));
+        }
+        while let Some((s, slot)) = batch.pending.pop() {
+            let outcome = slot.wait();
+            match outcome.result {
+                Ok(()) => {
+                    for (j, &pos) in batch.shard_pos[s].iter().enumerate() {
+                        batch.data[pos * dim..(pos + 1) * dim]
+                            .copy_from_slice(&outcome.out[j * dim..(j + 1) * dim]);
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+            // A worker-lost blanket returns capacity-less placeholders
+            // (the real buffers died with the panicking batch) — keep
+            // those out of the pool so it only ever holds warm buffers.
+            if outcome.out.capacity() > 0 || outcome.ids.capacity() > 0 {
+                batch.recycle_buffers(outcome.ids, outcome.out);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+fn worker_loop(
+    inner: &RouterInner,
+    shard_idx: usize,
+    max_batch: usize,
+    max_wait: std::time::Duration,
+) {
+    let queue = &inner.queues[shard_idx];
+    // Reusable scratch for coalescing runs of single-id requests.
+    let mut one_ids: Vec<usize> = Vec::new();
+    let mut one_slots: Vec<Arc<ResponseSlot>> = Vec::new();
+    while let Some((batch, reason)) = queue.pop_batch(max_batch, max_wait) {
+        // A panic while serving must not strand blocked requesters: keep
+        // the slots, answer `WorkerLost` to any left unfilled (fill is
+        // first-write-wins), and keep the worker alive for later batches.
+        let slots: Vec<SlotRef> = batch.iter().map(Request::slot_ref).collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_batch(
+                inner,
+                shard_idx,
+                batch,
+                reason,
+                &mut one_ids,
+                &mut one_slots,
+            );
+        }));
+        if outcome.is_err() {
+            for slot in &slots {
+                slot.fail(ServeError::WorkerLost);
+            }
+            one_ids.clear();
+            one_slots.clear();
+        }
+    }
+}
+
+fn serve_batch(
+    inner: &RouterInner,
+    shard_idx: usize,
+    batch: Vec<Request>,
+    reason: FlushReason,
+    one_ids: &mut Vec<usize>,
+    one_slots: &mut Vec<Arc<ResponseSlot>>,
+) {
+    let c = &inner.batch;
+    let rows: usize = batch.iter().map(Request::rows).sum();
+    c.requests.fetch_add(rows as u64, Ordering::Relaxed);
+    c.batches.fetch_add(1, Ordering::Relaxed);
+    match reason {
+        FlushReason::Full => c.flushes_full.fetch_add(1, Ordering::Relaxed),
+        FlushReason::Timeout => c.flushes_timeout.fetch_add(1, Ordering::Relaxed),
+        FlushReason::Drain => c.flushes_drain.fetch_add(1, Ordering::Relaxed),
+    };
+    c.max_batch_observed
+        .fetch_max(rows as u64, Ordering::Relaxed);
+
+    // Serve in arrival order, coalescing runs of single-id requests that
+    // target the same store snapshot (the common single-model case) into
+    // one store batch, so the legacy path keeps its lock amortization.
+    let mut run: Option<(Arc<ShardedStore>, Arc<ModelCounters>)> = None;
+    for request in batch {
+        match request {
+            Request::One(r) => {
+                let same_run = matches!(&run, Some((s, _)) if Arc::ptr_eq(s, &r.store));
+                if !same_run {
+                    flush_one_run(shard_idx, run.take(), one_ids, one_slots);
+                    run = Some((r.store, r.counters));
+                }
+                one_ids.push(r.id);
+                one_slots.push(r.slot);
+            }
+            Request::Slab(mut s) => {
+                flush_one_run(shard_idx, run.take(), one_ids, one_slots);
+                let result = s.store.lookup_batch(shard_idx, &s.ids, &mut s.out);
+                if result.is_ok() {
+                    s.counters
+                        .requests
+                        .fetch_add(s.ids.len() as u64, Ordering::Relaxed);
+                }
+                s.slot.fill(SlabOutcome {
+                    ids: s.ids,
+                    out: s.out,
+                    result,
+                });
+            }
+        }
+    }
+    flush_one_run(shard_idx, run.take(), one_ids, one_slots);
+}
+
+fn flush_one_run(
+    shard_idx: usize,
+    run: Option<(Arc<ShardedStore>, Arc<ModelCounters>)>,
+    ids: &mut Vec<usize>,
+    slots: &mut Vec<Arc<ResponseSlot>>,
+) {
+    let Some((store, counters)) = run else {
+        debug_assert!(ids.is_empty());
+        return;
+    };
+    match store.get_shard_batch(shard_idx, ids) {
+        Ok(rows) => {
+            counters
+                .requests
+                .fetch_add(ids.len() as u64, Ordering::Relaxed);
+            for (slot, row) in slots.drain(..).zip(rows) {
+                slot.fill(Ok(row));
+            }
+        }
+        Err(_) => {
+            // A bad id poisons only its own batch; answer every
+            // requester individually so none hangs — and only the rows
+            // actually served count as served.
+            for (slot, &id) in slots.drain(..).zip(ids.iter()) {
+                let outcome = store.get(id);
+                if outcome.is_ok() {
+                    counters.requests.fetch_add(1, Ordering::Relaxed);
+                }
+                slot.fill(outcome);
+            }
+        }
+    }
+    ids.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcom_core::{EmbeddingCompressor, MemCom, MemComConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    fn memcom(seed: u64) -> MemCom {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MemCom::new(MemComConfig::new(100, 4, 10), &mut rng).unwrap()
+    }
+
+    /// A slab whose `out` buffer violates the sizing contract panics the
+    /// worker mid-batch; the panic blanket must answer every slot in the
+    /// batch with `WorkerLost` and keep the worker serving afterwards.
+    #[test]
+    fn poisoned_slab_slot_fails_batch_but_not_worker() {
+        let emb = memcom(3);
+        let router = Router::start(ServeConfig {
+            n_shards: 1,
+            max_batch: 4,
+            max_wait: Duration::from_millis(10),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        router.register(DEFAULT_MODEL, &emb).unwrap();
+        let handle = router.handle(DEFAULT_MODEL).unwrap();
+        let store = handle.store().unwrap();
+
+        // Hand-craft a poisoned request: 2 ids but a 1-value slab.
+        let slot = Arc::new(SlabSlot::new());
+        router.inner.queues[0]
+            .push(Request::Slab(SlabRequest {
+                ids: vec![0, 1],
+                out: vec![0f32; 1],
+                store: Arc::clone(&store),
+                counters: Arc::new(ModelCounters::default()),
+                slot: Arc::clone(&slot),
+            }))
+            .unwrap();
+        let outcome = slot.wait();
+        assert!(matches!(outcome.result, Err(ServeError::WorkerLost)));
+
+        // The worker survived the panic and keeps serving.
+        let row = handle.get(7).unwrap();
+        assert_eq!(row.as_slice(), emb.lookup(&[7]).unwrap().as_slice());
+    }
+
+    #[test]
+    fn model_lifecycle_and_errors() {
+        let emb = memcom(1);
+        let router = Router::start(ServeConfig::with_shards(2)).unwrap();
+        assert!(matches!(
+            router.handle("missing"),
+            Err(ServeError::ModelNotFound { .. })
+        ));
+        router.register("a", &emb).unwrap();
+        assert!(matches!(
+            router.register("a", &emb),
+            Err(ServeError::ModelExists { .. })
+        ));
+        assert_eq!(router.model_names(), vec!["a".to_string()]);
+
+        let handle = router.handle("a").unwrap();
+        assert_eq!(handle.model_name(), "a");
+        handle.get(5).unwrap();
+        router.deregister("a").unwrap();
+        assert!(matches!(
+            handle.get(5),
+            Err(ServeError::ModelNotFound { .. })
+        ));
+        assert!(matches!(
+            router.deregister("a"),
+            Err(ServeError::ModelNotFound { .. })
+        ));
+        assert!(router.model_names().is_empty());
+    }
+
+    #[test]
+    fn register_store_checks_shard_count() {
+        let emb = memcom(2);
+        let router = Router::start(ServeConfig::with_shards(4)).unwrap();
+        let store = ShardedStore::build(&emb, 2, 8, 4096).unwrap();
+        assert!(matches!(
+            router.register_store("a", store),
+            Err(ServeError::BadConfig { .. })
+        ));
+        let store = ShardedStore::build(&emb, 2, 8, 4096).unwrap();
+        router.register("ok", &emb).unwrap();
+        assert!(matches!(
+            router.swap("ok", store),
+            Err(ServeError::BadConfig { .. })
+        ));
+    }
+}

@@ -1,253 +1,111 @@
-//! The serving engine: shard workers + client handles.
+//! Single-model serving facade over the multi-model [`Router`].
+//!
+//! [`EmbedServer`] and [`ServeHandle`] are the original (PR 1) serving
+//! API, kept source-compatible: they start a [`Router`], register one
+//! model under [`DEFAULT_MODEL`], and forward every call. New code that
+//! needs several models, snapshot swaps, or per-model statistics should
+//! use [`Router`] directly — [`EmbedServer::router`] is the escape
+//! hatch from an existing server.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use memcom_ondevice::engine::RunStats;
+use crate::router::{Router, RouterHandle, DEFAULT_MODEL};
+use crate::store::ShardedStore;
+use crate::{EmbedBatch, Result, ServeConfig};
 
-use crate::batcher::{FlushReason, Request, ResponseSlot, ShardQueue};
-use crate::store::{CacheStats, ShardedStore};
-use crate::{Result, ServeConfig, ServeError};
+pub use crate::router::ServeStats;
 
-#[derive(Debug, Default)]
-struct BatchCounters {
-    requests: AtomicU64,
-    batches: AtomicU64,
-    flushes_full: AtomicU64,
-    flushes_timeout: AtomicU64,
-    flushes_drain: AtomicU64,
-    max_batch_observed: AtomicU64,
-}
-
-#[derive(Debug)]
-struct ServerInner {
-    store: ShardedStore,
-    queues: Vec<ShardQueue>,
-    counters: BatchCounters,
-}
-
-/// Aggregated serving statistics (see [`EmbedServer::stats`]).
-#[derive(Debug, Clone, Copy)]
-pub struct ServeStats {
-    /// Requests answered through batches.
-    pub requests: u64,
-    /// Batches executed.
-    pub batches: u64,
-    /// Batches flushed because they reached `max_batch`.
-    pub flushes_full: u64,
-    /// Batches flushed because `max_wait` elapsed.
-    pub flushes_timeout: u64,
-    /// Batches flushed while draining at shutdown.
-    pub flushes_drain: u64,
-    /// Largest batch observed.
-    pub max_batch_observed: usize,
-    /// Hot-row cache effectiveness.
-    pub cache: CacheStats,
-    /// Counted work + resident footprint in the on-device cost model's
-    /// terms.
-    pub run_stats: RunStats,
-}
-
-impl ServeStats {
-    /// Mean requests per batch (`0` before any traffic).
-    pub fn mean_batch(&self) -> f64 {
-        if self.batches == 0 {
-            0.0
-        } else {
-            self.requests as f64 / self.batches as f64
-        }
-    }
-}
-
-/// A sharded, micro-batching embedding server.
+/// A sharded, micro-batching embedding server for a single model.
 ///
 /// One worker thread per shard pops coalesced batches from its queue and
-/// answers through each request's [`ResponseSlot`]. Construction spawns
+/// answers through each request's response slot. Construction spawns
 /// the workers; [`shutdown`](EmbedServer::shutdown) (or drop) closes the
 /// queues, drains in-flight work, and joins them.
 #[derive(Debug)]
 pub struct EmbedServer {
-    inner: Arc<ServerInner>,
-    workers: Vec<JoinHandle<()>>,
-    config: ServeConfig,
+    router: Router,
+    /// Pinned at construction so the facade stays panic-free even if the
+    /// default model is deregistered through [`router`](EmbedServer::router).
+    handle: RouterHandle,
 }
 
 impl EmbedServer {
     /// Builds a store from `emb` with `config` and starts serving.
     ///
     /// `config.n_shards` decides both the store partitioning and the
-    /// worker count.
+    /// worker count. The config is validated unconditionally.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadConfig`] for invalid configs and
+    /// Returns [`crate::ServeError::BadConfig`] for invalid configs and
     /// propagates store-construction failures.
     pub fn start(emb: &dyn memcom_core::EmbeddingCompressor, config: ServeConfig) -> Result<Self> {
-        // start_with_store validates the config; no need to do it twice.
-        let store = ShardedStore::build(
-            emb,
-            config.n_shards,
-            config.cache_capacity,
-            config.page_size,
-        )?;
-        Self::start_with_store(store, config)
+        let router = Router::start(config)?;
+        router.register(DEFAULT_MODEL, emb)?;
+        let handle = router.handle(DEFAULT_MODEL)?;
+        Ok(EmbedServer { router, handle })
     }
 
     /// Starts serving an already-built store.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadConfig`] when the config is invalid or
-    /// its shard count disagrees with the store's.
+    /// Returns [`crate::ServeError::BadConfig`] when the config is
+    /// invalid or its shard count disagrees with the store's.
     pub fn start_with_store(store: ShardedStore, config: ServeConfig) -> Result<Self> {
-        config.validate()?;
-        if store.n_shards() != config.n_shards {
-            return Err(ServeError::BadConfig {
-                context: format!(
-                    "store has {} shards but config asks for {}",
-                    store.n_shards(),
-                    config.n_shards
-                ),
-            });
-        }
-        let queues = (0..config.n_shards)
-            .map(|_| ShardQueue::new(config.queue_depth))
-            .collect();
-        let inner = Arc::new(ServerInner {
-            store,
-            queues,
-            counters: BatchCounters::default(),
-        });
-        let workers = (0..config.n_shards)
-            .map(|shard_idx| {
-                let inner = Arc::clone(&inner);
-                let (max_batch, max_wait) = (config.max_batch, config.max_wait);
-                std::thread::Builder::new()
-                    .name(format!("memcom-serve-{shard_idx}"))
-                    .spawn(move || worker_loop(&inner, shard_idx, max_batch, max_wait))
-                    .expect("spawn serving worker")
-            })
-            .collect();
-        Ok(EmbedServer {
-            inner,
-            workers,
-            config,
-        })
+        let router = Router::start(config)?;
+        router.register_store(DEFAULT_MODEL, store)?;
+        let handle = router.handle(DEFAULT_MODEL)?;
+        Ok(EmbedServer { router, handle })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ServeConfig {
-        &self.config
+        self.router.config()
     }
 
-    /// The underlying sharded store (for footprint/cost inspection).
-    pub fn store(&self) -> &ShardedStore {
-        &self.inner.store
+    /// The underlying router, for graduating to the multi-model API
+    /// (register more models, swap snapshots, per-model stats).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The served store snapshot (for footprint/cost inspection). Keeps
+    /// answering from the final snapshot even after a deregistration
+    /// through [`router`](EmbedServer::router).
+    pub fn store(&self) -> Arc<ShardedStore> {
+        self.handle.snapshot()
     }
 
     /// A cloneable client handle. Handles stay valid across shutdown —
-    /// requests after shutdown fail with [`ServeError::ShuttingDown`].
+    /// requests after shutdown fail with
+    /// [`crate::ServeError::ShuttingDown`].
     pub fn handle(&self) -> ServeHandle {
         ServeHandle {
-            inner: Arc::clone(&self.inner),
+            inner: self.handle.clone(),
         }
     }
 
     /// Current aggregated statistics.
     pub fn stats(&self) -> ServeStats {
-        let c = &self.inner.counters;
-        ServeStats {
-            requests: c.requests.load(Ordering::Relaxed),
-            batches: c.batches.load(Ordering::Relaxed),
-            flushes_full: c.flushes_full.load(Ordering::Relaxed),
-            flushes_timeout: c.flushes_timeout.load(Ordering::Relaxed),
-            flushes_drain: c.flushes_drain.load(Ordering::Relaxed),
-            max_batch_observed: c.max_batch_observed.load(Ordering::Relaxed) as usize,
-            cache: self.inner.store.cache_stats(),
-            run_stats: self.inner.store.run_stats(),
-        }
+        self.handle.stats()
     }
 
     /// Stops accepting requests, drains queued work, joins the workers,
     /// and returns the final statistics.
-    pub fn shutdown(mut self) -> ServeStats {
-        self.shutdown_in_place();
-        self.stats()
-    }
-
-    fn shutdown_in_place(&mut self) {
-        for queue in &self.inner.queues {
-            queue.close();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
-
-impl Drop for EmbedServer {
-    fn drop(&mut self) {
-        self.shutdown_in_place();
-    }
-}
-
-fn worker_loop(
-    inner: &ServerInner,
-    shard_idx: usize,
-    max_batch: usize,
-    max_wait: std::time::Duration,
-) {
-    let queue = &inner.queues[shard_idx];
-    while let Some((batch, reason)) = queue.pop_batch(max_batch, max_wait) {
-        // A panic while serving must not strand blocked requesters: keep
-        // the slots, answer `WorkerLost` to any left unfilled (fill is
-        // first-write-wins), and keep the worker alive for later batches.
-        let slots: Vec<Arc<ResponseSlot>> = batch.iter().map(|r| Arc::clone(&r.slot)).collect();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            serve_batch(inner, shard_idx, batch, reason);
-        }));
-        if outcome.is_err() {
-            for slot in &slots {
-                slot.fill(Err(ServeError::WorkerLost));
-            }
-        }
-    }
-}
-
-fn serve_batch(inner: &ServerInner, shard_idx: usize, batch: Vec<Request>, reason: FlushReason) {
-    let c = &inner.counters;
-    c.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
-    c.batches.fetch_add(1, Ordering::Relaxed);
-    match reason {
-        FlushReason::Full => c.flushes_full.fetch_add(1, Ordering::Relaxed),
-        FlushReason::Timeout => c.flushes_timeout.fetch_add(1, Ordering::Relaxed),
-        FlushReason::Drain => c.flushes_drain.fetch_add(1, Ordering::Relaxed),
-    };
-    c.max_batch_observed
-        .fetch_max(batch.len() as u64, Ordering::Relaxed);
-
-    let ids: Vec<usize> = batch.iter().map(|r| r.id).collect();
-    match inner.store.get_shard_batch(shard_idx, &ids) {
-        Ok(rows) => {
-            for (request, row) in batch.into_iter().zip(rows) {
-                request.slot.fill(Ok(row));
-            }
-        }
-        Err(_) => {
-            // A bad id poisons only its own batch; answer every
-            // requester individually so none hangs.
-            for request in batch {
-                request.slot.fill(inner.store.get(request.id));
-            }
-        }
+    pub fn shutdown(self) -> ServeStats {
+        let EmbedServer { router, handle } = self;
+        drop(router.shutdown());
+        handle.stats()
     }
 }
 
 /// A cheap, cloneable, thread-safe client to an [`EmbedServer`].
+///
+/// Thin wrapper over a [`RouterHandle`] bound to [`DEFAULT_MODEL`].
 #[derive(Debug, Clone)]
 pub struct ServeHandle {
-    inner: Arc<ServerInner>,
+    inner: RouterHandle,
 }
 
 impl ServeHandle {
@@ -255,53 +113,54 @@ impl ServeHandle {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::IdOutOfVocab`] for bad ids and
-    /// [`ServeError::ShuttingDown`] after shutdown.
+    /// Returns [`crate::ServeError::IdOutOfVocab`] for bad ids and
+    /// [`crate::ServeError::ShuttingDown`] after shutdown.
     pub fn get(&self, id: usize) -> Result<Vec<f32>> {
-        self.inner.store.check_id(id)?;
-        let slot = Arc::new(ResponseSlot::new());
-        let shard = self.inner.store.shard_of(id);
-        self.inner.queues[shard].push(Request {
-            id,
-            slot: Arc::clone(&slot),
-        })?;
-        slot.wait()
+        self.inner.get(id)
     }
 
-    /// Looks up many ids, pipelining across shards before blocking.
+    /// Looks up many ids, pipelining across shards before blocking, and
+    /// returns owned per-row vectors. Prefer
+    /// [`get_batch_into`](Self::get_batch_into) on hot paths — it reuses
+    /// one flat buffer instead of allocating a `Vec` per row.
     ///
     /// # Errors
     ///
     /// Same conditions as [`get`](Self::get); the first failure wins.
     pub fn get_many(&self, ids: &[usize]) -> Result<Vec<Vec<f32>>> {
-        let mut slots = Vec::with_capacity(ids.len());
-        for &id in ids {
-            self.inner.store.check_id(id)?;
-            let slot = Arc::new(ResponseSlot::new());
-            let shard = self.inner.store.shard_of(id);
-            self.inner.queues[shard].push(Request {
-                id,
-                slot: Arc::clone(&slot),
-            })?;
-            slots.push(slot);
-        }
-        slots.into_iter().map(|slot| slot.wait()).collect()
+        self.inner.get_many(ids)
+    }
+
+    /// Looks up many ids into the caller-owned, reusable `batch` slab —
+    /// no per-row heap allocation at a steady batch shape.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`get`](Self::get).
+    pub fn get_batch_into(&self, ids: &[usize], batch: &mut EmbedBatch) -> Result<()> {
+        self.inner.get_batch_into(ids, batch)
+    }
+
+    /// The model name this handle routes to ([`DEFAULT_MODEL`]).
+    pub fn model_name(&self) -> &str {
+        self.inner.model_name()
     }
 
     /// Served vocabulary size.
     pub fn vocab(&self) -> usize {
-        self.inner.store.vocab()
+        self.inner.vocab()
     }
 
     /// Embedding dimensionality.
     pub fn dim(&self) -> usize {
-        self.inner.store.dim()
+        self.inner.dim()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ServeError;
     use memcom_core::{EmbeddingCompressor, MemCom, MemComConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -347,6 +206,32 @@ mod tests {
     }
 
     #[test]
+    fn get_batch_into_reuses_one_slab() {
+        let (emb, server) = server(4, 8, 2);
+        let handle = server.handle();
+        let mut batch = EmbedBatch::new();
+        for round in 0..3 {
+            let ids: Vec<usize> = (0..24).map(|i| (i * 7 + round) % 200).collect();
+            handle.get_batch_into(&ids, &mut batch).unwrap();
+            assert_eq!(batch.len(), ids.len());
+            assert_eq!(batch.dim(), 8);
+            assert_eq!(batch.ids(), ids.as_slice());
+            for (k, &id) in ids.iter().enumerate() {
+                assert_eq!(
+                    batch.row(k),
+                    emb.lookup(&[id]).unwrap().as_slice(),
+                    "round {round} id {id}"
+                );
+            }
+        }
+        // Duplicates and an empty batch are fine too.
+        handle.get_batch_into(&[5, 5, 5], &mut batch).unwrap();
+        assert_eq!(batch.row(0), batch.row(2));
+        handle.get_batch_into(&[], &mut batch).unwrap();
+        assert!(batch.is_empty());
+    }
+
+    #[test]
     fn bad_id_fails_fast_without_hanging() {
         let (_, server) = server(2, 4, 2);
         let handle = server.handle();
@@ -356,6 +241,11 @@ mod tests {
                 id: 5_000,
                 vocab: 200
             })
+        ));
+        let mut batch = EmbedBatch::new();
+        assert!(matches!(
+            handle.get_batch_into(&[1, 5_000], &mut batch),
+            Err(ServeError::IdOutOfVocab { .. })
         ));
         // The server still works afterwards.
         assert!(handle.get(3).is_ok());
@@ -369,6 +259,11 @@ mod tests {
         let stats = server.shutdown();
         assert!(stats.requests >= 1);
         assert!(matches!(handle.get(2), Err(ServeError::ShuttingDown)));
+        let mut batch = EmbedBatch::new();
+        assert!(matches!(
+            handle.get_batch_into(&[1, 2], &mut batch),
+            Err(ServeError::ShuttingDown)
+        ));
     }
 
     #[test]
@@ -381,5 +276,59 @@ mod tests {
             EmbedServer::start_with_store(store, config),
             Err(ServeError::BadConfig { .. })
         ));
+    }
+
+    #[test]
+    fn facade_survives_deregistration_via_escape_hatch() {
+        let (_, server) = server(2, 4, 2);
+        let handle = server.handle();
+        handle.get(1).unwrap();
+        // The router escape hatch can retire the default model; the
+        // facade must degrade to errors, not panics.
+        server.router().deregister(crate::DEFAULT_MODEL).unwrap();
+        assert!(matches!(
+            handle.get(1),
+            Err(ServeError::ModelNotFound { .. })
+        ));
+        assert!(server.store().stored_bytes() > 0);
+        assert_eq!(server.stats().requests, 1);
+        assert_eq!(server.handle().dim(), 8);
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 1);
+    }
+
+    #[test]
+    fn start_validates_config_unconditionally() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let emb = MemCom::new(MemComConfig::new(50, 4, 10), &mut rng).unwrap();
+        for broken in [
+            ServeConfig {
+                n_shards: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_depth: 0,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(
+                matches!(
+                    EmbedServer::start(&emb, broken.clone()),
+                    Err(ServeError::BadConfig { .. })
+                ),
+                "{broken:?} must be rejected by start"
+            );
+            assert!(
+                matches!(
+                    crate::Router::start(broken.clone()),
+                    Err(ServeError::BadConfig { .. })
+                ),
+                "{broken:?} must be rejected by the router"
+            );
+        }
     }
 }

@@ -9,18 +9,24 @@
 //!
 //! * **MemCom** — the shard replicates the *small shared table* (`m × e`,
 //!   the whole point of the compression is that this is tiny) and
-//!   partitions the *large per-entity tables* (multipliers, optional
-//!   biases) round-robin. A lookup reads one shared row + one or two
+//!   partitions the *large per-entity tables* (multipliers, biases)
+//!   round-robin. A lookup reads one shared row + one or two
 //!   scalars and reconstructs the embedding exactly as the on-device
 //!   engine does.
 //! * **Rows** — any other compressor is materialized through its
-//!   `lookup` path into dense per-shard row files. Correct for every
-//!   technique, at uncompressed storage cost — which is precisely the
-//!   serving-memory trade-off the paper's Table 3 contrasts.
+//!   zero-copy `embed_into` path into dense per-shard row files. Correct
+//!   for every technique, at uncompressed storage cost — which is
+//!   precisely the serving-memory trade-off the paper's Table 3
+//!   contrasts.
 //!
 //! Ids are routed `shard = id % n_shards`, `slot = id / n_shards`:
 //! contiguous popular ids (the paper frequency-sorts ids, §5.1) spread
 //! across all shards, so Zipf-skewed traffic load-balances naturally.
+//!
+//! The batch read path is slab-based: [`ShardedStore::lookup_batch`]
+//! writes rows straight into a caller-owned flat buffer — cache hits are
+//! `memcpy`s out of the LRU, misses decode from the mmap in place, and
+//! nothing on that path allocates per row.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -75,52 +81,77 @@ struct Shard {
     /// Rows owned by this shard (its slot count).
     slots: usize,
     cache: Mutex<LruCache>,
+    /// Reusable `(position, id)` miss list for the batch path; per-shard
+    /// like the cache, so the one-worker-per-shard discipline keeps it
+    /// uncontended and allocation settles after the first large batch.
+    miss_scratch: Mutex<Vec<(usize, usize)>>,
     hits: AtomicU64,
     misses: AtomicU64,
     flops: AtomicU64,
 }
 
 impl Shard {
-    /// Reads the embedding row for global `id` at local `slot`, bypassing
-    /// the cache.
-    fn read_row(&self, id: usize, slot: usize, dim: usize) -> Result<Vec<f32>> {
+    /// Decodes the embedding row for global `id` at local `slot` from the
+    /// backing mmap straight into `out`, bypassing the cache.
+    fn read_row_into(&self, id: usize, slot: usize, dim: usize, out: &mut [f32]) -> Result<()> {
         debug_assert!(slot < self.slots, "slot routed to wrong shard");
+        debug_assert_eq!(out.len(), dim);
         match self.layout {
             Layout::Rows => {
-                let offset = slot * dim * 4;
-                let bytes = self.mmap.read(offset, dim * 4)?;
-                Ok(decode_f32_row(bytes))
+                let bytes = self.mmap.read(slot * dim * 4, dim * 4)?;
+                decode_f32s_into(bytes, out);
             }
             Layout::MemCom { m, bias } => {
                 let shared_row = mod_hash(id, m);
-                let u = decode_f32_row(self.mmap.read(shared_row * dim * 4, dim * 4)?);
                 let mult_base = m * dim * 4;
                 let v = decode_f32(self.mmap.read(mult_base + slot * 4, 4)?);
-                let row = if bias {
+                let u = self.mmap.read(shared_row * dim * 4, dim * 4)?;
+                if bias {
                     let bias_base = mult_base + self.slots * 4;
                     let w = decode_f32(self.mmap.read(bias_base + slot * 4, 4)?);
                     self.flops.fetch_add(2 * dim as u64, Ordering::Relaxed);
-                    u.iter().map(|&x| x * v + w).collect()
+                    for (o, c) in out.iter_mut().zip(u.chunks_exact(4)) {
+                        *o = f32::from_le_bytes(c.try_into().expect("4-byte chunk")) * v + w;
+                    }
                 } else {
                     self.flops.fetch_add(dim as u64, Ordering::Relaxed);
-                    u.iter().map(|&x| x * v).collect()
-                };
-                Ok(row)
+                    for (o, c) in out.iter_mut().zip(u.chunks_exact(4)) {
+                        *o = f32::from_le_bytes(c.try_into().expect("4-byte chunk")) * v;
+                    }
+                }
             }
         }
+        Ok(())
     }
 
-    /// Serves a batch of ids owned by this shard: one cache-lock
+    /// Serves a batch of ids owned by this shard into the flat slab
+    /// `out` (`ids.len() * dim` values, row-major): one cache-lock
     /// acquisition for the hit scan, store reads only for misses, one
-    /// more for the fills — the lock-amortization micro-batching buys.
-    fn get_many(&self, ids: &[usize], n_shards: usize, dim: usize) -> Result<Vec<Vec<f32>>> {
-        let mut out: Vec<Option<Vec<f32>>> = vec![None; ids.len()];
-        let mut missing: Vec<(usize, usize)> = Vec::new(); // (position, id)
+    /// more lock for the fills — the lock amortization micro-batching
+    /// buys. Nothing here allocates per row: hits copy out of the LRU,
+    /// misses decode in place, duplicate ids copy within the slab, and
+    /// cache fills recycle LRU storage via `insert_from`.
+    fn lookup_into(
+        &self,
+        ids: &[usize],
+        n_shards: usize,
+        dim: usize,
+        out: &mut [f32],
+    ) -> Result<()> {
+        assert_eq!(
+            out.len(),
+            ids.len() * dim,
+            "slab holds {} values for {} rows of dim {dim}",
+            out.len(),
+            ids.len()
+        );
+        let mut missing = self.miss_scratch.lock();
+        missing.clear();
         {
             let mut cache = self.cache.lock();
             for (pos, &id) in ids.iter().enumerate() {
                 match cache.get(id) {
-                    Some(row) => out[pos] = Some(row.clone()),
+                    Some(row) => out[pos * dim..(pos + 1) * dim].copy_from_slice(row),
                     None => missing.push((pos, id)),
                 }
             }
@@ -134,24 +165,28 @@ impl Shard {
             missing.sort_unstable_by_key(|&(_, id)| id);
             let mut first_of_id: Option<(usize, usize)> = None; // (id, pos)
             let mut dup_hits = 0u64;
-            for &(pos, id) in &missing {
+            for &(pos, id) in missing.iter() {
                 match first_of_id {
                     Some((seen_id, seen_pos)) if seen_id == id => {
-                        out[pos] = out[seen_pos].clone();
+                        out.copy_within(seen_pos * dim..(seen_pos + 1) * dim, pos * dim);
                         dup_hits += 1;
                     }
                     _ => {
-                        out[pos] = Some(self.read_row(id, id / n_shards, dim)?);
+                        self.read_row_into(
+                            id,
+                            id / n_shards,
+                            dim,
+                            &mut out[pos * dim..(pos + 1) * dim],
+                        )?;
                         first_of_id = Some((id, pos));
                     }
                 }
             }
             let mut cache = self.cache.lock();
             let mut last_inserted = None;
-            for &(pos, id) in &missing {
+            for &(pos, id) in missing.iter() {
                 if last_inserted != Some(id) {
-                    let row = out[pos].as_ref().expect("filled above");
-                    cache.insert(id, row.clone());
+                    cache.insert_from(id, &out[pos * dim..(pos + 1) * dim]);
                     last_inserted = Some(id);
                 }
             }
@@ -162,10 +197,7 @@ impl Shard {
                 .fetch_add(missing.len() as u64 - dup_hits, Ordering::Relaxed);
         }
         self.hits.fetch_add(hits, Ordering::Relaxed);
-        Ok(out
-            .into_iter()
-            .map(|row| row.expect("every position filled"))
-            .collect())
+        Ok(())
     }
 }
 
@@ -174,7 +206,7 @@ impl Shard {
 ///
 /// Thread-safety note: lookups are always *correct* under arbitrary
 /// concurrency, but the cache hit/miss and byte counters are exact only
-/// with one accessor per shard (the [`crate::EmbedServer`] discipline —
+/// with one accessor per shard (the [`crate::Router`] discipline —
 /// one worker per shard). Concurrent direct calls into the same shard
 /// can both miss on the same cold id between the hit scan and the fill,
 /// double-reading the row and counting two misses where the serving
@@ -218,6 +250,7 @@ impl ShardedStore {
         // The replicated shared-table prefix is identical for every
         // shard; encode it once and memcpy it per shard.
         let shared_bytes = memcom.map(|mc| encode_f32s(mc.shared_table().as_slice()));
+        let mut row_scratch = vec![0f32; dim];
         let mut shards = Vec::with_capacity(n_shards);
         for shard_idx in 0..n_shards {
             // Ids owned by this shard: shard_idx, shard_idx + n, ...
@@ -249,10 +282,14 @@ impl ShardedStore {
                     )
                 }
                 None => {
-                    let ids: Vec<usize> =
-                        (0..slots).map(|slot| shard_idx + slot * n_shards).collect();
-                    let rows = emb.lookup(&ids)?;
-                    (encode_f32s(rows.as_slice()), Layout::Rows)
+                    let mut bytes = Vec::with_capacity(slots * dim * 4);
+                    for slot in 0..slots {
+                        emb.embed_into(shard_idx + slot * n_shards, &mut row_scratch)?;
+                        for v in &row_scratch {
+                            bytes.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                    (bytes, Layout::Rows)
                 }
             };
             shards.push(Shard {
@@ -260,6 +297,7 @@ impl ShardedStore {
                 layout,
                 slots,
                 cache: Mutex::new(LruCache::new(cache_capacity)),
+                miss_scratch: Mutex::new(Vec::new()),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 flops: AtomicU64::new(0),
@@ -325,21 +363,35 @@ impl ShardedStore {
     /// Returns [`ServeError::IdOutOfVocab`] for ids past the vocabulary.
     pub fn get(&self, id: usize) -> Result<Vec<f32>> {
         self.check_id(id)?;
+        let mut row = vec![0f32; self.dim];
         let shard = &self.shards[self.shard_of(id)];
-        Ok(shard
-            .get_many(&[id], self.shards.len(), self.dim)?
-            .remove(0))
+        shard.lookup_into(
+            std::slice::from_ref(&id),
+            self.shards.len(),
+            self.dim,
+            &mut row,
+        )?;
+        Ok(row)
     }
 
-    /// Serves a batch of ids that all route to `shard_idx` (the
-    /// micro-batcher's path).
+    /// Serves a batch of ids that all route to `shard_idx` into the flat
+    /// slab `out` — the zero-copy batch path. `out` must hold exactly
+    /// `ids.len() * dim()` values; row `k` of the result lands at
+    /// `out[k*dim .. (k+1)*dim]`.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::IdOutOfVocab`] on any out-of-range id and
     /// [`ServeError::BadConfig`] when an id routes to a different shard
     /// (an internal routing bug).
-    pub fn get_shard_batch(&self, shard_idx: usize, ids: &[usize]) -> Result<Vec<Vec<f32>>> {
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != ids.len() * dim()` — the slab is sized
+    /// by the serving layer, so a mismatch is an internal bug, and
+    /// panicking (rather than quietly truncating) lets the worker's
+    /// panic recovery fail the whole batch loudly.
+    pub fn lookup_batch(&self, shard_idx: usize, ids: &[usize], out: &mut [f32]) -> Result<()> {
         for &id in ids {
             self.check_id(id)?;
             if self.shard_of(id) != shard_idx {
@@ -348,7 +400,20 @@ impl ShardedStore {
                 });
             }
         }
-        self.shards[shard_idx].get_many(ids, self.shards.len(), self.dim)
+        self.shards[shard_idx].lookup_into(ids, self.shards.len(), self.dim, out)
+    }
+
+    /// Serves a batch of ids that all route to `shard_idx`, allocating
+    /// one `Vec` per row (legacy convenience over
+    /// [`lookup_batch`](Self::lookup_batch)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`lookup_batch`](Self::lookup_batch).
+    pub fn get_shard_batch(&self, shard_idx: usize, ids: &[usize]) -> Result<Vec<Vec<f32>>> {
+        let mut flat = vec![0f32; ids.len() * self.dim];
+        self.lookup_batch(shard_idx, ids, &mut flat)?;
+        Ok(flat.chunks_exact(self.dim).map(<[f32]>::to_vec).collect())
     }
 
     /// Aggregate cache counters across shards.
@@ -410,11 +475,10 @@ fn encode_f32s(values: &[f32]) -> Vec<u8> {
     bytes
 }
 
-fn decode_f32_row(bytes: &[u8]) -> Vec<f32> {
-    bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-        .collect()
+fn decode_f32s_into(bytes: &[u8], out: &mut [f32]) {
+    for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *o = f32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+    }
 }
 
 fn decode_f32(bytes: &[u8]) -> f32 {
@@ -516,6 +580,35 @@ mod tests {
             store.get(40),
             Err(ServeError::IdOutOfVocab { id: 40, vocab: 40 })
         ));
+    }
+
+    #[test]
+    fn lookup_batch_fills_caller_slab() {
+        let emb = memcom(40, 4, 8, true);
+        let store = ShardedStore::build(&emb, 4, 8, 64).unwrap();
+        let ids = [2usize, 6, 10, 6];
+        let mut slab = vec![0f32; ids.len() * 4];
+        store.lookup_batch(2, &ids, &mut slab).unwrap();
+        for (k, &id) in ids.iter().enumerate() {
+            let want = emb.lookup(&[id]).unwrap();
+            assert_eq!(&slab[k * 4..(k + 1) * 4], want.as_slice(), "id {id}");
+        }
+        // Reusing the same slab for a second batch overwrites cleanly.
+        store.lookup_batch(2, &[14, 18, 22, 26], &mut slab).unwrap();
+        assert_eq!(
+            &slab[0..4],
+            emb.lookup(&[14]).unwrap().as_slice(),
+            "slab reuse"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "slab holds")]
+    fn lookup_batch_rejects_mis_sized_slab() {
+        let emb = memcom(40, 4, 8, false);
+        let store = ShardedStore::build(&emb, 2, 8, 64).unwrap();
+        let mut slab = vec![0f32; 3]; // needs 2 rows × dim 4 = 8
+        let _ = store.lookup_batch(0, &[0, 2], &mut slab);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Router-level correctness: multi-model isolation, atomic snapshot
+//! swaps under concurrent traffic, and drain semantics across models.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use memcom_core::{EmbeddingCompressor, FullEmbedding, MemCom, MemComConfig};
+use memcom_serve::{EmbedBatch, Router, ServeConfig, ServeError, ShardedStore, DEFAULT_MODEL};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const VOCAB: usize = 400;
+const DIM: usize = 8;
+
+fn memcom(seed: u64) -> MemCom {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MemCom::new(MemComConfig::with_bias(VOCAB, DIM, 40), &mut rng).unwrap()
+}
+
+fn full(seed: u64) -> FullEmbedding {
+    let mut rng = StdRng::seed_from_u64(seed);
+    FullEmbedding::new(VOCAB, DIM, &mut rng).unwrap()
+}
+
+fn config(n_shards: usize) -> ServeConfig {
+    ServeConfig {
+        n_shards,
+        max_batch: 16,
+        max_wait: Duration::from_micros(200),
+        ..ServeConfig::default()
+    }
+}
+
+/// Each model behind the router answers with *its own* rows — traffic on
+/// one never bleeds into another, whichever API shape the client uses.
+#[test]
+fn models_are_isolated() {
+    let emb_a = memcom(1);
+    let emb_b = full(2);
+    let router = Router::start(config(4)).unwrap();
+    router.register("a", &emb_a).unwrap();
+    router.register("b", &emb_b).unwrap();
+
+    let ha = router.handle("a").unwrap();
+    let hb = router.handle("b").unwrap();
+    let ids: Vec<usize> = (0..64).map(|i| (i * 13) % VOCAB).collect();
+    let mut batch = EmbedBatch::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for &id in &ids {
+                assert_eq!(
+                    ha.get(id).unwrap().as_slice(),
+                    emb_a.lookup(&[id]).unwrap().as_slice(),
+                    "model a id {id}"
+                );
+            }
+        });
+        scope.spawn(|| {
+            let rows = hb.get_many(&ids).unwrap();
+            for (&id, row) in ids.iter().zip(&rows) {
+                assert_eq!(
+                    row.as_slice(),
+                    emb_b.lookup(&[id]).unwrap().as_slice(),
+                    "model b id {id}"
+                );
+            }
+        });
+    });
+    hb.get_batch_into(&ids, &mut batch).unwrap();
+    for (k, &id) in ids.iter().enumerate() {
+        assert_eq!(batch.row(k), emb_b.lookup(&[id]).unwrap().as_slice());
+    }
+
+    // Per-model accounting: each model saw its own row counts.
+    let stats_a = router.stats("a").unwrap();
+    let stats_b = router.stats("b").unwrap();
+    assert_eq!(stats_a.requests, ids.len() as u64);
+    assert_eq!(stats_b.requests, 2 * ids.len() as u64);
+}
+
+/// The acceptance-criteria test: an `Arc`-swapped snapshot serves new
+/// values while concurrent lookups against the old snapshot — both
+/// in-flight requests and direct reads through the returned `Arc` —
+/// still complete with the old values.
+#[test]
+fn snapshot_swap_serves_new_values_without_stopping_traffic() {
+    let emb_old = memcom(10);
+    let emb_new = full(11);
+    let router = Router::start(config(4)).unwrap();
+    router.register(DEFAULT_MODEL, &emb_old).unwrap();
+    let handle = router.handle(DEFAULT_MODEL).unwrap();
+
+    let stop = AtomicBool::new(false);
+    let swapped = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Hammer the model from several clients throughout the swap.
+        // Every answer must be exactly one of the two snapshots' rows —
+        // never a torn mix, never an error.
+        let clients: Vec<_> = (0..4)
+            .map(|c| {
+                let handle = handle.clone();
+                let (stop, swapped) = (&stop, &swapped);
+                let (emb_old, emb_new) = (&emb_old, &emb_new);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(100 + c);
+                    let mut saw_new = false;
+                    let mut batch = EmbedBatch::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let id = rng.gen_range(0..VOCAB);
+                        // Sampled *before* the request: only if the swap
+                        // had already completed by then must the answer
+                        // come from the new table (a request enqueued
+                        // during the swap may legitimately see either).
+                        let swap_done = swapped.load(Ordering::Acquire);
+                        let row = handle.get(id).unwrap();
+                        let old_row = emb_old.lookup(&[id]).unwrap();
+                        let new_row = emb_new.lookup(&[id]).unwrap();
+                        let is_old = row.as_slice() == old_row.as_slice();
+                        let is_new = row.as_slice() == new_row.as_slice();
+                        assert!(is_old || is_new, "row for id {id} matches neither snapshot");
+                        if swap_done {
+                            assert!(is_new, "id {id} served stale row after swap");
+                            saw_new = true;
+                        }
+                        // The slab path agrees with the single path.
+                        handle
+                            .get_batch_into(&[id, (id + 7) % VOCAB], &mut batch)
+                            .unwrap();
+                        assert_eq!(batch.row(0).len(), DIM);
+                    }
+                    saw_new
+                })
+            })
+            .collect();
+
+        // Let traffic build up, then flip the snapshot mid-flight.
+        std::thread::sleep(Duration::from_millis(20));
+        let new_store = ShardedStore::build(&emb_new, 4, 64, 4096).unwrap();
+        let old_store = router.swap(DEFAULT_MODEL, new_store).unwrap();
+        swapped.store(true, Ordering::Release);
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::Relaxed);
+        for client in clients {
+            assert!(
+                client.join().unwrap(),
+                "every client observed post-swap rows"
+            );
+        }
+
+        // The old snapshot stays fully readable through the returned Arc
+        // (in-flight requests hold exactly such Arcs).
+        for id in (0..VOCAB).step_by(37) {
+            assert_eq!(
+                old_store.get(id).unwrap().as_slice(),
+                emb_old.lookup(&[id]).unwrap().as_slice(),
+                "old snapshot id {id}"
+            );
+        }
+    });
+
+    // And new traffic keeps flowing after the scope.
+    assert_eq!(
+        handle.get(3).unwrap().as_slice(),
+        emb_new.lookup(&[3]).unwrap().as_slice()
+    );
+}
+
+/// Draining the router must answer every accepted request of **every**
+/// model with its own model's rows — closing one model's traffic can
+/// neither drop nor misroute another's in-flight requests.
+#[test]
+fn multi_model_drain_neither_drops_nor_misroutes() {
+    let emb_a = memcom(20);
+    let emb_b = full(21);
+    let router = Router::start(ServeConfig {
+        n_shards: 2,
+        max_batch: 64,
+        max_wait: Duration::from_millis(200),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    router.register("a", &emb_a).unwrap();
+    router.register("b", &emb_b).unwrap();
+    let ha = router.handle("a").unwrap();
+    let hb = router.handle("b").unwrap();
+
+    let (outcomes, stats) = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..8)
+            .map(|i| {
+                let (ha, hb) = (ha.clone(), hb.clone());
+                scope.spawn(move || {
+                    let id = (i * 17) % VOCAB;
+                    if i % 2 == 0 {
+                        ("a", id, ha.get(id))
+                    } else {
+                        ("b", id, hb.get(id))
+                    }
+                })
+            })
+            .collect();
+        // Pull the plug while batches are still open. A heavily loaded
+        // scheduler may deschedule a client past the shutdown — then its
+        // push is *rejected*, which is also a valid outcome; what must
+        // never happen is an accepted request that is dropped or answered
+        // from the wrong model's table.
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = router.shutdown();
+        let outcomes: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        (outcomes, stats)
+    });
+
+    let mut served = 0u64;
+    for (model, id, outcome) in outcomes {
+        match outcome {
+            Ok(row) => {
+                let want = if model == "a" {
+                    emb_a.lookup(&[id]).unwrap()
+                } else {
+                    emb_b.lookup(&[id]).unwrap()
+                };
+                assert_eq!(
+                    row.as_slice(),
+                    want.as_slice(),
+                    "model {model} id {id} misrouted"
+                );
+                served += 1;
+            }
+            Err(ServeError::ShuttingDown) => {} // raced the close; rejected cleanly
+            Err(other) => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    let total: u64 = stats.iter().map(|(_, s)| s.requests).sum();
+    assert_eq!(
+        total, served,
+        "every accepted request was served exactly once"
+    );
+    assert_eq!(stats.len(), 2, "per-model stats for both models");
+    assert!(matches!(ha.get(1), Err(ServeError::ShuttingDown)));
+}
+
+/// Deregistering one model mid-traffic fails fast on its handles while
+/// the other model keeps serving undisturbed.
+#[test]
+fn deregister_one_model_leaves_the_other_serving() {
+    let emb_a = memcom(30);
+    let emb_b = full(31);
+    let router = Router::start(config(2)).unwrap();
+    router.register("a", &emb_a).unwrap();
+    router.register("b", &emb_b).unwrap();
+    let ha = router.handle("a").unwrap();
+    let hb = router.handle("b").unwrap();
+
+    ha.get(5).unwrap();
+    router.deregister("a").unwrap();
+    assert!(matches!(ha.get(5), Err(ServeError::ModelNotFound { .. })));
+    for id in (0..VOCAB).step_by(29) {
+        assert_eq!(
+            hb.get(id).unwrap().as_slice(),
+            emb_b.lookup(&[id]).unwrap().as_slice(),
+            "model b survives a's deregistration"
+        );
+    }
+    assert_eq!(router.model_names(), vec!["b".to_string()]);
+}

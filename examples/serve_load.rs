@@ -1,34 +1,61 @@
 //! Serve compressed embeddings under concurrent Zipf traffic.
 //!
-//! Spins up the sharded, micro-batching embedding server on (a) MEmCom
-//! and (b) the uncompressed baseline, drives both with closed-loop
-//! power-law lookup traffic from multiple client threads, and prints a
-//! QPS / latency / cache table, plus a shard-scaling sweep for MEmCom.
+//! Three acts:
+//!
+//! 1. **Method comparison** — the sharded, micro-batching server on
+//!    MEmCom vs the uncompressed baseline under closed-loop power-law
+//!    traffic (QPS / latency / cache table).
+//! 2. **Shard scaling** — the same load at 1/2/4/8 shards.
+//! 3. **Multi-model router** — three country variants behind one
+//!    [`Router`] sharing the shard workers, driven by weighted mixed
+//!    traffic with per-model QPS/p99, plus a live snapshot swap.
 //!
 //! Run with: `cargo run --release --example serve_load`
+//! (`-- --quick` shrinks everything for CI smoke runs.)
 
 use std::time::Duration;
 
 use memcom::core::MethodSpec;
-use memcom::serve::{fmt_nanos, run_load, EmbedServer, LoadGenConfig, LoadMode, ServeConfig};
+use memcom::serve::{
+    fmt_nanos, run_load, run_mixed_load, EmbedServer, LoadGenConfig, LoadMode, ModelMix, Router,
+    ServeConfig, ShardedStore,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const VOCAB: usize = 50_000;
 const DIM: usize = 32;
-const CLIENTS: usize = 8;
-const REQUESTS_PER_CLIENT: usize = 200;
 /// The paper's fixed session length (§5.1): each request embeds one
 /// 128-id session, fanning out across shards.
 const IDS_PER_REQUEST: usize = 128;
 
+struct Scale {
+    vocab: usize,
+    clients: usize,
+    requests_per_client: usize,
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("=== memcom-serve: Zipf load over {VOCAB}-entity vocabulary (dim {DIM}) ===\n");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        Scale {
+            vocab: 5_000,
+            clients: 2,
+            requests_per_client: 25,
+        }
+    } else {
+        Scale {
+            vocab: 50_000,
+            clients: 8,
+            requests_per_client: 200,
+        }
+    };
+    let vocab = scale.vocab;
+    println!("=== memcom-serve: Zipf load over {vocab}-entity vocabulary (dim {DIM}) ===\n");
 
     // --- Method comparison at 4 shards --------------------------------
     let load = LoadGenConfig {
-        clients: CLIENTS,
-        requests_per_client: REQUESTS_PER_CLIENT,
+        clients: scale.clients,
+        requests_per_client: scale.requests_per_client,
         ids_per_request: IDS_PER_REQUEST,
         zipf_exponent: 1.1,
         mode: LoadMode::Closed,
@@ -51,17 +78,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for spec in [
         MethodSpec::MemCom {
-            hash_size: VOCAB / 10,
+            hash_size: vocab / 10,
             bias: false,
         },
         MethodSpec::MemCom {
-            hash_size: VOCAB / 10,
+            hash_size: vocab / 10,
             bias: true,
         },
         MethodSpec::Uncompressed,
     ] {
         let mut rng = StdRng::seed_from_u64(7);
-        let emb = spec.build(VOCAB, DIM, &mut rng)?;
+        let emb = spec.build(vocab, DIM, &mut rng)?;
         let server = EmbedServer::start(emb.as_ref(), serve_config(4))?;
         let report = run_load(&server.handle(), &load)?;
         let stored_mb = server.store().stored_bytes() as f64 / 1_048_576.0;
@@ -89,10 +116,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for n_shards in [1usize, 2, 4, 8] {
         let mut rng = StdRng::seed_from_u64(7);
         let emb = MethodSpec::MemCom {
-            hash_size: VOCAB / 10,
+            hash_size: vocab / 10,
             bias: false,
         }
-        .build(VOCAB, DIM, &mut rng)?;
+        .build(vocab, DIM, &mut rng)?;
         let server = EmbedServer::start(emb.as_ref(), serve_config(n_shards))?;
         let report = run_load(&server.handle(), &load)?;
         let stats = server.shutdown();
@@ -110,11 +137,83 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // --- Multi-model router: weighted mix + snapshot swap -------------
+    println!("\nMulti-model router: 3 country variants, one worker set, weighted mix:\n");
+    let router = Router::start(serve_config(4))?;
+    let countries: [(&str, usize, f64); 3] = [
+        ("country/us", vocab, 6.0),
+        ("country/de", vocab / 2, 3.0),
+        ("country/jp", vocab / 4, 1.0),
+    ];
+    for (name, model_vocab, _) in countries {
+        let mut rng = StdRng::seed_from_u64(11);
+        let emb = MethodSpec::MemCom {
+            hash_size: (model_vocab / 10).max(1),
+            bias: true,
+        }
+        .build(model_vocab, DIM, &mut rng)?;
+        router.register(name, emb.as_ref())?;
+    }
+    let mix: Vec<ModelMix> = countries
+        .iter()
+        .map(|&(name, _, weight)| ModelMix::new(name, weight))
+        .collect();
+    let report = run_mixed_load(&router, &mix, &load)?;
+    println!(
+        "{:<14} {:>7} {:>9} {:>8} {:>9} {:>9} {:>9}",
+        "model", "weight", "requests", "req/s", "p50", "p95", "p99"
+    );
+    for (share, per_model) in mix.iter().zip(&report.per_model) {
+        println!(
+            "{:<14} {:>7.1} {:>9} {:>8.0} {:>9} {:>9} {:>9}",
+            per_model.model,
+            share.weight,
+            per_model.requests,
+            per_model.qps(),
+            fmt_nanos(per_model.histogram.p50()),
+            fmt_nanos(per_model.histogram.p95()),
+            fmt_nanos(per_model.histogram.p99()),
+        );
+    }
+    println!(
+        "{:<14} {:>7} {:>9} {:>8.0}  (aggregate)",
+        "total",
+        "",
+        report.requests,
+        report.qps()
+    );
+
+    // Online table refresh: rebuild one country's table and flip it in
+    // while the router keeps serving.
+    let mut rng = StdRng::seed_from_u64(12);
+    let retrained = MethodSpec::MemCom {
+        hash_size: ((vocab / 4) / 10).max(1),
+        bias: true,
+    }
+    .build(vocab / 4, DIM, &mut rng)?;
+    let config = router.config().clone();
+    let new_store = ShardedStore::build(
+        retrained.as_ref(),
+        config.n_shards,
+        config.cache_capacity,
+        config.page_size,
+    )?;
+    let old = router.swap("country/jp", new_store)?;
+    let after_swap = run_mixed_load(&router, &mix, &load)?;
+    println!(
+        "\nSwapped country/jp snapshot ({} -> {} stored bytes) with traffic live: \
+         {} more requests served, 0 dropped.",
+        old.stored_bytes(),
+        router.snapshot("country/jp")?.stored_bytes(),
+        after_swap.requests
+    );
+
     println!(
         "\nHot rows answer from each shard's LRU; cold rows fault through the shard's\n\
          simulated mmap. MEmCom partitions its per-entity tables and replicates only\n\
          the small shared table, so it serves from a smaller store at comparable QPS —\n\
-         the paper's on-device story carried over to a serving tier."
+         and one router serves every table variant from the same shard workers, with\n\
+         snapshot swaps refreshing tables under live traffic."
     );
     Ok(())
 }
