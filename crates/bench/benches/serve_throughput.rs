@@ -13,7 +13,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use memcom_core::MethodSpec;
 use memcom_data::Zipf;
-use memcom_serve::{EmbedBatch, EmbedServer, ServeConfig, ShardedStore};
+use memcom_serve::{Dtype, EmbedBatch, EmbedServer, ServeConfig, ShardedStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -131,6 +131,51 @@ fn bench_batch_api(c: &mut Criterion) {
     drop(server);
 }
 
+fn bench_dtype_sweep(c: &mut Criterion) {
+    // Quantized serving: the same table at fp32/f16/int8/int4 row
+    // storage, measured on the zero-copy batch path. The cache is
+    // disabled so every row pays the dequantize-on-miss cost — the
+    // worst case for sub-fp32 dtypes (cache hits are fp32 memcpys and
+    // identical across dtypes).
+    let mut rng = StdRng::seed_from_u64(21);
+    let emb = MethodSpec::Uncompressed
+        .build(VOCAB, DIM, &mut rng)
+        .expect("full table builds");
+    let ids = zipf_ids(BATCH, 23);
+
+    let mut group = c.benchmark_group("serve_dtype");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for (name, dtype) in [
+        ("fp32", Dtype::F32),
+        ("f16", Dtype::F16),
+        ("int8", Dtype::Int8),
+        ("int4", Dtype::Int4),
+    ] {
+        let store = ShardedStore::build_quantized(emb.as_ref(), 4, 0, 16 * 1024, dtype)
+            .expect("store builds");
+        let server = EmbedServer::start_with_store(
+            store,
+            ServeConfig {
+                cache_capacity: 0,
+                ..ServeConfig::with_shards(4)
+            },
+        )
+        .expect("server starts");
+        let handle = server.handle();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &handle, |b, handle| {
+            let mut batch = EmbedBatch::new();
+            b.iter(|| {
+                handle
+                    .get_batch_into(std::hint::black_box(&ids), &mut batch)
+                    .expect("batch served");
+                std::hint::black_box(batch.data().len())
+            });
+        });
+        drop(server);
+    }
+    group.finish();
+}
+
 fn bench_store_direct(c: &mut Criterion) {
     // The store without queues/batching: the per-lookup floor the
     // serving layers add latency on top of.
@@ -161,6 +206,7 @@ fn bench_store_direct(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(12);
-    targets = bench_shard_scaling, bench_method_comparison, bench_batch_api, bench_store_direct
+    targets = bench_shard_scaling, bench_method_comparison, bench_batch_api, bench_dtype_sweep,
+        bench_store_direct
 }
 criterion_main!(benches);

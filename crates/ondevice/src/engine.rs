@@ -21,7 +21,7 @@ use memcom_core::one_hot_hash::ONE_HOT_SEED;
 use crate::compute::{ComputeUnit, WorkCounts};
 use crate::format::{EmbeddingKind, HeadOp, OnDeviceModel, TableMeta};
 use crate::mmap_sim::MmapSim;
-use crate::quant::decode_row;
+use crate::quant::decode_row_into;
 use crate::{OnDeviceError, Result};
 
 /// Work and memory observed during one inference.
@@ -188,8 +188,12 @@ impl InferenceSession {
                     }
                     let mut out = self.read_row(bias, 0)?;
                     debug_assert_eq!(out.len(), *out_dim);
+                    // One scratch row reused for every kernel row: the
+                    // inner loop dequantizes in place instead of
+                    // allocating a Vec per input element.
+                    let mut w_row = vec![0f32; *out_dim];
                     for (i, &xi) in act.iter().enumerate() {
-                        let w_row = self.read_row(weight, i)?;
+                        self.read_row_into(weight, i, &mut w_row)?;
                         for (o, &w) in out.iter_mut().zip(&w_row) {
                             *o += xi * w;
                         }
@@ -227,15 +231,15 @@ impl InferenceSession {
         match self.meta.embedding_kind {
             EmbeddingKind::Full | EmbeddingKind::NaiveHash | EmbeddingKind::TruncateRare => {
                 let table = &self.meta.emb_tables[0];
-                let mut act = Vec::with_capacity(l * e);
-                for &id in ids {
+                let mut act = vec![0f32; l * e];
+                for (pos, &id) in ids.iter().enumerate() {
                     let row = match self.meta.embedding_kind {
                         EmbeddingKind::Full => id,
                         EmbeddingKind::NaiveHash => id % m,
                         EmbeddingKind::TruncateRare => id.min(table.rows - 1),
                         _ => unreachable!(),
                     };
-                    act.extend(self.read_row(table, row)?);
+                    self.read_row_into(table, row, &mut act[pos * e..(pos + 1) * e])?;
                 }
                 Ok(act)
             }
@@ -243,18 +247,26 @@ impl InferenceSession {
                 let shared = &self.meta.emb_tables[0];
                 let mult = &self.meta.emb_tables[1];
                 let bias = self.meta.emb_tables.get(2);
-                let mut act = Vec::with_capacity(l * e);
-                for &id in ids {
-                    let u = self.read_row(shared, id % m)?;
-                    let v = self.read_row(mult, id)?[0];
+                let mut act = vec![0f32; l * e];
+                let mut scalar = [0f32; 1];
+                for (pos, &id) in ids.iter().enumerate() {
+                    let slot = &mut act[pos * e..(pos + 1) * e];
+                    self.read_row_into(shared, id % m, slot)?;
+                    self.read_row_into(mult, id, &mut scalar)?;
+                    let v = scalar[0];
                     match bias {
                         Some(b) => {
-                            let w = self.read_row(b, id)?[0];
-                            act.extend(u.iter().map(|&x| x * v + w));
+                            self.read_row_into(b, id, &mut scalar)?;
+                            let w = scalar[0];
+                            for x in slot.iter_mut() {
+                                *x = *x * v + w;
+                            }
                             work.flops += 2 * e as u64;
                         }
                         None => {
-                            act.extend(u.iter().map(|&x| x * v));
+                            for x in slot.iter_mut() {
+                                *x *= v;
+                            }
                             work.flops += e as u64;
                         }
                     }
@@ -276,8 +288,9 @@ impl InferenceSession {
                 // zero coefficients (the result is identical) but the
                 // counted cost is the dense cost the delegate pays.
                 let mut act = vec![0f32; l * e];
+                let mut k_row = vec![0f32; e];
                 for r in 0..m {
-                    let k_row = self.read_row(kernel, r)?;
+                    self.read_row_into(kernel, r, &mut k_row)?;
                     for pos in 0..l {
                         let coeff = one_hot[pos * m + r];
                         if coeff != 0.0 {
@@ -294,11 +307,21 @@ impl InferenceSession {
         }
     }
 
-    /// Reads and dequantizes one table row through the mmap.
-    fn read_row(&self, table: &TableMeta, r: usize) -> Result<Vec<f32>> {
+    /// Reads and dequantizes one table row through the mmap, straight
+    /// into `out` (`table.cols` values) — no intermediate allocation.
+    fn read_row_into(&self, table: &TableMeta, r: usize, out: &mut [f32]) -> Result<()> {
         let (offset, len) = table.row_range(r);
         let bytes = self.mmap.read(offset, len)?;
-        Ok(decode_row(bytes, table.dtype, table.scale, table.cols))
+        decode_row_into(bytes, table.dtype, table.scale, out);
+        Ok(())
+    }
+
+    /// Reads and dequantizes one table row, allocating the result (cold
+    /// paths only; hot loops use [`read_row_into`](Self::read_row_into)).
+    fn read_row(&self, table: &TableMeta, r: usize) -> Result<Vec<f32>> {
+        let mut out = vec![0f32; table.cols];
+        self.read_row_into(table, r, &mut out)?;
+        Ok(out)
     }
 }
 

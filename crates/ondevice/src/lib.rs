@@ -36,7 +36,7 @@ pub use engine::{InferenceSession, RunStats};
 pub use error::OnDeviceError;
 pub use format::{OnDeviceModel, MAGIC};
 pub use mmap_sim::MmapSim;
-pub use quant::{Dtype, QuantizedTable};
+pub use quant::{decode_row_into, dequant_error_bound, quantize_row, Dtype, QuantizedTable};
 
 /// Convenience alias for results returned throughout this crate.
 pub type Result<T> = std::result::Result<T, OnDeviceError>;

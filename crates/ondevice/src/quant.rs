@@ -47,6 +47,22 @@ impl Dtype {
         (cols * self.bits()).div_ceil(8)
     }
 
+    /// Bytes of per-row metadata when rows are stored with an
+    /// *independent* per-row scale (the serving store's layout): integer
+    /// dtypes prepend their `f32` scale, float dtypes need none.
+    pub fn scale_prefix_bytes(self) -> usize {
+        match self {
+            Dtype::F32 | Dtype::F16 => 0,
+            Dtype::Int8 | Dtype::Int4 | Dtype::Int2 => 4,
+        }
+    }
+
+    /// Bytes per stored row in the per-row-scale layout
+    /// ([`Dtype::scale_prefix_bytes`] + [`Dtype::row_bytes`]).
+    pub fn stored_row_bytes(self, cols: usize) -> usize {
+        self.scale_prefix_bytes() + self.row_bytes(cols)
+    }
+
     /// Wire tag for the format.
     pub fn tag(self) -> u8 {
         match self {
@@ -180,6 +196,8 @@ pub struct QuantizedTable {
     pub cols: usize,
     /// Linear scale (integer dtypes; 1.0 for float dtypes).
     pub scale: f32,
+    /// Largest absolute source value (drives the f16 error bound).
+    pub max_abs: f32,
     /// Packed payload (rows are byte-aligned).
     pub data: Vec<u8>,
 }
@@ -203,18 +221,8 @@ impl QuantizedTable {
         let src = t.as_slice();
         let row_bytes = dtype.row_bytes(cols);
         let mut data = vec![0u8; rows * row_bytes];
-        let scale = match dtype {
-            Dtype::F32 | Dtype::F16 => 1.0,
-            _ => {
-                let max_abs = src.iter().fold(0f32, |m, &x| m.max(x.abs()));
-                let qmax = ((1usize << (dtype.bits() - 1)) - 1) as f32;
-                if max_abs == 0.0 {
-                    1.0
-                } else {
-                    max_abs / qmax
-                }
-            }
-        };
+        let max_abs = src.iter().fold(0f32, |m, &x| m.max(x.abs()));
+        let scale = linear_scale(max_abs, dtype);
         for r in 0..rows {
             let row = &src[r * cols..(r + 1) * cols];
             let out = &mut data[r * row_bytes..(r + 1) * row_bytes];
@@ -225,6 +233,7 @@ impl QuantizedTable {
             rows,
             cols,
             scale,
+            max_abs,
             data,
         })
     }
@@ -235,37 +244,115 @@ impl QuantizedTable {
     ///
     /// Never fails for tables built by [`QuantizedTable::quantize`].
     pub fn dequantize(&self) -> Result<Tensor> {
-        let mut out = Vec::with_capacity(self.rows * self.cols);
+        let mut out = vec![0f32; self.rows * self.cols];
         for r in 0..self.rows {
-            out.extend(self.dequantize_row(r));
+            self.dequantize_row_into(r, &mut out[r * self.cols..(r + 1) * self.cols]);
         }
         Ok(Tensor::from_vec(out, &[self.rows, self.cols])?)
     }
 
-    /// Reconstructs one row (the engine's hot path: touches only that
-    /// row's bytes).
+    /// Reconstructs one row, allocating a fresh `Vec` (convenience over
+    /// [`dequantize_row_into`](Self::dequantize_row_into)).
     pub fn dequantize_row(&self, r: usize) -> Vec<f32> {
+        let mut out = vec![0f32; self.cols];
+        self.dequantize_row_into(r, &mut out);
+        out
+    }
+
+    /// Reconstructs one row directly into `out` — the zero-allocation
+    /// hot path: touches only that row's bytes and writes into the
+    /// caller's buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != self.cols` or `r >= self.rows` — both
+    /// are caller sizing bugs, not data-dependent conditions.
+    pub fn dequantize_row_into(&self, r: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "row buffer must hold cols values");
         let row_bytes = self.dtype.row_bytes(self.cols);
-        decode_row(
+        decode_row_into(
             &self.data[r * row_bytes..(r + 1) * row_bytes],
             self.dtype,
             self.scale,
-            self.cols,
-        )
+            out,
+        );
     }
 
-    /// Worst-case absolute reconstruction error of linear quantization
-    /// (half a quantization step; 0 for floats, which have relative error).
+    /// Worst-case absolute reconstruction error: half a quantization step
+    /// for integer dtypes, a half-ULP-at-`max_abs` bound for f16 (its
+    /// error is relative, so the table's largest magnitude dominates),
+    /// and 0 for f32.
     pub fn max_abs_error_bound(&self) -> f32 {
-        match self.dtype {
-            Dtype::F32 => 0.0,
-            Dtype::F16 => f32::EPSILON, // placeholder: f16 error is relative
-            _ => self.scale * 0.5,
+        dequant_error_bound(self.dtype, self.scale, self.max_abs)
+    }
+}
+
+/// The symmetric linear quantization scale for a source whose magnitudes
+/// are bounded by `max_abs`: one step maps `max_abs` onto the dtype's
+/// positive integer range. `1.0` for float dtypes, and for an all-zero
+/// source (which encodes and decodes exactly at any scale).
+fn linear_scale(max_abs: f32, dtype: Dtype) -> f32 {
+    match dtype {
+        Dtype::F32 | Dtype::F16 => 1.0,
+        Dtype::Int8 | Dtype::Int4 | Dtype::Int2 => {
+            let qmax = ((1usize << (dtype.bits() - 1)) - 1) as f32;
+            if max_abs == 0.0 {
+                1.0
+            } else {
+                max_abs / qmax
+            }
         }
     }
 }
 
-/// Encodes one row of f32s into the packed representation.
+/// Worst-case absolute reconstruction error of one value quantized to
+/// `dtype` at linear `scale`, where `max_abs` bounds the source
+/// magnitudes. Integer dtypes err by at most half a step; f16 rounds to
+/// 11 significand bits (relative error `2⁻¹¹`, bounded absolutely at
+/// `max_abs`, plus the `2⁻²⁴` subnormal granularity); f32 is exact —
+/// and so is an all-zero source at any dtype, which certifies 0 rather
+/// than half of the fallback scale (a zeroed padding row must not poison
+/// a whole store's bound).
+///
+/// Values beyond f16's finite range (±65504) saturate to infinity and
+/// are *not* covered by the f16 bound.
+pub fn dequant_error_bound(dtype: Dtype, scale: f32, max_abs: f32) -> f32 {
+    if max_abs == 0.0 {
+        return 0.0;
+    }
+    match dtype {
+        Dtype::F32 => 0.0,
+        Dtype::F16 => max_abs * (1.0 / 1024.0) + 6e-8,
+        Dtype::Int8 | Dtype::Int4 | Dtype::Int2 => scale * 0.5,
+    }
+}
+
+/// Quantizes one row independently of its table — the per-row-scale
+/// layout the serving store uses — returning the row's linear scale
+/// (`1.0` for float dtypes). `out` must be exactly
+/// [`Dtype::row_bytes`]`(row.len())` long; it is zeroed before the
+/// packed encodings OR into place.
+///
+/// # Panics
+///
+/// Panics on a mis-sized `out` — a caller sizing bug.
+pub fn quantize_row(row: &[f32], dtype: Dtype, out: &mut [u8]) -> f32 {
+    assert_eq!(
+        out.len(),
+        dtype.row_bytes(row.len()),
+        "payload buffer must hold row_bytes"
+    );
+    out.fill(0);
+    let max_abs = row.iter().fold(0f32, |m, &x| m.max(x.abs()));
+    let scale = linear_scale(max_abs, dtype);
+    encode_row(row, dtype, scale, out);
+    scale
+}
+
+/// Encodes one row of f32s into the packed representation. `out` must be
+/// [`Dtype::row_bytes`]`(row.len())` long and zeroed (the sub-byte
+/// encodings OR into place — [`quantize_row`] is the public entry point
+/// and zeroes the buffer itself).
 pub(crate) fn encode_row(row: &[f32], dtype: Dtype, scale: f32, out: &mut [u8]) {
     match dtype {
         Dtype::F32 => {
@@ -302,46 +389,52 @@ pub(crate) fn encode_row(row: &[f32], dtype: Dtype, scale: f32, out: &mut [u8]) 
     }
 }
 
-/// Decodes one packed row back to f32s.
-pub(crate) fn decode_row(bytes: &[u8], dtype: Dtype, scale: f32, cols: usize) -> Vec<f32> {
-    let mut out = Vec::with_capacity(cols);
+/// Decodes one packed row back to f32s, allocating the result
+/// (convenience over [`decode_row_into`]).
+pub fn decode_row(bytes: &[u8], dtype: Dtype, scale: f32, cols: usize) -> Vec<f32> {
+    let mut out = vec![0f32; cols];
+    decode_row_into(bytes, dtype, scale, &mut out);
+    out
+}
+
+/// Decodes one packed row directly into `out` (`out.len()` columns) —
+/// the zero-allocation primitive every dequantizing hot path shares: the
+/// on-device engine decodes activations in place and the serving store
+/// decodes misses straight into the caller's batch slab.
+pub fn decode_row_into(bytes: &[u8], dtype: Dtype, scale: f32, out: &mut [f32]) {
     match dtype {
         Dtype::F32 => {
-            for i in 0..cols {
-                out.push(f32::from_le_bytes(
-                    bytes[i * 4..(i + 1) * 4].try_into().expect("4 bytes"),
-                ));
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+                *o = f32::from_le_bytes(c.try_into().expect("4-byte chunk"));
             }
         }
         Dtype::F16 => {
-            for i in 0..cols {
-                let h = u16::from_le_bytes(bytes[i * 2..(i + 1) * 2].try_into().expect("2 bytes"));
-                out.push(f16_bits_to_f32(h));
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+                *o = f16_bits_to_f32(u16::from_le_bytes(c.try_into().expect("2-byte chunk")));
             }
         }
         Dtype::Int8 => {
-            for &b in bytes.iter().take(cols) {
-                out.push((b as i8) as f32 * scale);
+            for (o, &b) in out.iter_mut().zip(bytes.iter()) {
+                *o = (b as i8) as f32 * scale;
             }
         }
         Dtype::Int4 => {
-            for i in 0..cols {
+            for (i, o) in out.iter_mut().enumerate() {
                 let nib = if i % 2 == 0 {
                     bytes[i / 2] & 0x0F
                 } else {
                     bytes[i / 2] >> 4
                 };
-                out.push(sign_extend(nib, 4) as f32 * scale);
+                *o = sign_extend(nib, 4) as f32 * scale;
             }
         }
         Dtype::Int2 => {
-            for i in 0..cols {
+            for (i, o) in out.iter_mut().enumerate() {
                 let q = (bytes[i / 4] >> ((i % 4) * 2)) & 0x03;
-                out.push(sign_extend(q, 2) as f32 * scale);
+                *o = sign_extend(q, 2) as f32 * scale;
             }
         }
     }
-    out
 }
 
 fn quantize_value(x: f32, scale: f32, bits: usize) -> i8 {
@@ -481,12 +574,17 @@ mod tests {
         ] {
             let q = QuantizedTable::quantize(&t, dtype).unwrap();
             let full = q.dequantize().unwrap();
+            let mut scratch = vec![0f32; 5];
             for r in 0..12 {
                 assert_eq!(
                     q.dequantize_row(r),
                     full.row(r).unwrap(),
                     "{dtype:?} row {r}"
                 );
+                // The zero-copy variant writes the identical values.
+                scratch.fill(f32::NAN);
+                q.dequantize_row_into(r, &mut scratch);
+                assert_eq!(scratch, q.dequantize_row(r), "{dtype:?} row {r} into");
             }
         }
     }
@@ -498,6 +596,29 @@ mod tests {
             let q = QuantizedTable::quantize(&t, dtype).unwrap();
             assert!(q.dequantize().unwrap().as_slice().iter().all(|&x| x == 0.0));
         }
+    }
+
+    #[test]
+    fn zero_rows_certify_zero_error() {
+        // A zeroed row (padding_idx rows in trained tables) round-trips
+        // exactly at any dtype, so its bound is 0 — it must not poison a
+        // store-wide max with the fallback scale's half-step.
+        for dtype in [Dtype::F16, Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+            let mut payload = vec![0xFFu8; dtype.row_bytes(6)];
+            let scale = quantize_row(&[0.0; 6], dtype, &mut payload);
+            assert_eq!(dequant_error_bound(dtype, scale, 0.0), 0.0, "{dtype:?}");
+            let mut out = vec![f32::NAN; 6];
+            decode_row_into(&payload, dtype, scale, &mut out);
+            assert_eq!(out, vec![0.0; 6], "{dtype:?} (stale buffer bits cleared)");
+        }
+        // The table-level bound degenerates to 0 for an all-zero tensor
+        // too, and a mixed table still reports a positive bound.
+        let zeros = QuantizedTable::quantize(&Tensor::zeros(&[2, 3]), Dtype::Int8).unwrap();
+        assert_eq!(zeros.max_abs_error_bound(), 0.0);
+        let mixed = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, -2.0, 0.5], &[2, 3]).unwrap();
+        let q = QuantizedTable::quantize(&mixed, Dtype::Int8).unwrap();
+        assert!(q.max_abs_error_bound() > 0.0);
+        assert!(q.max_abs_error_bound() < 0.01);
     }
 
     #[test]
@@ -539,6 +660,108 @@ mod tests {
             let bound = q.scale * 0.5 + 1e-5;
             for (a, b) in vals.iter().zip(deq.as_slice()) {
                 prop_assert!((a - b).abs() <= bound, "{} vs {} bound {}", a, b, bound);
+            }
+        }
+
+        #[test]
+        fn prop_table_round_trip_within_certified_bound(
+            vals in proptest::collection::vec(-4000.0f32..4000.0, 4..96),
+            dtype in prop_oneof![
+                Just(Dtype::F16),
+                Just(Dtype::Int8),
+                Just(Dtype::Int4),
+            ]
+        ) {
+            // The bound the table *advertises* must hold, not just the
+            // internal half-step formula: this is what serving-layer
+            // certification relies on. (F16's bound is relative to the
+            // table's max_abs, so the range stays well inside f16's
+            // finite ±65504.)
+            let n = vals.len();
+            let t = Tensor::from_vec(vals.clone(), &[1, n]).unwrap();
+            let q = QuantizedTable::quantize(&t, dtype).unwrap();
+            let deq = q.dequantize().unwrap();
+            let bound = q.max_abs_error_bound() * (1.0 + 1e-5) + 1e-6;
+            for (a, b) in vals.iter().zip(deq.as_slice()) {
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "{:?}: {} vs {} bound {}", dtype, a, b, bound
+                );
+            }
+        }
+
+        #[test]
+        fn prop_row_quantize_round_trip_within_bound(
+            vals in proptest::collection::vec(-1000.0f32..1000.0, 1..64),
+            dtype in prop_oneof![
+                Just(Dtype::F32),
+                Just(Dtype::F16),
+                Just(Dtype::Int8),
+                Just(Dtype::Int4),
+                Just(Dtype::Int2),
+            ]
+        ) {
+            // The per-row-scale primitives the serving store is built on:
+            // quantize_row → decode_row_into round-trips within the
+            // per-row dequant_error_bound.
+            let mut payload = vec![0u8; dtype.row_bytes(vals.len())];
+            let scale = quantize_row(&vals, dtype, &mut payload);
+            let mut out = vec![f32::NAN; vals.len()];
+            decode_row_into(&payload, dtype, scale, &mut out);
+            let max_abs = vals.iter().fold(0f32, |m, &x| m.max(x.abs()));
+            let bound =
+                dequant_error_bound(dtype, scale, max_abs) * (1.0 + 1e-5) + 1e-6;
+            for (a, b) in vals.iter().zip(&out) {
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "{:?}: {} vs {} bound {} scale {}", dtype, a, b, bound, scale
+                );
+            }
+        }
+
+        #[test]
+        fn prop_f16_encode_total_for_all_f32_bit_patterns(
+            bits in prop_oneof![
+                // Subnormal f32s (the paper sweep never hits these, the
+                // converter still must not panic or mangle them).
+                0u32..0x0080_0000u32,
+                // Around f16's exponent range boundaries, inf and NaN.
+                0x7F00_0000u32..0x7FFF_FFFFu32,
+                // Everything else.
+                0u32..u32::MAX,
+            ]
+        ) {
+            for bits in [bits, bits | 0x8000_0000] {
+                let x = f32::from_bits(bits);
+                let h = f32_to_f16_bits(x); // must not panic
+                let back = f16_bits_to_f32(h); // must not panic
+                if x.is_nan() {
+                    prop_assert!(back.is_nan(), "NaN must stay NaN");
+                } else if x.is_infinite() {
+                    prop_assert_eq!(back, x, "inf must stay signed inf");
+                } else {
+                    prop_assert!(!back.is_nan(), "finite {} decoded to NaN", x);
+                    prop_assert_eq!(
+                        back.is_sign_negative(),
+                        x.is_sign_negative(),
+                        "sign of {} lost", x
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn prop_f16_decode_encode_is_identity(h in 0u16..=u16::MAX) {
+            // Every half bit pattern decodes without panicking, and every
+            // non-NaN pattern (subnormals, ±0, ±inf included) re-encodes
+            // to exactly itself — f16 → f32 is exact, so the round trip
+            // is lossless.
+            let x = f16_bits_to_f32(h);
+            if x.is_nan() {
+                let r = f32_to_f16_bits(x);
+                prop_assert!(f16_bits_to_f32(r).is_nan());
+            } else {
+                prop_assert_eq!(f32_to_f16_bits(x), h, "{:#06x} -> {} lost", h, x);
             }
         }
     }

@@ -2,14 +2,16 @@
 
 use std::time::Duration;
 
+use memcom_ondevice::Dtype;
+
 use crate::{Result, ServeError};
 
 /// Tuning knobs for [`crate::EmbedServer`].
 ///
 /// Defaults are sized for the workloads in this repository's examples and
 /// benches: 4 shards, micro-batches of up to 32 coalesced over at most
-/// 200 µs, a 4 096-deep bounded queue per shard, and a 1 024-row hot
-/// cache per shard.
+/// 200 µs, a 4 096-deep bounded queue per shard, a 1 024-row hot cache
+/// per shard, and fp32 row storage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Number of shards (one worker thread and one queue per shard).
@@ -25,6 +27,11 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Page size for each shard's simulated mmap.
     pub page_size: usize,
+    /// Storage dtype for shard row bytes — models registered through
+    /// [`crate::Router::register`] (and [`crate::EmbedServer::start`])
+    /// quantize their stores to this dtype on build. Per-model overrides
+    /// go through [`crate::Router::register_with_dtype`].
+    pub dtype: Dtype,
 }
 
 impl Default for ServeConfig {
@@ -36,6 +43,7 @@ impl Default for ServeConfig {
             queue_depth: 4096,
             cache_capacity: 1024,
             page_size: memcom_ondevice::mmap_sim::DEFAULT_PAGE_SIZE,
+            dtype: Dtype::F32,
         }
     }
 }
@@ -45,6 +53,14 @@ impl ServeConfig {
     pub fn with_shards(n_shards: usize) -> Self {
         ServeConfig {
             n_shards,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// A config storing rows as `dtype`, defaults elsewhere.
+    pub fn with_dtype(dtype: Dtype) -> Self {
+        ServeConfig {
+            dtype,
             ..ServeConfig::default()
         }
     }
@@ -89,6 +105,10 @@ mod tests {
     fn default_is_valid() {
         assert!(ServeConfig::default().validate().is_ok());
         assert_eq!(ServeConfig::with_shards(8).n_shards, 8);
+        assert_eq!(ServeConfig::default().dtype, Dtype::F32);
+        let q = ServeConfig::with_dtype(Dtype::Int8);
+        assert_eq!(q.dtype, Dtype::Int8);
+        assert!(q.validate().is_ok());
     }
 
     #[test]

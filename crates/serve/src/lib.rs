@@ -95,5 +95,12 @@ pub use router::{Router, RouterHandle, ServeStats, DEFAULT_MODEL};
 pub use server::{EmbedServer, ServeHandle};
 pub use store::{CacheStats, ShardedStore};
 
+/// Storage dtype for shard row bytes (re-exported from
+/// [`memcom_ondevice`]): [`ShardedStore::build_quantized`] and
+/// [`Router::register_with_dtype`] accept sub-fp32 dtypes, trading a
+/// certified per-row error bound ([`ShardedStore::error_bound`]) for a
+/// proportionally smaller resident store.
+pub use memcom_ondevice::Dtype;
+
 /// Convenience alias for results returned throughout this crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -23,6 +23,7 @@
 use std::time::{Duration, Instant};
 
 use memcom_data::Zipf;
+use memcom_ondevice::Dtype;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,6 +31,7 @@ use crate::batch::EmbedBatch;
 use crate::histogram::LatencyHistogram;
 use crate::router::{Router, RouterHandle};
 use crate::server::ServeHandle;
+use crate::store::ShardedStore;
 use crate::{Result, ServeError};
 
 /// Arrival discipline for the generated load.
@@ -107,6 +109,16 @@ pub struct ModelLoadReport {
     /// This model's per-request latency distribution (p50/p95/p99 in
     /// nanoseconds via [`LatencyHistogram`]).
     pub histogram: LatencyHistogram,
+    /// Storage dtype of the model's store snapshot at the end of the run.
+    pub dtype: Dtype,
+    /// Total bytes held by the model's shard stores (on-"disk" size).
+    pub store_bytes: usize,
+    /// Bytes of store pages resident after the run (the runtime memory
+    /// the traffic actually touched).
+    pub resident_bytes: usize,
+    /// Certified worst-case absolute dequantization error of any row the
+    /// model served ([`ShardedStore::error_bound`]; `0.0` for fp32).
+    pub dequant_error_bound: f32,
 }
 
 impl ModelLoadReport {
@@ -118,6 +130,15 @@ impl ModelLoadReport {
         } else {
             self.requests as f64 / secs
         }
+    }
+
+    fn snapshot_fields(store: &ShardedStore) -> (Dtype, usize, usize, f32) {
+        (
+            store.dtype(),
+            store.stored_bytes(),
+            store.run_stats().resident_model_bytes,
+            store.error_bound(),
+        )
     }
 }
 
@@ -135,6 +156,13 @@ pub struct LoadReport {
     /// Per-model breakdown (one entry per mixed model; a single entry
     /// for [`run_load`]).
     pub per_model: Vec<ModelLoadReport>,
+    /// Order-independent digest of the issued traffic (which model each
+    /// request targeted and which ids it asked for). Clients accumulate
+    /// per-request hashes with wrapping adds, so thread scheduling cannot
+    /// perturb it: the same config and seed must reproduce the same
+    /// checksum, making loadgen regressions (Zipf sampling, weighted
+    /// model picks, per-client seeding) detectable as a value change.
+    pub traffic_checksum: u64,
 }
 
 impl LoadReport {
@@ -206,6 +234,19 @@ fn request_start(
     }
 }
 
+/// FNV-style digest of one request's routing and payload, combined
+/// across requests with wrapping adds (order-independent, so concurrent
+/// clients sum to a deterministic total).
+fn request_digest(model_idx: usize, ids: &[usize]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (model_idx as u64).wrapping_mul(FNV_PRIME);
+    for &id in ids {
+        h ^= id as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// Runs Zipf traffic against `handle` and collects latency + throughput.
 ///
 /// # Errors
@@ -222,7 +263,7 @@ pub fn run_load(handle: &ServeHandle, config: &LoadGenConfig) -> Result<LoadRepo
     let tick = arrival_tick(config.mode, config.clients)?;
 
     let started = Instant::now();
-    let outcomes: Vec<Result<LatencyHistogram>> = std::thread::scope(|scope| {
+    let outcomes: Vec<Result<(LatencyHistogram, u64)>> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..config.clients)
             .map(|client_idx| {
                 let zipf = &zipf;
@@ -239,9 +280,14 @@ pub fn run_load(handle: &ServeHandle, config: &LoadGenConfig) -> Result<LoadRepo
     let elapsed = started.elapsed();
 
     let mut histogram = LatencyHistogram::new();
+    let mut traffic_checksum = 0u64;
     for outcome in outcomes {
-        histogram.merge(&outcome?);
+        let (client_hist, checksum) = outcome?;
+        histogram.merge(&client_hist);
+        traffic_checksum = traffic_checksum.wrapping_add(checksum);
     }
+    let (dtype, store_bytes, resident_bytes, dequant_error_bound) =
+        ModelLoadReport::snapshot_fields(&handle.snapshot());
     Ok(LoadReport {
         requests: histogram.count(),
         ids_per_request: config.ids_per_request,
@@ -251,8 +297,13 @@ pub fn run_load(handle: &ServeHandle, config: &LoadGenConfig) -> Result<LoadRepo
             requests: histogram.count(),
             elapsed,
             histogram: histogram.clone(),
+            dtype,
+            store_bytes,
+            resident_bytes,
+            dequant_error_bound,
         }],
         histogram,
+        traffic_checksum,
     })
 }
 
@@ -263,11 +314,13 @@ fn client_loop(
     tick: Duration,
     client_idx: usize,
     started: Instant,
-) -> Result<LatencyHistogram> {
+) -> Result<(LatencyHistogram, u64)> {
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client_idx as u64));
     let mut histogram = LatencyHistogram::new();
+    let mut checksum = 0u64;
     for k in 0..config.requests_per_client {
         let ids = zipf.sample_many(config.ids_per_request, &mut rng);
+        checksum = checksum.wrapping_add(request_digest(0, &ids));
         let t0 = request_start(config.mode, tick, started, client_idx, config.clients, k);
         if let [id] = ids.as_slice() {
             handle.get(*id)?;
@@ -276,7 +329,7 @@ fn client_loop(
         }
         histogram.record(t0.elapsed().as_nanos() as u64);
     }
-    Ok(histogram)
+    Ok((histogram, checksum))
 }
 
 /// Runs mixed multi-model Zipf traffic against a [`Router`]: each
@@ -334,7 +387,7 @@ pub fn run_mixed_load(
     let tick = arrival_tick(config.mode, config.clients)?;
 
     let started = Instant::now();
-    let outcomes: Vec<Result<Vec<LatencyHistogram>>> = std::thread::scope(|scope| {
+    let outcomes: Vec<Result<(Vec<LatencyHistogram>, u64)>> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..config.clients)
             .map(|client_idx| {
                 let (handles, zipfs, cumulative) = (&handles, &zipfs, &cumulative);
@@ -361,8 +414,11 @@ pub fn run_mixed_load(
 
     let mut per_model_hists: Vec<LatencyHistogram> =
         (0..mix.len()).map(|_| LatencyHistogram::new()).collect();
+    let mut traffic_checksum = 0u64;
     for outcome in outcomes {
-        for (merged, client_hist) in per_model_hists.iter_mut().zip(outcome?) {
+        let (client_hists, checksum) = outcome?;
+        traffic_checksum = traffic_checksum.wrapping_add(checksum);
+        for (merged, client_hist) in per_model_hists.iter_mut().zip(client_hists) {
             merged.merge(&client_hist);
         }
     }
@@ -373,11 +429,20 @@ pub fn run_mixed_load(
     let per_model = mix
         .iter()
         .zip(per_model_hists)
-        .map(|(share, h)| ModelLoadReport {
-            model: share.model.clone(),
-            requests: h.count(),
-            elapsed,
-            histogram: h,
+        .zip(&handles)
+        .map(|((share, h), handle)| {
+            let (dtype, store_bytes, resident_bytes, dequant_error_bound) =
+                ModelLoadReport::snapshot_fields(&handle.snapshot());
+            ModelLoadReport {
+                model: share.model.clone(),
+                requests: h.count(),
+                elapsed,
+                histogram: h,
+                dtype,
+                store_bytes,
+                resident_bytes,
+                dequant_error_bound,
+            }
         })
         .collect();
     Ok(LoadReport {
@@ -386,6 +451,7 @@ pub fn run_mixed_load(
         elapsed,
         histogram,
         per_model,
+        traffic_checksum,
     })
 }
 
@@ -399,12 +465,13 @@ fn mixed_client_loop(
     tick: Duration,
     client_idx: usize,
     started: Instant,
-) -> Result<Vec<LatencyHistogram>> {
+) -> Result<(Vec<LatencyHistogram>, u64)> {
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client_idx as u64));
     let mut histograms: Vec<LatencyHistogram> = (0..handles.len())
         .map(|_| LatencyHistogram::new())
         .collect();
     let mut batch = EmbedBatch::new();
+    let mut checksum = 0u64;
     for k in 0..config.requests_per_client {
         let draw = rng.gen::<f64>() * total_weight;
         let model_idx = cumulative
@@ -412,6 +479,7 @@ fn mixed_client_loop(
             .position(|&c| draw < c)
             .unwrap_or(handles.len() - 1);
         let ids = zipfs[model_idx].sample_many(config.ids_per_request, &mut rng);
+        checksum = checksum.wrapping_add(request_digest(model_idx, &ids));
         let t0 = request_start(config.mode, tick, started, client_idx, config.clients, k);
         if let [id] = ids.as_slice() {
             handles[model_idx].get(*id)?;
@@ -420,7 +488,7 @@ fn mixed_client_loop(
         }
         histograms[model_idx].record(t0.elapsed().as_nanos() as u64);
     }
-    Ok(histograms)
+    Ok((histograms, checksum))
 }
 
 #[cfg(test)]
@@ -581,6 +649,65 @@ mod tests {
             stats_a.requests + stats_b.requests,
             800 * config.ids_per_request as u64
         );
+    }
+
+    #[test]
+    fn mixed_load_is_deterministic_for_a_seed() {
+        // Same seed ⇒ identical traffic: total and per-model request
+        // counts and the order-independent id/model checksum all match
+        // across two runs (latency histograms are timing-dependent and
+        // deliberately excluded). Guards the Zipf sampling, the weighted
+        // model pick, and the per-client seeding against silent drift.
+        let router = two_model_router();
+        let mix = [ModelMix::new("a", 2.0), ModelMix::new("b", 1.0)];
+        let config = LoadGenConfig {
+            clients: 3,
+            requests_per_client: 150,
+            ids_per_request: 3,
+            ..LoadGenConfig::default()
+        };
+        let first = run_mixed_load(&router, &mix, &config).unwrap();
+        let second = run_mixed_load(&router, &mix, &config).unwrap();
+        assert_eq!(first.traffic_checksum, second.traffic_checksum);
+        assert_ne!(first.traffic_checksum, 0);
+        assert_eq!(first.requests, second.requests);
+        assert_eq!(first.ids_per_request, second.ids_per_request);
+        for (a, b) in first.per_model.iter().zip(&second.per_model) {
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.requests, b.requests, "model {}", a.model);
+            assert_eq!(a.store_bytes, b.store_bytes);
+            assert_eq!(a.dtype, b.dtype);
+            assert_eq!(a.dequant_error_bound, b.dequant_error_bound);
+        }
+
+        // A different seed must actually change the traffic.
+        let reseeded = run_mixed_load(
+            &router,
+            &mix,
+            &LoadGenConfig {
+                seed: config.seed + 1,
+                ..config
+            },
+        )
+        .unwrap();
+        assert_ne!(first.traffic_checksum, reseeded.traffic_checksum);
+    }
+
+    #[test]
+    fn single_model_report_carries_store_snapshot() {
+        let server = test_server();
+        let config = LoadGenConfig {
+            clients: 2,
+            requests_per_client: 100,
+            ..LoadGenConfig::default()
+        };
+        let report = run_load(&server.handle(), &config).unwrap();
+        let model = &report.per_model[0];
+        assert_eq!(model.dtype, crate::Dtype::F32);
+        assert_eq!(model.dequant_error_bound, 0.0);
+        assert_eq!(model.store_bytes, server.store().stored_bytes());
+        assert!(model.resident_bytes > 0, "traffic must touch pages");
+        assert_ne!(report.traffic_checksum, 0);
     }
 
     #[test]

@@ -286,19 +286,52 @@ impl Router {
     }
 
     /// Builds a store from `emb` (using the router's config for shard
-    /// count, cache capacity and page size) and registers it as `name`.
+    /// count, cache capacity, page size, and storage dtype) and registers
+    /// it as `name`.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::ModelExists`] for duplicate names and
     /// propagates store-construction failures.
     pub fn register(&self, name: &str, emb: &dyn memcom_core::EmbeddingCompressor) -> Result<()> {
+        self.register_with_dtype(name, emb, self.inner.config.dtype)
+    }
+
+    /// Like [`register`](Self::register), but stores `name`'s rows as
+    /// `dtype` regardless of the config default — so fp32 and int8
+    /// variants of the *same* model can coexist under one worker set for
+    /// an A/B:
+    ///
+    /// ```
+    /// # use memcom_core::{MemCom, MemComConfig};
+    /// # use memcom_serve::{Dtype, Router, ServeConfig};
+    /// # use rand::{rngs::StdRng, SeedableRng};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let mut rng = StdRng::seed_from_u64(0);
+    /// # let emb = MemCom::new(MemComConfig::new(1_000, 16, 100), &mut rng)?;
+    /// # let router = Router::start(ServeConfig::with_shards(2))?;
+    /// router.register("emb/fp32", &emb)?;
+    /// router.register_with_dtype("emb/int8", &emb, Dtype::Int8)?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`register`](Self::register).
+    pub fn register_with_dtype(
+        &self,
+        name: &str,
+        emb: &dyn memcom_core::EmbeddingCompressor,
+        dtype: memcom_ondevice::Dtype,
+    ) -> Result<()> {
         let config = &self.inner.config;
-        let store = ShardedStore::build(
+        let store = ShardedStore::build_quantized(
             emb,
             config.n_shards,
             config.cache_capacity,
             config.page_size,
+            dtype,
         )?;
         self.register_store(name, store)
     }

@@ -146,6 +146,12 @@ impl ServeHandle {
         self.inner.model_name()
     }
 
+    /// The current store snapshot (footprint / dtype / error-bound
+    /// inspection), regardless of registration state.
+    pub fn snapshot(&self) -> Arc<ShardedStore> {
+        self.inner.snapshot()
+    }
+
     /// Served vocabulary size.
     pub fn vocab(&self) -> usize {
         self.inner.vocab()

@@ -27,6 +27,17 @@
 //! writes rows straight into a caller-owned flat buffer — cache hits are
 //! `memcpy`s out of the LRU, misses decode from the mmap in place, and
 //! nothing on that path allocates per row.
+//!
+//! Either layout can store its rows below fp32
+//! ([`ShardedStore::build_quantized`]): shard pages then hold
+//! [`Dtype`]-packed row bytes — each integer-quantized row carries its
+//! own inline `f32` scale, so one page-local read yields both — and the
+//! miss path dequantizes **directly into the caller's slab** through
+//! [`memcom_ondevice::decode_row_into`], preserving the zero-allocation
+//! guarantee. The hot-row LRU always caches decoded fp32 rows, so cache
+//! hits stay pure memcpys regardless of the storage dtype, and
+//! [`ShardedStore::error_bound`] certifies the worst-case absolute error
+//! any served row can carry.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -36,6 +47,7 @@ use memcom_core::MemCom;
 use memcom_ondevice::compute::WorkCounts;
 use memcom_ondevice::engine::RunStats;
 use memcom_ondevice::mmap_sim::MmapSim;
+use memcom_ondevice::quant::{decode_row_into, dequant_error_bound, quantize_row, Dtype};
 use parking_lot::Mutex;
 
 use crate::cache::LruCache;
@@ -78,6 +90,8 @@ enum Layout {
 struct Shard {
     mmap: MmapSim,
     layout: Layout,
+    /// Storage dtype of this shard's row bytes.
+    dtype: Dtype,
     /// Rows owned by this shard (its slot count).
     slots: usize,
     cache: Mutex<LruCache>,
@@ -92,32 +106,44 @@ struct Shard {
 
 impl Shard {
     /// Decodes the embedding row for global `id` at local `slot` from the
-    /// backing mmap straight into `out`, bypassing the cache.
+    /// backing mmap straight into `out`, bypassing the cache — the
+    /// zero-copy miss path: quantized bytes dequantize in place, no
+    /// intermediate buffer.
     fn read_row_into(&self, id: usize, slot: usize, dim: usize, out: &mut [f32]) -> Result<()> {
         debug_assert!(slot < self.slots, "slot routed to wrong shard");
         debug_assert_eq!(out.len(), dim);
+        let stride = self.dtype.stored_row_bytes(dim);
         match self.layout {
             Layout::Rows => {
-                let bytes = self.mmap.read(slot * dim * 4, dim * 4)?;
-                decode_f32s_into(bytes, out);
+                let bytes = self.mmap.read(slot * stride, stride)?;
+                decode_stored_row(bytes, self.dtype, out);
+                if self.dtype != Dtype::F32 {
+                    // Dequantization is real reconstruction work: one
+                    // multiply (or half-to-float convert) per element.
+                    self.flops.fetch_add(dim as u64, Ordering::Relaxed);
+                }
             }
             Layout::MemCom { m, bias } => {
                 let shared_row = mod_hash(id, m);
-                let mult_base = m * dim * 4;
+                let mult_base = m * stride;
                 let v = decode_f32(self.mmap.read(mult_base + slot * 4, 4)?);
-                let u = self.mmap.read(shared_row * dim * 4, dim * 4)?;
+                let u = self.mmap.read(shared_row * stride, stride)?;
+                decode_stored_row(u, self.dtype, out);
                 if bias {
                     let bias_base = mult_base + self.slots * 4;
                     let w = decode_f32(self.mmap.read(bias_base + slot * 4, 4)?);
                     self.flops.fetch_add(2 * dim as u64, Ordering::Relaxed);
-                    for (o, c) in out.iter_mut().zip(u.chunks_exact(4)) {
-                        *o = f32::from_le_bytes(c.try_into().expect("4-byte chunk")) * v + w;
+                    for o in out.iter_mut() {
+                        *o = *o * v + w;
                     }
                 } else {
                     self.flops.fetch_add(dim as u64, Ordering::Relaxed);
-                    for (o, c) in out.iter_mut().zip(u.chunks_exact(4)) {
-                        *o = f32::from_le_bytes(c.try_into().expect("4-byte chunk")) * v;
+                    for o in out.iter_mut() {
+                        *o *= v;
                     }
+                }
+                if self.dtype != Dtype::F32 {
+                    self.flops.fetch_add(dim as u64, Ordering::Relaxed);
                 }
             }
         }
@@ -215,12 +241,18 @@ pub struct ShardedStore {
     shards: Vec<Shard>,
     vocab: usize,
     dim: usize,
+    dtype: Dtype,
+    /// Worst-case absolute error of any served row vs. the fp32 model.
+    error_bound: f32,
     method: &'static str,
 }
 
 impl ShardedStore {
-    /// Builds a store with `n_shards` shards from a trained compressor,
-    /// using the given per-shard cache capacity and simulated page size.
+    /// Builds an fp32 store with `n_shards` shards from a trained
+    /// compressor, using the given per-shard cache capacity and simulated
+    /// page size. Served rows are bit-exact
+    /// ([`error_bound`](Self::error_bound) is 0); for sub-fp32 row
+    /// storage use [`build_quantized`](Self::build_quantized).
     ///
     /// # Errors
     ///
@@ -232,6 +264,31 @@ impl ShardedStore {
         n_shards: usize,
         cache_capacity: usize,
         page_size: usize,
+    ) -> Result<Self> {
+        Self::build_quantized(emb, n_shards, cache_capacity, page_size, Dtype::F32)
+    }
+
+    /// Builds a store whose shard pages hold `dtype`-packed row bytes.
+    ///
+    /// Each integer-quantized row is encoded with its **own** linear
+    /// scale (stored inline before the payload), so the error of any row
+    /// is bounded by *that row's* half-step, not the worst row's. For the
+    /// MemCom layout the small shared table is quantized per row while
+    /// the per-entity scalars stay `f32` (they are one value per entity —
+    /// already the minimal footprint, and keeping them exact means the
+    /// reconstruction error is just `|v| · err(u_row)`).
+    /// [`error_bound`](Self::error_bound) reports the certified
+    /// worst-case absolute error across the whole table.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build`](Self::build).
+    pub fn build_quantized(
+        emb: &dyn EmbeddingCompressor,
+        n_shards: usize,
+        cache_capacity: usize,
+        page_size: usize,
+        dtype: Dtype,
     ) -> Result<Self> {
         if n_shards == 0 {
             return Err(ServeError::BadConfig {
@@ -248,9 +305,22 @@ impl ShardedStore {
 
         let memcom = emb.as_any().downcast_ref::<MemCom>();
         // The replicated shared-table prefix is identical for every
-        // shard; encode it once and memcpy it per shard.
-        let shared_bytes = memcom.map(|mc| encode_f32s(mc.shared_table().as_slice()));
+        // shard; encode it once and memcpy it per shard. For MemCom the
+        // final row is u_row · v (+ w) with exact scalars, so its error
+        // bound is the shared table's row bound times the largest |v|.
+        let shared_encoded = memcom.map(|mc| {
+            let m = mc.shared_table().shape().dims()[0];
+            let (bytes, shared_bound) = encode_rows(mc.shared_table().as_slice(), m, dim, dtype);
+            let max_abs_v = mc
+                .multiplier_table()
+                .as_slice()
+                .iter()
+                .fold(0f32, |acc, &v| acc.max(v.abs()));
+            (bytes, shared_bound * max_abs_v)
+        });
+        let mut error_bound = 0f32;
         let mut row_scratch = vec![0f32; dim];
+        let mut payload_scratch = vec![0u8; dtype.row_bytes(dim)];
         let mut shards = Vec::with_capacity(n_shards);
         for shard_idx in 0..n_shards {
             // Ids owned by this shard: shard_idx, shard_idx + n, ...
@@ -262,7 +332,10 @@ impl ShardedStore {
             let (bytes, layout) = match memcom {
                 Some(mc) => {
                     let m = mc.shared_table().shape().dims()[0];
-                    let mut bytes = shared_bytes.clone().expect("encoded for memcom");
+                    let (shared_bytes, bound) =
+                        shared_encoded.as_ref().expect("encoded for memcom");
+                    error_bound = error_bound.max(*bound);
+                    let mut bytes = shared_bytes.clone();
                     let mult = mc.multiplier_table().as_slice();
                     for slot in 0..slots {
                         bytes.extend_from_slice(&mult[shard_idx + slot * n_shards].to_le_bytes());
@@ -282,12 +355,16 @@ impl ShardedStore {
                     )
                 }
                 None => {
-                    let mut bytes = Vec::with_capacity(slots * dim * 4);
+                    let mut bytes = Vec::with_capacity(slots * dtype.stored_row_bytes(dim));
                     for slot in 0..slots {
                         emb.embed_into(shard_idx + slot * n_shards, &mut row_scratch)?;
-                        for v in &row_scratch {
-                            bytes.extend_from_slice(&v.to_le_bytes());
-                        }
+                        let bound = encode_stored_row(
+                            &row_scratch,
+                            dtype,
+                            &mut payload_scratch,
+                            &mut bytes,
+                        );
+                        error_bound = error_bound.max(bound);
                     }
                     (bytes, Layout::Rows)
                 }
@@ -295,6 +372,7 @@ impl ShardedStore {
             shards.push(Shard {
                 mmap: MmapSim::with_page_size(bytes, page_size),
                 layout,
+                dtype,
                 slots,
                 cache: Mutex::new(LruCache::new(cache_capacity)),
                 miss_scratch: Mutex::new(Vec::new()),
@@ -307,6 +385,8 @@ impl ShardedStore {
             shards,
             vocab,
             dim,
+            dtype,
+            error_bound,
             method: emb.method_name(),
         })
     }
@@ -329,6 +409,17 @@ impl ShardedStore {
     /// Compression technique backing the store (e.g. `"memcom"`).
     pub fn method(&self) -> &'static str {
         self.method
+    }
+
+    /// Storage dtype of the shard row bytes.
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
+    }
+
+    /// Certified worst-case absolute error of any served row relative to
+    /// the fp32 model it was built from (`0.0` for [`Dtype::F32`]).
+    pub fn error_bound(&self) -> f32 {
+        self.error_bound
     }
 
     /// The shard owning `id`.
@@ -461,24 +552,60 @@ impl std::fmt::Debug for ShardedStore {
             .field("method", &self.method)
             .field("vocab", &self.vocab)
             .field("dim", &self.dim)
+            .field("dtype", &self.dtype)
             .field("n_shards", &self.shards.len())
             .field("stored_bytes", &self.stored_bytes())
             .finish()
     }
 }
 
-fn encode_f32s(values: &[f32]) -> Vec<u8> {
-    let mut bytes = Vec::with_capacity(values.len() * 4);
-    for v in values {
-        bytes.extend_from_slice(&v.to_le_bytes());
+/// Appends `row` in the stored-row layout (inline per-row scale for
+/// integer dtypes, then the packed payload), reusing `payload_scratch`
+/// (`dtype.row_bytes(row.len())` bytes) across calls. Returns the row's
+/// worst-case absolute dequantization error.
+fn encode_stored_row(
+    row: &[f32],
+    dtype: Dtype,
+    payload_scratch: &mut [u8],
+    bytes: &mut Vec<u8>,
+) -> f32 {
+    let scale = quantize_row(row, dtype, payload_scratch);
+    if dtype.scale_prefix_bytes() > 0 {
+        bytes.extend_from_slice(&scale.to_le_bytes());
     }
-    bytes
+    bytes.extend_from_slice(payload_scratch);
+    let max_abs = row.iter().fold(0f32, |acc, &x| acc.max(x.abs()));
+    dequant_error_bound(dtype, scale, max_abs)
 }
 
-fn decode_f32s_into(bytes: &[u8], out: &mut [f32]) {
-    for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
-        *o = f32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+/// Encodes `rows` rows of `cols` values each, returning the packed bytes
+/// and the worst per-row error bound.
+fn encode_rows(values: &[f32], rows: usize, cols: usize, dtype: Dtype) -> (Vec<u8>, f32) {
+    let mut bytes = Vec::with_capacity(rows * dtype.stored_row_bytes(cols));
+    let mut payload_scratch = vec![0u8; dtype.row_bytes(cols)];
+    let mut bound = 0f32;
+    for r in 0..rows {
+        let row = &values[r * cols..(r + 1) * cols];
+        bound = bound.max(encode_stored_row(
+            row,
+            dtype,
+            &mut payload_scratch,
+            &mut bytes,
+        ));
     }
+    (bytes, bound)
+}
+
+/// Decodes one stored row (optional inline scale + packed payload)
+/// straight into `out`.
+fn decode_stored_row(bytes: &[u8], dtype: Dtype, out: &mut [f32]) {
+    let prefix = dtype.scale_prefix_bytes();
+    let scale = if prefix == 0 {
+        1.0
+    } else {
+        decode_f32(&bytes[..prefix])
+    };
+    decode_row_into(&bytes[prefix..], dtype, scale, out);
 }
 
 fn decode_f32(bytes: &[u8]) -> f32 {
@@ -488,7 +615,7 @@ fn decode_f32(bytes: &[u8]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use memcom_core::{FullEmbedding, MemComConfig};
+    use memcom_core::{EmbeddingCompressor, FullEmbedding, MemComConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -626,6 +753,67 @@ mod tests {
         for unit in ComputeUnit::all() {
             assert!(stats.time_ms(unit) > 0.0);
         }
+    }
+
+    #[test]
+    fn quantized_stores_serve_within_certified_bound() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let full = FullEmbedding::new(120, 16, &mut rng).unwrap();
+        let compressed = memcom(120, 16, 12, true);
+        for dtype in [Dtype::F16, Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+            for emb in [&full as &dyn EmbeddingCompressor, &compressed] {
+                let exact = ShardedStore::build(emb, 3, 8, 256).unwrap();
+                let quant = ShardedStore::build_quantized(emb, 3, 8, 256, dtype).unwrap();
+                assert_eq!(quant.dtype(), dtype);
+                assert_eq!(exact.dtype(), Dtype::F32);
+                assert_eq!(exact.error_bound(), 0.0);
+                assert!(quant.error_bound() > 0.0, "{dtype:?}");
+                assert!(
+                    quant.stored_bytes() < exact.stored_bytes(),
+                    "{dtype:?} must shrink the store"
+                );
+                let bound = quant.error_bound() + 1e-6;
+                for id in 0..120 {
+                    let want = exact.get(id).unwrap();
+                    let got = quant.get(id).unwrap();
+                    for (a, b) in want.iter().zip(&got) {
+                        assert!(
+                            (a - b).abs() <= bound,
+                            "{dtype:?} {} id {id}: {a} vs {b} (bound {bound})",
+                            emb.method_name(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_rows_store_is_at_least_3x_smaller() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let full = FullEmbedding::new(1_000, 32, &mut rng).unwrap();
+        let exact = ShardedStore::build(&full, 4, 0, 4096).unwrap();
+        let int8 = ShardedStore::build_quantized(&full, 4, 0, 4096, Dtype::Int8).unwrap();
+        // 128 B/row fp32 vs 4 B scale + 32 B payload.
+        assert!(
+            int8.stored_bytes() * 3 <= exact.stored_bytes(),
+            "{} vs {}",
+            int8.stored_bytes(),
+            exact.stored_bytes()
+        );
+    }
+
+    #[test]
+    fn quantized_miss_path_still_counts_work() {
+        let emb = memcom(64, 8, 8, false);
+        let store = ShardedStore::build_quantized(&emb, 2, 0, 128, Dtype::Int8).unwrap();
+        for id in 0..64 {
+            store.get(id).unwrap();
+        }
+        let work = store.work();
+        // Reconstruction (dim) + dequantization (dim) flops per lookup.
+        assert!(work.flops >= 64 * 16, "flops {}", work.flops);
+        assert!(work.cold_bytes > 0);
     }
 
     #[test]

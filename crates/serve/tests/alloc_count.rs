@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use memcom_core::{MemCom, MemComConfig};
-use memcom_serve::{EmbedBatch, EmbedServer, ServeConfig};
+use memcom_serve::{Dtype, EmbedBatch, EmbedServer, ServeConfig, ShardedStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -92,6 +92,46 @@ fn get_batch_into_allocates_constant_not_per_row() {
     // Sanity: the rows really were served.
     assert_eq!(batch.len(), ROWS);
     assert_eq!(batch.dim(), 16);
+    let stats = server.shutdown();
+    assert!(stats.requests >= (CALLS + 10) * ROWS as u64);
+
+    // Second phase: the *quantized miss path*. The cache is disabled, so
+    // every row of every call dequantizes int8 bytes out of the mmap —
+    // straight into the slab. That decode must be exactly as
+    // allocation-free as the fp32 memcpy it replaces.
+    let quantized = ShardedStore::build_quantized(
+        &emb,
+        1,
+        0, // no LRU: every lookup exercises dequantization
+        memcom_ondevice::mmap_sim::DEFAULT_PAGE_SIZE,
+        Dtype::Int8,
+    )
+    .unwrap();
+    let server = EmbedServer::start_with_store(
+        quantized,
+        ServeConfig {
+            n_shards: 1,
+            max_batch: 1,
+            max_wait: Duration::from_micros(1),
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    for _ in 0..10 {
+        handle.get_batch_into(&ids, &mut batch).unwrap();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..CALLS {
+        handle.get_batch_into(&ids, &mut batch).unwrap();
+    }
+    let per_call = (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / CALLS as f64;
+    assert!(
+        per_call <= 32.0,
+        "expected O(1) allocations per {ROWS}-row quantized-miss call, measured {per_call:.1}"
+    );
+    assert_eq!(batch.len(), ROWS);
     let stats = server.shutdown();
     assert!(stats.requests >= (CALLS + 10) * ROWS as u64);
 }
