@@ -13,7 +13,8 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use memcom_core::MethodSpec;
 use memcom_data::Zipf;
-use memcom_serve::{Dtype, EmbedBatch, EmbedServer, ServeConfig, ShardedStore};
+use memcom_serve::batcher::ShardQueue;
+use memcom_serve::{AdmissionPolicy, Dtype, EmbedBatch, EmbedServer, ServeConfig, ShardedStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -176,6 +177,69 @@ fn bench_dtype_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_shed(c: &mut Criterion) {
+    // Admission-control cost: (a) the uncontended overhead of running
+    // under a Shed policy at all — one extra timestamp per request —
+    // and (b) the raw shed fast path, a `try_push` rejection against a
+    // full queue, which under overload runs for most traffic and must
+    // stay far cheaper than serving.
+    let mut rng = StdRng::seed_from_u64(29);
+    let spec = MethodSpec::MemCom {
+        hash_size: VOCAB / 10,
+        bias: false,
+    };
+    let emb = spec.build(VOCAB, DIM, &mut rng).expect("memcom builds");
+    let ids = zipf_ids(BATCH, 31);
+
+    let mut group = c.benchmark_group("serve_shed");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for (name, admission) in [
+        ("block_policy", AdmissionPolicy::Block),
+        (
+            "shed_policy_uncontended",
+            AdmissionPolicy::Shed {
+                enqueue_timeout: Duration::from_micros(100),
+                request_deadline: Some(Duration::from_millis(50)),
+            },
+        ),
+    ] {
+        let server = EmbedServer::start(
+            emb.as_ref(),
+            ServeConfig {
+                admission,
+                ..ServeConfig::with_shards(4)
+            },
+        )
+        .expect("server starts");
+        let handle = server.handle();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &handle, |b, handle| {
+            let mut batch = EmbedBatch::new();
+            b.iter(|| {
+                handle
+                    .get_batch_into(std::hint::black_box(&ids), &mut batch)
+                    .expect("batch served");
+                std::hint::black_box(batch.data().len())
+            });
+        });
+        drop(server);
+    }
+
+    // The shed fast path in isolation: rejections per second against a
+    // queue that is pinned full (no worker draining it).
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("try_push_full_queue", |b| {
+        let queue: ShardQueue<usize> = ShardQueue::new(4);
+        for i in 0..4 {
+            queue.try_push(i).expect("fills");
+        }
+        b.iter(|| {
+            let rejected = queue.try_push(std::hint::black_box(99)).is_err();
+            std::hint::black_box(rejected)
+        });
+    });
+    group.finish();
+}
+
 fn bench_store_direct(c: &mut Criterion) {
     // The store without queues/batching: the per-lookup floor the
     // serving layers add latency on top of.
@@ -207,6 +271,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(12);
     targets = bench_shard_scaling, bench_method_comparison, bench_batch_api, bench_dtype_sweep,
-        bench_store_direct
+        bench_shed, bench_store_direct
 }
 criterion_main!(benches);

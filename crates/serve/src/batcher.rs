@@ -11,6 +11,13 @@
 //! back to a single-id requester, and a [`SlabSlot`] round-trips the
 //! caller's id/output buffers for the zero-copy batch path, so the
 //! buffers can be pooled and reused across calls.
+//!
+//! Producers pick their overload behavior per push: [`ShardQueue::push`]
+//! blocks while the queue is full (backpressure), while
+//! [`ShardQueue::try_push`] / [`ShardQueue::push_until`] never wait past
+//! the caller's budget and hand the rejected request back through
+//! [`PushError`] — the primitive under
+//! [`crate::AdmissionPolicy::Shed`]'s admission control.
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -18,6 +25,26 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use crate::{Result, ServeError};
+
+/// Why a push failed — carrying the rejected request back to the
+/// producer, so buffers it owns (e.g. a slab request's id/out vectors)
+/// survive the rejection and can be recycled instead of reallocated.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue stayed full past the producer's budget (shed).
+    Full(T),
+    /// The queue is closed (shutdown).
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected request.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(request) | PushError::Closed(request) => request,
+        }
+    }
+}
 
 /// Why a worker closed a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,7 +142,24 @@ impl SlabSlot {
         }
     }
 
-    /// Fails the request without buffers (panic-recovery blanket).
+    /// Fails the request while handing the caller's buffers back for
+    /// reuse. This is the failure path whenever the worker still owns
+    /// the buffers (store error, expired-at-dequeue) — under load
+    /// shedding it is hot, and losing the buffers here would cost the
+    /// caller a reallocation per failed request.
+    pub fn fail_with_buffers(&self, ids: Vec<usize>, out: Vec<f32>, error: ServeError) {
+        self.fill(SlabOutcome {
+            ids,
+            out,
+            result: Err(error),
+        });
+    }
+
+    /// Fails the request *without* buffers. Only for the panic-recovery
+    /// blanket, where the buffers died with the panicking batch —
+    /// every other failure path must use
+    /// [`fail_with_buffers`](Self::fail_with_buffers) so the caller's
+    /// pool stays warm.
     pub fn fail(&self, error: ServeError) {
         self.fill(SlabOutcome {
             ids: Vec::new(),
@@ -188,16 +232,17 @@ impl<T> ShardQueue<T> {
     }
 
     /// Enqueues a request, blocking while the queue is full
-    /// (backpressure).
+    /// (backpressure — the [`crate::AdmissionPolicy::Block`] path).
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::ShuttingDown`] once the queue is closed.
-    pub fn push(&self, request: T) -> Result<()> {
+    /// Returns [`PushError::Closed`] (with the request) once the queue
+    /// is closed.
+    pub fn push(&self, request: T) -> std::result::Result<(), PushError<T>> {
         let mut state = self.state.lock();
         loop {
             if state.closed {
-                return Err(ServeError::ShuttingDown);
+                return Err(PushError::Closed(request));
             }
             if state.queue.len() < self.capacity {
                 break;
@@ -210,11 +255,94 @@ impl<T> ShardQueue<T> {
         Ok(())
     }
 
+    /// Enqueues without waiting: a full queue rejects immediately with
+    /// [`PushError::Full`], handing the request back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Full`] when the queue is at capacity and
+    /// [`PushError::Closed`] once it is closed.
+    pub fn try_push(&self, request: T) -> std::result::Result<(), PushError<T>> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(PushError::Closed(request));
+        }
+        if state.queue.len() >= self.capacity {
+            return Err(PushError::Full(request));
+        }
+        state.queue.push_back(request);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, waiting at most `budget` for queue space — the
+    /// bounded-blocking admission path of
+    /// [`crate::AdmissionPolicy::Shed`]: a producer never waits past its
+    /// budget, so an open-loop caller keeps its arrival schedule even
+    /// under sustained overload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Full`] when the queue stayed full for the
+    /// whole budget and [`PushError::Closed`] once the queue is closed.
+    /// A budget too large to represent as a point in time (e.g.
+    /// `Duration::MAX`) waits indefinitely, like [`push`](Self::push).
+    pub fn push_until(
+        &self,
+        request: T,
+        budget: Duration,
+    ) -> std::result::Result<(), PushError<T>> {
+        let deadline = Instant::now().checked_add(budget);
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return Err(PushError::Closed(request));
+            }
+            if state.queue.len() < self.capacity {
+                break;
+            }
+            match deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(PushError::Full(request));
+                    }
+                    self.space.wait_for(&mut state, deadline - now);
+                }
+                None => self.space.wait(&mut state),
+            }
+        }
+        state.queue.push_back(request);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
     /// Pops the next micro-batch: blocks for the first request, then
     /// coalesces up to `max_batch` requests over at most `max_wait`.
     /// Returns `None` when the queue is closed *and* fully drained —
     /// the worker's exit signal.
+    ///
+    /// Allocates a fresh `Vec` per call; workers on the hot path reuse
+    /// one buffer through [`pop_batch_into`](Self::pop_batch_into).
     pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Option<(Vec<T>, FlushReason)> {
+        let mut batch = Vec::new();
+        let reason = self.pop_batch_into(&mut batch, max_batch, max_wait)?;
+        Some((batch, reason))
+    }
+
+    /// Like [`pop_batch`](Self::pop_batch), but drains the batch into
+    /// the caller's reusable buffer (cleared first) instead of
+    /// allocating one per flush — the worker loop's zero-allocation
+    /// steady state, certified by `tests/alloc_count.rs`.
+    pub fn pop_batch_into(
+        &self,
+        batch: &mut Vec<T>,
+        max_batch: usize,
+        max_wait: Duration,
+    ) -> Option<FlushReason> {
+        batch.clear();
         let mut state = self.state.lock();
         // Phase 1: wait for the batch-opening request.
         loop {
@@ -227,16 +355,23 @@ impl<T> ShardQueue<T> {
             self.ready.wait(&mut state);
         }
         // Phase 2: hold the batch open until full, timed out, or closed.
-        let deadline = Instant::now() + max_wait;
+        // A `max_wait` too large to represent as a point in time holds
+        // the batch open until it fills or the queue closes.
+        let deadline = Instant::now().checked_add(max_wait);
         while state.queue.len() < max_batch && !state.closed {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
+            match deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    self.ready.wait_for(&mut state, deadline - now);
+                }
+                None => self.ready.wait(&mut state),
             }
-            self.ready.wait_for(&mut state, deadline - now);
         }
         let take = state.queue.len().min(max_batch);
-        let batch: Vec<T> = state.queue.drain(..take).collect();
+        batch.extend(state.queue.drain(..take));
         let reason = if batch.len() == max_batch {
             FlushReason::Full
         } else if state.closed {
@@ -246,7 +381,7 @@ impl<T> ShardQueue<T> {
         };
         drop(state);
         self.space.notify_all();
-        Some((batch, reason))
+        Some(reason)
     }
 
     /// Closes the queue: producers start failing, the worker drains what
@@ -303,7 +438,7 @@ mod tests {
         q.push(1usize).unwrap();
         q.push(2).unwrap();
         q.close();
-        assert!(matches!(q.push(3), Err(ServeError::ShuttingDown)));
+        assert!(matches!(q.push(3), Err(PushError::Closed(3))));
         let (batch, reason) = q.pop_batch(64, Duration::from_secs(10)).unwrap();
         assert_eq!(batch.len(), 2, "queued work survives close");
         assert_eq!(reason, FlushReason::Drain);
@@ -311,6 +446,108 @@ mod tests {
             q.pop_batch(64, Duration::from_secs(10)).is_none(),
             "then the worker exits"
         );
+    }
+
+    #[test]
+    fn try_push_rejects_when_full_and_hands_the_request_back() {
+        let q = ShardQueue::new(2);
+        q.try_push(1usize).unwrap();
+        q.try_push(2).unwrap();
+        // Full: immediate rejection, request recovered intact.
+        match q.try_push(3) {
+            Err(PushError::Full(rejected)) => assert_eq!(rejected, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2);
+        // Space frees up -> accepted again.
+        let (batch, _) = q.pop_batch(1, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch, vec![1]);
+        q.try_push(3).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(4), Err(PushError::Closed(4))));
+    }
+
+    #[test]
+    fn push_until_waits_out_its_budget_then_sheds() {
+        let q = ShardQueue::new(1);
+        q.push(0usize).unwrap();
+        // Nothing drains the queue: the push must give up after ~budget,
+        // not block forever (the coordinated-omission fix).
+        let t0 = Instant::now();
+        let budget = Duration::from_millis(30);
+        match q.push_until(9, budget) {
+            Err(PushError::Full(rejected)) => assert_eq!(rejected, 9),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(25), "waited {waited:?}");
+        assert!(waited < Duration::from_secs(5), "waited {waited:?}");
+
+        // With a consumer freeing space inside the budget, it succeeds.
+        let q = Arc::new(ShardQueue::new(1));
+        q.push(0usize).unwrap();
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.pop_batch(1, Duration::from_millis(1))
+        });
+        q.push_until(9, Duration::from_secs(5)).unwrap();
+        consumer.join().unwrap().unwrap();
+        assert_eq!(q.depth(), 1);
+        // A zero budget behaves like try_push on a full queue.
+        assert!(matches!(
+            q.push_until(7, Duration::ZERO),
+            Err(PushError::Full(7))
+        ));
+    }
+
+    #[test]
+    fn unrepresentable_budgets_never_panic() {
+        // `Instant::now() + Duration::MAX` would overflow-panic; these
+        // budgets must instead mean "wait indefinitely".
+        let q = ShardQueue::new(2);
+        q.push_until(1usize, Duration::MAX).unwrap();
+        let (batch, _) = q.pop_batch(4, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch, vec![1]);
+        // Phase-2 hold with an unrepresentable max_wait still flushes
+        // when the batch fills.
+        let q2 = Arc::new(ShardQueue::new(4));
+        let q3 = Arc::clone(&q2);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q3.push(8usize).unwrap();
+            q3.push(9).unwrap();
+        });
+        let (batch, reason) = q2.pop_batch(2, Duration::MAX).unwrap();
+        producer.join().unwrap();
+        assert_eq!(batch, vec![8, 9]);
+        assert_eq!(reason, FlushReason::Full);
+    }
+
+    #[test]
+    fn pop_batch_into_reuses_the_callers_buffer() {
+        let q = ShardQueue::new(16);
+        let mut batch: Vec<usize> = Vec::with_capacity(8);
+        for id in 0..6usize {
+            q.push(id).unwrap();
+        }
+        let reason = q
+            .pop_batch_into(&mut batch, 4, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        assert_eq!(reason, FlushReason::Full);
+        let capacity = batch.capacity();
+        // Stale contents are cleared; capacity is reused, not reallocated.
+        let reason = q
+            .pop_batch_into(&mut batch, 4, Duration::from_millis(1))
+            .unwrap();
+        assert_eq!(batch, vec![4, 5]);
+        assert_eq!(reason, FlushReason::Timeout);
+        assert_eq!(batch.capacity(), capacity);
+        q.close();
+        assert!(q
+            .pop_batch_into(&mut batch, 4, Duration::from_secs(1))
+            .is_none());
     }
 
     #[test]
@@ -369,5 +606,17 @@ mod tests {
             result: Ok(()),
         });
         assert!(slot.wait().result.is_err());
+    }
+
+    #[test]
+    fn fail_with_buffers_preserves_capacity() {
+        let slot = SlabSlot::new();
+        slot.fail_with_buffers(vec![1, 2], vec![0.0; 8], ServeError::ShuttingDown);
+        let outcome = slot.wait();
+        assert!(matches!(outcome.result, Err(ServeError::ShuttingDown)));
+        // The buffers come back with their capacity intact, ready to be
+        // recycled into the caller's pool.
+        assert!(outcome.ids.capacity() >= 2);
+        assert!(outcome.out.capacity() >= 8);
     }
 }

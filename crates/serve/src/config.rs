@@ -6,12 +6,59 @@ use memcom_ondevice::Dtype;
 
 use crate::{Result, ServeError};
 
+/// What happens when a shard queue is full at enqueue time — the
+/// overload policy of the serving tier.
+///
+/// The default, [`Block`](AdmissionPolicy::Block), gives natural
+/// backpressure: producers wait for queue space, which is the right
+/// behavior for cooperating in-process callers but silently converts an
+/// *open-loop* arrival process into a closed loop under sustained
+/// overload (every producer serializes on the queue — the classic
+/// coordinated-omission trap). [`Shed`](AdmissionPolicy::Shed) bounds
+/// both sides instead: a producer waits at most `enqueue_timeout` for
+/// space (then fails fast with [`ServeError::Overloaded`]), and a
+/// request that sat in its queue past `request_deadline` is dropped at
+/// dequeue with [`ServeError::DeadlineExceeded`] rather than burning a
+/// store read on an answer nobody is still waiting for.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Producers block while the queue is full (backpressure). No
+    /// request is ever shed or expired.
+    #[default]
+    Block,
+    /// Deadline-aware load shedding.
+    Shed {
+        /// Longest a producer waits for queue space before the request
+        /// is shed with [`ServeError::Overloaded`]. `Duration::ZERO`
+        /// means reject immediately when full.
+        enqueue_timeout: Duration,
+        /// End-to-end time budget, measured from the moment a request
+        /// is issued (before any admission wait): a worker that
+        /// dequeues a request older than this drops it with
+        /// [`ServeError::DeadlineExceeded`] instead of serving it. The
+        /// budget covers admission waits too — for a multi-shard
+        /// fan-out, sub-requests share the issue stamp, so time spent
+        /// admitting earlier shards counts against later ones (the
+        /// caller has been waiting that whole time). `None` disables
+        /// the dequeue-side check (admission-only shedding).
+        request_deadline: Option<Duration>,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Whether this policy can shed requests at admission.
+    pub fn sheds(&self) -> bool {
+        matches!(self, AdmissionPolicy::Shed { .. })
+    }
+}
+
 /// Tuning knobs for [`crate::EmbedServer`].
 ///
 /// Defaults are sized for the workloads in this repository's examples and
 /// benches: 4 shards, micro-batches of up to 32 coalesced over at most
 /// 200 µs, a 4 096-deep bounded queue per shard, a 1 024-row hot cache
-/// per shard, and fp32 row storage.
+/// per shard, fp32 row storage, blocking admission, and no simulated
+/// store latency.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Number of shards (one worker thread and one queue per shard).
@@ -32,6 +79,18 @@ pub struct ServeConfig {
     /// quantize their stores to this dtype on build. Per-model overrides
     /// go through [`crate::Router::register_with_dtype`].
     pub dtype: Dtype,
+    /// Overload policy: what happens when a shard queue is full at
+    /// enqueue time, and whether queued requests carry a deadline.
+    pub admission: AdmissionPolicy,
+    /// Simulated backing-store service time, charged once per flushed
+    /// batch before the shard worker touches its store. The in-memory
+    /// [`memcom_ondevice::MmapSim`] costs nanoseconds per row, so a real
+    /// on-device backing store (flash/NVMe page reads) is modeled here;
+    /// a non-zero value gives each shard a calibrated service capacity
+    /// of `max_batch / store_latency` rows per second, which is what
+    /// makes overload experiments (offered load vs goodput) meaningful.
+    /// `Duration::ZERO` (the default) disables the simulation.
+    pub store_latency: Duration,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +103,8 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             page_size: memcom_ondevice::mmap_sim::DEFAULT_PAGE_SIZE,
             dtype: Dtype::F32,
+            admission: AdmissionPolicy::Block,
+            store_latency: Duration::ZERO,
         }
     }
 }
@@ -65,13 +126,27 @@ impl ServeConfig {
         }
     }
 
+    /// A config with deadline-aware shedding
+    /// ([`AdmissionPolicy::Shed`]) and defaults elsewhere.
+    pub fn with_shedding(enqueue_timeout: Duration, request_deadline: Option<Duration>) -> Self {
+        ServeConfig {
+            admission: AdmissionPolicy::Shed {
+                enqueue_timeout,
+                request_deadline,
+            },
+            ..ServeConfig::default()
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::BadConfig`] for zero shard count, batch
-    /// size, queue depth, or page size, or when `max_batch` exceeds
-    /// `queue_depth` (a batch could then never fill).
+    /// size, queue depth, or page size, when `max_batch` exceeds
+    /// `queue_depth` (a batch could then never fill), or for a shedding
+    /// policy with a zero `request_deadline` (every request would expire
+    /// before any worker could dequeue it).
     pub fn validate(&self) -> Result<()> {
         let reject = |context: &str| {
             Err(ServeError::BadConfig {
@@ -93,6 +168,15 @@ impl ServeConfig {
         if self.page_size == 0 {
             return reject("page_size must be >= 1");
         }
+        if let AdmissionPolicy::Shed {
+            request_deadline: Some(deadline),
+            ..
+        } = self.admission
+        {
+            if deadline.is_zero() {
+                return reject("request_deadline must be positive when set");
+            }
+        }
         Ok(())
     }
 }
@@ -106,9 +190,29 @@ mod tests {
         assert!(ServeConfig::default().validate().is_ok());
         assert_eq!(ServeConfig::with_shards(8).n_shards, 8);
         assert_eq!(ServeConfig::default().dtype, Dtype::F32);
+        assert_eq!(ServeConfig::default().admission, AdmissionPolicy::Block);
+        assert_eq!(ServeConfig::default().store_latency, Duration::ZERO);
         let q = ServeConfig::with_dtype(Dtype::Int8);
         assert_eq!(q.dtype, Dtype::Int8);
         assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn shedding_constructor_and_validation() {
+        let shed =
+            ServeConfig::with_shedding(Duration::from_micros(100), Some(Duration::from_millis(5)));
+        assert!(shed.admission.sheds());
+        assert!(!AdmissionPolicy::Block.sheds());
+        assert!(shed.validate().is_ok());
+        // A zero enqueue budget (reject-when-full) is legal…
+        assert!(ServeConfig::with_shedding(Duration::ZERO, None)
+            .validate()
+            .is_ok());
+        // …but a zero request deadline would expire everything unserved.
+        assert!(matches!(
+            ServeConfig::with_shedding(Duration::ZERO, Some(Duration::ZERO)).validate(),
+            Err(ServeError::BadConfig { .. })
+        ));
     }
 
     #[test]

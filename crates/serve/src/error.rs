@@ -34,6 +34,28 @@ pub enum ServeError {
     },
     /// The server is shutting down and no longer accepts requests.
     ShuttingDown,
+    /// Shed at admission: the shard queue stayed full past the
+    /// producer's enqueue budget
+    /// ([`crate::AdmissionPolicy::Shed`]`::enqueue_timeout`). A load
+    /// condition, not a bug — retry later or back off.
+    Overloaded {
+        /// How long the producer waited for queue space before giving
+        /// up (the configured enqueue budget).
+        waited: std::time::Duration,
+    },
+    /// Dropped at dequeue: the request was older than its end-to-end
+    /// deadline ([`crate::AdmissionPolicy::Shed`]`::request_deadline`)
+    /// by the time a worker picked it up, so the worker failed it
+    /// instead of computing an answer nobody is still waiting for.
+    DeadlineExceeded {
+        /// How long the request had been outstanding when a worker
+        /// dequeued it — measured from issue, so it includes admission
+        /// waits (and, for a fanned-out request, the admission of
+        /// earlier shards), not just time in this shard's queue.
+        queued: std::time::Duration,
+        /// The deadline it was issued under.
+        deadline: std::time::Duration,
+    },
     /// A serving worker disappeared without answering (a bug, not a load
     /// condition).
     WorkerLost,
@@ -55,6 +77,14 @@ impl fmt::Display for ServeError {
                 write!(f, "a model named {name:?} is already serving")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Overloaded { waited } => write!(
+                f,
+                "request shed: shard queue still full after {waited:?} enqueue budget"
+            ),
+            ServeError::DeadlineExceeded { queued, deadline } => write!(
+                f,
+                "request deadline exceeded: queued {queued:?} against a {deadline:?} budget"
+            ),
             ServeError::WorkerLost => write!(f, "serving worker dropped a request"),
             ServeError::Core(e) => write!(f, "core error: {e}"),
             ServeError::OnDevice(e) => write!(f, "on-device error: {e}"),

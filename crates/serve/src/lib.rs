@@ -19,7 +19,9 @@
 //!   coalesce concurrent requests into micro-batches (flushing on
 //!   `max_batch`/`max_wait`), answered through [`batcher::ResponseSlot`]
 //!   (one owned row) or [`batcher::SlabSlot`] (round-tripped batch
-//!   buffers).
+//!   buffers). Overload behavior is an [`AdmissionPolicy`]: block
+//!   producers on full queues (backpressure), or shed with bounded
+//!   enqueue waits and per-request deadlines enforced at dequeue.
 //! * [`router`] — **routing**: the [`Router`] owns the shard workers and
 //!   a registry of named models. Requests capture their model's current
 //!   store `Arc` at enqueue time, so [`Router::swap`] refreshes a table
@@ -85,7 +87,8 @@ pub mod server;
 pub mod store;
 
 pub use batch::EmbedBatch;
-pub use config::ServeConfig;
+pub use batcher::PushError;
+pub use config::{AdmissionPolicy, ServeConfig};
 pub use error::ServeError;
 pub use histogram::{fmt_nanos, LatencyHistogram};
 pub use loadgen::{

@@ -12,6 +12,17 @@
 //!   so queueing delay under overload is charged to the system
 //!   (avoiding coordinated omission).
 //!
+//! Overload rejections interact with the discipline: under
+//! [`crate::AdmissionPolicy::Shed`], [`ServeError::Overloaded`] and
+//! [`ServeError::DeadlineExceeded`] outcomes don't abort a run — they
+//! are tallied as `shed`/`expired` in the report, so a saturating
+//! open-loop run measures goodput, shed rate, and the (bounded) latency
+//! of completed requests. Under [`crate::AdmissionPolicy::Block`] the
+//! same traffic blocks producers on full queues, which silently
+//! serializes the "open" arrival process on backpressure — exactly the
+//! coordinated-omission failure the shed policy exists to avoid; the
+//! report's schedule-based latencies make that collapse visible.
+//!
 //! Two entry points: [`run_load`] drives one model through a
 //! [`ServeHandle`], and [`run_mixed_load`] drives several models of a
 //! [`Router`] at once, each request sampling its target model from a
@@ -102,8 +113,16 @@ impl ModelMix {
 pub struct ModelLoadReport {
     /// The model name.
     pub model: String,
-    /// Requests routed to this model.
+    /// Requests routed to this model that *completed* (answered with
+    /// rows).
     pub requests: u64,
+    /// Requests shed at admission ([`ServeError::Overloaded`]) — queue
+    /// full past the enqueue budget. Always `0` under
+    /// [`crate::AdmissionPolicy::Block`].
+    pub shed: u64,
+    /// Requests accepted but expired in queue
+    /// ([`ServeError::DeadlineExceeded`]).
+    pub expired: u64,
     /// Wall-clock span of the whole run (shared across models).
     pub elapsed: Duration,
     /// This model's per-request latency distribution (p50/p95/p99 in
@@ -122,14 +141,32 @@ pub struct ModelLoadReport {
 }
 
 impl ModelLoadReport {
-    /// Achieved requests per second for this model.
+    /// *Completed* requests per second for this model (the goodput).
     pub fn qps(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
-            self.requests as f64 / secs
-        }
+        per_second(self.requests, self.elapsed)
+    }
+
+    /// Synonym for [`qps`](Self::qps), named for overload tables where
+    /// the completed rate must be read against
+    /// [`offered_qps`](Self::offered_qps).
+    pub fn goodput(&self) -> f64 {
+        self.qps()
+    }
+
+    /// Requests issued to this model: completed + shed + expired.
+    pub fn offered(&self) -> u64 {
+        self.requests + self.shed + self.expired
+    }
+
+    /// Issued requests per second (the offered load this model saw).
+    pub fn offered_qps(&self) -> f64 {
+        per_second(self.offered(), self.elapsed)
+    }
+
+    /// Fraction of issued requests that were shed or expired instead of
+    /// answered (`0.0` when nothing was issued).
+    pub fn shed_rate(&self) -> f64 {
+        shed_rate(self.requests, self.shed, self.expired)
     }
 
     fn snapshot_fields(store: &ShardedStore) -> (Dtype, usize, usize, f32) {
@@ -142,11 +179,35 @@ impl ModelLoadReport {
     }
 }
 
+fn per_second(count: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
+fn shed_rate(completed: u64, shed: u64, expired: u64) -> f64 {
+    let offered = completed + shed + expired;
+    if offered == 0 {
+        0.0
+    } else {
+        (shed + expired) as f64 / offered as f64
+    }
+}
+
 /// What a load run observed.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
-    /// Completed requests.
+    /// Completed requests (answered with rows).
     pub requests: u64,
+    /// Requests shed at admission across all models
+    /// ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Requests that expired in queue across all models
+    /// ([`ServeError::DeadlineExceeded`]).
+    pub expired: u64,
     /// Ids embedded per request.
     pub ids_per_request: usize,
     /// Wall-clock span of the run.
@@ -166,17 +227,33 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// Achieved requests per second.
+    /// *Completed* requests per second (the goodput).
     pub fn qps(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
-            self.requests as f64 / secs
-        }
+        per_second(self.requests, self.elapsed)
     }
 
-    /// Achieved single-id lookups per second.
+    /// Synonym for [`qps`](Self::qps), for overload tables read against
+    /// [`offered_qps`](Self::offered_qps).
+    pub fn goodput(&self) -> f64 {
+        self.qps()
+    }
+
+    /// Requests issued: completed + shed + expired.
+    pub fn offered(&self) -> u64 {
+        self.requests + self.shed + self.expired
+    }
+
+    /// Issued requests per second (the offered load).
+    pub fn offered_qps(&self) -> f64 {
+        per_second(self.offered(), self.elapsed)
+    }
+
+    /// Fraction of issued requests shed or expired instead of answered.
+    pub fn shed_rate(&self) -> f64 {
+        shed_rate(self.requests, self.shed, self.expired)
+    }
+
+    /// Achieved single-id lookups per second (completed requests).
     pub fn lookups_per_sec(&self) -> f64 {
         self.qps() * self.ids_per_request as f64
     }
@@ -263,7 +340,7 @@ pub fn run_load(handle: &ServeHandle, config: &LoadGenConfig) -> Result<LoadRepo
     let tick = arrival_tick(config.mode, config.clients)?;
 
     let started = Instant::now();
-    let outcomes: Vec<Result<(LatencyHistogram, u64)>> = std::thread::scope(|scope| {
+    let outcomes: Vec<Result<ClientTally>> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..config.clients)
             .map(|client_idx| {
                 let zipf = &zipf;
@@ -280,21 +357,28 @@ pub fn run_load(handle: &ServeHandle, config: &LoadGenConfig) -> Result<LoadRepo
     let elapsed = started.elapsed();
 
     let mut histogram = LatencyHistogram::new();
+    let (mut shed, mut expired) = (0u64, 0u64);
     let mut traffic_checksum = 0u64;
     for outcome in outcomes {
-        let (client_hist, checksum) = outcome?;
-        histogram.merge(&client_hist);
-        traffic_checksum = traffic_checksum.wrapping_add(checksum);
+        let tally = outcome?;
+        histogram.merge(&tally.histogram);
+        shed += tally.shed;
+        expired += tally.expired;
+        traffic_checksum = traffic_checksum.wrapping_add(tally.checksum);
     }
     let (dtype, store_bytes, resident_bytes, dequant_error_bound) =
         ModelLoadReport::snapshot_fields(&handle.snapshot());
     Ok(LoadReport {
         requests: histogram.count(),
+        shed,
+        expired,
         ids_per_request: config.ids_per_request,
         elapsed,
         per_model: vec![ModelLoadReport {
             model: handle.model_name().to_string(),
             requests: histogram.count(),
+            shed,
+            expired,
             elapsed,
             histogram: histogram.clone(),
             dtype,
@@ -307,6 +391,43 @@ pub fn run_load(handle: &ServeHandle, config: &LoadGenConfig) -> Result<LoadRepo
     })
 }
 
+/// One client's contribution to a load run: completed-request
+/// latencies plus its shed/expired counts and traffic digest.
+struct ClientTally {
+    histogram: LatencyHistogram,
+    shed: u64,
+    expired: u64,
+    checksum: u64,
+}
+
+/// Folds one request outcome into a client's tally: completed requests
+/// record their scheduled-send latency, overload rejections count as
+/// shed/expired without aborting the run (they *are* the measurement
+/// under a shedding policy), and anything else is a real failure.
+fn tally_outcome<T>(
+    outcome: Result<T>,
+    latency_nanos: u64,
+    histogram: &mut LatencyHistogram,
+    shed: &mut u64,
+    expired: &mut u64,
+) -> Result<()> {
+    match outcome {
+        Ok(_) => {
+            histogram.record(latency_nanos);
+            Ok(())
+        }
+        Err(ServeError::Overloaded { .. }) => {
+            *shed += 1;
+            Ok(())
+        }
+        Err(ServeError::DeadlineExceeded { .. }) => {
+            *expired += 1;
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
 fn client_loop(
     handle: &ServeHandle,
     zipf: &Zipf,
@@ -314,22 +435,32 @@ fn client_loop(
     tick: Duration,
     client_idx: usize,
     started: Instant,
-) -> Result<(LatencyHistogram, u64)> {
+) -> Result<ClientTally> {
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client_idx as u64));
-    let mut histogram = LatencyHistogram::new();
-    let mut checksum = 0u64;
+    let mut tally = ClientTally {
+        histogram: LatencyHistogram::new(),
+        shed: 0,
+        expired: 0,
+        checksum: 0,
+    };
     for k in 0..config.requests_per_client {
         let ids = zipf.sample_many(config.ids_per_request, &mut rng);
-        checksum = checksum.wrapping_add(request_digest(0, &ids));
+        tally.checksum = tally.checksum.wrapping_add(request_digest(0, &ids));
         let t0 = request_start(config.mode, tick, started, client_idx, config.clients, k);
-        if let [id] = ids.as_slice() {
-            handle.get(*id)?;
+        let outcome = if let [id] = ids.as_slice() {
+            handle.get(*id).map(drop)
         } else {
-            handle.get_many(&ids)?;
-        }
-        histogram.record(t0.elapsed().as_nanos() as u64);
+            handle.get_many(&ids).map(drop)
+        };
+        tally_outcome(
+            outcome,
+            t0.elapsed().as_nanos() as u64,
+            &mut tally.histogram,
+            &mut tally.shed,
+            &mut tally.expired,
+        )?;
     }
-    Ok((histogram, checksum))
+    Ok(tally)
 }
 
 /// Runs mixed multi-model Zipf traffic against a [`Router`]: each
@@ -387,7 +518,7 @@ pub fn run_mixed_load(
     let tick = arrival_tick(config.mode, config.clients)?;
 
     let started = Instant::now();
-    let outcomes: Vec<Result<(Vec<LatencyHistogram>, u64)>> = std::thread::scope(|scope| {
+    let outcomes: Vec<Result<MixedTally>> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..config.clients)
             .map(|client_idx| {
                 let (handles, zipfs, cumulative) = (&handles, &zipfs, &cumulative);
@@ -414,28 +545,39 @@ pub fn run_mixed_load(
 
     let mut per_model_hists: Vec<LatencyHistogram> =
         (0..mix.len()).map(|_| LatencyHistogram::new()).collect();
+    let mut per_model_shed = vec![0u64; mix.len()];
+    let mut per_model_expired = vec![0u64; mix.len()];
     let mut traffic_checksum = 0u64;
     for outcome in outcomes {
-        let (client_hists, checksum) = outcome?;
-        traffic_checksum = traffic_checksum.wrapping_add(checksum);
-        for (merged, client_hist) in per_model_hists.iter_mut().zip(client_hists) {
-            merged.merge(&client_hist);
+        let tally = outcome?;
+        traffic_checksum = traffic_checksum.wrapping_add(tally.checksum);
+        for (merged, client_hist) in per_model_hists.iter_mut().zip(&tally.histograms) {
+            merged.merge(client_hist);
+        }
+        for (total, n) in per_model_shed.iter_mut().zip(&tally.shed) {
+            *total += n;
+        }
+        for (total, n) in per_model_expired.iter_mut().zip(&tally.expired) {
+            *total += n;
         }
     }
     let mut histogram = LatencyHistogram::new();
     for h in &per_model_hists {
         histogram.merge(h);
     }
-    let per_model = mix
+    let per_model: Vec<ModelLoadReport> = mix
         .iter()
         .zip(per_model_hists)
         .zip(&handles)
-        .map(|((share, h), handle)| {
+        .enumerate()
+        .map(|(idx, ((share, h), handle))| {
             let (dtype, store_bytes, resident_bytes, dequant_error_bound) =
                 ModelLoadReport::snapshot_fields(&handle.snapshot());
             ModelLoadReport {
                 model: share.model.clone(),
                 requests: h.count(),
+                shed: per_model_shed[idx],
+                expired: per_model_expired[idx],
                 elapsed,
                 histogram: h,
                 dtype,
@@ -447,12 +589,22 @@ pub fn run_mixed_load(
         .collect();
     Ok(LoadReport {
         requests: histogram.count(),
+        shed: per_model.iter().map(|m| m.shed).sum(),
+        expired: per_model.iter().map(|m| m.expired).sum(),
         ids_per_request: config.ids_per_request,
         elapsed,
         histogram,
         per_model,
         traffic_checksum,
     })
+}
+
+/// A mixed-load client's contribution, broken down per model.
+struct MixedTally {
+    histograms: Vec<LatencyHistogram>,
+    shed: Vec<u64>,
+    expired: Vec<u64>,
+    checksum: u64,
 }
 
 #[allow(clippy::too_many_arguments)] // internal fan-out helper
@@ -465,13 +617,17 @@ fn mixed_client_loop(
     tick: Duration,
     client_idx: usize,
     started: Instant,
-) -> Result<(Vec<LatencyHistogram>, u64)> {
+) -> Result<MixedTally> {
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client_idx as u64));
-    let mut histograms: Vec<LatencyHistogram> = (0..handles.len())
-        .map(|_| LatencyHistogram::new())
-        .collect();
+    let mut tally = MixedTally {
+        histograms: (0..handles.len())
+            .map(|_| LatencyHistogram::new())
+            .collect(),
+        shed: vec![0; handles.len()],
+        expired: vec![0; handles.len()],
+        checksum: 0,
+    };
     let mut batch = EmbedBatch::new();
-    let mut checksum = 0u64;
     for k in 0..config.requests_per_client {
         let draw = rng.gen::<f64>() * total_weight;
         let model_idx = cumulative
@@ -479,16 +635,22 @@ fn mixed_client_loop(
             .position(|&c| draw < c)
             .unwrap_or(handles.len() - 1);
         let ids = zipfs[model_idx].sample_many(config.ids_per_request, &mut rng);
-        checksum = checksum.wrapping_add(request_digest(model_idx, &ids));
+        tally.checksum = tally.checksum.wrapping_add(request_digest(model_idx, &ids));
         let t0 = request_start(config.mode, tick, started, client_idx, config.clients, k);
-        if let [id] = ids.as_slice() {
-            handles[model_idx].get(*id)?;
+        let outcome = if let [id] = ids.as_slice() {
+            handles[model_idx].get(*id).map(drop)
         } else {
-            handles[model_idx].get_batch_into(&ids, &mut batch)?;
-        }
-        histograms[model_idx].record(t0.elapsed().as_nanos() as u64);
+            handles[model_idx].get_batch_into(&ids, &mut batch)
+        };
+        tally_outcome(
+            outcome,
+            t0.elapsed().as_nanos() as u64,
+            &mut tally.histograms[model_idx],
+            &mut tally.shed[model_idx],
+            &mut tally.expired[model_idx],
+        )?;
     }
-    Ok((histograms, checksum))
+    Ok(tally)
 }
 
 #[cfg(test)]
@@ -519,6 +681,16 @@ mod tests {
         };
         let report = run_load(&server.handle(), &config).unwrap();
         assert_eq!(report.requests, 800);
+        // Blocking admission: nothing shed or expired, offered ==
+        // completed, goodput == qps.
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.expired, 0);
+        assert_eq!(report.offered(), 800);
+        assert_eq!(report.shed_rate(), 0.0);
+        assert_eq!(report.goodput(), report.qps());
+        assert_eq!(report.offered_qps(), report.qps());
+        assert_eq!(report.per_model[0].offered(), 800);
+        assert_eq!(report.per_model[0].shed_rate(), 0.0);
         assert!(report.qps() > 0.0);
         assert!(report.histogram.p50() > 0);
         assert!(report.histogram.p99() >= report.histogram.p50());
@@ -708,6 +880,56 @@ mod tests {
         assert_eq!(model.store_bytes, server.store().stored_bytes());
         assert!(model.resident_bytes > 0, "traffic must touch pages");
         assert_ne!(report.traffic_checksum, 0);
+    }
+
+    #[test]
+    fn mixed_load_accounts_shed_per_model() {
+        use crate::AdmissionPolicy;
+        // A wedged 1-shard router: depth-1 queue behind a 50ms
+        // simulated store read, rejecting overflow immediately. Four
+        // closed-loop clients (more than queue + in-flight batch) must
+        // shed most of their traffic, and every rejection must be
+        // attributed to the right model.
+        let mut rng = StdRng::seed_from_u64(77);
+        let a = MemCom::new(MemComConfig::new(500, 8, 50), &mut rng).unwrap();
+        let b = MemCom::new(MemComConfig::new(500, 8, 50), &mut rng).unwrap();
+        let router = Router::start(ServeConfig {
+            n_shards: 1,
+            max_batch: 1,
+            max_wait: Duration::from_micros(10),
+            queue_depth: 1,
+            store_latency: Duration::from_millis(50),
+            admission: AdmissionPolicy::Shed {
+                enqueue_timeout: Duration::ZERO,
+                request_deadline: None,
+            },
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        router.register("a", &a).unwrap();
+        router.register("b", &b).unwrap();
+        let mix = [ModelMix::new("a", 1.0), ModelMix::new("b", 1.0)];
+        let config = LoadGenConfig {
+            clients: 4,
+            requests_per_client: 25,
+            ..LoadGenConfig::default()
+        };
+        let report = run_mixed_load(&router, &mix, &config).unwrap();
+        assert_eq!(report.offered(), 100, "every issued request accounted");
+        assert!(report.shed > 0, "the wedged router must shed");
+        assert!(report.shed_rate() > 0.0);
+        // Per-model splits sum to the totals and reconcile with the
+        // router's own counters (single-id requests: rows == requests).
+        let (ma, mb) = (&report.per_model[0], &report.per_model[1]);
+        assert_eq!(ma.shed + mb.shed, report.shed);
+        assert_eq!(ma.expired + mb.expired, report.expired);
+        assert_eq!(ma.offered() + mb.offered(), 100);
+        let stats_a = router.stats("a").unwrap();
+        let stats_b = router.stats("b").unwrap();
+        assert_eq!(stats_a.shed, ma.shed);
+        assert_eq!(stats_b.shed, mb.shed);
+        assert_eq!(stats_a.requests, ma.requests);
+        assert_eq!(stats_b.requests, mb.requests);
     }
 
     #[test]

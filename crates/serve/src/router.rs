@@ -22,11 +22,13 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use memcom_ondevice::engine::RunStats;
 use parking_lot::RwLock;
 
-use crate::batcher::{FlushReason, ResponseSlot, ShardQueue, SlabOutcome, SlabSlot};
+use crate::batcher::{FlushReason, PushError, ResponseSlot, ShardQueue, SlabOutcome, SlabSlot};
+use crate::config::AdmissionPolicy;
 use crate::store::{CacheStats, ShardedStore};
 use crate::{EmbedBatch, Result, ServeConfig, ServeError};
 
@@ -34,10 +36,70 @@ use crate::{EmbedBatch, Result, ServeConfig, ServeError};
 /// under.
 pub const DEFAULT_MODEL: &str = "default";
 
-/// Per-model request counter (rows served through the queues).
+/// Per-model row counters (served, shed at admission, expired at
+/// dequeue — all in rows, like `requests`).
 #[derive(Debug, Default)]
 pub(crate) struct ModelCounters {
     pub(crate) requests: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) expired: AtomicU64,
+}
+
+/// Admission metadata every request carries: under
+/// [`AdmissionPolicy::Shed`] with a `request_deadline`, when the
+/// request was issued (stamped once per logical request, *before* any
+/// admission wait — the deadline is end to end, so admission waits and
+/// earlier shards of a fan-out consume it) and when it stops being
+/// worth serving. Workers evaluate `expires_at` at dequeue, *before*
+/// touching the store, so an expired request costs a timestamp
+/// comparison instead of a store read. Policies without a deadline
+/// ([`AdmissionPolicy::Block`], or `Shed` with `request_deadline:
+/// None`) carry `None` — the stamp is lazy, so the default hot path
+/// pays no clock read.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Admission {
+    /// `(issued_at, expires_at)`, present only when a deadline is in
+    /// force.
+    pub(crate) deadline: Option<(Instant, Instant)>,
+}
+
+impl Admission {
+    fn stamp(policy: AdmissionPolicy) -> Self {
+        let deadline = match policy {
+            AdmissionPolicy::Shed {
+                request_deadline: Some(deadline),
+                ..
+            } => {
+                let issued_at = Instant::now();
+                // A deadline too far out to represent as a point in
+                // time (e.g. `Duration::MAX`) never expires.
+                issued_at
+                    .checked_add(deadline)
+                    .map(|expires_at| (issued_at, expires_at))
+            }
+            _ => None,
+        };
+        Admission { deadline }
+    }
+
+    /// The expiry instant, when a deadline is in force.
+    fn expires_at(&self) -> Option<Instant> {
+        self.deadline.map(|(_, expires_at)| expires_at)
+    }
+
+    /// The deadline error for a request found expired at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no deadline is in force — unreachable, since only
+    /// requests with an expiry can be found expired.
+    fn deadline_error(&self, now: Instant) -> ServeError {
+        let (issued_at, expires_at) = self.deadline.expect("expired without a deadline");
+        ServeError::DeadlineExceeded {
+            queued: now - issued_at,
+            deadline: expires_at - issued_at,
+        }
+    }
 }
 
 /// Router-global batching counters.
@@ -53,15 +115,31 @@ struct BatchCounters {
 
 /// Aggregated serving statistics for one model (see [`Router::stats`]).
 ///
-/// `requests` counts rows served for *this* model; the batching counters
-/// (`batches`, `flushes_*`, `max_batch_observed`) are router-wide since
-/// shard workers batch across models; `cache`/`run_stats` describe the
-/// model's *current* store snapshot (they restart from zero after a
-/// [`Router::swap`]).
+/// `requests`, `shed`, and `expired` count rows for *this* model; the
+/// batching counters (`batches`, `flushes_*`, `max_batch_observed`) are
+/// router-wide since shard workers batch across models; `cache`/
+/// `run_stats` describe the model's *current* store snapshot (they
+/// restart from zero after a [`Router::swap`]).
 #[derive(Debug, Clone, Copy)]
 pub struct ServeStats {
     /// Rows served for this model through batches.
     pub requests: u64,
+    /// Rows shed at admission for this model: the shard queue stayed
+    /// full past the enqueue budget of [`AdmissionPolicy::Shed`], so the
+    /// producer got [`ServeError::Overloaded`] instead of blocking.
+    /// Always `0` under [`AdmissionPolicy::Block`].
+    ///
+    /// For a multi-shard fan-out (`get_many`/`get_batch_into`) that
+    /// sheds partway through admission, rows on the shed shard *and*
+    /// on shards never attempted count as shed, while sub-requests
+    /// already admitted still run and count as served — so
+    /// `requests + shed + expired` always equals the rows issued.
+    pub shed: u64,
+    /// Rows dropped at dequeue for this model: accepted, but older than
+    /// their end-to-end `request_deadline` by the time a worker picked
+    /// them up, so it answered [`ServeError::DeadlineExceeded`] without
+    /// reading the store.
+    pub expired: u64,
     /// Batches executed across the router.
     pub batches: u64,
     /// Batches flushed because they reached `max_batch`.
@@ -115,6 +193,7 @@ pub(crate) struct OneRequest {
     pub(crate) store: Arc<ShardedStore>,
     pub(crate) counters: Arc<ModelCounters>,
     pub(crate) slot: Arc<ResponseSlot>,
+    pub(crate) admission: Admission,
 }
 
 /// A slab request: `ids` all route to one shard, rows land in `out`
@@ -127,6 +206,7 @@ pub(crate) struct SlabRequest {
     pub(crate) store: Arc<ShardedStore>,
     pub(crate) counters: Arc<ModelCounters>,
     pub(crate) slot: Arc<SlabSlot>,
+    pub(crate) admission: Admission,
 }
 
 /// What shard queues carry.
@@ -144,10 +224,43 @@ impl Request {
         }
     }
 
+    fn counters(&self) -> &ModelCounters {
+        match self {
+            Request::One(r) => &r.counters,
+            Request::Slab(s) => &s.counters,
+        }
+    }
+
+    fn admission(&self) -> &Admission {
+        match self {
+            Request::One(r) => &r.admission,
+            Request::Slab(s) => &s.admission,
+        }
+    }
+
     fn slot_ref(&self) -> SlotRef {
         match self {
             Request::One(r) => SlotRef::One(Arc::clone(&r.slot)),
             Request::Slab(s) => SlotRef::Slab(Arc::clone(&s.slot)),
+        }
+    }
+
+    /// Fails the request at dequeue because its deadline passed while it
+    /// was queued, counting the drop and — for slab requests — handing
+    /// the caller's buffers back (the worker still owns them here).
+    fn expire(self, now: Instant) {
+        self.counters()
+            .expired
+            .fetch_add(self.rows() as u64, Ordering::Relaxed);
+        match self {
+            Request::One(r) => {
+                let error = r.admission.deadline_error(now);
+                r.slot.fill(Err(error));
+            }
+            Request::Slab(s) => {
+                let error = s.admission.deadline_error(now);
+                s.slot.fail_with_buffers(s.ids, s.out, error);
+            }
         }
     }
 }
@@ -192,6 +305,8 @@ impl RouterInner {
         let store = entry.snapshot();
         ServeStats {
             requests: entry.counters.requests.load(Ordering::Relaxed),
+            shed: entry.counters.shed.load(Ordering::Relaxed),
+            expired: entry.counters.expired.load(Ordering::Relaxed),
             batches: b.batches.load(Ordering::Relaxed),
             flushes_full: b.flushes_full.load(Ordering::Relaxed),
             flushes_timeout: b.flushes_timeout.load(Ordering::Relaxed),
@@ -199,6 +314,51 @@ impl RouterInner {
             max_batch_observed: b.max_batch_observed.load(Ordering::Relaxed) as usize,
             cache: store.cache_stats(),
             run_stats: store.run_stats(),
+        }
+    }
+
+    /// Enqueues `request` on `shard` under the configured admission
+    /// policy: [`AdmissionPolicy::Block`] waits for queue space,
+    /// [`AdmissionPolicy::Shed`] waits at most `enqueue_timeout` and
+    /// then sheds. A rejected request is handed back alongside the
+    /// error so the caller can salvage the buffers it owns — that
+    /// hand-back (not an oversight) is what makes the Err variant
+    /// large, and it only travels one internal frame.
+    #[allow(clippy::result_large_err)]
+    fn admit(
+        &self,
+        shard: usize,
+        request: Request,
+    ) -> std::result::Result<(), (ServeError, Request)> {
+        let outcome = match self.config.admission {
+            AdmissionPolicy::Block => self.queues[shard].push(request),
+            AdmissionPolicy::Shed {
+                enqueue_timeout, ..
+            } => {
+                if enqueue_timeout.is_zero() {
+                    self.queues[shard].try_push(request)
+                } else {
+                    self.queues[shard].push_until(request, enqueue_timeout)
+                }
+            }
+        };
+        match outcome {
+            Ok(()) => Ok(()),
+            Err(PushError::Closed(request)) => Err((ServeError::ShuttingDown, request)),
+            Err(PushError::Full(request)) => {
+                request
+                    .counters()
+                    .shed
+                    .fetch_add(request.rows() as u64, Ordering::Relaxed);
+                let waited = match self.config.admission {
+                    AdmissionPolicy::Shed {
+                        enqueue_timeout, ..
+                    } => enqueue_timeout,
+                    // `push` never reports Full.
+                    AdmissionPolicy::Block => Duration::ZERO,
+                };
+                Err((ServeError::Overloaded { waited }, request))
+            }
         }
     }
 
@@ -537,19 +697,39 @@ impl RouterHandle {
     ///
     /// Returns [`ServeError::IdOutOfVocab`] for bad ids,
     /// [`ServeError::ModelNotFound`] after deregistration, and
-    /// [`ServeError::ShuttingDown`] after shutdown.
+    /// [`ServeError::ShuttingDown`] after shutdown. Under
+    /// [`AdmissionPolicy::Shed`] a full queue sheds the request with
+    /// [`ServeError::Overloaded`] after at most `enqueue_timeout`, and a
+    /// request whose `request_deadline` passes while queued is answered
+    /// with [`ServeError::DeadlineExceeded`] instead of a row.
     pub fn get(&self, id: usize) -> Result<Vec<f32>> {
         let store = self.store()?;
         store.check_id(id)?;
         let slot = Arc::new(ResponseSlot::new());
         let shard = store.shard_of(id);
-        self.inner.queues[shard].push(Request::One(OneRequest {
+        let request = Request::One(OneRequest {
             id,
             store,
             counters: Arc::clone(&self.model.counters),
             slot: Arc::clone(&slot),
-        }))?;
+            admission: Admission::stamp(self.inner.config.admission),
+        });
+        self.inner.admit(shard, request).map_err(|(e, _)| e)?;
         slot.wait()
+    }
+
+    /// Counts rows on shards never attempted because an earlier shard
+    /// shed the fanned-out request: they were refused admission along
+    /// with it, so `requests + shed + expired` stays equal to the rows
+    /// issued even for partially-admitted multi-shard requests
+    /// (already-admitted sub-requests still run and count as served).
+    fn count_skipped_as_shed(&self, rows: usize) {
+        if rows > 0 {
+            self.model
+                .counters
+                .shed
+                .fetch_add(rows as u64, Ordering::Relaxed);
+        }
     }
 
     /// Looks up many ids, pipelining one slab request per shard before
@@ -575,8 +755,10 @@ impl RouterHandle {
             shard_ids[s].push(id);
             shard_pos[s].push(pos);
         }
+        let admission = Admission::stamp(self.inner.config.admission);
         let mut pending: Vec<(usize, Arc<SlabSlot>)> = Vec::new();
         let mut first_err = None;
+        let mut failed_at = None;
         for (s, slab_ids) in shard_ids.iter_mut().enumerate() {
             if slab_ids.is_empty() {
                 continue;
@@ -589,12 +771,17 @@ impl RouterHandle {
                 store: Arc::clone(&store),
                 counters: Arc::clone(&self.model.counters),
                 slot: Arc::clone(&slot),
+                admission,
             });
-            if let Err(e) = self.inner.queues[s].push(request) {
+            if let Err((e, _)) = self.inner.admit(s, request) {
                 first_err = Some(e);
+                failed_at = Some(s);
                 break;
             }
             pending.push((s, slot));
+        }
+        if let (Some(ServeError::Overloaded { .. }), Some(s)) = (&first_err, failed_at) {
+            self.count_skipped_as_shed(shard_ids[s + 1..].iter().map(Vec::len).sum());
         }
         let mut rows: Vec<Vec<f32>> = vec![Vec::new(); ids.len()];
         for (s, slot) in pending {
@@ -639,7 +826,9 @@ impl RouterHandle {
         for (pos, &id) in ids.iter().enumerate() {
             batch.shard_pos[store.shard_of(id)].push(pos);
         }
+        let admission = Admission::stamp(self.inner.config.admission);
         let mut first_err = None;
+        let mut failed_at = None;
         for s in 0..n_shards {
             if batch.shard_pos[s].is_empty() {
                 continue;
@@ -656,12 +845,25 @@ impl RouterHandle {
                 store: Arc::clone(&store),
                 counters: Arc::clone(&self.model.counters),
                 slot: Arc::clone(&slot),
+                admission,
             });
-            if let Err(e) = self.inner.queues[s].push(request) {
-                first_err = Some(e);
-                break;
+            match self.inner.admit(s, request) {
+                Ok(()) => batch.pending.push((s, slot)),
+                Err((e, rejected)) => {
+                    // A shed (or shutdown-rejected) slab comes back whole
+                    // — recycle its buffers so the shedding hot path
+                    // allocates nothing.
+                    if let Request::Slab(s) = rejected {
+                        batch.recycle_buffers(s.ids, s.out);
+                    }
+                    first_err = Some(e);
+                    failed_at = Some(s);
+                    break;
+                }
             }
-            batch.pending.push((s, slot));
+        }
+        if let (Some(ServeError::Overloaded { .. }), Some(s)) = (&first_err, failed_at) {
+            self.count_skipped_as_shed(batch.shard_pos[s + 1..].iter().map(Vec::len).sum());
         }
         while let Some((s, slot)) = batch.pending.pop() {
             let outcome = slot.wait();
@@ -699,19 +901,24 @@ fn worker_loop(
     max_wait: std::time::Duration,
 ) {
     let queue = &inner.queues[shard_idx];
-    // Reusable scratch for coalescing runs of single-id requests.
+    // Reusable scratch: the popped batch and its panic-blanket slot list
+    // (refilled per flush), plus the single-id run coalescing buffers —
+    // the worker allocates nothing per batch at a steady shape.
+    let mut batch: Vec<Request> = Vec::new();
+    let mut slots: Vec<SlotRef> = Vec::new();
     let mut one_ids: Vec<usize> = Vec::new();
     let mut one_slots: Vec<Arc<ResponseSlot>> = Vec::new();
-    while let Some((batch, reason)) = queue.pop_batch(max_batch, max_wait) {
+    while let Some(reason) = queue.pop_batch_into(&mut batch, max_batch, max_wait) {
         // A panic while serving must not strand blocked requesters: keep
         // the slots, answer `WorkerLost` to any left unfilled (fill is
         // first-write-wins), and keep the worker alive for later batches.
-        let slots: Vec<SlotRef> = batch.iter().map(Request::slot_ref).collect();
+        slots.clear();
+        slots.extend(batch.iter().map(Request::slot_ref));
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             serve_batch(
                 inner,
                 shard_idx,
-                batch,
+                &mut batch,
                 reason,
                 &mut one_ids,
                 &mut one_slots,
@@ -721,6 +928,7 @@ fn worker_loop(
             for slot in &slots {
                 slot.fail(ServeError::WorkerLost);
             }
+            batch.clear();
             one_ids.clear();
             one_slots.clear();
         }
@@ -730,7 +938,7 @@ fn worker_loop(
 fn serve_batch(
     inner: &RouterInner,
     shard_idx: usize,
-    batch: Vec<Request>,
+    batch: &mut Vec<Request>,
     reason: FlushReason,
     one_ids: &mut Vec<usize>,
     one_slots: &mut Vec<Arc<ResponseSlot>>,
@@ -747,11 +955,32 @@ fn serve_batch(
     c.max_batch_observed
         .fetch_max(rows as u64, Ordering::Relaxed);
 
+    // Deadlines are evaluated once, at dequeue time — a request that
+    // expired while queued is answered `DeadlineExceeded` below without
+    // costing a store read (or the simulated store latency).
+    let now = Instant::now();
+    let live = |request: &Request| match request.admission().expires_at() {
+        Some(expires_at) => now < expires_at,
+        None => true,
+    };
+
+    // Simulated backing-store service time, charged once per flushed
+    // batch that actually reaches the store (see
+    // [`ServeConfig::store_latency`]).
+    let store_latency = inner.config.store_latency;
+    if !store_latency.is_zero() && batch.iter().any(live) {
+        std::thread::sleep(store_latency);
+    }
+
     // Serve in arrival order, coalescing runs of single-id requests that
     // target the same store snapshot (the common single-model case) into
     // one store batch, so the legacy path keeps its lock amortization.
     let mut run: Option<(Arc<ShardedStore>, Arc<ModelCounters>)> = None;
-    for request in batch {
+    for request in batch.drain(..) {
+        if !live(&request) {
+            request.expire(now);
+            continue;
+        }
         match request {
             Request::One(r) => {
                 let same_run = matches!(&run, Some((s, _)) if Arc::ptr_eq(s, &r.store));
@@ -855,6 +1084,7 @@ mod tests {
                 store: Arc::clone(&store),
                 counters: Arc::new(ModelCounters::default()),
                 slot: Arc::clone(&slot),
+                admission: Admission::stamp(AdmissionPolicy::Block),
             }))
             .unwrap();
         let outcome = slot.wait();

@@ -21,6 +21,12 @@ pub use crate::router::ServeStats;
 /// answers through each request's response slot. Construction spawns
 /// the workers; [`shutdown`](EmbedServer::shutdown) (or drop) closes the
 /// queues, drains in-flight work, and joins them.
+///
+/// Overload behavior follows [`ServeConfig::admission`]: the default
+/// [`crate::AdmissionPolicy::Block`] backpressures producers on full
+/// queues, while [`crate::AdmissionPolicy::Shed`] bounds enqueue waits
+/// and enforces per-request deadlines at dequeue — see
+/// [`ServeStats::shed`]/[`ServeStats::expired`] for the counters.
 #[derive(Debug)]
 pub struct EmbedServer {
     router: Router,
@@ -194,6 +200,8 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.requests, 1);
         assert_eq!(stats.batches, 1);
+        assert_eq!(stats.shed, 0, "Block policy never sheds");
+        assert_eq!(stats.expired, 0, "Block policy never expires");
     }
 
     #[test]

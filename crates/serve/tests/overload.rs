@@ -1,0 +1,371 @@
+//! Overload semantics, end to end: under a saturating open loop the
+//! `Shed` admission policy must keep completed-request p99 bounded and
+//! report a non-zero shed rate, while `Block` on the same traffic shows
+//! the unbounded queueing-latency growth of blocked producers (the
+//! coordinated-omission failure the shed policy exists to avoid).
+//! Expired requests must fail loudly at dequeue, shutdown must answer
+//! every accepted request, and client-side load-report counters must
+//! reconcile with the router's server-side counters.
+//!
+//! Capacity engineering: `store_latency` charges a simulated backing-
+//! store read per flushed batch, so a shard serves at most
+//! `max_batch / store_latency` rows per second — which makes "offered
+//! load ≥ 2× capacity" a configuration, not a race against the host.
+
+use std::time::Duration;
+
+use memcom_core::{MemCom, MemComConfig};
+use memcom_serve::{
+    run_load, AdmissionPolicy, EmbedBatch, EmbedServer, LoadGenConfig, LoadMode, ServeConfig,
+    ServeError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn memcom(seed: u64) -> MemCom {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MemCom::new(MemComConfig::new(1_000, 8, 100), &mut rng).unwrap()
+}
+
+/// The acceptance-criteria test: one saturating open-loop traffic
+/// pattern (offered = 4× capacity), served once under `Shed` and once
+/// under `Block`.
+#[test]
+fn shed_bounds_p99_where_block_collapses() {
+    // Capacity: 1 shard × max_batch 4 / store_latency 4ms = 1 000 rows/s.
+    const CAPACITY_QPS: f64 = 1_000.0;
+    let max_wait = Duration::from_millis(1);
+    let deadline = Duration::from_millis(25);
+    let store_latency = Duration::from_millis(4);
+    let base = ServeConfig {
+        n_shards: 1,
+        max_batch: 4,
+        max_wait,
+        queue_depth: 8,
+        store_latency,
+        ..ServeConfig::default()
+    };
+    // Offered: 4× capacity, paced by 12 open-loop clients (more than
+    // the depth-8 queue, so Block mode really wedges producers).
+    let load = LoadGenConfig {
+        clients: 12,
+        requests_per_client: 100,
+        ids_per_request: 1,
+        zipf_exponent: 1.1,
+        mode: LoadMode::Open {
+            target_qps: 4.0 * CAPACITY_QPS,
+        },
+        seed: 7,
+    };
+    let offered_total = (load.clients * load.requests_per_client) as u64;
+
+    let emb = memcom(3);
+
+    // --- Shed: producers never wait past their budget ---------------
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig {
+            admission: AdmissionPolicy::Shed {
+                enqueue_timeout: Duration::ZERO,
+                request_deadline: Some(deadline),
+            },
+            ..base.clone()
+        },
+    )
+    .unwrap();
+    let shed_report = run_load(&server.handle(), &load).unwrap();
+    let shed_stats = server.shutdown();
+
+    // Every issued request is accounted for: completed + shed + expired.
+    assert_eq!(shed_report.offered(), offered_total);
+    assert!(
+        shed_report.shed > 0,
+        "4x-capacity traffic against a depth-8 queue must shed"
+    );
+    assert!(shed_report.shed_rate() > 0.25, "most overflow is shed");
+    // Goodput plateaus at capacity instead of collapsing.
+    assert!(
+        shed_report.goodput() > 0.4 * CAPACITY_QPS,
+        "goodput {:.0} too far below capacity",
+        shed_report.goodput()
+    );
+    assert!(
+        shed_report.goodput() < 1.4 * CAPACITY_QPS,
+        "goodput {:.0} cannot exceed capacity",
+        shed_report.goodput()
+    );
+    // Completed-request p99 (measured from the *scheduled* send) is
+    // bounded by the deadline budget plus batching/service slack and a
+    // generous allowance for client-thread wake latency on a loaded
+    // single-core host. Block mode's backlog (~1s by the end of the
+    // run) sits far beyond this bound either way.
+    let p99_bound = deadline + max_wait + store_latency + Duration::from_millis(220);
+    let shed_p99 = Duration::from_nanos(shed_report.histogram.p99());
+    assert!(
+        shed_p99 <= p99_bound,
+        "shed p99 {shed_p99:?} exceeds {p99_bound:?}"
+    );
+    // Client-side tallies reconcile with the router's counters
+    // (single-id requests, so rows == requests).
+    assert_eq!(shed_stats.requests, shed_report.requests);
+    assert_eq!(shed_stats.shed, shed_report.shed);
+    assert_eq!(shed_stats.expired, shed_report.expired);
+    let model = &shed_report.per_model[0];
+    assert_eq!(model.shed, shed_report.shed);
+    assert_eq!(model.expired, shed_report.expired);
+    assert_eq!(model.offered(), offered_total);
+    assert!((model.shed_rate() - shed_report.shed_rate()).abs() < 1e-9);
+
+    // --- Block: the same traffic turns the open loop closed ---------
+    let server = EmbedServer::start(&emb, base).unwrap();
+    let block_report = run_load(&server.handle(), &load).unwrap();
+    let block_stats = server.shutdown();
+
+    // Identical issued traffic (same seed), radically different fate.
+    assert_eq!(block_report.traffic_checksum, shed_report.traffic_checksum);
+    assert_eq!(block_report.shed, 0, "Block never sheds");
+    assert_eq!(block_report.expired, 0, "Block never expires");
+    assert_eq!(block_report.requests, offered_total, "Block answers all");
+    assert_eq!(block_stats.shed, 0);
+    assert_eq!(block_stats.expired, 0);
+    // Blocked producers serialize on backpressure: scheduled-send p99
+    // grows with the backlog, far past the shed policy's bound.
+    let block_p99 = Duration::from_nanos(block_report.histogram.p99());
+    assert!(
+        block_p99 >= 2 * shed_p99.max(Duration::from_millis(10)),
+        "block p99 {block_p99:?} should dwarf shed p99 {shed_p99:?}"
+    );
+    assert!(
+        block_p99 > p99_bound,
+        "block p99 {block_p99:?} should exceed the shed bound {p99_bound:?}"
+    );
+}
+
+/// A request whose deadline passes while it waits in the queue is
+/// answered with `DeadlineExceeded` at dequeue — never silence, and
+/// never a wasted store read.
+#[test]
+fn expired_requests_fail_at_dequeue_not_silently() {
+    let emb = memcom(5);
+    let deadline = Duration::from_millis(10);
+    // A lone request can never fill max_batch, so it waits out the
+    // 60ms flush timer in the queue — far past its 10ms deadline.
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig {
+            n_shards: 1,
+            max_batch: 512,
+            max_wait: Duration::from_millis(60),
+            admission: AdmissionPolicy::Shed {
+                enqueue_timeout: Duration::from_secs(5),
+                request_deadline: Some(deadline),
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+
+    // Single-id path.
+    match handle.get(3) {
+        Err(ServeError::DeadlineExceeded {
+            queued,
+            deadline: reported,
+        }) => {
+            assert_eq!(reported, deadline);
+            assert!(queued >= deadline, "queued {queued:?} < {deadline:?}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.requests, 0, "no store read for a dead request");
+
+    // Slab paths expire identically (and count in rows).
+    assert!(matches!(
+        handle.get_many(&[1, 2, 3]),
+        Err(ServeError::DeadlineExceeded { .. })
+    ));
+    let mut batch = EmbedBatch::new();
+    assert!(matches!(
+        handle.get_batch_into(&[4, 5, 6], &mut batch),
+        Err(ServeError::DeadlineExceeded { .. })
+    ));
+    let stats = server.shutdown();
+    assert_eq!(stats.expired, 7);
+    assert_eq!(stats.requests, 0);
+}
+
+/// The admission reject is a typed, budget-stamped error, surfaced
+/// after exactly the configured enqueue wait.
+#[test]
+fn shed_rejection_reports_the_enqueue_budget() {
+    let emb = memcom(9);
+    let enqueue_timeout = Duration::from_millis(5);
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig {
+            n_shards: 1,
+            max_batch: 1,
+            max_wait: Duration::from_micros(1),
+            queue_depth: 1,
+            // Wedge the worker: the first flush sleeps 400ms, so the
+            // queue stays occupied while we probe the reject path.
+            store_latency: Duration::from_millis(400),
+            admission: AdmissionPolicy::Shed {
+                enqueue_timeout,
+                request_deadline: None,
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let wedger = server.handle();
+        scope.spawn(move || wedger.get(0).unwrap());
+        std::thread::sleep(Duration::from_millis(50));
+        let parker = server.handle();
+        scope.spawn(move || parker.get(1).unwrap());
+        std::thread::sleep(Duration::from_millis(50));
+        // Queue full, worker asleep: this push waits out its budget,
+        // then sheds.
+        let t0 = std::time::Instant::now();
+        match handle.get(2) {
+            Err(ServeError::Overloaded { waited }) => assert_eq!(waited, enqueue_timeout),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= enqueue_timeout, "returned early: {elapsed:?}");
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "blocked past the budget: {elapsed:?}"
+        );
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.requests, 2, "wedger and parker were served");
+}
+
+/// A multi-shard fan-out that sheds partway through admission must
+/// still account for every row: already-admitted sub-requests run and
+/// count as served, the shed shard's rows count as shed, and rows on
+/// shards never attempted count as shed too — `requests + shed +
+/// expired` equals the rows issued.
+#[test]
+fn partial_fanout_shed_accounts_for_every_row() {
+    let emb = memcom(13);
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig {
+            n_shards: 3,
+            max_batch: 1,
+            max_wait: Duration::from_micros(10),
+            queue_depth: 1,
+            // Wedge window: each flush sleeps 300ms.
+            store_latency: Duration::from_millis(300),
+            admission: AdmissionPolicy::Shed {
+                enqueue_timeout: Duration::ZERO,
+                request_deadline: None,
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        // Wedge shard 1 (ids ≡ 1 mod 3): one request in flight, one
+        // parked in its depth-1 queue.
+        let wedger = server.handle();
+        scope.spawn(move || wedger.get(1).unwrap());
+        std::thread::sleep(Duration::from_millis(50));
+        let parker = server.handle();
+        scope.spawn(move || parker.get(4).unwrap());
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Fan out over shards 0, 1, 2: shard 0 is admitted (and
+        // served), shard 1 sheds, shard 2 is never attempted.
+        let mut batch = EmbedBatch::new();
+        assert!(matches!(
+            handle.get_batch_into(&[0, 1, 2], &mut batch),
+            Err(ServeError::Overloaded { .. })
+        ));
+    });
+    let stats = server.shutdown();
+    // Rows issued: wedger 1 + parker 1 + fan-out 3 = 5.
+    assert_eq!(stats.requests, 3, "wedger, parker, and the shard-0 row");
+    assert_eq!(
+        stats.shed, 2,
+        "the shed shard-1 row and the skipped shard-2 row"
+    );
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.requests + stats.shed + stats.expired, 5);
+}
+
+/// Budgets too large to represent as a point in time (an `Instant +
+/// Duration::MAX` would overflow) must mean "no limit", not a panic.
+#[test]
+fn unrepresentable_budgets_serve_normally() {
+    let emb = memcom(17);
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig::with_shedding(Duration::MAX, Some(Duration::MAX)),
+    )
+    .unwrap();
+    let handle = server.handle();
+    assert_eq!(handle.get(5).unwrap().len(), 8, "never expires");
+    let stats = server.shutdown();
+    assert_eq!((stats.shed, stats.expired), (0, 0));
+}
+
+/// Shutdown under a shedding policy still answers every accepted
+/// request — served, expired, or rejected, but never silence.
+#[test]
+fn shed_mode_drain_leaves_no_request_unanswered() {
+    let emb = memcom(11);
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig {
+            n_shards: 1,
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+            queue_depth: 4,
+            store_latency: Duration::from_millis(60),
+            admission: AdmissionPolicy::Shed {
+                enqueue_timeout: Duration::from_millis(1),
+                request_deadline: Some(Duration::from_millis(30)),
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    let (stats, outcomes) = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..6)
+            .map(|i| {
+                let handle = handle.clone();
+                scope.spawn(move || handle.get(i * 7))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = server.shutdown();
+        let outcomes: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        (stats, outcomes)
+    });
+    let mut served = 0u64;
+    let mut expired = 0u64;
+    for outcome in outcomes {
+        match outcome {
+            Ok(row) => {
+                assert_eq!(row.len(), 8);
+                served += 1;
+            }
+            Err(ServeError::DeadlineExceeded { .. }) => expired += 1,
+            Err(ServeError::Overloaded { .. }) | Err(ServeError::ShuttingDown) => {}
+            Err(other) => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert_eq!(stats.requests, served, "every served answer was counted");
+    assert_eq!(stats.expired, expired, "every expiry was counted");
+    assert!(matches!(handle.get(1), Err(ServeError::ShuttingDown)));
+}
