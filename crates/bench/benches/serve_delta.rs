@@ -1,0 +1,72 @@
+//! Delta-snapshot microbenchmarks: what a row-level refresh costs.
+//!
+//! The headline comparison is `apply` (copy-on-write over shared pages,
+//! work ∝ rows touched) against `rebuild` (the full-store construction a
+//! `Router::swap` refresh needs, work ∝ table size): a 0.1% delta should
+//! land orders of magnitude below the rebuild. The dtype points measure
+//! the page-granular re-encode (quantize per changed row) on top of the
+//! page copies, and `build` isolates the `StoreDelta` builder itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memcom_core::FullEmbedding;
+use memcom_serve::{Dtype, ShardedStore, StoreDelta};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const VOCAB: usize = 100_000;
+const DIM: usize = 16;
+const N_SHARDS: usize = 4;
+const PAGE: usize = 16 * 1024;
+
+fn delta_of(rows: usize) -> StoreDelta {
+    // Clustered ids (frequency-sorted vocabularies keep recently-active
+    // entities adjacent), mid-table.
+    let mut delta = StoreDelta::new(DIM);
+    for k in 0..rows {
+        let row: Vec<f32> = (0..DIM).map(|j| ((k + j) as f32) * 1e-3).collect();
+        delta.upsert_row(VOCAB / 2 + k, &row).expect("dim matches");
+    }
+    delta
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let emb = FullEmbedding::new(VOCAB, DIM, &mut rng).expect("table builds");
+
+    let mut group = c.benchmark_group("serve_delta");
+
+    // Builder cost alone (upsert 100 rows into a fresh delta).
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("build/100-rows", |b| {
+        b.iter(|| delta_of(std::hint::black_box(100)))
+    });
+
+    // Apply cost per dtype and delta size: page CoW + per-row re-encode.
+    for dtype in [Dtype::F32, Dtype::Int8] {
+        let store =
+            ShardedStore::build_quantized(&emb, N_SHARDS, 1024, PAGE, dtype).expect("store builds");
+        for rows in [100usize, 1_000] {
+            let delta = delta_of(rows);
+            group.throughput(Throughput::Elements(rows as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("apply/{dtype:?}"), rows),
+                &delta,
+                |b, delta| {
+                    b.iter(|| store.apply_delta(std::hint::black_box(delta)).unwrap());
+                },
+            );
+        }
+    }
+
+    // The full-swap baseline the delta path replaces: rebuild the whole
+    // 100k-row store from the compressor.
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(VOCAB as u64));
+    group.bench_function("rebuild/full-store", |b| {
+        b.iter(|| ShardedStore::build(std::hint::black_box(&emb), N_SHARDS, 1024, PAGE).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta);
+criterion_main!(benches);

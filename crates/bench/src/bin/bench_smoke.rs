@@ -1,0 +1,342 @@
+//! CI perf-gate smoke benchmark.
+//!
+//! Runs a pinned subset of the serving benchmarks — the closed-loop
+//! throughput scenario from `serve_throughput`, the quantized miss path
+//! from `serve_dtype`, the steady-state allocation count certified by
+//! `tests/alloc_count.rs`, and the delta-apply scenario from
+//! `serve_delta` — in a couple of seconds, then:
+//!
+//! 1. writes the measurements as a flat JSON object (`BENCH_serve.json`,
+//!    uploaded as a CI artifact so every run leaves a comparable trace),
+//! 2. compares them against the checked-in baseline
+//!    (`results/BENCH_serve_baseline.json`) and **fails the process**
+//!    when any metric regresses by more than 25% — the CI perf gate.
+//!
+//! Higher-is-better metrics (QPS, delta speedup) fail below
+//! `baseline / 1.25`; lower-is-better metrics (latency, allocations,
+//! apply time, copied fraction) fail above `baseline * 1.25`.
+//! Improvements never fail; refresh the baseline deliberately with
+//! `--quick --update-baseline` when a change moves the floor —
+//! **matching the mode CI gates with** (`--quick`), since the two modes
+//! measure different workload sizes and their numbers are not
+//! comparable.
+//!
+//! ```text
+//! bench_smoke [--quick] [--out PATH] [--baseline PATH] [--update-baseline]
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use memcom_core::{FullEmbedding, MemCom, MemComConfig};
+use memcom_serve::{
+    run_load, Dtype, EmbedBatch, EmbedServer, LoadGenConfig, LoadMode, ServeConfig, ShardedStore,
+    StoreDelta,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counts every allocation in the process, so the steady-state
+/// allocs-per-call metric is exact and machine-independent.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Whether a bigger value is a better value.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+/// The pinned metric set. Adding a metric here extends the gate; the
+/// baseline file must carry the same keys.
+const DIRECTIONS: &[(&str, Direction)] = &[
+    ("throughput_qps", Direction::HigherIsBetter),
+    ("p50_ns", Direction::LowerIsBetter),
+    ("p99_ns", Direction::LowerIsBetter),
+    ("int8_miss_ns_per_row", Direction::LowerIsBetter),
+    ("allocs_per_call", Direction::LowerIsBetter),
+    ("delta_apply_us", Direction::LowerIsBetter),
+    ("delta_speedup_vs_rebuild", Direction::HigherIsBetter),
+    ("delta_copied_frac", Direction::LowerIsBetter),
+];
+
+/// Allowed regression vs. the checked-in baseline.
+const TOLERANCE: f64 = 1.25;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let update_baseline = args.iter().any(|a| a == "--update-baseline");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let baseline_path = flag_value(&args, "--baseline")
+        .unwrap_or_else(|| "results/BENCH_serve_baseline.json".to_string());
+
+    let metrics = measure(quick);
+
+    let json = to_json(&metrics);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("bench_smoke: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("bench_smoke: wrote {out_path}");
+    for (key, value) in &metrics {
+        println!("  {key:<26} {value:>14.3}");
+    }
+
+    if update_baseline {
+        std::fs::write(&baseline_path, &json).unwrap_or_else(|e| {
+            eprintln!("bench_smoke: cannot write {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        println!("bench_smoke: baseline refreshed at {baseline_path}");
+        return;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "bench_smoke: no baseline at {baseline_path} ({e}); \
+                 run with --update-baseline to seed one"
+            );
+            std::process::exit(2);
+        }
+    };
+    let baseline = parse_flat_json(&baseline_text).unwrap_or_else(|e| {
+        eprintln!("bench_smoke: cannot parse {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+
+    let mut failures = 0;
+    println!(
+        "\nperf gate vs {baseline_path} (>{:.0}% regression fails):",
+        (TOLERANCE - 1.0) * 100.0
+    );
+    for &(key, direction) in DIRECTIONS {
+        let measured = lookup(&metrics, key);
+        let Some(base) = baseline.iter().find(|(k, _)| k == key).map(|(_, v)| *v) else {
+            println!("  {key:<26} (no baseline entry; skipped)");
+            continue;
+        };
+        let (worst_allowed, regressed) = match direction {
+            Direction::HigherIsBetter => (base / TOLERANCE, measured < base / TOLERANCE),
+            Direction::LowerIsBetter => (base * TOLERANCE, measured > base * TOLERANCE),
+        };
+        let verdict = if regressed { "FAIL" } else { "ok" };
+        println!(
+            "  {key:<26} {measured:>14.3}  baseline {base:>14.3}  limit {worst_allowed:>14.3}  {verdict}"
+        );
+        if regressed {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_smoke: {failures} metric(s) regressed beyond the 25% gate");
+        std::process::exit(1);
+    }
+    println!("bench_smoke: perf gate passed");
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn lookup(metrics: &[(&'static str, f64)], key: &str) -> f64 {
+    metrics
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .expect("metric measured")
+}
+
+fn measure(quick: bool) -> Vec<(&'static str, f64)> {
+    let mut metrics = Vec::new();
+
+    // --- serve_throughput subset: closed-loop QPS + latency ----------
+    let (vocab, clients, requests) = if quick {
+        (10_000, 2, 300)
+    } else {
+        (20_000, 4, 1_000)
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let emb = MemCom::new(MemComConfig::new(vocab, 32, vocab / 10), &mut rng).expect("memcom");
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig {
+            n_shards: 4,
+            max_batch: 64,
+            max_wait: Duration::from_micros(50),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let report = run_load(
+        &server.handle(),
+        &LoadGenConfig {
+            clients,
+            requests_per_client: requests,
+            ids_per_request: 16,
+            zipf_exponent: 1.1,
+            mode: LoadMode::Closed,
+            seed: 42,
+        },
+    )
+    .expect("load runs");
+    metrics.push(("throughput_qps", report.qps()));
+    metrics.push(("p50_ns", report.histogram.p50() as f64));
+    metrics.push(("p99_ns", report.histogram.p99() as f64));
+    drop(server);
+
+    // --- serve_dtype subset: the int8 cache-off miss path ------------
+    let mut rng = StdRng::seed_from_u64(9);
+    let table = FullEmbedding::new(vocab / 2, 32, &mut rng).expect("table");
+    let int8 = ShardedStore::build_quantized(&table, 1, 0, 16 * 1024, Dtype::Int8).expect("int8");
+    let ids: Vec<usize> = (0..256).collect();
+    let mut slab = vec![0f32; ids.len() * 32];
+    for _ in 0..3 {
+        int8.lookup_batch(0, &ids, &mut slab).expect("warm");
+    }
+    let iters = if quick { 200 } else { 1_000 };
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        int8.lookup_batch(0, &ids, &mut slab).expect("measured");
+    }
+    let per_row = t0.elapsed().as_nanos() as f64 / (iters as f64 * ids.len() as f64);
+    metrics.push(("int8_miss_ns_per_row", per_row));
+
+    // --- alloc_count subset: steady-state allocations per batch call -
+    let mut rng = StdRng::seed_from_u64(11);
+    let emb = MemCom::new(MemComConfig::new(1_000, 16, 100), &mut rng).expect("memcom");
+    let server = EmbedServer::start(
+        &emb,
+        ServeConfig {
+            n_shards: 1,
+            max_batch: 1,
+            max_wait: Duration::from_micros(1),
+            cache_capacity: 1_024,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let handle = server.handle();
+    let ids: Vec<usize> = (0..512).collect();
+    let mut batch = EmbedBatch::new();
+    for _ in 0..10 {
+        handle.get_batch_into(&ids, &mut batch).expect("warm");
+    }
+    let calls = 50u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..calls {
+        handle.get_batch_into(&ids, &mut batch).expect("measured");
+    }
+    let allocs_per_call = (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / calls as f64;
+    metrics.push(("allocs_per_call", allocs_per_call));
+    drop(server);
+
+    // --- serve_delta subset: 0.1% delta apply vs full rebuild --------
+    let (delta_vocab, delta_rows) = if quick {
+        (100_000, 100)
+    } else {
+        (200_000, 200)
+    };
+    let mut rng = StdRng::seed_from_u64(13);
+    let table = FullEmbedding::new(delta_vocab, 16, &mut rng).expect("table");
+    let t0 = Instant::now();
+    let store = ShardedStore::build(&table, 4, 1_024, 16 * 1024).expect("store");
+    let rebuild = t0.elapsed();
+    let mut delta = StoreDelta::new(16);
+    for k in 0..delta_rows {
+        let row: Vec<f32> = (0..16).map(|j| ((k + j) as f32) * 1e-3).collect();
+        delta
+            .upsert_row(delta_vocab / 2 + k, &row)
+            .expect("dim matches");
+    }
+    let mut samples: Vec<f64> = (0..15)
+        .map(|_| {
+            let t0 = Instant::now();
+            let new = store.apply_delta(&delta).expect("delta applies");
+            let elapsed = t0.elapsed().as_secs_f64() * 1e6;
+            std::hint::black_box(&new);
+            elapsed
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let apply_us = samples[samples.len() / 2];
+    let new = store.apply_delta(&delta).expect("delta applies");
+    metrics.push(("delta_apply_us", apply_us));
+    metrics.push((
+        "delta_speedup_vs_rebuild",
+        rebuild.as_secs_f64() * 1e6 / apply_us.max(1e-9),
+    ));
+    metrics.push((
+        "delta_copied_frac",
+        new.cow_copied_bytes() as f64 / store.stored_bytes() as f64,
+    ));
+
+    metrics
+}
+
+fn to_json(metrics: &[(&'static str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("  \"{key}\": {value:.6}{sep}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses a flat `{"key": number, ...}` object — the only JSON shape the
+/// gate exchanges, so no dependency is needed.
+fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let inner = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or("expected a {...} object")?;
+    let mut out = Vec::new();
+    for entry in inner.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("bad entry {entry:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key in {entry:?}"))?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number in {entry:?}: {e}"))?;
+        out.push((key.to_string(), value));
+    }
+    Ok(out)
+}

@@ -9,6 +9,9 @@
 //! * [`mmap_sim`] — a page-granular lazy-residency simulation of
 //!   memory-mapped model loading ("CoreML and TF-Lite implement the lookup
 //!   operator in the embedding layer using mmap", §5.3).
+//! * [`pages`] — structurally-shared, copy-on-write page storage for
+//!   row tables: the serving tier's substrate for row-level delta
+//!   updates (a snapshot clone shares every untouched page).
 //! * [`engine`] — two inference engines over the mapped bytes: the
 //!   **lookup engine** (MEmCom-style: touches only the embedding rows a
 //!   query needs) and the **one-hot engine** (Weinberger-style: builds the
@@ -29,6 +32,7 @@ pub mod engine;
 pub mod error;
 pub mod format;
 pub mod mmap_sim;
+pub mod pages;
 pub mod quant;
 
 pub use compute::ComputeUnit;
@@ -36,6 +40,7 @@ pub use engine::{InferenceSession, RunStats};
 pub use error::OnDeviceError;
 pub use format::{OnDeviceModel, MAGIC};
 pub use mmap_sim::MmapSim;
+pub use pages::PagedTable;
 pub use quant::{decode_row_into, dequant_error_bound, quantize_row, Dtype, QuantizedTable};
 
 /// Convenience alias for results returned throughout this crate.

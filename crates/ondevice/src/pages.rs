@@ -1,0 +1,460 @@
+//! Structurally-shared, copy-on-write page storage for row tables.
+//!
+//! [`crate::MmapSim`] models a read-only mapped file as one owned byte
+//! buffer — the right shape for a model that only ever changes by
+//! *replacing the whole file*. A serving tier refreshing tables online
+//! needs the opposite: row-level updates that do **not** rebuild (or
+//! even copy) the parts of the table that did not change. This module
+//! provides that storage primitive:
+//!
+//! * Rows of a fixed `stride` are packed into fixed-size **pages**, each
+//!   its own `Arc<Vec<u8>>` allocation. Pages are row-aligned (a page
+//!   holds a whole number of rows), so a row read is always one
+//!   contiguous in-page slice.
+//! * [`PagedTable::shared_clone`] is O(pages) pointer copies: the clone
+//!   *shares* every page with the original. Writing a row through
+//!   [`PagedTable::write_row`] copy-on-writes only the covering page
+//!   (`Arc::make_mut`), leaving every untouched page physically shared —
+//!   a delta touching 0.1% of rows copies ~0.1% of the bytes.
+//! * The same lazy-residency accounting as [`crate::MmapSim`]: first
+//!   touch of a page counts a fault and the page's cold bytes, so the
+//!   resident set and the cold/warm byte split plug into the on-device
+//!   cost model unchanged. Cloning carries the residency over (shared
+//!   pages that were resident still are — they are the same memory),
+//!   while the work counters start from zero for the new snapshot.
+//!
+//! Readers hold `&PagedTable` and writers `&mut PagedTable`, so Rust's
+//! aliasing rules make torn reads impossible by construction: a snapshot
+//! being prepared with `write_row` is not yet visible to any reader, and
+//! once published (behind an `Arc` swap) it is never written again.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::{OnDeviceError, Result};
+
+/// A fixed-stride row table stored as structurally-shared pages.
+#[derive(Debug)]
+pub struct PagedTable {
+    /// Bytes per row.
+    stride: usize,
+    /// Total rows.
+    rows: usize,
+    /// Rows per full page (the last page may hold fewer).
+    rows_per_page: usize,
+    /// The pages; all but the last hold exactly `rows_per_page * stride`
+    /// bytes.
+    pages: Vec<Arc<Vec<u8>>>,
+    /// Lazy-residency flag per page (first touch = fault).
+    resident: Vec<AtomicBool>,
+    resident_pages: AtomicUsize,
+    faults: AtomicU64,
+    total_read_bytes: AtomicU64,
+    cold_read_bytes: AtomicU64,
+    /// Bytes physically copied by copy-on-write row writes on *this*
+    /// table (pages cloned off a shared `Arc` before mutation).
+    cow_copied_bytes: u64,
+}
+
+impl PagedTable {
+    /// Packs `data` (contiguous rows of `stride` bytes each) into pages
+    /// of at most `page_size` bytes, rounded down to a whole number of
+    /// rows (at least one row per page, so a stride larger than
+    /// `page_size` still works — each row is then its own page).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stride == 0`, `page_size == 0`, or `data.len()` is
+    /// not a multiple of `stride` — all construction-time bugs.
+    pub fn from_rows(data: &[u8], stride: usize, page_size: usize) -> Self {
+        assert!(stride > 0, "row stride must be positive");
+        assert!(page_size > 0, "page size must be positive");
+        assert_eq!(data.len() % stride, 0, "data must be whole rows");
+        let rows = data.len() / stride;
+        let rows_per_page = (page_size / stride).max(1);
+        let page_bytes = rows_per_page * stride;
+        let pages: Vec<Arc<Vec<u8>>> = data
+            .chunks(page_bytes)
+            .map(|chunk| Arc::new(chunk.to_vec()))
+            .collect();
+        let n_pages = pages.len();
+        PagedTable {
+            stride,
+            rows,
+            rows_per_page,
+            pages,
+            resident: (0..n_pages).map(|_| AtomicBool::new(false)).collect(),
+            resident_pages: AtomicUsize::new(0),
+            faults: AtomicU64::new(0),
+            total_read_bytes: AtomicU64::new(0),
+            cold_read_bytes: AtomicU64::new(0),
+            cow_copied_bytes: 0,
+        }
+    }
+
+    /// An empty table (no rows, no pages) of the given geometry.
+    pub fn empty(stride: usize, page_size: usize) -> Self {
+        Self::from_rows(&[], stride, page_size)
+    }
+
+    /// Bytes per row.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total stored bytes across all pages.
+    pub fn len(&self) -> usize {
+        self.pages.iter().map(|p| p.len()).sum()
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of pages.
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Rows per full page.
+    pub fn rows_per_page(&self) -> usize {
+        self.rows_per_page
+    }
+
+    /// Reads row `r` (one contiguous `stride`-byte slice), faulting the
+    /// covering page in on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnDeviceError::OutOfBounds`] for `r >= rows()`.
+    pub fn read_row(&self, r: usize) -> Result<&[u8]> {
+        if r >= self.rows {
+            return Err(OnDeviceError::OutOfBounds {
+                offset: r * self.stride,
+                len: self.stride,
+                size: self.rows * self.stride,
+            });
+        }
+        let page = r / self.rows_per_page;
+        let offset = (r % self.rows_per_page) * self.stride;
+        self.total_read_bytes
+            .fetch_add(self.stride as u64, Ordering::Relaxed);
+        // First touch of the page counts one fault pulling the whole
+        // page from "storage". `swap` makes a racing first touch count
+        // exactly once.
+        if !self.resident[page].load(Ordering::Relaxed)
+            && !self.resident[page].swap(true, Ordering::Relaxed)
+        {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+            self.resident_pages.fetch_add(1, Ordering::Relaxed);
+            self.cold_read_bytes
+                .fetch_add(self.pages[page].len() as u64, Ordering::Relaxed);
+        }
+        Ok(&self.pages[page][offset..offset + self.stride])
+    }
+
+    /// A snapshot clone sharing every page with `self` (O(pages) `Arc`
+    /// bumps, no byte copies). Residency carries over — a shared page
+    /// that is resident in the original is the same physical memory —
+    /// while the fault/read-byte counters and the copy-on-write tally
+    /// start from zero for the new snapshot.
+    pub fn shared_clone(&self) -> Self {
+        let resident: Vec<AtomicBool> = self
+            .resident
+            .iter()
+            .map(|r| AtomicBool::new(r.load(Ordering::Relaxed)))
+            .collect();
+        let resident_count = resident
+            .iter()
+            .filter(|r| r.load(Ordering::Relaxed))
+            .count();
+        PagedTable {
+            stride: self.stride,
+            rows: self.rows,
+            rows_per_page: self.rows_per_page,
+            pages: self.pages.iter().map(Arc::clone).collect(),
+            resident,
+            resident_pages: AtomicUsize::new(resident_count),
+            faults: AtomicU64::new(0),
+            total_read_bytes: AtomicU64::new(0),
+            cold_read_bytes: AtomicU64::new(0),
+            cow_copied_bytes: 0,
+        }
+    }
+
+    /// Overwrites row `r` with `bytes`, copy-on-writing the covering
+    /// page: if the page is shared with another table (a prior
+    /// snapshot), it is cloned first and only the clone is mutated —
+    /// readers of the other table never observe the write. The page
+    /// becomes resident (it was just written in memory; no fault is
+    /// charged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnDeviceError::OutOfBounds`] for `r >= rows()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes.len() != stride()` — a caller sizing bug.
+    pub fn write_row(&mut self, r: usize, bytes: &[u8]) -> Result<()> {
+        assert_eq!(bytes.len(), self.stride, "row write must be stride bytes");
+        if r >= self.rows {
+            return Err(OnDeviceError::OutOfBounds {
+                offset: r * self.stride,
+                len: self.stride,
+                size: self.rows * self.stride,
+            });
+        }
+        let page = r / self.rows_per_page;
+        let offset = (r % self.rows_per_page) * self.stride;
+        if Arc::get_mut(&mut self.pages[page]).is_none() {
+            self.cow_copied_bytes += self.pages[page].len() as u64;
+        }
+        Arc::make_mut(&mut self.pages[page])[offset..offset + self.stride].copy_from_slice(bytes);
+        self.mark_resident(page);
+        Ok(())
+    }
+
+    /// Appends `extra` rows, each initialized to `fill` (`stride`
+    /// bytes): the growth path for vocabularies that gain entities
+    /// between snapshots. The last partial page is copy-on-written and
+    /// topped up; whole new pages are fresh allocations. Appended pages
+    /// count as resident (they were just materialized in memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fill.len() != stride()`.
+    pub fn extend_rows(&mut self, extra: usize, fill: &[u8]) {
+        assert_eq!(fill.len(), self.stride, "fill row must be stride bytes");
+        let page_bytes = self.rows_per_page * self.stride;
+        let mut remaining = extra;
+        // Top up the trailing partial page in place (CoW if shared).
+        if let Some(last) = self.pages.last_mut() {
+            if last.len() < page_bytes && remaining > 0 {
+                let fit = ((page_bytes - last.len()) / self.stride).min(remaining);
+                if fit > 0 {
+                    if Arc::get_mut(last).is_none() {
+                        self.cow_copied_bytes += last.len() as u64;
+                    }
+                    let page = Arc::make_mut(last);
+                    for _ in 0..fit {
+                        page.extend_from_slice(fill);
+                    }
+                    remaining -= fit;
+                    let idx = self.pages.len() - 1;
+                    self.mark_resident(idx);
+                }
+            }
+        }
+        // Whole new pages for the rest.
+        while remaining > 0 {
+            let fit = remaining.min(self.rows_per_page);
+            let mut page = Vec::with_capacity(fit * self.stride);
+            for _ in 0..fit {
+                page.extend_from_slice(fill);
+            }
+            self.pages.push(Arc::new(page));
+            self.resident.push(AtomicBool::new(true));
+            self.resident_pages.fetch_add(1, Ordering::Relaxed);
+            remaining -= fit;
+        }
+        self.rows += extra;
+    }
+
+    fn mark_resident(&self, page: usize) {
+        if !self.resident[page].swap(true, Ordering::Relaxed) {
+            self.resident_pages.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes of pages physically shared (same allocation) between `self`
+    /// and `other` — the structural-sharing diagnostic behind "a small
+    /// delta copies a small fraction of the store".
+    pub fn shared_bytes_with(&self, other: &PagedTable) -> usize {
+        self.pages
+            .iter()
+            .zip(&other.pages)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .map(|(a, _)| a.len())
+            .sum()
+    }
+
+    /// Bytes physically copied by copy-on-write writes on this table
+    /// since construction (or [`shared_clone`](Self::shared_clone)).
+    pub fn cow_copied_bytes(&self) -> u64 {
+        self.cow_copied_bytes
+    }
+
+    /// Number of resident (touched or written) pages.
+    pub fn resident_page_count(&self) -> usize {
+        self.resident_pages.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of resident pages.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident
+            .iter()
+            .zip(&self.pages)
+            .filter(|(r, _)| r.load(Ordering::Relaxed))
+            .map(|(_, p)| p.len())
+            .sum()
+    }
+
+    /// Page faults so far (first touches by [`read_row`](Self::read_row)).
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes returned by row reads (hot + cold).
+    pub fn total_read_bytes(&self) -> u64 {
+        self.total_read_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes pulled from "storage" by first-touch faults.
+    pub fn cold_read_bytes(&self) -> u64 {
+        self.cold_read_bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: usize, stride: usize, page_size: usize) -> PagedTable {
+        let data: Vec<u8> = (0..rows * stride).map(|i| (i % 251) as u8).collect();
+        PagedTable::from_rows(&data, stride, page_size)
+    }
+
+    #[test]
+    fn rows_read_back_exactly() {
+        let t = table(10, 3, 7); // 2 rows per page -> 5 pages
+        assert_eq!(t.n_pages(), 5);
+        assert_eq!(t.rows_per_page(), 2);
+        assert_eq!(t.len(), 30);
+        for r in 0..10 {
+            let want: Vec<u8> = (r * 3..(r + 1) * 3).map(|i| (i % 251) as u8).collect();
+            assert_eq!(t.read_row(r).unwrap(), want.as_slice(), "row {r}");
+        }
+        assert!(t.read_row(10).is_err());
+    }
+
+    #[test]
+    fn stride_larger_than_page_size_still_works() {
+        let t = table(4, 16, 8); // one row per page despite 8-byte pages
+        assert_eq!(t.rows_per_page(), 1);
+        assert_eq!(t.n_pages(), 4);
+        assert_eq!(t.read_row(3).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn residency_and_fault_accounting() {
+        let t = table(8, 4, 8); // 2 rows/page, 4 pages
+        assert_eq!(t.resident_page_count(), 0);
+        t.read_row(0).unwrap();
+        t.read_row(1).unwrap(); // same page: warm
+        assert_eq!(t.faults(), 1);
+        assert_eq!(t.resident_page_count(), 1);
+        assert_eq!(t.cold_read_bytes(), 8);
+        assert_eq!(t.total_read_bytes(), 8);
+        t.read_row(7).unwrap();
+        assert_eq!(t.faults(), 2);
+        assert_eq!(t.resident_bytes(), 16);
+    }
+
+    #[test]
+    fn shared_clone_shares_pages_and_carries_residency() {
+        let t = table(8, 4, 8);
+        t.read_row(0).unwrap();
+        let clone = t.shared_clone();
+        assert_eq!(clone.shared_bytes_with(&t), t.len());
+        assert_eq!(clone.resident_page_count(), 1, "residency carried");
+        assert_eq!(clone.faults(), 0, "work counters start fresh");
+        // A warm read on the clone is warm (no new fault).
+        clone.read_row(1).unwrap();
+        assert_eq!(clone.faults(), 0);
+        assert_eq!(clone.cold_read_bytes(), 0);
+    }
+
+    #[test]
+    fn write_row_copies_only_the_covering_page() {
+        let t = table(8, 4, 8); // 4 pages of 8 bytes
+        let mut clone = t.shared_clone();
+        clone.write_row(2, &[9, 9, 9, 9]).unwrap();
+        assert_eq!(clone.cow_copied_bytes(), 8, "one page copied");
+        assert_eq!(clone.shared_bytes_with(&t), 24, "3 of 4 pages shared");
+        // The original is untouched.
+        assert_eq!(t.read_row(2).unwrap(), &[8, 9, 10, 11]);
+        assert_eq!(clone.read_row(2).unwrap(), &[9, 9, 9, 9]);
+        // Neighbour row on the same page survived the CoW.
+        assert_eq!(clone.read_row(3).unwrap(), t.read_row(3).unwrap());
+        // A second write to the already-copied page is in place.
+        clone.write_row(3, &[7, 7, 7, 7]).unwrap();
+        assert_eq!(clone.cow_copied_bytes(), 8, "no second copy");
+        assert!(clone.write_row(8, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn write_on_unshared_table_copies_nothing() {
+        let mut t = table(4, 4, 8);
+        t.write_row(0, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(t.cow_copied_bytes(), 0);
+        assert_eq!(t.read_row(0).unwrap(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn extend_rows_grows_through_partial_and_new_pages() {
+        let mut t = table(3, 4, 8); // 2 rows/page: pages of 2 + 1 rows
+        t.extend_rows(4, &[5; 4]); // tops up page 1, adds 2 pages... (1+2, then rows 4..7)
+        assert_eq!(t.rows(), 7);
+        assert_eq!(t.read_row(2).unwrap(), &[8, 9, 10, 11], "old row intact");
+        for r in 3..7 {
+            assert_eq!(t.read_row(r).unwrap(), &[5; 4], "row {r}");
+        }
+        assert_eq!(t.n_pages(), 4);
+        // Growth off a shared snapshot copies only the partial last page.
+        let base = table(3, 4, 8);
+        let mut grown = base.shared_clone();
+        grown.extend_rows(1, &[6; 4]);
+        assert_eq!(grown.cow_copied_bytes(), 4, "partial page CoW");
+        assert_eq!(grown.shared_bytes_with(&base), 8, "full page still shared");
+        assert_eq!(base.rows(), 3);
+        assert_eq!(grown.read_row(3).unwrap(), &[6; 4]);
+    }
+
+    #[test]
+    fn empty_table_grows_from_nothing() {
+        let mut t = PagedTable::empty(4, 8);
+        assert!(t.is_empty());
+        assert_eq!(t.n_pages(), 0);
+        t.extend_rows(3, &[1; 4]);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.read_row(2).unwrap(), &[1; 4]);
+        assert_eq!(t.resident_bytes(), 12);
+    }
+
+    #[test]
+    fn concurrent_readers_fault_each_page_once() {
+        let t = table(64, 8, 32); // 4 rows/page, 16 pages
+        std::thread::scope(|s| {
+            for k in 0..8 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let r = (k * 13 + i * 7) % 64;
+                        let bytes = t.read_row(r).expect("in bounds");
+                        assert_eq!(bytes[0], ((r * 8) % 251) as u8);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.faults() as usize, t.resident_page_count());
+        assert!(t.resident_page_count() <= 16);
+        assert_eq!(t.total_read_bytes(), 8 * 200 * 8);
+    }
+}

@@ -327,6 +327,63 @@ pub fn dequant_error_bound(dtype: Dtype, scale: f32, max_abs: f32) -> f32 {
     }
 }
 
+/// Encodes one row in the serving store's **stored-row** layout — the
+/// optional inline per-row `f32` scale ([`Dtype::scale_prefix_bytes`])
+/// followed by the packed payload — appending to `out` and reusing
+/// `payload_scratch` ([`Dtype::row_bytes`]`(row.len())` bytes) across
+/// calls. Returns the row's worst-case absolute dequantization error.
+///
+/// This is the page-granular re-encode primitive: store builds encode
+/// whole tables through it, and row-level delta updates re-encode just
+/// the changed rows into copy-on-written pages
+/// ([`crate::pages::PagedTable`]).
+///
+/// # Panics
+///
+/// Panics on a mis-sized `payload_scratch` — a caller sizing bug.
+pub fn encode_stored_row(
+    row: &[f32],
+    dtype: Dtype,
+    payload_scratch: &mut [u8],
+    out: &mut Vec<u8>,
+) -> f32 {
+    let scale = quantize_row(row, dtype, payload_scratch);
+    if dtype.scale_prefix_bytes() > 0 {
+        out.extend_from_slice(&scale.to_le_bytes());
+    }
+    out.extend_from_slice(payload_scratch);
+    let max_abs = row.iter().fold(0f32, |acc, &x| acc.max(x.abs()));
+    dequant_error_bound(dtype, scale, max_abs)
+}
+
+/// Decodes one stored row (optional inline scale + packed payload, the
+/// layout written by [`encode_stored_row`]) straight into `out`.
+///
+/// # Panics
+///
+/// Panics when `bytes` is shorter than
+/// [`Dtype::stored_row_bytes`]`(out.len())`.
+pub fn decode_stored_row(bytes: &[u8], dtype: Dtype, out: &mut [f32]) {
+    let prefix = dtype.scale_prefix_bytes();
+    let scale = if prefix == 0 {
+        1.0
+    } else {
+        f32::from_le_bytes(bytes[..prefix].try_into().expect("4-byte scale prefix"))
+    };
+    decode_row_into(&bytes[prefix..], dtype, scale, out);
+}
+
+/// The stored-row encoding of an all-zero row of `cols` values — what a
+/// removed (tombstoned) or not-yet-upserted grown slot holds. Decodes
+/// exactly to zeros at every dtype, with a certified error of 0.
+pub fn stored_zero_row(dtype: Dtype, cols: usize) -> Vec<u8> {
+    let mut payload = vec![0u8; dtype.row_bytes(cols)];
+    let mut out = Vec::with_capacity(dtype.stored_row_bytes(cols));
+    let bound = encode_stored_row(&vec![0f32; cols], dtype, &mut payload, &mut out);
+    debug_assert_eq!(bound, 0.0);
+    out
+}
+
 /// Quantizes one row independently of its table — the per-row-scale
 /// layout the serving store uses — returning the row's linear scale
 /// (`1.0` for float dtypes). `out` must be exactly

@@ -140,6 +140,30 @@ impl LruCache {
         self.attach_front(victim);
     }
 
+    /// A copy of this cache holding every entry whose key `keep`
+    /// accepts, preserving recency order — the delta-refresh carry-over:
+    /// a new store snapshot keeps the old snapshot's hot rows warm and
+    /// invalidates **only** the changed ids, instead of restarting every
+    /// shard cache cold the way a full-store swap does.
+    pub fn clone_retaining(&self, keep: impl Fn(usize) -> bool) -> Self {
+        let mut out = LruCache::new(self.capacity);
+        // Collect MRU -> LRU, then insert in reverse so the copy ends up
+        // with identical recency ordering.
+        let mut slots = Vec::with_capacity(self.map.len());
+        let mut cursor = self.head;
+        while cursor != NIL {
+            slots.push(cursor);
+            cursor = self.slab[cursor].next;
+        }
+        for &slot in slots.iter().rev() {
+            let entry = &self.slab[slot];
+            if keep(entry.key) {
+                out.insert_from(entry.key, &entry.value);
+            }
+        }
+        out
+    }
+
     /// Keys from most- to least-recently used (test/debug helper).
     pub fn keys_mru_order(&self) -> Vec<usize> {
         let mut keys = Vec::with_capacity(self.map.len());
@@ -273,6 +297,29 @@ mod tests {
         assert_eq!(c.insert(2, row(2.0)), Some((1, row(1.0))));
         assert_eq!(c.keys_mru_order(), vec![2]);
         assert_eq!(c.get(2), Some(row(2.0).as_slice()));
+    }
+
+    #[test]
+    fn clone_retaining_drops_only_excluded_keys_and_keeps_order() {
+        let mut c = LruCache::new(4);
+        for (k, x) in [(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)] {
+            c.insert_from(k, &row(x));
+        }
+        c.get(2); // MRU order now: 2, 4, 3, 1
+        let copy = c.clone_retaining(|k| k != 3);
+        assert_eq!(copy.keys_mru_order(), vec![2, 4, 1]);
+        assert_eq!(copy.capacity(), 4);
+        let mut copy = copy;
+        assert_eq!(copy.get(2), Some(row(2.0).as_slice()));
+        assert!(copy.get(3).is_none(), "changed id invalidated");
+        // The original is untouched.
+        assert_eq!(c.len(), 4);
+        // Keeping everything is a faithful copy; keeping nothing empties.
+        assert_eq!(
+            c.clone_retaining(|_| true).keys_mru_order(),
+            vec![2, 4, 3, 1]
+        );
+        assert!(c.clone_retaining(|_| false).is_empty());
     }
 
     #[test]

@@ -138,6 +138,41 @@ impl ServeConfig {
         }
     }
 
+    /// The calibrated service capacity of one shard in rows per second
+    /// (`max_batch / store_latency`), or `None` when no store latency is
+    /// simulated (the in-memory page store alone has no meaningful
+    /// capacity to calibrate against).
+    ///
+    /// Unit caveat: `max_batch` counts *queued requests*, so this is
+    /// exact in rows for single-id requests — the shape every overload
+    /// calibration in this repository uses — and an underestimate when
+    /// requests carry many ids each.
+    pub fn shard_capacity_rows_per_sec(&self) -> Option<f64> {
+        if self.store_latency.is_zero() {
+            None
+        } else {
+            Some(self.max_batch as f64 / self.store_latency.as_secs_f64())
+        }
+    }
+
+    /// Suggested client backoff after an admission rejection observing
+    /// `queued_requests` in the shard's queue: the backlog ahead of a
+    /// retry divided by the shard's calibrated capacity — i.e. the queue
+    /// (plus the batch in flight) expressed in batch service times.
+    /// Queue depth and `max_batch` are both in request units, so the
+    /// ratio is well-defined regardless of how many ids each request
+    /// carries. Without a simulated store latency the only known
+    /// service timescale is the batching window, so `max_wait` is the
+    /// floor.
+    pub fn suggested_backoff(&self, queued_requests: usize) -> Duration {
+        if self.store_latency.is_zero() {
+            return self.max_wait;
+        }
+        let batches_ahead = queued_requests.div_ceil(self.max_batch) + 1;
+        self.store_latency
+            .saturating_mul(u32::try_from(batches_ahead).unwrap_or(u32::MAX))
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -213,6 +248,29 @@ mod tests {
             ServeConfig::with_shedding(Duration::ZERO, Some(Duration::ZERO)).validate(),
             Err(ServeError::BadConfig { .. })
         ));
+    }
+
+    #[test]
+    fn capacity_and_backoff_derivation() {
+        let config = ServeConfig {
+            max_batch: 8,
+            store_latency: Duration::from_millis(2),
+            ..ServeConfig::default()
+        };
+        assert_eq!(config.shard_capacity_rows_per_sec(), Some(4_000.0));
+        // Queue depth ÷ capacity, plus the in-flight batch.
+        assert_eq!(
+            config.suggested_backoff(0),
+            Duration::from_millis(2),
+            "empty queue: one batch service time"
+        );
+        assert_eq!(config.suggested_backoff(8), Duration::from_millis(4));
+        assert_eq!(config.suggested_backoff(17), Duration::from_millis(8));
+        // Without a simulated store read there is no calibrated
+        // capacity; the batching window is the only known timescale.
+        let uncalibrated = ServeConfig::default();
+        assert_eq!(uncalibrated.shard_capacity_rows_per_sec(), None);
+        assert_eq!(uncalibrated.suggested_backoff(4_096), uncalibrated.max_wait);
     }
 
     #[test]

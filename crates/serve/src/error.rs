@@ -42,6 +42,14 @@ pub enum ServeError {
         /// How long the producer waited for queue space before giving
         /// up (the configured enqueue budget).
         waited: std::time::Duration,
+        /// Suggested backoff before retrying, derived from the rejecting
+        /// shard's queue depth divided by its calibrated service
+        /// capacity (`max_batch / store_latency` — see
+        /// [`crate::ServeConfig::suggested_backoff`]): roughly how long
+        /// the backlog ahead of a retry needs to drain. Cooperating
+        /// clients that pace themselves by this hint stop hammering the
+        /// admission gate; the closed-loop load generator honors it.
+        retry_after: std::time::Duration,
     },
     /// Dropped at dequeue: the request was older than its end-to-end
     /// deadline ([`crate::AdmissionPolicy::Shed`]`::request_deadline`)
@@ -77,9 +85,13 @@ impl fmt::Display for ServeError {
                 write!(f, "a model named {name:?} is already serving")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
-            ServeError::Overloaded { waited } => write!(
+            ServeError::Overloaded {
+                waited,
+                retry_after,
+            } => write!(
                 f,
-                "request shed: shard queue still full after {waited:?} enqueue budget"
+                "request shed: shard queue still full after {waited:?} enqueue budget \
+                 (suggested retry in {retry_after:?})"
             ),
             ServeError::DeadlineExceeded { queued, deadline } => write!(
                 f,

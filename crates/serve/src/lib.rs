@@ -10,11 +10,16 @@
 //! Bottom-up, each module is one layer of the engine:
 //!
 //! * [`store`] — **storage**: [`ShardedStore`] partitions a trained
-//!   model's per-entity state across N shards, each with its own
-//!   simulated mmap ([`memcom_ondevice::MmapSim`]) and hot-row LRU
-//!   ([`cache`]). Its slab API ([`ShardedStore::lookup_batch`]) writes
-//!   rows straight into a caller-owned flat buffer — no per-row
-//!   allocation.
+//!   model's per-entity state across N shards, each holding its rows in
+//!   structurally-shared pages ([`memcom_ondevice::PagedTable`]) behind
+//!   a hot-row LRU ([`cache`]). Its slab API
+//!   ([`ShardedStore::lookup_batch`]) writes rows straight into a
+//!   caller-owned flat buffer — no per-row allocation.
+//! * [`delta`] — **incremental refresh**: [`StoreDelta`] batches
+//!   row-level upserts/removals; [`ShardedStore::apply_delta`] turns
+//!   one into a new snapshot that copy-on-writes only the touched pages
+//!   and carries the hot-row caches over minus the changed ids, and
+//!   [`Router::apply_delta`] flips it in atomically under traffic.
 //! * [`batcher`] — **queueing**: bounded per-shard [`batcher::ShardQueue`]s
 //!   coalesce concurrent requests into micro-batches (flushing on
 //!   `max_batch`/`max_wait`), answered through [`batcher::ResponseSlot`]
@@ -24,10 +29,10 @@
 //!   enqueue waits and per-request deadlines enforced at dequeue.
 //! * [`router`] — **routing**: the [`Router`] owns the shard workers and
 //!   a registry of named models. Requests capture their model's current
-//!   store `Arc` at enqueue time, so [`Router::swap`] refreshes a table
-//!   atomically while in-flight lookups finish on the old snapshot, and
-//!   one worker set serves every model. Per-model stats via
-//!   [`Router::stats`].
+//!   store `Arc` at enqueue time, so [`Router::swap`] (whole-table) and
+//!   [`Router::apply_delta`] (row-level) refresh tables atomically
+//!   while in-flight lookups finish on the old snapshot, and one worker
+//!   set serves every model. Per-model stats via [`Router::stats`].
 //! * [`batch`] — **client buffers**: [`EmbedBatch`], the reusable
 //!   response slab for the zero-copy batch API
 //!   ([`RouterHandle::get_batch_into`]).
@@ -79,6 +84,7 @@ pub mod batch;
 pub mod batcher;
 pub mod cache;
 pub mod config;
+pub mod delta;
 pub mod error;
 pub mod histogram;
 pub mod loadgen;
@@ -89,6 +95,7 @@ pub mod store;
 pub use batch::EmbedBatch;
 pub use batcher::PushError;
 pub use config::{AdmissionPolicy, ServeConfig};
+pub use delta::StoreDelta;
 pub use error::ServeError;
 pub use histogram::{fmt_nanos, LatencyHistogram};
 pub use loadgen::{

@@ -138,6 +138,13 @@ pub struct ModelLoadReport {
     /// Certified worst-case absolute dequantization error of any row the
     /// model served ([`ShardedStore::error_bound`]; `0.0` for fp32).
     pub dequant_error_bound: f32,
+    /// Mean backoff the server *suggested* across this model's shed
+    /// requests (the [`ServeError::Overloaded`] `retry_after` hint —
+    /// queue depth ÷ calibrated shard capacity at rejection time).
+    /// Closed-loop clients honor it by sleeping before their next
+    /// request; open-loop clients record it but keep their arrival
+    /// schedule. Zero when nothing was shed.
+    pub mean_backoff: Duration,
 }
 
 impl ModelLoadReport {
@@ -357,13 +364,14 @@ pub fn run_load(handle: &ServeHandle, config: &LoadGenConfig) -> Result<LoadRepo
     let elapsed = started.elapsed();
 
     let mut histogram = LatencyHistogram::new();
-    let (mut shed, mut expired) = (0u64, 0u64);
+    let (mut shed, mut expired, mut backoff_nanos) = (0u64, 0u64, 0u64);
     let mut traffic_checksum = 0u64;
     for outcome in outcomes {
         let tally = outcome?;
         histogram.merge(&tally.histogram);
         shed += tally.shed;
         expired += tally.expired;
+        backoff_nanos += tally.backoff_nanos;
         traffic_checksum = traffic_checksum.wrapping_add(tally.checksum);
     }
     let (dtype, store_bytes, resident_bytes, dequant_error_bound) =
@@ -385,6 +393,7 @@ pub fn run_load(handle: &ServeHandle, config: &LoadGenConfig) -> Result<LoadRepo
             store_bytes,
             resident_bytes,
             dequant_error_bound,
+            mean_backoff: mean_backoff(backoff_nanos, shed),
         }],
         histogram,
         traffic_checksum,
@@ -397,6 +406,8 @@ struct ClientTally {
     histogram: LatencyHistogram,
     shed: u64,
     expired: u64,
+    /// Sum of suggested `retry_after` hints over shed requests.
+    backoff_nanos: u64,
     checksum: u64,
 }
 
@@ -404,20 +415,33 @@ struct ClientTally {
 /// record their scheduled-send latency, overload rejections count as
 /// shed/expired without aborting the run (they *are* the measurement
 /// under a shedding policy), and anything else is a real failure.
+///
+/// A shed outcome carries the server's `retry_after` hint; its
+/// suggestion is always recorded, and when `honor_backoff` is set (the
+/// closed-loop discipline, where the client controls its own pacing) the
+/// client additionally sleeps it out before issuing its next request —
+/// cooperative pacing instead of hammering the admission gate. Open-loop
+/// clients must keep their arrival schedule, so they only record it.
 fn tally_outcome<T>(
     outcome: Result<T>,
     latency_nanos: u64,
+    honor_backoff: bool,
     histogram: &mut LatencyHistogram,
     shed: &mut u64,
     expired: &mut u64,
+    backoff_nanos: &mut u64,
 ) -> Result<()> {
     match outcome {
         Ok(_) => {
             histogram.record(latency_nanos);
             Ok(())
         }
-        Err(ServeError::Overloaded { .. }) => {
+        Err(ServeError::Overloaded { retry_after, .. }) => {
             *shed += 1;
+            *backoff_nanos += retry_after.as_nanos().min(u64::MAX as u128) as u64;
+            if honor_backoff {
+                std::thread::sleep(retry_after);
+            }
             Ok(())
         }
         Err(ServeError::DeadlineExceeded { .. }) => {
@@ -426,6 +450,13 @@ fn tally_outcome<T>(
         }
         Err(e) => Err(e),
     }
+}
+
+/// Mean suggested backoff over `shed` rejections.
+fn mean_backoff(backoff_nanos: u64, shed: u64) -> Duration {
+    backoff_nanos
+        .checked_div(shed)
+        .map_or(Duration::ZERO, Duration::from_nanos)
 }
 
 fn client_loop(
@@ -441,8 +472,10 @@ fn client_loop(
         histogram: LatencyHistogram::new(),
         shed: 0,
         expired: 0,
+        backoff_nanos: 0,
         checksum: 0,
     };
+    let honor_backoff = config.mode == LoadMode::Closed;
     for k in 0..config.requests_per_client {
         let ids = zipf.sample_many(config.ids_per_request, &mut rng);
         tally.checksum = tally.checksum.wrapping_add(request_digest(0, &ids));
@@ -455,9 +488,11 @@ fn client_loop(
         tally_outcome(
             outcome,
             t0.elapsed().as_nanos() as u64,
+            honor_backoff,
             &mut tally.histogram,
             &mut tally.shed,
             &mut tally.expired,
+            &mut tally.backoff_nanos,
         )?;
     }
     Ok(tally)
@@ -547,6 +582,7 @@ pub fn run_mixed_load(
         (0..mix.len()).map(|_| LatencyHistogram::new()).collect();
     let mut per_model_shed = vec![0u64; mix.len()];
     let mut per_model_expired = vec![0u64; mix.len()];
+    let mut per_model_backoff = vec![0u64; mix.len()];
     let mut traffic_checksum = 0u64;
     for outcome in outcomes {
         let tally = outcome?;
@@ -558,6 +594,9 @@ pub fn run_mixed_load(
             *total += n;
         }
         for (total, n) in per_model_expired.iter_mut().zip(&tally.expired) {
+            *total += n;
+        }
+        for (total, n) in per_model_backoff.iter_mut().zip(&tally.backoff_nanos) {
             *total += n;
         }
     }
@@ -584,6 +623,7 @@ pub fn run_mixed_load(
                 store_bytes,
                 resident_bytes,
                 dequant_error_bound,
+                mean_backoff: mean_backoff(per_model_backoff[idx], per_model_shed[idx]),
             }
         })
         .collect();
@@ -604,6 +644,7 @@ struct MixedTally {
     histograms: Vec<LatencyHistogram>,
     shed: Vec<u64>,
     expired: Vec<u64>,
+    backoff_nanos: Vec<u64>,
     checksum: u64,
 }
 
@@ -625,8 +666,10 @@ fn mixed_client_loop(
             .collect(),
         shed: vec![0; handles.len()],
         expired: vec![0; handles.len()],
+        backoff_nanos: vec![0; handles.len()],
         checksum: 0,
     };
+    let honor_backoff = config.mode == LoadMode::Closed;
     let mut batch = EmbedBatch::new();
     for k in 0..config.requests_per_client {
         let draw = rng.gen::<f64>() * total_weight;
@@ -645,9 +688,11 @@ fn mixed_client_loop(
         tally_outcome(
             outcome,
             t0.elapsed().as_nanos() as u64,
+            honor_backoff,
             &mut tally.histograms[model_idx],
             &mut tally.shed[model_idx],
             &mut tally.expired[model_idx],
+            &mut tally.backoff_nanos[model_idx],
         )?;
     }
     Ok(tally)

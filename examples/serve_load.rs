@@ -1,6 +1,6 @@
 //! Serve compressed embeddings under concurrent Zipf traffic.
 //!
-//! Five acts:
+//! Six acts:
 //!
 //! 1. **Method comparison** — the sharded, micro-batching server on
 //!    MEmCom vs the uncompressed baseline under closed-loop power-law
@@ -18,16 +18,22 @@
 //!    open loop closed and p99 collapses with the backlog, while
 //!    shedding holds p99 bounded and goodput at the capacity plateau,
 //!    trading the overflow for an explicit shed rate.
+//! 6. **Online refresh** — row-level delta snapshots vs the full
+//!    rebuild+swap baseline, applied continuously *under* foreground
+//!    traffic: refresh latency, bytes materialized per refresh, the
+//!    peak-memory proxy (old snapshot + the new snapshot's unshared
+//!    pages), and the p99 impact on the foreground requests.
 //!
 //! Run with: `cargo run --release --example serve_load`
 //! (`-- --quick` shrinks everything for CI smoke runs.)
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use memcom::core::MethodSpec;
 use memcom::serve::{
     fmt_nanos, run_load, run_mixed_load, AdmissionPolicy, Dtype, EmbedServer, LoadGenConfig,
-    LoadMode, ModelMix, Router, ServeConfig, ShardedStore,
+    LoadMode, ModelMix, Router, ServeConfig, ShardedStore, StoreDelta,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -347,6 +353,127 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          deadline are dropped at dequeue before costing a store read, goodput plateaus\n\
          at capacity, and completed-request p99 stays bounded by the deadline plus\n\
          batching slack."
+    );
+
+    // --- Online refresh under traffic: delta snapshots vs full swap --
+    // One uncompressed (rows-layout) table serves foreground closed-loop
+    // traffic while a refresher thread continuously updates it — either
+    // with row-level StoreDelta applies (copy-on-write over shared
+    // pages) or with the full rebuild+swap baseline. "peak" is the
+    // memory proxy at flip time: the old snapshot plus the new
+    // snapshot's *unshared* bytes (pages the refresh actually
+    // materialized) — deltas stay near 1×, full swaps pay 2×.
+    let refresh_vocab = vocab / 2;
+    let mut rng = StdRng::seed_from_u64(41);
+    let live_table = MethodSpec::Uncompressed.build(refresh_vocab, DIM, &mut rng)?;
+    let refresh_pause = Duration::from_millis(if quick { 5 } else { 2 });
+    println!(
+        "\nOnline refresh under traffic: {refresh_vocab}-row uncompressed table, 4 shards,\n\
+         refresher paced at one refresh per {refresh_pause:?} while the act-1 closed loop runs:\n"
+    );
+    println!(
+        "{:<12} {:>9} {:>8} {:>11} {:>12} {:>9} {:>8} {:>9}",
+        "refresh", "rows", "refr/s", "refresh", "fresh MB/rf", "peak MB", "fg req/s", "fg p99"
+    );
+    for (label, mode) in [
+        ("none", None),
+        ("delta 0.1%", Some(Some(0.001f64))),
+        ("delta 1%", Some(Some(0.01))),
+        ("delta 10%", Some(Some(0.1))),
+        ("full swap", Some(None)),
+    ] {
+        let router = Router::start(serve_config(4))?;
+        router.register("live", live_table.as_ref())?;
+        let stop = AtomicBool::new(false);
+        let mix = [ModelMix::new("live", 1.0)];
+        let (report, refreshes) = std::thread::scope(|scope| {
+            let refresher = scope.spawn(|| {
+                // (count, apply nanos, fresh bytes, peak alloc bytes)
+                let mut tally = (0u64, 0u64, 0u64, 0usize);
+                let Some(delta_frac) = mode else {
+                    tally.3 = router.snapshot("live").unwrap().stored_bytes();
+                    return tally;
+                };
+                let mut round = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(refresh_pause);
+                    let t0 = Instant::now();
+                    let (old, new) = match delta_frac {
+                        Some(frac) => {
+                            // Clustered refreshed ids, sliding per round.
+                            let rows = ((refresh_vocab as f64 * frac) as usize).max(1);
+                            let start = (round * 997) % (refresh_vocab - rows);
+                            let mut delta = StoreDelta::new(DIM);
+                            for k in 0..rows {
+                                let row: Vec<f32> =
+                                    (0..DIM).map(|j| ((round + k + j) as f32) * 1e-3).collect();
+                                delta.upsert_row(start + k, &row).unwrap();
+                            }
+                            let old = router.apply_delta("live", &delta).unwrap();
+                            let new = router.snapshot("live").unwrap();
+                            (old, new)
+                        }
+                        None => {
+                            let config = router.config();
+                            let store = ShardedStore::build(
+                                live_table.as_ref(),
+                                config.n_shards,
+                                config.cache_capacity,
+                                config.page_size,
+                            )
+                            .unwrap();
+                            let old = router.swap("live", store).unwrap();
+                            let new = router.snapshot("live").unwrap();
+                            (old, new)
+                        }
+                    };
+                    tally.0 += 1;
+                    tally.1 += t0.elapsed().as_nanos() as u64;
+                    let fresh = new.stored_bytes() - new.shared_bytes_with(&old);
+                    tally.2 += fresh as u64;
+                    tally.3 = tally.3.max(old.stored_bytes() + fresh);
+                    round += 1;
+                }
+                tally
+            });
+            let report = run_mixed_load(&router, &mix, &load);
+            stop.store(true, Ordering::Relaxed);
+            (report, refresher.join().expect("refresher panicked"))
+        });
+        let report = report?;
+        let (count, apply_nanos, fresh_bytes, peak_bytes) = refreshes;
+        let delta_rows = match mode {
+            Some(Some(frac)) => ((refresh_vocab as f64 * frac) as usize).max(1).to_string(),
+            Some(None) => refresh_vocab.to_string(),
+            None => "-".into(),
+        };
+        println!(
+            "{:<12} {:>9} {:>8.1} {:>11} {:>12.3} {:>9.2} {:>8.0} {:>9}",
+            label,
+            delta_rows,
+            count as f64 / report.elapsed.as_secs_f64(),
+            apply_nanos
+                .checked_div(count)
+                .map_or_else(|| "-".to_string(), fmt_nanos),
+            if count == 0 {
+                0.0
+            } else {
+                fresh_bytes as f64 / count as f64 / 1_048_576.0
+            },
+            peak_bytes as f64 / 1_048_576.0,
+            report.qps(),
+            fmt_nanos(report.histogram.p99()),
+        );
+    }
+    println!(
+        "\nA delta re-encodes only the rows it touches into copy-on-written pages and\n\
+         leaves every other page physically shared with the superseded snapshot, so\n\
+         refresh cost scales with the delta instead of the table: freshly-materialized\n\
+         bytes and peak memory stay near 1x the store where the rebuild+swap baseline\n\
+         pays the full store again (2x peak), each shard's hot-row LRU survives with\n\
+         only the changed ids invalidated, and foreground p99 stays close to the\n\
+         no-refresh row. (At 1M rows the gap is ~500x in refresh latency and ~0.2%\n\
+         of store bytes copied — tests/delta.rs measures it.)"
     );
 
     println!(
