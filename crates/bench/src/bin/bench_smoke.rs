@@ -14,7 +14,10 @@
 //!
 //! Higher-is-better metrics (QPS, delta speedup) fail below
 //! `baseline / 1.25`; lower-is-better metrics (latency, allocations,
-//! apply time, copied fraction) fail above `baseline * 1.25`.
+//! apply time, copied fraction) fail above `baseline * 1.25`. The
+//! `telemetry_overhead_pct` metric (QPS lost to full telemetry vs off,
+//! measured as interleaved pairs) is gated against its baseline entry
+//! as an *absolute* percentage budget instead.
 //! Improvements never fail; refresh the baseline deliberately with
 //! `--quick --update-baseline` when a change moves the floor —
 //! **matching the mode CI gates with** (`--quick`), since the two modes
@@ -32,7 +35,7 @@ use std::time::{Duration, Instant};
 use memcom_core::{FullEmbedding, MemCom, MemComConfig};
 use memcom_serve::{
     run_load, Dtype, EmbedBatch, EmbedServer, LoadGenConfig, LoadMode, ServeConfig, ShardedStore,
-    StoreDelta,
+    StoreDelta, TelemetryConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,10 +83,17 @@ const DIRECTIONS: &[(&str, Direction)] = &[
     ("delta_apply_us", Direction::LowerIsBetter),
     ("delta_speedup_vs_rebuild", Direction::HigherIsBetter),
     ("delta_copied_frac", Direction::LowerIsBetter),
+    ("telemetry_overhead_pct", Direction::LowerIsBetter),
 ];
 
 /// Allowed regression vs. the checked-in baseline.
 const TOLERANCE: f64 = 1.25;
+
+/// Metrics where the baseline value is itself the hard limit rather
+/// than a floor the tolerance scales: `telemetry_overhead_pct` is a
+/// percentage budget (full telemetry may cost at most this much QPS),
+/// so a "25% worse than measured-at-baseline-time" gate would drift.
+const ABSOLUTE_CAPS: &[&str] = &["telemetry_overhead_pct"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -140,9 +150,13 @@ fn main() {
             println!("  {key:<26} (no baseline entry; skipped)");
             continue;
         };
-        let (worst_allowed, regressed) = match direction {
-            Direction::HigherIsBetter => (base / TOLERANCE, measured < base / TOLERANCE),
-            Direction::LowerIsBetter => (base * TOLERANCE, measured > base * TOLERANCE),
+        let (worst_allowed, regressed) = if ABSOLUTE_CAPS.contains(&key) {
+            (base, measured > base)
+        } else {
+            match direction {
+                Direction::HigherIsBetter => (base / TOLERANCE, measured < base / TOLERANCE),
+                Direction::LowerIsBetter => (base * TOLERANCE, measured > base * TOLERANCE),
+            }
         };
         let verdict = if regressed { "FAIL" } else { "ok" };
         println!(
@@ -296,6 +310,46 @@ fn measure(quick: bool) -> Vec<(&'static str, f64)> {
         "delta_copied_frac",
         new.cow_copied_bytes() as f64 / store.stored_bytes() as f64,
     ));
+
+    // --- telemetry overhead: the act-1 closed loop, Off vs Full ------
+    // Three interleaved Off/Full pairs cancel machine drift; the metric
+    // is the median relative QPS loss of serving with full telemetry
+    // (stage histograms + 1%-sampled tracing), clamped at zero. The
+    // gate treats its baseline entry as an absolute percentage budget.
+    let mut rng = StdRng::seed_from_u64(17);
+    let emb = MemCom::new(MemComConfig::new(vocab, 32, vocab / 10), &mut rng).expect("memcom");
+    let overhead_load = LoadGenConfig {
+        clients,
+        requests_per_client: requests / 2,
+        ids_per_request: 16,
+        zipf_exponent: 1.1,
+        mode: LoadMode::Closed,
+        seed: 42,
+    };
+    let qps_at = |telemetry: TelemetryConfig| {
+        let server = EmbedServer::start(
+            &emb,
+            ServeConfig {
+                n_shards: 4,
+                max_batch: 64,
+                max_wait: Duration::from_micros(50),
+                telemetry,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server starts");
+        let report = run_load(&server.handle(), &overhead_load).expect("load runs");
+        report.qps()
+    };
+    let mut overheads: Vec<f64> = (0..3)
+        .map(|_| {
+            let off = qps_at(TelemetryConfig::off());
+            let full = qps_at(TelemetryConfig::full(0.01));
+            (100.0 * (off - full) / off).max(0.0)
+        })
+        .collect();
+    overheads.sort_by(f64::total_cmp);
+    metrics.push(("telemetry_overhead_pct", overheads[1]));
 
     metrics
 }

@@ -54,6 +54,10 @@ pub struct PagedTable {
     /// Bytes physically copied by copy-on-write row writes on *this*
     /// table (pages cloned off a shared `Arc` before mutation).
     cow_copied_bytes: u64,
+    /// Pages cloned off a shared `Arc` before mutation (each page counts
+    /// once per clone event, so repeated writes to an already-private
+    /// page add nothing).
+    cow_touched_pages: u64,
 }
 
 impl PagedTable {
@@ -89,6 +93,7 @@ impl PagedTable {
             total_read_bytes: AtomicU64::new(0),
             cold_read_bytes: AtomicU64::new(0),
             cow_copied_bytes: 0,
+            cow_touched_pages: 0,
         }
     }
 
@@ -185,6 +190,7 @@ impl PagedTable {
             total_read_bytes: AtomicU64::new(0),
             cold_read_bytes: AtomicU64::new(0),
             cow_copied_bytes: 0,
+            cow_touched_pages: 0,
         }
     }
 
@@ -215,6 +221,7 @@ impl PagedTable {
         let offset = (r % self.rows_per_page) * self.stride;
         if Arc::get_mut(&mut self.pages[page]).is_none() {
             self.cow_copied_bytes += self.pages[page].len() as u64;
+            self.cow_touched_pages += 1;
         }
         Arc::make_mut(&mut self.pages[page])[offset..offset + self.stride].copy_from_slice(bytes);
         self.mark_resident(page);
@@ -241,6 +248,7 @@ impl PagedTable {
                 if fit > 0 {
                     if Arc::get_mut(last).is_none() {
                         self.cow_copied_bytes += last.len() as u64;
+                        self.cow_touched_pages += 1;
                     }
                     let page = Arc::make_mut(last);
                     for _ in 0..fit {
@@ -289,6 +297,14 @@ impl PagedTable {
     /// since construction (or [`shared_clone`](Self::shared_clone)).
     pub fn cow_copied_bytes(&self) -> u64 {
         self.cow_copied_bytes
+    }
+
+    /// Pages cloned off a shared allocation by copy-on-write writes
+    /// since construction (or [`shared_clone`](Self::shared_clone)) —
+    /// the page-granular counterpart of
+    /// [`cow_copied_bytes`](Self::cow_copied_bytes).
+    pub fn cow_touched_pages(&self) -> u64 {
+        self.cow_touched_pages
     }
 
     /// Number of resident (touched or written) pages.

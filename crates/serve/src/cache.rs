@@ -24,6 +24,13 @@ pub struct LruCache {
     slab: Vec<Entry>,
     head: usize,
     tail: usize,
+    /// Entries pushed out by capacity pressure (refreshes of an existing
+    /// key are not evictions).
+    evictions: u64,
+    /// Total `f32` values held across all entries — kept incrementally
+    /// so [`resident_bytes`](Self::resident_bytes) is O(1) under the
+    /// cache lock.
+    resident_values: usize,
 }
 
 impl LruCache {
@@ -35,7 +42,22 @@ impl LruCache {
             slab: Vec::with_capacity(capacity.min(1 << 20)),
             head: NIL,
             tail: NIL,
+            evictions: 0,
+            resident_values: 0,
         }
+    }
+
+    /// Entries evicted by capacity pressure since construction (a
+    /// [`clone_retaining`](Self::clone_retaining) copy restarts at 0,
+    /// like the shard hit/miss counters across a snapshot refresh).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Bytes of row data currently held (entry values only; the index
+    /// map and list links are bookkeeping, not cached rows).
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_values * std::mem::size_of::<f32>()
     }
 
     /// Maximum number of rows.
@@ -70,13 +92,16 @@ impl LruCache {
             return None;
         }
         if let Some(&slot) = self.map.get(&key) {
+            self.resident_values += value.len();
             let old = std::mem::replace(&mut self.slab[slot].value, value);
+            self.resident_values -= old.len();
             self.detach(slot);
             self.attach_front(slot);
             return Some((key, old));
         }
         if self.map.len() < self.capacity {
             let slot = self.slab.len();
+            self.resident_values += value.len();
             self.slab.push(Entry {
                 key,
                 value,
@@ -92,7 +117,10 @@ impl LruCache {
         self.detach(victim);
         let old_key = self.slab[victim].key;
         self.map.remove(&old_key);
+        self.resident_values += value.len();
         let old_value = std::mem::replace(&mut self.slab[victim].value, value);
+        self.resident_values -= old_value.len();
+        self.evictions += 1;
         self.slab[victim].key = key;
         self.map.insert(key, victim);
         self.attach_front(victim);
@@ -109,6 +137,8 @@ impl LruCache {
             return;
         }
         if let Some(&slot) = self.map.get(&key) {
+            self.resident_values += row.len();
+            self.resident_values -= self.slab[slot].value.len();
             let value = &mut self.slab[slot].value;
             value.clear();
             value.extend_from_slice(row);
@@ -118,6 +148,7 @@ impl LruCache {
         }
         if self.map.len() < self.capacity {
             let slot = self.slab.len();
+            self.resident_values += row.len();
             self.slab.push(Entry {
                 key,
                 value: row.to_vec(),
@@ -132,6 +163,9 @@ impl LruCache {
         self.detach(victim);
         let old_key = self.slab[victim].key;
         self.map.remove(&old_key);
+        self.resident_values += row.len();
+        self.resident_values -= self.slab[victim].value.len();
+        self.evictions += 1;
         let value = &mut self.slab[victim].value;
         value.clear();
         value.extend_from_slice(row);
@@ -320,6 +354,34 @@ mod tests {
             vec![2, 4, 3, 1]
         );
         assert!(c.clone_retaining(|_| false).is_empty());
+    }
+
+    #[test]
+    fn tracks_evictions_and_resident_bytes() {
+        let mut c = LruCache::new(2);
+        assert_eq!((c.evictions(), c.resident_bytes()), (0, 0));
+        c.insert_from(1, &row(1.0)); // 2 values
+        c.insert(2, row(2.0)); // 2 values
+        assert_eq!(c.resident_bytes(), 4 * std::mem::size_of::<f32>());
+        // Refreshes are not evictions; resident bytes track the new row.
+        c.insert_from(1, &[9.0]);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.resident_bytes(), 3 * std::mem::size_of::<f32>());
+        // Capacity pressure evicts, once per displaced entry.
+        c.insert_from(3, &row(3.0));
+        c.insert(4, row(4.0));
+        assert_eq!(c.evictions(), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.resident_bytes(), 4 * std::mem::size_of::<f32>());
+        // A retained copy restarts the eviction counter but keeps the
+        // resident accounting of what it actually holds.
+        let copy = c.clone_retaining(|_| true);
+        assert_eq!(copy.evictions(), 0);
+        assert_eq!(copy.resident_bytes(), c.resident_bytes());
+        // Zero capacity never holds bytes or evicts.
+        let mut off = LruCache::new(0);
+        off.insert_from(1, &row(1.0));
+        assert_eq!((off.evictions(), off.resident_bytes()), (0, 0));
     }
 
     #[test]

@@ -52,6 +52,117 @@ impl AdmissionPolicy {
     }
 }
 
+/// How much the serving tier measures about itself.
+///
+/// Levels are strictly ordered by cost: each one includes everything the
+/// previous level records.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TelemetryLevel {
+    /// No telemetry (the default). The hot path pays nothing beyond the
+    /// always-on per-model row counters — no extra clock reads, no
+    /// histogram records, no tracing.
+    #[default]
+    Off,
+    /// Cheap counters only: per-shard decode hit/miss row counts, read
+    /// alongside the always-on model and cache counters at snapshot
+    /// time. No per-stage latency histograms, no tracing, and no clock
+    /// reads beyond what serving already performs.
+    Minimal,
+    /// Everything: per-stage latency histograms (admission wait, queue
+    /// wait, batch assembly, store decode per dtype, slab write) and
+    /// sampled request tracing. Costs a few clock reads per batch and
+    /// one short uncontended lock per batch per shard.
+    Full,
+}
+
+/// Telemetry knobs for [`ServeConfig`] (see [`crate::telemetry`]).
+///
+/// The default is [`TelemetryLevel::Off`]: serving pays nothing for the
+/// instrumentation it is not using. Turning on [`TelemetryLevel::Full`]
+/// additionally samples request traces at `sample_rate` (every k-th
+/// request with `k = round(1 / sample_rate)`, so sampling needs no
+/// random-number source on the hot path).
+///
+/// ```
+/// use memcom_serve::{ServeConfig, TelemetryConfig, TelemetryLevel};
+///
+/// let config = ServeConfig {
+///     telemetry: TelemetryConfig::full(0.05), // trace ~1 in 20 requests
+///     ..ServeConfig::default()
+/// };
+/// assert_eq!(config.telemetry.level, TelemetryLevel::Full);
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// What to record (default [`TelemetryLevel::Off`]).
+    pub level: TelemetryLevel,
+    /// Fraction of requests stamped with a trace span in `[0, 1]`, used
+    /// only at [`TelemetryLevel::Full`]. `0` disables tracing while
+    /// keeping the stage histograms.
+    pub sample_rate: f64,
+    /// Completed trace spans kept in the most-recent ring buffer.
+    pub trace_ring_capacity: usize,
+    /// Completed trace spans retained under the slowest-N policy, so
+    /// tail outliers survive long after the recent ring cycled past
+    /// them.
+    pub slowest_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            level: TelemetryLevel::Off,
+            sample_rate: 0.01,
+            trace_ring_capacity: 256,
+            slowest_capacity: 32,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Telemetry fully off (the default).
+    pub fn off() -> Self {
+        TelemetryConfig::default()
+    }
+
+    /// Counters only ([`TelemetryLevel::Minimal`]), defaults elsewhere.
+    pub fn minimal() -> Self {
+        TelemetryConfig {
+            level: TelemetryLevel::Minimal,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// Everything on ([`TelemetryLevel::Full`]) with the given trace
+    /// sample rate, defaults elsewhere.
+    pub fn full(sample_rate: f64) -> Self {
+        TelemetryConfig {
+            level: TelemetryLevel::Full,
+            sample_rate,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// Validates the telemetry knobs (see [`ServeConfig::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] when `sample_rate` is not a
+    /// finite value in `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if !self.sample_rate.is_finite() || !(0.0..=1.0).contains(&self.sample_rate) {
+            return Err(ServeError::BadConfig {
+                context: format!(
+                    "telemetry sample_rate must be in [0, 1], got {}",
+                    self.sample_rate
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Tuning knobs for [`crate::EmbedServer`].
 ///
 /// Defaults are sized for the workloads in this repository's examples and
@@ -91,6 +202,9 @@ pub struct ServeConfig {
     /// makes overload experiments (offered load vs goodput) meaningful.
     /// `Duration::ZERO` (the default) disables the simulation.
     pub store_latency: Duration,
+    /// What the serving tier measures about itself (default: nothing).
+    /// See [`TelemetryConfig`] and [`crate::telemetry`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +219,7 @@ impl Default for ServeConfig {
             dtype: Dtype::F32,
             admission: AdmissionPolicy::Block,
             store_latency: Duration::ZERO,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -212,6 +327,7 @@ impl ServeConfig {
                 return reject("request_deadline must be positive when set");
             }
         }
+        self.telemetry.validate()?;
         Ok(())
     }
 }
@@ -299,6 +415,32 @@ mod tests {
             },
         ] {
             assert!(broken.validate().is_err(), "{broken:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn telemetry_defaults_and_validation() {
+        let t = TelemetryConfig::default();
+        assert_eq!(t.level, TelemetryLevel::Off);
+        assert_eq!(ServeConfig::default().telemetry, TelemetryConfig::off());
+        assert_eq!(TelemetryConfig::minimal().level, TelemetryLevel::Minimal);
+        let full = TelemetryConfig::full(0.25);
+        assert_eq!(full.level, TelemetryLevel::Full);
+        assert_eq!(full.sample_rate, 0.25);
+        assert!(TelemetryLevel::Off < TelemetryLevel::Minimal);
+        assert!(TelemetryLevel::Minimal < TelemetryLevel::Full);
+        // Edge rates are legal; out-of-range and non-finite are not.
+        assert!(TelemetryConfig::full(0.0).validate().is_ok());
+        assert!(TelemetryConfig::full(1.0).validate().is_ok());
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let config = ServeConfig {
+                telemetry: TelemetryConfig::full(bad),
+                ..ServeConfig::default()
+            };
+            assert!(matches!(
+                config.validate(),
+                Err(ServeError::BadConfig { .. })
+            ));
         }
     }
 }

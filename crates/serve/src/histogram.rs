@@ -93,6 +93,12 @@ impl LatencyHistogram {
     /// observed min/max so bucket granularity never reports a latency
     /// outside the actual range. Returns `0` when empty.
     ///
+    /// A rank that lands in the **saturated top bucket** reports
+    /// `max_nanos()` exactly: that bucket is open-above (observations
+    /// past ~25 min all collapse into it), so its nominal upper bound
+    /// can sit *below* an observed maximum and interpolating against it
+    /// would under-report the tail.
+    ///
     /// # Panics
     ///
     /// Panics when `q` is outside `[0, 1]`.
@@ -106,10 +112,35 @@ impl LatencyHistogram {
         for (idx, &count) in self.counts.iter().enumerate() {
             seen += count;
             if seen >= rank {
+                if idx == BUCKETS - 1 {
+                    // Open-ended top bucket: the only honest answer is
+                    // the observed maximum.
+                    return self.max_nanos;
+                }
                 return Self::bucket_upper(idx).clamp(self.min_nanos, self.max_nanos);
             }
         }
         self.max_nanos
+    }
+
+    /// Iterates the geometric buckets as `(upper_nanos, count)` pairs in
+    /// ascending order, zero-count buckets included — the exporter's view
+    /// of the raw distribution (a Prometheus-histogram rendering takes
+    /// the cumulative sum of `count` per `le = upper_nanos` boundary).
+    ///
+    /// The **last** bucket is open-above: its `upper_nanos` is a nominal
+    /// boundary (~25 min) and observations beyond it still land there,
+    /// so renderers should treat it as `+Inf`.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(idx, &count)| (Self::bucket_upper(idx), count))
+    }
+
+    /// Sum of all observations in nanoseconds (the Prometheus `_sum`).
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_nanos
     }
 
     /// Median latency in nanoseconds.
@@ -244,6 +275,44 @@ mod tests {
         assert_eq!(a.p99(), combined.p99());
         assert_eq!(a.max_nanos(), combined.max_nanos());
         assert!((a.mean_nanos() - combined.mean_nanos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturated_top_bucket_reports_observed_max() {
+        // An observation past the last bucket boundary (~25 min)
+        // collapses into the open-ended top bucket; every quantile that
+        // lands there must report the observed max, never the bucket's
+        // nominal upper bound (which sits *below* the observation).
+        let hour = 60 * 60 * 1_000_000_000u64;
+        let mut h = LatencyHistogram::new();
+        h.record(hour);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), hour, "q={q}");
+        }
+        // Mixed stream: the tail quantile still reports the true max.
+        h.record(1_000);
+        assert_eq!(h.quantile(1.0), hour);
+        assert_eq!(h.max_nanos(), hour);
+    }
+
+    #[test]
+    fn iter_buckets_matches_recorded_counts() {
+        let mut h = LatencyHistogram::new();
+        for nanos in [100u64, 100, 5_000, 1_000_000] {
+            h.record(nanos);
+        }
+        let buckets: Vec<(u64, u64)> = h.iter_buckets().collect();
+        assert_eq!(buckets.len(), 280, "fixed bucket count");
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
+        // Boundaries ascend and every observation sits at or below the
+        // boundary of the bucket holding it.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        let covering = buckets.iter().find(|&&(upper, c)| c == 2 && upper >= 100);
+        assert!(covering.is_some(), "both 100ns observations share a bucket");
+        assert_eq!(h.sum_nanos(), 1_005_200);
     }
 
     #[test]

@@ -43,6 +43,11 @@
 //!   ([`run_load`]) and mixed multi-model traffic ([`run_mixed_load`])
 //!   with per-model QPS/latency reporting; [`histogram`] holds the
 //!   mergeable latency histogram.
+//! * [`telemetry`] — **observability**: a dependency-free metrics
+//!   registry behind [`TelemetryConfig`] (off / minimal / full), with
+//!   per-stage latency histograms, sampled request tracing, and
+//!   Prometheus/JSON exporters over [`Router::metrics`]'s
+//!   [`MetricsSnapshot`]; [`StatsReporter`] dumps them periodically.
 //!
 //! Sharding exploits the structure of MEmCom itself: the *small shared
 //! table* is replicated per shard while the *large per-entity tables*
@@ -91,10 +96,11 @@ pub mod loadgen;
 pub mod router;
 pub mod server;
 pub mod store;
+pub mod telemetry;
 
 pub use batch::EmbedBatch;
 pub use batcher::PushError;
-pub use config::{AdmissionPolicy, ServeConfig};
+pub use config::{AdmissionPolicy, ServeConfig, TelemetryConfig, TelemetryLevel};
 pub use delta::StoreDelta;
 pub use error::ServeError;
 pub use histogram::{fmt_nanos, LatencyHistogram};
@@ -103,7 +109,10 @@ pub use loadgen::{
 };
 pub use router::{Router, RouterHandle, ServeStats, DEFAULT_MODEL};
 pub use server::{EmbedServer, ServeHandle};
-pub use store::{CacheStats, ShardedStore};
+pub use store::{CacheStats, ShardCacheStats, ShardedStore};
+pub use telemetry::{
+    MetricsSnapshot, ModelMetrics, ShardStageMetrics, SizeStats, Span, SpanOutcome, StatsReporter,
+};
 
 /// Storage dtype for shard row bytes (re-exported from
 /// [`memcom_ondevice`]): [`ShardedStore::build_quantized`] and

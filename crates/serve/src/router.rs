@@ -29,17 +29,42 @@ use parking_lot::RwLock;
 
 use crate::batcher::{FlushReason, PushError, ResponseSlot, ShardQueue, SlabOutcome, SlabSlot};
 use crate::config::AdmissionPolicy;
-use crate::store::{CacheStats, ShardedStore};
+use crate::store::{CacheStats, ShardCacheStats, ShardedStore};
+use crate::telemetry::{
+    dtype_idx, MetricsRegistry, MetricsSnapshot, ModelMetrics, PendingSpan, Span, SpanOutcome,
+    SpanSeed, SIZE_SCALE,
+};
 use crate::{EmbedBatch, Result, ServeConfig, ServeError, StoreDelta};
 
 /// The model name [`crate::EmbedServer`] registers its single model
 /// under.
 pub const DEFAULT_MODEL: &str = "default";
 
-/// Per-model row counters (served, shed at admission, expired at
-/// dequeue — all in rows, like `requests`).
+/// Per-model row counters (issued at handle entry; served, shed at
+/// admission, expired at dequeue — all in rows, like `requests`).
+///
+/// # Consistency contract
+///
+/// The counters are updated from many threads with atomic adds and read
+/// individually at snapshot time, so a snapshot is *eventually exact*
+/// but not linearizable: it can lag in-flight increments, and the three
+/// outcome counters need not yet account for every issued row. One
+/// inequality is guaranteed in **every** snapshot:
+///
+/// ```text
+/// issued >= requests + shed + expired
+/// ```
+///
+/// because `issued` is incremented before any outcome can be recorded,
+/// outcome increments use `Release`, and snapshots read the outcomes
+/// with `Acquire` *before* reading `issued` — so an observed outcome
+/// implies its issue is observed too. The inequality is strict while
+/// rows are in flight, and stays strict for rows that terminate without
+/// an outcome counter: rows rejected at shutdown
+/// ([`ServeError::ShuttingDown`]) and rows whose store read failed.
 #[derive(Debug, Default)]
 pub(crate) struct ModelCounters {
+    pub(crate) issued: AtomicU64,
     pub(crate) requests: AtomicU64,
     pub(crate) shed: AtomicU64,
     pub(crate) expired: AtomicU64,
@@ -58,33 +83,50 @@ pub(crate) struct ModelCounters {
 /// pays no clock read.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Admission {
-    /// `(issued_at, expires_at)`, present only when a deadline is in
-    /// force.
-    pub(crate) deadline: Option<(Instant, Instant)>,
+    /// The issue stamp — present when a deadline is in force *or* when
+    /// full telemetry asked for queue-wait timing.
+    issued_at: Option<Instant>,
+    /// When the request stops being worth serving; `None` when no
+    /// deadline is in force (or the deadline overflows `Instant`).
+    expires_at: Option<Instant>,
 }
 
 impl Admission {
-    fn stamp(policy: AdmissionPolicy) -> Self {
+    /// Stamps the issue clock when a deadline is in force or when the
+    /// caller asked to track the issue instant (full telemetry's
+    /// queue-wait timing); otherwise both fields stay `None` and the
+    /// default hot path pays no clock read.
+    fn stamp(policy: AdmissionPolicy, track_issue: bool) -> Self {
         let deadline = match policy {
             AdmissionPolicy::Shed {
                 request_deadline: Some(deadline),
                 ..
-            } => {
-                let issued_at = Instant::now();
-                // A deadline too far out to represent as a point in
-                // time (e.g. `Duration::MAX`) never expires.
-                issued_at
-                    .checked_add(deadline)
-                    .map(|expires_at| (issued_at, expires_at))
-            }
+            } => Some(deadline),
             _ => None,
         };
-        Admission { deadline }
+        if deadline.is_none() && !track_issue {
+            return Admission {
+                issued_at: None,
+                expires_at: None,
+            };
+        }
+        let issued_at = Instant::now();
+        Admission {
+            issued_at: Some(issued_at),
+            // A deadline too far out to represent as a point in time
+            // (e.g. `Duration::MAX`) never expires.
+            expires_at: deadline.and_then(|d| issued_at.checked_add(d)),
+        }
+    }
+
+    /// When the request was issued, if the stamp was taken.
+    fn issued_at(&self) -> Option<Instant> {
+        self.issued_at
     }
 
     /// The expiry instant, when a deadline is in force.
     fn expires_at(&self) -> Option<Instant> {
-        self.deadline.map(|(_, expires_at)| expires_at)
+        self.expires_at
     }
 
     /// The deadline error for a request found expired at `now`.
@@ -94,7 +136,8 @@ impl Admission {
     /// Panics when no deadline is in force — unreachable, since only
     /// requests with an expiry can be found expired.
     fn deadline_error(&self, now: Instant) -> ServeError {
-        let (issued_at, expires_at) = self.deadline.expect("expired without a deadline");
+        let issued_at = self.issued_at.expect("expired without a deadline");
+        let expires_at = self.expires_at.expect("expired without a deadline");
         ServeError::DeadlineExceeded {
             queued: now - issued_at,
             deadline: expires_at - issued_at,
@@ -115,13 +158,30 @@ struct BatchCounters {
 
 /// Aggregated serving statistics for one model (see [`Router::stats`]).
 ///
-/// `requests`, `shed`, and `expired` count rows for *this* model; the
-/// batching counters (`batches`, `flushes_*`, `max_batch_observed`) are
-/// router-wide since shard workers batch across models; `cache`/
-/// `run_stats` describe the model's *current* store snapshot (they
-/// restart from zero after a [`Router::swap`]).
-#[derive(Debug, Clone, Copy)]
+/// `issued`, `requests`, `shed`, and `expired` count rows for *this*
+/// model; the batching counters (`batches`, `flushes_*`,
+/// `max_batch_observed`) are router-wide since shard workers batch
+/// across models; `cache`/`cache_shards`/`run_stats` describe the
+/// model's *current* store snapshot (they restart from zero after a
+/// [`Router::swap`]).
+///
+/// # Consistency
+///
+/// The row counters are maintained with relaxed-order atomic adds from
+/// many threads and read individually per snapshot, so a snapshot taken
+/// mid-traffic is *eventually exact*, not linearizable: it may lag
+/// in-flight increments. Every snapshot does guarantee
+/// `issued >= requests + shed + expired` — an outcome is never visible
+/// before the issue that produced it (outcome increments are
+/// `Release`, snapshots read outcomes with `Acquire` before `issued`).
+/// The inequality is strict while rows are in flight, and permanently
+/// strict for rows that end without an outcome: rows rejected at
+/// shutdown and rows whose store read failed.
+#[derive(Debug, Clone)]
 pub struct ServeStats {
+    /// Rows that entered this model's serving path, counted at handle
+    /// entry after id validation, before admission.
+    pub issued: u64,
     /// Rows served for this model through batches.
     pub requests: u64,
     /// Rows shed at admission for this model: the shard queue stayed
@@ -152,6 +212,11 @@ pub struct ServeStats {
     pub max_batch_observed: usize,
     /// Hot-row cache effectiveness of the current store snapshot.
     pub cache: CacheStats,
+    /// Per-shard hot-row cache state of the current store snapshot,
+    /// indexed by shard. Each entry is read in one consistent pass over
+    /// that shard's cache (a single lock acquisition), so its
+    /// `evictions`/`resident_bytes`/`cached_rows` agree with each other.
+    pub cache_shards: Vec<ShardCacheStats>,
     /// Counted work + resident footprint of the current store snapshot,
     /// in the on-device cost model's terms.
     pub run_stats: RunStats,
@@ -168,6 +233,24 @@ impl ServeStats {
     }
 }
 
+/// Always-on control-plane counters for one model: snapshot updates are
+/// operator-rare, so these cost nothing on the serving path and survive
+/// snapshot swaps (unlike the per-snapshot cache/run stats).
+#[derive(Debug, Default)]
+struct ControlStats {
+    /// Full store swaps ([`Router::swap`]).
+    snapshot_swaps: AtomicU64,
+    /// Incremental refreshes ([`Router::apply_delta`]).
+    delta_applies: AtomicU64,
+    /// Bytes physically copied by CoW page updates across delta applies.
+    delta_cow_bytes: AtomicU64,
+    /// Pages copied before first write across delta applies.
+    delta_pages_touched: AtomicU64,
+    /// Hot-row cache entries dropped by delta applies (changed ids
+    /// invalidated out of the carried-over LRUs).
+    lru_invalidations: AtomicU64,
+}
+
 /// One registered model: a swappable store snapshot plus counters that
 /// survive snapshot swaps.
 #[derive(Debug)]
@@ -175,6 +258,7 @@ struct ModelEntry {
     name: String,
     store: RwLock<Arc<ShardedStore>>,
     counters: Arc<ModelCounters>,
+    control: ControlStats,
     /// Serializes snapshot updaters ([`Router::swap`] /
     /// [`Router::apply_delta`]) so a delta is always built against the
     /// snapshot it replaces, while readers only ever block on the `store`
@@ -199,6 +283,8 @@ pub(crate) struct OneRequest {
     pub(crate) counters: Arc<ModelCounters>,
     pub(crate) slot: Arc<ResponseSlot>,
     pub(crate) admission: Admission,
+    /// Sampled-tracing stamp (full telemetry only).
+    pub(crate) span: Option<PendingSpan>,
 }
 
 /// A slab request: `ids` all route to one shard, rows land in `out`
@@ -212,6 +298,8 @@ pub(crate) struct SlabRequest {
     pub(crate) counters: Arc<ModelCounters>,
     pub(crate) slot: Arc<SlabSlot>,
     pub(crate) admission: Admission,
+    /// Sampled-tracing stamp (full telemetry only).
+    pub(crate) span: Option<PendingSpan>,
 }
 
 /// What shard queues carry.
@@ -243,6 +331,13 @@ impl Request {
         }
     }
 
+    fn span(&self) -> Option<PendingSpan> {
+        match self {
+            Request::One(r) => r.span,
+            Request::Slab(s) => s.span,
+        }
+    }
+
     fn slot_ref(&self) -> SlotRef {
         match self {
             Request::One(r) => SlotRef::One(Arc::clone(&r.slot)),
@@ -256,7 +351,7 @@ impl Request {
     fn expire(self, now: Instant) {
         self.counters()
             .expired
-            .fetch_add(self.rows() as u64, Ordering::Relaxed);
+            .fetch_add(self.rows() as u64, Ordering::Release);
         match self {
             Request::One(r) => {
                 let error = r.admission.deadline_error(now);
@@ -292,6 +387,7 @@ struct RouterInner {
     batch: BatchCounters,
     models: RwLock<HashMap<String, Arc<ModelEntry>>>,
     config: ServeConfig,
+    telemetry: MetricsRegistry,
 }
 
 impl RouterInner {
@@ -308,16 +404,26 @@ impl RouterInner {
     fn stats_for(&self, entry: &ModelEntry) -> ServeStats {
         let b = &self.batch;
         let store = entry.snapshot();
+        // Outcomes first with `Acquire`, then `issued`: an observed
+        // outcome increment implies its issue increment is observed,
+        // so `issued >= requests + shed + expired` holds in every
+        // snapshot (see [`ModelCounters`]).
+        let requests = entry.counters.requests.load(Ordering::Acquire);
+        let shed = entry.counters.shed.load(Ordering::Acquire);
+        let expired = entry.counters.expired.load(Ordering::Acquire);
+        let issued = entry.counters.issued.load(Ordering::Relaxed);
         ServeStats {
-            requests: entry.counters.requests.load(Ordering::Relaxed),
-            shed: entry.counters.shed.load(Ordering::Relaxed),
-            expired: entry.counters.expired.load(Ordering::Relaxed),
+            issued,
+            requests,
+            shed,
+            expired,
             batches: b.batches.load(Ordering::Relaxed),
             flushes_full: b.flushes_full.load(Ordering::Relaxed),
             flushes_timeout: b.flushes_timeout.load(Ordering::Relaxed),
             flushes_drain: b.flushes_drain.load(Ordering::Relaxed),
             max_batch_observed: b.max_batch_observed.load(Ordering::Relaxed) as usize,
             cache: store.cache_stats(),
+            cache_shards: store.per_shard_cache_stats(),
             run_stats: store.run_stats(),
         }
     }
@@ -335,6 +441,10 @@ impl RouterInner {
         shard: usize,
         request: Request,
     ) -> std::result::Result<(), (ServeError, Request)> {
+        // Admission wait is timed from a fresh stamp here — not from
+        // `issued_at`, which for a multi-shard fan-out would charge
+        // earlier shards' admission time to later shards.
+        let admit_t0 = self.telemetry.stages_on().then(Instant::now);
         let outcome = match self.config.admission {
             AdmissionPolicy::Block => self.queues[shard].push(request),
             AdmissionPolicy::Shed {
@@ -347,6 +457,11 @@ impl RouterInner {
                 }
             }
         };
+        if let Some(t0) = admit_t0 {
+            self.telemetry
+                .shard(shard)
+                .record_admission_wait(t0.elapsed().as_nanos() as u64);
+        }
         match outcome {
             Ok(()) => Ok(()),
             Err(PushError::Closed(request)) => Err((ServeError::ShuttingDown, request)),
@@ -354,7 +469,26 @@ impl RouterInner {
                 request
                     .counters()
                     .shed
-                    .fetch_add(request.rows() as u64, Ordering::Relaxed);
+                    .fetch_add(request.rows() as u64, Ordering::Release);
+                // A sampled shed completes its span client-side: it
+                // never reaches a worker. `queue_wait` is the time
+                // spent failing admission; there is no service time.
+                if let (Some(t0), Some(pending)) = (admit_t0, request.span()) {
+                    let total = request
+                        .admission()
+                        .issued_at()
+                        .map(|issued_at| issued_at.elapsed())
+                        .unwrap_or_else(|| t0.elapsed());
+                    self.telemetry.complete(Span {
+                        seq: pending.seq,
+                        shard,
+                        rows: request.rows(),
+                        queue_wait_nanos: t0.elapsed().as_nanos() as u64,
+                        service_nanos: 0,
+                        total_nanos: total.as_nanos() as u64,
+                        outcome: SpanOutcome::Shed,
+                    });
+                }
                 let waited = match self.config.admission {
                     AdmissionPolicy::Shed {
                         enqueue_timeout, ..
@@ -435,11 +569,13 @@ impl Router {
         let queues = (0..config.n_shards)
             .map(|_| ShardQueue::new(config.queue_depth))
             .collect();
+        let telemetry = MetricsRegistry::new(&config.telemetry, config.n_shards);
         let inner = Arc::new(RouterInner {
             queues,
             batch: BatchCounters::default(),
             models: RwLock::new(HashMap::new()),
             config,
+            telemetry,
         });
         let workers = (0..inner.config.n_shards)
             .map(|shard_idx| {
@@ -531,6 +667,7 @@ impl Router {
                 name: name.to_string(),
                 store: RwLock::new(Arc::new(store)),
                 counters: Arc::new(ModelCounters::default()),
+                control: ControlStats::default(),
                 update_lock: parking_lot::Mutex::new(()),
                 retired: AtomicBool::new(false),
             }),
@@ -552,6 +689,7 @@ impl Router {
         self.inner.check_store(&new_store)?;
         let entry = self.inner.entry(name)?;
         let _updating = entry.update_lock.lock();
+        entry.control.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
         let mut slot = entry.store.write();
         Ok(std::mem::replace(&mut *slot, Arc::new(new_store)))
     }
@@ -602,7 +740,30 @@ impl Router {
     pub fn apply_delta(&self, name: &str, delta: &StoreDelta) -> Result<Arc<ShardedStore>> {
         let entry = self.inner.entry(name)?;
         let _updating = entry.update_lock.lock();
-        let new_store = entry.snapshot().apply_delta(delta)?;
+        let old_store = entry.snapshot();
+        let new_store = old_store.apply_delta(delta)?;
+        // The fresh snapshot's CoW counters start at zero on the shared
+        // clone, so after the apply they describe exactly this delta.
+        let control = &entry.control;
+        control.delta_applies.fetch_add(1, Ordering::Relaxed);
+        control
+            .delta_cow_bytes
+            .fetch_add(new_store.cow_copied_bytes(), Ordering::Relaxed);
+        control
+            .delta_pages_touched
+            .fetch_add(new_store.cow_touched_pages(), Ordering::Relaxed);
+        // Rows the carried-over LRUs dropped: changed ids that were hot.
+        let cached = |store: &ShardedStore| -> u64 {
+            store
+                .per_shard_cache_stats()
+                .iter()
+                .map(|s| s.cached_rows as u64)
+                .sum()
+        };
+        control.lru_invalidations.fetch_add(
+            cached(&old_store).saturating_sub(cached(&new_store)),
+            Ordering::Relaxed,
+        );
         let mut slot = entry.store.write();
         Ok(std::mem::replace(&mut *slot, Arc::new(new_store)))
     }
@@ -670,6 +831,54 @@ impl Router {
     pub fn stats(&self, name: &str) -> Result<ServeStats> {
         let entry = self.inner.entry(name)?;
         Ok(self.inner.stats_for(&entry))
+    }
+
+    /// A point-in-time [`MetricsSnapshot`] across every registered
+    /// model: always-on row and control-plane counters at any
+    /// [`crate::TelemetryLevel`], plus per-stage histograms and sampled
+    /// traces at [`crate::TelemetryLevel::Full`]. Render it with
+    /// [`MetricsSnapshot::to_prometheus`] or
+    /// [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let entries: Vec<Arc<ModelEntry>> = self.inner.models.read().values().cloned().collect();
+        let mut models: Vec<ModelMetrics> = entries
+            .iter()
+            .map(|entry| {
+                let c = &entry.counters;
+                // Same read discipline as `stats_for`: outcomes first
+                // with `Acquire`, then `issued`.
+                let requests = c.requests.load(Ordering::Acquire);
+                let shed = c.shed.load(Ordering::Acquire);
+                let expired = c.expired.load(Ordering::Acquire);
+                let issued = c.issued.load(Ordering::Relaxed);
+                let control = &entry.control;
+                ModelMetrics {
+                    name: entry.name.clone(),
+                    issued,
+                    requests,
+                    shed,
+                    expired,
+                    snapshot_swaps: control.snapshot_swaps.load(Ordering::Relaxed),
+                    delta_applies: control.delta_applies.load(Ordering::Relaxed),
+                    delta_cow_bytes: control.delta_cow_bytes.load(Ordering::Relaxed),
+                    delta_pages_touched: control.delta_pages_touched.load(Ordering::Relaxed),
+                    lru_invalidations: control.lru_invalidations.load(Ordering::Relaxed),
+                    cache_shards: entry.snapshot().per_shard_cache_stats(),
+                }
+            })
+            .collect();
+        models.sort_by(|a, b| a.name.cmp(&b.name));
+        let telemetry = &self.inner.telemetry;
+        let (traced_spans, recent_traces, slowest_traces) = telemetry.traces_snapshot();
+        MetricsSnapshot {
+            level: telemetry.level(),
+            uptime: telemetry.uptime(),
+            traced_spans,
+            models,
+            stages: telemetry.stage_metrics(),
+            recent_traces,
+            slowest_traces,
+        }
     }
 
     /// Stops accepting requests, drains every queue (in-flight requests
@@ -772,6 +981,7 @@ impl RouterHandle {
     pub fn get(&self, id: usize) -> Result<Vec<f32>> {
         let store = self.store()?;
         store.check_id(id)?;
+        self.model.counters.issued.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(ResponseSlot::new());
         let shard = store.shard_of(id);
         let request = Request::One(OneRequest {
@@ -779,7 +989,11 @@ impl RouterHandle {
             store,
             counters: Arc::clone(&self.model.counters),
             slot: Arc::clone(&slot),
-            admission: Admission::stamp(self.inner.config.admission),
+            admission: Admission::stamp(
+                self.inner.config.admission,
+                self.inner.telemetry.stages_on(),
+            ),
+            span: self.inner.telemetry.sample(),
         });
         self.inner.admit(shard, request).map_err(|(e, _)| e)?;
         slot.wait()
@@ -795,7 +1009,7 @@ impl RouterHandle {
             self.model
                 .counters
                 .shed
-                .fetch_add(rows as u64, Ordering::Relaxed);
+                .fetch_add(rows as u64, Ordering::Release);
         }
     }
 
@@ -813,6 +1027,10 @@ impl RouterHandle {
         for &id in ids {
             store.check_id(id)?;
         }
+        self.model
+            .counters
+            .issued
+            .fetch_add(ids.len() as u64, Ordering::Relaxed);
         let dim = store.dim();
         let n_shards = store.n_shards();
         let mut shard_ids: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
@@ -822,7 +1040,10 @@ impl RouterHandle {
             shard_ids[s].push(id);
             shard_pos[s].push(pos);
         }
-        let admission = Admission::stamp(self.inner.config.admission);
+        let admission = Admission::stamp(
+            self.inner.config.admission,
+            self.inner.telemetry.stages_on(),
+        );
         let mut pending: Vec<(usize, Arc<SlabSlot>)> = Vec::new();
         let mut first_err = None;
         let mut failed_at = None;
@@ -839,6 +1060,7 @@ impl RouterHandle {
                 counters: Arc::clone(&self.model.counters),
                 slot: Arc::clone(&slot),
                 admission,
+                span: self.inner.telemetry.sample(),
             });
             if let Err((e, _)) = self.inner.admit(s, request) {
                 first_err = Some(e);
@@ -887,13 +1109,20 @@ impl RouterHandle {
         for &id in ids {
             store.check_id(id)?;
         }
+        self.model
+            .counters
+            .issued
+            .fetch_add(ids.len() as u64, Ordering::Relaxed);
         let dim = store.dim();
         let n_shards = store.n_shards();
         batch.begin(ids, dim, n_shards);
         for (pos, &id) in ids.iter().enumerate() {
             batch.shard_pos[store.shard_of(id)].push(pos);
         }
-        let admission = Admission::stamp(self.inner.config.admission);
+        let admission = Admission::stamp(
+            self.inner.config.admission,
+            self.inner.telemetry.stages_on(),
+        );
         let mut first_err = None;
         let mut failed_at = None;
         for s in 0..n_shards {
@@ -913,6 +1142,7 @@ impl RouterHandle {
                 counters: Arc::clone(&self.model.counters),
                 slot: Arc::clone(&slot),
                 admission,
+                span: self.inner.telemetry.sample(),
             });
             match self.inner.admit(s, request) {
                 Ok(()) => batch.pending.push((s, slot)),
@@ -975,7 +1205,9 @@ fn worker_loop(
     let mut slots: Vec<SlotRef> = Vec::new();
     let mut one_ids: Vec<usize> = Vec::new();
     let mut one_slots: Vec<Arc<ResponseSlot>> = Vec::new();
-    while let Some(reason) = queue.pop_batch_into(&mut batch, max_batch, max_wait) {
+    let mut one_spans: Vec<SpanSeed> = Vec::new();
+    while let Some((reason, assembly)) = queue.pop_batch_into_timed(&mut batch, max_batch, max_wait)
+    {
         // A panic while serving must not strand blocked requesters: keep
         // the slots, answer `WorkerLost` to any left unfilled (fill is
         // first-write-wins), and keep the worker alive for later batches.
@@ -987,8 +1219,10 @@ fn worker_loop(
                 shard_idx,
                 &mut batch,
                 reason,
+                assembly,
                 &mut one_ids,
                 &mut one_slots,
+                &mut one_spans,
             );
         }));
         if outcome.is_err() {
@@ -998,17 +1232,21 @@ fn worker_loop(
             batch.clear();
             one_ids.clear();
             one_slots.clear();
+            one_spans.clear();
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_batch(
     inner: &RouterInner,
     shard_idx: usize,
     batch: &mut Vec<Request>,
     reason: FlushReason,
+    assembly: Duration,
     one_ids: &mut Vec<usize>,
     one_slots: &mut Vec<Arc<ResponseSlot>>,
+    one_spans: &mut Vec<SpanSeed>,
 ) {
     let c = &inner.batch;
     let rows: usize = batch.iter().map(Request::rows).sum();
@@ -1031,6 +1269,23 @@ fn serve_batch(
         None => true,
     };
 
+    let telemetry = &inner.telemetry;
+    let stages_on = telemetry.stages_on();
+    if stages_on {
+        // One stage lock per flushed batch: the shard's whole dequeue
+        // story (assembly hold, batch size, every request's queue wait)
+        // folds in at once.
+        let mut stages = telemetry.shard(shard_idx).stages();
+        stages.batch_assembly.record(assembly.as_nanos() as u64);
+        stages.batch_size.record(rows as u64 * SIZE_SCALE);
+        for request in batch.iter() {
+            if let Some(issued_at) = request.admission().issued_at() {
+                let waited = now.saturating_duration_since(issued_at);
+                stages.queue_wait.record(waited.as_nanos() as u64);
+            }
+        }
+    }
+
     // Simulated backing-store service time, charged once per flushed
     // batch that actually reaches the store (see
     // [`ServeConfig::store_latency`]).
@@ -1045,6 +1300,22 @@ fn serve_batch(
     let mut run: Option<(Arc<ShardedStore>, Arc<ModelCounters>)> = None;
     for request in batch.drain(..) {
         if !live(&request) {
+            // A sampled expired request's span ends here: queued its
+            // whole life, no service.
+            if let Some(pending) = request.span() {
+                if let Some(issued_at) = request.admission().issued_at() {
+                    let waited = now.saturating_duration_since(issued_at).as_nanos() as u64;
+                    telemetry.complete(Span {
+                        seq: pending.seq,
+                        shard: shard_idx,
+                        rows: request.rows(),
+                        queue_wait_nanos: waited,
+                        service_nanos: 0,
+                        total_nanos: waited,
+                        outcome: SpanOutcome::Expired,
+                    });
+                }
+            }
             request.expire(now);
             continue;
         }
@@ -1052,64 +1323,161 @@ fn serve_batch(
             Request::One(r) => {
                 let same_run = matches!(&run, Some((s, _)) if Arc::ptr_eq(s, &r.store));
                 if !same_run {
-                    flush_one_run(shard_idx, run.take(), one_ids, one_slots);
+                    flush_one_run(inner, shard_idx, run.take(), one_ids, one_slots, one_spans);
                     run = Some((r.store, r.counters));
+                }
+                if let (Some(pending), Some(issued_at)) = (r.span, r.admission.issued_at()) {
+                    one_spans.push(SpanSeed {
+                        seq: pending.seq,
+                        issued_at,
+                        queue_wait_nanos: now.saturating_duration_since(issued_at).as_nanos()
+                            as u64,
+                        rows: 1,
+                    });
                 }
                 one_ids.push(r.id);
                 one_slots.push(r.slot);
             }
             Request::Slab(mut s) => {
-                flush_one_run(shard_idx, run.take(), one_ids, one_slots);
+                flush_one_run(inner, shard_idx, run.take(), one_ids, one_slots, one_spans);
+                let decode_before = stages_on.then(|| s.store.shard_hit_miss(shard_idx));
+                let started = stages_on.then(Instant::now);
                 let result = s.store.lookup_batch(shard_idx, &s.ids, &mut s.out);
                 if result.is_ok() {
                     s.counters
                         .requests
-                        .fetch_add(s.ids.len() as u64, Ordering::Relaxed);
+                        .fetch_add(s.ids.len() as u64, Ordering::Release);
                 }
+                // Capture telemetry inputs before the fill consumes the
+                // request's buffers.
+                let slab_rows = s.ids.len();
+                let dtype = s.store.dtype();
+                let span = s.span;
+                let issued_at = s.admission.issued_at();
+                let decode_after = decode_before.map(|_| s.store.shard_hit_miss(shard_idx));
+                let decoded = started.map(|_| Instant::now());
                 s.slot.fill(SlabOutcome {
                     ids: s.ids,
                     out: s.out,
                     result,
                 });
+                if let (Some(started), Some(decoded)) = (started, decoded) {
+                    let finished = Instant::now();
+                    let shard_t = telemetry.shard(shard_idx);
+                    {
+                        let mut stages = shard_t.stages();
+                        stages.decode[dtype_idx(dtype)]
+                            .record(decoded.saturating_duration_since(started).as_nanos() as u64);
+                        stages
+                            .slab_write
+                            .record(finished.saturating_duration_since(decoded).as_nanos() as u64);
+                    }
+                    if let (Some((hit0, miss0)), Some((hit1, miss1))) =
+                        (decode_before, decode_after)
+                    {
+                        // The worker owns this shard, so the before/after
+                        // counter delta is exactly this lookup's rows.
+                        shard_t.add_decode_rows(hit1 - hit0, miss1 - miss0);
+                    }
+                    if let (Some(pending), Some(issued_at)) = (span, issued_at) {
+                        telemetry.complete(Span {
+                            seq: pending.seq,
+                            shard: shard_idx,
+                            rows: slab_rows,
+                            queue_wait_nanos: started
+                                .saturating_duration_since(issued_at)
+                                .as_nanos() as u64,
+                            service_nanos: finished.saturating_duration_since(started).as_nanos()
+                                as u64,
+                            total_nanos: finished.saturating_duration_since(issued_at).as_nanos()
+                                as u64,
+                            outcome: SpanOutcome::Served,
+                        });
+                    }
+                }
             }
         }
     }
-    flush_one_run(shard_idx, run.take(), one_ids, one_slots);
+    flush_one_run(inner, shard_idx, run.take(), one_ids, one_slots, one_spans);
 }
 
 fn flush_one_run(
+    inner: &RouterInner,
     shard_idx: usize,
     run: Option<(Arc<ShardedStore>, Arc<ModelCounters>)>,
     ids: &mut Vec<usize>,
     slots: &mut Vec<Arc<ResponseSlot>>,
+    spans: &mut Vec<SpanSeed>,
 ) {
     let Some((store, counters)) = run else {
         debug_assert!(ids.is_empty());
         return;
     };
+    let telemetry = &inner.telemetry;
+    let stages_on = telemetry.stages_on();
+    let decode_before = stages_on.then(|| store.shard_hit_miss(shard_idx));
+    let started = stages_on.then(Instant::now);
     match store.get_shard_batch(shard_idx, ids) {
         Ok(rows) => {
             counters
                 .requests
-                .fetch_add(ids.len() as u64, Ordering::Relaxed);
+                .fetch_add(ids.len() as u64, Ordering::Release);
+            let decoded = started.map(|_| Instant::now());
             for (slot, row) in slots.drain(..).zip(rows) {
                 slot.fill(Ok(row));
+            }
+            if let (Some(started), Some(decoded)) = (started, decoded) {
+                let finished = Instant::now();
+                let shard_t = telemetry.shard(shard_idx);
+                {
+                    let mut stages = shard_t.stages();
+                    stages.decode[dtype_idx(store.dtype())]
+                        .record(decoded.saturating_duration_since(started).as_nanos() as u64);
+                    stages
+                        .slab_write
+                        .record(finished.saturating_duration_since(decoded).as_nanos() as u64);
+                }
+                if let Some((hit0, miss0)) = decode_before {
+                    let (hit1, miss1) = store.shard_hit_miss(shard_idx);
+                    // The worker owns this shard, so the before/after
+                    // delta is exactly this run's rows.
+                    shard_t.add_decode_rows(hit1 - hit0, miss1 - miss0);
+                }
+                // Service time is the whole coalesced run — the latency
+                // each sampled request actually experienced, not its
+                // pro-rata share.
+                let service = finished.saturating_duration_since(started).as_nanos() as u64;
+                for seed in spans.drain(..) {
+                    telemetry.complete(Span {
+                        seq: seed.seq,
+                        shard: shard_idx,
+                        rows: seed.rows,
+                        queue_wait_nanos: seed.queue_wait_nanos,
+                        service_nanos: service,
+                        total_nanos: finished
+                            .saturating_duration_since(seed.issued_at)
+                            .as_nanos() as u64,
+                        outcome: SpanOutcome::Served,
+                    });
+                }
             }
         }
         Err(_) => {
             // A bad id poisons only its own batch; answer every
             // requester individually so none hangs — and only the rows
-            // actually served count as served.
+            // actually served count as served. Sampled spans are dropped
+            // on this rare path: tracing is best-effort.
             for (slot, &id) in slots.drain(..).zip(ids.iter()) {
                 let outcome = store.get(id);
                 if outcome.is_ok() {
-                    counters.requests.fetch_add(1, Ordering::Relaxed);
+                    counters.requests.fetch_add(1, Ordering::Release);
                 }
                 slot.fill(outcome);
             }
         }
     }
     ids.clear();
+    spans.clear();
 }
 
 #[cfg(test)]
@@ -1151,7 +1519,8 @@ mod tests {
                 store: Arc::clone(&store),
                 counters: Arc::new(ModelCounters::default()),
                 slot: Arc::clone(&slot),
-                admission: Admission::stamp(AdmissionPolicy::Block),
+                admission: Admission::stamp(AdmissionPolicy::Block, false),
+                span: None,
             }))
             .unwrap();
         let outcome = slot.wait();

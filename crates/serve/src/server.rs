@@ -97,6 +97,12 @@ impl EmbedServer {
         self.handle.stats()
     }
 
+    /// A telemetry snapshot (see [`crate::TelemetryConfig`]), renderable
+    /// as Prometheus text or JSON.
+    pub fn metrics(&self) -> crate::MetricsSnapshot {
+        self.router.metrics()
+    }
+
     /// Stops accepting requests, drains queued work, joins the workers,
     /// and returns the final statistics.
     pub fn shutdown(self) -> ServeStats {

@@ -92,6 +92,22 @@ impl CacheStats {
     }
 }
 
+/// One shard's hot-row cache counters, read in one consistent pass
+/// (see [`ShardedStore::shard_cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCacheStats {
+    /// Lookups answered from this shard's cache.
+    pub hits: u64,
+    /// Lookups that had to touch this shard's backing store.
+    pub misses: u64,
+    /// Rows pushed out of this shard's cache by capacity pressure.
+    pub evictions: u64,
+    /// Bytes of row data currently resident in this shard's cache.
+    pub resident_bytes: usize,
+    /// Rows currently resident in this shard's cache.
+    pub cached_rows: usize,
+}
+
 /// One shard's page-backed storage.
 // One long-lived instance per shard, never moved by value on a hot
 // path — boxing the larger MemCom variant would only add a pointer
@@ -804,6 +820,63 @@ impl ShardedStore {
         let mut flat = vec![0f32; ids.len() * self.dim];
         self.lookup_batch(shard_idx, ids, &mut flat)?;
         Ok(flat.chunks_exact(self.dim).map(<[f32]>::to_vec).collect())
+    }
+
+    /// Page clone-on-write events while building this snapshot — the
+    /// number of pages physically copied off their shared allocation
+    /// (0 for a freshly built store; each page counts once even when
+    /// several delta rows land on it).
+    pub fn cow_touched_pages(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| s.data.tables())
+            .map(PagedTable::cow_touched_pages)
+            .sum()
+    }
+
+    /// One shard's cache counters, read in **one consistent pass**: the
+    /// shard's cache lock is taken once for the eviction/residency view
+    /// (so those three fields describe the same instant), then the
+    /// hit/miss atomics are read. Hit/miss counts can therefore run a
+    /// few rows ahead of the locked view under traffic, but the view
+    /// never tears within itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_idx` is out of range.
+    pub fn shard_cache_stats(&self, shard_idx: usize) -> ShardCacheStats {
+        let shard = &self.shards[shard_idx];
+        let (evictions, resident_bytes, cached_rows) = {
+            let cache = shard.cache.lock();
+            (cache.evictions(), cache.resident_bytes(), cache.len())
+        };
+        ShardCacheStats {
+            hits: shard.hits.load(Ordering::Relaxed),
+            misses: shard.misses.load(Ordering::Relaxed),
+            evictions,
+            resident_bytes,
+            cached_rows,
+        }
+    }
+
+    /// Cache counters for every shard (see
+    /// [`shard_cache_stats`](Self::shard_cache_stats); consistency is
+    /// per shard, not across shards).
+    pub fn per_shard_cache_stats(&self) -> Vec<ShardCacheStats> {
+        (0..self.shards.len())
+            .map(|idx| self.shard_cache_stats(idx))
+            .collect()
+    }
+
+    /// Decode hit/miss row counts for one shard without touching the
+    /// cache lock — the worker's before/after read around a store batch,
+    /// exact under the one-worker-per-shard discipline.
+    pub(crate) fn shard_hit_miss(&self, shard_idx: usize) -> (u64, u64) {
+        let shard = &self.shards[shard_idx];
+        (
+            shard.hits.load(Ordering::Relaxed),
+            shard.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Aggregate cache counters across shards.

@@ -1,0 +1,30 @@
+//! Serve-tier observability: per-stage metrics, sampled request
+//! tracing, and exporters.
+//!
+//! The layer is dependency-free and costs what its
+//! [`TelemetryLevel`](crate::TelemetryLevel) says:
+//!
+//! * **Off** (default) — nothing recorded; the hot path keeps its
+//!   zero-allocation, no-extra-clock-read discipline.
+//! * **Minimal** — the always-on per-model row counters plus
+//!   control-plane counters (swaps, delta applies) are exported; still
+//!   no stage timing.
+//! * **Full** — per-stage latency histograms (admission wait, queue
+//!   wait, batch assembly, store decode per dtype, response write) and
+//!   sampled request tracing. Recording is O(1) and shard-local: the
+//!   worker folds a whole batch into its shard's accumulators under one
+//!   uncontended lock, and a snapshot merges per-shard state on demand.
+//!
+//! Entry points: [`crate::Router::metrics`] returns a
+//! [`MetricsSnapshot`] renderable as Prometheus text or JSON;
+//! [`StatsReporter`] periodically dumps either.
+
+mod export;
+mod registry;
+mod trace;
+
+pub use export::{MetricsSnapshot, ModelMetrics, ShardStageMetrics, SizeStats, StatsReporter};
+pub use trace::{Span, SpanOutcome};
+
+pub(crate) use registry::{dtype_idx, MetricsRegistry, SIZE_SCALE};
+pub(crate) use trace::{PendingSpan, SpanSeed};

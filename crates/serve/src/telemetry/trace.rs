@@ -1,0 +1,216 @@
+//! Sampled request tracing.
+//!
+//! At [`crate::TelemetryLevel::Full`] every k-th sub-request (with
+//! `k = round(1 / sample_rate)`, so sampling costs one atomic increment
+//! and no random-number source) is stamped with a pending span. The
+//! worker that finishes the request completes the span with the stage
+//! timings it measures anyway, and completed spans land in a
+//! [`TraceRing`]: a fixed-size most-recent ring plus a slowest-N
+//! retention list, so a p99 outlier can be explained long after the
+//! recent ring cycled past it.
+
+use std::time::Instant;
+
+/// How a traced request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Rows were decoded and answered.
+    Served,
+    /// The request sat in its queue past its deadline and was dropped at
+    /// dequeue without a store read.
+    Expired,
+    /// Admission refused the request (queue full past the enqueue
+    /// budget); it never reached a worker.
+    Shed,
+}
+
+impl SpanOutcome {
+    /// Stable lowercase name (exporter label value).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanOutcome::Served => "served",
+            SpanOutcome::Expired => "expired",
+            SpanOutcome::Shed => "shed",
+        }
+    }
+}
+
+/// One completed trace span: the per-stage breakdown of a single sampled
+/// sub-request (a multi-shard fan-out traces each shard's sub-request
+/// independently).
+///
+/// `queue_wait_nanos` runs from the issue stamp to the moment a worker
+/// dequeued the request, so it *includes* the admission wait (the
+/// per-stage histograms split the two). `service_nanos` is the duration
+/// of the store micro-batch the request rode in — decode plus response
+/// write for the whole coalesced run, which is the latency the request
+/// actually experienced, not its pro-rata share.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// Sample sequence number (global, monotonically increasing).
+    pub seq: u64,
+    /// Shard that served (or shed/expired) the sub-request.
+    pub shard: usize,
+    /// Rows the sub-request carried.
+    pub rows: usize,
+    /// Issue → dequeue, including the admission wait. For a shed
+    /// request this is the time spent failing admission.
+    pub queue_wait_nanos: u64,
+    /// Duration of the store micro-batch that answered the request
+    /// (decode + response write). `0` for shed and expired requests.
+    pub service_nanos: u64,
+    /// Issue → completion, end to end.
+    pub total_nanos: u64,
+    /// How the request ended.
+    pub outcome: SpanOutcome,
+}
+
+/// A sampled request in flight: carried on the queued request, completed
+/// by whichever side finishes it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingSpan {
+    pub(crate) seq: u64,
+}
+
+/// Everything a worker needs to finish a sampled span once the store
+/// micro-batch it rode in completes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanSeed {
+    pub(crate) seq: u64,
+    pub(crate) issued_at: Instant,
+    pub(crate) queue_wait_nanos: u64,
+    pub(crate) rows: usize,
+}
+
+/// Fixed-size retention for completed spans: a most-recent ring plus a
+/// slowest-N list (min-replace by `total_nanos`).
+#[derive(Debug)]
+pub(crate) struct TraceRing {
+    recent: Vec<Span>,
+    /// Index of the oldest entry once `recent` is full.
+    head: usize,
+    capacity: usize,
+    slowest: Vec<Span>,
+    slowest_capacity: usize,
+    recorded: u64,
+}
+
+impl TraceRing {
+    pub(crate) fn new(capacity: usize, slowest_capacity: usize) -> Self {
+        TraceRing {
+            recent: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            slowest: Vec::with_capacity(slowest_capacity),
+            slowest_capacity,
+            recorded: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, span: Span) {
+        self.recorded += 1;
+        if self.capacity > 0 {
+            if self.recent.len() < self.capacity {
+                self.recent.push(span);
+            } else {
+                self.recent[self.head] = span;
+                self.head = (self.head + 1) % self.capacity;
+            }
+        }
+        if self.slowest_capacity > 0 {
+            if self.slowest.len() < self.slowest_capacity {
+                self.slowest.push(span);
+            } else if let Some((idx, min)) = self
+                .slowest
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.total_nanos)
+            {
+                if span.total_nanos > min.total_nanos {
+                    self.slowest[idx] = span;
+                }
+            }
+        }
+    }
+
+    /// Spans completed since construction (including ones the ring has
+    /// since overwritten).
+    pub(crate) fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Most-recent spans, oldest first.
+    pub(crate) fn recent(&self) -> Vec<Span> {
+        let mut out = Vec::with_capacity(self.recent.len());
+        out.extend_from_slice(&self.recent[self.head..]);
+        out.extend_from_slice(&self.recent[..self.head]);
+        out
+    }
+
+    /// Slowest retained spans, slowest first.
+    pub(crate) fn slowest(&self) -> Vec<Span> {
+        let mut out = self.slowest.clone();
+        out.sort_by_key(|s| std::cmp::Reverse(s.total_nanos));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(seq: u64, total: u64) -> Span {
+        Span {
+            seq,
+            shard: 0,
+            rows: 1,
+            queue_wait_nanos: total / 2,
+            service_nanos: total / 2,
+            total_nanos: total,
+            outcome: SpanOutcome::Served,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut ring = TraceRing::new(3, 0);
+        for seq in 0..5 {
+            ring.push(span(seq, 100 + seq));
+        }
+        assert_eq!(ring.recorded(), 5);
+        let recent: Vec<u64> = ring.recent().iter().map(|s| s.seq).collect();
+        assert_eq!(recent, vec![2, 3, 4], "oldest first, newest last");
+        assert!(ring.slowest().is_empty());
+    }
+
+    #[test]
+    fn slowest_retention_survives_ring_churn() {
+        let mut ring = TraceRing::new(2, 2);
+        ring.push(span(0, 9_999)); // the outlier, early
+        for seq in 1..50 {
+            ring.push(span(seq, 100 + seq));
+        }
+        let recent: Vec<u64> = ring.recent().iter().map(|s| s.seq).collect();
+        assert_eq!(recent, vec![48, 49], "outlier cycled out of the ring");
+        let slowest = ring.slowest();
+        assert_eq!(slowest[0].seq, 0, "…but survives slowest-N retention");
+        assert_eq!(slowest[0].total_nanos, 9_999);
+        assert_eq!(slowest[1].total_nanos, 149, "next-slowest kept, sorted");
+    }
+
+    #[test]
+    fn zero_capacities_record_counts_only() {
+        let mut ring = TraceRing::new(0, 0);
+        ring.push(span(1, 5));
+        assert_eq!(ring.recorded(), 1);
+        assert!(ring.recent().is_empty());
+        assert!(ring.slowest().is_empty());
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(SpanOutcome::Served.as_str(), "served");
+        assert_eq!(SpanOutcome::Expired.as_str(), "expired");
+        assert_eq!(SpanOutcome::Shed.as_str(), "shed");
+    }
+}

@@ -1,6 +1,6 @@
 //! Serve compressed embeddings under concurrent Zipf traffic.
 //!
-//! Six acts:
+//! Seven acts:
 //!
 //! 1. **Method comparison** — the sharded, micro-batching server on
 //!    MEmCom vs the uncompressed baseline under closed-loop power-law
@@ -23,6 +23,12 @@
 //!    traffic: refresh latency, bytes materialized per refresh, the
 //!    peak-memory proxy (old snapshot + the new snapshot's unshared
 //!    pages), and the p99 impact on the foreground requests.
+//! 7. **Telemetry** — the act-5 overload point once more with full
+//!    telemetry on: the server-side stage breakdown (admission wait,
+//!    queue wait, batch assembly/size, store decode, response write)
+//!    printed next to the client-side numbers it must reconcile with,
+//!    the slowest sampled traces, and the snapshot dumped to
+//!    `ACT7_telemetry.json` for the CI artifact.
 //!
 //! Run with: `cargo run --release --example serve_load`
 //! (`-- --quick` shrinks everything for CI smoke runs.)
@@ -32,8 +38,9 @@ use std::time::{Duration, Instant};
 
 use memcom::core::MethodSpec;
 use memcom::serve::{
-    fmt_nanos, run_load, run_mixed_load, AdmissionPolicy, Dtype, EmbedServer, LoadGenConfig,
-    LoadMode, ModelMix, Router, ServeConfig, ShardedStore, StoreDelta,
+    fmt_nanos, run_load, run_mixed_load, AdmissionPolicy, Dtype, EmbedServer, LatencyHistogram,
+    LoadGenConfig, LoadMode, ModelMix, Router, ServeConfig, ShardedStore, StoreDelta,
+    TelemetryConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -474,6 +481,127 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          only the changed ids invalidated, and foreground p99 stays close to the\n\
          no-refresh row. (At 1M rows the gap is ~500x in refresh latency and ~0.2%\n\
          of store bytes copied — tests/delta.rs measures it.)"
+    );
+
+    // --- Telemetry: the server's own view of the overload point -------
+    // Act 5 reported what the *clients* measured; this run turns full
+    // telemetry on and lets the *server* break the same saturating load
+    // into its pipeline stages, with 10%-sampled request traces.
+    let telemetry_multiple = 2.0f64;
+    println!(
+        "\nTelemetry: the {telemetry_multiple}x-capacity shed point again with \
+         telemetry = full (10% sampled traces);\n\
+         the server's stage breakdown next to the client-side tallies it must match:\n"
+    );
+    let telemetry_server = EmbedServer::start(
+        overload_table.as_ref(),
+        ServeConfig {
+            n_shards: 1,
+            max_batch: overload_batch,
+            max_wait: Duration::from_millis(1),
+            queue_depth: overload_depth,
+            store_latency,
+            admission: AdmissionPolicy::Shed {
+                enqueue_timeout,
+                request_deadline: Some(deadline),
+            },
+            telemetry: TelemetryConfig::full(0.1),
+            ..ServeConfig::default()
+        },
+    )?;
+    let telemetry_report = run_load(
+        &telemetry_server.handle(),
+        &LoadGenConfig {
+            clients: overload_clients,
+            requests_per_client: overload_rpc,
+            ids_per_request: 1,
+            zipf_exponent: 1.1,
+            mode: LoadMode::Open {
+                target_qps: telemetry_multiple * capacity_qps,
+            },
+            seed: 42,
+        },
+    )?;
+    let metrics = telemetry_server.metrics();
+    telemetry_server.shutdown();
+
+    let model = &metrics.models[0];
+    println!(
+        "{:<12} {:>8} {:>10} {:>8} {:>8}",
+        "", "issued", "completed", "shed", "expired"
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>8} {:>8}",
+        "client-side",
+        telemetry_report.offered(),
+        telemetry_report.requests,
+        telemetry_report.shed,
+        telemetry_report.expired,
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>8} {:>8}",
+        "server-side", model.issued, model.requests, model.shed, model.expired,
+    );
+
+    println!(
+        "\n{:<16} {:>8} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50", "p99", "max"
+    );
+    let stage_row = |name: &str, h: &LatencyHistogram| {
+        if h.count() > 0 {
+            println!(
+                "{:<16} {:>8} {:>10} {:>10} {:>10}",
+                name,
+                h.count(),
+                fmt_nanos(h.p50()),
+                fmt_nanos(h.p99()),
+                fmt_nanos(h.max_nanos()),
+            );
+        }
+    };
+    for stage in &metrics.stages {
+        stage_row("admission wait", &stage.admission_wait);
+        stage_row("queue wait", &stage.queue_wait);
+        stage_row("batch assembly", &stage.batch_assembly);
+        for (dtype, h) in &stage.decode {
+            stage_row(&format!("decode ({dtype})"), h);
+        }
+        stage_row("response write", &stage.slab_write);
+        println!(
+            "{:<16} {:>8} rows: mean {:.1}, p99 {}, max {} | decoded {} hit / {} miss",
+            "batch size",
+            stage.batch_size.count,
+            stage.batch_size.mean,
+            stage.batch_size.p99,
+            stage.batch_size.max,
+            stage.decode_rows_hit,
+            stage.decode_rows_miss,
+        );
+    }
+
+    println!(
+        "\nSlowest sampled traces ({} spans recorded):",
+        metrics.traced_spans
+    );
+    for span in metrics.slowest_traces.iter().take(3) {
+        println!(
+            "  #{:<6} shard {} {:>7}: {} queued + {} service = {} total ({} row)",
+            span.seq,
+            span.shard,
+            span.outcome.as_str(),
+            fmt_nanos(span.queue_wait_nanos),
+            fmt_nanos(span.service_nanos),
+            fmt_nanos(span.total_nanos),
+            span.rows,
+        );
+    }
+
+    std::fs::write("ACT7_telemetry.json", metrics.to_json())?;
+    println!(
+        "\nFull snapshot (level {:?}, {:.1}s uptime) written to ACT7_telemetry.json;\n\
+         the same data serves as Prometheus text exposition via to_prometheus().",
+        metrics.level,
+        metrics.uptime.as_secs_f64()
     );
 
     println!(
