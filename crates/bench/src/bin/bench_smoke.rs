@@ -3,8 +3,9 @@
 //! Runs a pinned subset of the serving benchmarks — the closed-loop
 //! throughput scenario from `serve_throughput`, the quantized miss path
 //! from `serve_dtype`, the steady-state allocation count certified by
-//! `tests/alloc_count.rs`, and the delta-apply scenario from
-//! `serve_delta` — in a couple of seconds, then:
+//! `tests/alloc_count.rs`, the delta-apply scenario from `serve_delta`,
+//! and the same closed-loop traffic once more through `memcom-net`'s
+//! loopback wire path — in a couple of seconds, then:
 //!
 //! 1. writes the measurements as a flat JSON object (`BENCH_serve.json`,
 //!    uploaded as a CI artifact so every run leaves a comparable trace),
@@ -84,6 +85,7 @@ const DIRECTIONS: &[(&str, Direction)] = &[
     ("delta_speedup_vs_rebuild", Direction::HigherIsBetter),
     ("delta_copied_frac", Direction::LowerIsBetter),
     ("telemetry_overhead_pct", Direction::LowerIsBetter),
+    ("net_loopback_qps", Direction::HigherIsBetter),
 ];
 
 /// Allowed regression vs. the checked-in baseline.
@@ -350,6 +352,41 @@ fn measure(quick: bool) -> Vec<(&'static str, f64)> {
         .collect();
     overheads.sort_by(f64::total_cmp);
     metrics.push(("telemetry_overhead_pct", overheads[1]));
+
+    // --- memcom-net subset: the same closed loop over loopback -------
+    // One wire hop on top of the act-1 scenario: a Router behind a
+    // NetServer, driven by `clients` connections of
+    // synchronous lookups. Gates the whole frame-encode → socket →
+    // frame-decode → router → response path.
+    let mut rng = StdRng::seed_from_u64(19);
+    let emb = MemCom::new(MemComConfig::new(vocab, 32, vocab / 10), &mut rng).expect("memcom");
+    let router = memcom_serve::Router::start(ServeConfig {
+        n_shards: 4,
+        max_batch: 64,
+        max_wait: Duration::from_micros(50),
+        ..ServeConfig::default()
+    })
+    .expect("router starts");
+    router.register("default", &emb).expect("registers");
+    let net_server = memcom_net::NetServer::start(router, memcom_net::NetServerConfig::default())
+        .expect("net server starts");
+    let net_report = memcom_net::run_net_load(
+        net_server.local_addr(),
+        "default",
+        vocab,
+        &LoadGenConfig {
+            clients,
+            requests_per_client: requests / 2,
+            ids_per_request: 16,
+            zipf_exponent: 1.1,
+            mode: LoadMode::Closed,
+            seed: 42,
+        },
+        None,
+    )
+    .expect("net load runs");
+    net_server.shutdown();
+    metrics.push(("net_loopback_qps", net_report.qps()));
 
     metrics
 }

@@ -1,0 +1,71 @@
+//! Network-attached serving for memcom (MEmCom, MLSys 2022).
+//!
+//! The serve tier batches and shards lookups inside one process; this
+//! crate puts it behind a socket, because the paper's deployment
+//! target — an embedding store too large to replicate into every
+//! inference process — implies lookups arrive over a network. The
+//! overload semantics the serve tier spent previous iterations earning
+//! (typed sheds with `retry_after` hints, deadline drops, loss-free
+//! drains) would die at the process boundary without a protocol that
+//! carries them; this crate is that protocol plus the two endpoints.
+//!
+//! * [`wire`] — the length-framed binary protocol: a versioned header,
+//!   a request id for pipelining, batch lookups with a model name +
+//!   ids + an advisory dtype hint + an optional deadline, and
+//!   responses that are either a row slab or a typed error carrying
+//!   `retry_after` nanos. Strict decode: every malformation is a typed
+//!   [`WireError`], never a panic; oversized length prefixes are
+//!   rejected before allocation.
+//! * [`transport`] — runtime-agnostic [`Transport`] (how bytes move)
+//!   and [`EventLoop`] (how connections are driven) traits. The stock
+//!   backend is `std::net` TCP with a thread per connection; a
+//!   poll/mio-style reactor slots in behind the same traits without
+//!   touching the server core.
+//! * [`NetServer`] — accepts many concurrent clients and feeds the
+//!   existing [`Router`](memcom_serve::Router)'s shard queues; wire
+//!   deadlines map onto admission control via the serve tier's
+//!   per-request deadline hooks. Graceful shutdown drains connections
+//!   (in-flight responses flushed, already-sent frames answered with a
+//!   typed `shutting_down` — never silence) before stopping workers.
+//! * [`NetClient`] — request pipelining over one connection, blocking
+//!   or ticket-based, honoring server `retry_after` hints
+//!   automatically.
+//! * [`loadgen`] — the serve tier's Zipf load generator over real
+//!   sockets, with identical seeding and traffic digests so networked
+//!   and in-process runs are directly comparable.
+//! * [`telemetry`] — network-stage histograms (`frame_decode`,
+//!   `response_encode`, `socket_write`) and always-on per-connection
+//!   counters, exported as `memcom_net_*` Prometheus series or JSON
+//!   with the serve tier's snapshot embedded. The serve tier's
+//!   zero-clock-read guarantee at `TelemetryConfig::off()` extends
+//!   across the network stages.
+//!
+//! # Reconciliation contract
+//!
+//! Every lookup a client sends is answered exactly once: with rows,
+//! with a typed router error (`overloaded` / `deadline_exceeded` / …),
+//! or with `shutting_down` during a drain. Rows and router errors pass
+//! through the router and appear in [`ServeStats`](memcom_serve::ServeStats);
+//! drain answers never enter the router and are counted in the net
+//! tier's `shutdown_rejected`. Client tallies therefore reconcile
+//! exactly with server stats — the integration tests assert equality,
+//! not approximation.
+
+pub mod client;
+pub mod error;
+pub mod loadgen;
+pub mod server;
+pub mod telemetry;
+pub mod transport;
+pub mod wire;
+
+pub use client::{NetClient, NetClientConfig, NetClientStats, Pending};
+pub use error::{error_response_for, ErrorCode, NetError, Result};
+pub use loadgen::{run_net_load, NetLoadReport};
+pub use server::{NetServer, NetServerConfig};
+pub use telemetry::{ConnectionMetrics, NetMetricsSnapshot};
+pub use transport::{ByteStream, EventLoop, TcpTransport, ThreadPerConnection, Transport};
+pub use wire::{
+    ErrorResponse, FrameReader, LookupRequest, Message, ReadEvent, RowsResponse, WireError,
+    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};

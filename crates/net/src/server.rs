@@ -1,0 +1,513 @@
+//! The network server: accepts many concurrent clients and feeds their
+//! lookups into an existing [`Router`]'s shard queues.
+//!
+//! # Shutdown ordering
+//!
+//! [`NetServer::shutdown`] drains in a fixed order so no request is
+//! silently dropped:
+//!
+//! 1. The draining flag is raised and the acceptor is unblocked with a
+//!    self-connect; it stops accepting and exits.
+//! 2. Each connection finishes the request it is serving (its response
+//!    is flushed), then spends up to `drain_grace` answering any frames
+//!    already on the wire with a typed `shutting_down` error — an
+//!    answer, not silence — before closing.
+//! 3. The event loop joins every connection, and only then is the
+//!    router shut down (workers drain their queues per the serve
+//!    tier's own guarantees).
+//!
+//! The reconciliation consequence: every lookup a client sent either
+//! passed through the router (rows / `overloaded` / `deadline_exceeded`
+//! — all visible in [`ServeStats`]) or was answered `shutting_down`
+//! (visible in the net tier's `shutdown_rejected` counter). Client and
+//! server tallies therefore reconcile exactly; `tests/net.rs` proves
+//! it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use memcom_serve::{EmbedBatch, Router, RouterHandle, ServeError, ServeStats, TelemetryConfig};
+
+use crate::error::{error_response_for, ErrorCode, NetError};
+use crate::telemetry::{ConnTelemetry, NetMetricsSnapshot, NetTelemetry};
+use crate::transport::{ByteStream, EventLoop, TcpTransport, ThreadPerConnection, Transport};
+use crate::wire::{
+    decode_payload, encode_error, encode_rows, FrameError, FrameReader, Message, ReadEvent,
+    WireError, CONNECTION_REQUEST_ID, DEFAULT_MAX_FRAME_LEN,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Bind address; `"127.0.0.1:0"` picks an ephemeral loopback port
+    /// (read it back from [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Largest accepted frame payload; larger length prefixes are
+    /// rejected before any allocation.
+    pub max_frame_len: u32,
+    /// Disable write coalescing (`TCP_NODELAY`) — latency-bound RPC
+    /// wants frames on the wire immediately.
+    pub nodelay: bool,
+    /// Read-timeout granularity for idle connections: how quickly a
+    /// blocked connection notices the draining flag. Must be non-zero.
+    pub poll_tick: Duration,
+    /// How long a draining connection keeps answering already-sent
+    /// frames with `shutting_down` before closing.
+    pub drain_grace: Duration,
+    /// Network-tier telemetry. Per-connection counters are always on;
+    /// stage histograms (`frame_decode`, `response_encode`,
+    /// `socket_write`) record only at [`TelemetryLevel::Full`]
+    /// (zero extra clock reads otherwise).
+    ///
+    /// [`TelemetryLevel::Full`]: memcom_serve::TelemetryLevel::Full
+    pub telemetry: TelemetryConfig,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            nodelay: true,
+            poll_tick: Duration::from_millis(10),
+            drain_grace: Duration::from_millis(50),
+            telemetry: TelemetryConfig::off(),
+        }
+    }
+}
+
+struct Shared<T: Transport> {
+    router: Arc<Router>,
+    config: NetServerConfig,
+    telemetry: NetTelemetry,
+    draining: AtomicBool,
+    transport: T,
+}
+
+/// A running network front-end over a [`Router`].
+///
+/// Generic over [`Transport`] (how bytes move) and [`EventLoop`] (how
+/// connections are driven); [`NetServer::start`] wires the stock
+/// TCP + thread-per-connection backend.
+///
+/// Dropping the server without calling
+/// [`shutdown`](NetServer::shutdown) leaks the acceptor thread until
+/// process exit — always shut down explicitly to get the drain
+/// guarantees (and the final stats) described in the module docs.
+pub struct NetServer<T: Transport = TcpTransport, E: EventLoop = ThreadPerConnection> {
+    shared: Arc<Shared<T>>,
+    event_loop: Arc<E>,
+    acceptor: Option<JoinHandle<()>>,
+    local_addr: String,
+}
+
+impl NetServer<TcpTransport, ThreadPerConnection> {
+    /// Binds and starts serving with the stock TCP,
+    /// thread-per-connection backend.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bind errors or a zero `poll_tick`.
+    pub fn start(router: Router, config: NetServerConfig) -> crate::Result<Self> {
+        Self::start_with(TcpTransport, ThreadPerConnection::new(), router, config)
+    }
+}
+
+impl<T: Transport, E: EventLoop> NetServer<T, E> {
+    /// [`start`](NetServer::start) with explicit transport and
+    /// event-loop backends.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bind errors or a zero `poll_tick`.
+    pub fn start_with(
+        transport: T,
+        event_loop: E,
+        router: Router,
+        config: NetServerConfig,
+    ) -> crate::Result<Self> {
+        if config.poll_tick.is_zero() {
+            return Err(NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "poll_tick must be non-zero (it bounds drain latency)",
+            )));
+        }
+        let listener = transport.bind(&config.addr)?;
+        let local_addr = transport.local_addr(&listener)?;
+        let telemetry = NetTelemetry::new(&config.telemetry);
+        let shared = Arc::new(Shared {
+            router: Arc::new(router),
+            config,
+            telemetry,
+            draining: AtomicBool::new(false),
+            transport,
+        });
+        let event_loop = Arc::new(event_loop);
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let event_loop = Arc::clone(&event_loop);
+            std::thread::Builder::new()
+                .name("memcom-net-accept".into())
+                .spawn(move || loop {
+                    match shared.transport.accept(&listener) {
+                        Ok(stream) => {
+                            if shared.draining.load(Ordering::Acquire) {
+                                // The shutdown wake-up (or a client that
+                                // raced the drain): refuse and exit.
+                                let _ = stream.shutdown_both();
+                                return;
+                            }
+                            let conn = shared.telemetry.connection_opened(stream.peer_label());
+                            let shared = Arc::clone(&shared);
+                            event_loop.dispatch(Box::new(move || {
+                                serve_connection(&shared, stream, &conn);
+                            }));
+                        }
+                        Err(_) if shared.draining.load(Ordering::Acquire) => return,
+                        // Transient accept failures (e.g. the peer reset
+                        // before we picked it up) don't stop the server.
+                        Err(_) => {}
+                    }
+                })
+                .expect("spawning the acceptor thread")
+        };
+        Ok(NetServer {
+            shared,
+            event_loop,
+            acceptor: Some(acceptor),
+            local_addr,
+        })
+    }
+
+    /// The bound address, with ephemeral ports resolved — hand this to
+    /// [`NetClient::connect`](crate::NetClient::connect).
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// The router behind this server, for registering models and
+    /// reading stats while serving.
+    pub fn router(&self) -> &Router {
+        &self.shared.router
+    }
+
+    /// One consistent snapshot of both tiers: network-stage latencies
+    /// and per-connection counters wrapped around the router's own
+    /// [`metrics`](Router::metrics).
+    pub fn metrics(&self) -> NetMetricsSnapshot {
+        self.shared.telemetry.snapshot(self.shared.router.metrics())
+    }
+
+    /// Drains and stops everything in the order the module docs
+    /// describe, returning the per-model [`ServeStats`] from the
+    /// router's shutdown plus the final network snapshot.
+    pub fn shutdown(mut self) -> (Vec<(String, ServeStats)>, NetMetricsSnapshot) {
+        self.shared.draining.store(true, Ordering::Release);
+        // Unblock the acceptor: it wakes on this connection, sees the
+        // flag, and exits.
+        let _ = self.shared.transport.connect(&self.local_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // No new dispatches can happen now; join every connection.
+        self.event_loop.drain();
+        let snapshot = self.shared.telemetry.snapshot(self.shared.router.metrics());
+        let Ok(shared) = Arc::try_unwrap(self.shared) else {
+            unreachable!("all connection threads joined, no other Shared owners");
+        };
+        let Ok(router) = Arc::try_unwrap(shared.router) else {
+            unreachable!("all connection threads joined, no other Router owners");
+        };
+        (router.shutdown(), snapshot)
+    }
+}
+
+/// Per-connection service state, reused across requests so the steady
+/// state allocates nothing per frame.
+struct ConnCtx {
+    reader: FrameReader,
+    write_buf: Vec<u8>,
+    ids: Vec<usize>,
+    batch: EmbedBatch,
+    handles: HashMap<String, RouterHandle>,
+    stages_on: bool,
+}
+
+fn serve_connection<T: Transport>(shared: &Shared<T>, mut stream: T::Stream, conn: &ConnTelemetry) {
+    let _ = stream.set_nodelay(shared.config.nodelay);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_tick));
+    let mut ctx = ConnCtx {
+        reader: FrameReader::new(shared.config.max_frame_len),
+        write_buf: Vec::new(),
+        ids: Vec::new(),
+        batch: EmbedBatch::new(),
+        handles: HashMap::new(),
+        stages_on: shared.telemetry.stages_on(),
+    };
+    let mut drain_eligible = true;
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            break;
+        }
+        match ctx.reader.read_frame(&mut stream) {
+            Ok(ReadEvent::Frame) => {
+                if !handle_frame(shared, &mut stream, conn, &mut ctx, false) {
+                    drain_eligible = false;
+                    break;
+                }
+            }
+            // The peer closed; there is nothing left to drain.
+            Ok(ReadEvent::Eof) => {
+                drain_eligible = false;
+                break;
+            }
+            Ok(ReadEvent::TimedOut) => continue,
+            Err(FrameError::Wire(err)) => {
+                // An oversized length prefix — rejected before any
+                // allocation. The framing is no longer trustworthy, so
+                // answer once at connection level and close.
+                conn.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send_error(
+                    &mut stream,
+                    conn,
+                    &mut ctx,
+                    CONNECTION_REQUEST_ID,
+                    ErrorCode::Malformed,
+                    &err.to_string(),
+                );
+                drain_eligible = false;
+                break;
+            }
+            Err(FrameError::Io(_)) => {
+                drain_eligible = false;
+                break;
+            }
+        }
+    }
+    if drain_eligible && shared.draining.load(Ordering::Acquire) {
+        drain_connection(shared, &mut stream, conn, &mut ctx);
+    }
+    let _ = stream.shutdown_both();
+    conn.open.store(false, Ordering::Relaxed);
+}
+
+/// The shutdown drain: keep answering frames already on the wire with
+/// typed `shutting_down` errors (never silence) until the grace period
+/// lapses or the peer closes.
+fn drain_connection<T: Transport>(
+    shared: &Shared<T>,
+    stream: &mut T::Stream,
+    conn: &ConnTelemetry,
+    ctx: &mut ConnCtx,
+) {
+    let deadline = Instant::now() + shared.config.drain_grace;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some((deadline - now).min(shared.config.poll_tick)));
+        match ctx.reader.read_frame(stream) {
+            Ok(ReadEvent::Frame) => {
+                if !handle_frame(shared, stream, conn, ctx, true) {
+                    return;
+                }
+            }
+            Ok(ReadEvent::TimedOut) => continue,
+            Ok(ReadEvent::Eof) | Err(_) => return,
+        }
+    }
+}
+
+/// Serves one decoded frame. Returns `false` when the connection must
+/// close (protocol violation or a failed write).
+fn handle_frame<T: Transport>(
+    shared: &Shared<T>,
+    stream: &mut T::Stream,
+    conn: &ConnTelemetry,
+    ctx: &mut ConnCtx,
+    draining: bool,
+) -> bool {
+    let payload = ctx.reader.payload();
+    conn.frames_in.fetch_add(1, Ordering::Relaxed);
+    conn.bytes_in
+        .fetch_add(4 + payload.len() as u64, Ordering::Relaxed);
+    let started = ctx.stages_on.then(Instant::now);
+    let decoded = decode_payload(payload);
+    if let Some(started) = started {
+        conn.record_stage(|s| &mut s.frame_decode, started);
+    }
+    match decoded {
+        Ok(Message::Lookup(req)) => {
+            if draining {
+                conn.shutdown_rejected.fetch_add(1, Ordering::Relaxed);
+                return send_error(
+                    stream,
+                    conn,
+                    ctx,
+                    req.request_id,
+                    ErrorCode::ShuttingDown,
+                    "server is draining",
+                );
+            }
+            serve_lookup(shared, stream, conn, ctx, &req)
+        }
+        // Rows/Error frames flow server→client only; a client sending
+        // one is confused but the framing is intact, so answer typed
+        // and keep the connection.
+        Ok(Message::Rows(r)) => {
+            conn.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            send_error(
+                stream,
+                conn,
+                ctx,
+                r.request_id,
+                ErrorCode::Unsupported,
+                "rows frames are server-to-client only",
+            )
+        }
+        Ok(Message::Error(e)) => {
+            conn.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            send_error(
+                stream,
+                conn,
+                ctx,
+                e.request_id,
+                ErrorCode::Unsupported,
+                "error frames are server-to-client only",
+            )
+        }
+        Err(err) => {
+            // The payload did not parse: answer once at connection
+            // level, then close — a peer this confused may also have
+            // confused framing.
+            conn.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let code = match err {
+                WireError::UnknownVersion(_) | WireError::UnknownKind(_) => ErrorCode::Unsupported,
+                _ => ErrorCode::Malformed,
+            };
+            send_error(
+                stream,
+                conn,
+                ctx,
+                CONNECTION_REQUEST_ID,
+                code,
+                &err.to_string(),
+            );
+            false
+        }
+    }
+}
+
+fn serve_lookup<T: Transport>(
+    shared: &Shared<T>,
+    stream: &mut T::Stream,
+    conn: &ConnTelemetry,
+    ctx: &mut ConnCtx,
+    req: &crate::wire::LookupRequest,
+) -> bool {
+    ctx.ids.clear();
+    ctx.ids.extend(req.ids.iter().map(|&id| id as usize));
+    // The dtype hint is advisory (a cache/runtime prefetch hint); the
+    // server always answers decoded f32 rows regardless.
+    let mut retried = false;
+    let result = loop {
+        let handle = match ctx.handles.get(&req.model) {
+            Some(h) => h,
+            None => match shared.router.handle(&req.model) {
+                Ok(h) => ctx.handles.entry(req.model.clone()).or_insert(h),
+                Err(e) => break Err(e),
+            },
+        };
+        let r = handle.get_batch_into_with_deadline(&ctx.ids, &mut ctx.batch, req.deadline);
+        // A cached handle outlives deregistration; drop it and resolve
+        // once more so a re-registered model under the same name is
+        // picked up.
+        if !retried && matches!(r, Err(ServeError::ModelNotFound { .. })) {
+            ctx.handles.remove(&req.model);
+            retried = true;
+            continue;
+        }
+        break r;
+    };
+    match result {
+        Ok(()) => {
+            ctx.write_buf.clear();
+            let started = ctx.stages_on.then(Instant::now);
+            encode_rows(
+                req.request_id,
+                ctx.batch.dim() as u32,
+                ctx.batch.data(),
+                &mut ctx.write_buf,
+            );
+            if let Some(started) = started {
+                conn.record_stage(|s| &mut s.response_encode, started);
+            }
+            conn.served.fetch_add(1, Ordering::Relaxed);
+            send_buffered(stream, conn, ctx)
+        }
+        Err(err) => {
+            let resp = error_response_for(req.request_id, &err);
+            ctx.write_buf.clear();
+            let started = ctx.stages_on.then(Instant::now);
+            encode_error(
+                resp.request_id,
+                resp.code,
+                resp.retry_after,
+                &resp.message,
+                &mut ctx.write_buf,
+            );
+            if let Some(started) = started {
+                conn.record_stage(|s| &mut s.response_encode, started);
+            }
+            conn.errors_sent.fetch_add(1, Ordering::Relaxed);
+            send_buffered(stream, conn, ctx)
+        }
+    }
+}
+
+fn send_error<S: ByteStream>(
+    stream: &mut S,
+    conn: &ConnTelemetry,
+    ctx: &mut ConnCtx,
+    request_id: u64,
+    code: ErrorCode,
+    message: &str,
+) -> bool {
+    ctx.write_buf.clear();
+    let started = ctx.stages_on.then(Instant::now);
+    encode_error(
+        request_id,
+        code,
+        Duration::ZERO,
+        message,
+        &mut ctx.write_buf,
+    );
+    if let Some(started) = started {
+        conn.record_stage(|s| &mut s.response_encode, started);
+    }
+    conn.errors_sent.fetch_add(1, Ordering::Relaxed);
+    send_buffered(stream, conn, ctx)
+}
+
+/// Flushes `ctx.write_buf` to the socket, timing the write at Full
+/// telemetry. Returns `false` when the write fails (peer gone).
+fn send_buffered<S: ByteStream>(stream: &mut S, conn: &ConnTelemetry, ctx: &mut ConnCtx) -> bool {
+    let started = ctx.stages_on.then(Instant::now);
+    let ok = stream
+        .write_all(&ctx.write_buf)
+        .and_then(|_| stream.flush())
+        .is_ok();
+    if let Some(started) = started {
+        conn.record_stage(|s| &mut s.socket_write, started);
+    }
+    if ok {
+        conn.frames_out.fetch_add(1, Ordering::Relaxed);
+        conn.bytes_out
+            .fetch_add(ctx.write_buf.len() as u64, Ordering::Relaxed);
+    }
+    ok
+}

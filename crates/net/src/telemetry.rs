@@ -1,0 +1,426 @@
+//! Network-tier telemetry: frame-level stage histograms and
+//! per-connection counters, exported next to the serve tier's snapshot.
+//!
+//! The discipline mirrors `memcom-serve`'s registry exactly:
+//!
+//! * **Counters are always on** — per-connection frame/byte counts are
+//!   relaxed atomics, like the serve tier's per-model row counters.
+//! * **Stage histograms cost clock reads only at
+//!   [`TelemetryLevel::Full`]** — the connection loop takes its
+//!   `Instant::now` stamps *only* when `stages_on()` says so, so the
+//!   `off()` zero-extra-clock-read guarantee extends across the network
+//!   stages (`frame_decode`, `response_encode`, `socket_write`);
+//!   `tests/net.rs` asserts the off-level snapshot stays empty under
+//!   traffic.
+//! * Histograms live behind per-connection mutexes the connection's
+//!   single handler thread locks uncontended; snapshots merge them on
+//!   demand.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use memcom_serve::{LatencyHistogram, MetricsSnapshot, TelemetryConfig, TelemetryLevel};
+use parking_lot::Mutex;
+
+/// The network stage histograms of one connection.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NetStageSet {
+    /// Wire bytes → decoded request (strict parse of one payload).
+    pub(crate) frame_decode: LatencyHistogram,
+    /// Router answer → encoded response frame.
+    pub(crate) response_encode: LatencyHistogram,
+    /// Encoded frame → socket accepted the bytes (`write_all` +
+    /// `flush`).
+    pub(crate) socket_write: LatencyHistogram,
+}
+
+/// Always-on counters plus Full-level stage state for one connection.
+#[derive(Debug, Default)]
+pub(crate) struct ConnTelemetry {
+    pub(crate) id: u64,
+    pub(crate) peer: String,
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) frames_out: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+    /// Lookup requests answered with rows.
+    pub(crate) served: AtomicU64,
+    /// Typed error frames sent (any code).
+    pub(crate) errors_sent: AtomicU64,
+    /// Malformed/unsupported frames received.
+    pub(crate) protocol_errors: AtomicU64,
+    /// Requests answered `shutting_down` during the drain grace.
+    pub(crate) shutdown_rejected: AtomicU64,
+    pub(crate) open: AtomicBool,
+    stages: Mutex<NetStageSet>,
+}
+
+impl ConnTelemetry {
+    pub(crate) fn record_stage(
+        &self,
+        pick: impl FnOnce(&mut NetStageSet) -> &mut LatencyHistogram,
+        started: Instant,
+    ) {
+        pick(&mut self.stages.lock()).record(started.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Exported per-connection counters (one row per connection the server
+/// has seen, newest last; closed connections stay visible so a
+/// post-shutdown snapshot still reconciles).
+#[derive(Debug, Clone)]
+pub struct ConnectionMetrics {
+    /// Server-assigned connection id (accept order, starting at 1).
+    pub id: u64,
+    /// Peer address label.
+    pub peer: String,
+    /// Frames received / sent on this connection.
+    pub frames_in: u64,
+    /// Frames sent.
+    pub frames_out: u64,
+    /// Wire bytes received / sent.
+    pub bytes_in: u64,
+    /// Wire bytes sent.
+    pub bytes_out: u64,
+    /// Lookup requests answered with rows.
+    pub served: u64,
+    /// Typed error frames sent.
+    pub errors_sent: u64,
+    /// Malformed/unsupported inbound frames.
+    pub protocol_errors: u64,
+    /// Requests rejected `shutting_down` during the drain.
+    pub shutdown_rejected: u64,
+    /// Whether the connection is still open.
+    pub open: bool,
+}
+
+/// The server's network-telemetry registry.
+#[derive(Debug)]
+pub(crate) struct NetTelemetry {
+    level: TelemetryLevel,
+    started_at: Instant,
+    accepted: AtomicU64,
+    conns: Mutex<Vec<std::sync::Arc<ConnTelemetry>>>,
+}
+
+impl NetTelemetry {
+    pub(crate) fn new(config: &TelemetryConfig) -> Self {
+        NetTelemetry {
+            level: config.level,
+            started_at: Instant::now(),
+            accepted: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether stage histograms (and their clock reads) are on.
+    pub(crate) fn stages_on(&self) -> bool {
+        self.level == TelemetryLevel::Full
+    }
+
+    pub(crate) fn connection_opened(&self, peer: String) -> std::sync::Arc<ConnTelemetry> {
+        let id = self.accepted.fetch_add(1, Ordering::Relaxed) + 1;
+        let conn = std::sync::Arc::new(ConnTelemetry {
+            id,
+            peer,
+            open: AtomicBool::new(true),
+            ..ConnTelemetry::default()
+        });
+        self.conns.lock().push(std::sync::Arc::clone(&conn));
+        conn
+    }
+
+    pub(crate) fn snapshot(&self, serve: MetricsSnapshot) -> NetMetricsSnapshot {
+        let conns = self.conns.lock();
+        let connections: Vec<ConnectionMetrics> = conns
+            .iter()
+            .map(|c| ConnectionMetrics {
+                id: c.id,
+                peer: c.peer.clone(),
+                frames_in: c.frames_in.load(Ordering::Relaxed),
+                frames_out: c.frames_out.load(Ordering::Relaxed),
+                bytes_in: c.bytes_in.load(Ordering::Relaxed),
+                bytes_out: c.bytes_out.load(Ordering::Relaxed),
+                served: c.served.load(Ordering::Relaxed),
+                errors_sent: c.errors_sent.load(Ordering::Relaxed),
+                protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+                shutdown_rejected: c.shutdown_rejected.load(Ordering::Relaxed),
+                open: c.open.load(Ordering::Relaxed),
+            })
+            .collect();
+        let mut stages = NetStageSet::default();
+        for c in conns.iter() {
+            let s = c.stages.lock().clone();
+            stages.frame_decode.merge(&s.frame_decode);
+            stages.response_encode.merge(&s.response_encode);
+            stages.socket_write.merge(&s.socket_write);
+        }
+        NetMetricsSnapshot {
+            level: self.level,
+            uptime: self.started_at.elapsed(),
+            accepted: connections.len() as u64,
+            active: connections.iter().filter(|c| c.open).count() as u64,
+            frame_decode: stages.frame_decode,
+            response_encode: stages.response_encode,
+            socket_write: stages.socket_write,
+            connections,
+            serve,
+        }
+    }
+}
+
+/// One consistent view of the network tier plus the embedded serve-tier
+/// snapshot, renderable as Prometheus text or JSON.
+#[derive(Debug, Clone)]
+pub struct NetMetricsSnapshot {
+    /// The network tier's telemetry level.
+    pub level: TelemetryLevel,
+    /// Time since the server started.
+    pub uptime: Duration,
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Frame-decode latency across all connections (Full level only;
+    /// empty otherwise).
+    pub frame_decode: LatencyHistogram,
+    /// Response-encode latency (Full level only).
+    pub response_encode: LatencyHistogram,
+    /// Socket-write latency (Full level only).
+    pub socket_write: LatencyHistogram,
+    /// Per-connection counters, accept order.
+    pub connections: Vec<ConnectionMetrics>,
+    /// The router's own snapshot
+    /// ([`memcom_serve::Router::metrics`]), embedded so one scrape
+    /// covers both tiers.
+    pub serve: MetricsSnapshot,
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+fn render_hist(out: &mut String, name: &str, labels: &str, h: &LatencyHistogram) {
+    let mut cumulative = 0u64;
+    for (le, count) in h.iter_buckets() {
+        cumulative += count;
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}le=\"{le}\"}} {cumulative}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{labels}le=\"+Inf\"}} {}\n{name}_sum{{{l}}} {}\n{name}_count{{{l}}} {}\n",
+        h.count(),
+        h.sum_nanos(),
+        h.count(),
+        l = labels.trim_end_matches(','),
+    ));
+}
+
+impl NetMetricsSnapshot {
+    /// Aggregate totals across every connection: `(frames_in,
+    /// frames_out, bytes_in, bytes_out, served, errors_sent,
+    /// protocol_errors, shutdown_rejected)`.
+    pub fn totals(&self) -> ConnectionMetrics {
+        let mut t = ConnectionMetrics {
+            id: 0,
+            peer: "total".into(),
+            frames_in: 0,
+            frames_out: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            served: 0,
+            errors_sent: 0,
+            protocol_errors: 0,
+            shutdown_rejected: 0,
+            open: false,
+        };
+        for c in &self.connections {
+            t.frames_in += c.frames_in;
+            t.frames_out += c.frames_out;
+            t.bytes_in += c.bytes_in;
+            t.bytes_out += c.bytes_out;
+            t.served += c.served;
+            t.errors_sent += c.errors_sent;
+            t.protocol_errors += c.protocol_errors;
+            t.shutdown_rejected += c.shutdown_rejected;
+        }
+        t
+    }
+
+    /// Prometheus text exposition: `memcom_net_*` series for the
+    /// network tier followed by the embedded serve-tier exposition, so
+    /// one scrape endpoint serves both.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        family(
+            &mut out,
+            "memcom_net_connections_accepted_total",
+            "counter",
+            "Connections accepted since server start.",
+        );
+        let _ = writeln!(
+            out,
+            "memcom_net_connections_accepted_total {}",
+            self.accepted
+        );
+        family(
+            &mut out,
+            "memcom_net_connections_active",
+            "gauge",
+            "Connections currently open.",
+        );
+        let _ = writeln!(out, "memcom_net_connections_active {}", self.active);
+
+        for (name, help, pick) in [
+            (
+                "memcom_net_frames_total",
+                "Frames received per connection.",
+                0usize,
+            ),
+            ("memcom_net_bytes_total", "Wire bytes per connection.", 1),
+            (
+                "memcom_net_served_total",
+                "Lookup requests answered with rows, per connection.",
+                2,
+            ),
+            (
+                "memcom_net_errors_sent_total",
+                "Typed error frames sent, per connection.",
+                3,
+            ),
+            (
+                "memcom_net_protocol_errors_total",
+                "Malformed or unsupported inbound frames, per connection.",
+                4,
+            ),
+            (
+                "memcom_net_shutdown_rejected_total",
+                "Requests rejected shutting_down during the drain, per connection.",
+                5,
+            ),
+        ] {
+            family(&mut out, name, "counter", help);
+            for c in &self.connections {
+                let conn = format!("conn=\"{}\",peer=\"{}\"", c.id, escape_label(&c.peer));
+                match pick {
+                    0 => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{{{conn},direction=\"in\"}} {}\n{name}{{{conn},direction=\"out\"}} {}",
+                            c.frames_in, c.frames_out
+                        );
+                    }
+                    1 => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{{{conn},direction=\"in\"}} {}\n{name}{{{conn},direction=\"out\"}} {}",
+                            c.bytes_in, c.bytes_out
+                        );
+                    }
+                    2 => {
+                        let _ = writeln!(out, "{name}{{{conn}}} {}", c.served);
+                    }
+                    3 => {
+                        let _ = writeln!(out, "{name}{{{conn}}} {}", c.errors_sent);
+                    }
+                    4 => {
+                        let _ = writeln!(out, "{name}{{{conn}}} {}", c.protocol_errors);
+                    }
+                    _ => {
+                        let _ = writeln!(out, "{name}{{{conn}}} {}", c.shutdown_rejected);
+                    }
+                }
+            }
+        }
+
+        family(
+            &mut out,
+            "memcom_net_stage_latency_nanos",
+            "histogram",
+            "Network-stage latency: frame_decode, response_encode, socket_write.",
+        );
+        for (stage, hist) in [
+            ("frame_decode", &self.frame_decode),
+            ("response_encode", &self.response_encode),
+            ("socket_write", &self.socket_write),
+        ] {
+            if hist.count() > 0 {
+                render_hist(
+                    &mut out,
+                    "memcom_net_stage_latency_nanos",
+                    &format!("stage=\"{stage}\","),
+                    hist,
+                );
+            }
+        }
+
+        out.push_str(&self.serve.to_prometheus());
+        out
+    }
+
+    /// JSON rendering: a `net` object plus the embedded serve snapshot
+    /// under `serve`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let hist_json = |h: &LatencyHistogram| {
+            format!(
+                "{{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                h.count(),
+                h.p50(),
+                h.p99(),
+                h.max_nanos()
+            )
+        };
+        let mut out = String::from("{\n  \"net\": {\n");
+        let _ = writeln!(
+            out,
+            "    \"uptime_seconds\": {:.3},\n    \"accepted\": {},\n    \"active\": {},",
+            self.uptime.as_secs_f64(),
+            self.accepted,
+            self.active
+        );
+        let _ = writeln!(
+            out,
+            "    \"stages\": {{\"frame_decode\": {}, \"response_encode\": {}, \"socket_write\": {}}},",
+            hist_json(&self.frame_decode),
+            hist_json(&self.response_encode),
+            hist_json(&self.socket_write)
+        );
+        out.push_str("    \"connections\": [");
+        for (i, c) in self.connections.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"id\": {}, \"peer\": \"{}\", \"frames_in\": {}, \"frames_out\": {}, \
+                 \"bytes_in\": {}, \"bytes_out\": {}, \"served\": {}, \"errors_sent\": {}, \
+                 \"protocol_errors\": {}, \"shutdown_rejected\": {}, \"open\": {}}}",
+                c.id,
+                escape_label(&c.peer),
+                c.frames_in,
+                c.frames_out,
+                c.bytes_in,
+                c.bytes_out,
+                c.served,
+                c.errors_sent,
+                c.protocol_errors,
+                c.shutdown_rejected,
+                c.open
+            );
+        }
+        out.push_str("]\n  },\n  \"serve\": ");
+        out.push_str(&self.serve.to_json());
+        out.push_str("\n}\n");
+        out
+    }
+}

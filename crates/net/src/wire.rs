@@ -1,0 +1,708 @@
+//! The length-framed binary wire protocol.
+//!
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! [u32 LE payload length][payload]
+//! payload = [u8 version][u8 kind][u64 LE request id][body]
+//! ```
+//!
+//! The request id is chosen by the client and echoed verbatim in the
+//! response, which is what makes **pipelining** work: a client may have
+//! any number of requests in flight on one connection and match answers
+//! by id. Connection-level errors the server cannot attribute to a
+//! request (an unknown protocol version, an oversized length prefix)
+//! are reported with request id [`CONNECTION_REQUEST_ID`] and followed
+//! by a clean close.
+//!
+//! Message kinds:
+//!
+//! * [`KIND_LOOKUP`] (client → server) — a batch lookup: dtype hint,
+//!   optional per-request deadline in nanoseconds, model name, then the
+//!   ids.
+//! * [`KIND_ROWS`] (server → client) — the row slab: row count, row
+//!   dimensionality, then `rows * dim` little-endian f32 values in
+//!   request order.
+//! * [`KIND_ERROR`] (server → client) — a typed error
+//!   ([`ErrorCode`] as `u16`), a `retry_after` hint
+//!   in nanoseconds (meaningful for
+//!   [`ErrorCode::Overloaded`], zero
+//!   otherwise), and a human-readable message.
+//!
+//! Decoding is strict: unknown versions or kinds, truncated bodies,
+//! trailing bytes, oversized model names, and invalid dtype codes are
+//! all [`WireError`]s — the server answers them with a typed error
+//! frame (or closes, when the stream itself can no longer be trusted)
+//! and **never panics** on hostile input; `tests/wire.rs` drives the
+//! decoder through exactly these corruptions.
+
+use std::io::Read;
+use std::time::Duration;
+
+use memcom_serve::Dtype;
+
+use crate::error::ErrorCode;
+
+/// Protocol version this crate speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Request id used for connection-level error frames that answer no
+/// particular request (bad version, oversized frame).
+pub const CONNECTION_REQUEST_ID: u64 = 0;
+
+/// Frame kind: batch-lookup request (client → server).
+pub const KIND_LOOKUP: u8 = 1;
+/// Frame kind: row-slab response (server → client).
+pub const KIND_ROWS: u8 = 2;
+/// Frame kind: typed-error response (server → client).
+pub const KIND_ERROR: u8 = 3;
+
+/// Default cap on one frame's payload length. A length prefix above the
+/// configured cap is a protocol violation answered with
+/// [`ErrorCode::Malformed`] and a close — it is never allocated.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
+
+/// Longest accepted model name on the wire, in bytes.
+pub const MAX_MODEL_LEN: usize = 1024;
+
+/// Fixed bytes before the body: version, kind, request id.
+pub const HEADER_LEN: usize = 1 + 1 + 8;
+
+/// What strict decoding can reject. Every variant is an answerable
+/// condition, not a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The version byte is not [`PROTOCOL_VERSION`]. The rest of the
+    /// stream cannot be trusted; the peer answers at
+    /// [`CONNECTION_REQUEST_ID`] and closes.
+    UnknownVersion(u8),
+    /// The kind byte names no known message.
+    UnknownKind(u8),
+    /// The body ended before the field being read.
+    Truncated(&'static str),
+    /// Bytes remained after the last field — the declared length and
+    /// the body disagree.
+    TrailingBytes(usize),
+    /// The model-name length exceeds [`MAX_MODEL_LEN`].
+    ModelTooLong(usize),
+    /// The model name is not valid UTF-8.
+    BadModelUtf8,
+    /// The dtype-hint byte names no known dtype.
+    BadDtype(u8),
+    /// The error-code field names no known [`ErrorCode`].
+    BadErrorCode(u16),
+    /// The frame's length prefix exceeds the configured cap; reported
+    /// by [`FrameReader::read_frame`], never allocated.
+    Oversized {
+        /// The declared payload length.
+        declared: u32,
+        /// The configured cap.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnknownVersion(v) => write!(f, "unknown protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Truncated(field) => write!(f, "frame truncated at {field}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after last field"),
+            WireError::ModelTooLong(n) => {
+                write!(f, "model name of {n} bytes exceeds {MAX_MODEL_LEN}")
+            }
+            WireError::BadModelUtf8 => write!(f, "model name is not valid UTF-8"),
+            WireError::BadDtype(b) => write!(f, "unknown dtype code {b}"),
+            WireError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
+            WireError::Oversized { declared, max } => {
+                write!(
+                    f,
+                    "length prefix {declared} exceeds the {max}-byte frame cap"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A batch-lookup request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupRequest {
+    /// Client-chosen id echoed in the response (pipelining key).
+    pub request_id: u64,
+    /// Registered model name on the server's router.
+    pub model: String,
+    /// Ids to look up, in response row order.
+    pub ids: Vec<u64>,
+    /// Advisory storage-dtype hint (`None` = no preference). Rows are
+    /// served as f32 either way today; the field reserves negotiation
+    /// room for wire-level quantized row encodings.
+    pub dtype_hint: Option<Dtype>,
+    /// Per-request end-to-end deadline, mapped onto the server's
+    /// [`AdmissionPolicy::Shed`](memcom_serve::AdmissionPolicy::Shed)
+    /// deadline check (tightest of this and the server's own deadline
+    /// wins; ignored under blocking admission). `None` = no deadline.
+    pub deadline: Option<Duration>,
+}
+
+/// A row-slab response: `data.len() / dim` rows of `dim` f32 values in
+/// request order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowsResponse {
+    /// Echoed request id.
+    pub request_id: u64,
+    /// Row dimensionality.
+    pub dim: u32,
+    /// Row-major f32 values, `rows * dim` long.
+    pub data: Vec<f32>,
+}
+
+/// A typed-error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorResponse {
+    /// Echoed request id ([`CONNECTION_REQUEST_ID`] for
+    /// connection-level errors).
+    pub request_id: u64,
+    /// The typed error.
+    pub code: ErrorCode,
+    /// Suggested client backoff; non-zero only for
+    /// [`ErrorCode::Overloaded`].
+    pub retry_after: Duration,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Any decoded message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A batch-lookup request.
+    Lookup(LookupRequest),
+    /// A row-slab response.
+    Rows(RowsResponse),
+    /// A typed-error response.
+    Error(ErrorResponse),
+}
+
+fn dtype_code(dtype: Option<Dtype>) -> u8 {
+    match dtype {
+        None => 0,
+        Some(Dtype::F32) => 1,
+        Some(Dtype::F16) => 2,
+        Some(Dtype::Int8) => 3,
+        Some(Dtype::Int4) => 4,
+        Some(Dtype::Int2) => 5,
+    }
+}
+
+fn dtype_from_code(code: u8) -> Result<Option<Dtype>, WireError> {
+    Ok(match code {
+        0 => None,
+        1 => Some(Dtype::F32),
+        2 => Some(Dtype::F16),
+        3 => Some(Dtype::Int8),
+        4 => Some(Dtype::Int4),
+        5 => Some(Dtype::Int2),
+        other => return Err(WireError::BadDtype(other)),
+    })
+}
+
+fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Appends the frame header (length placeholder + version + kind + id)
+/// and returns the index where the length must be patched.
+fn begin_frame(out: &mut Vec<u8>, kind: u8, request_id: u64) -> usize {
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    out.push(PROTOCOL_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    len_at
+}
+
+/// Patches the length prefix once the payload is complete.
+fn end_frame(out: &mut [u8], len_at: usize) {
+    let payload_len = (out.len() - len_at - 4) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+}
+
+/// Encodes a lookup request as one complete frame appended to `out`.
+pub fn encode_lookup(req: &LookupRequest, out: &mut Vec<u8>) {
+    let len_at = begin_frame(out, KIND_LOOKUP, req.request_id);
+    out.push(dtype_code(req.dtype_hint));
+    out.extend_from_slice(&req.deadline.map_or(0, duration_to_nanos).to_le_bytes());
+    let model = req.model.as_bytes();
+    out.extend_from_slice(&(model.len() as u16).to_le_bytes());
+    out.extend_from_slice(model);
+    out.extend_from_slice(&(req.ids.len() as u32).to_le_bytes());
+    for &id in &req.ids {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    end_frame(out, len_at);
+}
+
+/// Encodes a row-slab response (`data.len()` must be a multiple of
+/// `dim`) as one complete frame appended to `out`.
+pub fn encode_rows(request_id: u64, dim: u32, data: &[f32], out: &mut Vec<u8>) {
+    debug_assert!(dim == 0 || data.len().is_multiple_of(dim as usize));
+    let len_at = begin_frame(out, KIND_ROWS, request_id);
+    let rows = (data.len() as u32).checked_div(dim).unwrap_or(0);
+    out.extend_from_slice(&rows.to_le_bytes());
+    out.extend_from_slice(&dim.to_le_bytes());
+    for &v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    end_frame(out, len_at);
+}
+
+/// Encodes a typed-error response as one complete frame appended to
+/// `out`.
+pub fn encode_error(
+    request_id: u64,
+    code: ErrorCode,
+    retry_after: Duration,
+    message: &str,
+    out: &mut Vec<u8>,
+) {
+    let len_at = begin_frame(out, KIND_ERROR, request_id);
+    out.extend_from_slice(&code.as_u16().to_le_bytes());
+    out.extend_from_slice(&duration_to_nanos(retry_after).to_le_bytes());
+    let msg = message.as_bytes();
+    out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    out.extend_from_slice(msg);
+    end_frame(out, len_at);
+}
+
+/// A strict little-endian cursor over one payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Truncated(field))?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated(field));
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u16(&mut self, field: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, field)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, field)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, field)?.try_into().unwrap()))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let left = self.buf.len() - self.at;
+        if left != 0 {
+            return Err(WireError::TrailingBytes(left));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one payload (everything after the length prefix) into a
+/// [`Message`], rejecting every malformation with a [`WireError`].
+pub fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
+    let mut c = Cursor {
+        buf: payload,
+        at: 0,
+    };
+    let version = c.u8("version")?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::UnknownVersion(version));
+    }
+    let kind = c.u8("kind")?;
+    let request_id = c.u64("request id")?;
+    match kind {
+        KIND_LOOKUP => {
+            let dtype_hint = dtype_from_code(c.u8("dtype hint")?)?;
+            let deadline_nanos = c.u64("deadline")?;
+            let model_len = c.u16("model length")? as usize;
+            if model_len > MAX_MODEL_LEN {
+                return Err(WireError::ModelTooLong(model_len));
+            }
+            let model = std::str::from_utf8(c.take(model_len, "model name")?)
+                .map_err(|_| WireError::BadModelUtf8)?
+                .to_string();
+            let n_ids = c.u32("id count")? as usize;
+            // The remaining payload bounds n_ids before any allocation,
+            // so a hostile count cannot balloon memory past the frame
+            // cap the reader already enforced.
+            let mut ids = Vec::with_capacity(n_ids.min(payload.len() / 8 + 1));
+            for _ in 0..n_ids {
+                ids.push(c.u64("id")?);
+            }
+            c.finish()?;
+            Ok(Message::Lookup(LookupRequest {
+                request_id,
+                model,
+                ids,
+                dtype_hint,
+                deadline: (deadline_nanos != 0).then(|| Duration::from_nanos(deadline_nanos)),
+            }))
+        }
+        KIND_ROWS => {
+            let rows = c.u32("row count")? as usize;
+            let dim = c.u32("dim")?;
+            let values = rows
+                .checked_mul(dim as usize)
+                .ok_or(WireError::Truncated("row data"))?;
+            let mut data = Vec::with_capacity(values.min(payload.len() / 4 + 1));
+            for _ in 0..values {
+                data.push(f32::from_le_bytes(
+                    c.take(4, "row data")?.try_into().unwrap(),
+                ));
+            }
+            c.finish()?;
+            Ok(Message::Rows(RowsResponse {
+                request_id,
+                dim,
+                data,
+            }))
+        }
+        KIND_ERROR => {
+            let raw = c.u16("error code")?;
+            let code = ErrorCode::from_u16(raw).ok_or(WireError::BadErrorCode(raw))?;
+            let retry_after = Duration::from_nanos(c.u64("retry after")?);
+            let msg_len = c.u32("message length")? as usize;
+            let message = String::from_utf8_lossy(c.take(msg_len, "message")?).into_owned();
+            c.finish()?;
+            Ok(Message::Error(ErrorResponse {
+                request_id,
+                code,
+                retry_after,
+                message,
+            }))
+        }
+        other => Err(WireError::UnknownKind(other)),
+    }
+}
+
+/// What one [`FrameReader::read_frame`] call observed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadEvent {
+    /// A complete frame arrived; its payload is at
+    /// [`FrameReader::payload`].
+    Frame,
+    /// The peer closed the stream at a frame boundary (or mid-frame —
+    /// either way there is nothing left to answer).
+    Eof,
+    /// The read timed out (`WouldBlock`/`TimedOut`) before a complete
+    /// frame arrived; partial progress is retained for the next call.
+    TimedOut,
+}
+
+/// Incremental frame reader: accumulates the 4-byte length prefix and
+/// then the payload across partial reads, surviving read timeouts
+/// mid-frame (the server's drain poll depends on that), and rejects
+/// oversized length prefixes **before** allocating.
+#[derive(Debug)]
+pub struct FrameReader {
+    max_frame_len: u32,
+    header: [u8; 4],
+    header_filled: usize,
+    payload: Vec<u8>,
+    payload_filled: usize,
+    /// `Some(n)` once the header is complete and `n` payload bytes are
+    /// expected.
+    expecting: Option<usize>,
+}
+
+impl FrameReader {
+    /// A reader enforcing `max_frame_len` as the payload-length cap.
+    pub fn new(max_frame_len: u32) -> Self {
+        FrameReader {
+            max_frame_len,
+            header: [0; 4],
+            header_filled: 0,
+            payload: Vec::new(),
+            payload_filled: 0,
+            expecting: None,
+        }
+    }
+
+    /// The last complete frame's payload (valid after
+    /// [`ReadEvent::Frame`], until the next `read_frame` call).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload[..self.payload_filled]
+    }
+
+    /// Advances toward the next frame. Timeouts and `Interrupted` are
+    /// surfaced as [`ReadEvent::TimedOut`] with all partial progress
+    /// kept; an oversized length prefix is a [`WireError::Oversized`];
+    /// other I/O failures propagate.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Ok(WireError))`-style nesting is avoided by flattening: the
+    /// error type is [`FrameError`].
+    pub fn read_frame(&mut self, r: &mut impl Read) -> Result<ReadEvent, FrameError> {
+        if self.expecting.is_none() {
+            match self.fill_header(r)? {
+                ReadEvent::Frame => {} // header complete; fall through
+                other => return Ok(other),
+            }
+            let declared = u32::from_le_bytes(self.header);
+            if declared > self.max_frame_len {
+                return Err(FrameError::Wire(WireError::Oversized {
+                    declared,
+                    max: self.max_frame_len,
+                }));
+            }
+            self.expecting = Some(declared as usize);
+            self.payload.resize(declared as usize, 0);
+            self.payload_filled = 0;
+        }
+        let want = self.expecting.unwrap();
+        while self.payload_filled < want {
+            match r.read(&mut self.payload[self.payload_filled..want]) {
+                Ok(0) => return Ok(ReadEvent::Eof),
+                Ok(n) => self.payload_filled += n,
+                Err(e) => return Self::map_timeout(e),
+            }
+        }
+        // Frame complete: reset header state for the next one.
+        self.header_filled = 0;
+        self.expecting = None;
+        Ok(ReadEvent::Frame)
+    }
+
+    /// Reads header bytes; `Frame` here means "header complete".
+    fn fill_header(&mut self, r: &mut impl Read) -> Result<ReadEvent, FrameError> {
+        while self.header_filled < 4 {
+            match r.read(&mut self.header[self.header_filled..]) {
+                Ok(0) => return Ok(ReadEvent::Eof),
+                Ok(n) => self.header_filled += n,
+                Err(e) => return Self::map_timeout(e),
+            }
+        }
+        Ok(ReadEvent::Frame)
+    }
+
+    fn map_timeout(e: std::io::Error) -> Result<ReadEvent, FrameError> {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted => Ok(ReadEvent::TimedOut),
+            _ => Err(FrameError::Io(e)),
+        }
+    }
+}
+
+/// Why [`FrameReader::read_frame`] failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// A non-timeout I/O failure.
+    Io(std::io::Error),
+    /// A protocol violation detectable at the framing layer (today:
+    /// [`WireError::Oversized`]).
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Wire(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_of(req: &LookupRequest) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_lookup(req, &mut out);
+        out
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let req = LookupRequest {
+            request_id: 42,
+            model: "country/us".into(),
+            ids: vec![0, 7, u64::MAX],
+            dtype_hint: Some(Dtype::Int8),
+            deadline: Some(Duration::from_millis(25)),
+        };
+        let bytes = frame_of(&req);
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME_LEN);
+        let mut src = &bytes[..];
+        assert_eq!(reader.read_frame(&mut src).unwrap(), ReadEvent::Frame);
+        assert_eq!(
+            decode_payload(reader.payload()).unwrap(),
+            Message::Lookup(req)
+        );
+        assert_eq!(reader.read_frame(&mut src).unwrap(), ReadEvent::Eof);
+    }
+
+    #[test]
+    fn rows_and_error_roundtrip() {
+        let mut out = Vec::new();
+        encode_rows(9, 2, &[1.0, 2.0, 3.0, 4.0], &mut out);
+        encode_error(
+            10,
+            ErrorCode::Overloaded,
+            Duration::from_micros(500),
+            "try later",
+            &mut out,
+        );
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME_LEN);
+        let mut src = &out[..];
+        assert_eq!(reader.read_frame(&mut src).unwrap(), ReadEvent::Frame);
+        let Message::Rows(rows) = decode_payload(reader.payload()).unwrap() else {
+            panic!("expected rows");
+        };
+        assert_eq!((rows.request_id, rows.dim), (9, 2));
+        assert_eq!(rows.data, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(reader.read_frame(&mut src).unwrap(), ReadEvent::Frame);
+        let Message::Error(err) = decode_payload(reader.payload()).unwrap() else {
+            panic!("expected error");
+        };
+        assert_eq!(err.code, ErrorCode::Overloaded);
+        assert_eq!(err.retry_after, Duration::from_micros(500));
+        assert_eq!(err.message, "try later");
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut reader = FrameReader::new(64);
+        let bytes = 1_000_000u32.to_le_bytes();
+        let mut src = &bytes[..];
+        match reader.read_frame(&mut src) {
+            Err(FrameError::Wire(WireError::Oversized { declared, max })) => {
+                assert_eq!((declared, max), (1_000_000, 64));
+            }
+            other => panic!("expected oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_reads_accumulate() {
+        let req = LookupRequest {
+            request_id: 1,
+            model: "m".into(),
+            ids: vec![5],
+            dtype_hint: None,
+            deadline: None,
+        };
+        let bytes = frame_of(&req);
+
+        /// Yields one byte per read and times out between bytes, like a
+        /// slow socket under a read timeout.
+        struct Trickle<'a> {
+            data: &'a [u8],
+            at: usize,
+            give: bool,
+        }
+        impl Read for Trickle<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if !self.give || self.at == self.data.len() {
+                    self.give = true;
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                self.give = false;
+                buf[0] = self.data[self.at];
+                self.at += 1;
+                Ok(1)
+            }
+        }
+
+        let mut src = Trickle {
+            data: &bytes,
+            at: 0,
+            give: true,
+        };
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME_LEN);
+        let mut timeouts = 0;
+        loop {
+            match reader.read_frame(&mut src).unwrap() {
+                ReadEvent::Frame => break,
+                ReadEvent::TimedOut => timeouts += 1,
+                ReadEvent::Eof => panic!("trickle never closes"),
+            }
+        }
+        assert!(timeouts > 0, "partial progress must survive timeouts");
+        assert_eq!(
+            decode_payload(reader.payload()).unwrap(),
+            Message::Lookup(req)
+        );
+    }
+
+    #[test]
+    fn strict_decode_rejects_malformations() {
+        let req = LookupRequest {
+            request_id: 3,
+            model: "m".into(),
+            ids: vec![1, 2],
+            dtype_hint: None,
+            deadline: None,
+        };
+        let mut frame = frame_of(&req);
+        let payload = frame.split_off(4);
+
+        // Unknown version.
+        let mut bad = payload.clone();
+        bad[0] = 99;
+        assert_eq!(decode_payload(&bad), Err(WireError::UnknownVersion(99)));
+        // Unknown kind.
+        let mut bad = payload.clone();
+        bad[1] = 99;
+        assert_eq!(decode_payload(&bad), Err(WireError::UnknownKind(99)));
+        // Truncation at every split point.
+        for cut in 0..payload.len() {
+            assert!(
+                matches!(
+                    decode_payload(&payload[..cut]),
+                    Err(WireError::Truncated(_) | WireError::UnknownVersion(_))
+                ),
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage.
+        let mut bad = payload.clone();
+        bad.push(0);
+        assert_eq!(decode_payload(&bad), Err(WireError::TrailingBytes(1)));
+        // Bad dtype code.
+        let mut bad = payload.clone();
+        bad[HEADER_LEN] = 200;
+        assert_eq!(decode_payload(&bad), Err(WireError::BadDtype(200)));
+    }
+
+    #[test]
+    fn zero_deadline_means_none() {
+        let req = LookupRequest {
+            request_id: 1,
+            model: "m".into(),
+            ids: vec![0],
+            dtype_hint: None,
+            deadline: None,
+        };
+        let frame = frame_of(&req);
+        let Message::Lookup(decoded) = decode_payload(&frame[4..]).unwrap() else {
+            panic!("expected lookup");
+        };
+        assert_eq!(decoded.deadline, None);
+    }
+}

@@ -96,13 +96,25 @@ impl Admission {
     /// caller asked to track the issue instant (full telemetry's
     /// queue-wait timing); otherwise both fields stay `None` and the
     /// default hot path pays no clock read.
-    fn stamp(policy: AdmissionPolicy, track_issue: bool) -> Self {
+    ///
+    /// `override_deadline` is the per-request deadline: under
+    /// [`AdmissionPolicy::Shed`] the tightest of the policy deadline
+    /// and the override wins; under [`AdmissionPolicy::Block`] the
+    /// override is ignored — a blocking router never expires requests,
+    /// so `expired` stays 0 regardless of per-request hints.
+    fn stamp_with(
+        policy: AdmissionPolicy,
+        track_issue: bool,
+        override_deadline: Option<std::time::Duration>,
+    ) -> Self {
         let deadline = match policy {
             AdmissionPolicy::Shed {
-                request_deadline: Some(deadline),
-                ..
-            } => Some(deadline),
-            _ => None,
+                request_deadline, ..
+            } => match (request_deadline, override_deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            AdmissionPolicy::Block => None,
         };
         if deadline.is_none() && !track_issue {
             return Admission {
@@ -979,6 +991,22 @@ impl RouterHandle {
     /// request whose `request_deadline` passes while queued is answered
     /// with [`ServeError::DeadlineExceeded`] instead of a row.
     pub fn get(&self, id: usize) -> Result<Vec<f32>> {
+        self.get_with_deadline(id, None)
+    }
+
+    /// [`get`](Self::get) with a per-request deadline override.
+    ///
+    /// Under [`AdmissionPolicy::Shed`] the effective deadline is the
+    /// tightest of the policy's `request_deadline` and `deadline`;
+    /// under [`AdmissionPolicy::Block`] the override is ignored, so a
+    /// blocking router still never expires requests. Remote callers
+    /// (the `memcom-net` tier) use this to map wire-level deadlines
+    /// onto admission control without reconfiguring the router.
+    pub fn get_with_deadline(
+        &self,
+        id: usize,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<Vec<f32>> {
         let store = self.store()?;
         store.check_id(id)?;
         self.model.counters.issued.fetch_add(1, Ordering::Relaxed);
@@ -989,9 +1017,10 @@ impl RouterHandle {
             store,
             counters: Arc::clone(&self.model.counters),
             slot: Arc::clone(&slot),
-            admission: Admission::stamp(
+            admission: Admission::stamp_with(
                 self.inner.config.admission,
                 self.inner.telemetry.stages_on(),
+                deadline,
             ),
             span: self.inner.telemetry.sample(),
         });
@@ -1023,6 +1052,17 @@ impl RouterHandle {
     ///
     /// Same conditions as [`get`](Self::get); the first failure wins.
     pub fn get_many(&self, ids: &[usize]) -> Result<Vec<Vec<f32>>> {
+        self.get_many_with_deadline(ids, None)
+    }
+
+    /// [`get_many`](Self::get_many) with a per-request deadline
+    /// override; see [`get_with_deadline`](Self::get_with_deadline)
+    /// for the override semantics.
+    pub fn get_many_with_deadline(
+        &self,
+        ids: &[usize],
+        deadline: Option<std::time::Duration>,
+    ) -> Result<Vec<Vec<f32>>> {
         let store = self.store()?;
         for &id in ids {
             store.check_id(id)?;
@@ -1040,9 +1080,10 @@ impl RouterHandle {
             shard_ids[s].push(id);
             shard_pos[s].push(pos);
         }
-        let admission = Admission::stamp(
+        let admission = Admission::stamp_with(
             self.inner.config.admission,
             self.inner.telemetry.stages_on(),
+            deadline,
         );
         let mut pending: Vec<(usize, Arc<SlabSlot>)> = Vec::new();
         let mut first_err = None;
@@ -1105,6 +1146,19 @@ impl RouterHandle {
     /// Same conditions as [`get`](Self::get); on error the batch's
     /// contents are unspecified but the buffer stays reusable.
     pub fn get_batch_into(&self, ids: &[usize], batch: &mut EmbedBatch) -> Result<()> {
+        self.get_batch_into_with_deadline(ids, batch, None)
+    }
+
+    /// [`get_batch_into`](Self::get_batch_into) with a per-request
+    /// deadline override; see
+    /// [`get_with_deadline`](Self::get_with_deadline) for the override
+    /// semantics.
+    pub fn get_batch_into_with_deadline(
+        &self,
+        ids: &[usize],
+        batch: &mut EmbedBatch,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<()> {
         let store = self.store()?;
         for &id in ids {
             store.check_id(id)?;
@@ -1119,9 +1173,10 @@ impl RouterHandle {
         for (pos, &id) in ids.iter().enumerate() {
             batch.shard_pos[store.shard_of(id)].push(pos);
         }
-        let admission = Admission::stamp(
+        let admission = Admission::stamp_with(
             self.inner.config.admission,
             self.inner.telemetry.stages_on(),
+            deadline,
         );
         let mut first_err = None;
         let mut failed_at = None;
@@ -1519,7 +1574,7 @@ mod tests {
                 store: Arc::clone(&store),
                 counters: Arc::new(ModelCounters::default()),
                 slot: Arc::clone(&slot),
-                admission: Admission::stamp(AdmissionPolicy::Block, false),
+                admission: Admission::stamp_with(AdmissionPolicy::Block, false, None),
                 span: None,
             }))
             .unwrap();

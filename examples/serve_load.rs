@@ -1,6 +1,6 @@
 //! Serve compressed embeddings under concurrent Zipf traffic.
 //!
-//! Seven acts:
+//! Eight acts:
 //!
 //! 1. **Method comparison** — the sharded, micro-batching server on
 //!    MEmCom vs the uncompressed baseline under closed-loop power-law
@@ -29,6 +29,13 @@
 //!    printed next to the client-side numbers it must reconcile with,
 //!    the slowest sampled traces, and the snapshot dumped to
 //!    `ACT7_telemetry.json` for the CI artifact.
+//! 8. **Networked serving** — the same tiers behind a wire: a
+//!    [`NetServer`] speaking the length-framed binary protocol over
+//!    loopback, first at the act-1 closed-loop workload next to the
+//!    in-process baseline (what a socket hop costs), then at the act-5
+//!    open-loop overload point where every client tally must reconcile
+//!    exactly with the server's [`ServeStats`] and shed responses carry
+//!    `retry_after` hints a closed-loop run demonstrably sleeps on.
 //!
 //! Run with: `cargo run --release --example serve_load`
 //! (`-- --quick` shrinks everything for CI smoke runs.)
@@ -37,6 +44,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use memcom::core::MethodSpec;
+use memcom::net::{run_net_load, NetServer, NetServerConfig};
 use memcom::serve::{
     fmt_nanos, run_load, run_mixed_load, AdmissionPolicy, Dtype, EmbedServer, LatencyHistogram,
     LoadGenConfig, LoadMode, ModelMix, Router, ServeConfig, ShardedStore, StoreDelta,
@@ -602,6 +610,148 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          the same data serves as Prometheus text exposition via to_prometheus().",
         metrics.level,
         metrics.uptime.as_secs_f64()
+    );
+
+    // --- Networked serving: the same tiers behind a wire --------------
+    // One NetServer feeds the shard queues from many TCP connections;
+    // each connection is served synchronously, so over the wire the
+    // router's concurrency equals the connection count (exactly like
+    // the synchronous in-process clients it is compared against).
+    println!(
+        "\nNetworked serving: length-framed binary protocol over loopback,\n\
+         thread-per-connection server feeding the same shard queues.\n\n\
+         Act-1 closed-loop workload, in-process vs one socket hop:\n"
+    );
+    let baseline_server = EmbedServer::start(overload_table.as_ref(), serve_config(4))?;
+    let baseline = run_load(&baseline_server.handle(), &load)?;
+    baseline_server.shutdown();
+
+    let net_router = Router::start(serve_config(4))?;
+    net_router.register("default", overload_table.as_ref())?;
+    let net_server = NetServer::start(net_router, NetServerConfig::default())?;
+    let wire = run_net_load(net_server.local_addr(), "default", vocab, &load, None)?;
+    net_server.shutdown();
+
+    println!(
+        "{:<12} {:>8} {:>11} {:>9} {:>9} {:>9}",
+        "path", "req/s", "lookups/s", "p50", "p95", "p99"
+    );
+    println!(
+        "{:<12} {:>8.0} {:>11.0} {:>9} {:>9} {:>9}",
+        "in-process",
+        baseline.qps(),
+        baseline.lookups_per_sec(),
+        fmt_nanos(baseline.histogram.p50()),
+        fmt_nanos(baseline.histogram.p95()),
+        fmt_nanos(baseline.histogram.p99()),
+    );
+    println!(
+        "{:<12} {:>8.0} {:>11.0} {:>9} {:>9} {:>9}",
+        "loopback",
+        wire.qps(),
+        wire.qps() * wire.ids_per_request as f64,
+        fmt_nanos(wire.histogram.p50()),
+        fmt_nanos(wire.histogram.p95()),
+        fmt_nanos(wire.histogram.p99()),
+    );
+
+    // The act-5 overload point across the wire: open-loop 2x capacity
+    // against the calibrated 1-shard shed server, then the same
+    // saturating traffic closed-loop, where the client honors the
+    // server's retry_after hints between requests.
+    let shed_serve = || ServeConfig {
+        n_shards: 1,
+        max_batch: overload_batch,
+        max_wait: Duration::from_millis(1),
+        queue_depth: overload_depth,
+        store_latency,
+        admission: AdmissionPolicy::Shed {
+            enqueue_timeout,
+            request_deadline: Some(deadline),
+        },
+        ..ServeConfig::default()
+    };
+    println!(
+        "\nOverload across the wire ({capacity_qps:.0} rows/s capacity, {overload_clients} \
+         connections, wire deadline {deadline:?}):\n"
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>7} {:>10} {:>10} {:>12} {:>12}",
+        "mode", "offered/s", "goodput/s", "shed%", "p50", "p99", "hint/shed", "slept/shed"
+    );
+    let mut open_reconciled = None;
+    for (label, mode) in [
+        (
+            "open",
+            LoadMode::Open {
+                target_qps: 2.0 * capacity_qps,
+            },
+        ),
+        ("closed", LoadMode::Closed),
+    ] {
+        let router = Router::start(shed_serve())?;
+        router.register("default", overload_table.as_ref())?;
+        let server = NetServer::start(router, NetServerConfig::default())?;
+        let report = run_net_load(
+            server.local_addr(),
+            "default",
+            vocab,
+            &LoadGenConfig {
+                clients: overload_clients,
+                requests_per_client: overload_rpc,
+                ids_per_request: 1,
+                zipf_exponent: 1.1,
+                mode,
+                seed: 42,
+            },
+            Some(deadline),
+        )?;
+        let (per_model, _net_metrics) = server.shutdown();
+        let stats = &per_model[0].1;
+        // The reconciliation contract: every wire outcome came from a
+        // typed response frame, so client tallies equal ServeStats
+        // exactly (single-id requests make rows == requests).
+        assert_eq!(
+            stats.requests, report.requests,
+            "served tallies must reconcile"
+        );
+        assert_eq!(stats.shed, report.shed, "shed tallies must reconcile");
+        assert_eq!(
+            stats.expired, report.expired,
+            "expired tallies must reconcile"
+        );
+        assert_eq!(
+            stats.issued,
+            report.offered(),
+            "issued tallies must reconcile"
+        );
+        if label == "open" {
+            open_reconciled = Some((report.requests, report.shed, report.expired));
+        }
+        let slept_per_shed = report
+            .client
+            .backoff_slept_nanos
+            .checked_div(report.shed)
+            .map_or(Duration::ZERO, Duration::from_nanos);
+        println!(
+            "{:<8} {:>10.0} {:>10.0} {:>6.1}% {:>10} {:>10} {:>12} {:>12}",
+            label,
+            report.offered_qps(),
+            report.goodput(),
+            100.0 * report.shed_rate(),
+            fmt_nanos(report.histogram.p50()),
+            fmt_nanos(report.histogram.p99()),
+            fmt_nanos(report.mean_backoff().as_nanos() as u64),
+            fmt_nanos(slept_per_shed.as_nanos() as u64),
+        );
+    }
+    let (served, shed, expired) = open_reconciled.expect("open-loop run executed");
+    println!(
+        "\nOpen-loop client tallies reconciled exactly with the server's ServeStats:\n\
+         {served} served + {shed} shed + {expired} expired, every outcome a typed frame.\n\
+         Shed frames carry the server's retry_after hint (hint/shed); the closed-loop\n\
+         run honors it by sleeping before its next send (slept/shed), turning overload\n\
+         into paced retries instead of a thundering herd."
     );
 
     println!(

@@ -15,6 +15,9 @@
 //! * [`dp`] — DP-SGD and the Rényi-DP accountant.
 //! * [`serve`] — sharded, micro-batching embedding-serving engine with
 //!   hot-row caching and Zipf load generation.
+//! * [`net`] — network-attached serving: length-framed wire protocol,
+//!   multi-client server over the serve tier, pipelined client with
+//!   deadline and backoff support.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@ pub use memcom_data as data;
 pub use memcom_dp as dp;
 pub use memcom_metrics as metrics;
 pub use memcom_models as models;
+pub use memcom_net as net;
 pub use memcom_nn as nn;
 pub use memcom_ondevice as ondevice;
 pub use memcom_serve as serve;
