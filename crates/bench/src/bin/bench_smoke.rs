@@ -80,6 +80,9 @@ const DIRECTIONS: &[(&str, Direction)] = &[
     ("p50_ns", Direction::LowerIsBetter),
     ("p99_ns", Direction::LowerIsBetter),
     ("int8_miss_ns_per_row", Direction::LowerIsBetter),
+    ("f16_miss_ns_per_row", Direction::LowerIsBetter),
+    ("int4_miss_ns_per_row", Direction::LowerIsBetter),
+    ("memcom_scalar_int8_bytes", Direction::LowerIsBetter),
     ("allocs_per_call", Direction::LowerIsBetter),
     ("delta_apply_us", Direction::LowerIsBetter),
     ("delta_speedup_vs_rebuild", Direction::HigherIsBetter),
@@ -227,22 +230,45 @@ fn measure(quick: bool) -> Vec<(&'static str, f64)> {
     metrics.push(("p99_ns", report.histogram.p99() as f64));
     drop(server);
 
-    // --- serve_dtype subset: the int8 cache-off miss path ------------
+    // --- serve_dtype subset: quantized cache-off miss paths ----------
+    // One store per gated dtype; each drives the simd decode kernels
+    // (`Kernel::{Avx2,Sse2,Scalar}` by runtime detection), so a kernel
+    // regression shows up here per dtype.
     let mut rng = StdRng::seed_from_u64(9);
     let table = FullEmbedding::new(vocab / 2, 32, &mut rng).expect("table");
-    let int8 = ShardedStore::build_quantized(&table, 1, 0, 16 * 1024, Dtype::Int8).expect("int8");
-    let ids: Vec<usize> = (0..256).collect();
-    let mut slab = vec![0f32; ids.len() * 32];
-    for _ in 0..3 {
-        int8.lookup_batch(0, &ids, &mut slab).expect("warm");
-    }
     let iters = if quick { 200 } else { 1_000 };
-    let t0 = Instant::now();
-    for _ in 0..iters {
-        int8.lookup_batch(0, &ids, &mut slab).expect("measured");
+    for (key, dtype) in [
+        ("int8_miss_ns_per_row", Dtype::Int8),
+        ("f16_miss_ns_per_row", Dtype::F16),
+        ("int4_miss_ns_per_row", Dtype::Int4),
+    ] {
+        let store = ShardedStore::build_quantized(&table, 1, 0, 16 * 1024, dtype).expect("store");
+        let ids: Vec<usize> = (0..256).collect();
+        let mut slab = vec![0f32; ids.len() * 32];
+        for _ in 0..3 {
+            store.lookup_batch(0, &ids, &mut slab).expect("warm");
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            store.lookup_batch(0, &ids, &mut slab).expect("measured");
+        }
+        let per_row = t0.elapsed().as_nanos() as f64 / (iters as f64 * ids.len() as f64);
+        metrics.push((key, per_row));
     }
-    let per_row = t0.elapsed().as_nanos() as f64 / (iters as f64 * ids.len() as f64);
-    metrics.push(("int8_miss_ns_per_row", per_row));
+
+    // --- quantized MemCom scalar-table footprint ---------------------
+    // Byte count, not a timing: the int8 scalar blocks must stay ~3.8×
+    // smaller than one f32 per entity, and any layout change that grows
+    // them shows up as a gate failure.
+    let mut rng = StdRng::seed_from_u64(10);
+    let emb = MemCom::new(MemComConfig::new(vocab, 32, vocab / 10), &mut rng).expect("memcom");
+    let quant_store =
+        ShardedStore::build_quantized(&emb, 4, 0, 16 * 1024, Dtype::Int8).expect("memcom int8");
+    metrics.push((
+        "memcom_scalar_int8_bytes",
+        quant_store.memcom_scalar_bytes() as f64,
+    ));
+    drop(quant_store);
 
     // --- alloc_count subset: steady-state allocations per batch call -
     let mut rng = StdRng::seed_from_u64(11);

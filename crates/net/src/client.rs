@@ -333,7 +333,9 @@ impl<S: ByteStream> NetClient<S> {
     /// # Errors
     ///
     /// [`NetError::ClientClosed`] after close, [`NetError::Io`] if the
-    /// write fails.
+    /// write fails, [`NetError::Protocol`] if the request cannot be
+    /// encoded (model name over [`crate::wire::MAX_MODEL_LEN`], id
+    /// batch over the frame cap).
     pub fn send(&self, model: &str, ids: &[u64], deadline: Option<Duration>) -> Result<Pending> {
         if self.inner.closed.load(Ordering::Acquire) {
             return Err(NetError::ClientClosed);
@@ -371,7 +373,15 @@ impl<S: ByteStream> NetClient<S> {
         };
         let mut w = self.inner.writer.lock();
         w.buf.clear();
-        encode_lookup(&req, &mut w.buf);
+        if let Err(e) = encode_lookup(&req, &mut w.buf) {
+            // Unencodable request (model name or id batch over the
+            // frame cap): surface it typed instead of shipping a frame
+            // with silently-wrapped counts, and forget the reply slot —
+            // nothing was sent, so nothing will answer it.
+            drop(w);
+            self.inner.pending.lock().remove(&request_id);
+            return Err(NetError::Protocol(e));
+        }
         let WriterState { stream, buf } = &mut *w;
         match stream.write_all(buf).and_then(|_| stream.flush()) {
             Ok(()) => {

@@ -35,7 +35,7 @@ use crate::error::{error_response_for, ErrorCode, NetError};
 use crate::telemetry::{ConnTelemetry, NetMetricsSnapshot, NetTelemetry};
 use crate::transport::{ByteStream, EventLoop, TcpTransport, ThreadPerConnection, Transport};
 use crate::wire::{
-    decode_payload, encode_error, encode_rows, FrameError, FrameReader, Message, ReadEvent,
+    decode_payload, encode_error_lossy, encode_rows, FrameError, FrameReader, Message, ReadEvent,
     WireError, CONNECTION_REQUEST_ID, DEFAULT_MAX_FRAME_LEN,
 };
 
@@ -437,12 +437,30 @@ fn serve_lookup<T: Transport>(
         Ok(()) => {
             ctx.write_buf.clear();
             let started = ctx.stages_on.then(Instant::now);
-            encode_rows(
+            let encoded = encode_rows(
                 req.request_id,
                 ctx.batch.dim() as u32,
                 ctx.batch.data(),
                 &mut ctx.write_buf,
             );
+            if let Err(wire_err) = encoded {
+                // The slab cannot travel (e.g. a batch over the frame
+                // cap): the client still deserves an answer on this
+                // request id, so downgrade to a typed error frame.
+                ctx.write_buf.clear();
+                encode_error_lossy(
+                    req.request_id,
+                    ErrorCode::Internal,
+                    Duration::ZERO,
+                    &wire_err.to_string(),
+                    &mut ctx.write_buf,
+                );
+                if let Some(started) = started {
+                    conn.record_stage(|s| &mut s.response_encode, started);
+                }
+                conn.errors_sent.fetch_add(1, Ordering::Relaxed);
+                return send_buffered(stream, conn, ctx);
+            }
             if let Some(started) = started {
                 conn.record_stage(|s| &mut s.response_encode, started);
             }
@@ -453,7 +471,7 @@ fn serve_lookup<T: Transport>(
             let resp = error_response_for(req.request_id, &err);
             ctx.write_buf.clear();
             let started = ctx.stages_on.then(Instant::now);
-            encode_error(
+            encode_error_lossy(
                 resp.request_id,
                 resp.code,
                 resp.retry_after,
@@ -479,7 +497,7 @@ fn send_error<S: ByteStream>(
 ) -> bool {
     ctx.write_buf.clear();
     let started = ctx.stages_on.then(Instant::now);
-    encode_error(
+    encode_error_lossy(
         request_id,
         code,
         Duration::ZERO,

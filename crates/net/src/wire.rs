@@ -99,6 +99,26 @@ pub enum WireError {
         /// The configured cap.
         max: u32,
     },
+    /// The message being **encoded** would not fit one frame — its
+    /// payload exceeds [`DEFAULT_MAX_FRAME_LEN`] or a length field's
+    /// integer width. Reported before any bytes are written, where the
+    /// old encoders silently truncated counts with `as u32`/`as u16`
+    /// and produced a self-consistent frame carrying the wrong data.
+    TooLarge {
+        /// The payload size the message would need.
+        payload: u64,
+        /// The frame cap it exceeds.
+        max: u32,
+    },
+    /// A row slab whose geometry is inconsistent: `dim == 0` with
+    /// non-empty data, or a data length that is not a multiple of
+    /// `dim`. The old encoder hid both as a "0 rows" frame.
+    BadSlab {
+        /// The flat data length.
+        len: usize,
+        /// The claimed row dimensionality.
+        dim: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -119,6 +139,15 @@ impl std::fmt::Display for WireError {
                     f,
                     "length prefix {declared} exceeds the {max}-byte frame cap"
                 )
+            }
+            WireError::TooLarge { payload, max } => {
+                write!(
+                    f,
+                    "message needs a {payload}-byte payload, over the {max}-byte frame cap"
+                )
+            }
+            WireError::BadSlab { len, dim } => {
+                write!(f, "row slab of {len} values is not rows of dim {dim}")
             }
         }
     }
@@ -229,11 +258,30 @@ fn end_frame(out: &mut [u8], len_at: usize) {
 }
 
 /// Encodes a lookup request as one complete frame appended to `out`.
-pub fn encode_lookup(req: &LookupRequest, out: &mut Vec<u8>) {
+///
+/// # Errors
+///
+/// [`WireError::ModelTooLong`] when the model name exceeds
+/// [`MAX_MODEL_LEN`] and [`WireError::TooLarge`] when the id list would
+/// not fit one [`DEFAULT_MAX_FRAME_LEN`] frame. Validation happens
+/// **before** any byte is written — on error `out` is untouched, where
+/// the old signature silently wrapped the id count through `as u32` and
+/// shipped a frame claiming the wrong ids.
+pub fn encode_lookup(req: &LookupRequest, out: &mut Vec<u8>) -> Result<(), WireError> {
+    let model = req.model.as_bytes();
+    if model.len() > MAX_MODEL_LEN {
+        return Err(WireError::ModelTooLong(model.len()));
+    }
+    let payload = HEADER_LEN as u64 + 1 + 8 + 2 + model.len() as u64 + 4 + 8 * req.ids.len() as u64;
+    if payload > DEFAULT_MAX_FRAME_LEN as u64 {
+        return Err(WireError::TooLarge {
+            payload,
+            max: DEFAULT_MAX_FRAME_LEN,
+        });
+    }
     let len_at = begin_frame(out, KIND_LOOKUP, req.request_id);
     out.push(dtype_code(req.dtype_hint));
     out.extend_from_slice(&req.deadline.map_or(0, duration_to_nanos).to_le_bytes());
-    let model = req.model.as_bytes();
     out.extend_from_slice(&(model.len() as u16).to_le_bytes());
     out.extend_from_slice(model);
     out.extend_from_slice(&(req.ids.len() as u32).to_le_bytes());
@@ -241,38 +289,104 @@ pub fn encode_lookup(req: &LookupRequest, out: &mut Vec<u8>) {
         out.extend_from_slice(&id.to_le_bytes());
     }
     end_frame(out, len_at);
+    Ok(())
 }
 
-/// Encodes a row-slab response (`data.len()` must be a multiple of
-/// `dim`) as one complete frame appended to `out`.
-pub fn encode_rows(request_id: u64, dim: u32, data: &[f32], out: &mut Vec<u8>) {
-    debug_assert!(dim == 0 || data.len().is_multiple_of(dim as usize));
+/// Encodes a row-slab response as one complete frame appended to `out`.
+///
+/// # Errors
+///
+/// [`WireError::BadSlab`] when `data.len()` is not `rows × dim`
+/// (including `dim == 0` with non-empty data, which the old encoder
+/// shipped as a lying "0 rows" frame) and [`WireError::TooLarge`] when
+/// the slab would not fit one [`DEFAULT_MAX_FRAME_LEN`] frame. On error
+/// `out` is untouched.
+pub fn encode_rows(
+    request_id: u64,
+    dim: u32,
+    data: &[f32],
+    out: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    if (dim == 0 && !data.is_empty()) || (dim > 0 && !data.len().is_multiple_of(dim as usize)) {
+        return Err(WireError::BadSlab {
+            len: data.len(),
+            dim,
+        });
+    }
+    let rows = if dim == 0 {
+        0
+    } else {
+        data.len() / dim as usize
+    };
+    let payload = HEADER_LEN as u64 + 4 + 4 + 4 * data.len() as u64;
+    if payload > DEFAULT_MAX_FRAME_LEN as u64 || rows > u32::MAX as usize {
+        return Err(WireError::TooLarge {
+            payload,
+            max: DEFAULT_MAX_FRAME_LEN,
+        });
+    }
     let len_at = begin_frame(out, KIND_ROWS, request_id);
-    let rows = (data.len() as u32).checked_div(dim).unwrap_or(0);
-    out.extend_from_slice(&rows.to_le_bytes());
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
     out.extend_from_slice(&dim.to_le_bytes());
     for &v in data {
         out.extend_from_slice(&v.to_le_bytes());
     }
     end_frame(out, len_at);
+    Ok(())
 }
 
 /// Encodes a typed-error response as one complete frame appended to
 /// `out`.
+///
+/// # Errors
+///
+/// [`WireError::TooLarge`] when the message would not fit one
+/// [`DEFAULT_MAX_FRAME_LEN`] frame; `out` is untouched on error. Server
+/// reply paths that must always produce *some* frame use
+/// [`encode_error_lossy`] instead.
 pub fn encode_error(
     request_id: u64,
     code: ErrorCode,
     retry_after: Duration,
     message: &str,
     out: &mut Vec<u8>,
-) {
+) -> Result<(), WireError> {
+    let msg = message.as_bytes();
+    let payload = HEADER_LEN as u64 + 2 + 8 + 4 + msg.len() as u64;
+    if payload > DEFAULT_MAX_FRAME_LEN as u64 {
+        return Err(WireError::TooLarge {
+            payload,
+            max: DEFAULT_MAX_FRAME_LEN,
+        });
+    }
     let len_at = begin_frame(out, KIND_ERROR, request_id);
     out.extend_from_slice(&code.as_u16().to_le_bytes());
     out.extend_from_slice(&duration_to_nanos(retry_after).to_le_bytes());
-    let msg = message.as_bytes();
     out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
     out.extend_from_slice(msg);
     end_frame(out, len_at);
+    Ok(())
+}
+
+/// Longest error message [`encode_error_lossy`] can carry.
+const MAX_ERROR_MSG_LEN: usize = DEFAULT_MAX_FRAME_LEN as usize - HEADER_LEN - 2 - 8 - 4;
+
+/// Infallible [`encode_error`] for server reply paths: an error frame
+/// must always go out, so an oversized message is truncated (at a UTF-8
+/// character boundary) rather than refused.
+pub fn encode_error_lossy(
+    request_id: u64,
+    code: ErrorCode,
+    retry_after: Duration,
+    message: &str,
+    out: &mut Vec<u8>,
+) {
+    let mut end = message.len().min(MAX_ERROR_MSG_LEN);
+    while end > 0 && !message.is_char_boundary(end) {
+        end -= 1;
+    }
+    encode_error(request_id, code, retry_after, &message[..end], out)
+        .expect("truncated message fits the frame cap");
 }
 
 /// A strict little-endian cursor over one payload.
@@ -533,7 +647,7 @@ mod tests {
 
     fn frame_of(req: &LookupRequest) -> Vec<u8> {
         let mut out = Vec::new();
-        encode_lookup(req, &mut out);
+        encode_lookup(req, &mut out).expect("encodes");
         out
     }
 
@@ -560,14 +674,15 @@ mod tests {
     #[test]
     fn rows_and_error_roundtrip() {
         let mut out = Vec::new();
-        encode_rows(9, 2, &[1.0, 2.0, 3.0, 4.0], &mut out);
+        encode_rows(9, 2, &[1.0, 2.0, 3.0, 4.0], &mut out).expect("encodes");
         encode_error(
             10,
             ErrorCode::Overloaded,
             Duration::from_micros(500),
             "try later",
             &mut out,
-        );
+        )
+        .expect("encodes");
         let mut reader = FrameReader::new(DEFAULT_MAX_FRAME_LEN);
         let mut src = &out[..];
         assert_eq!(reader.read_frame(&mut src).unwrap(), ReadEvent::Frame);
@@ -688,6 +803,90 @@ mod tests {
         let mut bad = payload.clone();
         bad[HEADER_LEN] = 200;
         assert_eq!(decode_payload(&bad), Err(WireError::BadDtype(200)));
+    }
+
+    #[test]
+    fn encode_lookup_refuses_untransmittable_requests() {
+        let mut out = vec![0xAAu8; 3];
+        // A model name past MAX_MODEL_LEN used to have its length
+        // silently wrapped through `as u16`.
+        let req = LookupRequest {
+            request_id: 1,
+            model: "m".repeat(70_000),
+            ids: vec![1],
+            dtype_hint: None,
+            deadline: None,
+        };
+        assert_eq!(
+            encode_lookup(&req, &mut out),
+            Err(WireError::ModelTooLong(70_000))
+        );
+        // An id batch past the frame cap used to ship with a wrapped
+        // count.
+        let req = LookupRequest {
+            request_id: 1,
+            model: "m".into(),
+            ids: vec![0; 2_000_000], // 16 MB of ids > 8 MiB cap
+            dtype_hint: None,
+            deadline: None,
+        };
+        assert!(matches!(
+            encode_lookup(&req, &mut out),
+            Err(WireError::TooLarge { .. })
+        ));
+        // On error the output buffer is untouched — no half frame.
+        assert_eq!(out, vec![0xAA; 3]);
+    }
+
+    #[test]
+    fn encode_rows_refuses_inconsistent_slabs() {
+        let mut out = Vec::new();
+        // dim 0 with data used to encode as a lying "0 rows" frame.
+        assert_eq!(
+            encode_rows(1, 0, &[1.0, 2.0], &mut out),
+            Err(WireError::BadSlab { len: 2, dim: 0 })
+        );
+        // A length that is not rows × dim.
+        assert_eq!(
+            encode_rows(1, 3, &[1.0, 2.0], &mut out),
+            Err(WireError::BadSlab { len: 2, dim: 3 })
+        );
+        assert!(out.is_empty(), "no bytes written on error");
+        // dim 0 with no data is a legitimate empty slab.
+        encode_rows(1, 0, &[], &mut out).expect("empty slab encodes");
+        let Message::Rows(rows) = decode_payload(&out[4..]).unwrap() else {
+            panic!("expected rows");
+        };
+        assert_eq!((rows.dim, rows.data.len()), (0, 0));
+    }
+
+    #[test]
+    fn encode_error_lossy_truncates_at_char_boundaries() {
+        // A message past the frame cap is refused by the strict encoder…
+        let huge = "é".repeat(DEFAULT_MAX_FRAME_LEN as usize); // 2 bytes/char
+        let mut out = Vec::new();
+        assert!(matches!(
+            encode_error(7, ErrorCode::Internal, Duration::ZERO, &huge, &mut out),
+            Err(WireError::TooLarge { .. })
+        ));
+        assert!(out.is_empty());
+        // …while the lossy encoder always produces a decodable frame,
+        // cut at a UTF-8 boundary (MAX_ERROR_MSG_LEN is odd, so a naive
+        // byte cut would split an 'é').
+        encode_error_lossy(7, ErrorCode::Internal, Duration::ZERO, &huge, &mut out);
+        let Message::Error(err) = decode_payload(&out[4..]).unwrap() else {
+            panic!("expected error");
+        };
+        assert_eq!(err.request_id, 7);
+        assert!(err.message.len() <= MAX_ERROR_MSG_LEN);
+        assert!(err.message.chars().all(|c| c == 'é'), "no mangled tail");
+        // Small messages pass through verbatim.
+        let mut out = Vec::new();
+        encode_error_lossy(8, ErrorCode::Overloaded, Duration::ZERO, "shed", &mut out);
+        let Message::Error(err) = decode_payload(&out[4..]).unwrap() else {
+            panic!("expected error");
+        };
+        assert_eq!(err.message, "shed");
     }
 
     #[test]

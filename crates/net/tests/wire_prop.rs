@@ -45,7 +45,7 @@ proptest! {
             deadline: (deadline_nanos > 0).then(|| Duration::from_nanos(deadline_nanos)),
         };
         let mut frame = Vec::new();
-        encode_lookup(&req, &mut frame);
+        encode_lookup(&req, &mut frame).expect("encodes");
         let mut reader = FrameReader::new(1 << 20);
         let mut cursor: &[u8] = &frame;
         prop_assert!(matches!(reader.read_frame(&mut cursor), Ok(ReadEvent::Frame)));
@@ -68,7 +68,7 @@ proptest! {
     ) {
         let data: Vec<f32> = (0..dim * rows).map(|i| i as f32 * 0.5 - 3.0).collect();
         let mut frame = Vec::new();
-        encode_rows(request_id, dim, &data, &mut frame);
+        encode_rows(request_id, dim, &data, &mut frame).expect("encodes");
         match decode_payload(&frame[4..]) {
             Ok(Message::Rows(r)) => {
                 prop_assert_eq!(r.request_id, request_id);
@@ -82,7 +82,7 @@ proptest! {
         let retry = Duration::from_nanos(retry_nanos);
         let message = String::from_utf8(msg_bytes).unwrap();
         let mut frame = Vec::new();
-        encode_error(request_id, code, retry, &message, &mut frame);
+        encode_error(request_id, code, retry, &message, &mut frame).expect("encodes");
         match decode_payload(&frame[4..]) {
             Ok(Message::Error(e)) => {
                 prop_assert_eq!(e.request_id, request_id);
@@ -109,7 +109,7 @@ proptest! {
             deadline: Some(Duration::from_millis(25)),
         };
         let mut frame = Vec::new();
-        encode_lookup(&req, &mut frame);
+        encode_lookup(&req, &mut frame).expect("encodes");
         let payload = &frame[4..];
         let cut = cut_seed % payload.len();
         prop_assert!(decode_payload(&payload[..cut]).is_err());
@@ -200,7 +200,7 @@ proptest! {
 #[test]
 fn header_len_matches_layout() {
     let mut frame = Vec::new();
-    encode_error(1, ErrorCode::Internal, Duration::ZERO, "", &mut frame);
+    encode_error(1, ErrorCode::Internal, Duration::ZERO, "", &mut frame).expect("encodes");
     // 4-byte length prefix + header + (code u16 + retry u64 + msg len u32).
     assert_eq!(frame.len(), 4 + HEADER_LEN + 2 + 8 + 4);
     let _ = (NetClientConfig::default(), NetServerConfig::default());

@@ -258,15 +258,11 @@ impl InferenceSession {
                         Some(b) => {
                             self.read_row_into(b, id, &mut scalar)?;
                             let w = scalar[0];
-                            for x in slot.iter_mut() {
-                                *x = *x * v + w;
-                            }
+                            crate::simd::scale_add(slot, v, w);
                             work.flops += 2 * e as u64;
                         }
                         None => {
-                            for x in slot.iter_mut() {
-                                *x *= v;
-                            }
+                            crate::simd::scale_mul(slot, v);
                             work.flops += e as u64;
                         }
                     }

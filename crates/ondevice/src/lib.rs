@@ -21,6 +21,9 @@
 //!   Table-3-style milliseconds.
 //! * [`quant`] — post-training linear quantization (FP16/INT8/INT4/INT2)
 //!   for the Figure-4 precision sweep.
+//! * [`simd`] — runtime-dispatched SSE2/AVX2 dequantization kernels
+//!   (bit-identical to the scalar fallback) underneath the decode hot
+//!   path.
 //!
 //! Absolute milliseconds are simulator units calibrated to Table 3's
 //! magnitudes; the reproduced *shape* is what matters — who wins on which
@@ -34,6 +37,7 @@ pub mod format;
 pub mod mmap_sim;
 pub mod pages;
 pub mod quant;
+pub mod simd;
 
 pub use compute::ComputeUnit;
 pub use engine::{InferenceSession, RunStats};
@@ -42,6 +46,7 @@ pub use format::{OnDeviceModel, MAGIC};
 pub use mmap_sim::MmapSim;
 pub use pages::PagedTable;
 pub use quant::{decode_row_into, dequant_error_bound, quantize_row, Dtype, QuantizedTable};
+pub use simd::{active_kernel, Kernel};
 
 /// Convenience alias for results returned throughout this crate.
 pub type Result<T> = std::result::Result<T, OnDeviceError>;

@@ -196,7 +196,8 @@ pub struct QuantizedTable {
     pub cols: usize,
     /// Linear scale (integer dtypes; 1.0 for float dtypes).
     pub scale: f32,
-    /// Largest absolute source value (drives the f16 error bound).
+    /// Largest *finite* absolute source value (drives the f16 error
+    /// bound; non-finite inputs are sanitized out of lossy encodings).
     pub max_abs: f32,
     /// Packed payload (rows are byte-aligned).
     pub data: Vec<u8>,
@@ -221,12 +222,16 @@ impl QuantizedTable {
         let src = t.as_slice();
         let row_bytes = dtype.row_bytes(cols);
         let mut data = vec![0u8; rows * row_bytes];
-        let max_abs = src.iter().fold(0f32, |m, &x| m.max(x.abs()));
+        let (max_abs, any_non_finite) = finite_max_abs(src);
         let scale = linear_scale(max_abs, dtype);
         for r in 0..rows {
             let row = &src[r * cols..(r + 1) * cols];
             let out = &mut data[r * row_bytes..(r + 1) * row_bytes];
-            encode_row(row, dtype, scale, out);
+            if any_non_finite && dtype != Dtype::F32 {
+                encode_row_map(row, dtype, scale, out, |x| sanitize_non_finite(x, max_abs));
+            } else {
+                encode_row(row, dtype, scale, out);
+            }
         }
         Ok(QuantizedTable {
             dtype,
@@ -287,21 +292,63 @@ impl QuantizedTable {
     }
 }
 
-/// The symmetric linear quantization scale for a source whose magnitudes
-/// are bounded by `max_abs`: one step maps `max_abs` onto the dtype's
+/// The symmetric linear quantization scale for a source whose *finite*
+/// magnitudes are bounded by `max_abs` (callers sanitize via
+/// [`finite_max_abs`]): one step maps `max_abs` onto the dtype's
 /// positive integer range. `1.0` for float dtypes, and for an all-zero
 /// source (which encodes and decodes exactly at any scale).
+///
+/// The step is clamped to at least `f32::MIN_POSITIVE`: a subnormal
+/// `max_abs` otherwise lets the division underflow to a zero (or
+/// subnormal) scale, turning `x / scale` in [`quantize_value`] into
+/// inf/NaN and certifying a zero-width error bound for a nonzero row.
+/// With the clamp such rows encode to all-zero codes whose
+/// `scale * 0.5` bound honestly covers them.
 fn linear_scale(max_abs: f32, dtype: Dtype) -> f32 {
     match dtype {
         Dtype::F32 | Dtype::F16 => 1.0,
         Dtype::Int8 | Dtype::Int4 | Dtype::Int2 => {
+            debug_assert!(max_abs.is_finite(), "sanitize max_abs before scaling");
             let qmax = ((1usize << (dtype.bits() - 1)) - 1) as f32;
             if max_abs == 0.0 {
                 1.0
             } else {
-                max_abs / qmax
+                (max_abs / qmax).max(f32::MIN_POSITIVE)
             }
         }
+    }
+}
+
+/// Largest *finite* magnitude in `row`, plus whether any non-finite
+/// value (NaN or ±inf) was present. This is the `max_abs` every scale
+/// and error-bound computation uses: an infinity must widen the scale
+/// to infinity (encoding every finite value to 0 with a lying bound)
+/// exactly never, and NaN must not poison the `f32::max` fold.
+fn finite_max_abs(row: &[f32]) -> (f32, bool) {
+    let mut max_abs = 0f32;
+    let mut any_non_finite = false;
+    for &x in row {
+        if x.is_finite() {
+            max_abs = max_abs.max(x.abs());
+        } else {
+            any_non_finite = true;
+        }
+    }
+    (max_abs, any_non_finite)
+}
+
+/// The value a lossy encoding stores in place of `x`: NaN becomes 0
+/// (it carries no magnitude to preserve), ±inf clamps to the row's
+/// largest finite magnitude with the infinity's sign. Finite values
+/// pass through untouched. The certified row bound then covers the
+/// error relative to this sanitized row.
+fn sanitize_non_finite(x: f32, max_abs: f32) -> f32 {
+    if x.is_finite() {
+        x
+    } else if x.is_nan() {
+        0.0
+    } else {
+        max_abs.copysign(x)
     }
 }
 
@@ -352,7 +399,7 @@ pub fn encode_stored_row(
         out.extend_from_slice(&scale.to_le_bytes());
     }
     out.extend_from_slice(payload_scratch);
-    let max_abs = row.iter().fold(0f32, |acc, &x| acc.max(x.abs()));
+    let (max_abs, _) = finite_max_abs(row);
     dequant_error_bound(dtype, scale, max_abs)
 }
 
@@ -390,6 +437,12 @@ pub fn stored_zero_row(dtype: Dtype, cols: usize) -> Vec<u8> {
 /// [`Dtype::row_bytes`]`(row.len())` long; it is zeroed before the
 /// packed encodings OR into place.
 ///
+/// Non-finite inputs are sanitized before any lossy encoding (NaN → 0,
+/// ±inf → the row's largest finite magnitude, signed): the returned
+/// scale is always finite, and [`dequant_error_bound`] at the row's
+/// finite `max_abs` certifies the error *relative to the sanitized
+/// row*. The F32 dtype stays a verbatim bit-exact passthrough.
+///
 /// # Panics
 ///
 /// Panics on a mis-sized `out` — a caller sizing bug.
@@ -400,9 +453,13 @@ pub fn quantize_row(row: &[f32], dtype: Dtype, out: &mut [u8]) -> f32 {
         "payload buffer must hold row_bytes"
     );
     out.fill(0);
-    let max_abs = row.iter().fold(0f32, |m, &x| m.max(x.abs()));
+    let (max_abs, any_non_finite) = finite_max_abs(row);
     let scale = linear_scale(max_abs, dtype);
-    encode_row(row, dtype, scale, out);
+    if any_non_finite && dtype != Dtype::F32 {
+        encode_row_map(row, dtype, scale, out, |x| sanitize_non_finite(x, max_abs));
+    } else {
+        encode_row(row, dtype, scale, out);
+    }
     scale
 }
 
@@ -411,6 +468,14 @@ pub fn quantize_row(row: &[f32], dtype: Dtype, out: &mut [u8]) -> f32 {
 /// encodings OR into place — [`quantize_row`] is the public entry point
 /// and zeroes the buffer itself).
 pub(crate) fn encode_row(row: &[f32], dtype: Dtype, scale: f32, out: &mut [u8]) {
+    encode_row_map(row, dtype, scale, out, |x| x);
+}
+
+/// [`encode_row`] with a value transform applied ahead of every lossy
+/// encoding — the sanitization hook for non-finite inputs. The F32 arm
+/// deliberately bypasses `map`: exact storage needs no sanitizing, and
+/// F32 stores must stay bit-identical to their source.
+fn encode_row_map(row: &[f32], dtype: Dtype, scale: f32, out: &mut [u8], map: impl Fn(f32) -> f32) {
     match dtype {
         Dtype::F32 => {
             for (i, &x) in row.iter().enumerate() {
@@ -419,17 +484,17 @@ pub(crate) fn encode_row(row: &[f32], dtype: Dtype, scale: f32, out: &mut [u8]) 
         }
         Dtype::F16 => {
             for (i, &x) in row.iter().enumerate() {
-                out[i * 2..(i + 1) * 2].copy_from_slice(&f32_to_f16_bits(x).to_le_bytes());
+                out[i * 2..(i + 1) * 2].copy_from_slice(&f32_to_f16_bits(map(x)).to_le_bytes());
             }
         }
         Dtype::Int8 => {
             for (i, &x) in row.iter().enumerate() {
-                out[i] = quantize_value(x, scale, 8) as u8;
+                out[i] = quantize_value(map(x), scale, 8) as u8;
             }
         }
         Dtype::Int4 => {
             for (i, &x) in row.iter().enumerate() {
-                let q = (quantize_value(x, scale, 4) as u8) & 0x0F;
+                let q = (quantize_value(map(x), scale, 4) as u8) & 0x0F;
                 if i % 2 == 0 {
                     out[i / 2] |= q;
                 } else {
@@ -439,7 +504,7 @@ pub(crate) fn encode_row(row: &[f32], dtype: Dtype, scale: f32, out: &mut [u8]) 
         }
         Dtype::Int2 => {
             for (i, &x) in row.iter().enumerate() {
-                let q = (quantize_value(x, scale, 2) as u8) & 0x03;
+                let q = (quantize_value(map(x), scale, 2) as u8) & 0x03;
                 out[i / 4] |= q << ((i % 4) * 2);
             }
         }
@@ -458,50 +523,28 @@ pub fn decode_row(bytes: &[u8], dtype: Dtype, scale: f32, cols: usize) -> Vec<f3
 /// the zero-allocation primitive every dequantizing hot path shares: the
 /// on-device engine decodes activations in place and the serving store
 /// decodes misses straight into the caller's batch slab.
+///
+/// Dispatches to the runtime-selected [`crate::simd`] kernel; the
+/// scalar fallback produces bit-identical output (see that module's
+/// exactness contract).
+///
+/// # Panics
+///
+/// Panics when `bytes` is shorter than
+/// [`Dtype::row_bytes`]`(out.len())`.
 pub fn decode_row_into(bytes: &[u8], dtype: Dtype, scale: f32, out: &mut [f32]) {
     match dtype {
-        Dtype::F32 => {
-            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
-                *o = f32::from_le_bytes(c.try_into().expect("4-byte chunk"));
-            }
-        }
-        Dtype::F16 => {
-            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
-                *o = f16_bits_to_f32(u16::from_le_bytes(c.try_into().expect("2-byte chunk")));
-            }
-        }
-        Dtype::Int8 => {
-            for (o, &b) in out.iter_mut().zip(bytes.iter()) {
-                *o = (b as i8) as f32 * scale;
-            }
-        }
-        Dtype::Int4 => {
-            for (i, o) in out.iter_mut().enumerate() {
-                let nib = if i % 2 == 0 {
-                    bytes[i / 2] & 0x0F
-                } else {
-                    bytes[i / 2] >> 4
-                };
-                *o = sign_extend(nib, 4) as f32 * scale;
-            }
-        }
-        Dtype::Int2 => {
-            for (i, o) in out.iter_mut().enumerate() {
-                let q = (bytes[i / 4] >> ((i % 4) * 2)) & 0x03;
-                *o = sign_extend(q, 2) as f32 * scale;
-            }
-        }
+        Dtype::F32 => crate::simd::copy_f32(bytes, out),
+        Dtype::F16 => crate::simd::decode_f16(bytes, out),
+        Dtype::Int8 => crate::simd::dequant_i8(bytes, scale, out),
+        Dtype::Int4 => crate::simd::dequant_i4(bytes, scale, out),
+        Dtype::Int2 => crate::simd::dequant_i2(bytes, scale, out),
     }
 }
 
 fn quantize_value(x: f32, scale: f32, bits: usize) -> i8 {
     let qmax = ((1usize << (bits - 1)) - 1) as f32;
     (x / scale).round().clamp(-qmax, qmax) as i8
-}
-
-fn sign_extend(raw: u8, bits: usize) -> i8 {
-    let shift = 8 - bits;
-    ((raw << shift) as i8) >> shift
 }
 
 /// Quantize-then-dequantize a tensor in place — the "simulated
@@ -679,6 +722,67 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_rows_sanitize_with_honest_bound() {
+        // Regression: ±inf used to drive max_abs (and thus the scale) to
+        // infinity, encoding every finite value to 0 while the advertised
+        // bound claimed near-exactness; NaN slid through the f32::max
+        // fold unnoticed.
+        let row = [1.0f32, f32::INFINITY, f32::NEG_INFINITY, f32::NAN, -2.5];
+        for dtype in [Dtype::F16, Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+            let mut payload = vec![0u8; dtype.row_bytes(row.len())];
+            let scale = quantize_row(&row, dtype, &mut payload);
+            assert!(scale.is_finite(), "{dtype:?} scale {scale}");
+            let mut out = vec![f32::NAN; row.len()];
+            decode_row_into(&payload, dtype, scale, &mut out);
+            assert!(
+                out.iter().all(|x| x.is_finite()),
+                "{dtype:?} decoded {out:?}"
+            );
+            let bound = dequant_error_bound(dtype, scale, 2.5) * (1.0 + 1e-5) + 1e-6;
+            // Finite values decode within the certified bound…
+            assert!((out[0] - 1.0).abs() <= bound, "{dtype:?} {out:?}");
+            assert!((out[4] + 2.5).abs() <= bound, "{dtype:?} {out:?}");
+            // …NaN lands at 0, ±inf at the signed finite row max.
+            assert!(out[3].abs() <= bound, "{dtype:?} NaN → {}", out[3]);
+            assert!((out[1] - 2.5).abs() <= bound, "{dtype:?} +inf → {}", out[1]);
+            assert!((out[2] + 2.5).abs() <= bound, "{dtype:?} -inf → {}", out[2]);
+        }
+        // F32 stays a verbatim bit-exact passthrough — no sanitizing.
+        let mut payload = vec![0u8; Dtype::F32.row_bytes(row.len())];
+        quantize_row(&row, Dtype::F32, &mut payload);
+        let mut out = vec![0f32; row.len()];
+        decode_row_into(&payload, Dtype::F32, 1.0, &mut out);
+        assert_eq!(out[1], f32::INFINITY);
+        assert_eq!(out[2], f32::NEG_INFINITY);
+        assert!(out[3].is_nan());
+    }
+
+    #[test]
+    fn subnormal_max_abs_clamps_scale_and_stays_honest() {
+        // Regression: a subnormal max_abs underflowed linear_scale to 0,
+        // making x / scale inf (→ saturated codes) while the certified
+        // bound collapsed to scale · 0.5 = 0 — a lie. The clamp keeps
+        // the scale a normal float whose half-step covers the row.
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        let row = [tiny, -tiny, 0.0];
+        for dtype in [Dtype::Int8, Dtype::Int4, Dtype::Int2] {
+            let mut payload = vec![0u8; dtype.row_bytes(row.len())];
+            let scale = quantize_row(&row, dtype, &mut payload);
+            assert!(
+                scale.is_finite() && scale >= f32::MIN_POSITIVE,
+                "{dtype:?} scale {scale:e}"
+            );
+            let mut out = vec![f32::NAN; row.len()];
+            decode_row_into(&payload, dtype, scale, &mut out);
+            let bound = dequant_error_bound(dtype, scale, tiny);
+            assert!(bound > 0.0, "{dtype:?}");
+            for (a, b) in row.iter().zip(&out) {
+                assert!((a - b).abs() <= bound, "{dtype:?} {a:e} vs {b:e}");
+            }
+        }
+    }
+
+    #[test]
     fn rank1_treated_as_single_row() {
         let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
         let q = QuantizedTable::quantize(&t, Dtype::F32).unwrap();
@@ -802,6 +906,49 @@ mod tests {
                         back.is_sign_negative(),
                         x.is_sign_negative(),
                         "sign of {} lost", x
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn prop_quantize_row_total_for_arbitrary_bit_patterns(
+            bits in proptest::collection::vec(0u32..=u32::MAX, 1..40),
+            dtype in prop_oneof![
+                Just(Dtype::F32),
+                Just(Dtype::F16),
+                Just(Dtype::Int8),
+                Just(Dtype::Int4),
+                Just(Dtype::Int2),
+            ]
+        ) {
+            // Totality over every f32 bit pattern — NaNs of all
+            // payloads, infinities, subnormals: the scale stays finite,
+            // lossy decodes stay finite, and the certified bound holds
+            // against the sanitized row.
+            let vals: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+            let mut payload = vec![0u8; dtype.row_bytes(vals.len())];
+            let scale = quantize_row(&vals, dtype, &mut payload);
+            prop_assert!(scale.is_finite(), "{:?} scale {}", dtype, scale);
+            let mut out = vec![0f32; vals.len()];
+            decode_row_into(&payload, dtype, scale, &mut out);
+            if dtype == Dtype::F32 {
+                // Verbatim passthrough.
+                for (a, b) in vals.iter().zip(&out) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            } else {
+                let (max_abs, _) = finite_max_abs(&vals);
+                let bound =
+                    dequant_error_bound(dtype, scale, max_abs) * (1.0 + 1e-5) + 1e-6;
+                for (a, b) in vals.iter().zip(&out) {
+                    let target = sanitize_non_finite(*a, max_abs);
+                    if dtype == Dtype::F16 && target.abs() > 65504.0 {
+                        continue; // documented f16 saturation caveat
+                    }
+                    prop_assert!(
+                        (target - b).abs() <= bound,
+                        "{:?}: {} (sanitized {}) vs {} bound {}", dtype, a, target, b, bound
                     );
                 }
             }

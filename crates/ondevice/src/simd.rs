@@ -1,0 +1,656 @@
+//! Runtime-dispatched SIMD dequantization kernels.
+//!
+//! Every cache miss in the serving store and every embedding gather in
+//! the on-device engine funnels through
+//! [`decode_row_into`](crate::quant::decode_row_into); this module is
+//! the vector back end underneath it. On `x86_64` the kernels come in
+//! three tiers — AVX2, SSE2 (the architectural baseline, always
+//! present), and the scalar reference — selected once per process by
+//! [`active_kernel`]. Everywhere else the scalar reference runs.
+//!
+//! **Bit-exactness is a hard contract**: for any input — including
+//! NaNs with arbitrary payloads, infinities, subnormals and signed
+//! zeros — every tier produces bit-identical `f32` output to
+//! [`scalar`]. That is why
+//!
+//! * the f16 decoder is pure integer SIMD replicating
+//!   [`f16_bits_to_f32`] branchlessly
+//!   (hardware `F16C` would quiet signaling-NaN payloads);
+//! * [`scale_add`] uses separate multiply + add, never FMA (a fused
+//!   rounding would diverge from the scalar `x * v + w`);
+//! * [`scale_mul`] exists apart from [`scale_add`] (`x * v + 0.0`
+//!   would flip the sign of `-0.0`).
+//!
+//! The property is enforced by the `simd_equiv` proptest suite across
+//! all dtypes, dims, alignments and non-finite inputs.
+//!
+//! # Forcing the scalar fallback
+//!
+//! Two knobs pin the dispatcher to [`Kernel::Scalar`] for testing:
+//! the `MEMCOM_FORCE_SCALAR` environment variable (any value other
+//! than empty or `0`, read once at first use) and the `force-scalar`
+//! cargo feature (compile-time). CI runs the test suite both ways.
+
+use std::sync::OnceLock;
+
+use crate::quant::f16_bits_to_f32;
+
+/// The kernel tier the dispatcher selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Portable scalar reference (mandatory fallback, forced-scalar
+    /// override, and every non-`x86_64` target).
+    Scalar,
+    /// 128-bit SSE2 — the `x86_64` architectural baseline.
+    Sse2,
+    /// 256-bit AVX2, detected at runtime via
+    /// `is_x86_feature_detected!`.
+    Avx2,
+}
+
+impl Kernel {
+    /// Stable lower-snake name (log lines, bench labels, README).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Sse2 => "sse2",
+            Kernel::Avx2 => "avx2",
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kernel tier every dispatching entry point in this module uses,
+/// detected once per process (CPU features do not change under us, and
+/// the forced-scalar override is meant as a process-wide pin, so the
+/// first call wins).
+pub fn active_kernel() -> Kernel {
+    static ACTIVE: OnceLock<Kernel> = OnceLock::new();
+    *ACTIVE.get_or_init(detect)
+}
+
+fn detect() -> Kernel {
+    if cfg!(feature = "force-scalar") || force_scalar_env() {
+        return Kernel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Kernel::Avx2
+        } else {
+            Kernel::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Kernel::Scalar
+    }
+}
+
+fn force_scalar_env() -> bool {
+    match std::env::var("MEMCOM_FORCE_SCALAR") {
+        Ok(v) => !(v.is_empty() || v == "0"),
+        Err(_) => false,
+    }
+}
+
+/// Copies `out.len()` little-endian `f32`s out of `bytes` (the F32
+/// stored-row layout). Bit-exact for every pattern including NaNs.
+///
+/// # Panics
+///
+/// Panics when `bytes` holds fewer than `4 * out.len()` bytes.
+pub fn copy_f32(bytes: &[u8], out: &mut [f32]) {
+    assert!(bytes.len() >= out.len() * 4, "short f32 row");
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { x86::copy_f32_avx2(bytes, out) },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => unsafe { x86::copy_f32_sse2(bytes, out) },
+        _ => scalar::copy_f32(bytes, out),
+    }
+}
+
+/// Copies `rows = out.len() / cols` rows of `cols` little-endian
+/// `f32`s out of a strided byte region — the page-gather primitive for
+/// uncompressed tables whose stored stride exceeds the payload (e.g.
+/// rows carrying trailing metadata).
+///
+/// # Panics
+///
+/// Panics when `cols == 0`, `out.len()` is not a multiple of `cols`,
+/// `stride < 4 * cols`, or `src` is too short for the last row.
+pub fn copy_f32_strided(src: &[u8], stride: usize, cols: usize, out: &mut [f32]) {
+    assert!(cols > 0, "cols must be positive");
+    assert_eq!(out.len() % cols, 0, "out must hold whole rows");
+    assert!(stride >= cols * 4, "stride shorter than a row payload");
+    let rows = out.len() / cols;
+    if rows > 0 {
+        assert!(
+            src.len() >= (rows - 1) * stride + cols * 4,
+            "short strided source"
+        );
+    }
+    for (r, chunk) in out.chunks_exact_mut(cols).enumerate() {
+        copy_f32(&src[r * stride..r * stride + cols * 4], chunk);
+    }
+}
+
+/// Decodes `out.len()` little-endian IEEE-754 half-precision values
+/// from `bytes`, bit-identical to
+/// [`f16_bits_to_f32`] (signaling-NaN
+/// payloads survive).
+///
+/// # Panics
+///
+/// Panics when `bytes` holds fewer than `2 * out.len()` bytes.
+pub fn decode_f16(bytes: &[u8], out: &mut [f32]) {
+    assert!(bytes.len() >= out.len() * 2, "short f16 row");
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { x86::decode_f16_avx2(bytes, out) },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => unsafe { x86::decode_f16_sse2(bytes, out) },
+        _ => scalar::decode_f16(bytes, out),
+    }
+}
+
+/// Dequantizes `out.len()` int8 codes: widen to `f32`, multiply by the
+/// row `scale`.
+///
+/// # Panics
+///
+/// Panics when `bytes` holds fewer than `out.len()` bytes.
+pub fn dequant_i8(bytes: &[u8], scale: f32, out: &mut [f32]) {
+    assert!(bytes.len() >= out.len(), "short int8 row");
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { x86::dequant_i8_avx2(bytes, scale, out) },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => unsafe { x86::dequant_i8_sse2(bytes, scale, out) },
+        _ => scalar::dequant_i8(bytes, scale, out),
+    }
+}
+
+/// Dequantizes `out.len()` int4 codes (two per byte, even index in the
+/// low nibble): unpack, sign-extend, widen, multiply by `scale`.
+///
+/// # Panics
+///
+/// Panics when `bytes` holds fewer than `out.len().div_ceil(2)` bytes.
+pub fn dequant_i4(bytes: &[u8], scale: f32, out: &mut [f32]) {
+    assert!(bytes.len() >= out.len().div_ceil(2), "short int4 row");
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { x86::dequant_i4_avx2(bytes, scale, out) },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => unsafe { x86::dequant_i4_sse2(bytes, scale, out) },
+        _ => scalar::dequant_i4(bytes, scale, out),
+    }
+}
+
+/// Dequantizes `out.len()` int2 codes (four per byte). Stays scalar on
+/// every tier: at serving dims the 2-bit unpack is load-bound and the
+/// shuffle tax outweighs the arithmetic.
+///
+/// # Panics
+///
+/// Panics when `bytes` holds fewer than `out.len().div_ceil(4)` bytes.
+pub fn dequant_i2(bytes: &[u8], scale: f32, out: &mut [f32]) {
+    assert!(bytes.len() >= out.len().div_ceil(4), "short int2 row");
+    scalar::dequant_i2(bytes, scale, out);
+}
+
+/// In-place `x ← x * v` over `out` — the MemCom reconstruction's
+/// multiplier application. Kept separate from [`scale_add`] because
+/// `x * v + 0.0` would flip `-0.0` to `+0.0` and break bit-exactness.
+pub fn scale_mul(out: &mut [f32], v: f32) {
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { x86::scale_mul_avx2(out, v) },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => unsafe { x86::scale_mul_sse2(out, v) },
+        _ => scalar::scale_mul(out, v),
+    }
+}
+
+/// In-place `x ← x * v + w` over `out` — the MemCom reconstruction
+/// with a bias scalar. Deliberately **not** FMA: the scalar reference
+/// rounds the product and the sum separately, and fusing them would
+/// produce different bits.
+pub fn scale_add(out: &mut [f32], v: f32, w: f32) {
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { x86::scale_add_avx2(out, v, w) },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse2 => unsafe { x86::scale_add_sse2(out, v, w) },
+        _ => scalar::scale_add(out, v, w),
+    }
+}
+
+/// The portable scalar reference kernels — the semantics every vector
+/// tier must reproduce bit-for-bit, and the mandatory fallback for
+/// loop tails, non-`x86_64` targets and the forced-scalar override.
+pub mod scalar {
+    use super::f16_bits_to_f32;
+
+    /// Scalar [`copy_f32`](super::copy_f32).
+    pub fn copy_f32(bytes: &[u8], out: &mut [f32]) {
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+            *o = f32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+        }
+    }
+
+    /// Scalar [`decode_f16`](super::decode_f16).
+    pub fn decode_f16(bytes: &[u8], out: &mut [f32]) {
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+            *o = f16_bits_to_f32(u16::from_le_bytes(c.try_into().expect("2-byte chunk")));
+        }
+    }
+
+    /// Scalar [`dequant_i8`](super::dequant_i8).
+    pub fn dequant_i8(bytes: &[u8], scale: f32, out: &mut [f32]) {
+        for (o, &b) in out.iter_mut().zip(bytes.iter()) {
+            *o = (b as i8) as f32 * scale;
+        }
+    }
+
+    /// Scalar [`dequant_i4`](super::dequant_i4). Indexing is relative
+    /// to the slice start, so callers handing over a loop tail must
+    /// split at an even element index to preserve nibble parity.
+    pub fn dequant_i4(bytes: &[u8], scale: f32, out: &mut [f32]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            let nib = if i % 2 == 0 {
+                bytes[i / 2] & 0x0F
+            } else {
+                bytes[i / 2] >> 4
+            };
+            *o = sign_extend(nib, 4) as f32 * scale;
+        }
+    }
+
+    /// Scalar [`dequant_i2`](super::dequant_i2) (element indexing
+    /// relative to the slice start; tails must split at a multiple of
+    /// four elements).
+    pub fn dequant_i2(bytes: &[u8], scale: f32, out: &mut [f32]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            let q = (bytes[i / 4] >> ((i % 4) * 2)) & 0x03;
+            *o = sign_extend(q, 2) as f32 * scale;
+        }
+    }
+
+    /// Scalar [`scale_mul`](super::scale_mul).
+    pub fn scale_mul(out: &mut [f32], v: f32) {
+        for o in out.iter_mut() {
+            *o *= v;
+        }
+    }
+
+    /// Scalar [`scale_add`](super::scale_add).
+    pub fn scale_add(out: &mut [f32], v: f32, w: f32) {
+        for o in out.iter_mut() {
+            *o = *o * v + w;
+        }
+    }
+
+    pub(super) fn sign_extend(raw: u8, bits: usize) -> i8 {
+        let shift = 8 - bits;
+        ((raw << shift) as i8) >> shift
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The SSE2 and AVX2 tiers. Every function carries the safety
+    //! contract "the caller verified the slice bounds the public
+    //! wrapper asserts, and (for AVX2) the CPU supports the feature" —
+    //! [`active_kernel`](super::active_kernel) guarantees the latter.
+    //!
+    //! All loads and stores are the unaligned variants: rows live at
+    //! arbitrary offsets inside pages (int dtypes carry a 4-byte scale
+    //! prefix, int4 rows can start mid-byte-pair, page starts are
+    //! `Vec<u8>` allocations).
+
+    use std::arch::x86_64::*;
+
+    use super::scalar;
+
+    /// `2⁻²⁴`, the value of one f16 subnormal mantissa unit. The
+    /// product `f as f32 * 2⁻²⁴` is exact (power-of-two scaling of an
+    /// integer ≤ 1023), reproducing the scalar normalization loop's
+    /// bits without a loop.
+    const F16_SUBNORMAL_UNIT: f32 = 1.0 / 16777216.0;
+
+    // ------------------------------------------------------------------
+    // f32 copy
+    // ------------------------------------------------------------------
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn copy_f32_sse2(bytes: &[u8], out: &mut [f32]) {
+        let n = out.len();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let v = _mm_loadu_ps(bytes.as_ptr().add(i * 4) as *const f32);
+            _mm_storeu_ps(out.as_mut_ptr().add(i), v);
+            i += 4;
+        }
+        scalar::copy_f32(&bytes[i * 4..], &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn copy_f32_avx2(bytes: &[u8], out: &mut [f32]) {
+        let n = out.len();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(bytes.as_ptr().add(i * 4) as *const f32);
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), v);
+            i += 8;
+        }
+        scalar::copy_f32(&bytes[i * 4..], &mut out[i..]);
+    }
+
+    // ------------------------------------------------------------------
+    // int8
+    // ------------------------------------------------------------------
+
+    /// Widens 8 `i8` codes (low half of `q`) to two `f32x4`, scales,
+    /// and stores at `dst` — the shared SSE2 tail of the int8 and int4
+    /// paths. Sign extension is done with compare-generated high
+    /// bytes/words (SSE2 has no `cvtepi8_epi32`).
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn widen8_scale_store_sse2(q: __m128i, vs: __m128, dst: *mut f32) {
+        let zero = _mm_setzero_si128();
+        let neg8 = _mm_cmpgt_epi8(zero, q);
+        let w16 = _mm_unpacklo_epi8(q, neg8);
+        let neg16 = _mm_cmpgt_epi16(zero, w16);
+        let lo = _mm_cvtepi32_ps(_mm_unpacklo_epi16(w16, neg16));
+        let hi = _mm_cvtepi32_ps(_mm_unpackhi_epi16(w16, neg16));
+        _mm_storeu_ps(dst, _mm_mul_ps(lo, vs));
+        _mm_storeu_ps(dst.add(4), _mm_mul_ps(hi, vs));
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn dequant_i8_sse2(bytes: &[u8], scale: f32, out: &mut [f32]) {
+        let n = out.len();
+        let vs = _mm_set1_ps(scale);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let q = _mm_loadl_epi64(bytes.as_ptr().add(i) as *const __m128i);
+            widen8_scale_store_sse2(q, vs, out.as_mut_ptr().add(i));
+            i += 8;
+        }
+        scalar::dequant_i8(&bytes[i..], scale, &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dequant_i8_avx2(bytes: &[u8], scale: f32, out: &mut [f32]) {
+        let n = out.len();
+        let vs = _mm256_set1_ps(scale);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let q = _mm_loadl_epi64(bytes.as_ptr().add(i) as *const __m128i);
+            let f = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q));
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_mul_ps(f, vs));
+            i += 8;
+        }
+        scalar::dequant_i8(&bytes[i..], scale, &mut out[i..]);
+    }
+
+    // ------------------------------------------------------------------
+    // int4
+    // ------------------------------------------------------------------
+
+    /// Unpacks 8 packed bytes (low half of `packed`) into 16 nibble
+    /// codes in element order and sign-extends each 4-bit field via
+    /// `(n ^ 8) - 8` byte arithmetic.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn unpack16_i4_sse2(packed: __m128i) -> __m128i {
+        let mask = _mm_set1_epi8(0x0F);
+        let lo = _mm_and_si128(packed, mask);
+        let hi = _mm_and_si128(_mm_srli_epi16::<4>(packed), mask);
+        let inter = _mm_unpacklo_epi8(lo, hi);
+        let bias = _mm_set1_epi8(8);
+        _mm_sub_epi8(_mm_xor_si128(inter, bias), bias)
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn dequant_i4_sse2(bytes: &[u8], scale: f32, out: &mut [f32]) {
+        let n = out.len();
+        let vs = _mm_set1_ps(scale);
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let packed = _mm_loadl_epi64(bytes.as_ptr().add(i / 2) as *const __m128i);
+            let signed = unpack16_i4_sse2(packed);
+            widen8_scale_store_sse2(signed, vs, out.as_mut_ptr().add(i));
+            widen8_scale_store_sse2(_mm_srli_si128::<8>(signed), vs, out.as_mut_ptr().add(i + 8));
+            i += 16;
+        }
+        // i is a multiple of 16, so the tail starts on an even element
+        // and the scalar nibble parity lines up.
+        scalar::dequant_i4(&bytes[i / 2..], scale, &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dequant_i4_avx2(bytes: &[u8], scale: f32, out: &mut [f32]) {
+        let n = out.len();
+        let vs = _mm256_set1_ps(scale);
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let packed = _mm_loadl_epi64(bytes.as_ptr().add(i / 2) as *const __m128i);
+            let signed = unpack16_i4_sse2(packed);
+            let f0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(signed));
+            let f1 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128::<8>(signed)));
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_mul_ps(f0, vs));
+            _mm256_storeu_ps(out.as_mut_ptr().add(i + 8), _mm256_mul_ps(f1, vs));
+            i += 16;
+        }
+        scalar::dequant_i4(&bytes[i / 2..], scale, &mut out[i..]);
+    }
+
+    // ------------------------------------------------------------------
+    // f16 decode (pure integer — never F16C, which quiets sNaNs)
+    // ------------------------------------------------------------------
+
+    /// SSE2 blend: `(a & !m) | (b & m)` (no `blendv` before SSE4.1).
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn blend_sse2(a: __m128i, b: __m128i, m: __m128i) -> __m128i {
+        _mm_or_si128(_mm_andnot_si128(m, a), _mm_and_si128(m, b))
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn decode_f16_sse2(bytes: &[u8], out: &mut [f32]) {
+        let n = out.len();
+        let zero = _mm_setzero_si128();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // 4 halves, zero-extended to u32 lanes.
+            let h = _mm_loadl_epi64(bytes.as_ptr().add(i * 2) as *const __m128i);
+            let w = _mm_unpacklo_epi16(h, zero);
+            let sign = _mm_slli_epi32::<16>(_mm_and_si128(w, _mm_set1_epi32(0x8000)));
+            let e = _mm_and_si128(_mm_srli_epi32::<10>(w), _mm_set1_epi32(0x1F));
+            let f = _mm_and_si128(w, _mm_set1_epi32(0x3FF));
+            let f13 = _mm_slli_epi32::<13>(f);
+            // Normal: exp32 = e + (127 - 15); fraction widened 13 bits.
+            let normal = _mm_add_epi32(
+                _mm_slli_epi32::<23>(_mm_add_epi32(e, _mm_set1_epi32(112))),
+                f13,
+            );
+            // Inf/NaN keep the (shifted) payload, preserving sNaN bits.
+            let infnan = _mm_or_si128(_mm_set1_epi32(0x7F80_0000), f13);
+            // Subnormal: value is exactly f · 2⁻²⁴.
+            let sub = _mm_castps_si128(_mm_mul_ps(
+                _mm_cvtepi32_ps(f),
+                _mm_set1_ps(F16_SUBNORMAL_UNIT),
+            ));
+            let is_inf = _mm_cmpeq_epi32(e, _mm_set1_epi32(0x1F));
+            let is_sub = _mm_cmpeq_epi32(e, zero);
+            let bits = blend_sse2(blend_sse2(normal, infnan, is_inf), sub, is_sub);
+            let bits = _mm_or_si128(bits, sign);
+            _mm_storeu_ps(out.as_mut_ptr().add(i), _mm_castsi128_ps(bits));
+            i += 4;
+        }
+        scalar::decode_f16(&bytes[i * 2..], &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_f16_avx2(bytes: &[u8], out: &mut [f32]) {
+        let n = out.len();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let h = _mm_loadu_si128(bytes.as_ptr().add(i * 2) as *const __m128i);
+            let w = _mm256_cvtepu16_epi32(h);
+            let sign = _mm256_slli_epi32::<16>(_mm256_and_si256(w, _mm256_set1_epi32(0x8000)));
+            let e = _mm256_and_si256(_mm256_srli_epi32::<10>(w), _mm256_set1_epi32(0x1F));
+            let f = _mm256_and_si256(w, _mm256_set1_epi32(0x3FF));
+            let f13 = _mm256_slli_epi32::<13>(f);
+            let normal = _mm256_add_epi32(
+                _mm256_slli_epi32::<23>(_mm256_add_epi32(e, _mm256_set1_epi32(112))),
+                f13,
+            );
+            let infnan = _mm256_or_si256(_mm256_set1_epi32(0x7F80_0000), f13);
+            let sub = _mm256_castps_si256(_mm256_mul_ps(
+                _mm256_cvtepi32_ps(f),
+                _mm256_set1_ps(F16_SUBNORMAL_UNIT),
+            ));
+            let is_inf = _mm256_cmpeq_epi32(e, _mm256_set1_epi32(0x1F));
+            let is_sub = _mm256_cmpeq_epi32(e, _mm256_setzero_si256());
+            let bits = _mm256_blendv_epi8(_mm256_blendv_epi8(normal, infnan, is_inf), sub, is_sub);
+            let bits = _mm256_or_si256(bits, sign);
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_castsi256_ps(bits));
+            i += 8;
+        }
+        scalar::decode_f16(&bytes[i * 2..], &mut out[i..]);
+    }
+
+    // ------------------------------------------------------------------
+    // MemCom scale application
+    // ------------------------------------------------------------------
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn scale_mul_sse2(out: &mut [f32], v: f32) {
+        let n = out.len();
+        let vv = _mm_set1_ps(v);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let x = _mm_loadu_ps(out.as_ptr().add(i));
+            _mm_storeu_ps(out.as_mut_ptr().add(i), _mm_mul_ps(x, vv));
+            i += 4;
+        }
+        scalar::scale_mul(&mut out[i..], v);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_mul_avx2(out: &mut [f32], v: f32) {
+        let n = out.len();
+        let vv = _mm256_set1_ps(v);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(out.as_ptr().add(i));
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_mul_ps(x, vv));
+            i += 8;
+        }
+        scalar::scale_mul(&mut out[i..], v);
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn scale_add_sse2(out: &mut [f32], v: f32, w: f32) {
+        let n = out.len();
+        let vv = _mm_set1_ps(v);
+        let vw = _mm_set1_ps(w);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let x = _mm_loadu_ps(out.as_ptr().add(i));
+            _mm_storeu_ps(out.as_mut_ptr().add(i), _mm_add_ps(_mm_mul_ps(x, vv), vw));
+            i += 4;
+        }
+        scalar::scale_add(&mut out[i..], v, w);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_add_avx2(out: &mut [f32], v: f32, w: f32) {
+        let n = out.len();
+        let vv = _mm256_set1_ps(v);
+        let vw = _mm256_set1_ps(w);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(out.as_ptr().add(i));
+            _mm256_storeu_ps(
+                out.as_mut_ptr().add(i),
+                _mm256_add_ps(_mm256_mul_ps(x, vv), vw),
+            );
+            i += 8;
+        }
+        scalar::scale_add(&mut out[i..], v, w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(Kernel::Scalar.as_str(), "scalar");
+        assert_eq!(Kernel::Sse2.to_string(), "sse2");
+        assert_eq!(Kernel::Avx2.to_string(), "avx2");
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_on_a_smoke_row() {
+        // The exhaustive bit-identity property lives in the
+        // `simd_equiv` proptest suite; this is a fast in-crate sanity
+        // check that the dispatcher itself is wired to real kernels.
+        let codes: Vec<u8> = (0..37u8).map(|i| i.wrapping_mul(97)).collect();
+        let mut simd_out = vec![f32::NAN; 37];
+        let mut scalar_out = vec![f32::NAN; 37];
+        dequant_i8(&codes, 0.03125, &mut simd_out);
+        scalar::dequant_i8(&codes, 0.03125, &mut scalar_out);
+        assert_eq!(simd_out, scalar_out);
+
+        let mut simd_out = vec![f32::NAN; 37];
+        let mut scalar_out = vec![f32::NAN; 37];
+        dequant_i4(&codes[..19], 0.25, &mut simd_out);
+        scalar::dequant_i4(&codes[..19], 0.25, &mut scalar_out);
+        assert_eq!(simd_out, scalar_out);
+    }
+
+    #[test]
+    fn strided_copy_skips_row_gaps() {
+        // Rows of 3 f32s stored with a 16-byte stride (4 bytes of
+        // trailing junk per row).
+        let mut src = Vec::new();
+        for r in 0..5 {
+            for c in 0..3 {
+                src.extend_from_slice(&((r * 10 + c) as f32).to_le_bytes());
+            }
+            src.extend_from_slice(&0xDEADBEEFu32.to_le_bytes());
+        }
+        let mut out = vec![f32::NAN; 15];
+        copy_f32_strided(&src, 16, 3, &mut out);
+        let want: Vec<f32> = (0..5)
+            .flat_map(|r| (0..3).map(move |c| (r * 10 + c) as f32))
+            .collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn scale_add_preserves_negative_zero_via_mul_only_kernel() {
+        let mut buf = vec![-0.0f32; 9];
+        scale_mul(&mut buf, 1.0);
+        assert!(
+            buf.iter().all(|x| x.is_sign_negative()),
+            "-0.0 survived mul"
+        );
+        let mut buf = vec![1.5f32; 9];
+        scale_add(&mut buf, 2.0, -1.0);
+        assert!(buf.iter().all(|&x| x == 2.0));
+    }
+}

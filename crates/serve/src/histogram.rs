@@ -4,6 +4,8 @@
 //! and quantile queries with bucket-interpolation — the usual
 //! serving-benchmark shape (cf. HdrHistogram), kept dependency-free.
 
+use std::sync::LazyLock;
+
 /// Smallest resolvable latency (one bucket below this floor).
 const FLOOR_NANOS: f64 = 50.0;
 /// Geometric bucket growth factor (~26 buckets per decade).
@@ -13,6 +15,26 @@ const GROWTH: f64 = 1.09;
 /// open-loop run backlogged past ~25 min of queueing delay reports a
 /// clamped tail rather than the true one.
 const BUCKETS: usize = 280;
+
+/// Precomputed integer bucket edges: bucket `i` holds observations in
+/// `(EDGES[i-1], EDGES[i]]` (bucket 0 is `[0, EDGES[0]]`). Deriving the
+/// index from these u64 edges instead of `ln()`-arithmetic makes bucket
+/// assignment **exact**: `bucket_of(edge) == i` and
+/// `bucket_of(edge + 1) == i + 1` at every boundary, where the previous
+/// float path drifted near edges whose log landed within rounding error
+/// of an integer. The nominal geometric edge is rounded, then bumped by
+/// at least 1 over its predecessor so the table is strictly increasing
+/// even where consecutive geometric steps round to the same integer.
+static BUCKET_EDGES: LazyLock<[u64; BUCKETS]> = LazyLock::new(|| {
+    let mut edges = [0u64; BUCKETS];
+    let mut prev = 0u64;
+    for (idx, edge) in edges.iter_mut().enumerate() {
+        let nominal = (FLOOR_NANOS * GROWTH.powi(idx as i32)).round() as u64;
+        prev = nominal.max(prev + 1);
+        *edge = prev;
+    }
+    edges
+});
 
 /// A mergeable histogram of nanosecond latencies.
 #[derive(Debug, Clone)]
@@ -43,16 +65,17 @@ impl LatencyHistogram {
     }
 
     fn bucket_of(nanos: u64) -> usize {
-        if (nanos as f64) <= FLOOR_NANOS {
-            return 0;
-        }
-        let idx = ((nanos as f64 / FLOOR_NANOS).ln() / GROWTH.ln()).ceil() as usize;
-        idx.min(BUCKETS - 1)
+        // First bucket whose edge covers `nanos` — a pure u64 compare
+        // against the precomputed monotone edge table, so boundary
+        // observations land deterministically (no float log drift).
+        BUCKET_EDGES
+            .partition_point(|&edge| edge < nanos)
+            .min(BUCKETS - 1)
     }
 
     /// Upper latency bound of a bucket.
     fn bucket_upper(idx: usize) -> u64 {
-        (FLOOR_NANOS * GROWTH.powi(idx as i32)).round() as u64
+        BUCKET_EDGES[idx]
     }
 
     /// Records one latency observation.
@@ -313,6 +336,58 @@ mod tests {
         let covering = buckets.iter().find(|&&(upper, c)| c == 2 && upper >= 100);
         assert!(covering.is_some(), "both 100ns observations share a bucket");
         assert_eq!(h.sum_nanos(), 1_005_200);
+    }
+
+    #[test]
+    fn bucket_edges_are_strictly_increasing() {
+        for pair in BUCKET_EDGES.windows(2) {
+            assert!(pair[0] < pair[1], "{} !< {}", pair[0], pair[1]);
+        }
+        assert_eq!(BUCKET_EDGES[0], 50);
+        // The table still spans ~25 minutes.
+        assert!(BUCKET_EDGES[BUCKETS - 1] > 20 * 60 * 1_000_000_000);
+    }
+
+    #[test]
+    fn bucket_assignment_is_exact_at_every_edge() {
+        // An observation exactly on an edge belongs to that bucket; one
+        // nanosecond past it belongs to the next. The old ln()-based
+        // index drifted at edges whose log landed within float rounding
+        // of an integer, shifting boundary observations one bucket off.
+        for (idx, &edge) in BUCKET_EDGES.iter().enumerate() {
+            assert_eq!(LatencyHistogram::bucket_of(edge), idx, "at edge {edge}");
+            if idx + 1 < BUCKETS {
+                assert_eq!(
+                    LatencyHistogram::bucket_of(edge + 1),
+                    idx + 1,
+                    "past edge {edge}"
+                );
+            }
+        }
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn recorded_observation_never_exceeds_its_bucket_upper() {
+        // bucket_of and bucket_upper agree: every observation is <= the
+        // upper bound iter_buckets reports for its bucket (the invariant
+        // a Prometheus `le` rendering relies on).
+        for nanos in (0..5_000_000u64).step_by(997) {
+            let idx = LatencyHistogram::bucket_of(nanos);
+            assert!(
+                nanos <= LatencyHistogram::bucket_upper(idx) || idx == BUCKETS - 1,
+                "{nanos} lands in bucket {idx} with upper {}",
+                LatencyHistogram::bucket_upper(idx)
+            );
+            if idx > 0 {
+                assert!(
+                    nanos > LatencyHistogram::bucket_upper(idx - 1),
+                    "{nanos} also fits bucket {}",
+                    idx - 1
+                );
+            }
+        }
     }
 
     #[test]

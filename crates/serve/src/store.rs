@@ -64,7 +64,10 @@ use memcom_core::MemCom;
 use memcom_ondevice::compute::WorkCounts;
 use memcom_ondevice::engine::RunStats;
 use memcom_ondevice::pages::PagedTable;
-use memcom_ondevice::quant::{decode_stored_row, encode_stored_row, stored_zero_row, Dtype};
+use memcom_ondevice::quant::{
+    decode_stored_row, encode_stored_row, quantize_row, stored_zero_row, Dtype,
+};
+use memcom_ondevice::simd;
 use parking_lot::Mutex;
 
 use crate::cache::LruCache;
@@ -108,6 +111,200 @@ pub struct ShardCacheStats {
     pub cached_rows: usize,
 }
 
+/// Slots per int8 scalar block ([`ScalarTable::Int8`]).
+const SCALAR_BLOCK: usize = 64;
+/// Stored bytes per int8 scalar block: inline `f32` scale + one code
+/// per slot.
+const SCALAR_BLOCK_BYTES: usize = 4 + SCALAR_BLOCK;
+
+/// A MemCom per-entity scalar column (multipliers, biases): one value
+/// per slot, the dominant per-entity store term at scale.
+///
+/// Quantized stores pack it as [`SCALAR_BLOCK`]-slot **int8 blocks
+/// with per-block scales** — the same symmetric linear scheme the row
+/// tables use, with the block standing in for the row — at
+/// `(4 + 64) / 64 ≈ 1.06` bytes per slot instead of 4. A zeroed block
+/// stores scale `0.0` (codes decode to exact 0 at any scale, and a
+/// zero scale forces the first real write through the re-scale path
+/// instead of rounding against a meaningless step).
+#[derive(Debug)]
+enum ScalarTable {
+    /// One exact `f32` per slot (F32-dtype stores).
+    F32(PagedTable),
+    /// Int8 blocks with inline per-block scales.
+    Int8(PagedTable),
+}
+
+/// What a [`ScalarTable::set`] actually did to served values — the
+/// terms [`ShardedStore::apply_delta`] folds into the certified bound.
+#[derive(Debug, Clone, Copy, Default)]
+struct ScalarWrite {
+    /// `|requested − stored|` for the written slot.
+    err: f32,
+    /// Max `|old − new|` over the *other* slots of a re-scaled block
+    /// (0 when the write fit the block's existing scale, and for F32).
+    neighbor_drift: f32,
+}
+
+impl ScalarTable {
+    /// Builds a column from per-slot values; `quantize` selects the
+    /// int8 block layout. Returns the table and the measured max
+    /// `|source − stored|` across slots (0 for F32).
+    fn build(
+        values: impl ExactSizeIterator<Item = f32>,
+        quantize: bool,
+        page_size: usize,
+    ) -> (Self, f32) {
+        if !quantize {
+            let mut bytes = Vec::with_capacity(values.len() * 4);
+            for v in values {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            return (
+                ScalarTable::F32(PagedTable::from_rows(&bytes, 4, page_size)),
+                0.0,
+            );
+        }
+        let slots = values.len();
+        let blocks = slots.div_ceil(SCALAR_BLOCK);
+        let mut bytes = Vec::with_capacity(blocks * SCALAR_BLOCK_BYTES);
+        let mut block = [0f32; SCALAR_BLOCK];
+        let mut payload = [0u8; SCALAR_BLOCK];
+        let mut err = 0f32;
+        let mut values = values;
+        for _ in 0..blocks {
+            let mut fill = 0usize;
+            block.fill(0.0);
+            for slot in block.iter_mut() {
+                match values.next() {
+                    Some(v) => *slot = v,
+                    None => break,
+                }
+                fill += 1;
+            }
+            let mut scale = quantize_row(&block, Dtype::Int8, &mut payload);
+            if block.iter().all(|&x| x == 0.0) {
+                scale = 0.0; // zero blocks stay re-scalable
+            }
+            for (&src, &code) in block.iter().zip(&payload).take(fill) {
+                err = err.max((src - (code as i8) as f32 * scale).abs());
+            }
+            bytes.extend_from_slice(&scale.to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        (
+            ScalarTable::Int8(PagedTable::from_rows(&bytes, SCALAR_BLOCK_BYTES, page_size)),
+            err,
+        )
+    }
+
+    /// The stored scalar for `slot`.
+    fn get(&self, slot: usize) -> Result<f32> {
+        match self {
+            ScalarTable::F32(t) => Ok(decode_f32(t.read_row(slot)?)),
+            ScalarTable::Int8(t) => {
+                let row = t.read_row(slot / SCALAR_BLOCK)?;
+                let scale = decode_f32(&row[..4]);
+                Ok((row[4 + slot % SCALAR_BLOCK] as i8) as f32 * scale)
+            }
+        }
+    }
+
+    /// Stores `value` at `slot`. Int8 blocks re-use the block's
+    /// existing scale when the value fits its code range (no other
+    /// slot moves); otherwise the whole block re-encodes around a new
+    /// scale and the returned [`ScalarWrite::neighbor_drift`] reports
+    /// how far the block's other slots moved.
+    fn set(&mut self, slot: usize, value: f32) -> Result<ScalarWrite> {
+        match self {
+            ScalarTable::F32(t) => {
+                t.write_row(slot, &value.to_le_bytes())?;
+                Ok(ScalarWrite::default())
+            }
+            ScalarTable::Int8(t) => {
+                let (block, idx) = (slot / SCALAR_BLOCK, slot % SCALAR_BLOCK);
+                let mut row = t.read_row(block)?.to_vec();
+                let scale = decode_f32(&row[..4]);
+                if scale > 0.0 {
+                    let q = (value / scale).round();
+                    if q.abs() <= 127.0 {
+                        let q = q as i8;
+                        row[4 + idx] = q as u8;
+                        t.write_row(block, &row)?;
+                        return Ok(ScalarWrite {
+                            err: (value - q as f32 * scale).abs(),
+                            neighbor_drift: 0.0,
+                        });
+                    }
+                }
+                // Out of range (or a zeroed block): re-encode the whole
+                // block around a fresh scale.
+                let mut vals = [0f32; SCALAR_BLOCK];
+                for (i, v) in vals.iter_mut().enumerate() {
+                    *v = (row[4 + i] as i8) as f32 * scale;
+                }
+                let old = vals;
+                vals[idx] = value;
+                let mut payload = [0u8; SCALAR_BLOCK];
+                let mut new_scale = quantize_row(&vals, Dtype::Int8, &mut payload);
+                if vals.iter().all(|&x| x == 0.0) {
+                    new_scale = 0.0;
+                }
+                row[..4].copy_from_slice(&new_scale.to_le_bytes());
+                row[4..].copy_from_slice(&payload);
+                t.write_row(block, &row)?;
+                let mut write = ScalarWrite::default();
+                for (i, (&was, &code)) in old.iter().zip(&payload).enumerate() {
+                    let now = (code as i8) as f32 * new_scale;
+                    if i == idx {
+                        write.err = (value - now).abs();
+                    } else {
+                        write.neighbor_drift = write.neighbor_drift.max((was - now).abs());
+                    }
+                }
+                Ok(write)
+            }
+        }
+    }
+
+    /// Appends zeroed slots for vocabulary growth (`old_slots` →
+    /// `new_slots`).
+    fn extend(&mut self, old_slots: usize, new_slots: usize) {
+        match self {
+            ScalarTable::F32(t) => t.extend_rows(new_slots - old_slots, &0f32.to_le_bytes()),
+            ScalarTable::Int8(t) => {
+                let extra = new_slots.div_ceil(SCALAR_BLOCK) - old_slots.div_ceil(SCALAR_BLOCK);
+                if extra > 0 {
+                    t.extend_rows(extra, &[0u8; SCALAR_BLOCK_BYTES]);
+                }
+            }
+        }
+    }
+
+    fn shared_clone(&self) -> Self {
+        match self {
+            ScalarTable::F32(t) => ScalarTable::F32(t.shared_clone()),
+            ScalarTable::Int8(t) => ScalarTable::Int8(t.shared_clone()),
+        }
+    }
+
+    /// Bytes physically shared with `other` (0 across layouts).
+    fn shared_bytes_with(&self, other: &ScalarTable) -> usize {
+        match (self, other) {
+            (ScalarTable::F32(a), ScalarTable::F32(b))
+            | (ScalarTable::Int8(a), ScalarTable::Int8(b)) => a.shared_bytes_with(b),
+            _ => 0,
+        }
+    }
+
+    /// The backing page table (accounting).
+    fn table(&self) -> &PagedTable {
+        match self {
+            ScalarTable::F32(t) | ScalarTable::Int8(t) => t,
+        }
+    }
+}
+
 /// One shard's page-backed storage.
 // One long-lived instance per shard, never moved by value on a hot
 // path — boxing the larger MemCom variant would only add a pointer
@@ -128,10 +325,14 @@ enum ShardData {
         /// The `m` stored shared rows (pages physically shared across
         /// shards).
         shared: PagedTable,
-        /// One `f32` multiplier per slot.
-        mult: PagedTable,
-        /// One `f32` bias per slot, when the model trains biases.
-        bias: Option<PagedTable>,
+        /// Upper bound on `|u|` for any decoded stored shared value —
+        /// the factor that converts a multiplier's quantization error
+        /// into served-row error when deltas re-encode scalars.
+        u_max_abs: f32,
+        /// One multiplier per slot.
+        mult: ScalarTable,
+        /// One bias per slot, when the model trains biases.
+        bias: Option<ScalarTable>,
     },
 }
 
@@ -142,7 +343,11 @@ impl ShardData {
             ShardData::Rows { table } => (table, None, None),
             ShardData::MemCom {
                 shared, mult, bias, ..
-            } => (shared, Some(mult), bias.as_ref()),
+            } => (
+                shared,
+                Some(mult.table()),
+                bias.as_ref().map(ScalarTable::table),
+            ),
         };
         std::iter::once(a).chain(b).chain(c)
     }
@@ -157,25 +362,28 @@ impl ShardData {
             ShardData::MemCom {
                 m,
                 shared,
+                u_max_abs,
                 mult,
                 bias,
             } => ShardData::MemCom {
                 m: *m,
                 shared: shared.shared_clone(),
+                u_max_abs: *u_max_abs,
                 mult: mult.shared_clone(),
-                bias: bias.as_ref().map(PagedTable::shared_clone),
+                bias: bias.as_ref().map(ScalarTable::shared_clone),
             },
         }
     }
 
-    /// Appends `extra` zeroed slots (vocabulary growth).
-    fn extend_slots(&mut self, extra: usize, zero_row: &[u8]) {
+    /// Appends zeroed slots (vocabulary growth, `old_slots` →
+    /// `new_slots`).
+    fn extend_slots(&mut self, old_slots: usize, new_slots: usize, zero_row: &[u8]) {
         match self {
-            ShardData::Rows { table } => table.extend_rows(extra, zero_row),
+            ShardData::Rows { table } => table.extend_rows(new_slots - old_slots, zero_row),
             ShardData::MemCom { mult, bias, .. } => {
-                mult.extend_rows(extra, &0f32.to_le_bytes());
+                mult.extend(old_slots, new_slots);
                 if let Some(b) = bias {
-                    b.extend_rows(extra, &0f32.to_le_bytes());
+                    b.extend(old_slots, new_slots);
                 }
             }
         }
@@ -250,20 +458,17 @@ impl Shard {
                 shared,
                 mult,
                 bias,
+                ..
             } => {
                 decode_stored_row(shared.read_row(mod_hash(id, *m))?, self.dtype, out);
-                let v = decode_f32(mult.read_row(slot)?);
+                let v = mult.get(slot)?;
                 if let Some(b) = bias {
-                    let w = decode_f32(b.read_row(slot)?);
+                    let w = b.get(slot)?;
                     self.flops.fetch_add(2 * dim as u64, Ordering::Relaxed);
-                    for o in out.iter_mut() {
-                        *o = *o * v + w;
-                    }
+                    simd::scale_add(out, v, w);
                 } else {
                     self.flops.fetch_add(dim as u64, Ordering::Relaxed);
-                    for o in out.iter_mut() {
-                        *o *= v;
-                    }
+                    simd::scale_mul(out, v);
                 }
                 if self.dtype != Dtype::F32 {
                     self.flops.fetch_add(dim as u64, Ordering::Relaxed);
@@ -397,10 +602,11 @@ impl ShardedStore {
     /// Each integer-quantized row is encoded with its **own** linear
     /// scale (stored inline before the payload), so the error of any row
     /// is bounded by *that row's* half-step, not the worst row's. For the
-    /// MemCom layout the small shared table is quantized per row while
-    /// the per-entity scalars stay `f32` (they are one value per entity —
-    /// already the minimal footprint, and keeping them exact means the
-    /// reconstruction error is just `|v| · err(u_row)`).
+    /// MemCom layout the small shared table is quantized per row **and**
+    /// the per-entity scalars are packed as int8 blocks with a per-block
+    /// `f32` scale (64 codes per scale — about 3.8× smaller than one
+    /// `f32` per entity). The reconstruction error composes both terms:
+    /// `|v|·err(u) + |u_q|·err(v) + err(w)`.
     /// [`error_bound`](Self::error_bound) reports the certified
     /// worst-case absolute error across the whole table.
     ///
@@ -432,21 +638,31 @@ impl ShardedStore {
         // The replicated shared-table prefix is identical for every
         // shard: encode it once into one page set and let every shard
         // `Arc`-share those pages (per-shard residency accounting over
-        // one physical allocation). For MemCom the final row is
-        // u_row · v (+ w) with exact scalars, so its error bound is the
-        // shared table's row bound times the largest |v|.
+        // one physical allocation). Quantized MemCom stores quantize
+        // the per-entity scalars too (int8 blocks, per-block scales),
+        // so the served row u_q · v_q (+ w_q) errs by at most
+        // |v|·err(u) + |u_q|·err(v) + err(w) — composed below once the
+        // per-shard scalar errors are known.
+        let quantize_scalars = dtype != Dtype::F32;
         let shared_encoded = memcom.map(|mc| {
             let m = mc.shared_table().shape().dims()[0];
             let (bytes, shared_bound) = encode_rows(mc.shared_table().as_slice(), m, dim, dtype);
+            let max_abs_u = mc
+                .shared_table()
+                .as_slice()
+                .iter()
+                .fold(0f32, |acc, &u| acc.max(u.abs()));
             let max_abs_v = mc
                 .multiplier_table()
                 .as_slice()
                 .iter()
                 .fold(0f32, |acc, &v| acc.max(v.abs()));
             let table = PagedTable::from_rows(&bytes, stride, page_size);
-            (m, table, shared_bound * max_abs_v)
+            (m, table, shared_bound, max_abs_u, max_abs_v)
         });
         let mut error_bound = 0f32;
+        let mut scalar_err_v = 0f32;
+        let mut scalar_err_w = 0f32;
         let mut row_scratch = vec![0f32; dim];
         let mut payload_scratch = vec![0u8; dtype.row_bytes(dim)];
         let mut shards = Vec::with_capacity(n_shards);
@@ -458,29 +674,30 @@ impl ShardedStore {
                 0
             };
             let data = match &shared_encoded {
-                Some((m, shared_table, bound)) => {
-                    error_bound = error_bound.max(*bound);
+                Some((m, shared_table, shared_bound, max_abs_u, _)) => {
                     let mc = memcom.expect("encoded for memcom");
                     let mult_src = mc.multiplier_table().as_slice();
-                    let mut mult_bytes = Vec::with_capacity(slots * 4);
-                    for slot in 0..slots {
-                        mult_bytes.extend_from_slice(
-                            &mult_src[shard_idx + slot * n_shards].to_le_bytes(),
-                        );
-                    }
+                    let (mult, mult_err) = ScalarTable::build(
+                        (0..slots).map(|slot| mult_src[shard_idx + slot * n_shards]),
+                        quantize_scalars,
+                        page_size,
+                    );
+                    scalar_err_v = scalar_err_v.max(mult_err);
                     let bias = mc.bias_table().map(|b| {
                         let src = b.as_slice();
-                        let mut bytes = Vec::with_capacity(slots * 4);
-                        for slot in 0..slots {
-                            bytes
-                                .extend_from_slice(&src[shard_idx + slot * n_shards].to_le_bytes());
-                        }
-                        PagedTable::from_rows(&bytes, 4, page_size)
+                        let (table, err) = ScalarTable::build(
+                            (0..slots).map(|slot| src[shard_idx + slot * n_shards]),
+                            quantize_scalars,
+                            page_size,
+                        );
+                        scalar_err_w = scalar_err_w.max(err);
+                        table
                     });
                     ShardData::MemCom {
                         m: *m,
                         shared: shared_table.shared_clone(),
-                        mult: PagedTable::from_rows(&mult_bytes, 4, page_size),
+                        u_max_abs: max_abs_u + shared_bound,
+                        mult,
                         bias,
                     }
                 }
@@ -511,6 +728,15 @@ impl ShardedStore {
                 misses: AtomicU64::new(0),
                 flops: AtomicU64::new(0),
             });
+        }
+        if let Some((_, _, shared_bound, max_abs_u, max_abs_v)) = &shared_encoded {
+            // |u·v + w − u_q·v_q − w_q| ≤ |v|·err(u) + |u_q|·err(v) + err(w),
+            // with |u_q| ≤ max|u| + err(u). Reduces to the old
+            // `err(u)·max|v|` when the scalars stay f32 (both scalar
+            // error terms are 0).
+            error_bound = error_bound.max(
+                max_abs_v * shared_bound + (max_abs_u + shared_bound) * scalar_err_v + scalar_err_w,
+            );
         }
         Ok(ShardedStore {
             shards,
@@ -592,7 +818,7 @@ impl ShardedStore {
                 0
             };
             if new_slots > old.slots {
-                data.extend_slots(new_slots - old.slots, &zero_row);
+                data.extend_slots(old.slots, new_slots, &zero_row);
             }
             for (id, op) in delta.ops() {
                 if id % n_shards != shard_idx {
@@ -618,6 +844,7 @@ impl ShardedStore {
                         ShardData::MemCom {
                             m,
                             shared,
+                            u_max_abs,
                             mult,
                             bias,
                         },
@@ -633,17 +860,41 @@ impl ShardedStore {
                             &mut u_scratch,
                         );
                         let (v, w, residual) = project_scalars(&u_scratch, row, bias.is_some());
-                        error_bound = error_bound.max(residual);
-                        mult.write_row(slot, &v.to_le_bytes())?;
-                        if let Some(b) = bias {
-                            b.write_row(slot, &w.to_le_bytes())?;
-                        }
+                        // Re-quantizing the scalars adds its own error,
+                        // and re-scaling a block may nudge neighbours:
+                        // the drift term widens the whole bound (every
+                        // row may sit on a re-scaled block), while the
+                        // quant term only gates this row's residual.
+                        let wv = mult.set(slot, v)?;
+                        let wb = match bias {
+                            Some(b) => b.set(slot, w)?,
+                            None => ScalarWrite::default(),
+                        };
+                        let quant_err = *u_max_abs * wv.err + wb.err;
+                        let drift = *u_max_abs * wv.neighbor_drift + wb.neighbor_drift;
+                        error_bound = (error_bound + drift).max(residual + quant_err);
                     }
-                    (ShardData::MemCom { mult, bias, .. }, DeltaOp::Remove) => {
-                        mult.write_row(slot, &0f32.to_le_bytes())?;
-                        if let Some(b) = bias {
-                            b.write_row(slot, &0f32.to_le_bytes())?;
-                        }
+                    (
+                        ShardData::MemCom {
+                            u_max_abs,
+                            mult,
+                            bias,
+                            ..
+                        },
+                        DeltaOp::Remove,
+                    ) => {
+                        // Code 0 decodes to exactly 0.0 at any block
+                        // scale, so tombstoning is exact (err 0) and
+                        // never re-scales a block (drift 0) — but fold
+                        // the terms anyway so the bound stays certified
+                        // even if the write path changes.
+                        let wv = mult.set(slot, 0.0)?;
+                        let wb = match bias {
+                            Some(b) => b.set(slot, 0.0)?,
+                            None => ScalarWrite::default(),
+                        };
+                        let drift = *u_max_abs * wv.neighbor_drift + wb.neighbor_drift;
+                        error_bound = (error_bound + drift).max(*u_max_abs * wv.err + wb.err);
                     }
                 }
             }
@@ -721,6 +972,22 @@ impl ShardedStore {
     /// Storage dtype of the shard row bytes.
     pub fn dtype(&self) -> Dtype {
         self.dtype
+    }
+
+    /// Bytes held by the per-entity scalar tables of a MemCom store
+    /// (multiplier + bias, across all shards). Zero for row stores —
+    /// this isolates exactly the footprint the int8 scalar packing
+    /// shrinks.
+    pub fn memcom_scalar_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| match &s.data {
+                ShardData::Rows { .. } => 0,
+                ShardData::MemCom { mult, bias, .. } => {
+                    mult.table().len() + bias.as_ref().map_or(0, |b| b.table().len())
+                }
+            })
+            .sum()
     }
 
     /// Certified worst-case absolute error of any served row relative to
@@ -1326,6 +1593,75 @@ mod tests {
         for (a, b) in arbitrary.iter().zip(new.get(20).unwrap()) {
             assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
         }
+    }
+
+    #[test]
+    fn memcom_scalar_tables_quantize_and_stay_certified() {
+        let emb = memcom(2_000, 16, 50, true);
+        let exact = ShardedStore::build(&emb, 4, 0, 4096).unwrap();
+        let quant = ShardedStore::build_quantized(&emb, 4, 0, 4096, Dtype::Int8).unwrap();
+        // 4 B per f32 scalar vs 68 B per 64-code block: ~3.76× smaller.
+        assert!(
+            quant.memcom_scalar_bytes() * 3 < exact.memcom_scalar_bytes(),
+            "{} vs {}",
+            quant.memcom_scalar_bytes(),
+            exact.memcom_scalar_bytes()
+        );
+        let bound = quant.error_bound() + 1e-6;
+        for id in (0..2_000).step_by(7) {
+            let want = exact.get(id).unwrap();
+            let got = quant.get(id).unwrap();
+            for (a, b) in want.iter().zip(&got) {
+                assert!(
+                    (a - b).abs() <= bound,
+                    "id {id}: {a} vs {b} (bound {bound})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_on_quantized_memcom_recertifies_scalar_terms() {
+        let emb = memcom(120, 8, 10, true);
+        let store = ShardedStore::build_quantized(&emb, 2, 0, 128, Dtype::Int8).unwrap();
+        // A multiplier of 40 sits far outside the seeded scalars' range,
+        // forcing the upserted slot's int8 block to re-scale — every
+        // neighbour in that block is re-encoded and the drift must be
+        // folded into the re-certified bound.
+        let id = 9usize;
+        let u = store.get_shared_row_for_test(id, 10);
+        let want: Vec<f32> = u.iter().map(|&x| x * 40.0 + 3.0).collect();
+        let mut delta = StoreDelta::new(8);
+        delta.upsert_row(id, &want).unwrap();
+        let new = store.apply_delta(&delta).unwrap();
+        let bound = new.error_bound() + 1e-4;
+        for (a, b) in want.iter().zip(new.get(id).unwrap()) {
+            assert!(
+                (a - b).abs() <= bound,
+                "upserted: {a} vs {b} (bound {bound})"
+            );
+        }
+        // Neighbours sharing the re-scaled block still serve within the
+        // new bound relative to what the old snapshot certified.
+        for other in 0..120 {
+            if other == id {
+                continue;
+            }
+            let before = store.get(other).unwrap();
+            for (a, b) in before.iter().zip(new.get(other).unwrap()) {
+                assert!(
+                    (a - b).abs() <= bound,
+                    "neighbour {other}: {a} vs {b} (bound {bound})"
+                );
+            }
+        }
+        // Removing an id on a quantized store is exact (code 0 decodes
+        // to 0.0 at any scale) and never widens the bound.
+        let mut rm = StoreDelta::new(8);
+        rm.remove_row(5).unwrap();
+        let new2 = new.apply_delta(&rm).unwrap();
+        assert_eq!(new2.get(5).unwrap(), vec![0.0; 8]);
+        assert_eq!(new2.error_bound(), new.error_bound());
     }
 
     #[test]
