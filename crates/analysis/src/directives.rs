@@ -1,0 +1,291 @@
+//! `memcom-lint:` comment directives: suppressions and hot-path fences.
+//!
+//! Three directive forms are recognized, all in `//` line comments:
+//!
+//! ```text
+//! // memcom-lint: allow(L003) -- reason the site is sound
+//! // memcom-lint: allow(L002, L004) -- one reason may cover several ids
+//! // memcom-lint: hot-path
+//! // memcom-lint: end-hot-path
+//! ```
+//!
+//! An `allow` **requires** a written reason after ` -- `; a reasonless
+//! suppression is itself a violation ([`LintId::L000`]) — the
+//! acceptance bar is "every suppression carries a written reason", and
+//! the tool, not review vigilance, enforces it. A trailing `allow`
+//! covers its own line; a standalone `allow` covers the next line that
+//! holds code. `hot-path`/`end-hot-path` open and close the regions
+//! lint L002 patrols; unmatched fences are L000 violations so a typo
+//! cannot silently unfence a hot loop.
+
+use crate::diag::{Diagnostic, LintId};
+use crate::lexer::{Comment, LexedFile};
+use std::collections::BTreeSet;
+
+/// One parsed `allow` directive.
+#[derive(Debug)]
+pub struct Suppression {
+    /// Lints this suppression covers.
+    pub ids: Vec<LintId>,
+    /// The source line the suppression applies to.
+    pub covers_line: u32,
+    /// Where the directive itself lives (for unused-suppression notes).
+    pub at_line: u32,
+    /// Marked when a diagnostic is actually suppressed.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// An inclusive line range fenced as a hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct Fence {
+    /// First fenced line (the line after the `hot-path` marker).
+    pub start: u32,
+    /// Last fenced line (the `end-hot-path` marker's line).
+    pub end: u32,
+}
+
+/// Everything directive parsing produced for one file.
+#[derive(Debug, Default)]
+pub struct Directives {
+    /// Parsed suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// Hot-path fenced regions.
+    pub fences: Vec<Fence>,
+    /// L000 violations found while parsing.
+    pub errors: Vec<Diagnostic>,
+}
+
+impl Directives {
+    /// True when `line` sits inside any hot-path fence.
+    pub fn in_fence(&self, line: u32) -> bool {
+        self.fences.iter().any(|f| f.start <= line && line <= f.end)
+    }
+
+    /// Attempts to suppress a diagnostic at `line` for `lint`; marks
+    /// the matching suppression used.
+    pub fn suppresses(&self, lint: LintId, line: u32) -> bool {
+        for s in &self.suppressions {
+            if s.covers_line == line && s.ids.contains(&lint) {
+                s.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+const MARKER: &str = "memcom-lint:";
+
+/// Parses directives out of every comment in `file`.
+///
+/// `lines_with_tokens` tells a standalone `allow` which line it covers:
+/// the next line at or below it that holds code.
+pub fn parse(path: &str, file: &LexedFile, lines_with_tokens: &BTreeSet<u32>) -> Directives {
+    let mut out = Directives::default();
+    let mut open_fence: Option<u32> = None;
+
+    for c in &file.comments {
+        let Some(rest) = directive_body(c) else {
+            continue;
+        };
+        let err = |msg: String, out: &mut Directives| {
+            out.errors.push(Diagnostic {
+                path: path.to_string(),
+                line: c.line,
+                col: 1,
+                lint: LintId::L000,
+                message: msg,
+            });
+        };
+        if rest == "hot-path" {
+            if let Some(prev) = open_fence {
+                err(
+                    format!(
+                        "hot-path fence opened here while the fence from line {prev} is still open"
+                    ),
+                    &mut out,
+                );
+            }
+            open_fence = Some(c.line);
+        } else if rest == "end-hot-path" {
+            match open_fence.take() {
+                Some(start) => out.fences.push(Fence {
+                    start: start + 1,
+                    end: c.end_line,
+                }),
+                None => err(
+                    "end-hot-path without a matching hot-path fence".to_string(),
+                    &mut out,
+                ),
+            }
+        } else if let Some(allow) = rest.strip_prefix("allow(") {
+            match parse_allow(allow) {
+                Ok(ids) => {
+                    let covers_line = if c.trailing {
+                        c.line
+                    } else {
+                        // The next code line below the directive.
+                        match lines_with_tokens.range(c.end_line + 1..).next() {
+                            Some(&l) => l,
+                            None => {
+                                err(
+                                    "allow directive at end of file covers no code".to_string(),
+                                    &mut out,
+                                );
+                                continue;
+                            }
+                        }
+                    };
+                    out.suppressions.push(Suppression {
+                        ids,
+                        covers_line,
+                        at_line: c.line,
+                        used: std::cell::Cell::new(false),
+                    });
+                }
+                Err(msg) => err(msg, &mut out),
+            }
+        } else {
+            err(
+                format!(
+                    "unknown memcom-lint directive `{}` (expected `allow(<ids>) -- <reason>`, \
+                     `hot-path`, or `end-hot-path`)",
+                    rest.split_whitespace().next().unwrap_or("")
+                ),
+                &mut out,
+            );
+        }
+    }
+    if let Some(start) = open_fence {
+        out.errors.push(Diagnostic {
+            path: path.to_string(),
+            line: start,
+            col: 1,
+            lint: LintId::L000,
+            message: "hot-path fence is never closed (missing `// memcom-lint: end-hot-path`)"
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// Extracts the directive body from a comment, if it is one. Only line
+/// comments carry directives; `SAFETY:`-style prose in block comments
+/// is justification, not configuration.
+fn directive_body(c: &Comment) -> Option<&str> {
+    let t = c.text.trim_start();
+    let rest = t.strip_prefix(MARKER)?;
+    Some(rest.trim())
+}
+
+/// Parses `"L002, L004) -- reason"` (everything after `allow(`).
+fn parse_allow(rest: &str) -> Result<Vec<LintId>, String> {
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "allow directive missing closing `)`".to_string())?;
+    let mut ids = Vec::new();
+    for raw in rest[..close].split(',') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Err("allow() lists no lint ids".to_string());
+        }
+        match LintId::parse(raw) {
+            Some(LintId::L000) => {
+                return Err("L000 (lint-directive) cannot be suppressed".to_string())
+            }
+            Some(id) => ids.push(id),
+            None => return Err(format!("unknown lint id `{raw}` in allow()")),
+        }
+    }
+    if ids.is_empty() {
+        return Err("allow() lists no lint ids".to_string());
+    }
+    let after = rest[close + 1..].trim();
+    let reason = after.strip_prefix("--").map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return Err(
+            "suppression carries no reason (write `allow(<ids>) -- <why this site is sound>`)"
+                .to_string(),
+        );
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn token_lines(file: &LexedFile) -> BTreeSet<u32> {
+        file.tokens.iter().map(|t| t.line).collect()
+    }
+
+    #[test]
+    fn allow_requires_a_reason() {
+        let src = "// memcom-lint: allow(L001)\nlet x = 1;\n";
+        let f = lex(src);
+        let d = parse("f.rs", &f, &token_lines(&f));
+        assert_eq!(d.errors.len(), 1, "reasonless allow is an L000");
+        assert!(d.errors[0].message.contains("no reason"));
+        assert!(d.suppressions.is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src = "// memcom-lint: allow(L001, L004) -- test scaffolding\n\n// another comment\nlet x = 1;\n";
+        let f = lex(src);
+        let d = parse("f.rs", &f, &token_lines(&f));
+        assert!(d.errors.is_empty());
+        assert_eq!(d.suppressions.len(), 1);
+        assert_eq!(d.suppressions[0].covers_line, 4);
+        assert!(d.suppresses(LintId::L004, 4));
+        assert!(!d.suppresses(LintId::L002, 4));
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let src = "let x = 1; // memcom-lint: allow(L003) -- bounded above\n";
+        let f = lex(src);
+        let d = parse("f.rs", &f, &token_lines(&f));
+        assert!(d.suppresses(LintId::L003, 1));
+    }
+
+    #[test]
+    fn fences_pair_up_and_report_mismatches() {
+        let src = "\
+// memcom-lint: hot-path
+work();
+more();
+// memcom-lint: end-hot-path
+after();
+// memcom-lint: end-hot-path
+// memcom-lint: hot-path
+never_closed();
+";
+        let f = lex(src);
+        let d = parse("f.rs", &f, &token_lines(&f));
+        assert_eq!(d.fences.len(), 1);
+        assert!(d.in_fence(2) && d.in_fence(3) && d.in_fence(4));
+        assert!(!d.in_fence(5));
+        // One stray end, one unclosed open.
+        assert_eq!(d.errors.len(), 2);
+    }
+
+    #[test]
+    fn unknown_directives_and_ids_are_l000() {
+        let f = lex(
+            "// memcom-lint: alow(L001) -- typo\nx();\n// memcom-lint: allow(L999) -- no\ny();\n",
+        );
+        let d = parse("f.rs", &f, &token_lines(&f));
+        assert_eq!(d.errors.len(), 2);
+        assert!(d.errors[1].message.contains("unknown lint id"));
+    }
+
+    #[test]
+    fn l000_itself_cannot_be_suppressed() {
+        let f = lex("// memcom-lint: allow(L000) -- nice try\nx();\n");
+        let d = parse("f.rs", &f, &token_lines(&f));
+        assert_eq!(d.errors.len(), 1);
+        assert!(d.errors[0].message.contains("cannot be suppressed"));
+    }
+}

@@ -1,0 +1,493 @@
+//! A lightweight line/token-level Rust lexer.
+//!
+//! `memcom-lint` runs in an offline container with no access to `syn`
+//! or `rustc` internals, so this lexer implements exactly as much of
+//! the Rust lexical grammar as the lints need to be **span-accurate
+//! and comment-aware**:
+//!
+//! * identifiers (including raw `r#ident`) and punctuation, each with a
+//!   1-based line/column;
+//! * every comment (`//` line and nested `/* */` block), with its text
+//!   and whether it trails code on its line — lint directives and
+//!   `SAFETY:`/`ORDERING:` justifications live in comments;
+//! * string/char/byte/raw-string literals and numbers, lexed only far
+//!   enough that an `unwrap` inside `"a string"` or a `//` inside a
+//!   string never confuses the lints.
+//!
+//! It deliberately does **not** build a syntax tree: the lints work on
+//! the token stream plus per-line comment maps, which keeps the pass
+//! dependency-free and fast enough to run as a test.
+
+/// What a token is; the lints only ever need these three classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `unwrap`, `Ordering`, …).
+    Ident(String),
+    /// Any literal: string, raw string, byte string, char, number.
+    Lit,
+    /// One punctuation character (`[`, `.`, `!`, `;`, …).
+    Punct(char),
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class and (for identifiers) text.
+    pub kind: TokKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is exactly the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True when this token is exactly the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment, line or block, with position and trailing-ness.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Text after the `//` marker (or between `/*` and `*/`),
+    /// untrimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` for `//`).
+    pub end_line: u32,
+    /// True when code tokens precede the comment on its first line —
+    /// a trailing comment annotates its own line, a standalone comment
+    /// annotates the code below it.
+    pub trailing: bool,
+}
+
+/// A fully lexed file: tokens plus comments, in source order.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All code tokens in order.
+    pub tokens: Vec<Tok>,
+    /// All comments in order.
+    pub comments: Vec<Comment>,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    at: usize,
+    line: u32,
+    col: u32,
+    out: LexedFile,
+    last_token_line: u32,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            at: 0,
+            line: 1,
+            col: 1,
+            out: LexedFile::default(),
+            last_token_line: 0,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.at + ahead).copied()
+    }
+
+    /// Consumes one character, tracking line/column across newlines
+    /// (which may occur inside strings and block comments).
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.at).copied()?;
+        self.at += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push_tok(&mut self, kind: TokKind, line: u32, col: u32) {
+        self.last_token_line = line;
+        self.out.tokens.push(Tok { kind, line, col });
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if c == '"' {
+                let (line, col) = (self.line, self.col);
+                self.string_literal();
+                self.push_tok(TokKind::Lit, line, col);
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else {
+                let (line, col) = (self.line, self.col);
+                self.bump();
+                self.push_tok(TokKind::Punct(c), line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_token_line == line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+            trailing,
+        });
+    }
+
+    /// Block comments nest in Rust; the whole nest is one comment.
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_token_line == line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push('*');
+                        text.push('/');
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: tolerate, rustc rejects it anyway
+            }
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: self.line,
+            trailing,
+        });
+    }
+
+    /// An identifier — unless it turns out to prefix a literal
+    /// (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`) or a raw identifier
+    /// (`r#ident`).
+    fn ident_or_prefixed_literal(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let next = self.peek(0);
+        let raw_capable = name == "r" || name == "br";
+        if (raw_capable || name == "b") && next == Some('"') {
+            if name == "b" {
+                self.string_literal();
+            } else {
+                self.raw_string_literal(0);
+            }
+            self.push_tok(TokKind::Lit, line, col);
+            return;
+        }
+        if raw_capable && next == Some('#') {
+            let mut hashes = 0usize;
+            while self.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) == Some('"') {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.raw_string_literal(hashes);
+                self.push_tok(TokKind::Lit, line, col);
+                return;
+            }
+            // `r#ident`: a raw identifier, token text is the raw name.
+            if name == "r" && self.peek(1).is_some_and(is_ident_start) {
+                self.bump(); // '#'
+                let mut raw = String::new();
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        raw.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push_tok(TokKind::Ident(raw), line, col);
+                return;
+            }
+        }
+        self.push_tok(TokKind::Ident(name), line, col);
+    }
+
+    /// A `"…"` string with escapes (opening quote not yet consumed).
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+    }
+
+    /// A raw string body: opening quote not yet consumed, terminated by
+    /// `"` followed by `hashes` `#` characters.
+    fn raw_string_literal(&mut self, hashes: usize) {
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Lit, line, col);
+    }
+
+    /// Disambiguates `'a'` / `'\n'` (char literals) from `'a` /
+    /// `'static` (lifetimes). Lifetimes produce no token — no lint
+    /// needs them.
+    fn char_or_lifetime(&mut self) {
+        let (line, col) = (self.line, self.col);
+        match (self.peek(1), self.peek(2)) {
+            // Escaped char literal: consume through the closing quote.
+            (Some('\\'), _) => {
+                self.bump(); // '
+                self.bump(); // backslash
+                self.bump(); // escaped char
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push_tok(TokKind::Lit, line, col);
+            }
+            // 'x' with x an ident char and a closing quote: char literal.
+            (Some(c), Some('\'')) if is_ident_continue(c) => {
+                self.bump();
+                self.bump();
+                self.bump();
+                self.push_tok(TokKind::Lit, line, col);
+            }
+            // 'ident (no closing quote right after): a lifetime.
+            (Some(c), _) if is_ident_start(c) => {
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Non-ident char literal like '(' or ' '.
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.bump();
+                self.push_tok(TokKind::Lit, line, col);
+            }
+            _ => {
+                // Stray quote (malformed source); consume and move on.
+                self.bump();
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: malformed input
+/// (which rustc would reject) degrades to best-effort tokens rather
+/// than an error, so the lint pass can always run.
+pub fn lex(src: &str) -> LexedFile {
+    Lexer::new(src).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn tokens_carry_one_based_positions() {
+        let f = lex("let x = 1;\n  foo.bar();\n");
+        let foo = f.tokens.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!((foo.line, foo.col), (2, 3));
+        let dot = f.tokens.iter().find(|t| t.is_punct('.')).unwrap();
+        assert_eq!((dot.line, dot.col), (2, 6));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `unwrap` inside a string or comment must not produce a token.
+        let f = lex("let s = \"unwrap() // not code\"; s.len();");
+        assert_eq!(
+            idents("let s = \"unwrap()\"; s.len();"),
+            ["let", "s", "s", "len"]
+        );
+        assert!(f.tokens.iter().all(|t| !t.is_ident("unwrap")));
+        assert!(f.comments.is_empty(), "// inside a string is not a comment");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_escapes() {
+        let f = lex(r####"let s = r#"quote " and \ backslash"# ; end"####);
+        assert_eq!(
+            f.tokens
+                .iter()
+                .filter_map(|t| t.ident())
+                .collect::<Vec<_>>(),
+            ["let", "s", "end"]
+        );
+        // Byte and raw-byte strings too.
+        assert_eq!(
+            idents(r#"let b = b"bytes \" more"; done"#),
+            ["let", "b", "done"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_name() {
+        assert_eq!(idents("let r#unsafe = 1;"), ["let", "unsafe"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // 'a in a generic position must not swallow `>` as a char body.
+        let f = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(f.tokens.iter().any(|t| t.is_punct('>')));
+        assert_eq!(
+            f.tokens
+                .iter()
+                .filter_map(|t| t.ident())
+                .collect::<Vec<_>>(),
+            ["fn", "f", "x", "str", "str", "x"]
+        );
+        // While real char literals lex as literals.
+        let f = lex("let c = 'x'; let n = '\\n';");
+        assert_eq!(
+            f.tokens.iter().filter(|t| t.kind == TokKind::Lit).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_record_position_and_trailingness() {
+        let f = lex("// standalone\nlet x = 1; // trailing\n/* block\nspan */ let y = 2;\n");
+        assert_eq!(f.comments.len(), 3);
+        assert!(!f.comments[0].trailing);
+        assert_eq!(f.comments[0].text.trim(), "standalone");
+        assert!(f.comments[1].trailing);
+        assert_eq!((f.comments[2].line, f.comments[2].end_line), (3, 4));
+        assert!(!f.comments[2].trailing);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(f.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ let x = 1;"), ["let", "x"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let f = lex("for i in 0..10 { a[i / 2]; }");
+        let dots = f.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "0..10 keeps both range dots");
+    }
+}

@@ -1,0 +1,171 @@
+//! `memcom-analysis` — repo-invariant static analysis for the memcom
+//! workspace.
+//!
+//! The crate ships one binary, `memcom-lint`, which walks every `.rs`
+//! file under a root, lexes it ([`lexer`]), parses `memcom-lint:`
+//! directives ([`directives`]), runs the lint catalog ([`lints`],
+//! IDs in [`diag::LintId`]), and reports span-accurate diagnostics.
+//! Exit codes: 0 clean, 1 violations, 2 usage/IO error.
+//!
+//! The pass is deliberately dependency-free (the build container is
+//! offline): a hand-rolled lexer over the token stream, no `syn`, no
+//! type information. Lints therefore trade cleverness for
+//! predictability and lean on written-reason suppressions
+//! (`// memcom-lint: allow(<ids>) -- <reason>`) where the rule cannot
+//! see through a sound site.
+
+pub mod diag;
+pub mod directives;
+pub mod lexer;
+pub mod lints;
+
+use std::collections::{BTreeSet, HashMap};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use diag::Diagnostic;
+
+/// Directory names the walker never descends into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "results"];
+
+/// Path prefixes (relative, `/`-separated) excluded from the real
+/// check: the lint fixtures are deliberately-bad code.
+const SKIP_PREFIXES: &[&str] = &["crates/analysis/tests/fixtures"];
+
+/// Outcome of checking a whole tree.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Violations that survived suppression, in (path, line, col) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+    /// Diagnostics silenced by `allow` directives (each of which
+    /// carries a written reason).
+    pub suppressed: usize,
+}
+
+impl CheckReport {
+    /// True when the tree is lint-clean.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Checks one file's source text as if it lived at `rel_path` (a
+/// `/`-separated path relative to the root — path-scoped lints key off
+/// it). Returns (diagnostics, suppressed-count).
+pub fn check_source(rel_path: &str, src: &str) -> (Vec<Diagnostic>, usize) {
+    let lexed = lexer::lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let mut comments_by_line: HashMap<u32, Vec<&lexer::Comment>> = HashMap::new();
+    for c in &lexed.comments {
+        for l in c.line..=c.end_line {
+            comments_by_line.entry(l).or_default().push(c);
+        }
+    }
+    let dirs = directives::parse(rel_path, &lexed, &token_lines);
+    let spans = lints::test_spans(&lexed.tokens);
+    let is_test_file = rel_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
+    let ctx = lints::FileCtx {
+        path: rel_path,
+        lexed: &lexed,
+        lines: &lines,
+        token_lines: &token_lines,
+        comments_by_line: &comments_by_line,
+        directives: &dirs,
+        test_spans: &spans,
+        is_test_file,
+    };
+    let raw = lints::run_all(&ctx);
+    let total = raw.len();
+    let mut diags: Vec<Diagnostic> = dirs.errors.clone();
+    diags.extend(raw.into_iter().filter(|d| !dirs.suppresses(d.lint, d.line)));
+    let suppressed = total + dirs.errors.len() - diags.len();
+    diags.sort_by_key(|d| (d.line, d.col, d.lint));
+    (diags, suppressed)
+}
+
+/// Walks every `.rs` file under `root` and runs the full lint pass.
+pub fn check_workspace(root: &Path) -> io::Result<CheckReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = CheckReport::default();
+    for rel in files {
+        let abs = root.join(&rel);
+        let src = fs::read_to_string(&abs)?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        if SKIP_PREFIXES.iter().any(|p| rel_str.starts_with(p)) {
+            continue;
+        }
+        let (diags, suppressed) = check_source(&rel_str, &src);
+        report.files_checked += 1;
+        report.suppressed += suppressed;
+        report.diagnostics.extend(diags);
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag::LintId;
+
+    #[test]
+    fn check_source_combines_lints_directives_and_suppressions() {
+        let src = "\
+fn f() {
+    unsafe { g() }
+    // memcom-lint: allow(L001) -- covered by the caller's invariant
+    unsafe { g() }
+}
+";
+        let (diags, suppressed) = check_source("crates/x/src/lib.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!((diags[0].lint, diags[0].line), (LintId::L001, 2));
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn test_dir_files_skip_counter_lints_but_not_unsafe() {
+        let src = "\
+fn t(c: &C) {
+    c.shed.fetch_add(1, Ordering::Relaxed);
+    unsafe { core::hint::unreachable_unchecked() }
+}
+";
+        let (diags, _) = check_source("crates/net/tests/shed.rs", src);
+        // Integration tests: L004 silent, L001 still applies.
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].lint, LintId::L001);
+        // The same source in a src file trips both.
+        let (diags, _) = check_source("crates/net/src/shed.rs", src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+}

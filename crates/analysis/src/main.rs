@@ -1,0 +1,76 @@
+//! `memcom-lint` — the CLI front end for [`memcom_analysis`].
+//!
+//! ```text
+//! memcom-lint check [--root DIR]   # lint the tree; exit 1 on violations
+//! memcom-lint lints                # print the lint catalog
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use memcom_analysis::check_workspace;
+use memcom_analysis::diag::LintId;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("lints") => cmd_lints(),
+        Some(other) => usage(&format!("unknown command `{other}`")),
+        None => usage("missing command"),
+    }
+}
+
+fn cmd_check(rest: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let report = match check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("memcom-lint: cannot check {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    eprintln!(
+        "memcom-lint: {} file(s) checked, {} violation(s), {} suppressed with written reasons",
+        report.files_checked,
+        report.diagnostics.len(),
+        report.suppressed,
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_lints() -> ExitCode {
+    println!("memcom-lint catalog ({} lints):", LintId::ALL.len());
+    for id in LintId::ALL {
+        println!("  {} {:<24} {}", id.code(), id.name(), id.summary());
+    }
+    println!();
+    println!("suppress with:  // memcom-lint: allow(<ids>) -- <reason>   (reason required)");
+    println!("fence hot code: // memcom-lint: hot-path … // memcom-lint: end-hot-path");
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("memcom-lint: {problem}");
+    eprintln!("usage: memcom-lint check [--root DIR] | memcom-lint lints");
+    ExitCode::from(2)
+}

@@ -1,0 +1,4 @@
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    // memcom-lint: allow(L001)
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,3 @@
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,10 @@
+use std::time::Instant;
+
+// memcom-lint: hot-path
+pub fn serve_one(stages_on: bool) -> Option<Instant> {
+    let gated = stages_on.then(Instant::now);
+    let bad = Instant::now();
+    let _ = bad;
+    gated
+}
+// memcom-lint: end-hot-path

@@ -1,0 +1,3 @@
+pub fn decode_u8(bytes: &[u8]) -> u8 {
+    bytes.first().copied().unwrap()
+}

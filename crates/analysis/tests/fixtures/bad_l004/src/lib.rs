@@ -1,0 +1,9 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counters {
+    pub issued: AtomicU64,
+}
+
+pub fn tally(c: &Counters) {
+    c.issued.fetch_add(1, Ordering::Relaxed);
+}

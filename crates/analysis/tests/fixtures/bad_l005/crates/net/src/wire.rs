@@ -1,0 +1,3 @@
+pub fn encode_len(n: usize) -> u32 {
+    n as u32
+}

@@ -1,0 +1,22 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+pub struct Counters {
+    pub issued: AtomicU64,
+}
+
+/// Reads the head byte of a non-empty frame.
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    // SAFETY: callers pass the non-empty header slice, so the pointer
+    // dereference stays in bounds.
+    unsafe { *bytes.as_ptr() }
+}
+
+// memcom-lint: hot-path
+pub fn serve_one(c: &Counters, stages_on: bool) -> Option<Instant> {
+    // ORDERING: the outcome counters are Release-published after this;
+    // snapshots read them Acquire-first, so Relaxed is sound here.
+    c.issued.fetch_add(1, Ordering::Relaxed);
+    stages_on.then(Instant::now)
+}
+// memcom-lint: end-hot-path

@@ -1,0 +1,5 @@
+pub fn head(bytes: &[u8]) -> u8 {
+    // memcom-lint: allow(L001) -- fixture: the harness asserts reasoned
+    // suppressions keep the tree green.
+    unsafe { *bytes.as_ptr() }
+}

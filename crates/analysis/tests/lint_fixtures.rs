@@ -1,0 +1,145 @@
+//! End-to-end tests for the `memcom-lint` binary: each known-bad
+//! fixture under `tests/fixtures/` must produce its exact diagnostic
+//! (file, line, column, lint ID) and a non-zero exit, the clean and
+//! suppressed fixtures must exit zero, and the real workspace itself
+//! must be lint-clean.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_check(root: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_memcom-lint"))
+        .args(["check", "--root"])
+        .arg(root)
+        .output()
+        .expect("spawning memcom-lint")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Asserts a bad fixture yields exit 1 and exactly the expected
+/// diagnostic lines (prefix-matched so message wording can evolve
+/// without breaking span/ID assertions).
+fn assert_bad(name: &str, expected_prefixes: &[&str]) {
+    let out = run_check(&fixture(name));
+    assert_eq!(out.status.code(), Some(1), "{name}: {}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        expected_prefixes.len(),
+        "{name}: expected {} diagnostic(s), got:\n{text}",
+        expected_prefixes.len()
+    );
+    for (line, prefix) in lines.iter().zip(expected_prefixes) {
+        assert!(
+            line.starts_with(prefix),
+            "{name}: expected a diagnostic starting with `{prefix}`, got `{line}`"
+        );
+    }
+}
+
+#[test]
+fn bad_l001_undocumented_unsafe() {
+    assert_bad("bad_l001", &["src/lib.rs:2:5: L001 undocumented-unsafe:"]);
+}
+
+#[test]
+fn bad_l002_hot_path_clock() {
+    assert_bad("bad_l002", &["src/lib.rs:6:15: L002 hot-path-clock:"]);
+}
+
+#[test]
+fn bad_l003_panic_on_wire() {
+    assert_bad(
+        "bad_l003",
+        &["crates/net/src/wire.rs:2:28: L003 panic-on-wire:"],
+    );
+}
+
+#[test]
+fn bad_l004_relaxed_ordering_audit() {
+    assert_bad(
+        "bad_l004",
+        &["src/lib.rs:8:27: L004 relaxed-ordering-audit:"],
+    );
+}
+
+#[test]
+fn bad_l005_as_truncation() {
+    assert_bad(
+        "bad_l005",
+        &["crates/net/src/wire.rs:2:7: L005 as-truncation:"],
+    );
+}
+
+#[test]
+fn bad_l000_reasonless_allow_is_a_violation_and_does_not_suppress() {
+    assert_bad(
+        "bad_l000",
+        &[
+            "src/lib.rs:2:1: L000 lint-directive:",
+            "src/lib.rs:3:5: L001 undocumented-unsafe:",
+        ],
+    );
+}
+
+#[test]
+fn clean_fixture_exits_zero_with_no_suppressions() {
+    let out = run_check(&fixture("clean"));
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).is_empty(), "{}", stdout(&out));
+    assert!(
+        stderr(&out).contains("0 violation(s), 0 suppressed"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn suppressed_fixture_exits_zero_and_counts_the_reasoned_allow() {
+    let out = run_check(&fixture("suppressed"));
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).is_empty(), "{}", stdout(&out));
+    assert!(
+        stderr(&out).contains("0 violation(s), 1 suppressed"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn missing_root_exits_two() {
+    let out = run_check(&fixture("does_not_exist"));
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+/// The real acceptance gate: the workspace itself must be lint-clean,
+/// with every suppression carrying a written reason.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let out = run_check(&root);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace lint violations:\n{}\n{}",
+        stdout(&out),
+        stderr(&out)
+    );
+}

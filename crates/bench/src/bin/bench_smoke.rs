@@ -47,17 +47,23 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to `System` plus a relaxed counter
+// bump; every GlobalAlloc contract obligation is discharged by the
+// delegated call.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout handed unchanged to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: ptr/layout/new_size forwarded unchanged to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: ptr/layout forwarded unchanged to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
@@ -89,6 +95,7 @@ const DIRECTIONS: &[(&str, Direction)] = &[
     ("delta_copied_frac", Direction::LowerIsBetter),
     ("telemetry_overhead_pct", Direction::LowerIsBetter),
     ("net_loopback_qps", Direction::HigherIsBetter),
+    ("lint_runtime_ms", Direction::LowerIsBetter),
 ];
 
 /// Allowed regression vs. the checked-in baseline.
@@ -96,9 +103,11 @@ const TOLERANCE: f64 = 1.25;
 
 /// Metrics where the baseline value is itself the hard limit rather
 /// than a floor the tolerance scales: `telemetry_overhead_pct` is a
-/// percentage budget (full telemetry may cost at most this much QPS),
-/// so a "25% worse than measured-at-baseline-time" gate would drift.
-const ABSOLUTE_CAPS: &[&str] = &["telemetry_overhead_pct"];
+/// percentage budget (full telemetry may cost at most this much QPS)
+/// and `lint_runtime_ms` is a wall-clock budget for the full
+/// memcom-lint pass, so a "25% worse than measured-at-baseline-time"
+/// gate would drift.
+const ABSOLUTE_CAPS: &[&str] = &["telemetry_overhead_pct", "lint_runtime_ms"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -413,6 +422,26 @@ fn measure(quick: bool) -> Vec<(&'static str, f64)> {
     .expect("net load runs");
     net_server.shutdown();
     metrics.push(("net_loopback_qps", net_report.qps()));
+
+    // --- static-analysis runtime: the memcom-lint pass over the tree -
+    // Wall-clock cost of the full lint walk (lex + directive parse +
+    // the five-lint catalog over every .rs file, from the workspace
+    // root CI runs this binary in). The baseline entry is an absolute
+    // millisecond budget, not a measured floor: the gate keeps the
+    // pass cheap enough to run on every push.
+    let t0 = Instant::now();
+    match memcom_analysis::check_workspace(std::path::Path::new(".")) {
+        Ok(report) => {
+            if !report.clean() {
+                eprintln!(
+                    "bench_smoke: memcom-lint found {} violation(s) while timing the pass",
+                    report.diagnostics.len()
+                );
+            }
+        }
+        Err(e) => eprintln!("bench_smoke: lint timing walk failed: {e}"),
+    }
+    metrics.push(("lint_runtime_ms", t0.elapsed().as_secs_f64() * 1e3));
 
     metrics
 }

@@ -181,6 +181,9 @@ impl<S: ByteStream> ClientInner<S> {
     fn tally_error(&self, code: ErrorCode, retry_after: Duration) {
         match code {
             ErrorCode::Overloaded => {
+                // ORDERING: client-side outcome tally, bumped only by
+                // the single reader thread; not the server-side
+                // `issued >= requests + shed + expired` contract.
                 self.counters.shed.fetch_add(1, Ordering::Relaxed);
                 self.counters
                     .backoff_hint_nanos
@@ -194,6 +197,8 @@ impl<S: ByteStream> ClientInner<S> {
                 }
             }
             ErrorCode::DeadlineExceeded => {
+                // ORDERING: same single-reader client tally as `shed`
+                // above; no cross-counter invariant to preserve.
                 self.counters.expired.fetch_add(1, Ordering::Relaxed);
             }
             ErrorCode::ShuttingDown => {
@@ -310,8 +315,8 @@ impl<S: ByteStream> NetClient<S> {
         NetClientStats {
             sent: c.sent.load(Ordering::Relaxed),
             served: c.served.load(Ordering::Relaxed),
-            shed: c.shed.load(Ordering::Relaxed),
-            expired: c.expired.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed), // ORDERING: advisory client tally, no contract
+            expired: c.expired.load(Ordering::Relaxed), // ORDERING: advisory client tally, no contract
             shutdown_rejected: c.shutdown_rejected.load(Ordering::Relaxed),
             other_errors: c.other_errors.load(Ordering::Relaxed),
             backoff_hint_nanos: c.backoff_hint_nanos.load(Ordering::Relaxed),
@@ -336,6 +341,7 @@ impl<S: ByteStream> NetClient<S> {
     /// write fails, [`NetError::Protocol`] if the request cannot be
     /// encoded (model name over [`crate::wire::MAX_MODEL_LEN`], id
     /// batch over the frame cap).
+    // memcom-lint: hot-path
     pub fn send(&self, model: &str, ids: &[u64], deadline: Option<Duration>) -> Result<Pending> {
         if self.inner.closed.load(Ordering::Acquire) {
             return Err(NetError::ClientClosed);
@@ -343,6 +349,9 @@ impl<S: ByteStream> NetClient<S> {
         if self.inner.config.honor_backoff {
             let until = *self.inner.backoff_until.lock();
             if let Some(until) = until {
+                // memcom-lint: allow(L002) -- reached only while a server
+                // backoff hint is active; deciding whether the pause has
+                // lapsed requires a wall-clock read.
                 let now = Instant::now();
                 if until > now {
                     let pause = until - now;
@@ -395,6 +404,7 @@ impl<S: ByteStream> NetClient<S> {
             }
         }
     }
+    // memcom-lint: end-hot-path
 
     /// Blocking lookup with the config's default deadline.
     ///

@@ -172,7 +172,7 @@ impl<T: Transport, E: EventLoop> NetServer<T, E> {
                         Err(_) => {}
                     }
                 })
-                .expect("spawning the acceptor thread")
+                .map_err(NetError::Io)?
         };
         Ok(NetServer {
             shared,
@@ -216,9 +216,11 @@ impl<T: Transport, E: EventLoop> NetServer<T, E> {
         self.event_loop.drain();
         let snapshot = self.shared.telemetry.snapshot(self.shared.router.metrics());
         let Ok(shared) = Arc::try_unwrap(self.shared) else {
+            // memcom-lint: allow(L003) -- not a wire path: shutdown() consumed self after joining every connection thread, so this Arc is provably unique
             unreachable!("all connection threads joined, no other Shared owners");
         };
         let Ok(router) = Arc::try_unwrap(shared.router) else {
+            // memcom-lint: allow(L003) -- not a wire path: the acceptor and all connections are joined; only shutdown() still holds this Router Arc
             unreachable!("all connection threads joined, no other Router owners");
         };
         (router.shutdown(), snapshot)
@@ -236,6 +238,7 @@ struct ConnCtx {
     stages_on: bool,
 }
 
+// memcom-lint: hot-path
 fn serve_connection<T: Transport>(shared: &Shared<T>, mut stream: T::Stream, conn: &ConnTelemetry) {
     let _ = stream.set_nodelay(shared.config.nodelay);
     let _ = stream.set_read_timeout(Some(shared.config.poll_tick));
@@ -293,6 +296,7 @@ fn serve_connection<T: Transport>(shared: &Shared<T>, mut stream: T::Stream, con
     let _ = stream.shutdown_both();
     conn.open.store(false, Ordering::Relaxed);
 }
+// memcom-lint: end-hot-path
 
 /// The shutdown drain: keep answering frames already on the wire with
 /// typed `shutting_down` errors (never silence) until the grace period
@@ -324,6 +328,7 @@ fn drain_connection<T: Transport>(
 
 /// Serves one decoded frame. Returns `false` when the connection must
 /// close (protocol violation or a failed write).
+// memcom-lint: hot-path
 fn handle_frame<T: Transport>(
     shared: &Shared<T>,
     stream: &mut T::Stream,
@@ -437,12 +442,14 @@ fn serve_lookup<T: Transport>(
         Ok(()) => {
             ctx.write_buf.clear();
             let started = ctx.stages_on.then(Instant::now);
-            let encoded = encode_rows(
-                req.request_id,
-                ctx.batch.dim() as u32,
-                ctx.batch.data(),
-                &mut ctx.write_buf,
-            );
+            let encoded = u32::try_from(ctx.batch.dim())
+                .map_err(|_| WireError::TooLarge {
+                    payload: ctx.batch.dim() as u64,
+                    max: DEFAULT_MAX_FRAME_LEN,
+                })
+                .and_then(|dim| {
+                    encode_rows(req.request_id, dim, ctx.batch.data(), &mut ctx.write_buf)
+                });
             if let Err(wire_err) = encoded {
                 // The slab cannot travel (e.g. a batch over the frame
                 // cap): the client still deserves an answer on this
@@ -529,3 +536,4 @@ fn send_buffered<S: ByteStream>(stream: &mut S, conn: &ConnTelemetry, ctx: &mut 
     }
     ok
 }
+// memcom-lint: end-hot-path

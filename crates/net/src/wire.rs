@@ -251,10 +251,29 @@ fn begin_frame(out: &mut Vec<u8>, kind: u8, request_id: u64) -> usize {
     len_at
 }
 
-/// Patches the length prefix once the payload is complete.
-fn end_frame(out: &mut [u8], len_at: usize) {
-    let payload_len = (out.len() - len_at - 4) as u32;
-    out[len_at..len_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+/// Patches the length prefix once the payload is complete. On failure
+/// (a payload the length field cannot express, or a `len_at` that does
+/// not point at a header this function wrote) everything appended since
+/// `len_at` is rolled back so `out` never holds a half-built frame.
+fn end_frame(out: &mut Vec<u8>, len_at: usize) -> Result<(), WireError> {
+    let payload = out.len().saturating_sub(len_at + 4);
+    let Ok(payload_len) = u32::try_from(payload) else {
+        out.truncate(len_at);
+        return Err(WireError::TooLarge {
+            payload: payload as u64,
+            max: DEFAULT_MAX_FRAME_LEN,
+        });
+    };
+    match out.get_mut(len_at..len_at + 4) {
+        Some(slot) => {
+            slot.copy_from_slice(&payload_len.to_le_bytes());
+            Ok(())
+        }
+        None => {
+            out.truncate(len_at);
+            Err(WireError::Truncated("length slot"))
+        }
+    }
 }
 
 /// Encodes a lookup request as one complete frame appended to `out`.
@@ -279,17 +298,21 @@ pub fn encode_lookup(req: &LookupRequest, out: &mut Vec<u8>) -> Result<(), WireE
             max: DEFAULT_MAX_FRAME_LEN,
         });
     }
+    let model_len = u16::try_from(model.len()).map_err(|_| WireError::ModelTooLong(model.len()))?;
+    let n_ids = u32::try_from(req.ids.len()).map_err(|_| WireError::TooLarge {
+        payload,
+        max: DEFAULT_MAX_FRAME_LEN,
+    })?;
     let len_at = begin_frame(out, KIND_LOOKUP, req.request_id);
     out.push(dtype_code(req.dtype_hint));
     out.extend_from_slice(&req.deadline.map_or(0, duration_to_nanos).to_le_bytes());
-    out.extend_from_slice(&(model.len() as u16).to_le_bytes());
+    out.extend_from_slice(&model_len.to_le_bytes());
     out.extend_from_slice(model);
-    out.extend_from_slice(&(req.ids.len() as u32).to_le_bytes());
+    out.extend_from_slice(&n_ids.to_le_bytes());
     for &id in &req.ids {
         out.extend_from_slice(&id.to_le_bytes());
     }
-    end_frame(out, len_at);
-    Ok(())
+    end_frame(out, len_at)
 }
 
 /// Encodes a row-slab response as one complete frame appended to `out`.
@@ -325,14 +348,17 @@ pub fn encode_rows(
             max: DEFAULT_MAX_FRAME_LEN,
         });
     }
+    let rows = u32::try_from(rows).map_err(|_| WireError::TooLarge {
+        payload,
+        max: DEFAULT_MAX_FRAME_LEN,
+    })?;
     let len_at = begin_frame(out, KIND_ROWS, request_id);
-    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    out.extend_from_slice(&rows.to_le_bytes());
     out.extend_from_slice(&dim.to_le_bytes());
     for &v in data {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    end_frame(out, len_at);
-    Ok(())
+    end_frame(out, len_at)
 }
 
 /// Encodes a typed-error response as one complete frame appended to
@@ -359,13 +385,16 @@ pub fn encode_error(
             max: DEFAULT_MAX_FRAME_LEN,
         });
     }
+    let msg_len = u32::try_from(msg.len()).map_err(|_| WireError::TooLarge {
+        payload,
+        max: DEFAULT_MAX_FRAME_LEN,
+    })?;
     let len_at = begin_frame(out, KIND_ERROR, request_id);
     out.extend_from_slice(&code.as_u16().to_le_bytes());
     out.extend_from_slice(&duration_to_nanos(retry_after).to_le_bytes());
-    out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    out.extend_from_slice(&msg_len.to_le_bytes());
     out.extend_from_slice(msg);
-    end_frame(out, len_at);
-    Ok(())
+    end_frame(out, len_at)
 }
 
 /// Longest error message [`encode_error_lossy`] can carry.
@@ -385,8 +414,15 @@ pub fn encode_error_lossy(
     while end > 0 && !message.is_char_boundary(end) {
         end -= 1;
     }
-    encode_error(request_id, code, retry_after, &message[..end], out)
-        .expect("truncated message fits the frame cap");
+    let truncated = message.get(..end).unwrap_or("");
+    let base = out.len();
+    if encode_error(request_id, code, retry_after, truncated, out).is_err() {
+        // The truncated message provably fits the cap; if the strict
+        // encoder still refuses, ship an empty-message error frame
+        // (fixed 24-byte payload, always encodable) rather than panic.
+        out.truncate(base);
+        let _ = encode_error(request_id, code, retry_after, "", out);
+    }
 }
 
 /// A strict little-endian cursor over one payload.
@@ -398,10 +434,10 @@ struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], WireError> {
         let end = self.at.checked_add(n).ok_or(WireError::Truncated(field))?;
-        if end > self.buf.len() {
-            return Err(WireError::Truncated(field));
-        }
-        let s = &self.buf[self.at..end];
+        let s = self
+            .buf
+            .get(self.at..end)
+            .ok_or(WireError::Truncated(field))?;
         self.at = end;
         Ok(s)
     }
@@ -411,15 +447,21 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self, field: &'static str) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2, field)?.try_into().unwrap()))
+        let b = self.take(2, field)?;
+        let b = b.try_into().map_err(|_| WireError::Truncated(field))?;
+        Ok(u16::from_le_bytes(b))
     }
 
     fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4, field)?.try_into().unwrap()))
+        let b = self.take(4, field)?;
+        let b = b.try_into().map_err(|_| WireError::Truncated(field))?;
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8, field)?.try_into().unwrap()))
+        let b = self.take(8, field)?;
+        let b = b.try_into().map_err(|_| WireError::Truncated(field))?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn finish(self) -> Result<(), WireError> {
@@ -480,9 +522,9 @@ pub fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
                 .ok_or(WireError::Truncated("row data"))?;
             let mut data = Vec::with_capacity(values.min(payload.len() / 4 + 1));
             for _ in 0..values {
-                data.push(f32::from_le_bytes(
-                    c.take(4, "row data")?.try_into().unwrap(),
-                ));
+                let b = c.take(4, "row data")?;
+                let b = b.try_into().map_err(|_| WireError::Truncated("row data"))?;
+                data.push(f32::from_le_bytes(b));
             }
             c.finish()?;
             Ok(Message::Rows(RowsResponse {
@@ -555,7 +597,7 @@ impl FrameReader {
     /// The last complete frame's payload (valid after
     /// [`ReadEvent::Frame`], until the next `read_frame` call).
     pub fn payload(&self) -> &[u8] {
-        &self.payload[..self.payload_filled]
+        self.payload.get(..self.payload_filled).unwrap_or(&[])
     }
 
     /// Advances toward the next frame. Timeouts and `Interrupted` are
@@ -568,25 +610,35 @@ impl FrameReader {
     /// `Err(Ok(WireError))`-style nesting is avoided by flattening: the
     /// error type is [`FrameError`].
     pub fn read_frame(&mut self, r: &mut impl Read) -> Result<ReadEvent, FrameError> {
-        if self.expecting.is_none() {
-            match self.fill_header(r)? {
-                ReadEvent::Frame => {} // header complete; fall through
-                other => return Ok(other),
+        let want = match self.expecting {
+            Some(want) => want,
+            None => {
+                match self.fill_header(r)? {
+                    ReadEvent::Frame => {} // header complete; fall through
+                    other => return Ok(other),
+                }
+                let declared = u32::from_le_bytes(self.header);
+                if declared > self.max_frame_len {
+                    return Err(FrameError::Wire(WireError::Oversized {
+                        declared,
+                        max: self.max_frame_len,
+                    }));
+                }
+                let want = declared as usize;
+                self.expecting = Some(want);
+                self.payload.resize(want, 0);
+                self.payload_filled = 0;
+                want
             }
-            let declared = u32::from_le_bytes(self.header);
-            if declared > self.max_frame_len {
-                return Err(FrameError::Wire(WireError::Oversized {
-                    declared,
-                    max: self.max_frame_len,
-                }));
-            }
-            self.expecting = Some(declared as usize);
-            self.payload.resize(declared as usize, 0);
-            self.payload_filled = 0;
-        }
-        let want = self.expecting.unwrap();
+        };
         while self.payload_filled < want {
-            match r.read(&mut self.payload[self.payload_filled..want]) {
+            // `payload` was resized to exactly `want`, so the slice is
+            // always there; if the invariant ever broke, stop reading
+            // instead of panicking mid-connection.
+            let Some(dst) = self.payload.get_mut(self.payload_filled..want) else {
+                break;
+            };
+            match r.read(dst) {
                 Ok(0) => return Ok(ReadEvent::Eof),
                 Ok(n) => self.payload_filled += n,
                 Err(e) => return Self::map_timeout(e),
@@ -601,7 +653,13 @@ impl FrameReader {
     /// Reads header bytes; `Frame` here means "header complete".
     fn fill_header(&mut self, r: &mut impl Read) -> Result<ReadEvent, FrameError> {
         while self.header_filled < 4 {
-            match r.read(&mut self.header[self.header_filled..]) {
+            // `header_filled < 4` keeps the range inside the 4-byte
+            // array; degrade to "header complete" on a broken invariant
+            // rather than panic.
+            let Some(dst) = self.header.get_mut(self.header_filled..) else {
+                break;
+            };
+            match r.read(dst) {
                 Ok(0) => return Ok(ReadEvent::Eof),
                 Ok(n) => self.header_filled += n,
                 Err(e) => return Self::map_timeout(e),

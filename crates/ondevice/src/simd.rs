@@ -109,8 +109,12 @@ pub fn copy_f32(bytes: &[u8], out: &mut [f32]) {
     assert!(bytes.len() >= out.len() * 4, "short f32 row");
     match active_kernel() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified at runtime by active_kernel(); the
+        // assert above covers the kernel's whole-slice access.
         Kernel::Avx2 => unsafe { x86::copy_f32_avx2(bytes, out) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 verified at runtime by active_kernel(); same
+        // bounds contract as above.
         Kernel::Sse2 => unsafe { x86::copy_f32_sse2(bytes, out) },
         _ => scalar::copy_f32(bytes, out),
     }
@@ -153,8 +157,12 @@ pub fn decode_f16(bytes: &[u8], out: &mut [f32]) {
     assert!(bytes.len() >= out.len() * 2, "short f16 row");
     match active_kernel() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified at runtime by active_kernel(); the
+        // assert above covers the kernel's whole-slice access.
         Kernel::Avx2 => unsafe { x86::decode_f16_avx2(bytes, out) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 verified at runtime by active_kernel(); same
+        // bounds contract as above.
         Kernel::Sse2 => unsafe { x86::decode_f16_sse2(bytes, out) },
         _ => scalar::decode_f16(bytes, out),
     }
@@ -170,8 +178,12 @@ pub fn dequant_i8(bytes: &[u8], scale: f32, out: &mut [f32]) {
     assert!(bytes.len() >= out.len(), "short int8 row");
     match active_kernel() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified at runtime by active_kernel(); the
+        // assert above covers the kernel's whole-slice access.
         Kernel::Avx2 => unsafe { x86::dequant_i8_avx2(bytes, scale, out) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 verified at runtime by active_kernel(); same
+        // bounds contract as above.
         Kernel::Sse2 => unsafe { x86::dequant_i8_sse2(bytes, scale, out) },
         _ => scalar::dequant_i8(bytes, scale, out),
     }
@@ -187,8 +199,12 @@ pub fn dequant_i4(bytes: &[u8], scale: f32, out: &mut [f32]) {
     assert!(bytes.len() >= out.len().div_ceil(2), "short int4 row");
     match active_kernel() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified at runtime by active_kernel(); the
+        // assert above covers the kernel's whole-slice access.
         Kernel::Avx2 => unsafe { x86::dequant_i4_avx2(bytes, scale, out) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 verified at runtime by active_kernel(); same
+        // bounds contract as above.
         Kernel::Sse2 => unsafe { x86::dequant_i4_sse2(bytes, scale, out) },
         _ => scalar::dequant_i4(bytes, scale, out),
     }
@@ -212,8 +228,12 @@ pub fn dequant_i2(bytes: &[u8], scale: f32, out: &mut [f32]) {
 pub fn scale_mul(out: &mut [f32], v: f32) {
     match active_kernel() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified at runtime by active_kernel(); the
+        // kernel only touches `out` within its own length.
         Kernel::Avx2 => unsafe { x86::scale_mul_avx2(out, v) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 verified at runtime by active_kernel(); same
+        // bounds contract as above.
         Kernel::Sse2 => unsafe { x86::scale_mul_sse2(out, v) },
         _ => scalar::scale_mul(out, v),
     }
@@ -226,8 +246,12 @@ pub fn scale_mul(out: &mut [f32], v: f32) {
 pub fn scale_add(out: &mut [f32], v: f32, w: f32) {
     match active_kernel() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified at runtime by active_kernel(); the
+        // kernel only touches `out` within its own length.
         Kernel::Avx2 => unsafe { x86::scale_add_avx2(out, v, w) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 verified at runtime by active_kernel(); same
+        // bounds contract as above.
         Kernel::Sse2 => unsafe { x86::scale_add_sse2(out, v, w) },
         _ => scalar::scale_add(out, v, w),
     }
@@ -330,6 +354,9 @@ mod x86 {
     // f32 copy
     // ------------------------------------------------------------------
 
+    // SAFETY: caller must have verified SSE2 and that `bytes` holds at
+    // least `4 * out.len()` bytes (the public wrapper asserts it);
+    // unaligned loads/stores stay inside those bounds.
     #[target_feature(enable = "sse2")]
     pub(super) unsafe fn copy_f32_sse2(bytes: &[u8], out: &mut [f32]) {
         let n = out.len();
@@ -342,6 +369,8 @@ mod x86 {
         scalar::copy_f32(&bytes[i * 4..], &mut out[i..]);
     }
 
+    // SAFETY: caller must have verified AVX2 and the same
+    // `4 * out.len()` bound as the SSE2 tier.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn copy_f32_avx2(bytes: &[u8], out: &mut [f32]) {
         let n = out.len();
@@ -362,6 +391,8 @@ mod x86 {
     /// and stores at `dst` — the shared SSE2 tail of the int8 and int4
     /// paths. Sign extension is done with compare-generated high
     /// bytes/words (SSE2 has no `cvtepi8_epi32`).
+    // SAFETY: caller must have verified SSE2 and that `dst` is valid
+    // for 8 f32 writes.
     #[inline]
     #[target_feature(enable = "sse2")]
     unsafe fn widen8_scale_store_sse2(q: __m128i, vs: __m128, dst: *mut f32) {
@@ -375,6 +406,9 @@ mod x86 {
         _mm_storeu_ps(dst.add(4), _mm_mul_ps(hi, vs));
     }
 
+    // SAFETY: caller must have verified SSE2 and that `bytes` holds at
+    // least `out.len()` codes (the public wrapper asserts it); each
+    // 8-lane step reads 8 bytes and writes 8 f32s inside those bounds.
     #[target_feature(enable = "sse2")]
     pub(super) unsafe fn dequant_i8_sse2(bytes: &[u8], scale: f32, out: &mut [f32]) {
         let n = out.len();
@@ -388,6 +422,8 @@ mod x86 {
         scalar::dequant_i8(&bytes[i..], scale, &mut out[i..]);
     }
 
+    // SAFETY: caller must have verified AVX2 and the same
+    // `out.len()`-codes bound as the SSE2 tier.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn dequant_i8_avx2(bytes: &[u8], scale: f32, out: &mut [f32]) {
         let n = out.len();
@@ -409,6 +445,8 @@ mod x86 {
     /// Unpacks 8 packed bytes (low half of `packed`) into 16 nibble
     /// codes in element order and sign-extends each 4-bit field via
     /// `(n ^ 8) - 8` byte arithmetic.
+    // SAFETY: caller must have verified SSE2; pure register arithmetic,
+    // no memory access.
     #[inline]
     #[target_feature(enable = "sse2")]
     unsafe fn unpack16_i4_sse2(packed: __m128i) -> __m128i {
@@ -420,6 +458,9 @@ mod x86 {
         _mm_sub_epi8(_mm_xor_si128(inter, bias), bias)
     }
 
+    // SAFETY: caller must have verified SSE2 and that `bytes` holds at
+    // least `out.len().div_ceil(2)` packed bytes (the public wrapper
+    // asserts it); each 16-lane step reads 8 bytes and writes 16 f32s.
     #[target_feature(enable = "sse2")]
     pub(super) unsafe fn dequant_i4_sse2(bytes: &[u8], scale: f32, out: &mut [f32]) {
         let n = out.len();
@@ -437,6 +478,8 @@ mod x86 {
         scalar::dequant_i4(&bytes[i / 2..], scale, &mut out[i..]);
     }
 
+    // SAFETY: caller must have verified AVX2 and the same packed-bytes
+    // bound as the SSE2 tier.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn dequant_i4_avx2(bytes: &[u8], scale: f32, out: &mut [f32]) {
         let n = out.len();
@@ -459,12 +502,17 @@ mod x86 {
     // ------------------------------------------------------------------
 
     /// SSE2 blend: `(a & !m) | (b & m)` (no `blendv` before SSE4.1).
+    // SAFETY: caller must have verified SSE2; pure register arithmetic,
+    // no memory access.
     #[inline]
     #[target_feature(enable = "sse2")]
     unsafe fn blend_sse2(a: __m128i, b: __m128i, m: __m128i) -> __m128i {
         _mm_or_si128(_mm_andnot_si128(m, a), _mm_and_si128(m, b))
     }
 
+    // SAFETY: caller must have verified SSE2 and that `bytes` holds at
+    // least `2 * out.len()` bytes (the public wrapper asserts it);
+    // each 4-lane step reads 8 bytes and writes 4 f32s inside bounds.
     #[target_feature(enable = "sse2")]
     pub(super) unsafe fn decode_f16_sse2(bytes: &[u8], out: &mut [f32]) {
         let n = out.len();
@@ -500,6 +548,8 @@ mod x86 {
         scalar::decode_f16(&bytes[i * 2..], &mut out[i..]);
     }
 
+    // SAFETY: caller must have verified AVX2 and the same
+    // `2 * out.len()` bound; each 8-lane step reads 16 bytes.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn decode_f16_avx2(bytes: &[u8], out: &mut [f32]) {
         let n = out.len();
@@ -534,6 +584,8 @@ mod x86 {
     // MemCom scale application
     // ------------------------------------------------------------------
 
+    // SAFETY: caller must have verified SSE2; the loop stays inside
+    // `out`'s own length.
     #[target_feature(enable = "sse2")]
     pub(super) unsafe fn scale_mul_sse2(out: &mut [f32], v: f32) {
         let n = out.len();
@@ -547,6 +599,8 @@ mod x86 {
         scalar::scale_mul(&mut out[i..], v);
     }
 
+    // SAFETY: caller must have verified AVX2; the loop stays inside
+    // `out`'s own length.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn scale_mul_avx2(out: &mut [f32], v: f32) {
         let n = out.len();
@@ -560,6 +614,8 @@ mod x86 {
         scalar::scale_mul(&mut out[i..], v);
     }
 
+    // SAFETY: caller must have verified SSE2; the loop stays inside
+    // `out`'s own length.
     #[target_feature(enable = "sse2")]
     pub(super) unsafe fn scale_add_sse2(out: &mut [f32], v: f32, w: f32) {
         let n = out.len();
@@ -574,6 +630,8 @@ mod x86 {
         scalar::scale_add(&mut out[i..], v, w);
     }
 
+    // SAFETY: caller must have verified AVX2; the loop stays inside
+    // `out`'s own length.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn scale_add_avx2(out: &mut [f32], v: f32, w: f32) {
         let n = out.len();

@@ -288,11 +288,13 @@ impl<T> ShardQueue<T> {
     /// whole budget and [`PushError::Closed`] once the queue is closed.
     /// A budget too large to represent as a point in time (e.g.
     /// `Duration::MAX`) waits indefinitely, like [`push`](Self::push).
+    // memcom-lint: hot-path
     pub fn push_until(
         &self,
         request: T,
         budget: Duration,
     ) -> std::result::Result<(), PushError<T>> {
+        // memcom-lint: allow(L002) -- the admission budget is defined in wall-clock time; one anchor read per push, before the loop
         let deadline = Instant::now().checked_add(budget);
         let mut state = self.state.lock();
         loop {
@@ -304,6 +306,7 @@ impl<T> ShardQueue<T> {
             }
             match deadline {
                 Some(deadline) => {
+                    // memcom-lint: allow(L002) -- re-read only while blocked on a full queue, never on the uncontended fast path
                     let now = Instant::now();
                     if now >= deadline {
                         return Err(PushError::Full(request));
@@ -318,6 +321,7 @@ impl<T> ShardQueue<T> {
         self.ready.notify_one();
         Ok(())
     }
+    // memcom-lint: end-hot-path
 
     /// Pops the next micro-batch: blocks for the first request, then
     /// coalesces up to `max_batch` requests over at most `max_wait`.
@@ -351,6 +355,7 @@ impl<T> ShardQueue<T> {
     /// the assembly latency half of the micro-batching trade-off).
     /// Costs nothing extra: phase 2 reads the clock for its deadline
     /// anyway.
+    // memcom-lint: hot-path
     pub fn pop_batch_into_timed(
         &self,
         batch: &mut Vec<T>,
@@ -372,11 +377,13 @@ impl<T> ShardQueue<T> {
         // Phase 2: hold the batch open until full, timed out, or closed.
         // A `max_wait` too large to represent as a point in time holds
         // the batch open until it fills or the queue closes.
+        // memcom-lint: allow(L002) -- the batch window is defined in wall-clock time; one anchor read per flush, and it doubles as the assembly-latency start
         let opened = Instant::now();
         let deadline = opened.checked_add(max_wait);
         while state.queue.len() < max_batch && !state.closed {
             match deadline {
                 Some(deadline) => {
+                    // memcom-lint: allow(L002) -- re-read only while the batch is deliberately held open waiting for more requests
                     let now = Instant::now();
                     if now >= deadline {
                         break;
@@ -400,6 +407,7 @@ impl<T> ShardQueue<T> {
         self.space.notify_all();
         Some((reason, assembly))
     }
+    // memcom-lint: end-hot-path
 
     /// Closes the queue: producers start failing, the worker drains what
     /// remains and exits.

@@ -102,6 +102,7 @@ impl Admission {
     /// and the override wins; under [`AdmissionPolicy::Block`] the
     /// override is ignored — a blocking router never expires requests,
     /// so `expired` stays 0 regardless of per-request hints.
+    // memcom-lint: hot-path
     fn stamp_with(
         policy: AdmissionPolicy,
         track_issue: bool,
@@ -122,6 +123,7 @@ impl Admission {
                 expires_at: None,
             };
         }
+        // memcom-lint: allow(L002) -- reached only past the early return above, i.e. when a deadline or full-telemetry queue-wait timing requires a stamp
         let issued_at = Instant::now();
         Admission {
             issued_at: Some(issued_at),
@@ -130,6 +132,7 @@ impl Admission {
             expires_at: deadline.and_then(|d| issued_at.checked_add(d)),
         }
     }
+    // memcom-lint: end-hot-path
 
     /// When the request was issued, if the stamp was taken.
     fn issued_at(&self) -> Option<Instant> {
@@ -423,7 +426,15 @@ impl RouterInner {
         let requests = entry.counters.requests.load(Ordering::Acquire);
         let shed = entry.counters.shed.load(Ordering::Acquire);
         let expired = entry.counters.expired.load(Ordering::Acquire);
+        // ORDERING: Relaxed is sufficient for `issued` *after* the
+        // Acquire loads above — every outcome increment was published
+        // with Release after its issue increment, so this load already
+        // observes at least the issues behind the outcomes read above.
         let issued = entry.counters.issued.load(Ordering::Relaxed);
+        debug_assert!(
+            issued >= requests + shed + expired,
+            "counter contract violated: issued={issued} < requests={requests} + shed={shed} + expired={expired}"
+        );
         ServeStats {
             issued,
             requests,
@@ -453,6 +464,7 @@ impl RouterInner {
         shard: usize,
         request: Request,
     ) -> std::result::Result<(), (ServeError, Request)> {
+        // memcom-lint: hot-path
         // Admission wait is timed from a fresh stamp here — not from
         // `issued_at`, which for a multi-shard fan-out would charge
         // earlier shards' admission time to later shards.
@@ -521,6 +533,7 @@ impl RouterInner {
             }
         }
     }
+    // memcom-lint: end-hot-path
 
     fn check_store(&self, store: &ShardedStore) -> Result<()> {
         if store.n_shards() != self.config.n_shards {
@@ -862,7 +875,16 @@ impl Router {
                 let requests = c.requests.load(Ordering::Acquire);
                 let shed = c.shed.load(Ordering::Acquire);
                 let expired = c.expired.load(Ordering::Acquire);
+                // ORDERING: Relaxed after the Acquire outcome loads —
+                // every outcome was Release-published after its issue,
+                // so this load covers the outcomes above (contract
+                // `issued >= requests + shed + expired`).
                 let issued = c.issued.load(Ordering::Relaxed);
+                debug_assert!(
+                    issued >= requests + shed + expired,
+                    "counter contract violated for {}: issued={issued} < requests={requests} + shed={shed} + expired={expired}",
+                    entry.name
+                );
                 let control = &entry.control;
                 ModelMetrics {
                     name: entry.name.clone(),
@@ -1009,6 +1031,10 @@ impl RouterHandle {
     ) -> Result<Vec<f32>> {
         let store = self.store()?;
         store.check_id(id)?;
+        // ORDERING: issue increments stay Relaxed; the matching outcome
+        // (request/shed/expired) is Release-published after this, and
+        // snapshot readers load outcomes with Acquire before `issued`,
+        // which keeps `issued >= requests + shed + expired` observable.
         self.model.counters.issued.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(ResponseSlot::new());
         let shard = store.shard_of(id);
@@ -1067,6 +1093,9 @@ impl RouterHandle {
         for &id in ids {
             store.check_id(id)?;
         }
+        // ORDERING: issue increments stay Relaxed; outcomes are
+        // Release-published after them and snapshots read outcomes
+        // Acquire-first (see `stats_for`).
         self.model
             .counters
             .issued
@@ -1163,6 +1192,9 @@ impl RouterHandle {
         for &id in ids {
             store.check_id(id)?;
         }
+        // ORDERING: issue increments stay Relaxed; outcomes are
+        // Release-published after them and snapshots read outcomes
+        // Acquire-first (see `stats_for`).
         self.model
             .counters
             .issued
@@ -1293,6 +1325,7 @@ fn worker_loop(
 }
 
 #[allow(clippy::too_many_arguments)]
+// memcom-lint: hot-path
 fn serve_batch(
     inner: &RouterInner,
     shard_idx: usize,
@@ -1305,6 +1338,9 @@ fn serve_batch(
 ) {
     let c = &inner.batch;
     let rows: usize = batch.iter().map(Request::rows).sum();
+    // ORDERING: this is the batcher-wide rows tally (BatchCounters),
+    // not the per-model contract counter of the same name; worker
+    // threads only race on the total, which needs no ordering.
     c.requests.fetch_add(rows as u64, Ordering::Relaxed);
     c.batches.fetch_add(1, Ordering::Relaxed);
     match reason {
@@ -1318,6 +1354,7 @@ fn serve_batch(
     // Deadlines are evaluated once, at dequeue time — a request that
     // expired while queued is answered `DeadlineExceeded` below without
     // costing a store read (or the simulated store latency).
+    // memcom-lint: allow(L002) -- one read per flushed batch, amortized over every request in it; deadline evaluation needs a wall-clock anchor
     let now = Instant::now();
     let live = |request: &Request| match request.admission().expires_at() {
         Some(expires_at) => now < expires_at,
@@ -1417,6 +1454,7 @@ fn serve_batch(
                     result,
                 });
                 if let (Some(started), Some(decoded)) = (started, decoded) {
+                    // memcom-lint: allow(L002) -- reached only when stages are on: `started` is `stages_on.then(Instant::now)`
                     let finished = Instant::now();
                     let shard_t = telemetry.shard(shard_idx);
                     {
@@ -1482,6 +1520,7 @@ fn flush_one_run(
                 slot.fill(Ok(row));
             }
             if let (Some(started), Some(decoded)) = (started, decoded) {
+                // memcom-lint: allow(L002) -- reached only when stages are on: `started` is `stages_on.then(Instant::now)`
                 let finished = Instant::now();
                 let shard_t = telemetry.shard(shard_idx);
                 {
@@ -1534,6 +1573,7 @@ fn flush_one_run(
     ids.clear();
     spans.clear();
 }
+// memcom-lint: end-hot-path
 
 #[cfg(test)]
 mod tests {

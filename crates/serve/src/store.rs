@@ -1064,6 +1064,7 @@ impl ShardedStore {
     /// by the serving layer, so a mismatch is an internal bug, and
     /// panicking (rather than quietly truncating) lets the worker's
     /// panic recovery fail the whole batch loudly.
+    // memcom-lint: hot-path
     pub fn lookup_batch(&self, shard_idx: usize, ids: &[usize], out: &mut [f32]) -> Result<()> {
         for &id in ids {
             self.check_id(id)?;
@@ -1088,6 +1089,7 @@ impl ShardedStore {
         self.lookup_batch(shard_idx, ids, &mut flat)?;
         Ok(flat.chunks_exact(self.dim).map(<[f32]>::to_vec).collect())
     }
+    // memcom-lint: end-hot-path
 
     /// Page clone-on-write events while building this snapshot — the
     /// number of pages physically copied off their shared allocation
