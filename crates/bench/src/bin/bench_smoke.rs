@@ -95,6 +95,7 @@ const DIRECTIONS: &[(&str, Direction)] = &[
     ("delta_copied_frac", Direction::LowerIsBetter),
     ("telemetry_overhead_pct", Direction::LowerIsBetter),
     ("net_loopback_qps", Direction::HigherIsBetter),
+    ("score_qps", Direction::HigherIsBetter),
     ("lint_runtime_ms", Direction::LowerIsBetter),
 ];
 
@@ -422,6 +423,59 @@ fn measure(quick: bool) -> Vec<(&'static str, f64)> {
     .expect("net load runs");
     net_server.shutdown();
     metrics.push(("net_loopback_qps", net_report.qps()));
+
+    // --- full-model score path: RankNet behind the router ------------
+    // The same loopback closed loop, but every request is a full
+    // scoring pipeline (embedding gather + pool + dense head) through
+    // a `RankNetBackend` registered in the router's `InferBackend`
+    // registry. Gates the whole score path: wire kind, shard-queue
+    // micro-batching, per-worker inference scratch, and the forward.
+    let ranker = memcom_models::RecModel::new(
+        &memcom_models::ModelConfig::pointwise(vocab, 32, 16, 1),
+        &memcom_core::MethodSpec::MemCom {
+            hash_size: vocab / 10,
+            bias: false,
+        },
+    )
+    .expect("ranker builds");
+    let router = memcom_serve::Router::start(ServeConfig {
+        n_shards: 4,
+        max_batch: 64,
+        max_wait: Duration::from_micros(50),
+        ..ServeConfig::default()
+    })
+    .expect("router starts");
+    router
+        .backends()
+        .register(
+            "ranknet",
+            std::sync::Arc::new(
+                memcom_serve::RankNetBackend::from_model(&ranker).expect("backend builds"),
+            ),
+        )
+        .expect("backend registers");
+    router
+        .register_with_backend("scorer", ranker.embedding(), Dtype::F32, "ranknet")
+        .expect("scorer registers");
+    let net_server = memcom_net::NetServer::start(router, memcom_net::NetServerConfig::default())
+        .expect("net server starts");
+    let score_report = memcom_net::run_net_score_load(
+        net_server.local_addr(),
+        "scorer",
+        vocab,
+        &LoadGenConfig {
+            clients,
+            requests_per_client: requests / 2,
+            ids_per_request: 16,
+            zipf_exponent: 1.1,
+            mode: LoadMode::Closed,
+            seed: 42,
+        },
+        None,
+    )
+    .expect("score load runs");
+    net_server.shutdown();
+    metrics.push(("score_qps", score_report.qps()));
 
     // --- static-analysis runtime: the memcom-lint pass over the tree -
     // Wall-clock cost of the full lint walk (lex + directive parse +

@@ -27,8 +27,8 @@ use parking_lot::{Condvar, Mutex};
 use crate::error::{ErrorCode, NetError};
 use crate::transport::{ByteStream, TcpTransport, Transport};
 use crate::wire::{
-    decode_payload, encode_lookup, FrameReader, LookupRequest, Message, ReadEvent, RowsResponse,
-    CONNECTION_REQUEST_ID, DEFAULT_MAX_FRAME_LEN,
+    decode_payload, encode_lookup, encode_score, FrameReader, LookupRequest, Message, ReadEvent,
+    RowsResponse, ScoreRequest, CONNECTION_REQUEST_ID, DEFAULT_MAX_FRAME_LEN,
 };
 use crate::Result;
 
@@ -343,6 +343,36 @@ impl<S: ByteStream> NetClient<S> {
     /// batch over the frame cap).
     // memcom-lint: hot-path
     pub fn send(&self, model: &str, ids: &[u64], deadline: Option<Duration>) -> Result<Pending> {
+        self.send_frame(model, ids, deadline, false)
+    }
+
+    /// Sends one full-model score request without waiting — the
+    /// scoring-path twin of [`send`](NetClient::send), with identical
+    /// pipelining, backoff, and error semantics. The reply slab carries
+    /// one row of the backend's K output scores.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`send`](NetClient::send).
+    pub fn send_score(
+        &self,
+        model: &str,
+        ids: &[u64],
+        deadline: Option<Duration>,
+    ) -> Result<Pending> {
+        self.send_frame(model, ids, deadline, true)
+    }
+
+    /// The shared send path: backoff pacing, ticket registration, frame
+    /// encoding (lookup or score — same body, different kind byte), and
+    /// the serialized socket write.
+    fn send_frame(
+        &self,
+        model: &str,
+        ids: &[u64],
+        deadline: Option<Duration>,
+        score: bool,
+    ) -> Result<Pending> {
         if self.inner.closed.load(Ordering::Acquire) {
             return Err(NetError::ClientClosed);
         }
@@ -373,16 +403,28 @@ impl<S: ByteStream> NetClient<S> {
             }
             pending.insert(request_id, Arc::clone(&slot));
         }
-        let req = LookupRequest {
-            request_id,
-            model: model.to_string(),
-            ids: ids.to_vec(),
-            dtype_hint: self.inner.config.dtype_hint,
-            deadline,
-        };
         let mut w = self.inner.writer.lock();
         w.buf.clear();
-        if let Err(e) = encode_lookup(&req, &mut w.buf) {
+        let encoded = if score {
+            let req = ScoreRequest {
+                request_id,
+                model: model.to_string(),
+                ids: ids.to_vec(),
+                dtype_hint: self.inner.config.dtype_hint,
+                deadline,
+            };
+            encode_score(&req, &mut w.buf)
+        } else {
+            let req = LookupRequest {
+                request_id,
+                model: model.to_string(),
+                ids: ids.to_vec(),
+                dtype_hint: self.inner.config.dtype_hint,
+                deadline,
+            };
+            encode_lookup(&req, &mut w.buf)
+        };
+        if let Err(e) = encoded {
             // Unencodable request (model name or id batch over the
             // frame cap): surface it typed instead of shipping a frame
             // with silently-wrapped counts, and forget the reply slot —
@@ -427,6 +469,30 @@ impl<S: ByteStream> NetClient<S> {
         deadline: Option<Duration>,
     ) -> Result<RowsResponse> {
         self.send(model, ids, deadline)?.wait()
+    }
+
+    /// Blocking full-model score with the config's default deadline:
+    /// the returned slab is one row of K scores (`dim == data.len()`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Pending::wait`] and [`send_score`](NetClient::send_score).
+    pub fn score(&self, model: &str, ids: &[u64]) -> Result<RowsResponse> {
+        self.score_with_deadline(model, ids, self.inner.config.deadline)
+    }
+
+    /// Blocking full-model score with an explicit per-request deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pending::wait`] and [`send_score`](NetClient::send_score).
+    pub fn score_with_deadline(
+        &self,
+        model: &str,
+        ids: &[u64],
+        deadline: Option<Duration>,
+    ) -> Result<RowsResponse> {
+        self.send_score(model, ids, deadline)?.wait()
     }
 
     /// Closes the connection, fails any still-pending requests with
@@ -489,8 +555,8 @@ fn reader_loop<S: ByteStream>(inner: &ClientInner<S>, mut stream: S, max_frame_l
                         }));
                     }
                 }
-                // Lookups flow client→server only.
-                Ok(Message::Lookup(_)) | Err(_) => {
+                // Lookup/score requests flow client→server only.
+                Ok(Message::Lookup(_) | Message::Score(_)) | Err(_) => {
                     inner.fail_all(|| NetError::ConnectionClosed);
                     break;
                 }

@@ -10,7 +10,8 @@
 //! carries them; this crate is that protocol plus the two endpoints.
 //!
 //! * [`wire`] — the length-framed binary protocol: a versioned header,
-//!   a request id for pipelining, batch lookups with a model name +
+//!   a request id for pipelining, batch lookups **and full-model score
+//!   requests** (same body, one kind byte apart) with a model name +
 //!   ids + an advisory dtype hint + an optional deadline, and
 //!   responses that are either a row slab or a typed error carrying
 //!   `retry_after` nanos. Strict decode: every malformation is a typed
@@ -61,11 +62,11 @@ pub mod wire;
 
 pub use client::{NetClient, NetClientConfig, NetClientStats, Pending};
 pub use error::{error_response_for, ErrorCode, NetError, Result};
-pub use loadgen::{run_net_load, NetLoadReport};
+pub use loadgen::{run_net_load, run_net_score_load, NetLoadReport};
 pub use server::{NetServer, NetServerConfig};
 pub use telemetry::{ConnectionMetrics, NetMetricsSnapshot};
 pub use transport::{ByteStream, EventLoop, TcpTransport, ThreadPerConnection, Transport};
 pub use wire::{
-    ErrorResponse, FrameReader, LookupRequest, Message, ReadEvent, RowsResponse, WireError,
-    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    ErrorResponse, FrameReader, LookupRequest, Message, ReadEvent, RowsResponse, ScoreRequest,
+    WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };

@@ -176,6 +176,37 @@ pub fn run_net_load(
     config: &LoadGenConfig,
     deadline: Option<Duration>,
 ) -> Result<NetLoadReport> {
+    run_net_load_inner(addr, model, vocab, config, deadline, false)
+}
+
+/// [`run_net_load`] over the **score path**: identical Zipf traffic,
+/// seeding, pacing, and FNV digest, but every request is a full-model
+/// [`NetClient::score`] instead of a row lookup — so a score run's
+/// `traffic_checksum` matches a lookup run of the same config and any
+/// throughput delta is attributable to the inference backend, not to
+/// different traffic.
+///
+/// # Errors
+///
+/// Same as [`run_net_load`].
+pub fn run_net_score_load(
+    addr: &str,
+    model: &str,
+    vocab: usize,
+    config: &LoadGenConfig,
+    deadline: Option<Duration>,
+) -> Result<NetLoadReport> {
+    run_net_load_inner(addr, model, vocab, config, deadline, true)
+}
+
+fn run_net_load_inner(
+    addr: &str,
+    model: &str,
+    vocab: usize,
+    config: &LoadGenConfig,
+    deadline: Option<Duration>,
+    score: bool,
+) -> Result<NetLoadReport> {
     if config.clients == 0 || config.requests_per_client == 0 || config.ids_per_request == 0 {
         return Err(NetError::BadConfig(
             "load generation needs >= 1 client, request, and id per request".into(),
@@ -209,6 +240,7 @@ pub fn run_net_load(
                         client_idx,
                         started,
                         deadline,
+                        score,
                     )
                 })
             })
@@ -264,6 +296,7 @@ fn net_client_loop(
     client_idx: usize,
     started: Instant,
     deadline: Option<Duration>,
+    score: bool,
 ) -> Result<ClientNetTally> {
     let client = NetClient::connect(addr, client_config.clone())?;
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client_idx as u64));
@@ -276,7 +309,12 @@ fn net_client_loop(
         wire_ids.clear();
         wire_ids.extend(ids.iter().map(|&id| id as u64));
         let t0 = request_start(config.mode, tick, started, client_idx, config.clients, k);
-        match client.lookup_with_deadline(model, &wire_ids, deadline) {
+        let outcome = if score {
+            client.score_with_deadline(model, &wire_ids, deadline)
+        } else {
+            client.lookup_with_deadline(model, &wire_ids, deadline)
+        };
+        match outcome {
             Ok(_) => histogram.record(t0.elapsed().as_nanos() as u64),
             // Overload outcomes *are* the measurement; the client's
             // reader thread already tallied them (and set the backoff).

@@ -29,7 +29,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use memcom_serve::{EmbedBatch, Router, RouterHandle, ServeError, ServeStats, TelemetryConfig};
+use memcom_serve::{
+    EmbedBatch, Router, RouterHandle, ScoreBatch, ServeError, ServeStats, TelemetryConfig,
+};
 
 use crate::error::{error_response_for, ErrorCode, NetError};
 use crate::telemetry::{ConnTelemetry, NetMetricsSnapshot, NetTelemetry};
@@ -234,6 +236,7 @@ struct ConnCtx {
     write_buf: Vec<u8>,
     ids: Vec<usize>,
     batch: EmbedBatch,
+    score_batch: ScoreBatch,
     handles: HashMap<String, RouterHandle>,
     stages_on: bool,
 }
@@ -247,6 +250,7 @@ fn serve_connection<T: Transport>(shared: &Shared<T>, mut stream: T::Stream, con
         write_buf: Vec::new(),
         ids: Vec::new(),
         batch: EmbedBatch::new(),
+        score_batch: ScoreBatch::new(),
         handles: HashMap::new(),
         stages_on: shared.telemetry.stages_on(),
     };
@@ -360,6 +364,20 @@ fn handle_frame<T: Transport>(
             }
             serve_lookup(shared, stream, conn, ctx, &req)
         }
+        Ok(Message::Score(req)) => {
+            if draining {
+                conn.shutdown_rejected.fetch_add(1, Ordering::Relaxed);
+                return send_error(
+                    stream,
+                    conn,
+                    ctx,
+                    req.request_id,
+                    ErrorCode::ShuttingDown,
+                    "server is draining",
+                );
+            }
+            serve_score(shared, stream, conn, ctx, &req)
+        }
         // Rows/Error frames flow server→client only; a client sending
         // one is confused but the framing is intact, so answer typed
         // and keep the connection.
@@ -454,6 +472,91 @@ fn serve_lookup<T: Transport>(
                 // The slab cannot travel (e.g. a batch over the frame
                 // cap): the client still deserves an answer on this
                 // request id, so downgrade to a typed error frame.
+                ctx.write_buf.clear();
+                encode_error_lossy(
+                    req.request_id,
+                    ErrorCode::Internal,
+                    Duration::ZERO,
+                    &wire_err.to_string(),
+                    &mut ctx.write_buf,
+                );
+                if let Some(started) = started {
+                    conn.record_stage(|s| &mut s.response_encode, started);
+                }
+                conn.errors_sent.fetch_add(1, Ordering::Relaxed);
+                return send_buffered(stream, conn, ctx);
+            }
+            if let Some(started) = started {
+                conn.record_stage(|s| &mut s.response_encode, started);
+            }
+            conn.served.fetch_add(1, Ordering::Relaxed);
+            send_buffered(stream, conn, ctx)
+        }
+        Err(err) => {
+            let resp = error_response_for(req.request_id, &err);
+            ctx.write_buf.clear();
+            let started = ctx.stages_on.then(Instant::now);
+            encode_error_lossy(
+                resp.request_id,
+                resp.code,
+                resp.retry_after,
+                &resp.message,
+                &mut ctx.write_buf,
+            );
+            if let Some(started) = started {
+                conn.record_stage(|s| &mut s.response_encode, started);
+            }
+            conn.errors_sent.fetch_add(1, Ordering::Relaxed);
+            send_buffered(stream, conn, ctx)
+        }
+    }
+}
+
+/// Serves one score request: ids through the model's inference backend,
+/// answered as a single-row slab of `dim = K` output scores. Mirrors
+/// [`serve_lookup`]'s handle caching, deregistration retry, and
+/// downgrade-to-typed-error paths exactly.
+fn serve_score<T: Transport>(
+    shared: &Shared<T>,
+    stream: &mut T::Stream,
+    conn: &ConnTelemetry,
+    ctx: &mut ConnCtx,
+    req: &crate::wire::ScoreRequest,
+) -> bool {
+    ctx.ids.clear();
+    ctx.ids.extend(req.ids.iter().map(|&id| id as usize));
+    let mut retried = false;
+    let result = loop {
+        let handle = match ctx.handles.get(&req.model) {
+            Some(h) => h,
+            None => match shared.router.handle(&req.model) {
+                Ok(h) => ctx.handles.entry(req.model.clone()).or_insert(h),
+                Err(e) => break Err(e),
+            },
+        };
+        let r = handle.score_batch_into_with_deadline(&ctx.ids, &mut ctx.score_batch, req.deadline);
+        // A cached handle outlives deregistration; drop it and resolve
+        // once more so a re-registered model under the same name is
+        // picked up.
+        if !retried && matches!(r, Err(ServeError::ModelNotFound { .. })) {
+            ctx.handles.remove(&req.model);
+            retried = true;
+            continue;
+        }
+        break r;
+    };
+    match result {
+        Ok(()) => {
+            ctx.write_buf.clear();
+            let started = ctx.stages_on.then(Instant::now);
+            let scores = ctx.score_batch.scores();
+            let encoded = u32::try_from(scores.len())
+                .map_err(|_| WireError::TooLarge {
+                    payload: scores.len() as u64,
+                    max: DEFAULT_MAX_FRAME_LEN,
+                })
+                .and_then(|dim| encode_rows(req.request_id, dim, scores, &mut ctx.write_buf));
+            if let Err(wire_err) = encoded {
                 ctx.write_buf.clear();
                 encode_error_lossy(
                     req.request_id,

@@ -15,19 +15,88 @@
 //! are reported with request id [`CONNECTION_REQUEST_ID`] and followed
 //! by a clean close.
 //!
-//! Message kinds:
+//! # Frame layout, per kind
 //!
-//! * [`KIND_LOOKUP`] (client → server) — a batch lookup: dtype hint,
-//!   optional per-request deadline in nanoseconds, model name, then the
-//!   ids.
-//! * [`KIND_ROWS`] (server → client) — the row slab: row count, row
-//!   dimensionality, then `rows * dim` little-endian f32 values in
-//!   request order.
-//! * [`KIND_ERROR`] (server → client) — a typed error
-//!   ([`ErrorCode`] as `u16`), a `retry_after` hint
-//!   in nanoseconds (meaningful for
-//!   [`ErrorCode::Overloaded`], zero
-//!   otherwise), and a human-readable message.
+//! All integers are little-endian. Offsets below are relative to the
+//! start of the *payload* (after the 4-byte length prefix); every
+//! payload opens with the fixed [`HEADER_LEN`]-byte header.
+//!
+//! Common header (all kinds):
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0 | 1 | protocol version ([`PROTOCOL_VERSION`]) |
+//! | 1 | 1 | frame kind |
+//! | 2 | 8 | request id (`u64`) |
+//!
+//! [`KIND_LOOKUP`] `= 1` (client → server) — batch row lookup. Body:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 10 | 1 | dtype hint (`0` = none, then [`Dtype`] codes 1–5: f32, f16, int8, int4, int2) |
+//! | 11 | 8 | deadline in nanoseconds (`0` = no deadline) |
+//! | 19 | 2 | model-name length `m` (≤ [`MAX_MODEL_LEN`]) |
+//! | 21 | m | model name (UTF-8) |
+//! | 21+m | 4 | id count `n` |
+//! | 25+m | 8·n | ids (`u64` each) |
+//!
+//! [`KIND_ROWS`] `= 2` (server → client) — the response slab for both
+//! lookups (`rows = n ids`, `dim` = embedding width, values in request
+//! order) and scores (`rows = 1`, `dim` = the backend's output width).
+//! Body:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 10 | 4 | row count |
+//! | 14 | 4 | row dimensionality `dim` |
+//! | 18 | 4·rows·dim | row-major `f32` values |
+//!
+//! [`KIND_ERROR`] `= 3` (server → client) — a typed rejection. Body:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 10 | 2 | error code ([`ErrorCode`] as `u16`, catalog below) |
+//! | 12 | 8 | `retry_after` hint in nanoseconds (non-zero only for `overloaded`) |
+//! | 20 | 4 | message length `k` |
+//! | 24 | k | human-readable message (UTF-8) |
+//!
+//! [`KIND_SCORE`] `= 4` (client → server) — full-model scoring: the N
+//! ids are gathered as embedding rows and pushed through the model's
+//! registered inference backend
+//! ([`InferBackend`](memcom_serve::InferBackend)) server-side; the
+//! response is a [`KIND_ROWS`] frame carrying one row of K scores.
+//! Body: **identical to [`KIND_LOOKUP`]** (dtype hint, deadline, model,
+//! ids) — only the kind byte distinguishes a lookup from a score, so a
+//! lookup-speaking implementation gains scoring by switching one byte.
+//!
+//! # Error-code catalog
+//!
+//! | code | name | meaning |
+//! |-----:|------|---------|
+//! | 1 | `overloaded` | shed at admission; `retry_after` carries the server's backoff hint |
+//! | 2 | `deadline_exceeded` | dropped at dequeue past its end-to-end deadline |
+//! | 3 | `model_not_found` | no model registered under the requested name |
+//! | 4 | `id_out_of_vocab` | an id is outside the served vocabulary |
+//! | 5 | `shutting_down` | the server is draining and no longer admits requests |
+//! | 6 | `malformed` | the frame violated the protocol (truncated, trailing bytes, bad UTF-8, oversized prefix) |
+//! | 7 | `unsupported` | unknown protocol version or frame kind |
+//! | 8 | `internal` | a server-side bug or misconfiguration, not a load condition |
+//!
+//! # Version and compatibility rules
+//!
+//! * The version byte is checked **first**; a frame with an unknown
+//!   version is answered `unsupported` at [`CONNECTION_REQUEST_ID`] and
+//!   the connection closes — nothing after an untrusted version byte is
+//!   interpreted.
+//! * Within a version, field order and widths never change, and new
+//!   fields are never inserted; extension happens by **adding kinds**.
+//!   A server that does not know a kind answers `unsupported` with the
+//!   request id echoed and keeps the connection — so a new-kind client
+//!   degrades per-request against an old server (this is exactly how
+//!   [`KIND_SCORE`] rolls out over version-1 framing).
+//! * Responses never introduce kinds the client did not trigger: a
+//!   request is answered by [`KIND_ROWS`] or [`KIND_ERROR`], nothing
+//!   else.
 //!
 //! Decoding is strict: unknown versions or kinds, truncated bodies,
 //! trailing bytes, oversized model names, and invalid dtype codes are
@@ -56,6 +125,10 @@ pub const KIND_LOOKUP: u8 = 1;
 pub const KIND_ROWS: u8 = 2;
 /// Frame kind: typed-error response (server → client).
 pub const KIND_ERROR: u8 = 3;
+/// Frame kind: full-model score request (client → server). Same body
+/// layout as [`KIND_LOOKUP`]; answered with a [`KIND_ROWS`] frame of
+/// one row holding the backend's K output scores.
+pub const KIND_SCORE: u8 = 4;
 
 /// Default cap on one frame's payload length. A length prefix above the
 /// configured cap is a protocol violation answered with
@@ -175,6 +248,26 @@ pub struct LookupRequest {
     pub deadline: Option<Duration>,
 }
 
+/// A full-model score request: the ids are gathered as embedding rows
+/// server-side and pushed through the model's registered inference
+/// backend; the response is one row of K scores. Wire layout is
+/// identical to [`LookupRequest`] — only the kind byte differs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreRequest {
+    /// Client-chosen id echoed in the response (pipelining key).
+    pub request_id: u64,
+    /// Registered model name on the server's router.
+    pub model: String,
+    /// Item ids to score together (one request = one forward pass).
+    pub ids: Vec<u64>,
+    /// Advisory storage-dtype hint (`None` = no preference), same
+    /// semantics as [`LookupRequest::dtype_hint`].
+    pub dtype_hint: Option<Dtype>,
+    /// Per-request end-to-end deadline, same semantics as
+    /// [`LookupRequest::deadline`]. `None` = no deadline.
+    pub deadline: Option<Duration>,
+}
+
 /// A row-slab response: `data.len() / dim` rows of `dim` f32 values in
 /// request order.
 #[derive(Debug, Clone, PartialEq)]
@@ -207,6 +300,8 @@ pub struct ErrorResponse {
 pub enum Message {
     /// A batch-lookup request.
     Lookup(LookupRequest),
+    /// A full-model score request.
+    Score(ScoreRequest),
     /// A row-slab response.
     Rows(RowsResponse),
     /// A typed-error response.
@@ -287,11 +382,53 @@ fn end_frame(out: &mut Vec<u8>, len_at: usize) -> Result<(), WireError> {
 /// the old signature silently wrapped the id count through `as u32` and
 /// shipped a frame claiming the wrong ids.
 pub fn encode_lookup(req: &LookupRequest, out: &mut Vec<u8>) -> Result<(), WireError> {
-    let model = req.model.as_bytes();
+    encode_request(
+        KIND_LOOKUP,
+        req.request_id,
+        &req.model,
+        &req.ids,
+        req.dtype_hint,
+        req.deadline,
+        out,
+    )
+}
+
+/// Encodes a score request as one complete frame appended to `out`.
+///
+/// # Errors
+///
+/// Same validation as [`encode_lookup`] — the two kinds share one body
+/// layout: [`WireError::ModelTooLong`] past [`MAX_MODEL_LEN`],
+/// [`WireError::TooLarge`] past the frame cap, `out` untouched on
+/// error.
+pub fn encode_score(req: &ScoreRequest, out: &mut Vec<u8>) -> Result<(), WireError> {
+    encode_request(
+        KIND_SCORE,
+        req.request_id,
+        &req.model,
+        &req.ids,
+        req.dtype_hint,
+        req.deadline,
+        out,
+    )
+}
+
+/// The shared lookup/score request-body encoder (the kinds differ only
+/// in their kind byte).
+fn encode_request(
+    kind: u8,
+    request_id: u64,
+    model: &str,
+    ids: &[u64],
+    dtype_hint: Option<Dtype>,
+    deadline: Option<Duration>,
+    out: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    let model = model.as_bytes();
     if model.len() > MAX_MODEL_LEN {
         return Err(WireError::ModelTooLong(model.len()));
     }
-    let payload = HEADER_LEN as u64 + 1 + 8 + 2 + model.len() as u64 + 4 + 8 * req.ids.len() as u64;
+    let payload = HEADER_LEN as u64 + 1 + 8 + 2 + model.len() as u64 + 4 + 8 * ids.len() as u64;
     if payload > DEFAULT_MAX_FRAME_LEN as u64 {
         return Err(WireError::TooLarge {
             payload,
@@ -299,17 +436,17 @@ pub fn encode_lookup(req: &LookupRequest, out: &mut Vec<u8>) -> Result<(), WireE
         });
     }
     let model_len = u16::try_from(model.len()).map_err(|_| WireError::ModelTooLong(model.len()))?;
-    let n_ids = u32::try_from(req.ids.len()).map_err(|_| WireError::TooLarge {
+    let n_ids = u32::try_from(ids.len()).map_err(|_| WireError::TooLarge {
         payload,
         max: DEFAULT_MAX_FRAME_LEN,
     })?;
-    let len_at = begin_frame(out, KIND_LOOKUP, req.request_id);
-    out.push(dtype_code(req.dtype_hint));
-    out.extend_from_slice(&req.deadline.map_or(0, duration_to_nanos).to_le_bytes());
+    let len_at = begin_frame(out, kind, request_id);
+    out.push(dtype_code(dtype_hint));
+    out.extend_from_slice(&deadline.map_or(0, duration_to_nanos).to_le_bytes());
     out.extend_from_slice(&model_len.to_le_bytes());
     out.extend_from_slice(model);
     out.extend_from_slice(&n_ids.to_le_bytes());
-    for &id in &req.ids {
+    for &id in ids {
         out.extend_from_slice(&id.to_le_bytes());
     }
     end_frame(out, len_at)
@@ -473,6 +610,39 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Decodes the shared lookup/score request body (everything after the
+/// header): dtype hint, deadline, model name, ids.
+#[allow(clippy::type_complexity)]
+fn decode_request_body(
+    mut c: Cursor<'_>,
+    payload: &[u8],
+) -> Result<(String, Vec<u64>, Option<Dtype>, Option<Duration>), WireError> {
+    let dtype_hint = dtype_from_code(c.u8("dtype hint")?)?;
+    let deadline_nanos = c.u64("deadline")?;
+    let model_len = c.u16("model length")? as usize;
+    if model_len > MAX_MODEL_LEN {
+        return Err(WireError::ModelTooLong(model_len));
+    }
+    let model = std::str::from_utf8(c.take(model_len, "model name")?)
+        .map_err(|_| WireError::BadModelUtf8)?
+        .to_string();
+    let n_ids = c.u32("id count")? as usize;
+    // The remaining payload bounds n_ids before any allocation,
+    // so a hostile count cannot balloon memory past the frame
+    // cap the reader already enforced.
+    let mut ids = Vec::with_capacity(n_ids.min(payload.len() / 8 + 1));
+    for _ in 0..n_ids {
+        ids.push(c.u64("id")?);
+    }
+    c.finish()?;
+    Ok((
+        model,
+        ids,
+        dtype_hint,
+        (deadline_nanos != 0).then(|| Duration::from_nanos(deadline_nanos)),
+    ))
+}
+
 /// Decodes one payload (everything after the length prefix) into a
 /// [`Message`], rejecting every malformation with a [`WireError`].
 pub fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
@@ -488,30 +658,23 @@ pub fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
     let request_id = c.u64("request id")?;
     match kind {
         KIND_LOOKUP => {
-            let dtype_hint = dtype_from_code(c.u8("dtype hint")?)?;
-            let deadline_nanos = c.u64("deadline")?;
-            let model_len = c.u16("model length")? as usize;
-            if model_len > MAX_MODEL_LEN {
-                return Err(WireError::ModelTooLong(model_len));
-            }
-            let model = std::str::from_utf8(c.take(model_len, "model name")?)
-                .map_err(|_| WireError::BadModelUtf8)?
-                .to_string();
-            let n_ids = c.u32("id count")? as usize;
-            // The remaining payload bounds n_ids before any allocation,
-            // so a hostile count cannot balloon memory past the frame
-            // cap the reader already enforced.
-            let mut ids = Vec::with_capacity(n_ids.min(payload.len() / 8 + 1));
-            for _ in 0..n_ids {
-                ids.push(c.u64("id")?);
-            }
-            c.finish()?;
+            let (model, ids, dtype_hint, deadline) = decode_request_body(c, payload)?;
             Ok(Message::Lookup(LookupRequest {
                 request_id,
                 model,
                 ids,
                 dtype_hint,
-                deadline: (deadline_nanos != 0).then(|| Duration::from_nanos(deadline_nanos)),
+                deadline,
+            }))
+        }
+        KIND_SCORE => {
+            let (model, ids, dtype_hint, deadline) = decode_request_body(c, payload)?;
+            Ok(Message::Score(ScoreRequest {
+                request_id,
+                model,
+                ids,
+                dtype_hint,
+                deadline,
             }))
         }
         KIND_ROWS => {
@@ -727,6 +890,33 @@ mod tests {
             Message::Lookup(req)
         );
         assert_eq!(reader.read_frame(&mut src).unwrap(), ReadEvent::Eof);
+    }
+
+    #[test]
+    fn score_roundtrip_differs_from_lookup_by_one_byte() {
+        let req = ScoreRequest {
+            request_id: 17,
+            model: "scorer".into(),
+            ids: vec![3, 1, 4, 1, 5],
+            dtype_hint: Some(Dtype::F32),
+            deadline: Some(Duration::from_millis(10)),
+        };
+        let mut frame = Vec::new();
+        encode_score(&req, &mut frame).expect("encodes");
+        assert_eq!(
+            decode_payload(&frame[4..]).unwrap(),
+            Message::Score(req.clone())
+        );
+        // Same body layout as a lookup: flipping the kind byte back
+        // yields the equivalent LookupRequest.
+        frame[4 + 1] = KIND_LOOKUP;
+        let Message::Lookup(as_lookup) = decode_payload(&frame[4..]).unwrap() else {
+            panic!("expected lookup after kind flip");
+        };
+        assert_eq!(
+            (as_lookup.model, as_lookup.ids, as_lookup.deadline),
+            (req.model, req.ids, req.deadline)
+        );
     }
 
     #[test]

@@ -5,16 +5,19 @@
 //! counter reconciliation.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use memcom_core::{MemCom, MemComConfig};
+use memcom_core::{MemCom, MemComConfig, MethodSpec};
+use memcom_models::{ModelConfig, RecModel};
 use memcom_net::wire::{decode_payload, FrameReader, Message, ReadEvent};
 use memcom_net::{
-    run_net_load, ErrorCode, NetClient, NetClientConfig, NetError, NetServer, NetServerConfig,
+    run_net_load, run_net_score_load, ErrorCode, NetClient, NetClientConfig, NetError, NetServer,
+    NetServerConfig,
 };
 use memcom_serve::{
-    run_load, AdmissionPolicy, EmbedServer, LoadGenConfig, LoadMode, Router, ServeConfig,
-    TelemetryConfig, DEFAULT_MODEL,
+    run_load, AdmissionPolicy, Dtype, EmbedServer, LoadGenConfig, LoadMode, RankNetBackend, Router,
+    ServeConfig, TelemetryConfig, DEFAULT_MODEL,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -490,6 +493,124 @@ fn multi_client_drain_reconciles_and_drops_nothing() {
         stats.requests + stats.shed + stats.expired,
         "router ledger: issued == served + shed + expired"
     );
+}
+
+fn ranknet_router(seed: u64) -> (Router, RecModel) {
+    let config = ModelConfig {
+        seed,
+        ..ModelConfig::pointwise(VOCAB, DIM, 4, 1)
+    };
+    let model = RecModel::new(
+        &config,
+        &MethodSpec::MemCom {
+            hash_size: 100,
+            bias: false,
+        },
+    )
+    .unwrap();
+    let router = Router::start(ServeConfig::default()).unwrap();
+    router
+        .backends()
+        .register(
+            "ranknet",
+            Arc::new(RankNetBackend::from_model(&model).unwrap()),
+        )
+        .unwrap();
+    router
+        .register_with_backend("scorer", model.embedding(), Dtype::F32, "ranknet")
+        .unwrap();
+    (router, model)
+}
+
+/// Full-model serving over the wire: a RankNet-backed model answers
+/// score requests over loopback TCP with exactly the numbers the
+/// in-process score path produces, and the reply slab is one row of
+/// the backend's K scores.
+#[test]
+fn networked_scores_match_in_process_scores_bit_for_bit() {
+    let (router, _model) = ranknet_router(3);
+    let expected = router
+        .handle("scorer")
+        .unwrap()
+        .score(&[1, 2, 3, 999])
+        .unwrap();
+    let server = NetServer::start(router, NetServerConfig::default()).unwrap();
+
+    let client = NetClient::connect(server.local_addr(), NetClientConfig::default()).unwrap();
+    let scores = client.score("scorer", &[1, 2, 3, 999]).unwrap();
+    // A score reply is one row of K scores: dim == K == data.len().
+    assert_eq!(scores.dim as usize, expected.len());
+    assert_eq!(scores.data.len(), expected.len());
+    assert_eq!(scores.data, expected, "wire scores match in-process bits");
+
+    // Typed rejections work on the score path too, and the connection
+    // survives them.
+    let err = client.score("no-such-model", &[1]).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::ModelNotFound));
+    let err = client.score("scorer", &[VOCAB as u64 + 5]).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::IdOutOfVocab));
+    assert!(client.score("scorer", &[7, 8]).is_ok());
+
+    let stats = client.close();
+    assert_eq!(stats.sent, 4);
+    assert_eq!(stats.served, 2);
+    assert_eq!(stats.other_errors, 2);
+
+    let (per_model, snapshot) = server.shutdown();
+    // Rows through the router: 4 in-process + (4 + 2) over the wire.
+    assert_eq!(per_model.len(), 1);
+    assert_eq!(per_model[0].1.requests, 10);
+    let totals = snapshot.totals();
+    assert_eq!(totals.served, 2);
+    assert_eq!(totals.errors_sent, 2);
+}
+
+/// The networked score loadgen issues byte-identical traffic to the
+/// lookup loadgen (same checksum), and a full score run reconciles
+/// exactly: every request answered, client tallies matching the
+/// router's row counters.
+#[test]
+fn networked_score_load_reconciles_with_router_counters() {
+    let (router, model) = ranknet_router(7);
+    // The same router also serves plain row lookups over the same
+    // embedding, so the two generators can be compared on one server.
+    router
+        .register_with_dtype(DEFAULT_MODEL, model.embedding(), Dtype::F32)
+        .unwrap();
+    let server = NetServer::start(router, NetServerConfig::default()).unwrap();
+
+    let load = LoadGenConfig {
+        clients: 3,
+        requests_per_client: 40,
+        ids_per_request: 4,
+        zipf_exponent: 1.1,
+        mode: LoadMode::Closed,
+        seed: 11,
+    };
+    let lookups = run_net_load(server.local_addr(), DEFAULT_MODEL, VOCAB, &load, None).unwrap();
+    let scores = run_net_score_load(server.local_addr(), "scorer", VOCAB, &load, None).unwrap();
+    let (per_model, snapshot) = server.shutdown();
+
+    // Identical issued traffic: only the kind byte differs.
+    assert_eq!(scores.traffic_checksum, lookups.traffic_checksum);
+
+    // No overload was configured, so every request completed.
+    let offered = (load.clients * load.requests_per_client) as u64;
+    assert_eq!(scores.requests, offered);
+    assert_eq!(
+        (scores.shed, scores.expired, scores.shutdown_rejected),
+        (0, 0, 0)
+    );
+
+    // Exact reconciliation: the router counts rows (ids per request).
+    let scorer = per_model.iter().find(|(name, _)| name == "scorer").unwrap();
+    assert_eq!(
+        scorer.1.requests,
+        scores.requests * load.ids_per_request as u64
+    );
+    assert_eq!(scorer.1.issued, scorer.1.requests);
+    // The network tier answered every frame from both runs.
+    assert_eq!(snapshot.totals().served, scores.requests + lookups.requests);
 }
 
 /// A client whose server went away must fail later sends instead of

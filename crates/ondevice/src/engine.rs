@@ -54,6 +54,44 @@ impl RunStats {
     }
 }
 
+/// Reusable buffers for the head-op executor
+/// ([`InferenceSession::forward_head`]).
+///
+/// A scratch owns every intermediate the head needs — the ping/pong
+/// activation pair, one dequantized kernel row, and the four batch-norm
+/// parameter rows — so a warmed scratch executes the whole head without
+/// allocating. `memcom-serve`'s scoring backends keep one per worker to
+/// extend the O(1)-allocations-per-call certification to the forward
+/// pass.
+#[derive(Debug, Default)]
+pub struct HeadScratch {
+    /// Current activation (the executor's "ping" buffer).
+    act: Vec<f32>,
+    /// Next activation (the "pong" buffer ops write into before a swap).
+    next: Vec<f32>,
+    /// One dequantized dense-kernel row.
+    row: Vec<f32>,
+    /// Batch-norm gamma/beta/mean/var rows.
+    bn: [Vec<f32>; 4],
+}
+
+impl HeadScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears and sizes the input activation to `rows * cols` zeros,
+    /// returning the slice for the caller to fill with the `[rows, cols]`
+    /// embedding activation before calling
+    /// [`InferenceSession::forward_head`].
+    pub fn input(&mut self, rows: usize, cols: usize) -> &mut [f32] {
+        self.act.clear();
+        self.act.resize(rows * cols, 0.0);
+        &mut self.act
+    }
+}
+
 /// A loaded model ready for repeated inference over simulated mmap.
 ///
 /// `run` takes `&self` and the underlying [`MmapSim`] is thread-safe, so
@@ -127,35 +165,108 @@ impl InferenceSession {
         let total_before = self.mmap.total_read_bytes();
         let mut work = WorkCounts::default();
 
-        // Embedding front end → [L, e] activation.
+        // Embedding front end → [L, e] activation, then the shared head
+        // executor (the exact arithmetic `forward_head` documents).
         let l = self.meta.input_len;
         let e = self.meta.emb_dim;
-        let mut act = self.embed(ids, &mut work)?;
-        let mut act_dims = (l, e);
-        track_activation(&mut work, act.len());
+        let mut scratch = HeadScratch::new();
+        self.embed_into(ids, scratch.input(l, e), &mut work)?;
+        let mut logits = Vec::new();
+        self.forward_head(l, &mut scratch, &mut logits, &mut work)?;
 
-        // Head ops.
+        // Saturating: a concurrent `reset` can rewind the shared counters
+        // below the snapshot taken at the top of this run; clamping to 0
+        // keeps the stats sane instead of wrapping.
+        work.cold_bytes = self.mmap.cold_read_bytes().saturating_sub(cold_before);
+        work.warm_bytes = self
+            .mmap
+            .total_read_bytes()
+            .saturating_sub(total_before)
+            .saturating_sub(work.cold_bytes);
+        let stats = RunStats {
+            work,
+            resident_model_bytes: self.mmap.resident_bytes(),
+            wall_nanos: start.elapsed().as_nanos(),
+        };
+        Ok((logits, stats))
+    }
+
+    /// Output length of the head — the `K` in "N ids in, K scores out"
+    /// (the last dense layer's width, or `emb_dim` for a head with no
+    /// dense layer).
+    pub fn head_out_len(&self) -> usize {
+        self.meta
+            .head_ops
+            .iter()
+            .rev()
+            .find_map(|op| match op {
+                HeadOp::Dense { out_dim, .. } => Some(*out_dim),
+                _ => None,
+            })
+            .unwrap_or(self.meta.emb_dim)
+    }
+
+    /// Executes the head ops over the `[rows, emb_dim]` activation the
+    /// caller placed in `scratch` (via [`HeadScratch::input`]), writing
+    /// the final activation into `out`.
+    ///
+    /// This is the one head executor in the crate: [`run`](Self::run)
+    /// calls it after the embedding front end, and `memcom-serve`'s
+    /// scoring backends call it after gathering embedding rows from a
+    /// `ShardedStore` — both paths therefore produce bit-identical
+    /// results for the same input activation. A warmed `scratch` (and an
+    /// `out` with capacity) makes the call allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnDeviceError::BadInput`] when the scratch activation is
+    /// not `rows * emb_dim` long (or `rows == 0`),
+    /// [`OnDeviceError::BadFormat`] when an op's dimensions do not match
+    /// the running activation, and propagates mapping errors from
+    /// parameter-table reads.
+    pub fn forward_head(
+        &self,
+        rows: usize,
+        scratch: &mut HeadScratch,
+        out: &mut Vec<f32>,
+        work: &mut WorkCounts,
+    ) -> Result<()> {
+        let e = self.meta.emb_dim;
+        if rows == 0 || scratch.act.len() != rows * e {
+            return Err(OnDeviceError::BadInput {
+                context: format!(
+                    "head input must be rows({rows}) x emb_dim({e}), got {} values",
+                    scratch.act.len()
+                ),
+            });
+        }
+        let mut act_dims = (rows, e);
+        track_activation(work, scratch.act.len());
+
         for op in &self.meta.head_ops {
+            let act = &mut scratch.act;
             match op {
                 HeadOp::AveragePool => {
                     let (rows, cols) = act_dims;
-                    let mut pooled = vec![0f32; cols];
+                    let pooled = &mut scratch.next;
+                    pooled.clear();
+                    pooled.resize(cols, 0.0);
                     for r in 0..rows {
                         for c in 0..cols {
                             pooled[c] += act[r * cols + c];
                         }
                     }
                     let inv = 1.0 / rows as f32;
-                    for p in &mut pooled {
+                    for p in pooled.iter_mut() {
                         *p *= inv;
                     }
                     work.flops += (rows * cols + cols) as u64;
-                    act = pooled;
+                    std::mem::swap(&mut scratch.act, &mut scratch.next);
                     act_dims = (1, cols);
-                    track_activation(&mut work, act.len());
+                    track_activation(work, scratch.act.len());
                 }
                 HeadOp::Relu => {
-                    for x in &mut act {
+                    for x in act.iter_mut() {
                         *x = x.max(0.0);
                     }
                     work.flops += act.len() as u64;
@@ -166,10 +277,12 @@ impl InferenceSession {
                             context: format!("batch norm dim {dim} vs activation {}", act.len()),
                         });
                     }
-                    let gamma = self.read_row(&tables[0], 0)?;
-                    let beta = self.read_row(&tables[1], 0)?;
-                    let mean = self.read_row(&tables[2], 0)?;
-                    let var = self.read_row(&tables[3], 0)?;
+                    for (buf, table) in scratch.bn.iter_mut().zip(tables.iter()) {
+                        buf.clear();
+                        buf.resize(table.cols, 0.0);
+                        self.read_row_into(table, 0, buf)?;
+                    }
+                    let [gamma, beta, mean, var] = &scratch.bn;
                     for i in 0..*dim {
                         act[i] = gamma[i] * (act[i] - mean[i]) / (var[i] + eps).sqrt() + beta[i];
                     }
@@ -186,52 +299,46 @@ impl InferenceSession {
                             context: format!("dense in {in_dim} vs activation {}", act.len()),
                         });
                     }
-                    let mut out = self.read_row(bias, 0)?;
-                    debug_assert_eq!(out.len(), *out_dim);
+                    let acc = &mut scratch.next;
+                    acc.clear();
+                    acc.resize(bias.cols, 0.0);
+                    self.read_row_into(bias, 0, acc)?;
+                    debug_assert_eq!(acc.len(), *out_dim);
                     // One scratch row reused for every kernel row: the
                     // inner loop dequantizes in place instead of
                     // allocating a Vec per input element.
-                    let mut w_row = vec![0f32; *out_dim];
+                    let w_row = &mut scratch.row;
+                    w_row.clear();
+                    w_row.resize(*out_dim, 0.0);
                     for (i, &xi) in act.iter().enumerate() {
-                        self.read_row_into(weight, i, &mut w_row)?;
-                        for (o, &w) in out.iter_mut().zip(&w_row) {
+                        self.read_row_into(weight, i, w_row)?;
+                        for (o, &w) in acc.iter_mut().zip(w_row.iter()) {
                             *o += xi * w;
                         }
                     }
                     work.flops += (2 * in_dim * out_dim) as u64;
-                    act = out;
+                    std::mem::swap(&mut scratch.act, &mut scratch.next);
                     act_dims = (1, *out_dim);
-                    track_activation(&mut work, act.len());
+                    track_activation(work, scratch.act.len());
                 }
             }
         }
-
-        // Saturating: a concurrent `reset` can rewind the shared counters
-        // below the snapshot taken at the top of this run; clamping to 0
-        // keeps the stats sane instead of wrapping.
-        work.cold_bytes = self.mmap.cold_read_bytes().saturating_sub(cold_before);
-        work.warm_bytes = self
-            .mmap
-            .total_read_bytes()
-            .saturating_sub(total_before)
-            .saturating_sub(work.cold_bytes);
-        let stats = RunStats {
-            work,
-            resident_model_bytes: self.mmap.resident_bytes(),
-            wall_nanos: start.elapsed().as_nanos(),
-        };
-        Ok((act, stats))
+        let _ = act_dims;
+        out.clear();
+        out.extend_from_slice(&scratch.act);
+        Ok(())
     }
 
-    /// Runs the embedding front end, returning the `[L, e]` activation.
-    fn embed(&self, ids: &[usize], work: &mut WorkCounts) -> Result<Vec<f32>> {
+    /// Runs the embedding front end, filling the caller's `[L, e]`
+    /// activation slice (`act.len() == ids.len() * emb_dim`, zeroed).
+    fn embed_into(&self, ids: &[usize], act: &mut [f32], work: &mut WorkCounts) -> Result<()> {
         let l = ids.len();
         let e = self.meta.emb_dim;
         let m = self.meta.hash_size;
+        debug_assert_eq!(act.len(), l * e);
         match self.meta.embedding_kind {
             EmbeddingKind::Full | EmbeddingKind::NaiveHash | EmbeddingKind::TruncateRare => {
                 let table = &self.meta.emb_tables[0];
-                let mut act = vec![0f32; l * e];
                 for (pos, &id) in ids.iter().enumerate() {
                     let row = match self.meta.embedding_kind {
                         EmbeddingKind::Full => id,
@@ -241,13 +348,12 @@ impl InferenceSession {
                     };
                     self.read_row_into(table, row, &mut act[pos * e..(pos + 1) * e])?;
                 }
-                Ok(act)
+                Ok(())
             }
             EmbeddingKind::MemCom | EmbeddingKind::MemComBias => {
                 let shared = &self.meta.emb_tables[0];
                 let mult = &self.meta.emb_tables[1];
                 let bias = self.meta.emb_tables.get(2);
-                let mut act = vec![0f32; l * e];
                 let mut scalar = [0f32; 1];
                 for (pos, &id) in ids.iter().enumerate() {
                     let slot = &mut act[pos * e..(pos + 1) * e];
@@ -267,7 +373,7 @@ impl InferenceSession {
                         }
                     }
                 }
-                Ok(act)
+                Ok(())
             }
             EmbeddingKind::OneHotHash => {
                 let kernel = &self.meta.emb_tables[0];
@@ -283,7 +389,6 @@ impl InferenceSession {
                 // and L·m·e MACs are charged. The inner arithmetic skips
                 // zero coefficients (the result is identical) but the
                 // counted cost is the dense cost the delegate pays.
-                let mut act = vec![0f32; l * e];
                 let mut k_row = vec![0f32; e];
                 for r in 0..m {
                     self.read_row_into(kernel, r, &mut k_row)?;
@@ -298,7 +403,7 @@ impl InferenceSession {
                     }
                 }
                 work.flops += (2 * l * m * e) as u64;
-                Ok(act)
+                Ok(())
             }
         }
     }
@@ -310,14 +415,6 @@ impl InferenceSession {
         let bytes = self.mmap.read(offset, len)?;
         decode_row_into(bytes, table.dtype, table.scale, out);
         Ok(())
-    }
-
-    /// Reads and dequantizes one table row, allocating the result (cold
-    /// paths only; hot loops use [`read_row_into`](Self::read_row_into)).
-    fn read_row(&self, table: &TableMeta, r: usize) -> Result<Vec<f32>> {
-        let mut out = vec![0f32; table.cols];
-        self.read_row_into(table, r, &mut out)?;
-        Ok(out)
     }
 }
 

@@ -40,7 +40,7 @@ pub mod quant;
 pub mod simd;
 
 pub use compute::ComputeUnit;
-pub use engine::{InferenceSession, RunStats};
+pub use engine::{HeadScratch, InferenceSession, RunStats};
 pub use error::OnDeviceError;
 pub use format::{OnDeviceModel, MAGIC};
 pub use mmap_sim::MmapSim;

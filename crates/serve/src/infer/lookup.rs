@@ -1,0 +1,43 @@
+//! The default backend: plain row lookups, as before this module
+//! existed.
+
+use crate::store::ShardedStore;
+use crate::Result;
+
+use super::{gather_rows, InferBackend, InferScratch};
+
+/// The identity "pipeline": N ids in, N embedding rows out
+/// (`ids.len() * dim` values, request order).
+///
+/// This is exactly the behavior every model had before backends
+/// existed, and stays the default — a model registered through
+/// [`Router::register`](crate::Router::register) serves lookups through
+/// this backend with no behavior or performance change.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LookupBackend;
+
+impl InferBackend for LookupBackend {
+    fn name(&self) -> &'static str {
+        "lookup"
+    }
+
+    fn out_len(&self, n_ids: usize, store: &ShardedStore) -> usize {
+        n_ids * store.dim()
+    }
+
+    fn check_store(&self, _store: &ShardedStore) -> Result<()> {
+        Ok(())
+    }
+
+    // memcom-lint: hot-path
+    fn score_into(
+        &self,
+        store: &ShardedStore,
+        ids: &[usize],
+        scratch: &mut InferScratch,
+        out: &mut [f32],
+    ) -> Result<()> {
+        gather_rows(store, ids, &mut scratch.gather, out)
+    }
+    // memcom-lint: end-hot-path
+}

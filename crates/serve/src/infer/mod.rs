@@ -1,0 +1,380 @@
+//! Pluggable full-model inference behind the [`Router`](crate::Router).
+//!
+//! The serving tier's original contract was *row lookups*: N ids in,
+//! N embedding rows out. The paper's end task is on-device **model
+//! inference** over those compressed rows — embed → pool → dense
+//! forward, N ids in, K scores out. This module closes that gap with
+//! one seam:
+//!
+//! * [`InferBackend`] — the trait a scoring pipeline implements. A
+//!   backend receives the request's ids, the model's current
+//!   [`ShardedStore`] snapshot, and a reusable per-worker
+//!   [`InferScratch`]; it writes its [`out_len`](InferBackend::out_len)
+//!   output values into the caller's slab.
+//! * [`BackendRegistry`] — named backends, pre-seeded with
+//!   [`LookupBackend`] under `"lookup"` (the default: exactly the
+//!   legacy row-lookup behavior, zero regression). Operators register
+//!   model-specific backends (e.g. a [`RankNetBackend`] holding trained
+//!   head weights) and then bind a router model to one by name.
+//!
+//! Score requests flow through the **same** machinery as lookups: the
+//! same per-shard micro-batching queues, the same
+//! [`AdmissionPolicy`](crate::AdmissionPolicy) shedding and deadlines,
+//! the same `issued >= requests + shed + expired` counter contract, and
+//! a dedicated `forward` telemetry stage next to decode/slab_write.
+//!
+//! # Example: registry + score round-trip
+//!
+//! ```
+//! use std::sync::Arc;
+//! use memcom_core::MethodSpec;
+//! use memcom_models::{ModelConfig, RecModel};
+//! use memcom_serve::infer::RankNetBackend;
+//! use memcom_serve::{Dtype, Router, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A trained (here: freshly initialized) pointwise ranker.
+//! let config = ModelConfig::pointwise(1_000, 16, 4, 1);
+//! let spec = MethodSpec::MemCom { hash_size: 100, bias: false };
+//! let model = RecModel::new(&config, &spec)?;
+//!
+//! let router = Router::start(ServeConfig::with_shards(2))?;
+//!
+//! // Register the model's head as a named backend, then bind a served
+//! // model (its embedding rows, quantized however you like) to it.
+//! let backend = Arc::new(RankNetBackend::from_model(&model)?);
+//! router.backends().register("ranknet", backend)?;
+//! router.register_with_backend("scorer", model.embedding(), Dtype::F32, "ranknet")?;
+//!
+//! // N item ids in, K scores out — through the shard queues.
+//! let scores = router.handle("scorer")?.score(&[1, 2, 3, 4])?;
+//! assert_eq!(scores.len(), 1); // pointwise ranker: one score
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use memcom_ondevice::HeadScratch;
+use parking_lot::RwLock;
+
+use crate::store::ShardedStore;
+use crate::{Result, ServeError};
+
+mod lookup;
+mod ranknet;
+
+pub use lookup::LookupBackend;
+pub use ranknet::RankNetBackend;
+
+/// The registry name of the default row-lookup backend.
+pub const LOOKUP_BACKEND: &str = "lookup";
+
+/// A scoring pipeline servable behind the [`Router`](crate::Router).
+///
+/// Implementations are called from shard workers, so they must be
+/// `Send + Sync` and must not allocate per call at a steady request
+/// shape — every intermediate belongs in the caller-provided
+/// [`InferScratch`], which each worker owns and reuses.
+pub trait InferBackend: Send + Sync + std::fmt::Debug {
+    /// A short human-readable kind label (e.g. `"lookup"`,
+    /// `"ranknet"`), used in diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Output values produced for a request of `n_ids` ids over
+    /// `store` — the `K` in "N ids in, K scores out". The serving layer
+    /// sizes the response slab to exactly this.
+    fn out_len(&self, n_ids: usize, store: &ShardedStore) -> usize;
+
+    /// Validates that this backend can serve over `store` (called once
+    /// at model registration, not per request).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] when the store is incompatible
+    /// (e.g. its row width differs from the backend's embedding width).
+    fn check_store(&self, store: &ShardedStore) -> Result<()>;
+
+    /// Scores `ids` over `store`, writing exactly
+    /// [`out_len`](Self::out_len)`(ids.len(), store)` values into
+    /// `out`.
+    ///
+    /// `ids` are pre-validated against the store's vocabulary and
+    /// non-empty; `scratch` is this worker's reusable buffer set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store read failures and returns
+    /// [`ServeError::BadConfig`] on internal shape mismatches; on error
+    /// the contents of `out` are unspecified.
+    fn score_into(
+        &self,
+        store: &ShardedStore,
+        ids: &[usize],
+        scratch: &mut InferScratch,
+        out: &mut [f32],
+    ) -> Result<()>;
+}
+
+/// Named [`InferBackend`]s, shared by every model of one router.
+///
+/// A fresh registry always contains [`LookupBackend`] under
+/// [`LOOKUP_BACKEND`] (`"lookup"`) — the backend every model gets
+/// unless registered with
+/// [`Router::register_with_backend`](crate::Router::register_with_backend)
+/// or
+/// [`Router::register_store_with_backend`](crate::Router::register_store_with_backend).
+/// Registration resolves the backend name once and binds the `Arc` into
+/// the model entry, so per-request serving never touches the registry
+/// lock.
+#[derive(Debug)]
+pub struct BackendRegistry {
+    backends: RwLock<HashMap<String, Arc<dyn InferBackend>>>,
+}
+
+impl BackendRegistry {
+    /// A registry holding only the default `"lookup"` backend.
+    pub fn new() -> Self {
+        let mut backends: HashMap<String, Arc<dyn InferBackend>> = HashMap::new();
+        backends.insert(LOOKUP_BACKEND.to_string(), Arc::new(LookupBackend));
+        BackendRegistry {
+            backends: RwLock::new(backends),
+        }
+    }
+
+    /// Registers `backend` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] when `name` is already taken
+    /// (including the built-in `"lookup"`).
+    pub fn register(&self, name: &str, backend: Arc<dyn InferBackend>) -> Result<()> {
+        let mut backends = self.backends.write();
+        if backends.contains_key(name) {
+            return Err(ServeError::BadConfig {
+                context: format!("an inference backend named {name:?} is already registered"),
+            });
+        }
+        backends.insert(name.to_string(), backend);
+        Ok(())
+    }
+
+    /// The backend registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for unknown names.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn InferBackend>> {
+        self.backends
+            .read()
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| ServeError::BadConfig {
+                context: format!("no inference backend named {name:?} is registered"),
+            })
+    }
+
+    /// Registered backend names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.backends.read().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl Default for BackendRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reusable per-worker buffers for [`InferBackend::score_into`].
+///
+/// Each shard worker owns one scratch for its whole lifetime; at a
+/// steady request shape every buffer reaches capacity once and the
+/// scoring path stops allocating — the same O(1)-allocations-per-call
+/// discipline `tests/alloc_count.rs` certifies for the lookup path.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    /// Cross-shard gather staging ([`gather_rows`]).
+    pub(crate) gather: GatherScratch,
+    /// Head-executor intermediates
+    /// ([`memcom_ondevice::InferenceSession::forward_head`]).
+    pub(crate) head: HeadScratch,
+    /// The head's final activation before the copy into the caller's
+    /// response slab.
+    pub(crate) logits: Vec<f32>,
+}
+
+impl InferScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A reusable client-side buffer set for the allocation-free score
+/// path
+/// ([`RouterHandle::score_batch_into`](crate::RouterHandle::score_batch_into)).
+///
+/// The request's id and output buffers round-trip through the response
+/// slot and come back warm, so at a steady request shape a score call
+/// allocates only its response-slot `Arc` — the same discipline as the
+/// lookup batch path's [`EmbedBatch`](crate::EmbedBatch).
+#[derive(Debug, Default)]
+pub struct ScoreBatch {
+    /// Warm id buffer for the next request.
+    ids: Vec<usize>,
+    /// Warm output buffer for the next request.
+    spare: Vec<f32>,
+    /// The most recent call's scores.
+    scores: Vec<f32>,
+}
+
+impl ScoreBatch {
+    /// An empty batch; buffers warm up over the first calls.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scores of the last successful
+    /// [`score_batch_into`](crate::RouterHandle::score_batch_into)
+    /// call (unspecified after a failed one).
+    pub fn scores(&self) -> &[f32] {
+        &self.scores
+    }
+
+    /// Hands out the warm request buffers (replaced by empties).
+    pub(crate) fn take_buffers(&mut self) -> (Vec<usize>, Vec<f32>) {
+        (
+            std::mem::take(&mut self.ids),
+            std::mem::take(&mut self.spare),
+        )
+    }
+
+    /// Returns buffers from a rejected request (nothing was served).
+    pub(crate) fn recycle_buffers(&mut self, ids: Vec<usize>, out: Vec<f32>) {
+        self.ids = ids;
+        self.spare = out;
+    }
+
+    /// Installs a served outcome: `out` becomes the current scores and
+    /// the previous scores buffer rotates in as the next spare.
+    pub(crate) fn accept_outcome(&mut self, ids: Vec<usize>, out: Vec<f32>) {
+        self.ids = ids;
+        self.spare = std::mem::replace(&mut self.scores, out);
+    }
+
+    /// Takes the scores out, leaving an empty buffer behind.
+    pub(crate) fn take_scores(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.scores)
+    }
+}
+
+/// Staging buffers for [`gather_rows`]: per-shard id groups, the
+/// matching request positions, and one decode slab.
+#[derive(Debug, Default)]
+pub(crate) struct GatherScratch {
+    ids: Vec<Vec<usize>>,
+    pos: Vec<Vec<usize>>,
+    rows: Vec<f32>,
+}
+
+/// Gathers the embedding rows of `ids` (in request order) into the flat
+/// `dest` slab (`ids.len() * store.dim()` values), grouping ids by
+/// shard so each group goes through the store's zero-copy
+/// [`ShardedStore::lookup_batch`] path.
+///
+/// A score request is routed to *one* shard queue (by its first id) but
+/// may reference rows on any shard; the store is thread-safe, so the
+/// executing worker reads the other shards' pages directly.
+///
+/// # Errors
+///
+/// Returns [`ServeError::IdOutOfVocab`] on any out-of-range id and
+/// propagates store read failures.
+// memcom-lint: hot-path
+pub(crate) fn gather_rows(
+    store: &ShardedStore,
+    ids: &[usize],
+    scratch: &mut GatherScratch,
+    dest: &mut [f32],
+) -> Result<()> {
+    let dim = store.dim();
+    debug_assert_eq!(dest.len(), ids.len() * dim);
+    let n_shards = store.n_shards();
+    if n_shards == 1 {
+        return store.lookup_batch(0, ids, dest);
+    }
+    scratch.ids.resize_with(n_shards, Vec::new);
+    scratch.pos.resize_with(n_shards, Vec::new);
+    for (group, pos) in scratch.ids.iter_mut().zip(scratch.pos.iter_mut()) {
+        group.clear();
+        pos.clear();
+    }
+    for (pos, &id) in ids.iter().enumerate() {
+        let s = store.shard_of(id);
+        scratch.ids[s].push(id);
+        scratch.pos[s].push(pos);
+    }
+    for s in 0..n_shards {
+        let group = &scratch.ids[s];
+        if group.is_empty() {
+            continue;
+        }
+        scratch.rows.clear();
+        scratch.rows.resize(group.len() * dim, 0.0);
+        store.lookup_batch(s, group, &mut scratch.rows)?;
+        for (j, &pos) in scratch.pos[s].iter().enumerate() {
+            dest[pos * dim..(pos + 1) * dim].copy_from_slice(&scratch.rows[j * dim..(j + 1) * dim]);
+        }
+    }
+    Ok(())
+}
+// memcom-lint: end-hot-path
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcom_core::{EmbeddingCompressor, MemCom, MemComConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn registry_defaults_and_errors() {
+        let registry = BackendRegistry::new();
+        assert_eq!(registry.names(), vec![LOOKUP_BACKEND.to_string()]);
+        let lookup = registry.get(LOOKUP_BACKEND).unwrap();
+        assert_eq!(lookup.name(), "lookup");
+        assert!(matches!(
+            registry.get("missing"),
+            Err(ServeError::BadConfig { .. })
+        ));
+        assert!(matches!(
+            registry.register(LOOKUP_BACKEND, Arc::new(LookupBackend)),
+            Err(ServeError::BadConfig { .. })
+        ));
+        registry
+            .register("lookup2", Arc::new(LookupBackend))
+            .unwrap();
+        assert_eq!(registry.names().len(), 2);
+    }
+
+    #[test]
+    fn gather_matches_single_gets_across_shards() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let emb = MemCom::new(MemComConfig::new(200, 8, 20), &mut rng).unwrap();
+        let store = ShardedStore::build(&emb, 4, 16, 4096).unwrap();
+        let ids = [7usize, 3, 150, 7, 42, 199, 0];
+        let mut scratch = GatherScratch::default();
+        let mut dest = vec![0f32; ids.len() * store.dim()];
+        gather_rows(&store, &ids, &mut scratch, &mut dest).unwrap();
+        for (pos, &id) in ids.iter().enumerate() {
+            let want = store.get(id).unwrap();
+            assert_eq!(&dest[pos * 8..(pos + 1) * 8], want.as_slice(), "id {id}");
+        }
+        let flat = emb.lookup(&ids).unwrap();
+        assert_eq!(dest, flat.as_slice(), "gather must equal compressor lookup");
+    }
+}

@@ -1,0 +1,197 @@
+//! Full-model scoring: the trained RankNet/Code-1 head executed over
+//! served embedding rows.
+
+use memcom_models::RecModel;
+use memcom_ondevice::compute::WorkCounts;
+use memcom_ondevice::format::{HeadOp, OnDeviceModel, TableMeta};
+use memcom_ondevice::{decode_row_into, Dtype, InferenceSession};
+
+use crate::store::ShardedStore;
+use crate::{Result, ServeError};
+
+use super::{gather_rows, InferBackend, InferScratch};
+
+/// An [`InferBackend`] executing a trained model head (pool → ReLU →
+/// batch-norm → dense, the paper's Code-1 / RankNet shapes) over
+/// embedding rows gathered from the router's [`ShardedStore`].
+///
+/// The head runs through
+/// [`InferenceSession::forward_head`] — the **same executor**
+/// `memcom-ondevice` uses for standalone on-device inference — so for
+/// an fp32 store a score served through the router is bit-for-bit the
+/// score `InferenceSession::run` computes for the same ids. For a
+/// quantized store the only divergence is the rows themselves, and
+/// [`score_error_bound`](Self::score_error_bound) certifies how far a
+/// served score can drift.
+///
+/// Per request: N item ids in, K scores out, where K is the head's
+/// final dense width (1 for a pointwise ranker). All intermediates live
+/// in the worker's [`InferScratch`], so steady-state scoring allocates
+/// nothing per call.
+#[derive(Debug)]
+pub struct RankNetBackend {
+    session: InferenceSession,
+    /// Worst-case factor by which the head amplifies a per-element
+    /// embedding error (computed once from the head parameters).
+    error_amplification: f32,
+}
+
+impl RankNetBackend {
+    /// Builds a backend from a trained [`RecModel`] (e.g.
+    /// [`RankNet::shared_model`](memcom_models::RankNet::shared_model)):
+    /// the head weights are serialized through the on-device model
+    /// format (dropout is eval-mode, i.e. skipped) and loaded into an
+    /// [`InferenceSession`]; the embedding tables travel separately, as
+    /// the router store the model is registered with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization/parse failures from the on-device
+    /// format layer.
+    pub fn from_model(model: &RecModel) -> Result<Self> {
+        let bytes = OnDeviceModel::serialize(
+            model.embedding(),
+            model.head(),
+            model.config().input_len,
+            Dtype::F32,
+        )?;
+        let session = InferenceSession::new(OnDeviceModel::parse(bytes)?);
+        let error_amplification = head_error_amplification(&session)?;
+        Ok(RankNetBackend {
+            session,
+            error_amplification,
+        })
+    }
+
+    /// The loaded on-device session (inspection: head ops, work model).
+    pub fn session(&self) -> &InferenceSession {
+        &self.session
+    }
+
+    /// Certified worst-case absolute error of any score served over
+    /// `store`, relative to the same forward over exact fp32 embedding
+    /// rows: the store's per-element row bound
+    /// ([`ShardedStore::error_bound`], 0 for fp32 stores) propagated
+    /// through the head — averaging pool and ReLU are non-expansive,
+    /// batch-norm scales by `max_i |gamma_i| / sqrt(var_i + eps)`, and a
+    /// dense layer by its largest column L1 norm.
+    pub fn score_error_bound(&self, store: &ShardedStore) -> f32 {
+        store.error_bound() * self.error_amplification
+    }
+}
+
+impl InferBackend for RankNetBackend {
+    fn name(&self) -> &'static str {
+        "ranknet"
+    }
+
+    fn out_len(&self, _n_ids: usize, _store: &ShardedStore) -> usize {
+        self.session.head_out_len()
+    }
+
+    fn check_store(&self, store: &ShardedStore) -> Result<()> {
+        let e = self.session.model().emb_dim;
+        if store.dim() != e {
+            return Err(ServeError::BadConfig {
+                context: format!(
+                    "ranknet backend expects {e}-wide embedding rows, store serves {}",
+                    store.dim()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    // memcom-lint: hot-path
+    fn score_into(
+        &self,
+        store: &ShardedStore,
+        ids: &[usize],
+        scratch: &mut InferScratch,
+        out: &mut [f32],
+    ) -> Result<()> {
+        let InferScratch {
+            gather,
+            head,
+            logits,
+        } = scratch;
+        let act = head.input(ids.len(), store.dim());
+        gather_rows(store, ids, gather, act)?;
+        // Work counts are still tallied (the head executor charges
+        // flops/activations) but a score request reports no per-run
+        // stats; the mmap-level counters aggregate on the session.
+        let mut work = WorkCounts::default();
+        self.session
+            .forward_head(ids.len(), head, logits, &mut work)?;
+        if logits.len() != out.len() {
+            return Err(ServeError::BadConfig {
+                context: format!(
+                    "head produced {} values for a {}-value response slab",
+                    logits.len(),
+                    out.len()
+                ),
+            });
+        }
+        out.copy_from_slice(logits);
+        Ok(())
+    }
+    // memcom-lint: end-hot-path
+}
+
+/// Worst-case per-element error amplification of the head, composed op
+/// by op in execution order (linear error propagation; every bound is
+/// exact for the affine ops and conservative for the non-expansive
+/// ones).
+fn head_error_amplification(session: &InferenceSession) -> Result<f32> {
+    let mut amp = 1.0f32;
+    let mut buf = Vec::new();
+    for op in &session.model().head_ops {
+        match op {
+            // Mean over rows of per-element errors ≤ the max error;
+            // ReLU is 1-Lipschitz.
+            HeadOp::AveragePool | HeadOp::Relu => {}
+            HeadOp::BatchNorm { tables, eps, .. } => {
+                let gamma = read_table_row(session, &tables[0], 0, &mut buf)?.to_vec();
+                let var = read_table_row(session, &tables[3], 0, &mut buf)?;
+                let mut factor = 0.0f32;
+                for (g, v) in gamma.iter().zip(var.iter()) {
+                    factor = factor.max(g.abs() / (v + eps).sqrt());
+                }
+                amp *= factor;
+            }
+            HeadOp::Dense {
+                in_dim,
+                out_dim,
+                weight,
+                ..
+            } => {
+                // |sum_i w[i][o] * err_i| ≤ δ · max_o Σ_i |w[i][o]|.
+                let mut col_l1 = vec![0.0f32; *out_dim];
+                for i in 0..*in_dim {
+                    let row = read_table_row(session, weight, i, &mut buf)?;
+                    for (acc, w) in col_l1.iter_mut().zip(row.iter()) {
+                        *acc += w.abs();
+                    }
+                }
+                amp *= col_l1.iter().fold(0.0f32, |a, &b| a.max(b));
+            }
+        }
+    }
+    Ok(amp)
+}
+
+/// Decodes one parameter-table row into `buf` (resized to the table
+/// width), returning it as a slice.
+fn read_table_row<'a>(
+    session: &InferenceSession,
+    table: &TableMeta,
+    r: usize,
+    buf: &'a mut Vec<f32>,
+) -> Result<&'a [f32]> {
+    let (offset, len) = table.row_range(r);
+    let bytes = session.mmap().read(offset, len)?;
+    buf.clear();
+    buf.resize(table.cols, 0.0);
+    decode_row_into(bytes, table.dtype, table.scale, buf);
+    Ok(buf)
+}

@@ -33,9 +33,18 @@
 //!   [`Router::apply_delta`] (row-level) refresh tables atomically
 //!   while in-flight lookups finish on the old snapshot, and one worker
 //!   set serves every model. Per-model stats via [`Router::stats`].
+//! * [`infer`] — **full-model scoring**: an [`InferBackend`] turns a
+//!   registered model from a row store into a scoring pipeline (embed →
+//!   pool → dense forward; N item ids in, K scores out). Backends live
+//!   in a per-router [`BackendRegistry`]; [`LookupBackend`] (the
+//!   default) keeps plain row serving, [`RankNetBackend`] runs the
+//!   trained head via `memcom-ondevice`'s executor over served rows.
+//!   Score requests ride the same shard queues, admission policy, and
+//!   counters as lookups ([`RouterHandle::score`]).
 //! * [`batch`] — **client buffers**: [`EmbedBatch`], the reusable
 //!   response slab for the zero-copy batch API
-//!   ([`RouterHandle::get_batch_into`]).
+//!   ([`RouterHandle::get_batch_into`]), and [`ScoreBatch`], its
+//!   score-path counterpart ([`RouterHandle::score_batch_into`]).
 //! * [`server`] — **single-model facade**: [`EmbedServer`]/[`ServeHandle`],
 //!   the PR-1 API kept source-compatible as a thin wrapper over one
 //!   router model ([`DEFAULT_MODEL`]).
@@ -92,6 +101,7 @@ pub mod config;
 pub mod delta;
 pub mod error;
 pub mod histogram;
+pub mod infer;
 pub mod loadgen;
 pub mod router;
 pub mod server;
@@ -104,6 +114,10 @@ pub use config::{AdmissionPolicy, ServeConfig, TelemetryConfig, TelemetryLevel};
 pub use delta::StoreDelta;
 pub use error::ServeError;
 pub use histogram::{fmt_nanos, LatencyHistogram};
+pub use infer::{
+    BackendRegistry, InferBackend, InferScratch, LookupBackend, RankNetBackend, ScoreBatch,
+    LOOKUP_BACKEND,
+};
 pub use loadgen::{
     run_load, run_mixed_load, LoadGenConfig, LoadMode, LoadReport, ModelLoadReport, ModelMix,
 };

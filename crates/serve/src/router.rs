@@ -29,6 +29,7 @@ use parking_lot::RwLock;
 
 use crate::batcher::{FlushReason, PushError, ResponseSlot, ShardQueue, SlabOutcome, SlabSlot};
 use crate::config::AdmissionPolicy;
+use crate::infer::{BackendRegistry, InferBackend, InferScratch, ScoreBatch, LOOKUP_BACKEND};
 use crate::store::{CacheStats, ShardCacheStats, ShardedStore};
 use crate::telemetry::{
     dtype_idx, MetricsRegistry, MetricsSnapshot, ModelMetrics, PendingSpan, Span, SpanOutcome,
@@ -272,6 +273,9 @@ struct ControlStats {
 struct ModelEntry {
     name: String,
     store: RwLock<Arc<ShardedStore>>,
+    /// The inference backend score requests for this model execute
+    /// (resolved from the [`BackendRegistry`] once, at registration).
+    backend: Arc<dyn InferBackend>,
     counters: Arc<ModelCounters>,
     control: ControlStats,
     /// Serializes snapshot updaters ([`Router::swap`] /
@@ -317,11 +321,30 @@ pub(crate) struct SlabRequest {
     pub(crate) span: Option<PendingSpan>,
 }
 
+/// A score request: the whole id list rides one shard queue (routed by
+/// its first id), the captured [`InferBackend`] turns N ids into
+/// `out.len()` scores, and the buffers round-trip through the
+/// [`SlabSlot`] for reuse — same micro-batching, admission, and counter
+/// contract as lookups.
+#[derive(Debug)]
+pub(crate) struct ScoreRequest {
+    pub(crate) ids: Vec<usize>,
+    pub(crate) out: Vec<f32>,
+    pub(crate) store: Arc<ShardedStore>,
+    pub(crate) backend: Arc<dyn InferBackend>,
+    pub(crate) counters: Arc<ModelCounters>,
+    pub(crate) slot: Arc<SlabSlot>,
+    pub(crate) admission: Admission,
+    /// Sampled-tracing stamp (full telemetry only).
+    pub(crate) span: Option<PendingSpan>,
+}
+
 /// What shard queues carry.
 #[derive(Debug)]
 pub(crate) enum Request {
     One(OneRequest),
     Slab(SlabRequest),
+    Score(ScoreRequest),
 }
 
 impl Request {
@@ -329,6 +352,7 @@ impl Request {
         match self {
             Request::One(_) => 1,
             Request::Slab(s) => s.ids.len(),
+            Request::Score(s) => s.ids.len(),
         }
     }
 
@@ -336,6 +360,7 @@ impl Request {
         match self {
             Request::One(r) => &r.counters,
             Request::Slab(s) => &s.counters,
+            Request::Score(s) => &s.counters,
         }
     }
 
@@ -343,6 +368,7 @@ impl Request {
         match self {
             Request::One(r) => &r.admission,
             Request::Slab(s) => &s.admission,
+            Request::Score(s) => &s.admission,
         }
     }
 
@@ -350,6 +376,7 @@ impl Request {
         match self {
             Request::One(r) => r.span,
             Request::Slab(s) => s.span,
+            Request::Score(s) => s.span,
         }
     }
 
@@ -357,12 +384,14 @@ impl Request {
         match self {
             Request::One(r) => SlotRef::One(Arc::clone(&r.slot)),
             Request::Slab(s) => SlotRef::Slab(Arc::clone(&s.slot)),
+            Request::Score(s) => SlotRef::Slab(Arc::clone(&s.slot)),
         }
     }
 
     /// Fails the request at dequeue because its deadline passed while it
-    /// was queued, counting the drop and — for slab requests — handing
-    /// the caller's buffers back (the worker still owns them here).
+    /// was queued, counting the drop and — for slab/score requests —
+    /// handing the caller's buffers back (the worker still owns them
+    /// here).
     fn expire(self, now: Instant) {
         self.counters()
             .expired
@@ -373,6 +402,10 @@ impl Request {
                 r.slot.fill(Err(error));
             }
             Request::Slab(s) => {
+                let error = s.admission.deadline_error(now);
+                s.slot.fail_with_buffers(s.ids, s.out, error);
+            }
+            Request::Score(s) => {
                 let error = s.admission.deadline_error(now);
                 s.slot.fail_with_buffers(s.ids, s.out, error);
             }
@@ -401,6 +434,7 @@ struct RouterInner {
     queues: Vec<ShardQueue<Request>>,
     batch: BatchCounters,
     models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    backends: BackendRegistry,
     config: ServeConfig,
     telemetry: MetricsRegistry,
 }
@@ -599,6 +633,7 @@ impl Router {
             queues,
             batch: BatchCounters::default(),
             models: RwLock::new(HashMap::new()),
+            backends: BackendRegistry::new(),
             config,
             telemetry,
         });
@@ -671,7 +706,8 @@ impl Router {
         self.register_store(name, store)
     }
 
-    /// Registers an already-built store as `name`.
+    /// Registers an already-built store as `name`, serving through the
+    /// default [`crate::infer::LookupBackend`].
     ///
     /// # Errors
     ///
@@ -679,7 +715,65 @@ impl Router {
     /// [`ServeError::BadConfig`] when the store's shard count disagrees
     /// with the router's.
     pub fn register_store(&self, name: &str, store: ShardedStore) -> Result<()> {
+        self.register_store_with_backend(name, store, LOOKUP_BACKEND)
+    }
+
+    /// The router's [`BackendRegistry`]: register named
+    /// [`InferBackend`]s here, then bind models to them with
+    /// [`register_with_backend`](Self::register_with_backend) /
+    /// [`register_store_with_backend`](Self::register_store_with_backend).
+    pub fn backends(&self) -> &BackendRegistry {
+        &self.inner.backends
+    }
+
+    /// Builds a `dtype`-quantized store from `emb` and registers it as
+    /// `name`, serving score requests through the backend registered
+    /// under `backend` — the full-model counterpart of
+    /// [`register_with_dtype`](Self::register_with_dtype).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`register_store_with_backend`](Self::register_store_with_backend),
+    /// plus propagated store-construction failures.
+    pub fn register_with_backend(
+        &self,
+        name: &str,
+        emb: &dyn memcom_core::EmbeddingCompressor,
+        dtype: memcom_ondevice::Dtype,
+        backend: &str,
+    ) -> Result<()> {
+        let config = &self.inner.config;
+        let store = ShardedStore::build_quantized(
+            emb,
+            config.n_shards,
+            config.cache_capacity,
+            config.page_size,
+            dtype,
+        )?;
+        self.register_store_with_backend(name, store, backend)
+    }
+
+    /// Registers an already-built store as `name`, bound to the
+    /// [`InferBackend`] registered under `backend`. The name is
+    /// resolved (and the backend's
+    /// [`check_store`](InferBackend::check_store) validated) once,
+    /// here — serving never touches the registry again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelExists`] for duplicate model names
+    /// and [`ServeError::BadConfig`] for unknown backend names, a
+    /// store/backend incompatibility, or a shard-count mismatch.
+    pub fn register_store_with_backend(
+        &self,
+        name: &str,
+        store: ShardedStore,
+        backend: &str,
+    ) -> Result<()> {
         self.inner.check_store(&store)?;
+        let backend = self.inner.backends.get(backend)?;
+        backend.check_store(&store)?;
         let mut models = self.inner.models.write();
         if models.contains_key(name) {
             return Err(ServeError::ModelExists {
@@ -691,6 +785,7 @@ impl Router {
             Arc::new(ModelEntry {
                 name: name.to_string(),
                 store: RwLock::new(Arc::new(store)),
+                backend,
                 counters: Arc::new(ModelCounters::default()),
                 control: ControlStats::default(),
                 update_lock: parking_lot::Mutex::new(()),
@@ -1276,6 +1371,122 @@ impl RouterHandle {
             None => Ok(()),
         }
     }
+
+    /// Scores `ids` through the model's [`InferBackend`] — N item ids
+    /// in, K values out (K = the backend's
+    /// [`out_len`](InferBackend::out_len); for the default lookup
+    /// backend this is the flattened rows, for a ranking backend the
+    /// head's scores). The request rides the same shard queues,
+    /// admission policy, and counters as lookups.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`get`](Self::get), plus
+    /// [`ServeError::BadConfig`] for an empty id list.
+    pub fn score(&self, ids: &[usize]) -> Result<Vec<f32>> {
+        self.score_with_deadline(ids, None)
+    }
+
+    /// [`score`](Self::score) with a per-request deadline override; see
+    /// [`get_with_deadline`](Self::get_with_deadline) for the override
+    /// semantics.
+    pub fn score_with_deadline(
+        &self,
+        ids: &[usize],
+        deadline: Option<std::time::Duration>,
+    ) -> Result<Vec<f32>> {
+        let mut batch = ScoreBatch::new();
+        self.score_batch_into_with_deadline(ids, &mut batch, deadline)?;
+        Ok(batch.take_scores())
+    }
+
+    /// Scores `ids` into the caller-owned, reusable `batch` — the
+    /// allocation-free score path. On success [`ScoreBatch::scores`]
+    /// holds the backend's output; at a steady request shape the call
+    /// performs **no per-id heap allocation** end to end (the response
+    /// slot `Arc` is the only steady-state allocation, as on the lookup
+    /// batch path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`score`](Self::score); on error the batch's
+    /// contents are unspecified but its buffers stay reusable.
+    pub fn score_batch_into(&self, ids: &[usize], batch: &mut ScoreBatch) -> Result<()> {
+        self.score_batch_into_with_deadline(ids, batch, None)
+    }
+
+    /// [`score_batch_into`](Self::score_batch_into) with a per-request
+    /// deadline override; see
+    /// [`get_with_deadline`](Self::get_with_deadline) for the override
+    /// semantics.
+    pub fn score_batch_into_with_deadline(
+        &self,
+        ids: &[usize],
+        batch: &mut ScoreBatch,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<()> {
+        let store = self.store()?;
+        if ids.is_empty() {
+            return Err(ServeError::BadConfig {
+                context: "a score request needs at least one id".to_string(),
+            });
+        }
+        for &id in ids {
+            store.check_id(id)?;
+        }
+        // ORDERING: issue increments stay Relaxed; outcomes are
+        // Release-published after them and snapshots read outcomes
+        // Acquire-first (see `stats_for`).
+        self.model
+            .counters
+            .issued
+            .fetch_add(ids.len() as u64, Ordering::Relaxed);
+        let backend = Arc::clone(&self.model.backend);
+        let out_len = backend.out_len(ids.len(), &store);
+        // The whole request rides one shard queue — its first id's —
+        // for admission/batching; the executing worker gathers rows
+        // across shards (the store is thread-safe).
+        let shard = store.shard_of(ids[0]);
+        let (mut req_ids, mut out) = batch.take_buffers();
+        req_ids.clear();
+        req_ids.extend_from_slice(ids);
+        out.clear();
+        out.resize(out_len, 0.0);
+        let slot = Arc::new(SlabSlot::new());
+        let request = Request::Score(ScoreRequest {
+            ids: req_ids,
+            out,
+            store,
+            backend,
+            counters: Arc::clone(&self.model.counters),
+            slot: Arc::clone(&slot),
+            admission: Admission::stamp_with(
+                self.inner.config.admission,
+                self.inner.telemetry.stages_on(),
+                deadline,
+            ),
+            span: self.inner.telemetry.sample(),
+        });
+        match self.inner.admit(shard, request) {
+            Ok(()) => {}
+            Err((e, rejected)) => {
+                // A shed (or shutdown-rejected) request comes back whole
+                // — recycle its buffers so the shedding path allocates
+                // nothing.
+                if let Request::Score(s) = rejected {
+                    batch.recycle_buffers(s.ids, s.out);
+                }
+                return Err(e);
+            }
+        }
+        let outcome = slot.wait();
+        // A worker-lost blanket returns capacity-less placeholders —
+        // keep those out of the batch so it only holds warm buffers.
+        if outcome.out.capacity() > 0 || outcome.ids.capacity() > 0 {
+            batch.accept_outcome(outcome.ids, outcome.out);
+        }
+        outcome.result
+    }
 }
 
 fn worker_loop(
@@ -1286,13 +1497,15 @@ fn worker_loop(
 ) {
     let queue = &inner.queues[shard_idx];
     // Reusable scratch: the popped batch and its panic-blanket slot list
-    // (refilled per flush), plus the single-id run coalescing buffers —
-    // the worker allocates nothing per batch at a steady shape.
+    // (refilled per flush), the single-id run coalescing buffers, and
+    // the inference-backend scratch — the worker allocates nothing per
+    // batch at a steady shape.
     let mut batch: Vec<Request> = Vec::new();
     let mut slots: Vec<SlotRef> = Vec::new();
     let mut one_ids: Vec<usize> = Vec::new();
     let mut one_slots: Vec<Arc<ResponseSlot>> = Vec::new();
     let mut one_spans: Vec<SpanSeed> = Vec::new();
+    let mut infer_scratch = InferScratch::new();
     while let Some((reason, assembly)) = queue.pop_batch_into_timed(&mut batch, max_batch, max_wait)
     {
         // A panic while serving must not strand blocked requesters: keep
@@ -1310,6 +1523,7 @@ fn worker_loop(
                 &mut one_ids,
                 &mut one_slots,
                 &mut one_spans,
+                &mut infer_scratch,
             );
         }));
         if outcome.is_err() {
@@ -1335,6 +1549,7 @@ fn serve_batch(
     one_ids: &mut Vec<usize>,
     one_slots: &mut Vec<Arc<ResponseSlot>>,
     one_spans: &mut Vec<SpanSeed>,
+    infer_scratch: &mut InferScratch,
 ) {
     let c = &inner.batch;
     let rows: usize = batch.iter().map(Request::rows).sum();
@@ -1477,6 +1692,62 @@ fn serve_batch(
                             seq: pending.seq,
                             shard: shard_idx,
                             rows: slab_rows,
+                            queue_wait_nanos: started
+                                .saturating_duration_since(issued_at)
+                                .as_nanos() as u64,
+                            service_nanos: finished.saturating_duration_since(started).as_nanos()
+                                as u64,
+                            total_nanos: finished.saturating_duration_since(issued_at).as_nanos()
+                                as u64,
+                            outcome: SpanOutcome::Served,
+                        });
+                    }
+                }
+            }
+            Request::Score(mut s) => {
+                flush_one_run(inner, shard_idx, run.take(), one_ids, one_slots, one_spans);
+                let started = stages_on.then(Instant::now);
+                let result = s
+                    .backend
+                    .score_into(&s.store, &s.ids, infer_scratch, &mut s.out);
+                if result.is_ok() {
+                    s.counters
+                        .requests
+                        .fetch_add(s.ids.len() as u64, Ordering::Release);
+                }
+                // Capture telemetry inputs before the fill consumes the
+                // request's buffers.
+                let score_rows = s.ids.len();
+                let span = s.span;
+                let issued_at = s.admission.issued_at();
+                let scored = started.map(|_| Instant::now());
+                s.slot.fill(SlabOutcome {
+                    ids: s.ids,
+                    out: s.out,
+                    result,
+                });
+                if let (Some(started), Some(scored)) = (started, scored) {
+                    // memcom-lint: allow(L002) -- reached only when stages are on: `started` is `stages_on.then(Instant::now)`
+                    let finished = Instant::now();
+                    let shard_t = telemetry.shard(shard_idx);
+                    {
+                        // The whole backend execution — gather + NN
+                        // forward — lands in the `forward` stage; the
+                        // reply hand-back stays in `slab_write` like
+                        // every other response.
+                        let mut stages = shard_t.stages();
+                        stages
+                            .forward
+                            .record(scored.saturating_duration_since(started).as_nanos() as u64);
+                        stages
+                            .slab_write
+                            .record(finished.saturating_duration_since(scored).as_nanos() as u64);
+                    }
+                    if let (Some(pending), Some(issued_at)) = (span, issued_at) {
+                        telemetry.complete(Span {
+                            seq: pending.seq,
+                            shard: shard_idx,
+                            rows: score_rows,
                             queue_wait_nanos: started
                                 .saturating_duration_since(issued_at)
                                 .as_nanos() as u64,

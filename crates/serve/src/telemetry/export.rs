@@ -124,6 +124,10 @@ pub struct ShardStageMetrics {
     pub batch_size: SizeStats,
     /// Store decode duration per micro-batch run, by storage dtype.
     pub decode: Vec<(&'static str, LatencyHistogram)>,
+    /// Inference-backend execution per score request (embedding gather
+    /// plus NN forward) — populated only for models served through a
+    /// scoring [`crate::InferBackend`].
+    pub forward: LatencyHistogram,
     /// Response write duration per run (slot fills / slab hand-back).
     pub slab_write: LatencyHistogram,
     /// Rows answered from the hot-row cache.
@@ -424,6 +428,7 @@ impl MetricsSnapshot {
                     ("admission_wait", &stage.admission_wait),
                     ("queue_wait", &stage.queue_wait),
                     ("batch_assembly", &stage.batch_assembly),
+                    ("forward", &stage.forward),
                     ("slab_write", &stage.slab_write),
                 ] {
                     let labels = format!("stage=\"{label}\",shard=\"{shard}\"");
@@ -526,13 +531,15 @@ impl MetricsSnapshot {
             let _ = write!(
                 out,
                 "{{\"shard\":{},\"decode_rows\":{{\"cache\":{},\"store\":{}}},\
-                 \"admission_wait\":{},\"queue_wait\":{},\"batch_assembly\":{},\"slab_write\":{}",
+                 \"admission_wait\":{},\"queue_wait\":{},\"batch_assembly\":{},\
+                 \"forward\":{},\"slab_write\":{}",
                 stage.shard,
                 stage.decode_rows_hit,
                 stage.decode_rows_miss,
                 json_hist(&stage.admission_wait),
                 json_hist(&stage.queue_wait),
                 json_hist(&stage.batch_assembly),
+                json_hist(&stage.forward),
                 json_hist(&stage.slab_write)
             );
             let size = &stage.batch_size;
@@ -713,6 +720,7 @@ mod tests {
                 batch_assembly: LatencyHistogram::new(),
                 batch_size: SizeStats::from_scaled(&batch_size),
                 decode: vec![("f32", LatencyHistogram::new()), ("int8", decode_int8)],
+                forward: LatencyHistogram::new(),
                 slab_write: LatencyHistogram::new(),
                 decode_rows_hit: 7,
                 decode_rows_miss: 3,

@@ -58,6 +58,9 @@ pub(crate) struct StageSet {
     /// Store decode duration per micro-batch run, by storage dtype
     /// (see [`dtype_idx`]).
     pub(crate) decode: [LatencyHistogram; 5],
+    /// Inference-backend execution per score request (embedding gather
+    /// + NN forward), recorded on the full-model scoring path.
+    pub(crate) forward: LatencyHistogram,
     /// Response write duration per run (slot fills / slab hand-back).
     pub(crate) slab_write: LatencyHistogram,
 }
@@ -193,6 +196,7 @@ impl MetricsRegistry {
                     queue_wait: stages.queue_wait,
                     batch_assembly: stages.batch_assembly,
                     batch_size: SizeStats::from_scaled(&stages.batch_size),
+                    forward: stages.forward,
                     slab_write: stages.slab_write,
                     decode: DTYPE_NAMES.iter().copied().zip(stages.decode).collect(),
                 }
